@@ -1,0 +1,5 @@
+"""Benchmark suite regenerating the paper's measurement grid.
+
+One module per table/figure group of DESIGN.md's per-experiment index;
+run with ``pytest benchmarks/ --benchmark-only``.
+"""

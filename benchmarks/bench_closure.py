@@ -1,0 +1,44 @@
+"""T-10/T-14/T-15 — section 6.5 Closure Traversals.
+
+From a random level-3 node: op 10 walks the 1-N aggregation to the
+leaves in pre-order, op 14 walks the M-N aggregation, op 15 follows the
+attributed association to depth 25.  Expected shape (the paper's
+stated hypothesis): with clustering along 1-N, ``closure1N`` is at
+least as fast as ``closureMN`` on the paged backend; both touch the
+paper's 6/31/156 nodes depending on the level.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_driver
+
+
+def _expected_closure_size(cell):
+    config = cell.gen.config
+    return config.closure_1n_size(min(3, config.levels - 1))
+
+
+@pytest.mark.benchmark(group="op10 closure1N")
+def test_op10_closure_1n(benchmark, cell):
+    driver = make_driver(cell, "10")
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark.extra_info["nodes_per_closure"] = _expected_closure_size(cell)
+    result = benchmark(driver)
+    assert len(result) == _expected_closure_size(cell)
+
+
+@pytest.mark.benchmark(group="op14 closureMN")
+def test_op14_closure_mn(benchmark, cell):
+    driver = make_driver(cell, "14")
+    benchmark.extra_info["backend"] = cell.backend_name
+    result = benchmark(driver)
+    assert len(result) == _expected_closure_size(cell)
+
+
+@pytest.mark.benchmark(group="op15 closureMNATT")
+def test_op15_closure_mnatt(benchmark, cell):
+    driver = make_driver(cell, "15")
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark.extra_info["depth"] = cell.gen.config.closure_depth
+    result = benchmark(driver)
+    assert len(result) == cell.gen.config.closure_depth

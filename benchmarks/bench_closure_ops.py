@@ -1,0 +1,47 @@
+"""T-11/T-12/T-13/T-18 — section 6.6 Other Closure Operations.
+
+Derived closures over the same level-3 subtrees: attribute sum (11),
+attribute set to 99-v (12, self-inverse so repetition restores the
+database), million-range predicate pruning (13), and link-distance
+accumulation along the attributed association (18).  Expected shape:
+12 is the most expensive (it writes and maintains the hundred index);
+11 and 13 cost a read per node; 18 tracks op 15 plus arithmetic.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_driver
+
+
+@pytest.mark.benchmark(group="op11 closure1NAttSum")
+def test_op11_closure_1n_att_sum(benchmark, cell):
+    driver = make_driver(cell, "11")
+    benchmark.extra_info["backend"] = cell.backend_name
+    result = benchmark(driver)
+    assert result > 0
+
+
+@pytest.mark.benchmark(group="op12 closure1NAttSet")
+def test_op12_closure_1n_att_set(benchmark, cell):
+    driver = make_driver(cell, "12")
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark.extra_info["mutates"] = True
+    result = benchmark(driver)
+    assert result >= 1
+    cell.db.commit()
+
+
+@pytest.mark.benchmark(group="op13 closure1NPred")
+def test_op13_closure_1n_pred(benchmark, cell):
+    driver = make_driver(cell, "13")
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark(driver)
+
+
+@pytest.mark.benchmark(group="op18 closureMNATTLinkSum")
+def test_op18_closure_mnatt_linksum(benchmark, cell):
+    driver = make_driver(cell, "18")
+    benchmark.extra_info["backend"] = cell.backend_name
+    result = benchmark(driver)
+    assert len(result) == cell.gen.config.closure_depth
+    assert all(distance >= 0 for _node, distance in result)

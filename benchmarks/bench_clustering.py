@@ -1,0 +1,106 @@
+"""A-cluster — the section 5.2 clustering ablation.
+
+The paper: "a notion of complex objects based on an aggregation-
+relationship [could] allow for clustering of data, which would make
+transitive closure operations perform more efficiently", and clustering
+"should be done along the 1-N relationship-hierarchy".
+
+This ablation runs ``closure1N`` cold on the paged OODB with the
+clustering policy on and off and records the physical locality
+(distinct pages per level-2 subtree).  Expected shape: clustered
+subtrees span fewer pages and the cold closure faults fewer pages, so
+clustered <= unclustered; and on the clustered arm ``closure1N`` does
+not lose to ``closureMN`` (the paper's stated hypothesis).
+"""
+
+import os
+import random
+
+import pytest
+
+from benchmarks.conftest import LEVEL
+from repro.backends.oodb import OodbDatabase
+from repro.core.config import HyperModelConfig
+from repro.core.generator import DatabaseGenerator
+from repro.core.operations import Operations
+
+
+@pytest.fixture(scope="module", params=[True, False], ids=["clustered", "unclustered"])
+def ablation_cell(request, tmp_path_factory):
+    clustered = request.param
+    base = tmp_path_factory.mktemp("cluster-ablation")
+    db = OodbDatabase(
+        os.path.join(str(base), f"{'c' if clustered else 'u'}.hmdb"),
+        clustered=clustered,
+        cache_pages=64,  # small pool so faults matter
+    )
+    db.open()
+    config = HyperModelConfig(levels=LEVEL)
+    gen = DatabaseGenerator(config).generate(db)
+    db.commit()
+    yield db, gen, clustered
+    db.close()
+
+
+@pytest.mark.benchmark(group="ablation closure1N cold (clustered vs not)")
+def test_cold_closure_1n(benchmark, ablation_cell):
+    db, gen, clustered = ablation_cell
+    rng = random.Random(5)
+    start_level = min(3, gen.config.levels - 1) - 1  # one above: 31 nodes
+    start_level = max(start_level, 1)
+    uids = [gen.random_uid_at_level(rng, start_level) for _ in range(30)]
+    uid_cycle = iter(uids * 1000)
+    ops = Operations(db, gen.config)
+
+    def cold_closure():
+        db.drop_cache()  # every round starts cold
+        return ops.closure_1n(db.lookup(next(uid_cycle)))
+
+    result = benchmark(cold_closure)
+    pages = {db.store.page_of(int(ref)) for ref in result}
+    benchmark.extra_info["clustered"] = clustered
+    benchmark.extra_info["distinct_pages_last_subtree"] = len(pages)
+    benchmark.extra_info["subtree_nodes"] = len(result)
+
+
+@pytest.mark.benchmark(group="ablation closureMN cold (vs closure1N)")
+def test_cold_closure_mn(benchmark, ablation_cell):
+    """The paper's hypothesis: clustered closure1N beats closureMN
+    when cold, because M-N parts jump to random next-level nodes while
+    the 1-N subtree sits on few pages."""
+    db, gen, clustered = ablation_cell
+    rng = random.Random(5)
+    start_level = max(min(3, gen.config.levels - 1) - 1, 1)
+    uids = [gen.random_uid_at_level(rng, start_level) for _ in range(30)]
+    uid_cycle = iter(uids * 1000)
+    ops = Operations(db, gen.config)
+
+    def cold_closure():
+        db.drop_cache()
+        return ops.closure_mn(db.lookup(next(uid_cycle)))
+
+    result = benchmark(cold_closure)
+    pages = {db.store.page_of(int(ref)) for ref in result}
+    benchmark.extra_info["clustered"] = clustered
+    benchmark.extra_info["distinct_pages_last_subtree"] = len(pages)
+    benchmark.extra_info["subtree_nodes"] = len(result)
+
+
+@pytest.mark.benchmark(group="ablation locality metric")
+def test_subtree_page_spread(benchmark, ablation_cell):
+    db, gen, clustered = ablation_cell
+    rng = random.Random(9)
+    ops = Operations(db, gen.config)
+    level = max(min(3, gen.config.levels - 1) - 1, 1)
+
+    def average_spread():
+        spreads = []
+        for _ in range(10):
+            start = db.lookup(gen.random_uid_at_level(rng, level))
+            closure = ops.closure_1n(start)
+            spreads.append(len({db.store.page_of(int(r)) for r in closure}))
+        return sum(spreads) / len(spreads)
+
+    spread = benchmark.pedantic(average_spread, rounds=1, iterations=1)
+    benchmark.extra_info["clustered"] = clustered
+    benchmark.extra_info["avg_distinct_pages_per_subtree"] = spread

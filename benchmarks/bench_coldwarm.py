@@ -1,0 +1,41 @@
+"""T-coldwarm — the section 5.3(b)/(d) cold vs warm effect.
+
+Runs the paper's full cold/warm protocol (open, 50 cold, commit, 50
+warm, close) for a representative operation slice and reports the warm
+speedup per backend.  Expected shape: the client/server backend shows
+the largest cold/warm gap (network fetches vs workstation-cache hits);
+the memory backend shows none (it has no cold state); the OODB sits in
+between (page faults vs buffer-pool hits).
+"""
+
+import pytest
+
+from repro.core.operations import CATALOG
+from repro.harness.protocol import run_operation_sequence
+
+#: One representative per category with per-node normalization.
+_REPRESENTATIVE_OPS = ["01", "05A", "10", "15"]
+
+
+@pytest.mark.benchmark(group="cold/warm protocol (section 5.3)")
+@pytest.mark.parametrize("op_id", _REPRESENTATIVE_OPS)
+def test_cold_warm_protocol(benchmark, cell, op_id):
+    if op_id == "02" and not cell.db.supports_object_identity:
+        pytest.skip("not applicable")
+    spec = CATALOG.get(op_id)
+
+    def sequence():
+        return run_operation_sequence(
+            cell.db, spec, cell.gen, repetitions=50, seed=77
+        )
+
+    result = benchmark.pedantic(sequence, rounds=1, iterations=1)
+    cell.db.open()  # the protocol closes the database; restore for peers
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark.extra_info["op"] = f"{result.op_id} {result.op_name}"
+    benchmark.extra_info["cold_ms_per_node"] = result.cold.mean
+    benchmark.extra_info["warm_ms_per_node"] = result.warm.mean
+    benchmark.extra_info["warm_speedup"] = result.warm_speedup
+    benchmark.extra_info["commit_seconds"] = result.commit_seconds
+    assert result.cold.count == 50
+    assert result.warm.count == 50

@@ -1,0 +1,59 @@
+"""T-create / T-size / F2-F4 — section 5.3 Database Creation.
+
+Times a complete test-database generation (internal nodes, leaf nodes
+and the three relationship types, each phase with its commit) on a
+fresh database, and records the per-phase milliseconds plus the size
+model's prediction in ``extra_info``.  Expected shape: leaf creation
+dominates node time (text/bitmap content); the M-N-attribute phase is
+the cheapest per relationship; the level-6 size estimate lands near the
+paper's ~8 MB.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import BACKENDS, LEVEL
+from repro.backends.registry import create_backend
+from repro.core.config import HyperModelConfig
+from repro.core.generator import DatabaseGenerator
+
+_FILE_BACKENDS = {"oodb", "oodb-unclustered", "sqlite-file"}
+
+
+@pytest.mark.benchmark(group="creation (section 5.3)")
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_database_creation(benchmark, backend, tmp_path):
+    config = HyperModelConfig(levels=LEVEL)
+    counter = {"n": 0}
+
+    def build():
+        counter["n"] += 1
+        path = None
+        if backend in _FILE_BACKENDS:
+            suffix = "db" if backend == "sqlite-file" else "hmdb"
+            path = os.path.join(str(tmp_path), f"c{counter['n']}.{suffix}")
+        db = create_backend(backend, path)
+        db.open()
+        gen = DatabaseGenerator(config).generate(db)
+        db.commit()
+        db.close()
+        return gen
+
+    gen = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["level"] = LEVEL
+    benchmark.extra_info["total_nodes"] = gen.total_nodes
+    benchmark.extra_info["estimated_size_bytes"] = config.estimated_size_bytes()
+    benchmark.extra_info["per_node_ms"] = gen.stats.per_node_ms()
+    benchmark.extra_info["per_relationship_ms"] = gen.stats.per_relationship_ms()
+
+
+def test_size_model_matches_paper():
+    """T-size: the sizing table of section 5.2 (not timed)."""
+    level6 = HyperModelConfig(levels=6)
+    assert level6.total_nodes == 19531
+    size = level6.estimated_size_bytes()
+    assert 7_000_000 < size < 10_000_000  # "around 8 MB"
+    level7 = HyperModelConfig(levels=7)
+    assert 4.5 < level7.estimated_size_bytes() / size < 5.5  # "increase by 5"

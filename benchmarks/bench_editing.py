@@ -1,0 +1,31 @@
+"""T-16/T-17 — section 6.7 Editing.
+
+Op 16 swaps the ``version1``/``version-2`` markers in a random text
+node (the replacement is one character longer, forcing a size-changing
+store); op 17 inverts a 25x25 rectangle at (50, 50) of one form node,
+reused for every repetition per the paper's N.B.  Expected shape: 17
+costs more than 16 (kilobytes of bitmap vs a few hundred bytes of
+text); both dwarf pure lookups because they retrieve *and* store.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_driver
+
+
+@pytest.mark.benchmark(group="op16 textNodeEdit")
+def test_op16_text_node_edit(benchmark, cell):
+    driver = make_driver(cell, "16")
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark.extra_info["mutates"] = True
+    benchmark(driver)
+    cell.db.commit()
+
+
+@pytest.mark.benchmark(group="op17 formNodeEdit")
+def test_op17_form_node_edit(benchmark, cell):
+    driver = make_driver(cell, "17")
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark.extra_info["same_node_every_repetition"] = True
+    benchmark(driver)
+    cell.db.commit()

@@ -1,0 +1,147 @@
+"""X-ext — section 6.8 Possible Extensions to the Operation Set.
+
+The three extension experiments the paper sketches:
+
+1. **Schema modification (R4)** — add a ``DrawNode`` type and add an
+   attribute to an existing type; both must be O(1) in the extent size
+   (the engine upgrades objects lazily on read).
+2. **Versions (R5)** — create a new version of a node by editing it,
+   then retrieve the previous version and a time-point snapshot.
+3. **Access control (R11)** — set a document read-only for the public
+   and measure the per-operation checking overhead.
+"""
+
+import os
+import random
+
+import pytest
+
+from benchmarks.conftest import LEVEL
+from repro.access import PUBLIC, AccessController, GuardedDatabase, Permission
+from repro.backends.oodb import OodbDatabase
+from repro.core.config import HyperModelConfig
+from repro.core.generator import DatabaseGenerator
+from repro.core.operations import Operations
+from repro.engine.catalog import FieldDefinition
+
+
+@pytest.fixture(scope="module")
+def versioned_db(tmp_path_factory):
+    base = tmp_path_factory.mktemp("ext")
+    db = OodbDatabase(os.path.join(str(base), "ext.hmdb"), versioned=True)
+    db.open()
+    gen = DatabaseGenerator(HyperModelConfig(levels=min(LEVEL, 3))).generate(db)
+    db.commit()
+    yield db, gen
+    db.close()
+
+
+@pytest.mark.benchmark(group="ext1 schema modification (R4)")
+def test_add_draw_node_class(benchmark, tmp_path):
+    """Adding a subclass must not touch the existing extent."""
+    db = OodbDatabase(os.path.join(str(tmp_path), "schema.hmdb"))
+    db.open()
+    DatabaseGenerator(HyperModelConfig(levels=2)).generate(db)
+    db.commit()
+    counter = {"n": 0}
+
+    def add_class():
+        counter["n"] += 1
+        db.store.define_class(
+            f"DrawNode{counter['n']}",
+            [
+                FieldDefinition("circles", default=0),
+                FieldDefinition("rectangles", default=0),
+                FieldDefinition("ellipses", default=0),
+            ],
+            base="Node",
+        )
+
+    benchmark.pedantic(add_class, rounds=5, iterations=1)
+    db.close()
+
+
+@pytest.mark.benchmark(group="ext1 add attribute (R4)")
+def test_add_attribute_to_existing_type(benchmark, tmp_path):
+    """Adding a field is lazy: old objects upgrade on first read."""
+    db = OodbDatabase(os.path.join(str(tmp_path), "attr.hmdb"))
+    db.open()
+    gen = DatabaseGenerator(HyperModelConfig(levels=2)).generate(db)
+    db.commit()
+    counter = {"n": 0}
+
+    def add_field():
+        counter["n"] += 1
+        db.store.add_field(
+            "TextNode", FieldDefinition(f"lang{counter['n']}", default="en")
+        )
+
+    benchmark.pedantic(add_field, rounds=5, iterations=1)
+    # Lazy upgrade: an object written before the change has the default.
+    state = db.store.get(int(db.lookup(gen.text_uids[0])))
+    assert state["lang1"] == "en"
+    db.close()
+
+
+@pytest.mark.benchmark(group="ext2 versions (R5)")
+def test_edit_then_retrieve_previous_version(benchmark, versioned_db):
+    db, gen = versioned_db
+    ops = Operations(db, gen.config)
+    rng = random.Random(3)
+    uids = [gen.random_text_uid(rng) for _ in range(20)]
+    state = {"i": 0}
+
+    def edit_and_fetch_previous():
+        uid = uids[state["i"] % len(uids)]
+        state["i"] += 1
+        ref = db.lookup(uid)
+        ops.text_node_edit(ref)
+        db.commit()
+        return db.store.previous_version(int(ref))
+
+    previous = benchmark(edit_and_fetch_previous)
+    assert previous is not None and "text" in previous
+
+
+@pytest.mark.benchmark(group="ext2 snapshot at time-point (R5)")
+def test_version_at_time_point(benchmark, versioned_db):
+    db, gen = versioned_db
+    uid = gen.text_uids[-1]
+    ref = db.lookup(uid)
+    snapshot_ts = db.store.commit_timestamp
+    original = db.get_text(ref)
+    ops = Operations(db, gen.config)
+    for _ in range(4):
+        ops.text_node_edit(ref)
+        db.commit()
+
+    result = benchmark(lambda: db.store.version_at(int(ref), snapshot_ts))
+    assert result["text"] == original
+
+
+@pytest.mark.benchmark(group="ext3 access control overhead (R11)")
+@pytest.mark.parametrize("guard", [False, True], ids=["bare", "guarded"])
+def test_access_check_overhead(benchmark, guard, tmp_path):
+    from repro.backends.memory import MemoryDatabase
+
+    inner = MemoryDatabase()
+    inner.open()
+    gen = DatabaseGenerator(HyperModelConfig(levels=3)).generate(inner)
+    db = inner
+    if guard:
+        controller = AccessController(inner)
+        doc = inner.children(inner.lookup(gen.root_uid))[0]
+        controller.set_policy(
+            inner.get_attribute(doc, "uniqueId"), PUBLIC, Permission.READ
+        )
+        db = GuardedDatabase(inner, controller, principal="reader")
+    ops = Operations(db, gen.config)
+    rng = random.Random(8)
+    starts = [
+        db.lookup(gen.random_uid_at_level(rng, 2)) for _ in range(20)
+    ]
+    import itertools
+
+    cycle = itertools.cycle(starts)
+    benchmark.extra_info["guarded"] = guard
+    benchmark(lambda: ops.closure_1n(next(cycle)))

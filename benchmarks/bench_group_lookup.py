@@ -1,0 +1,35 @@
+"""T-05A/T-05B/T-06 — section 6.3 Group Lookup (forward traversal).
+
+Op 05A reads the ordered children (clustering may help), op 05B the
+M-N parts, op 06 the single attributed reference.  Expected shape: all
+three are one-object-fault operations; 05A vs 05B exposes any ordered
+vs unordered representation gap.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_driver
+
+
+@pytest.mark.benchmark(group="op05A groupLookup1N")
+def test_op05a_group_lookup_1n(benchmark, cell):
+    driver = make_driver(cell, "05A")
+    benchmark.extra_info["backend"] = cell.backend_name
+    result = benchmark(driver)
+    assert len(result) == cell.gen.config.fanout
+
+
+@pytest.mark.benchmark(group="op05B groupLookupMN")
+def test_op05b_group_lookup_mn(benchmark, cell):
+    driver = make_driver(cell, "05B")
+    benchmark.extra_info["backend"] = cell.backend_name
+    result = benchmark(driver)
+    assert len(result) == cell.gen.config.parts_per_node
+
+
+@pytest.mark.benchmark(group="op06 groupLookupMNATT")
+def test_op06_group_lookup_mnatt(benchmark, cell):
+    driver = make_driver(cell, "06")
+    benchmark.extra_info["backend"] = cell.backend_name
+    result = benchmark(driver)
+    assert len(result) == 1

@@ -1,0 +1,84 @@
+"""T-arch — the R7 architecture sweep (section 3.2).
+
+R7: an interactive application needs 100-10,000 objects/second at ~100
+bytes per object, which "could mean that parts of the database have to
+be cached/checked-out to main memory in the workstations".  The sweep
+runs a cold and a warm ``closure1N`` on the client/server backend under
+three latency profiles (1990 LAN, modern LAN, WAN) and reports the
+achieved objects/second.  Expected shape: no profile reaches the 10k/s
+ceiling uncached over per-object round trips except the modern LAN; the
+warm (cached) runs exceed it everywhere — the cache is the answer, as
+R7 predicts.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import LEVEL
+from repro.backends.clientserver import ClientServerDatabase
+from repro.core.config import HyperModelConfig
+from repro.core.generator import DatabaseGenerator
+from repro.core.operations import Operations
+from repro.netsim.profiles import PROFILES, assess_r7
+
+
+@pytest.fixture(scope="module", params=sorted(PROFILES))
+def profiled_client(request):
+    name = request.param
+    db = ClientServerDatabase(latency=PROFILES[name])
+    db.open()
+    config = HyperModelConfig(levels=min(LEVEL, 4))
+    gen = DatabaseGenerator(config).generate(db)
+    db.commit()
+    return name, db, gen
+
+
+@pytest.mark.benchmark(group="latency sweep: cold closure1N (R7)")
+def test_cold_closure_under_profile(benchmark, profiled_client):
+    name, db, gen = profiled_client
+    ops = Operations(db, gen.config)
+    rng = random.Random(31)
+    level = min(3, gen.config.levels - 1)
+    uids = [gen.random_uid_at_level(rng, level) for _ in range(30)]
+    cycle = iter(uids * 10_000)
+    clock = db.simulated_clock
+
+    def cold_closure():
+        db.cache.clear()  # force the faults
+        before = clock.now
+        result = ops.closure_1n(db.lookup(next(cycle)))
+        return len(result), clock.now - before
+
+    (nodes, sim_seconds) = benchmark(cold_closure)
+    assessment = assess_r7(name, PROFILES[name])
+    benchmark.extra_info["profile"] = name
+    benchmark.extra_info["simulated_seconds_per_closure"] = sim_seconds
+    benchmark.extra_info["objects_per_second_cold"] = (
+        nodes / sim_seconds if sim_seconds else float("inf")
+    )
+    benchmark.extra_info["uncached_model_objects_per_second"] = (
+        assessment.uncached_objects_per_second
+    )
+    benchmark.extra_info["cache_required_for_r7"] = assessment.cache_required
+
+
+@pytest.mark.benchmark(group="latency sweep: warm closure1N (R7)")
+def test_warm_closure_under_profile(benchmark, profiled_client):
+    name, db, gen = profiled_client
+    ops = Operations(db, gen.config)
+    rng = random.Random(32)
+    level = min(3, gen.config.levels - 1)
+    start = db.lookup(gen.random_uid_at_level(rng, level))
+    ops.closure_1n(start)  # warm the cache once
+    clock = db.simulated_clock
+
+    def warm_closure():
+        before = clock.now
+        result = ops.closure_1n(start)
+        assert clock.now == before  # fully cached: zero network time
+        return result
+
+    benchmark(warm_closure)
+    benchmark.extra_info["profile"] = name
+    benchmark.extra_info["network_seconds"] = 0.0

@@ -1,0 +1,71 @@
+"""T-multiuser — the section 7 parallel-applications experiment.
+
+"Starting up two and more HyperModel applications in parallel and
+running the operations as for the single user case": N clients share
+one simulated server; the read mix measures how the centralized server
+bounds aggregate throughput while per-client caches keep warm work
+local (R6/R7), and the update load stages the non-conflicting
+multi-user write workload the paper calls out as the hard case.
+"""
+
+import pytest
+
+from benchmarks.conftest import LEVEL
+from repro.backends.clientserver import ClientServerDatabase
+from repro.concurrency.multiuser import run_read_load, run_update_load
+from repro.core.config import HyperModelConfig
+from repro.core.generator import DatabaseGenerator
+from repro.netsim.server import ObjectServer
+
+
+@pytest.fixture(scope="module")
+def shared_server():
+    server = ObjectServer()
+    loader = ClientServerDatabase(server=server)
+    loader.open()
+    config = HyperModelConfig(levels=min(LEVEL, 4))
+    gen = DatabaseGenerator(config).generate(loader)
+    loader.commit()
+    loader.close()
+    return server, gen
+
+
+@pytest.mark.benchmark(group="multiuser read load (section 7)")
+@pytest.mark.parametrize("users", [1, 2, 4, 8])
+def test_parallel_read_load(benchmark, shared_server, users):
+    server, gen = shared_server
+
+    def load():
+        return run_read_load(
+            server, gen, users=users, operations_per_user=25
+        )
+
+    result = benchmark.pedantic(load, rounds=3, iterations=1)
+    benchmark.extra_info["users"] = users
+    benchmark.extra_info["server_seconds"] = result.server_seconds
+    benchmark.extra_info["aggregate_ops_per_second"] = (
+        result.aggregate_ops_per_second
+    )
+    benchmark.extra_info["cache_hit_ratios"] = result.per_user_cache_hit_ratio
+    assert result.total_operations == users * 25
+
+
+@pytest.mark.benchmark(group="multiuser disjoint updates (section 7)")
+@pytest.mark.parametrize("users", [2, 4])
+def test_parallel_update_load(benchmark, shared_server, users):
+    server, gen = shared_server
+    state = {"round": 0}
+
+    def load():
+        # Alternate forward/backward edit rounds so the database ends
+        # each pair of rounds in its original state.
+        state["round"] += 1
+        return run_update_load(
+            server, gen, users=users, edits_per_user=2,
+            seed=1990 + state["round"] % 2,
+        )
+
+    result = benchmark.pedantic(load, rounds=2, iterations=1)
+    benchmark.extra_info["users"] = users
+    benchmark.extra_info["total_edits"] = result.total_edits
+    assert result.all_edits_visible_everywhere

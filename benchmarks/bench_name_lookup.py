@@ -1,0 +1,29 @@
+"""T-01/T-02 — section 6.1 Name Lookup.
+
+Op 01 resolves a uniqueId key (index path) and returns the node's
+``hundred``; op 02 starts from an object reference (OID path) where the
+backend has one.  Expected shape: memory fastest; OID lookup no slower
+than key lookup; client/server pays a round trip on cache misses.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_driver, skip_if_not_applicable
+
+
+@pytest.mark.benchmark(group="op01 nameLookup")
+def test_op01_name_lookup(benchmark, cell):
+    driver = make_driver(cell, "01")
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark.extra_info["level"] = cell.level
+    result = benchmark(driver)
+    assert 1 <= result <= 100  # a hundred-attribute value
+
+
+@pytest.mark.benchmark(group="op02 nameOIDLookup")
+def test_op02_name_oid_lookup(benchmark, cell):
+    skip_if_not_applicable(cell, "02")
+    driver = make_driver(cell, "02")
+    benchmark.extra_info["backend"] = cell.backend_name
+    result = benchmark(driver)
+    assert 1 <= result <= 100

@@ -1,0 +1,54 @@
+"""T-r12 — the ad-hoc query language's plans (requirement R12).
+
+R12 anticipates ad-hoc queries once browsing stops scaling.  This
+bench compares the executor's two plans on the same database: an
+index-seeded range query versus a full-scan predicate, plus the
+aggregate path.  Expected shape: on index-capable backends the range
+plan examines ~selectivity x N nodes and beats the scan plan; `count`
+tracks its underlying plan.
+"""
+
+import pytest
+
+from repro.query import execute
+
+_QUERIES = {
+    "index-range": "find nodes where hundred between 10 and 19",
+    "scan-filter": "find nodes where ten = 5",
+    "count-indexed": "count nodes where million <= 100000",
+    "ordered-top10": "find nodes where ten > 2 order by million desc limit 10",
+}
+
+
+@pytest.mark.benchmark(group="r12 ad-hoc queries")
+@pytest.mark.parametrize("label", sorted(_QUERIES))
+def test_query_plan(benchmark, cell, label):
+    db = cell.db
+    if not db.is_open:
+        db.open()
+    text = _QUERIES[label]
+
+    result = benchmark(lambda: execute(db, text))
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark.extra_info["query"] = text
+    benchmark.extra_info["plan"] = result.plan
+    benchmark.extra_info["matched"] = result.count
+    benchmark.extra_info["examined"] = result.nodes_examined
+
+
+@pytest.mark.benchmark(group="r12 plan comparison (examined nodes)")
+def test_index_examines_fewer_nodes_than_scan(benchmark, cell):
+    db = cell.db
+    if not db.is_open:
+        db.open()
+
+    def both():
+        indexed = execute(db, _QUERIES["index-range"])
+        scanned = execute(db, _QUERIES["scan-filter"])
+        return indexed, scanned
+
+    indexed, scanned = benchmark.pedantic(both, rounds=1, iterations=1)
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark.extra_info["indexed_examined"] = indexed.nodes_examined
+    benchmark.extra_info["scanned_examined"] = scanned.nodes_examined
+    assert indexed.nodes_examined < scanned.nodes_examined

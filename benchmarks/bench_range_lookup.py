@@ -1,0 +1,29 @@
+"""T-03/T-04 — section 6.2 Range Lookup.
+
+Op 03 probes ``hundred`` with 10% selectivity; op 04 probes ``million``
+with 1% selectivity.  Both may use indexes (sqlite B-trees, the
+engine's B+trees); expected shape: the 1% query returns ~10x fewer
+nodes but is not 10x cheaper (per-query overhead), and indexed backends
+beat the memory backend's linear scan per *examined* node at scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_driver
+
+
+@pytest.mark.benchmark(group="op03 rangeLookupHundred")
+def test_op03_range_lookup_hundred(benchmark, cell):
+    driver = make_driver(cell, "03")
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark.extra_info["selectivity"] = "10%"
+    result = benchmark(driver)
+    assert result  # ~10% of the structure
+
+
+@pytest.mark.benchmark(group="op04 rangeLookupMillion")
+def test_op04_range_lookup_million(benchmark, cell):
+    driver = make_driver(cell, "04")
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark.extra_info["selectivity"] = "1%"
+    benchmark(driver)

@@ -1,0 +1,33 @@
+"""T-07A/T-07B/T-08 — section 6.4 Reference Lookup (inverse traversal).
+
+The inverses of the group lookups: parent, part-of, referenced-by.
+Expected shape: comparable to the forward direction for backends that
+materialize both ends (memory, oodb, clientserver); the relational
+backend answers 07B/08 from the join-table's secondary index.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_driver
+
+
+@pytest.mark.benchmark(group="op07A refLookup1N")
+def test_op07a_ref_lookup_1n(benchmark, cell):
+    driver = make_driver(cell, "07A")
+    benchmark.extra_info["backend"] = cell.backend_name
+    result = benchmark(driver)
+    assert len(result) == 1  # inputs exclude the root
+
+
+@pytest.mark.benchmark(group="op07B refLookupMN")
+def test_op07b_ref_lookup_mn(benchmark, cell):
+    driver = make_driver(cell, "07B")
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark(driver)
+
+
+@pytest.mark.benchmark(group="op08 refLookupMNATT")
+def test_op08_ref_lookup_mnatt(benchmark, cell):
+    driver = make_driver(cell, "08")
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark(driver)  # possibly empty, per the paper

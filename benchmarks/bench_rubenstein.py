@@ -1,0 +1,104 @@
+"""T-rube — the /RUBE87/ baseline (section 4).
+
+The seven simple operations the HyperModel incorporates, on the
+Person/Document model, for both the in-memory and the relational
+implementation.  Expected shape: the same ordering the original paper
+reports — name lookup cheapest, sequential scan most expensive in
+total, record insert dominated by commit cost.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.rubenstein import (
+    MemorySimpleDatabase,
+    SimpleGenerator,
+    SimpleOperations,
+    SqliteSimpleDatabase,
+)
+from repro.rubenstein.generator import BIRTH_RANGE
+from repro.rubenstein.operations import RANGE_WIDTH
+
+
+@pytest.fixture(scope="module", params=["memory", "sqlite"])
+def simple(request, tmp_path_factory):
+    if request.param == "memory":
+        db = MemorySimpleDatabase()
+    else:
+        base = tmp_path_factory.mktemp("rube")
+        db = SqliteSimpleDatabase(str(base / "rube.db"))
+    db.open()
+    info = SimpleGenerator(persons=1000, documents=1000).generate(db)
+    yield SimpleOperations(db, info), db, info
+    db.close()
+
+
+def _id_cycle(info, picker, count=50, seed=4):
+    rng = random.Random(seed)
+    return itertools.cycle([picker(rng) for _ in range(count)])
+
+
+@pytest.mark.benchmark(group="rube87 op1 nameLookup")
+def test_rube_name_lookup(benchmark, simple):
+    ops, db, info = simple
+    ids = _id_cycle(info, info.random_person_id)
+    benchmark.extra_info["backend"] = db.backend_name
+    benchmark(lambda: ops.name_lookup(next(ids)))
+
+
+@pytest.mark.benchmark(group="rube87 op2 rangeLookup")
+def test_rube_range_lookup(benchmark, simple):
+    ops, db, info = simple
+    rng = random.Random(5)
+    lows = itertools.cycle(
+        [rng.randint(1, BIRTH_RANGE[1] - RANGE_WIDTH + 1) for _ in range(50)]
+    )
+    benchmark.extra_info["backend"] = db.backend_name
+    benchmark(lambda: ops.range_lookup(next(lows)))
+
+
+@pytest.mark.benchmark(group="rube87 op3 groupLookup")
+def test_rube_group_lookup(benchmark, simple):
+    ops, db, info = simple
+    ids = _id_cycle(info, info.random_person_id)
+    benchmark.extra_info["backend"] = db.backend_name
+    benchmark(lambda: ops.group_lookup(next(ids)))
+
+
+@pytest.mark.benchmark(group="rube87 op4 referenceLookup")
+def test_rube_reference_lookup(benchmark, simple):
+    ops, db, info = simple
+    ids = _id_cycle(info, info.random_document_id)
+    benchmark.extra_info["backend"] = db.backend_name
+    benchmark(lambda: ops.reference_lookup(next(ids)))
+
+
+@pytest.mark.benchmark(group="rube87 op5 recordInsert")
+def test_rube_record_insert(benchmark, simple):
+    ops, db, info = simple
+    rng = random.Random(6)
+    benchmark.extra_info["backend"] = db.backend_name
+    before = ops._insert_id
+    benchmark(lambda: ops.record_insert(rng))
+    for probe in range(before + 1, ops._insert_id + 1):
+        db.delete_person(probe)
+    db.commit()
+
+
+@pytest.mark.benchmark(group="rube87 op6 sequentialScan")
+def test_rube_sequential_scan(benchmark, simple):
+    ops, db, _info = simple
+    benchmark.extra_info["backend"] = db.backend_name
+    result = benchmark(ops.sequential_scan)
+    assert result == 1000
+
+
+@pytest.mark.benchmark(group="rube87 op7 databaseOpen")
+def test_rube_database_open(benchmark, simple):
+    ops, db, _info = simple
+    benchmark.extra_info["backend"] = db.backend_name
+    benchmark(ops.database_open)
+    if not db.is_open:
+        db.open()

@@ -1,0 +1,22 @@
+"""T-09 — section 6.4.1 Sequential Scan.
+
+Every node of the test structure is visited and its ``ten`` read,
+without using the global class extent (the structure tag filters).
+Expected shape: cheapest per node of all operations; the relational
+backend's single-cursor scan wins per node, the OODB pays per-object
+decode cost, the client/server backend pays one fetch per uncached
+node.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_driver
+
+
+@pytest.mark.benchmark(group="op09 seqScan")
+def test_op09_seq_scan(benchmark, cell):
+    driver = make_driver(cell, "09")
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark.extra_info["nodes"] = cell.gen.total_nodes
+    result = benchmark(driver)
+    assert result == cell.gen.total_nodes

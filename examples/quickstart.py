@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: generate a HyperModel test database and run operations.
+
+This is the five-minute tour: build the paper's level-4 test structure
+(781 nodes) on the in-memory backend, verify it against the section 5.2
+contract, then run one operation from each of the seven categories of
+section 6 and print what came back.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    HyperModelConfig,
+    DatabaseGenerator,
+    Operations,
+    verify_database,
+)
+from repro.backends import create_backend
+
+
+def main() -> None:
+    config = HyperModelConfig(levels=4, seed=2026)
+    print(f"HyperModel level-{config.levels} database: "
+          f"{config.total_nodes} nodes "
+          f"({config.text_node_count} text, {config.form_node_count} form), "
+          f"~{config.estimated_size_bytes() / 1e6:.2f} MB")
+
+    db = create_backend("memory")
+    db.open()
+    gen = DatabaseGenerator(config).generate(db)
+    verify_database(db, gen).raise_if_failed()
+    print("generated and verified against the section 5.2 contract\n")
+
+    ops = Operations(db, config)
+    rng = random.Random(7)
+
+    # 6.1 Name lookup: key value -> hundred attribute.
+    uid = gen.random_uid(rng)
+    print(f"op 01 nameLookup({uid})            -> hundred = {ops.name_lookup(uid)}")
+
+    # 6.2 Range lookup, 10% selectivity on hundred.
+    found = ops.range_lookup_hundred(41)
+    print(f"op 03 rangeLookupHundred(41..50)   -> {len(found)} nodes")
+
+    # 6.3 Group lookup: the ordered children of an internal node.
+    internal = db.lookup(gen.random_internal_uid(rng))
+    children = ops.group_lookup_1n(internal)
+    child_uids = [db.get_attribute(c, 'uniqueId') for c in children]
+    print(f"op 05A groupLookup1N               -> children {child_uids}")
+
+    # 6.4 Reference lookup: inverse traversal.
+    node = db.lookup(gen.random_non_root_uid(rng))
+    (parent,) = ops.ref_lookup_1n(node)
+    print(f"op 07A refLookup1N                 -> parent uid "
+          f"{db.get_attribute(parent, 'uniqueId')}")
+
+    # 6.4.1 Sequential scan.
+    print(f"op 09 seqScan                      -> visited {ops.seq_scan()} nodes")
+
+    # 6.5 Closure traversal from a level-3 node (6 nodes at level 4).
+    start = db.lookup(gen.random_uid_at_level(rng, 3))
+    closure = ops.closure_1n(start)
+    print(f"op 10 closure1N                    -> pre-order list of "
+          f"{len(closure)} nodes")
+    db.store_node_list("table-of-contents", closure)
+    print(f"      stored as a node list, reloaded: "
+          f"{len(db.load_node_list('table-of-contents'))} refs")
+
+    # 6.6 A derived closure: sum of hundred over the subtree.
+    print(f"op 11 closure1NAttSum              -> {ops.closure_1n_att_sum(start)}")
+
+    # 6.7 Editing: version1 -> version-2 and back.
+    text_ref = db.lookup(gen.random_text_uid(rng))
+    before = db.get_text(text_ref)[:40]
+    ops.text_node_edit(text_ref)
+    after = db.get_text(text_ref)[:40]
+    ops.text_node_edit(text_ref)  # restore
+    print(f"op 16 textNodeEdit                 -> '{before}...'")
+    print(f"                                   => '{after}...'")
+
+    db.close()
+    print("\ndone — see examples/benchmark_comparison.py for the full grid")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Access control for shared document structures (requirement R11).
+
+R11's scenario: public *read* access on one document structure, public
+*write* access on another, with hypertext links still allowed between
+them.  :mod:`repro.access.acl` provides principals, per-subtree
+policies resolved through the 1-N hierarchy, and a
+:class:`~repro.access.acl.GuardedDatabase` wrapper that enforces them
+on every backend operation.
+"""
+
+from repro.access.acl import (
+    AccessController,
+    GuardedDatabase,
+    Permission,
+    PUBLIC,
+)
+
+__all__ = ["AccessController", "GuardedDatabase", "Permission", "PUBLIC"]

@@ -1,0 +1,20 @@
+"""Database backends implementing the HyperModel interface.
+
+Four backends reproduce the architectural spectrum the paper compares:
+
+* :mod:`repro.backends.memory` — direct object references, the
+  Smalltalk-80-image upper bound;
+* :mod:`repro.backends.sqlite_backend` — a relational mapping on
+  ``sqlite3`` following the /BLAH88/ methodology;
+* :mod:`repro.backends.oodb` — the from-scratch paged object database
+  of :mod:`repro.engine`, with 1-N clustering and B+tree indexes;
+* :mod:`repro.backends.clientserver` — any of the above behind a
+  simulated workstation/server link with an object cache (R6/R7).
+
+:func:`repro.backends.registry.create_backend` builds any of them by
+name.
+"""
+
+from repro.backends.registry import available_backends, create_backend
+
+__all__ = ["available_backends", "create_backend"]

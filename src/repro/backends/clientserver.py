@@ -1,0 +1,394 @@
+"""The client/server backend: a workstation cache over a remote server.
+
+This backend realizes the R6 architecture the paper's protocol was
+written for: node records live on an
+:class:`~repro.netsim.server.ObjectServer`; the workstation keeps an
+LRU :class:`~repro.netsim.cache.WorkstationCache` of fetched records
+and a private write buffer of modified ones.  Reads hit the cache or
+pay a simulated network fetch; :meth:`commit` uploads dirty records;
+:meth:`close` clears the workstation cache (but not the server), which
+is why the next operation sequence runs cold — the exact behaviour the
+section 5.3 protocol measures.
+
+Network time accrues on a virtual clock (see
+:mod:`repro.netsim.latency`); the harness adds the clock delta to wall
+time, so reported figures combine compute and simulated communication.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.bitmap import Bitmap
+from repro.core.interface import HyperModelDatabase, NodeRef
+from repro.core.model import LinkAttributes, NodeData, NodeKind
+from repro.netsim.cache import WorkstationCache
+from repro.netsim.latency import LatencyModel, SimulatedClock
+from repro.netsim.server import ObjectServer
+from repro.errors import (
+    DatabaseClosedError,
+    InvalidOperationError,
+    NodeNotFoundError,
+)
+
+_KIND_NAMES = {
+    NodeKind.NODE: "node",
+    NodeKind.TEXT: "text",
+    NodeKind.FORM: "form",
+}
+_NAMES_KIND = {name: kind for kind, name in _KIND_NAMES.items()}
+
+
+def _copy_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Copy a record including its nested relationship lists.
+
+    A shallow ``dict()`` copy would share the children/parts/refTo
+    lists with the source; a private edit would then silently mutate
+    the cached (or even the server's) copy and survive an abort.
+    """
+    out: Dict[str, Any] = {}
+    for key, value in record.items():
+        if isinstance(value, list):
+            out[key] = [
+                list(item) if isinstance(item, list) else item
+                for item in value
+            ]
+        else:
+            out[key] = value
+    return out
+
+
+def _new_record(data: NodeData) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "uid": data.unique_id,
+        "kind": _KIND_NAMES[data.kind],
+        "ten": data.ten,
+        "hundred": data.hundred,
+        "million": data.million,
+        "struct": data.structure_id,
+        "children": [],
+        "parent": 0,
+        "parts": [],
+        "partOf": [],
+        "refTo": [],
+        "refFrom": [],
+    }
+    if data.kind is NodeKind.TEXT:
+        record["text"] = data.text
+    elif data.kind is NodeKind.FORM:
+        record["width"] = data.bitmap.width
+        record["height"] = data.bitmap.height
+        record["bits"] = data.bitmap.to_bytes()
+    return record
+
+
+class ClientServerDatabase(HyperModelDatabase):
+    """A HyperModel database accessed through a simulated network.
+
+    Args:
+        path: unused (registry signature compatibility); the server
+            lives in process memory and survives close/open.
+        cache_capacity: workstation cache size in objects.
+        latency: the network cost model (defaults to ~1 ms round trips
+            at ~1 MB/s).
+        server: share an existing server between several client
+            handles (the multi-user scenario).
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        cache_capacity: int = 4096,
+        latency: Optional[LatencyModel] = None,
+        server: Optional[ObjectServer] = None,
+    ) -> None:
+        self.simulated_clock: SimulatedClock = (
+            server.clock if server is not None else SimulatedClock()
+        )
+        self.server = server or ObjectServer(self.simulated_clock, latency)
+        self.cache = WorkstationCache(cache_capacity)
+        self.server.subscribe(self.cache)  # coherence invalidations
+        self._local: Dict[int, Dict[str, Any]] = {}  # dirty write buffer
+        self._local_lists: Dict[str, List[int]] = {}
+        self._open = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def open(self) -> None:
+        self._open = True
+
+    def close(self) -> None:
+        """Commit pending work and drop the workstation cache.
+
+        The server keeps its data — reopening starts cold, per the
+        section 5.3(e) protocol step.
+        """
+        if not self._open:
+            return
+        self.commit()
+        self.cache.clear()
+        self.cache.stats.reset()
+        self._open = False
+
+    def commit(self) -> None:
+        """Upload every dirty record and named list to the server.
+
+        Other clients' caches are invalidated for each stored record
+        (the server's coherence broadcast), so published updates become
+        visible everywhere on the next access.
+        """
+        self._require_open()
+        for uid, record in self._local.items():
+            self.server.store(uid, record, from_cache=self.cache)
+            self.cache.put(uid, record)
+        self._local.clear()
+        for name, uids in self._local_lists.items():
+            self.server.store_list(name, uids)
+        self._local_lists.clear()
+
+    def abort(self) -> None:
+        """Discard the local write buffer."""
+        self._local.clear()
+        self._local_lists.clear()
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise DatabaseClosedError("client/server database is not open")
+
+    # -- record access ------------------------------------------------------
+
+    def _fetch(self, uid: int) -> Dict[str, Any]:
+        """Read a record: write buffer, then cache, then the network."""
+        record = self._local.get(uid)
+        if record is not None:
+            return record
+        record = self.cache.get(uid)
+        if record is not None:
+            return record
+        record = self.server.fetch(uid)  # charges the clock
+        self.cache.put(uid, record)
+        return record
+
+    def _fetch_for_write(self, uid: int) -> Dict[str, Any]:
+        """Read a record and move a private copy into the write buffer."""
+        record = self._local.get(uid)
+        if record is not None:
+            return record
+        record = _copy_record(self._fetch(uid))
+        self._local[uid] = record
+        return record
+
+    # -- creation ---------------------------------------------------------
+
+    def create_node(self, data: NodeData) -> NodeRef:
+        self._require_open()
+        uid = data.unique_id
+        if uid in self._local or uid in self.cache or uid in self.server:
+            raise InvalidOperationError(f"duplicate uniqueId {uid}")
+        self._local[uid] = _new_record(data)
+        return uid
+
+    def add_child(self, parent: NodeRef, child: NodeRef) -> None:
+        self._require_open()
+        child_record = self._fetch_for_write(child)
+        if child_record["parent"]:
+            raise InvalidOperationError(f"node {child} already has a parent")
+        parent_record = self._fetch_for_write(parent)
+        parent_record["children"].append(child)
+        child_record["parent"] = parent
+
+    def add_part(self, whole: NodeRef, part: NodeRef) -> None:
+        self._require_open()
+        self._fetch_for_write(whole)["parts"].append(part)
+        self._fetch_for_write(part)["partOf"].append(whole)
+
+    def add_reference(
+        self, source: NodeRef, target: NodeRef, attrs: LinkAttributes
+    ) -> None:
+        self._require_open()
+        self._fetch_for_write(source)["refTo"].append(
+            [target, attrs.offset_from, attrs.offset_to]
+        )
+        self._fetch_for_write(target)["refFrom"].append(source)
+
+    # -- identity ---------------------------------------------------------
+
+    def lookup(self, unique_id: int) -> NodeRef:
+        """Key lookup: a server index probe unless locally known."""
+        self._require_open()
+        if unique_id in self._local or unique_id in self.cache:
+            return unique_id
+        if not self.server.exists(unique_id):  # charges one round trip
+            raise NodeNotFoundError(unique_id)
+        return unique_id
+
+    def get_attribute(self, ref: NodeRef, name: str) -> int:
+        self._require_open()
+        if name == "uniqueId":
+            name = "uid"
+        elif name not in ("ten", "hundred", "million"):
+            raise KeyError(f"unknown node attribute {name!r}")
+        return self._fetch(ref)[name]
+
+    def set_attribute(self, ref: NodeRef, name: str, value: int) -> None:
+        self._require_open()
+        if name == "uniqueId":
+            raise InvalidOperationError("uniqueId is immutable")
+        if name not in ("ten", "hundred", "million"):
+            raise KeyError(f"unknown node attribute {name!r}")
+        self._fetch_for_write(ref)[name] = value
+
+    def kind_of(self, ref: NodeRef) -> NodeKind:
+        self._require_open()
+        return _NAMES_KIND[self._fetch(ref)["kind"]]
+
+    def structure_of(self, ref: NodeRef) -> int:
+        self._require_open()
+        return self._fetch(ref)["struct"]
+
+    # -- range lookups ----------------------------------------------------
+
+    def _merged_range(self, attribute: str, low: int, high: int) -> List[NodeRef]:
+        """Server-side range query corrected by local dirty records."""
+        result = self.server.range_query(attribute, low, high)
+        if not self._local:
+            return result
+        dirty = set(self._local)
+        merged = [uid for uid in result if uid not in dirty]
+        merged += [
+            uid
+            for uid, record in self._local.items()
+            if low <= record[attribute] <= high
+        ]
+        return merged
+
+    def range_hundred(self, low: int, high: int) -> List[NodeRef]:
+        self._require_open()
+        return self._merged_range("hundred", low, high)
+
+    def range_million(self, low: int, high: int) -> List[NodeRef]:
+        self._require_open()
+        return self._merged_range("million", low, high)
+
+    # -- forward traversal -------------------------------------------------
+
+    def children(self, ref: NodeRef) -> List[NodeRef]:
+        self._require_open()
+        return list(self._fetch(ref)["children"])
+
+    def parts(self, ref: NodeRef) -> List[NodeRef]:
+        self._require_open()
+        return list(self._fetch(ref)["parts"])
+
+    def refs_to(self, ref: NodeRef) -> List[Tuple[NodeRef, LinkAttributes]]:
+        self._require_open()
+        return [
+            (dst, LinkAttributes(offset_from, offset_to))
+            for dst, offset_from, offset_to in self._fetch(ref)["refTo"]
+        ]
+
+    # -- inverse traversal ---------------------------------------------------
+
+    def parent(self, ref: NodeRef) -> Optional[NodeRef]:
+        self._require_open()
+        return self._fetch(ref)["parent"] or None
+
+    def part_of(self, ref: NodeRef) -> List[NodeRef]:
+        self._require_open()
+        return list(self._fetch(ref)["partOf"])
+
+    def refs_from(self, ref: NodeRef) -> List[NodeRef]:
+        self._require_open()
+        return list(self._fetch(ref)["refFrom"])
+
+    # -- scan ------------------------------------------------------------------
+
+    def scan_ten(self, structure_id: int = 1) -> int:
+        """Server-side scan: references come back, ``ten`` is read
+        through the cache (faulting at most once per node)."""
+        self._require_open()
+        uids = self.server.scan_structure(structure_id)
+        dirty_extra = [
+            uid
+            for uid, record in self._local.items()
+            if record["struct"] == structure_id and uid not in set(uids)
+        ]
+        count = 0
+        for uid in list(uids) + dirty_extra:
+            _ = self._fetch(uid)["ten"]
+            count += 1
+        return count
+
+    def iter_nodes(self, structure_id: int = 1) -> Iterator[NodeRef]:
+        self._require_open()
+        seen = set()
+        for uid in self.server.scan_structure(structure_id):
+            seen.add(uid)
+            yield uid
+        for uid, record in self._local.items():
+            if record["struct"] == structure_id and uid not in seen:
+                yield uid
+
+    # -- content -----------------------------------------------------------------
+
+    def get_text(self, ref: NodeRef) -> str:
+        self._require_open()
+        record = self._fetch(ref)
+        if record["kind"] != "text":
+            raise InvalidOperationError(f"node {ref} is not a text node")
+        return record["text"]
+
+    def set_text(self, ref: NodeRef, text: str) -> None:
+        self._require_open()
+        record = self._fetch_for_write(ref)
+        if record["kind"] != "text":
+            raise InvalidOperationError(f"node {ref} is not a text node")
+        record["text"] = text
+
+    def get_bitmap(self, ref: NodeRef) -> Bitmap:
+        self._require_open()
+        record = self._fetch(ref)
+        if record["kind"] != "form":
+            raise InvalidOperationError(f"node {ref} is not a form node")
+        return Bitmap.from_bytes(record["width"], record["height"], record["bits"])
+
+    def set_bitmap(self, ref: NodeRef, bitmap: Bitmap) -> None:
+        self._require_open()
+        record = self._fetch_for_write(ref)
+        if record["kind"] != "form":
+            raise InvalidOperationError(f"node {ref} is not a form node")
+        record["width"] = bitmap.width
+        record["height"] = bitmap.height
+        record["bits"] = bitmap.to_bytes()
+
+    # -- result lists ----------------------------------------------------------------
+
+    def store_node_list(self, name: str, refs: Sequence[NodeRef]) -> None:
+        self._require_open()
+        self._local_lists[name] = [int(r) for r in refs]
+
+    def load_node_list(self, name: str) -> List[NodeRef]:
+        self._require_open()
+        if name in self._local_lists:
+            return list(self._local_lists[name])
+        return self.server.load_list(name)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def node_count(self, structure_id: int = 1) -> int:
+        self._require_open()
+        committed = self.server.count(structure_id)
+        extra = sum(
+            1
+            for uid, record in self._local.items()
+            if record["struct"] == structure_id and uid not in self.server
+        )
+        return committed + extra
+
+    @property
+    def backend_name(self) -> str:
+        return "clientserver"

@@ -1,0 +1,91 @@
+"""Backend factory: build any HyperModel backend by name.
+
+Backends are constructed lazily so importing the registry never pulls
+in subsystems the caller does not use.  The registry is the single
+place the harness, the CLI and the examples obtain backends from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.interface import HyperModelDatabase
+from repro.errors import ConfigurationError
+
+
+def _make_memory(path: Optional[str]) -> HyperModelDatabase:
+    from repro.backends.memory import MemoryDatabase
+
+    return MemoryDatabase()
+
+
+def _make_sqlite(path: Optional[str]) -> HyperModelDatabase:
+    from repro.backends.sqlite_backend import SqliteDatabase
+
+    return SqliteDatabase(path or ":memory:")
+
+
+def _make_sqlite_file(path: Optional[str]) -> HyperModelDatabase:
+    from repro.backends.sqlite_backend import SqliteDatabase
+
+    if path is None:
+        raise ConfigurationError("sqlite-file backend requires a path")
+    return SqliteDatabase(path)
+
+
+def _make_oodb(path: Optional[str]) -> HyperModelDatabase:
+    from repro.backends.oodb import OodbDatabase
+
+    if path is None:
+        raise ConfigurationError("oodb backend requires a path")
+    return OodbDatabase(path)
+
+
+def _make_oodb_unclustered(path: Optional[str]) -> HyperModelDatabase:
+    from repro.backends.oodb import OodbDatabase
+
+    if path is None:
+        raise ConfigurationError("oodb-unclustered backend requires a path")
+    return OodbDatabase(path, clustered=False)
+
+
+def _make_clientserver(path: Optional[str]) -> HyperModelDatabase:
+    from repro.backends.clientserver import ClientServerDatabase
+
+    return ClientServerDatabase(path)
+
+
+_FACTORIES: Dict[str, Callable[[Optional[str]], HyperModelDatabase]] = {
+    "memory": _make_memory,
+    "sqlite": _make_sqlite,
+    "sqlite-file": _make_sqlite_file,
+    "oodb": _make_oodb,
+    "oodb-unclustered": _make_oodb_unclustered,
+    "clientserver": _make_clientserver,
+}
+
+
+def available_backends() -> List[str]:
+    """Names accepted by :func:`create_backend`, in registry order."""
+    return list(_FACTORIES)
+
+
+def create_backend(name: str, path: Optional[str] = None) -> HyperModelDatabase:
+    """Construct a closed backend instance by registry name.
+
+    Args:
+        name: one of :func:`available_backends`.
+        path: filesystem location for file-backed backends; ignored by
+            purely in-memory ones.
+
+    Raises:
+        ConfigurationError: for an unknown name or a missing required
+            path.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; available: {', '.join(_FACTORIES)}"
+        ) from None
+    return factory(path)

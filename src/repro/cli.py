@@ -1,0 +1,299 @@
+"""The ``hypermodel`` command-line interface.
+
+Subcommands:
+
+* ``info``       — print the sizing table for levels 4-6 (section 5.2);
+* ``generate``   — build a test database into a backend file;
+* ``verify``     — structurally verify a freshly generated database;
+* ``run``        — run the benchmark grid and print the report tables;
+* ``query``      — evaluate an ad-hoc query against a generated database;
+* ``rubenstein`` — run the /RUBE87/ baseline benchmark;
+* ``maintain``   — R10 maintenance on an oodb file: vacuum / backup / gc;
+* ``r7``         — print the R7 objects-per-second assessment table.
+
+Every subcommand is driven by the same library code the tests and the
+pytest benchmarks use; the CLI only parses arguments and prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import HyperModelConfig
+
+
+def _add_common_db_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default="memory",
+        help="backend registry name (default: memory)",
+    )
+    parser.add_argument(
+        "--path", default=None, help="database file for file-backed backends"
+    )
+    parser.add_argument(
+        "--level", type=int, default=4, help="leaf level (paper: 4, 5 or 6)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=19880301, help="generation seed"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hypermodel",
+        description="The HyperModel benchmark (EDBT 1990), reproduced in Python.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the section 5.2 sizing table")
+
+    generate = sub.add_parser("generate", help="build a test database")
+    _add_common_db_args(generate)
+
+    verify = sub.add_parser("verify", help="generate and verify a database")
+    _add_common_db_args(verify)
+
+    run = sub.add_parser("run", help="run the benchmark grid")
+    run.add_argument(
+        "--backends",
+        default="memory,sqlite,oodb,clientserver",
+        help="comma-separated backend names",
+    )
+    run.add_argument(
+        "--levels", default="4", help="comma-separated leaf levels"
+    )
+    run.add_argument(
+        "--ops", default=None, help="comma-separated operation ids (default: all)"
+    )
+    run.add_argument(
+        "--repetitions", type=int, default=50, help="runs per cold/warm pass"
+    )
+    run.add_argument("--seed", type=int, default=19880301)
+    run.add_argument(
+        "--save", default=None, help="write results JSON to this path"
+    )
+
+    query = sub.add_parser("query", help="run an ad-hoc query (R12)")
+    _add_common_db_args(query)
+    query.add_argument("text", help='e.g. "find nodes where hundred between 1 and 10"')
+
+    rube = sub.add_parser("rubenstein", help="run the RUBE87 baseline")
+    rube.add_argument("--backend", default="sqlite", choices=["memory", "sqlite"])
+    rube.add_argument("--persons", type=int, default=1000)
+    rube.add_argument("--documents", type=int, default=1000)
+    rube.add_argument("--repetitions", type=int, default=50)
+
+    maintain = sub.add_parser(
+        "maintain", help="vacuum / backup / gc an oodb database file"
+    )
+    maintain.add_argument("action", choices=["vacuum", "backup", "gc"])
+    maintain.add_argument("path", help="the .hmdb database file")
+    maintain.add_argument(
+        "--target", default=None, help="backup destination (backup only)"
+    )
+    maintain.add_argument(
+        "--roots",
+        default=None,
+        help="comma-separated root uniqueIds (gc only; default: node 1)",
+    )
+
+    sub.add_parser("r7", help="print the R7 latency-profile assessment")
+
+    return parser
+
+
+def _cmd_info() -> int:
+    print("HyperModel test-database sizes (fan-out 5; section 5.2)")
+    print(f"{'level':>6} {'nodes':>8} {'text':>7} {'form':>6} {'~bytes':>12}")
+    for level in (4, 5, 6):
+        cfg = HyperModelConfig(levels=level)
+        print(
+            f"{level:>6} {cfg.total_nodes:>8} {cfg.text_node_count:>7} "
+            f"{cfg.form_node_count:>6} {cfg.estimated_size_bytes():>12,}"
+        )
+    return 0
+
+
+def _make_db(args: argparse.Namespace):
+    from repro.backends import create_backend
+
+    return create_backend(args.backend, args.path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.core.generator import DatabaseGenerator
+
+    db = _make_db(args)
+    db.open()
+    config = HyperModelConfig(levels=args.level, seed=args.seed)
+    gen = DatabaseGenerator(config).generate(db)
+    db.commit()
+    print(
+        f"generated {gen.total_nodes} nodes "
+        f"({len(gen.text_uids)} text, {len(gen.form_uids)} form) "
+        f"into {db.backend_name}"
+    )
+    for phase, ms in {
+        **{f"node-{k}": v for k, v in gen.stats.per_node_ms().items()},
+        **{f"rel-{k}": v for k, v in gen.stats.per_relationship_ms().items()},
+    }.items():
+        print(f"  {phase:<14} {ms:8.4f} ms/item")
+    db.close()
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.generator import DatabaseGenerator
+    from repro.core.verification import verify_database
+
+    db = _make_db(args)
+    db.open()
+    config = HyperModelConfig(levels=args.level, seed=args.seed)
+    gen = DatabaseGenerator(config).generate(db)
+    db.commit()
+    report = verify_database(db, gen)
+    db.close()
+    if report.ok:
+        print(f"OK: {report.checks_run} checks passed")
+        return 0
+    for problem in report.problems:
+        print(f"FAIL: {problem}")
+    return 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness import BenchmarkRunner, RunnerConfig
+    from repro.harness.report import full_report
+
+    config = RunnerConfig(
+        backends=args.backends.split(","),
+        levels=[int(level) for level in args.levels.split(",")],
+        op_ids=args.ops.split(",") if args.ops else None,
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    runner = BenchmarkRunner(config)
+    try:
+        results, _creation = runner.run()
+        print(full_report(results, title="HyperModel benchmark results"))
+        if args.save:
+            results.save(args.save)
+            print(f"results written to {args.save}")
+    finally:
+        runner.close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.core.generator import DatabaseGenerator
+    from repro.query import execute
+
+    db = _make_db(args)
+    db.open()
+    config = HyperModelConfig(levels=args.level, seed=args.seed)
+    DatabaseGenerator(config).generate(db)
+    db.commit()
+    result = execute(db, args.text)
+    print(f"plan: {result.plan}")
+    print(f"matched {len(result)} nodes ({result.nodes_examined} examined)")
+    uids = sorted(db.get_attribute(ref, "uniqueId") for ref in result)
+    preview = ", ".join(str(uid) for uid in uids[:20])
+    if len(uids) > 20:
+        preview += ", ..."
+    print(f"uniqueIds: {preview}")
+    db.close()
+    return 0
+
+
+def _cmd_rubenstein(args: argparse.Namespace) -> int:
+    from repro.rubenstein import (
+        MemorySimpleDatabase,
+        SimpleGenerator,
+        SimpleOperations,
+        SqliteSimpleDatabase,
+    )
+
+    db = (
+        MemorySimpleDatabase()
+        if args.backend == "memory"
+        else SqliteSimpleDatabase(":memory:")
+    )
+    db.open()
+    info = SimpleGenerator(args.persons, args.documents).generate(db)
+    ops = SimpleOperations(db, info)
+    results = ops.run_all(repetitions=args.repetitions)
+    print(
+        f"RUBE87 baseline on {db.backend_name}: "
+        f"{info.persons} persons, {info.documents} documents"
+    )
+    for name, stats in results.items():
+        print(f"  {name:<16} {stats.mean:9.4f} ms/op  (median {stats.median:.4f})")
+    db.close()
+    return 0
+
+
+def _cmd_maintain(args: argparse.Namespace) -> int:
+    from repro.backends.oodb import OodbDatabase
+
+    db = OodbDatabase(args.path)
+    db.open()
+    try:
+        if args.action == "vacuum":
+            stats = db.store.vacuum()
+            print(
+                f"vacuumed: {stats.size_before:,} -> {stats.size_after:,} "
+                f"bytes ({stats.reclaimed:,} reclaimed)"
+            )
+        elif args.action == "backup":
+            if not args.target:
+                print("backup requires --target")
+                return 1
+            db.backup(args.target)
+            print(f"snapshot written to {args.target}")
+        else:  # gc
+            root_uids = (
+                [int(u) for u in args.roots.split(",")]
+                if args.roots
+                else [1]
+            )
+            roots = [db.lookup(uid) for uid in root_uids]
+            stats = db.collect_garbage(roots)
+            print(
+                f"gc: {stats.collected} collected, {stats.live} live "
+                f"(from {stats.roots} roots)"
+            )
+    finally:
+        db.close()
+    return 0
+
+
+def _cmd_r7() -> int:
+    from repro.netsim.profiles import r7_table
+
+    print("R7: uncached object faulting vs the 100-10,000 objects/s band")
+    print(r7_table())
+    print("('cache? needed' = only workstation caching reaches the band)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "info": lambda: _cmd_info(),
+        "generate": lambda: _cmd_generate(args),
+        "verify": lambda: _cmd_verify(args),
+        "run": lambda: _cmd_run(args),
+        "query": lambda: _cmd_query(args),
+        "rubenstein": lambda: _cmd_rubenstein(args),
+        "maintain": lambda: _cmd_maintain(args),
+        "r7": lambda: _cmd_r7(),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

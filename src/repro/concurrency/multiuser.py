@@ -1,0 +1,183 @@
+"""Parallel multi-user load over one server (the section 7 experiment).
+
+The paper: "We have done some experiments with multi-user aspects by
+starting up two and more HyperModel applications in parallel and
+running the operations as for the single user case."  This module
+reproduces that setup deterministically: N client handles share one
+:class:`~repro.netsim.server.ObjectServer`, and a round-robin scheduler
+interleaves one operation per client per round — a deterministic stand-
+in for concurrent execution that keeps results reproducible.
+
+Two load shapes:
+
+* :func:`run_read_load` — the paper's single-user operation mix run by
+  every client.  All requests serialize through the one server (its
+  virtual clock is shared), so aggregate throughput is server-bound —
+  quantifying R6's note that "most multi-user mechanisms require some
+  centralized control which degrades performance" while each client's
+  *warm* operations stay local and fast.
+* :func:`run_update_load` — clients edit *disjoint* text-node sets and
+  commit, then every client verifies it observes all published edits —
+  the non-conflicting update workload the paper wanted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Dict, List
+
+from repro.backends.clientserver import ClientServerDatabase
+from repro.core.generator import GeneratedDatabase
+from repro.core.operations import Operations
+from repro.core.text import edit_text_forward
+from repro.netsim.server import ObjectServer
+
+
+@dataclasses.dataclass
+class ParallelLoadResult:
+    """Outcome of one multi-user load run."""
+
+    users: int
+    operations_per_user: int
+    total_operations: int
+    server_seconds: float
+    per_user_cache_hit_ratio: List[float]
+
+    @property
+    def aggregate_ops_per_second(self) -> float:
+        """Total operations over total (simulated) server time."""
+        if self.server_seconds <= 0:
+            return float("inf")
+        return self.total_operations / self.server_seconds
+
+
+def _make_clients(server: ObjectServer, users: int) -> List[ClientServerDatabase]:
+    clients = []
+    for _ in range(users):
+        client = ClientServerDatabase(server=server)
+        client.open()
+        clients.append(client)
+    return clients
+
+
+def _operation_mix(
+    ops: Operations, gen: GeneratedDatabase, rng: random.Random
+) -> List[Callable[[], object]]:
+    """The paper's 'single user case' mix: one op per read category."""
+    db = ops.db
+    level = min(3, gen.config.levels - 1)
+    return [
+        lambda: ops.name_lookup(gen.random_uid(rng)),
+        lambda: ops.group_lookup_1n(db.lookup(gen.random_internal_uid(rng))),
+        lambda: ops.ref_lookup_1n(db.lookup(gen.random_non_root_uid(rng))),
+        lambda: ops.closure_1n(db.lookup(gen.random_uid_at_level(rng, level))),
+        lambda: ops.closure_mnatt(db.lookup(gen.random_uid_at_level(rng, level))),
+    ]
+
+
+def run_read_load(
+    server: ObjectServer,
+    gen: GeneratedDatabase,
+    users: int = 2,
+    operations_per_user: int = 50,
+    seed: int = 1989,
+) -> ParallelLoadResult:
+    """Run the read-only operation mix on N parallel clients.
+
+    Returns per-user cache behaviour and the shared server's simulated
+    time, from which aggregate throughput follows.
+    """
+    clients = _make_clients(server, users)
+    schedules: List[List[Callable[[], object]]] = []
+    for index, client in enumerate(clients):
+        rng = random.Random(seed + index)
+        ops = Operations(client, gen.config)
+        mix = _operation_mix(ops, gen, rng)
+        schedules.append(
+            [mix[i % len(mix)] for i in range(operations_per_user)]
+        )
+
+    started = server.clock.now
+    for round_number in range(operations_per_user):
+        for schedule in schedules:  # round-robin interleaving
+            schedule[round_number]()
+    elapsed = server.clock.now - started
+
+    hit_ratios = [client.cache.stats.hit_ratio for client in clients]
+    for client in clients:
+        client.close()
+    return ParallelLoadResult(
+        users=users,
+        operations_per_user=operations_per_user,
+        total_operations=users * operations_per_user,
+        server_seconds=elapsed,
+        per_user_cache_hit_ratio=hit_ratios,
+    )
+
+
+@dataclasses.dataclass
+class UpdateLoadResult:
+    """Outcome of the non-conflicting update workload."""
+
+    users: int
+    edits_per_user: int
+    published: Dict[int, List[int]]
+    all_edits_visible_everywhere: bool
+
+    @property
+    def total_edits(self) -> int:
+        """Edits committed across all users."""
+        return sum(len(uids) for uids in self.published.values())
+
+
+def run_update_load(
+    server: ObjectServer,
+    gen: GeneratedDatabase,
+    users: int = 2,
+    edits_per_user: int = 3,
+    seed: int = 1990,
+) -> UpdateLoadResult:
+    """Disjoint-update workload: each client edits its own text nodes.
+
+    After every client commits, each client re-reads *all* edited nodes
+    through its own cache-missing path and checks the edits are
+    visible — the shareability half of R9, across real client handles.
+    """
+    rng = random.Random(seed)
+    needed = users * edits_per_user
+    if needed > len(gen.text_uids):
+        raise ValueError("structure has too few text nodes for this load")
+    chosen = rng.sample(gen.text_uids, needed)
+    assignments = {
+        user: chosen[user * edits_per_user : (user + 1) * edits_per_user]
+        for user in range(users)
+    }
+
+    clients = _make_clients(server, users)
+    # Interleaved edits, then interleaved commits.
+    for position in range(edits_per_user):
+        for user, client in enumerate(clients):
+            uid = assignments[user][position]
+            ref = client.lookup(uid)
+            client.set_text(ref, edit_text_forward(client.get_text(ref)))
+    for client in clients:
+        client.commit()
+
+    # Cross-visibility: fresh caches, then verify every edit.
+    all_visible = True
+    for client in clients:
+        client.cache.clear()
+        for uids in assignments.values():
+            for uid in uids:
+                text = client.get_text(client.lookup(uid))
+                if "version-2" not in text:
+                    all_visible = False
+    for client in clients:
+        client.close()
+    return UpdateLoadResult(
+        users=users,
+        edits_per_user=edits_per_user,
+        published=assignments,
+        all_edits_visible_everywhere=all_visible,
+    )

@@ -1,0 +1,137 @@
+"""Deterministic multi-user scenario drivers (the section 7 experiment).
+
+The paper reports early multi-user experiments: several HyperModel
+applications running the single-user operations in parallel, with the
+caveat that optimistic systems make non-conflicting update workloads
+hard to stage.  These drivers reproduce both sides:
+
+* :func:`run_cooperative_scenario` — the R9 success case: each user
+  checks out a *disjoint* set of nodes of the same structure, edits
+  privately, and checks in; everything publishes, nothing conflicts;
+* :func:`run_conflicting_scenario` — two users target the *same* node;
+  exactly one check-out wins and the loser observes the conflict.
+
+Interleaving is deterministic (round-robin over scripted steps), so the
+scenarios are usable as tests, not just demonstrations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List
+
+from repro.concurrency.workspace import SharedStore, Workspace
+from repro.core.generator import GeneratedDatabase
+from repro.core.interface import HyperModelDatabase
+from repro.core.text import edit_text_forward
+from repro.errors import CheckOutConflictError
+
+
+@dataclasses.dataclass
+class CooperativeScenarioResult:
+    """What happened in a multi-user scenario run."""
+
+    users: int
+    nodes_per_user: int
+    published: List[List[int]]
+    conflicts: int
+
+    @property
+    def total_published(self) -> int:
+        """Total nodes whose edits became shareable."""
+        return sum(len(p) for p in self.published)
+
+
+def _disjoint_text_uids(
+    gen: GeneratedDatabase, users: int, nodes_per_user: int, seed: int
+) -> List[List[int]]:
+    rng = random.Random(seed)
+    needed = users * nodes_per_user
+    if needed > len(gen.text_uids):
+        raise ValueError(
+            f"scenario needs {needed} text nodes, structure has "
+            f"{len(gen.text_uids)}"
+        )
+    chosen = rng.sample(gen.text_uids, needed)
+    return [
+        chosen[i * nodes_per_user : (i + 1) * nodes_per_user]
+        for i in range(users)
+    ]
+
+
+def run_cooperative_scenario(
+    db: HyperModelDatabase,
+    gen: GeneratedDatabase,
+    users: int = 2,
+    nodes_per_user: int = 3,
+    seed: int = 7,
+) -> CooperativeScenarioResult:
+    """Two (or more) users update *different* nodes of one structure.
+
+    Steps, interleaved round-robin: every user checks out their nodes,
+    then every user edits every draft, then every user checks in.
+    All check-outs succeed (the sets are disjoint) and every edit is
+    published — requirement R9's scenario end to end.
+    """
+    shared = SharedStore(db)
+    assignments = _disjoint_text_uids(gen, users, nodes_per_user, seed)
+    workspaces: List[Workspace] = [
+        shared.workspace(f"user-{i}") for i in range(users)
+    ]
+
+    # Round 1: everyone checks out (interleaved).
+    for position in range(nodes_per_user):
+        for user, workspace in enumerate(workspaces):
+            workspace.check_out(assignments[user][position])
+
+    # Round 2: everyone edits privately.
+    for user, workspace in enumerate(workspaces):
+        for uid in assignments[user]:
+            workspace.set_text(uid, edit_text_forward(workspace.get_text(uid)))
+
+    # Shared state is unchanged while edits are private.
+    published: List[List[int]] = []
+    for workspace in workspaces:
+        published.append(workspace.check_in())
+
+    return CooperativeScenarioResult(
+        users=users,
+        nodes_per_user=nodes_per_user,
+        published=published,
+        conflicts=0,
+    )
+
+
+def run_conflicting_scenario(
+    db: HyperModelDatabase,
+    gen: GeneratedDatabase,
+    seed: int = 11,
+) -> CooperativeScenarioResult:
+    """Two users race for the *same* node: one wins, one conflicts."""
+    shared = SharedStore(db)
+    rng = random.Random(seed)
+    uid = gen.random_text_uid(rng)
+    winner = shared.workspace("winner")
+    loser = shared.workspace("loser")
+
+    winner.check_out(uid)
+    conflicts = 0
+    try:
+        loser.check_out(uid)
+    except CheckOutConflictError:
+        conflicts = 1
+
+    winner.set_text(uid, edit_text_forward(winner.get_text(uid)))
+    published = winner.check_in()
+
+    # The reservation is released after check-in: the loser may retry.
+    loser.check_out(uid)
+    loser.abandon()
+
+    return CooperativeScenarioResult(
+        users=2,
+        nodes_per_user=1,
+        published=[published, []],
+        conflicts=conflicts,
+    )

@@ -1,0 +1,28 @@
+"""Core of the HyperModel benchmark.
+
+This subpackage contains everything the paper defines at the conceptual
+level: the schema (section 5.1), the test-database generator (section
+5.2), the benchmark operations (section 6) and the structural
+verification of generated databases.  Nothing in here depends on a
+concrete storage backend; all operations are written against the
+:class:`repro.core.interface.HyperModelDatabase` protocol.
+"""
+
+from repro.core.config import HyperModelConfig, LEVEL_NODE_COUNTS
+from repro.core.model import NodeKind, NodeData, LinkAttributes
+from repro.core.interface import HyperModelDatabase
+from repro.core.generator import DatabaseGenerator, GenerationStats
+from repro.core.operations import Operations, OperationCatalog
+
+__all__ = [
+    "HyperModelConfig",
+    "LEVEL_NODE_COUNTS",
+    "NodeKind",
+    "NodeData",
+    "LinkAttributes",
+    "HyperModelDatabase",
+    "DatabaseGenerator",
+    "GenerationStats",
+    "Operations",
+    "OperationCatalog",
+]

@@ -1,0 +1,154 @@
+"""Form-node content: bit-packed bitmaps and the invert edit (op 17).
+
+Section 5.1 specifies a form node as an initially white (all zero)
+bitmap with each dimension drawn uniformly from 100..400 pixels.  The
+editing operation (op 17) inverts a 25x25 sub-rectangle whose top-left
+corner sits at (50, 50).
+
+The bitmap is stored bit-packed, eight pixels per byte, row-major with
+rows padded to whole bytes — this makes an average 250x250 bitmap weigh
+about 7.8 kB, matching the paper's FormNode size estimate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Tuple
+
+
+class Bitmap:
+    """A mutable 1-bit-deep image, bit-packed row-major.
+
+    Pixel (x, y) is bit ``x % 8`` (most significant bit first) of byte
+    ``y * row_bytes + x // 8``.  A zero bit is "white", a one bit is
+    "black"; freshly created bitmaps are all white per the paper.
+    """
+
+    __slots__ = ("width", "height", "_row_bytes", "_bits")
+
+    def __init__(self, width: int, height: int, bits: bytes = b"") -> None:
+        if width < 1 or height < 1:
+            raise ValueError("bitmap dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._row_bytes = (width + 7) // 8
+        expected = self._row_bytes * height
+        if bits:
+            if len(bits) != expected:
+                raise ValueError(
+                    f"expected {expected} bytes of bits, got {len(bits)}"
+                )
+            self._bits = bytearray(bits)
+        else:
+            self._bits = bytearray(expected)
+
+    # ------------------------------------------------------------------
+    # Pixel access
+    # ------------------------------------------------------------------
+
+    def _index(self, x: int, y: int) -> Tuple[int, int]:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise IndexError(f"pixel ({x}, {y}) outside {self.width}x{self.height}")
+        return y * self._row_bytes + x // 8, 7 - (x % 8)
+
+    def get(self, x: int, y: int) -> int:
+        """Return pixel (x, y) as 0 (white) or 1 (black)."""
+        byte, bit = self._index(x, y)
+        return (self._bits[byte] >> bit) & 1
+
+    def set(self, x: int, y: int, value: int) -> None:
+        """Set pixel (x, y) to 0 or 1."""
+        byte, bit = self._index(x, y)
+        if value:
+            self._bits[byte] |= 1 << bit
+        else:
+            self._bits[byte] &= ~(1 << bit)
+
+    def invert_rect(self, x: int, y: int, width: int, height: int) -> None:
+        """Invert every pixel of the given sub-rectangle (op 17).
+
+        The rectangle is clipped to the bitmap, so inverting near an
+        edge of a small bitmap is well defined (the paper draws bitmap
+        sizes down to 100x100 while the edit rectangle reaches x=75).
+        """
+        x_end = min(x + width, self.width)
+        y_end = min(y + height, self.height)
+        for yy in range(max(y, 0), y_end):
+            for xx in range(max(x, 0), x_end):
+                byte, bit = yy * self._row_bytes + xx // 8, 7 - (xx % 8)
+                self._bits[byte] ^= 1 << bit
+
+    def popcount(self) -> int:
+        """Number of black (set) pixels; 0 for a fresh white bitmap."""
+        total = 0
+        full_mask = (1 << 8) - 1
+        tail_bits = self.width % 8
+        for y in range(self.height):
+            row_start = y * self._row_bytes
+            for i in range(self._row_bytes):
+                byte = self._bits[row_start + i]
+                if tail_bits and i == self._row_bytes - 1:
+                    byte &= full_mask << (8 - tail_bits) & full_mask
+                total += bin(byte).count("1")
+        return total
+
+    def is_white(self) -> bool:
+        """Whether every pixel is 0 (the generated initial state)."""
+        return not any(self._bits)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Return the packed pixel data (without dimensions)."""
+        return bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, width: int, height: int, bits: bytes) -> "Bitmap":
+        """Rebuild a bitmap from dimensions plus packed pixel data."""
+        return cls(width, height, bits)
+
+    def copy(self) -> "Bitmap":
+        """Return an independent copy of this bitmap."""
+        return Bitmap(self.width, self.height, bytes(self._bits))
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes of packed pixel storage."""
+        return len(self._bits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return (
+            self.width == other.width
+            and self.height == other.height
+            and self._bits == other._bits
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - bitmaps are mutable
+        raise TypeError("Bitmap is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"Bitmap({self.width}x{self.height}, "
+            f"{self.popcount()} black pixels)"
+        )
+
+    def rows(self) -> Iterator[bytes]:
+        """Iterate the packed rows (padding bits included)."""
+        for y in range(self.height):
+            start = y * self._row_bytes
+            yield bytes(self._bits[start : start + self._row_bytes])
+
+
+def generate_bitmap(
+    rng: random.Random, min_dim: int = 100, max_dim: int = 400
+) -> Bitmap:
+    """Create the initial white bitmap of a form node (section 5.1).
+
+    Width and height are drawn independently and uniformly from the
+    inclusive ``min_dim``..``max_dim`` range.
+    """
+    return Bitmap(rng.randint(min_dim, max_dim), rng.randint(min_dim, max_dim))

@@ -1,0 +1,210 @@
+"""Benchmark configuration and the sizing formulas of section 5.2.
+
+The paper fixes a fan-out of five and leaf levels of 4, 5 or 6, but its
+N.B. explicitly demands that levels, fan-outs and content sizes be
+*parameters*, not constants baked into schema or operations.  This
+module captures the whole parameter space in one immutable
+:class:`HyperModelConfig` and provides the closed-form node-count and
+byte-size formulas the paper quotes (19 531 nodes and roughly 8 MB at
+level 6; one more level multiplies both by five).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Total node counts the paper quotes for each leaf level with fan-out 5.
+LEVEL_NODE_COUNTS: Dict[int, int] = {4: 781, 5: 3906, 6: 19531, 7: 97656}
+
+#: Approximate byte sizes from section 5.2, used by the size model.
+BYTES_PER_NODE = 80
+BYTES_PER_TEXT_NODE = 380
+BYTES_PER_FORM_NODE = 7800
+BYTES_PER_LINK = 25
+
+
+@dataclasses.dataclass(frozen=True)
+class HyperModelConfig:
+    """All generation parameters of the HyperModel test database.
+
+    The defaults reproduce the paper's level-4 database (the smallest
+    of the three sizes); pass ``levels=5`` or ``levels=6`` for the
+    larger ones.
+
+    Attributes:
+        levels: level of the leaves in the 1-N hierarchy (root is 0).
+        fanout: children per internal node in the 1-N hierarchy.
+        parts_per_node: M-N parts drawn per internal node (paper: 5).
+        text_nodes_per_form_node: leaf mix ratio (paper: 125).
+        min_words / max_words: words per text node (paper: 10-100).
+        min_word_length / max_word_length: characters per word (1-10).
+        min_bitmap_dim / max_bitmap_dim: square-ish bitmap side range
+            in pixels (paper: 100-400).
+        max_offset: exclusive upper bound of link offsets (paper: 0-9,
+            so ``max_offset=10``).
+        closure_depth: run-time depth bound for the M-N-attribute
+            closure operations (paper: 25).
+        seed: seed of the uniform PRNG used for every random draw.
+    """
+
+    levels: int = 4
+    fanout: int = 5
+    parts_per_node: int = 5
+    text_nodes_per_form_node: int = 125
+    min_words: int = 10
+    max_words: int = 100
+    min_word_length: int = 1
+    max_word_length: int = 10
+    min_bitmap_dim: int = 100
+    max_bitmap_dim: int = 400
+    max_offset: int = 10
+    closure_depth: int = 25
+    seed: int = 19880301
+
+    def __post_init__(self) -> None:
+        if self.levels < 1:
+            raise ConfigurationError("levels must be >= 1")
+        if self.fanout < 1:
+            raise ConfigurationError("fanout must be >= 1")
+        if self.parts_per_node < 0:
+            raise ConfigurationError("parts_per_node must be >= 0")
+        if self.text_nodes_per_form_node < 1:
+            raise ConfigurationError("text_nodes_per_form_node must be >= 1")
+        if not (0 < self.min_words <= self.max_words):
+            raise ConfigurationError("need 0 < min_words <= max_words")
+        if not (0 < self.min_word_length <= self.max_word_length):
+            raise ConfigurationError("need 0 < min_word_length <= max_word_length")
+        if not (0 < self.min_bitmap_dim <= self.max_bitmap_dim):
+            raise ConfigurationError("need 0 < min_bitmap_dim <= max_bitmap_dim")
+        if self.max_offset < 1:
+            raise ConfigurationError("max_offset must be >= 1")
+        if self.closure_depth < 1:
+            raise ConfigurationError("closure_depth must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Counting formulas (section 5.2)
+    # ------------------------------------------------------------------
+
+    def nodes_at_level(self, level: int) -> int:
+        """Number of nodes at ``level`` (root = level 0)."""
+        if not 0 <= level <= self.levels:
+            raise ConfigurationError(
+                f"level {level} outside 0..{self.levels}"
+            )
+        return self.fanout**level
+
+    @property
+    def total_nodes(self) -> int:
+        """Total node count: 1 + f + f^2 + ... + f^levels."""
+        if self.fanout == 1:
+            return self.levels + 1
+        return (self.fanout ** (self.levels + 1) - 1) // (self.fanout - 1)
+
+    @property
+    def internal_nodes(self) -> int:
+        """Nodes with children: every node except the leaves."""
+        return self.total_nodes - self.leaf_nodes
+
+    @property
+    def leaf_nodes(self) -> int:
+        """Nodes at the leaf level of the 1-N hierarchy."""
+        return self.nodes_at_level(self.levels)
+
+    @property
+    def form_node_count(self) -> int:
+        """Form nodes among the leaves (one per ratio of text nodes).
+
+        The paper's level-6 database has 15 625 leaves split into
+        15 500 text nodes and 125 form nodes, i.e. the leaf population
+        divided by ``text_nodes_per_form_node``.
+        """
+        return self.leaf_nodes // self.text_nodes_per_form_node
+
+    @property
+    def text_node_count(self) -> int:
+        """Text nodes among the leaves."""
+        return self.leaf_nodes - self.form_node_count
+
+    @property
+    def one_n_relationship_count(self) -> int:
+        """1-N parent/child edges: one per node except the root."""
+        return self.total_nodes - 1
+
+    @property
+    def m_n_relationship_count(self) -> int:
+        """M-N part edges: ``parts_per_node`` per internal node."""
+        return self.internal_nodes * self.parts_per_node
+
+    @property
+    def m_n_att_relationship_count(self) -> int:
+        """Attributed M-N edges: exactly one per node."""
+        return self.total_nodes
+
+    def closure_1n_size(self, start_level: int = 3) -> int:
+        """Nodes reached by a 1-N closure from a ``start_level`` node.
+
+        The paper quotes 6, 31 and 156 for levels 4, 5 and 6 with the
+        default start level of three.
+        """
+        depth = self.levels - start_level
+        if depth < 0:
+            raise ConfigurationError(
+                f"start level {start_level} is below the leaves"
+            )
+        if self.fanout == 1:
+            return depth + 1
+        return (self.fanout ** (depth + 1) - 1) // (self.fanout - 1)
+
+    # ------------------------------------------------------------------
+    # Size model (section 5.2's ~8 MB estimate)
+    # ------------------------------------------------------------------
+
+    def estimated_size_bytes(self) -> int:
+        """Approximate database size using the paper's per-item bytes.
+
+        Every node costs 80 bytes, text nodes a further 300 (380
+        total), form nodes a further 7 720 (7 800 total), and each
+        relationship instance 25 bytes.  The level-6 figure comes out
+        at roughly 8 MB, exactly as the paper states.
+        """
+        links = (
+            self.one_n_relationship_count
+            + self.m_n_relationship_count
+            + self.m_n_att_relationship_count
+        )
+        return (
+            self.total_nodes * BYTES_PER_NODE
+            + self.text_node_count * (BYTES_PER_TEXT_NODE - BYTES_PER_NODE)
+            + self.form_node_count * (BYTES_PER_FORM_NODE - BYTES_PER_NODE)
+            + links * BYTES_PER_LINK
+        )
+
+    # ------------------------------------------------------------------
+    # Attribute domains (section 5.1 instance diagram)
+    # ------------------------------------------------------------------
+
+    @property
+    def ten_range(self) -> Tuple[int, int]:
+        """Inclusive domain of the ``ten`` attribute."""
+        return (1, 10)
+
+    @property
+    def hundred_range(self) -> Tuple[int, int]:
+        """Inclusive domain of the ``hundred`` attribute."""
+        return (1, 100)
+
+    @property
+    def million_range(self) -> Tuple[int, int]:
+        """Inclusive domain of the ``million`` attribute."""
+        return (1, 1_000_000)
+
+    def with_levels(self, levels: int) -> "HyperModelConfig":
+        """Return a copy of this configuration at a different level."""
+        return dataclasses.replace(self, levels=levels)
+
+    def with_seed(self, seed: int) -> "HyperModelConfig":
+        """Return a copy of this configuration with a different seed."""
+        return dataclasses.replace(self, seed=seed)

@@ -1,0 +1,343 @@
+"""Test-database generation exactly as section 5.2 specifies.
+
+The generator builds, through the abstract backend interface:
+
+1. the **1-N aggregation hierarchy** — a tree with fan-out 5 (by
+   default) and leaves on level 4, 5 or 6; leaves are text nodes except
+   every ``text_nodes_per_form_node``-th, which is a form node;
+2. the **M-N aggregation** — each non-leaf node is related to 5 random
+   nodes *of the next level*;
+3. the **attributed M-N association** — each node gets exactly one
+   outgoing reference to a random node, with offsets drawn from 0..9.
+
+All draws come from one seeded ``random.Random`` (uniform
+distributions, per the paper's N.B.), so generation is deterministic
+for a given :class:`~repro.core.config.HyperModelConfig`.
+
+The generator also measures what section 5.3 asks to be measured:
+creation time split into internal nodes, leaf nodes and each
+relationship type, each with its commit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from typing import Dict, List, Optional
+
+from repro.core.bitmap import generate_bitmap
+from repro.core.config import HyperModelConfig
+from repro.errors import ConfigurationError
+from repro.core.interface import HyperModelDatabase, NodeRef
+from repro.core.model import LinkAttributes, NodeData, NodeKind
+from repro.core.text import generate_text
+
+
+@dataclasses.dataclass
+class GenerationStats:
+    """Wall-clock seconds of each creation phase (section 5.3 a-d).
+
+    Each figure includes the phase's commit, as the paper requires.
+    ``per_node_ms`` / ``per_relationship_ms`` provide the normalized
+    milliseconds the creation benchmark reports.
+    """
+
+    internal_node_seconds: float = 0.0
+    leaf_node_seconds: float = 0.0
+    one_n_seconds: float = 0.0
+    m_n_seconds: float = 0.0
+    m_n_att_seconds: float = 0.0
+    internal_nodes: int = 0
+    leaf_nodes: int = 0
+    one_n_links: int = 0
+    m_n_links: int = 0
+    m_n_att_links: int = 0
+
+    def per_node_ms(self) -> Dict[str, float]:
+        """Milliseconds per created node, split internal/leaf."""
+        result = {}
+        if self.internal_nodes:
+            result["internal"] = 1000.0 * self.internal_node_seconds / self.internal_nodes
+        if self.leaf_nodes:
+            result["leaf"] = 1000.0 * self.leaf_node_seconds / self.leaf_nodes
+        return result
+
+    def per_relationship_ms(self) -> Dict[str, float]:
+        """Milliseconds per created relationship, split by type."""
+        result = {}
+        if self.one_n_links:
+            result["1-N"] = 1000.0 * self.one_n_seconds / self.one_n_links
+        if self.m_n_links:
+            result["M-N"] = 1000.0 * self.m_n_seconds / self.m_n_links
+        if self.m_n_att_links:
+            result["M-N-att"] = 1000.0 * self.m_n_att_seconds / self.m_n_att_links
+        return result
+
+    @property
+    def total_seconds(self) -> float:
+        """Total creation wall-clock time."""
+        return (
+            self.internal_node_seconds
+            + self.leaf_node_seconds
+            + self.one_n_seconds
+            + self.m_n_seconds
+            + self.m_n_att_seconds
+        )
+
+
+@dataclasses.dataclass
+class GeneratedDatabase:
+    """Handle to a freshly generated test structure.
+
+    Holds the per-level uniqueId index the harness uses to pick random
+    level-3 start nodes, the leaf-kind partition for the editing
+    operations, and the creation statistics.  This metadata lives
+    *outside* the database on purpose: the paper forbids operations
+    from exploiting knowledge of the structure, so only the harness's
+    input-picking uses it.
+    """
+
+    config: HyperModelConfig
+    structure_id: int
+    uids_by_level: List[List[int]]
+    text_uids: List[int]
+    form_uids: List[int]
+    root_uid: int
+    stats: GenerationStats
+
+    @property
+    def total_nodes(self) -> int:
+        """Total nodes generated in this structure."""
+        return sum(len(level) for level in self.uids_by_level)
+
+    def random_uid(self, rng: random.Random) -> int:
+        """A uniformly random uniqueId of this structure."""
+        return rng.randint(self.min_uid, self.max_uid)
+
+    @property
+    def min_uid(self) -> int:
+        """Smallest uniqueId of the structure."""
+        return self.uids_by_level[0][0]
+
+    @property
+    def max_uid(self) -> int:
+        """Largest uniqueId of the structure."""
+        return self.uids_by_level[-1][-1]
+
+    def random_uid_at_level(self, rng: random.Random, level: int) -> int:
+        """A uniformly random uniqueId at a given hierarchy level."""
+        return rng.choice(self.uids_by_level[level])
+
+    def random_internal_uid(self, rng: random.Random) -> int:
+        """A random uniqueId of a node that has children."""
+        level = rng.randrange(len(self.uids_by_level) - 1)
+        return rng.choice(self.uids_by_level[level])
+
+    def random_non_root_uid(self, rng: random.Random) -> int:
+        """A random uniqueId excluding the root (for parent lookups)."""
+        return rng.randint(self.min_uid + 1, self.max_uid)
+
+    def random_text_uid(self, rng: random.Random) -> int:
+        """A random text-node uniqueId (for op 16)."""
+        if not self.text_uids:
+            raise ConfigurationError(
+                "this structure has no text nodes (op 16 not applicable)"
+            )
+        return rng.choice(self.text_uids)
+
+    def random_form_uid(self, rng: random.Random) -> int:
+        """A random form-node uniqueId (for op 17).
+
+        Small configurations may contain no form node at all (fewer
+        leaves than ``text_nodes_per_form_node``); op 17 is then not
+        applicable, mirroring the paper's "if applicable" treatment.
+        """
+        if not self.form_uids:
+            raise ConfigurationError(
+                "this structure has no form nodes (op 17 not applicable)"
+            )
+        return rng.choice(self.form_uids)
+
+
+class DatabaseGenerator:
+    """Builds a HyperModel test structure into any backend."""
+
+    def __init__(self, config: Optional[HyperModelConfig] = None) -> None:
+        self.config = config or HyperModelConfig()
+
+    def generate(
+        self,
+        db: HyperModelDatabase,
+        structure_id: int = 1,
+        first_uid: int = 1,
+        commit_each_phase: bool = True,
+    ) -> GeneratedDatabase:
+        """Generate one complete test structure into ``db``.
+
+        Args:
+            db: an *open* backend to populate.
+            structure_id: tag for this copy of the structure.
+            first_uid: uniqueId of the first node created (so a second
+                copy can use a disjoint key range).
+            commit_each_phase: commit after each creation phase, as the
+                section 5.3 measurement protocol requires.
+
+        Returns:
+            A :class:`GeneratedDatabase` with the level index, the
+            leaf-kind partition and the creation statistics.
+        """
+        cfg = self.config
+        rng = random.Random(cfg.seed + structure_id)
+        stats = GenerationStats()
+
+        uids_by_level: List[List[int]] = []
+        refs_by_level: List[List[NodeRef]] = []
+        text_uids: List[int] = []
+        form_uids: List[int] = []
+        next_uid = first_uid
+
+        # -- Phase 1: internal nodes (levels 0 .. levels-1) -------------
+        started = time.perf_counter()
+        for level in range(cfg.levels):
+            level_uids: List[int] = []
+            level_refs: List[NodeRef] = []
+            for _ in range(cfg.nodes_at_level(level)):
+                data = self._plain_node(rng, next_uid, structure_id)
+                level_refs.append(db.create_node(data))
+                level_uids.append(next_uid)
+                next_uid += 1
+            uids_by_level.append(level_uids)
+            refs_by_level.append(level_refs)
+        if commit_each_phase:
+            db.commit()
+        stats.internal_node_seconds = time.perf_counter() - started
+        stats.internal_nodes = next_uid - first_uid
+
+        # -- Phase 2: leaf nodes (text and form mix) --------------------
+        started = time.perf_counter()
+        leaf_uids: List[int] = []
+        leaf_refs: List[NodeRef] = []
+        for index in range(cfg.leaf_nodes):
+            if (index + 1) % cfg.text_nodes_per_form_node == 0:
+                data = self._form_node(rng, next_uid, structure_id)
+                form_uids.append(next_uid)
+            else:
+                data = self._text_node(rng, next_uid, structure_id)
+                text_uids.append(next_uid)
+            leaf_refs.append(db.create_node(data))
+            leaf_uids.append(next_uid)
+            next_uid += 1
+        uids_by_level.append(leaf_uids)
+        refs_by_level.append(leaf_refs)
+        if commit_each_phase:
+            db.commit()
+        stats.leaf_node_seconds = time.perf_counter() - started
+        stats.leaf_nodes = len(leaf_uids)
+
+        # -- Phase 3: the ordered 1-N aggregation hierarchy -------------
+        started = time.perf_counter()
+        for level in range(cfg.levels):
+            parents = refs_by_level[level]
+            children = refs_by_level[level + 1]
+            for parent_index, parent in enumerate(parents):
+                base = parent_index * cfg.fanout
+                for child in children[base : base + cfg.fanout]:
+                    db.add_child(parent, child)
+                    stats.one_n_links += 1
+        if commit_each_phase:
+            db.commit()
+        stats.one_n_seconds = time.perf_counter() - started
+
+        # -- Phase 4: the M-N aggregation (5 random next-level parts) ---
+        started = time.perf_counter()
+        for level in range(cfg.levels):
+            next_level = refs_by_level[level + 1]
+            for whole in refs_by_level[level]:
+                for part in self._sample(rng, next_level, cfg.parts_per_node):
+                    db.add_part(whole, part)
+                    stats.m_n_links += 1
+        if commit_each_phase:
+            db.commit()
+        stats.m_n_seconds = time.perf_counter() - started
+
+        # -- Phase 5: the attributed M-N association (one ref per node) -
+        started = time.perf_counter()
+        all_refs = [ref for level in refs_by_level for ref in level]
+        for source in all_refs:
+            target = all_refs[rng.randrange(len(all_refs))]
+            attrs = LinkAttributes(
+                offset_from=rng.randrange(cfg.max_offset),
+                offset_to=rng.randrange(cfg.max_offset),
+            )
+            db.add_reference(source, target, attrs)
+            stats.m_n_att_links += 1
+        if commit_each_phase:
+            db.commit()
+        stats.m_n_att_seconds = time.perf_counter() - started
+
+        return GeneratedDatabase(
+            config=cfg,
+            structure_id=structure_id,
+            uids_by_level=uids_by_level,
+            text_uids=text_uids,
+            form_uids=form_uids,
+            root_uid=first_uid,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Node factories
+    # ------------------------------------------------------------------
+
+    def _random_attributes(self, rng: random.Random) -> Dict[str, int]:
+        cfg = self.config
+        return {
+            "ten": rng.randint(*cfg.ten_range),
+            "hundred": rng.randint(*cfg.hundred_range),
+            "million": rng.randint(*cfg.million_range),
+        }
+
+    def _plain_node(
+        self, rng: random.Random, uid: int, structure_id: int
+    ) -> NodeData:
+        return NodeData(
+            unique_id=uid, structure_id=structure_id, **self._random_attributes(rng)
+        )
+
+    def _text_node(
+        self, rng: random.Random, uid: int, structure_id: int
+    ) -> NodeData:
+        cfg = self.config
+        return NodeData(
+            unique_id=uid,
+            kind=NodeKind.TEXT,
+            text=generate_text(
+                rng,
+                cfg.min_words,
+                cfg.max_words,
+                cfg.min_word_length,
+                cfg.max_word_length,
+            ),
+            structure_id=structure_id,
+            **self._random_attributes(rng),
+        )
+
+    def _form_node(
+        self, rng: random.Random, uid: int, structure_id: int
+    ) -> NodeData:
+        cfg = self.config
+        return NodeData(
+            unique_id=uid,
+            kind=NodeKind.FORM,
+            bitmap=generate_bitmap(rng, cfg.min_bitmap_dim, cfg.max_bitmap_dim),
+            structure_id=structure_id,
+            **self._random_attributes(rng),
+        )
+
+    @staticmethod
+    def _sample(rng: random.Random, population: List[NodeRef], k: int) -> List[NodeRef]:
+        """Sample ``k`` distinct items, or all of them if fewer exist."""
+        if k >= len(population):
+            return list(population)
+        return rng.sample(population, k)

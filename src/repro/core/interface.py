@@ -1,0 +1,237 @@
+"""The backend protocol every HyperModel database must implement.
+
+The paper specifies its operations "at a conceptual level, suitable for
+transformation to different actual database management systems".  This
+module is that transformation seam: :class:`HyperModelDatabase` is the
+abstract navigational interface the generator (section 5.2), the
+operations (section 6) and the harness all run against, and each
+backend (in-memory, relational, OODB, client/server) implements.
+
+Node references are opaque.  The paper is explicit that inputs and
+outputs of operations are *references* — key values in a relational
+system, object identifiers in an object-oriented one — never copies of
+nodes, and that a returned list of references must itself be storable
+in the database.  The interface mirrors this with ``NodeRef = Any``
+plus :meth:`store_node_list` / :meth:`load_node_list`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.bitmap import Bitmap
+from repro.core.model import LinkAttributes, NodeData, NodeKind
+
+#: An opaque, backend-specific node reference (key value or object id).
+NodeRef = Any
+
+
+class HyperModelDatabase(abc.ABC):
+    """Abstract navigational interface to one HyperModel database.
+
+    Lifecycle: a backend is constructed closed; :meth:`open` makes it
+    usable, :meth:`close` flushes and releases it (and, per section
+    5.3(e), drops any cache so the next open starts cold).  Mutations
+    become durable at :meth:`commit`.
+    """
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def open(self) -> None:
+        """Open the database, making operations available."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Flush, release resources and drop caches (section 5.3(e))."""
+
+    @abc.abstractmethod
+    def commit(self) -> None:
+        """Make all changes since the last commit durable."""
+
+    def abort(self) -> None:
+        """Discard uncommitted changes.  Optional; default is a no-op
+        for backends without transaction support."""
+
+    @property
+    @abc.abstractmethod
+    def is_open(self) -> bool:
+        """Whether the database is currently open."""
+
+    @property
+    def supports_object_identity(self) -> bool:
+        """Whether op 02 (lookup by object id) is distinct from op 01.
+
+        Relational backends return ``False``: their only node reference
+        is the key value, so the paper's "if applicable" clause excuses
+        them from the OID-lookup measurement.
+        """
+        return True
+
+    # ------------------------------------------------------------------
+    # Creation (used by the generator; timed by the creation benchmark)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def create_node(self, data: NodeData) -> NodeRef:
+        """Create a node with the given attributes; return its reference."""
+
+    @abc.abstractmethod
+    def add_child(self, parent: NodeRef, child: NodeRef) -> None:
+        """Append ``child`` to the *ordered* 1-N children of ``parent``."""
+
+    @abc.abstractmethod
+    def add_part(self, whole: NodeRef, part: NodeRef) -> None:
+        """Add ``part`` to the unordered M-N parts of ``whole``."""
+
+    @abc.abstractmethod
+    def add_reference(
+        self, source: NodeRef, target: NodeRef, attrs: LinkAttributes
+    ) -> None:
+        """Create an attributed refTo link from ``source`` to ``target``."""
+
+    # ------------------------------------------------------------------
+    # Identity and attributes (ops 01/02)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def lookup(self, unique_id: int) -> NodeRef:
+        """Resolve a ``uniqueId`` key to a node reference (op 01 path).
+
+        Raises:
+            NodeNotFoundError: if no node has that uniqueId.
+        """
+
+    @abc.abstractmethod
+    def get_attribute(self, ref: NodeRef, name: str) -> int:
+        """Read one of the integer attributes of a node by reference."""
+
+    @abc.abstractmethod
+    def set_attribute(self, ref: NodeRef, name: str, value: int) -> None:
+        """Write one of the integer attributes of a node (op 12)."""
+
+    @abc.abstractmethod
+    def kind_of(self, ref: NodeRef) -> NodeKind:
+        """Return which class of the generalization hierarchy a node is."""
+
+    @abc.abstractmethod
+    def structure_of(self, ref: NodeRef) -> int:
+        """Return which test structure a node belongs to."""
+
+    # ------------------------------------------------------------------
+    # Range lookups (ops 03/04)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def range_hundred(self, low: int, high: int) -> List[NodeRef]:
+        """Nodes whose ``hundred`` is in the inclusive range (op 03)."""
+
+    @abc.abstractmethod
+    def range_million(self, low: int, high: int) -> List[NodeRef]:
+        """Nodes whose ``million`` is in the inclusive range (op 04)."""
+
+    # ------------------------------------------------------------------
+    # Group lookups — forward traversal (ops 05A/05B/06)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def children(self, ref: NodeRef) -> List[NodeRef]:
+        """The ordered children of a node via the 1-N aggregation."""
+
+    @abc.abstractmethod
+    def parts(self, ref: NodeRef) -> List[NodeRef]:
+        """The parts of a node via the M-N aggregation (unordered)."""
+
+    @abc.abstractmethod
+    def refs_to(self, ref: NodeRef) -> List[Tuple[NodeRef, LinkAttributes]]:
+        """Outgoing attributed references with their offsets (op 06)."""
+
+    # ------------------------------------------------------------------
+    # Reference lookups — inverse traversal (ops 07A/07B/08)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def parent(self, ref: NodeRef) -> Optional[NodeRef]:
+        """The 1-N parent of a node, or ``None`` for the root (op 07A)."""
+
+    @abc.abstractmethod
+    def part_of(self, ref: NodeRef) -> List[NodeRef]:
+        """The composites this node is a part of via M-N (op 07B)."""
+
+    @abc.abstractmethod
+    def refs_from(self, ref: NodeRef) -> List[NodeRef]:
+        """Nodes that reference this node (possibly empty; op 08)."""
+
+    # ------------------------------------------------------------------
+    # Sequential scan (op 09)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def scan_ten(self, structure_id: int = 1) -> int:
+        """Visit every node of one test structure, reading its ``ten``.
+
+        Returns the number of nodes visited.  The paper forbids using
+        the global class extent (a second copy of the structure may
+        coexist), so backends must filter on the structure tag.
+        """
+
+    @abc.abstractmethod
+    def iter_nodes(self, structure_id: int = 1) -> Iterator[NodeRef]:
+        """Iterate references to every node of one test structure.
+
+        Used by verification and the ad-hoc query executor, not by the
+        timed benchmark operations.
+        """
+
+    # ------------------------------------------------------------------
+    # Content access (ops 16/17)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def get_text(self, ref: NodeRef) -> str:
+        """Return the body of a text node."""
+
+    @abc.abstractmethod
+    def set_text(self, ref: NodeRef, text: str) -> None:
+        """Replace the body of a text node (size may change; op 16)."""
+
+    @abc.abstractmethod
+    def get_bitmap(self, ref: NodeRef) -> Bitmap:
+        """Return the bitmap of a form node."""
+
+    @abc.abstractmethod
+    def set_bitmap(self, ref: NodeRef, bitmap: Bitmap) -> None:
+        """Replace the bitmap of a form node (op 17)."""
+
+    # ------------------------------------------------------------------
+    # Result-list storage (section 6 preamble)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def store_node_list(self, name: str, refs: Sequence[NodeRef]) -> None:
+        """Persist a named list of node references in the database.
+
+        The paper requires that a list returned from an operation "should
+        itself be storable in the database" (e.g. as a table of
+        contents); closure benchmarks exercise this.
+        """
+
+    @abc.abstractmethod
+    def load_node_list(self, name: str) -> List[NodeRef]:
+        """Load a previously stored named list of node references."""
+
+    # ------------------------------------------------------------------
+    # Introspection for the harness
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def node_count(self, structure_id: int = 1) -> int:
+        """Number of nodes in one test structure."""
+
+    @property
+    def backend_name(self) -> str:
+        """Short human-readable backend identifier for reports."""
+        return type(self).__name__

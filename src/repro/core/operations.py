@@ -1,0 +1,550 @@
+"""The twenty HyperModel benchmark operations (section 6).
+
+Every operation is expressed *navigationally* against the abstract
+:class:`~repro.core.interface.HyperModelDatabase`, exactly as the paper
+specifies them: group and reference lookups follow one relationship
+step, closure operations recurse over relationship steps, and the
+editing operations retrieve, modify and store a node's content.
+
+:class:`Operations` holds the callable implementations;
+:class:`OperationCatalog` wraps each one in an :class:`OperationSpec`
+that also knows how to draw a valid random *input* (from the generator
+metadata, never from inside the operation — the paper's N.B. forbids
+operations from exploiting structural knowledge) and how many nodes a
+result represents (for the paper's milliseconds-per-node
+normalization).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import HyperModelConfig
+from repro.core.generator import GeneratedDatabase
+from repro.core.interface import HyperModelDatabase, NodeRef
+from repro.core.text import VERSION_1, edit_text_backward, edit_text_forward
+
+
+class Operations:
+    """Implementations of ops 01-18 over one open backend."""
+
+    def __init__(
+        self, db: HyperModelDatabase, config: Optional[HyperModelConfig] = None
+    ) -> None:
+        self.db = db
+        self.config = config or HyperModelConfig()
+
+    # ------------------------------------------------------------------
+    # 6.1 Name lookup
+    # ------------------------------------------------------------------
+
+    def name_lookup(self, unique_id: int) -> int:
+        """Op 01: resolve a uniqueId key, return the node's ``hundred``."""
+        ref = self.db.lookup(unique_id)
+        return self.db.get_attribute(ref, "hundred")
+
+    def name_oid_lookup(self, ref: NodeRef) -> int:
+        """Op 02: given an object reference, return its ``hundred``."""
+        return self.db.get_attribute(ref, "hundred")
+
+    # ------------------------------------------------------------------
+    # 6.2 Range lookup
+    # ------------------------------------------------------------------
+
+    def range_lookup_hundred(self, x: int) -> List[NodeRef]:
+        """Op 03: nodes with ``hundred`` in x..x+9 (10% selectivity)."""
+        return self.db.range_hundred(x, x + 9)
+
+    def range_lookup_million(self, x: int) -> List[NodeRef]:
+        """Op 04: nodes with ``million`` in x..x+9999 (1% selectivity)."""
+        return self.db.range_million(x, x + 9999)
+
+    # ------------------------------------------------------------------
+    # 6.3 Group lookup (forward, one step)
+    # ------------------------------------------------------------------
+
+    def group_lookup_1n(self, ref: NodeRef) -> List[NodeRef]:
+        """Op 05A: the *ordered* children of an internal node."""
+        return self.db.children(ref)
+
+    def group_lookup_mn(self, ref: NodeRef) -> List[NodeRef]:
+        """Op 05B: the parts of an internal node (a set)."""
+        return self.db.parts(ref)
+
+    def group_lookup_mnatt(self, ref: NodeRef) -> List[NodeRef]:
+        """Op 06: the node referenced via the attributed M-N relation."""
+        return [target for target, _attrs in self.db.refs_to(ref)]
+
+    # ------------------------------------------------------------------
+    # 6.4 Reference lookup (inverse, one step)
+    # ------------------------------------------------------------------
+
+    def ref_lookup_1n(self, ref: NodeRef) -> List[NodeRef]:
+        """Op 07A: the parent of a non-root node (a one-element set)."""
+        parent = self.db.parent(ref)
+        return [] if parent is None else [parent]
+
+    def ref_lookup_mn(self, ref: NodeRef) -> List[NodeRef]:
+        """Op 07B: the composites a node is part of."""
+        return self.db.part_of(ref)
+
+    def ref_lookup_mnatt(self, ref: NodeRef) -> List[NodeRef]:
+        """Op 08: the nodes referencing this node (possibly empty)."""
+        return self.db.refs_from(ref)
+
+    # ------------------------------------------------------------------
+    # 6.4.1 Sequential scan
+    # ------------------------------------------------------------------
+
+    def seq_scan(self, structure_id: int = 1) -> int:
+        """Op 09: visit every node of the structure reading ``ten``."""
+        return self.db.scan_ten(structure_id)
+
+    # ------------------------------------------------------------------
+    # 6.5 Closure traversals
+    # ------------------------------------------------------------------
+
+    def closure_1n(self, ref: NodeRef) -> List[NodeRef]:
+        """Op 10: pre-order list of the 1-N subtree below ``ref``.
+
+        Child order is preserved at every level, so the result is
+        usable as a table of contents; the harness stores it back into
+        the database as the paper requires.
+        """
+        result: List[NodeRef] = []
+        stack = [ref]
+        while stack:
+            node = stack.pop()
+            result.append(node)
+            stack.extend(reversed(self.db.children(node)))
+        return result
+
+    def closure_mn(self, ref: NodeRef) -> List[NodeRef]:
+        """Op 14: all nodes reachable through the M-N parts relation.
+
+        The M-N structure is a DAG (parts always point one level
+        down), and shared sub-parts are visited once per path, matching
+        the paper's per-level node counts (6 / 31 / 156).
+        """
+        result: List[NodeRef] = []
+        stack = [ref]
+        while stack:
+            node = stack.pop()
+            result.append(node)
+            stack.extend(self.db.parts(node))
+        return result
+
+    def closure_mnatt(self, ref: NodeRef, depth: Optional[int] = None) -> List[NodeRef]:
+        """Op 15: follow the attributed M-N relation to a given depth.
+
+        Every node has exactly one outgoing reference and no
+        terminating condition exists, so the traversal is bounded by
+        ``depth`` (run-time parameter; the paper uses 25).  The start
+        node itself is not part of the output.
+        """
+        limit = self.config.closure_depth if depth is None else depth
+        result: List[NodeRef] = []
+        frontier = [ref]
+        for _ in range(limit):
+            next_frontier: List[NodeRef] = []
+            for node in frontier:
+                for target, _attrs in self.db.refs_to(node):
+                    result.append(target)
+                    next_frontier.append(target)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        return result
+
+    # ------------------------------------------------------------------
+    # 6.6 Other closure operations
+    # ------------------------------------------------------------------
+
+    def closure_1n_att_sum(self, ref: NodeRef) -> int:
+        """Op 11: sum of ``hundred`` over the 1-N subtree below ``ref``."""
+        total = 0
+        stack = [ref]
+        while stack:
+            node = stack.pop()
+            total += self.db.get_attribute(node, "hundred")
+            stack.extend(self.db.children(node))
+        return total
+
+    def closure_1n_att_set(self, ref: NodeRef) -> int:
+        """Op 12: set ``hundred`` to 99 minus its value over the subtree.
+
+        Applying the operation twice restores the original values, so
+        the benchmark leaves the database unchanged after its paired
+        cold/warm runs.  Returns the number of nodes updated.
+        """
+        count = 0
+        stack = [ref]
+        while stack:
+            node = stack.pop()
+            value = self.db.get_attribute(node, "hundred")
+            self.db.set_attribute(node, "hundred", 99 - value)
+            count += 1
+            stack.extend(self.db.children(node))
+        return count
+
+    def closure_1n_pred(self, ref: NodeRef, x: int) -> List[NodeRef]:
+        """Op 13: 1-N closure pruned by a ``million`` range predicate.
+
+        Nodes whose ``million`` lies in x..x+9999 are excluded *and*
+        terminate the recursion below them; all other reachable nodes
+        are returned.
+        """
+        low, high = x, x + 9999
+        result: List[NodeRef] = []
+        stack = [ref]
+        while stack:
+            node = stack.pop()
+            if low <= self.db.get_attribute(node, "million") <= high:
+                continue
+            result.append(node)
+            stack.extend(reversed(self.db.children(node)))
+        return result
+
+    def closure_mnatt_linksum(
+        self, ref: NodeRef, depth: Optional[int] = None
+    ) -> List[Tuple[NodeRef, int]]:
+        """Op 18: nodes reached via refTo with cumulative offsetTo distance.
+
+        Returns (node, distance) pairs where distance is the sum of the
+        ``offsetTo`` weights along the path from the start node, to the
+        run-time depth (25 by default).
+        """
+        limit = self.config.closure_depth if depth is None else depth
+        result: List[Tuple[NodeRef, int]] = []
+        frontier: List[Tuple[NodeRef, int]] = [(ref, 0)]
+        for _ in range(limit):
+            next_frontier: List[Tuple[NodeRef, int]] = []
+            for node, distance in frontier:
+                for target, attrs in self.db.refs_to(node):
+                    reached = (target, distance + attrs.offset_to)
+                    result.append(reached)
+                    next_frontier.append(reached)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        return result
+
+    # ------------------------------------------------------------------
+    # 6.7 Editing
+    # ------------------------------------------------------------------
+
+    def text_node_edit(self, ref: NodeRef) -> None:
+        """Op 16: swap ``version1`` and ``version-2`` markers in a text node.
+
+        The first application of the operation substitutes forward (to
+        the one-character-longer marker), the next one backward, so two
+        runs restore the node; time includes retrieve and store.
+        """
+        text = self.db.get_text(ref)
+        if VERSION_1 in text.split(" "):
+            self.db.set_text(ref, edit_text_forward(text))
+        else:
+            self.db.set_text(ref, edit_text_backward(text))
+
+    def form_node_edit(self, ref: NodeRef) -> None:
+        """Op 17: invert the 25x25 sub-rectangle at (50, 50) of a form node.
+
+        Time includes retrieving and storing the bitmap.
+        """
+        bitmap = self.db.get_bitmap(ref)
+        bitmap.invert_rect(50, 50, 25, 25)
+        self.db.set_bitmap(ref, bitmap)
+
+
+# ----------------------------------------------------------------------
+# Operation catalog: metadata the harness drives the protocol with
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class OperationSpec:
+    """One benchmark operation plus everything the harness needs.
+
+    Attributes:
+        op_id: the paper's operation number ("01" .. "18", with the A/B
+            split of ops 05 and 07).
+        name: the paper's camel-case operation name.
+        category: section 6 category heading.
+        make_input: draws one random input tuple for the operation from
+            the generator metadata.  Reference-valued inputs are
+            resolved during input preparation, outside the timed
+            region, matching the paper's "Input: a random node".
+        run: executes the operation on an :class:`Operations` facade.
+        result_size: how many nodes the result represents, for the
+            ms-per-node normalization of section 6.
+        mutates: whether the operation updates the database (and hence
+            whether the protocol's commits write anything).
+        same_input_every_repetition: op 17 uses the *same* form node
+            for all fifty repetitions (the paper's N.B.).
+    """
+
+    op_id: str
+    name: str
+    category: str
+    make_input: Callable[[GeneratedDatabase, random.Random, HyperModelDatabase], tuple]
+    run: Callable[[Operations, tuple], Any]
+    result_size: Callable[[Any, GeneratedDatabase], int]
+    mutates: bool = False
+    same_input_every_repetition: bool = False
+
+
+def _closure_start_level(gen: GeneratedDatabase) -> int:
+    """Level-3 start nodes, or the deepest internal level if shallower."""
+    return min(3, gen.config.levels - 1)
+
+
+def _random_ref(
+    gen: GeneratedDatabase, rng: random.Random, db: HyperModelDatabase
+) -> tuple:
+    return (db.lookup(gen.random_uid(rng)),)
+
+
+def _random_internal_ref(
+    gen: GeneratedDatabase, rng: random.Random, db: HyperModelDatabase
+) -> tuple:
+    return (db.lookup(gen.random_internal_uid(rng)),)
+
+
+def _random_non_root_ref(
+    gen: GeneratedDatabase, rng: random.Random, db: HyperModelDatabase
+) -> tuple:
+    return (db.lookup(gen.random_non_root_uid(rng)),)
+
+
+def _random_level3_ref(
+    gen: GeneratedDatabase, rng: random.Random, db: HyperModelDatabase
+) -> tuple:
+    level = _closure_start_level(gen)
+    return (db.lookup(gen.random_uid_at_level(rng, level)),)
+
+
+def _closure_size(gen: GeneratedDatabase) -> int:
+    return gen.config.closure_1n_size(_closure_start_level(gen))
+
+
+def build_operation_catalog() -> "OperationCatalog":
+    """Construct the full catalog of ops 01-18."""
+    specs = [
+        OperationSpec(
+            op_id="01",
+            name="nameLookup",
+            category="Name Lookup",
+            make_input=lambda gen, rng, db: (gen.random_uid(rng),),
+            run=lambda ops, args: ops.name_lookup(*args),
+            result_size=lambda result, gen: 1,
+        ),
+        OperationSpec(
+            op_id="02",
+            name="nameOIDLookup",
+            category="Name Lookup",
+            make_input=_random_ref,
+            run=lambda ops, args: ops.name_oid_lookup(*args),
+            result_size=lambda result, gen: 1,
+        ),
+        OperationSpec(
+            op_id="03",
+            name="rangeLookupHundred",
+            category="Range Lookup",
+            make_input=lambda gen, rng, db: (rng.randint(1, 90),),
+            run=lambda ops, args: ops.range_lookup_hundred(*args),
+            result_size=lambda result, gen: max(len(result), 1),
+        ),
+        OperationSpec(
+            op_id="04",
+            name="rangeLookupMillion",
+            category="Range Lookup",
+            make_input=lambda gen, rng, db: (rng.randint(1, 990_000),),
+            run=lambda ops, args: ops.range_lookup_million(*args),
+            result_size=lambda result, gen: max(len(result), 1),
+        ),
+        OperationSpec(
+            op_id="05A",
+            name="groupLookup1N",
+            category="Group Lookup",
+            make_input=_random_internal_ref,
+            run=lambda ops, args: ops.group_lookup_1n(*args),
+            result_size=lambda result, gen: max(len(result), 1),
+        ),
+        OperationSpec(
+            op_id="05B",
+            name="groupLookupMN",
+            category="Group Lookup",
+            make_input=_random_internal_ref,
+            run=lambda ops, args: ops.group_lookup_mn(*args),
+            result_size=lambda result, gen: max(len(result), 1),
+        ),
+        OperationSpec(
+            op_id="06",
+            name="groupLookupMNATT",
+            category="Group Lookup",
+            make_input=_random_ref,
+            run=lambda ops, args: ops.group_lookup_mnatt(*args),
+            result_size=lambda result, gen: max(len(result), 1),
+        ),
+        OperationSpec(
+            op_id="07A",
+            name="refLookup1N",
+            category="Reference Lookup",
+            make_input=_random_non_root_ref,
+            run=lambda ops, args: ops.ref_lookup_1n(*args),
+            result_size=lambda result, gen: max(len(result), 1),
+        ),
+        OperationSpec(
+            op_id="07B",
+            name="refLookupMN",
+            category="Reference Lookup",
+            make_input=_random_non_root_ref,
+            run=lambda ops, args: ops.ref_lookup_mn(*args),
+            result_size=lambda result, gen: max(len(result), 1),
+        ),
+        OperationSpec(
+            op_id="08",
+            name="refLookupMNATT",
+            category="Reference Lookup",
+            make_input=_random_ref,
+            run=lambda ops, args: ops.ref_lookup_mnatt(*args),
+            result_size=lambda result, gen: max(len(result), 1),
+        ),
+        OperationSpec(
+            op_id="09",
+            name="seqScan",
+            category="Sequential Scan",
+            make_input=lambda gen, rng, db: (gen.structure_id,),
+            run=lambda ops, args: ops.seq_scan(*args),
+            result_size=lambda result, gen: max(int(result), 1),
+        ),
+        OperationSpec(
+            op_id="10",
+            name="closure1N",
+            category="Closure Traversal",
+            make_input=_random_level3_ref,
+            run=lambda ops, args: ops.closure_1n(*args),
+            result_size=lambda result, gen: max(len(result), 1),
+        ),
+        OperationSpec(
+            op_id="11",
+            name="closure1NAttSum",
+            category="Closure Operation",
+            make_input=_random_level3_ref,
+            run=lambda ops, args: ops.closure_1n_att_sum(*args),
+            result_size=lambda result, gen: _closure_size(gen),
+        ),
+        OperationSpec(
+            op_id="12",
+            name="closure1NAttSet",
+            category="Closure Operation",
+            make_input=_random_level3_ref,
+            run=lambda ops, args: ops.closure_1n_att_set(*args),
+            result_size=lambda result, gen: max(int(result), 1),
+            mutates=True,
+        ),
+        OperationSpec(
+            op_id="13",
+            name="closure1NPred",
+            category="Closure Operation",
+            make_input=lambda gen, rng, db: _random_level3_ref(gen, rng, db)
+            + (rng.randint(1, 990_000),),
+            run=lambda ops, args: ops.closure_1n_pred(*args),
+            result_size=lambda result, gen: _closure_size(gen),
+        ),
+        OperationSpec(
+            op_id="14",
+            name="closureMN",
+            category="Closure Traversal",
+            make_input=_random_level3_ref,
+            run=lambda ops, args: ops.closure_mn(*args),
+            result_size=lambda result, gen: max(len(result), 1),
+        ),
+        OperationSpec(
+            op_id="15",
+            name="closureMNATT",
+            category="Closure Traversal",
+            make_input=_random_level3_ref,
+            run=lambda ops, args: ops.closure_mnatt(*args),
+            result_size=lambda result, gen: max(len(result), 1),
+        ),
+        OperationSpec(
+            op_id="16",
+            name="textNodeEdit",
+            category="Editing",
+            make_input=lambda gen, rng, db: (db.lookup(gen.random_text_uid(rng)),),
+            run=lambda ops, args: ops.text_node_edit(*args),
+            result_size=lambda result, gen: 1,
+            mutates=True,
+        ),
+        OperationSpec(
+            op_id="17",
+            name="formNodeEdit",
+            category="Editing",
+            make_input=lambda gen, rng, db: (db.lookup(gen.random_form_uid(rng)),),
+            run=lambda ops, args: ops.form_node_edit(*args),
+            result_size=lambda result, gen: 1,
+            mutates=True,
+            same_input_every_repetition=True,
+        ),
+        OperationSpec(
+            op_id="18",
+            name="closureMNATTLinkSum",
+            category="Closure Operation",
+            make_input=_random_level3_ref,
+            run=lambda ops, args: ops.closure_mnatt_linksum(*args),
+            result_size=lambda result, gen: max(len(result), 1),
+        ),
+    ]
+    return OperationCatalog(specs)
+
+
+class OperationCatalog:
+    """An ordered, id-addressable collection of operation specs."""
+
+    def __init__(self, specs: Sequence[OperationSpec]) -> None:
+        self._specs: Dict[str, OperationSpec] = {}
+        for spec in specs:
+            if spec.op_id in self._specs:
+                raise ValueError(f"duplicate op id {spec.op_id}")
+            self._specs[spec.op_id] = spec
+
+    def __iter__(self):
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, op_id: str) -> bool:
+        return op_id in self._specs
+
+    def get(self, op_id: str) -> OperationSpec:
+        """Look up a spec by the paper's operation number."""
+        try:
+            return self._specs[op_id]
+        except KeyError:
+            raise KeyError(f"unknown operation id {op_id!r}") from None
+
+    def in_category(self, category: str) -> List[OperationSpec]:
+        """All specs of one section 6 category, in paper order."""
+        return [s for s in self._specs.values() if s.category == category]
+
+    @property
+    def categories(self) -> List[str]:
+        """Distinct categories in paper order."""
+        seen: List[str] = []
+        for spec in self._specs.values():
+            if spec.category not in seen:
+                seen.append(spec.category)
+        return seen
+
+    @property
+    def op_ids(self) -> List[str]:
+        """All operation ids in paper order."""
+        return list(self._specs)
+
+
+#: The default catalog instance used by the harness and benchmarks.
+CATALOG = build_operation_catalog()

@@ -1,0 +1,104 @@
+"""Text-node content: generation and the version1/version-2 edit.
+
+Section 5.1 specifies a text node's content as a string of 10-100
+words, each 1-10 random lowercase characters, separated by single
+spaces, with the *first*, *middle* and *last* words forced to the
+literal ``version1``.  The editing operation (op 16) substitutes
+``version1`` with ``version-2`` (one character longer) and back again.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List
+
+VERSION_1 = "version1"
+VERSION_2 = "version-2"
+
+_LOWERCASE = string.ascii_lowercase
+
+
+def generate_text(
+    rng: random.Random,
+    min_words: int = 10,
+    max_words: int = 100,
+    min_word_length: int = 1,
+    max_word_length: int = 10,
+) -> str:
+    """Generate a text body exactly as section 5.1 specifies.
+
+    Draws a uniform word count, fills each word with uniform-length
+    runs of random lowercase letters, then overwrites the first, the
+    middle and the last word with ``version1``.
+
+    Args:
+        rng: the seeded uniform PRNG to draw from.
+        min_words / max_words: inclusive word-count range.
+        min_word_length / max_word_length: inclusive word-length range.
+
+    Returns:
+        The space-joined text string.
+    """
+    word_count = rng.randint(min_words, max_words)
+    words: List[str] = [
+        "".join(
+            rng.choice(_LOWERCASE)
+            for _ in range(rng.randint(min_word_length, max_word_length))
+        )
+        for _ in range(word_count)
+    ]
+    words[0] = VERSION_1
+    words[len(words) // 2] = VERSION_1
+    words[-1] = VERSION_1
+    return " ".join(words)
+
+
+def version_marker_count(text: str) -> int:
+    """Count whole-word occurrences of the ``version1`` marker."""
+    return sum(1 for word in text.split(" ") if word == VERSION_1)
+
+
+def edit_text_forward(text: str) -> str:
+    """Substitute every ``version1`` with ``version-2`` (op 16, run 1).
+
+    The replacement is one character longer than the original, which is
+    deliberate in the paper: it forces the backend to handle a changed
+    object size when the node is stored back.
+    """
+    return text.replace(VERSION_1, VERSION_2)
+
+
+def edit_text_backward(text: str) -> str:
+    """Substitute every ``version-2`` back to ``version1`` (op 16, run 2)."""
+    return text.replace(VERSION_2, VERSION_1)
+
+
+def is_valid_generated_text(
+    text: str,
+    min_words: int = 10,
+    max_words: int = 100,
+    max_word_length: int = 10,
+) -> bool:
+    """Check a string against the section 5.1 text-node contract.
+
+    Used by :mod:`repro.core.verification` to validate generated
+    databases: word count in range, all words lowercase and within the
+    length bound, and ``version1`` at the first, middle and last
+    positions.
+    """
+    words = text.split(" ")
+    if not min_words <= len(words) <= max_words:
+        return False
+    if words[0] != VERSION_1 or words[-1] != VERSION_1:
+        return False
+    if words[len(words) // 2] != VERSION_1:
+        return False
+    for word in words:
+        if word == VERSION_1:
+            continue
+        if not 1 <= len(word) <= max_word_length:
+            return False
+        if not all(ch in _LOWERCASE for ch in word):
+            return False
+    return True

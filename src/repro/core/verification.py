@@ -1,0 +1,240 @@
+"""Structural verification of a generated test database.
+
+The paper's Figures 2-4 and the section 5.2 counting rules fully
+determine the *shape* of a correct test database.  This module checks a
+populated backend against those rules, so that every backend
+implementation can be validated with the same machinery (and so the
+reproduction can prove its generator is faithful before timing
+anything).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.core.generator import GeneratedDatabase
+from repro.core.interface import HyperModelDatabase
+from repro.core.model import NodeKind
+from repro.core.text import is_valid_generated_text
+
+
+@dataclasses.dataclass
+class VerificationReport:
+    """Outcome of a structural verification run."""
+
+    checks_run: int = 0
+    problems: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every check passed."""
+        return not self.problems
+
+    def _check(self, condition: bool, message: str) -> None:
+        self.checks_run += 1
+        if not condition:
+            self.problems.append(message)
+
+    def raise_if_failed(self) -> None:
+        """Raise ``AssertionError`` listing all problems, if any."""
+        if self.problems:
+            raise AssertionError(
+                "database verification failed:\n  " + "\n  ".join(self.problems)
+            )
+
+
+def verify_database(
+    db: HyperModelDatabase,
+    gen: GeneratedDatabase,
+    check_content: bool = True,
+    content_sample: int = 25,
+) -> VerificationReport:
+    """Verify one generated structure against the section 5.2 contract.
+
+    Checks node counts per level, the 1-N tree shape (fan-out, ordering,
+    parent inverse), the M-N relation (parts count and next-level
+    targets), the attributed M-N relation (exactly one outgoing
+    reference with offsets in range), attribute domains, and a sample of
+    leaf content.
+
+    Args:
+        db: the open backend holding the structure.
+        gen: the generation metadata for the structure.
+        check_content: also validate text bodies and bitmaps.
+        content_sample: how many text/form nodes to sample for content
+            checks (full content verification of a level-6 database
+            would read megabytes per run).
+
+    Returns:
+        A :class:`VerificationReport`; call ``raise_if_failed`` to turn
+        problems into a test failure.
+    """
+    cfg = gen.config
+    report = VerificationReport()
+
+    # -- Global counts ----------------------------------------------------
+    report._check(
+        db.node_count(gen.structure_id) == cfg.total_nodes,
+        f"node count {db.node_count(gen.structure_id)} != {cfg.total_nodes}",
+    )
+    report._check(
+        len(gen.uids_by_level) == cfg.levels + 1,
+        f"level index has {len(gen.uids_by_level)} levels, expected {cfg.levels + 1}",
+    )
+    for level, uids in enumerate(gen.uids_by_level):
+        report._check(
+            len(uids) == cfg.nodes_at_level(level),
+            f"level {level} has {len(uids)} nodes, expected {cfg.nodes_at_level(level)}",
+        )
+    report._check(
+        len(gen.form_uids) == cfg.form_node_count,
+        f"{len(gen.form_uids)} form nodes, expected {cfg.form_node_count}",
+    )
+    report._check(
+        len(gen.text_uids) == cfg.text_node_count,
+        f"{len(gen.text_uids)} text nodes, expected {cfg.text_node_count}",
+    )
+
+    # -- Per-node structural checks ---------------------------------------
+    uid_to_level = {
+        uid: level for level, uids in enumerate(gen.uids_by_level) for uid in uids
+    }
+    for level, uids in enumerate(gen.uids_by_level):
+        is_leaf_level = level == cfg.levels
+        for uid in uids:
+            ref = db.lookup(uid)
+
+            # Attribute domains.
+            for name, (low, high) in (
+                ("ten", cfg.ten_range),
+                ("hundred", cfg.hundred_range),
+                ("million", cfg.million_range),
+            ):
+                value = db.get_attribute(ref, name)
+                report._check(
+                    low <= value <= high,
+                    f"node {uid}: {name}={value} outside {low}..{high}",
+                )
+            report._check(
+                db.get_attribute(ref, "uniqueId") == uid,
+                f"node {uid}: uniqueId attribute mismatch",
+            )
+
+            # 1-N shape.
+            children = db.children(ref)
+            if is_leaf_level:
+                report._check(
+                    not children, f"leaf node {uid} has {len(children)} children"
+                )
+            else:
+                report._check(
+                    len(children) == cfg.fanout,
+                    f"internal node {uid} has {len(children)} children, "
+                    f"expected {cfg.fanout}",
+                )
+                for child in children:
+                    report._check(
+                        db.parent(child) == ref,
+                        f"child of node {uid} has wrong parent",
+                    )
+
+            if uid == gen.root_uid:
+                report._check(
+                    db.parent(ref) is None, f"root node {uid} has a parent"
+                )
+
+            # M-N shape: parts point exactly one level down.
+            parts = db.parts(ref)
+            if is_leaf_level:
+                report._check(not parts, f"leaf node {uid} has parts")
+            else:
+                expected_parts = min(
+                    cfg.parts_per_node, cfg.nodes_at_level(level + 1)
+                )
+                report._check(
+                    len(parts) == expected_parts,
+                    f"node {uid} has {len(parts)} parts, expected {expected_parts}",
+                )
+                for part in parts:
+                    part_uid = db.get_attribute(part, "uniqueId")
+                    report._check(
+                        uid_to_level.get(part_uid) == level + 1,
+                        f"part {part_uid} of node {uid} is not on level {level + 1}",
+                    )
+
+            # Attributed M-N: exactly one outgoing reference, offsets 0..9.
+            refs = db.refs_to(ref)
+            report._check(
+                len(refs) == 1,
+                f"node {uid} has {len(refs)} outgoing references, expected 1",
+            )
+            for _target, attrs in refs:
+                report._check(
+                    0 <= attrs.offset_from < cfg.max_offset
+                    and 0 <= attrs.offset_to < cfg.max_offset,
+                    f"node {uid}: link offsets {attrs} outside 0..{cfg.max_offset - 1}",
+                )
+
+            # Inverse consistency: partOf must mirror parts, refFrom
+            # must mirror refTo (the bidirectional contract of R1).
+            for owner in db.part_of(ref):
+                owner_parts = {
+                    db.get_attribute(p, "uniqueId") for p in db.parts(owner)
+                }
+                report._check(
+                    uid in owner_parts,
+                    f"node {uid}: partOf owner "
+                    f"{db.get_attribute(owner, 'uniqueId')} does not list it",
+                )
+            for referrer in db.refs_from(ref):
+                targets = {
+                    db.get_attribute(t, "uniqueId")
+                    for t, _attrs in db.refs_to(referrer)
+                }
+                report._check(
+                    uid in targets,
+                    f"node {uid}: refFrom referrer "
+                    f"{db.get_attribute(referrer, 'uniqueId')} "
+                    "has no matching refTo",
+                )
+
+            # Kind partition.
+            kind = db.kind_of(ref)
+            if not is_leaf_level:
+                report._check(
+                    kind is NodeKind.NODE,
+                    f"internal node {uid} has leaf kind {kind}",
+                )
+
+    # -- Leaf kinds ---------------------------------------------------------
+    for uid in gen.text_uids[:content_sample] if check_content else []:
+        ref = db.lookup(uid)
+        report._check(
+            db.kind_of(ref) is NodeKind.TEXT, f"node {uid} is not a text node"
+        )
+        report._check(
+            is_valid_generated_text(
+                db.get_text(ref),
+                cfg.min_words,
+                cfg.max_words,
+                cfg.max_word_length,
+            ),
+            f"text node {uid} violates the section 5.1 text contract",
+        )
+    for uid in gen.form_uids[:content_sample] if check_content else []:
+        ref = db.lookup(uid)
+        report._check(
+            db.kind_of(ref) is NodeKind.FORM, f"node {uid} is not a form node"
+        )
+        bitmap = db.get_bitmap(ref)
+        report._check(
+            cfg.min_bitmap_dim <= bitmap.width <= cfg.max_bitmap_dim
+            and cfg.min_bitmap_dim <= bitmap.height <= cfg.max_bitmap_dim,
+            f"form node {uid}: bitmap {bitmap.width}x{bitmap.height} out of range",
+        )
+        report._check(
+            bitmap.is_white(), f"form node {uid}: initial bitmap is not white"
+        )
+
+    return report

@@ -1,0 +1,472 @@
+"""A paged B+tree with duplicate keys and range scans.
+
+The tree indexes signed 64-bit integer keys.  Duplicates are supported
+by a composite ordering on ``(key, discriminator)`` where the
+discriminator is by convention the value itself (an OID or RID), so
+every entry is unique and deletions are exact.
+
+Layout (within 4 KiB pages from the buffer pool):
+
+* **Leaf page** — header ``(type=1, count, next_leaf)`` then ``count``
+  entries of ``(key, disc, value)``, each 24 bytes, kept sorted.
+  Leaves are chained left-to-right for range scans.
+* **Internal page** — header ``(type=2, count, leftmost_child)`` then
+  ``count`` separators of ``(key, disc, child)``; ``child`` holds
+  entries ``>= (key, disc)`` and ``< `` the next separator.
+
+Inserts split full nodes bottom-up; the root splits into a new root, so
+the tree grows at the top.  Deletes are *lazy* (no rebalancing —
+matching what several production engines do for secondary indexes);
+empty leaves remain until vacuumed, which is harmless for correctness
+and for the benchmark's insert-heavy workload.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.engine.buffer import BufferPool
+from repro.engine.pages import PAGE_SIZE, PageId
+from repro.errors import PageError
+
+_LEAF = 1
+_INTERNAL = 2
+
+_HEADER = struct.Struct("<BHxQ")  # type, count, pad, next_leaf / leftmost_child
+_ENTRY = struct.Struct("<qqq")  # key, disc, value-or-child
+
+_HEADER_SIZE = _HEADER.size  # 12
+_ENTRY_SIZE = _ENTRY.size  # 24
+
+#: Maximum entries per node (leaf and internal alike).
+ORDER = (PAGE_SIZE - _HEADER_SIZE) // _ENTRY_SIZE
+
+_MIN_I64 = -(1 << 63)
+_MAX_I64 = (1 << 63) - 1
+
+
+def _read_header(page: bytearray) -> Tuple[int, int, int]:
+    return _HEADER.unpack_from(page, 0)
+
+
+def _write_header(page: bytearray, node_type: int, count: int, link: int) -> None:
+    _HEADER.pack_into(page, 0, node_type, count, link)
+
+
+def _read_entry(page: bytearray, index: int) -> Tuple[int, int, int]:
+    return _ENTRY.unpack_from(page, _HEADER_SIZE + index * _ENTRY_SIZE)
+
+
+def _write_entry(page: bytearray, index: int, key: int, disc: int, value: int) -> None:
+    _ENTRY.pack_into(page, _HEADER_SIZE + index * _ENTRY_SIZE, key, disc, value)
+
+
+def _entries(page: bytearray, count: int) -> List[Tuple[int, int, int]]:
+    return [_read_entry(page, i) for i in range(count)]
+
+
+def _set_entries(
+    page: bytearray, node_type: int, entries: List[Tuple[int, int, int]], link: int
+) -> None:
+    _write_header(page, node_type, len(entries), link)
+    for i, (key, disc, value) in enumerate(entries):
+        _write_entry(page, i, key, disc, value)
+
+
+def _bisect_left(page: bytearray, count: int, key: int, disc: int) -> int:
+    """First index whose (key, disc) >= the probe."""
+    lo, hi = 0, count
+    while lo < hi:
+        mid = (lo + hi) // 2
+        mid_key, mid_disc, _ = _read_entry(page, mid)
+        if (mid_key, mid_disc) < (key, disc):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class BTree:
+    """One B+tree rooted at a page of the shared buffer pool.
+
+    Construct with ``root=0`` to create an empty tree (a fresh leaf is
+    allocated); persist :attr:`root` across restarts via the page-file
+    root table.
+    """
+
+    def __init__(self, pool: BufferPool, root: PageId = 0) -> None:
+        self._pool = pool
+        if root == 0:
+            root = pool.new_page()
+            page = pool.get(root)
+            try:
+                _write_header(page, _LEAF, 0, 0)
+            finally:
+                pool.unpin(root, dirty=True)
+        self.root = root
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _find_leaf(self, key: int, disc: int) -> PageId:
+        pid = self.root
+        while True:
+            page = self._pool.get(pid)
+            try:
+                node_type, count, link = _read_header(page)
+                if node_type == _LEAF:
+                    return pid
+                if node_type != _INTERNAL:
+                    raise PageError(f"page {pid}: not a btree node")
+                index = _bisect_left(page, count, key, disc)
+                # Separator i is the smallest entry of child i; an exact
+                # match therefore descends into that child.
+                if index < count and _read_entry(page, index)[:2] == (key, disc):
+                    child = _read_entry(page, index)[2]
+                else:
+                    child = link if index == 0 else _read_entry(page, index - 1)[2]
+            finally:
+                self._pool.unpin(pid)
+            pid = child
+
+    def search(self, key: int) -> List[int]:
+        """All values stored under ``key``, in discriminator order."""
+        return [value for _key, value in self.scan_range(key, key)]
+
+    def search_unique(self, key: int) -> Optional[int]:
+        """The single value under ``key``, or None.
+
+        Intended for unique indexes (directory, uniqueId); returns the
+        first entry if duplicates exist.
+        """
+        for _key, value in self.scan_range(key, key):
+            return value
+        return None
+
+    def contains(self, key: int, value: int, disc: Optional[int] = None) -> bool:
+        """Whether the exact (key, disc) entry exists."""
+        disc = value if disc is None else disc
+        pid = self._find_leaf(key, disc)
+        page = self._pool.get(pid)
+        try:
+            _type, count, _link = _read_header(page)
+            index = _bisect_left(page, count, key, disc)
+            return index < count and _read_entry(page, index)[:2] == (key, disc)
+        finally:
+            self._pool.unpin(pid)
+
+    def scan_range(self, low: int, high: int) -> Iterator[Tuple[int, int]]:
+        """Yield (key, value) for all entries with low <= key <= high."""
+        pid = self._find_leaf(low, _MIN_I64)
+        while pid:
+            page = self._pool.get(pid)
+            try:
+                _type, count, next_leaf = _read_header(page)
+                start = _bisect_left(page, count, low, _MIN_I64)
+                rows = _entries(page, count)[start:]
+            finally:
+                self._pool.unpin(pid)
+            for key, disc, value in rows:
+                if key > high:
+                    return
+                yield key, value
+            pid = next_leaf
+
+    def scan_all(self) -> Iterator[Tuple[int, int]]:
+        """Yield every (key, value) in key order."""
+        return self.scan_range(_MIN_I64, _MAX_I64)
+
+    def __len__(self) -> int:
+        """Total entries (walks the leaf chain)."""
+        return sum(1 for _ in self.scan_all())
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int, value: int, disc: Optional[int] = None) -> None:
+        """Insert an entry.  ``disc`` defaults to ``value``.
+
+        Raises:
+            PageError: if the exact (key, disc) pair already exists.
+        """
+        disc = value if disc is None else disc
+        split = self._insert_into(self.root, key, disc, value)
+        if split is not None:
+            sep_key, sep_disc, new_child = split
+            new_root = self._pool.new_page()
+            page = self._pool.get(new_root)
+            try:
+                _write_header(page, _INTERNAL, 1, self.root)
+                _write_entry(page, 0, sep_key, sep_disc, new_child)
+            finally:
+                self._pool.unpin(new_root, dirty=True)
+            self.root = new_root
+
+    def _insert_into(
+        self, pid: PageId, key: int, disc: int, value: int
+    ) -> Optional[Tuple[int, int, PageId]]:
+        """Recursive insert; returns a (key, disc, right-page) split or None."""
+        page = self._pool.get(pid)
+        node_type, count, link = _read_header(page)
+        if node_type == _LEAF:
+            try:
+                return self._insert_into_leaf(page, count, link, key, disc, value)
+            finally:
+                self._pool.unpin(pid, dirty=True)
+        try:
+            index = _bisect_left(page, count, key, disc)
+            if index < count and _read_entry(page, index)[:2] == (key, disc):
+                child = _read_entry(page, index)[2]
+            else:
+                child = link if index == 0 else _read_entry(page, index - 1)[2]
+        finally:
+            self._pool.unpin(pid)
+
+        split = self._insert_into(child, key, disc, value)
+        if split is None:
+            return None
+        sep_key, sep_disc, new_child = split
+
+        page = self._pool.get(pid)
+        try:
+            node_type, count, link = _read_header(page)
+            entries = _entries(page, count)
+            index = _bisect_left(page, count, sep_key, sep_disc)
+            entries.insert(index, (sep_key, sep_disc, new_child))
+            if len(entries) <= ORDER:
+                _set_entries(page, _INTERNAL, entries, link)
+                return None
+            # Split the internal node: the middle separator moves up.
+            mid = len(entries) // 2
+            up_key, up_disc, up_child = entries[mid]
+            left_entries = entries[:mid]
+            right_entries = entries[mid + 1 :]
+            right_pid = self._pool.new_page()
+            right_page = self._pool.get(right_pid)
+            try:
+                _set_entries(right_page, _INTERNAL, right_entries, up_child)
+            finally:
+                self._pool.unpin(right_pid, dirty=True)
+            _set_entries(page, _INTERNAL, left_entries, link)
+            return up_key, up_disc, right_pid
+        finally:
+            self._pool.unpin(pid, dirty=True)
+
+    def _insert_into_leaf(
+        self,
+        page: bytearray,
+        count: int,
+        next_leaf: int,
+        key: int,
+        disc: int,
+        value: int,
+    ) -> Optional[Tuple[int, int, PageId]]:
+        index = _bisect_left(page, count, key, disc)
+        if index < count and _read_entry(page, index)[:2] == (key, disc):
+            raise PageError(f"duplicate btree entry ({key}, {disc})")
+        entries = _entries(page, count)
+        entries.insert(index, (key, disc, value))
+        if len(entries) <= ORDER:
+            _set_entries(page, _LEAF, entries, next_leaf)
+            return None
+        mid = len(entries) // 2
+        left_entries, right_entries = entries[:mid], entries[mid:]
+        right_pid = self._pool.new_page()
+        right_page = self._pool.get(right_pid)
+        try:
+            _set_entries(right_page, _LEAF, right_entries, next_leaf)
+        finally:
+            self._pool.unpin(right_pid, dirty=True)
+        _set_entries(page, _LEAF, left_entries, right_pid)
+        sep_key, sep_disc, _ = right_entries[0]
+        return sep_key, sep_disc, right_pid
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, entries: List[Tuple[int, int, int]]) -> None:
+        """Build the tree bottom-up from sorted (key, disc, value) rows.
+
+        Only valid on an empty tree.  Leaves are packed to ~90% fill
+        (leaving insert headroom), chained left-to-right, and internal
+        levels are built over them — O(n) instead of n inserts, which
+        is what makes back-filling an index over a large extent cheap.
+
+        Raises:
+            PageError: if the tree is not empty or the input is not
+                strictly sorted by (key, disc).
+        """
+        page = self._pool.get(self.root)
+        try:
+            node_type, count, _link = _read_header(page)
+        finally:
+            self._pool.unpin(self.root)
+        if node_type != _LEAF or count != 0:
+            raise PageError("bulk_load requires an empty tree")
+        if not entries:
+            return
+        for previous, current in zip(entries, entries[1:]):
+            if previous[:2] >= current[:2]:
+                raise PageError("bulk_load input must be strictly sorted")
+
+        fill = max(1, (ORDER * 9) // 10)
+        # Build the leaf level, reusing the existing root as first leaf.
+        leaf_pids: List[PageId] = []
+        leaf_firsts: List[Tuple[int, int]] = []
+        for start in range(0, len(entries), fill):
+            chunk = entries[start : start + fill]
+            pid = self.root if not leaf_pids else self._pool.new_page()
+            page = self._pool.get(pid)
+            try:
+                _set_entries(page, _LEAF, chunk, 0)
+            finally:
+                self._pool.unpin(pid, dirty=True)
+            leaf_pids.append(pid)
+            leaf_firsts.append(chunk[0][:2])
+        for left, right in zip(leaf_pids, leaf_pids[1:]):
+            page = self._pool.get(left)
+            try:
+                _type, count, _old = _read_header(page)
+                _write_header(page, _LEAF, count, right)
+            finally:
+                self._pool.unpin(left, dirty=True)
+
+        # Build internal levels until one node remains.
+        child_pids, child_firsts = leaf_pids, leaf_firsts
+        while len(child_pids) > 1:
+            parent_pids: List[PageId] = []
+            parent_firsts: List[Tuple[int, int]] = []
+            for start in range(0, len(child_pids), fill + 1):
+                group = child_pids[start : start + fill + 1]
+                firsts = child_firsts[start : start + fill + 1]
+                if len(group) == 1:
+                    # A parent with zero separators is invalid; let the
+                    # lone child represent the group at this level.
+                    parent_pids.append(group[0])
+                    parent_firsts.append(firsts[0])
+                    continue
+                pid = self._pool.new_page()
+                page = self._pool.get(pid)
+                try:
+                    separators = [
+                        (key, disc, child)
+                        for (key, disc), child in zip(firsts[1:], group[1:])
+                    ]
+                    _set_entries(page, _INTERNAL, separators, group[0])
+                finally:
+                    self._pool.unpin(pid, dirty=True)
+                parent_pids.append(pid)
+                parent_firsts.append(firsts[0])
+            child_pids, child_firsts = parent_pids, parent_firsts
+        self.root = child_pids[0]
+
+    # ------------------------------------------------------------------
+    # Update and delete
+    # ------------------------------------------------------------------
+
+    def update_value(self, key: int, disc: int, new_value: int) -> bool:
+        """Replace the value of an exact (key, disc) entry in place.
+
+        Returns False if no such entry exists.  Used by the object
+        directory when a record relocates to a new RID.
+        """
+        pid = self._find_leaf(key, disc)
+        page = self._pool.get(pid)
+        found = False
+        try:
+            _type, count, _link = _read_header(page)
+            index = _bisect_left(page, count, key, disc)
+            if index < count and _read_entry(page, index)[:2] == (key, disc):
+                _write_entry(page, index, key, disc, new_value)
+                found = True
+        finally:
+            self._pool.unpin(pid, dirty=found)
+        return found
+
+    def delete(self, key: int, value: int, disc: Optional[int] = None) -> bool:
+        """Remove the exact (key, disc) entry; returns False if absent.
+
+        Deletion is lazy: leaves may become empty but are kept in the
+        chain, and separators above are left untouched (they remain
+        valid upper/lower bounds).
+        """
+        disc = value if disc is None else disc
+        pid = self._find_leaf(key, disc)
+        page = self._pool.get(pid)
+        removed = False
+        try:
+            _type, count, next_leaf = _read_header(page)
+            index = _bisect_left(page, count, key, disc)
+            if index < count and _read_entry(page, index)[:2] == (key, disc):
+                entries = _entries(page, count)
+                del entries[index]
+                _set_entries(page, _LEAF, entries, next_leaf)
+                removed = True
+        finally:
+            self._pool.unpin(pid, dirty=removed)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by property-based tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify ordering, fill and chain invariants of the whole tree.
+
+        Raises ``AssertionError`` on the first violation.  Exposed for
+        tests; not called on any hot path.
+        """
+        leaves: List[PageId] = []
+        self._check_node(self.root, _MIN_I64, _MIN_I64, _MAX_I64, _MAX_I64, leaves)
+        # Leaf chain must visit the same leaves left-to-right.
+        if leaves:
+            chained = []
+            pid = leaves[0]
+            while pid:
+                chained.append(pid)
+                page = self._pool.get(pid)
+                try:
+                    _type, _count, next_leaf = _read_header(page)
+                finally:
+                    self._pool.unpin(pid)
+                pid = next_leaf
+            assert chained[: len(leaves)] == leaves, "leaf chain out of order"
+
+    def _check_node(
+        self,
+        pid: PageId,
+        low_key: int,
+        low_disc: int,
+        high_key: int,
+        high_disc: int,
+        leaves: List[PageId],
+    ) -> None:
+        page = self._pool.get(pid)
+        try:
+            node_type, count, link = _read_header(page)
+            entries = _entries(page, count)
+        finally:
+            self._pool.unpin(pid)
+        previous = (low_key, low_disc)
+        for key, disc, _value in entries:
+            assert previous <= (key, disc), f"page {pid}: entries out of order"
+            assert (key, disc) < (high_key, high_disc) or (
+                high_key,
+                high_disc,
+            ) == (_MAX_I64, _MAX_I64), f"page {pid}: entry above separator"
+            previous = (key, disc)
+        if node_type == _LEAF:
+            leaves.append(pid)
+            return
+        assert count >= 1, f"internal page {pid} has no separators"
+        bounds = [(low_key, low_disc)] + [(k, d) for k, d, _ in entries]
+        bounds.append((high_key, high_disc))
+        children = [link] + [c for _k, _d, c in entries]
+        for i, child in enumerate(children):
+            lo_k, lo_d = bounds[i]
+            hi_k, hi_d = bounds[i + 1]
+            self._check_node(child, lo_k, lo_d, hi_k, hi_d, leaves)

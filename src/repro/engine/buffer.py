@@ -1,0 +1,221 @@
+"""The buffer pool: an LRU page cache with pin counts.
+
+Every page access of the heap and the B+trees goes through
+:class:`BufferPool`.  The pool caches up to ``capacity`` page frames;
+unpinned frames are evicted least-recently-used, dirty frames are
+written back on eviction and on :meth:`flush_all`.
+
+The pool keeps hit/miss/eviction counters — the HyperModel's cold/warm
+protocol is *about* this cache: a cold run faults pages in, the warm
+run hits them, and :meth:`drop_cache` (called from the backend's
+``close``) is what resets the database to cold state between operation
+sequences (section 5.3(e)).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Dict, Iterator, Optional
+
+from repro.engine.pages import PAGE_SIZE, PageFile, PageId
+from repro.errors import PageError
+
+
+@dataclasses.dataclass
+class BufferStats:
+    """Cumulative cache behaviour counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of page requests served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = self.misses = self.evictions = self.writebacks = 0
+
+
+class _Frame:
+    __slots__ = ("pid", "data", "pin_count", "dirty")
+
+    def __init__(self, pid: PageId, data: bytearray) -> None:
+        self.pid = pid
+        self.data = data
+        self.pin_count = 0
+        self.dirty = False
+
+
+class BufferPool:
+    """A fixed-capacity write-back page cache over one page file."""
+
+    def __init__(self, page_file: PageFile, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise PageError("buffer pool capacity must be >= 1")
+        self._file = page_file
+        self.capacity = capacity
+        self._frames: "collections.OrderedDict[PageId, _Frame]" = (
+            collections.OrderedDict()
+        )
+        #: Evictable frames (unpinned AND clean) in LRU order.  Kept in
+        #: lockstep with frame state so victim selection is O(1) even
+        #: when the pool is overcommitted with dirty pages.
+        self._clean_lru: "collections.OrderedDict[PageId, None]" = (
+            collections.OrderedDict()
+        )
+        self.stats = BufferStats()
+
+    # ------------------------------------------------------------------
+    # Page access
+    # ------------------------------------------------------------------
+
+    def get(self, pid: PageId) -> bytearray:
+        """Pin a page and return its frame buffer.
+
+        The caller must balance every ``get`` with an :meth:`unpin`.
+        Mutating the returned buffer requires ``unpin(pid, dirty=True)``
+        so the change is written back.
+        """
+        frame = self._frames.get(pid)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(pid)
+        else:
+            self.stats.misses += 1
+            self._ensure_room()
+            frame = _Frame(pid, self._file.read_page(pid))
+            self._frames[pid] = frame
+        frame.pin_count += 1
+        self._clean_lru.pop(pid, None)  # pinned: not evictable
+        return frame.data
+
+    def unpin(self, pid: PageId, dirty: bool = False) -> None:
+        """Release one pin; mark the frame dirty if it was modified."""
+        frame = self._frames.get(pid)
+        if frame is None or frame.pin_count == 0:
+            raise PageError(f"unpin of page {pid} that is not pinned")
+        frame.pin_count -= 1
+        if dirty:
+            frame.dirty = True
+        if frame.pin_count == 0 and not frame.dirty:
+            self._clean_lru[pid] = None
+            self._clean_lru.move_to_end(pid)
+
+    def new_page(self) -> PageId:
+        """Allocate a fresh zeroed page and cache it (unpinned)."""
+        pid = self._file.allocate()
+        self._ensure_room()
+        frame = _Frame(pid, bytearray(PAGE_SIZE))
+        frame.dirty = True
+        self._frames[pid] = frame
+        return pid
+
+    def free_page(self, pid: PageId) -> None:
+        """Drop a page from the cache and return it to the file free list."""
+        frame = self._frames.pop(pid, None)
+        if frame is not None and frame.pin_count:
+            raise PageError(f"freeing pinned page {pid}")
+        self._clean_lru.pop(pid, None)
+        self._file.free(pid)
+
+    # ------------------------------------------------------------------
+    # Eviction and flushing
+    # ------------------------------------------------------------------
+
+    def _ensure_room(self) -> None:
+        """Make room for one more frame.
+
+        Only *clean* unpinned frames are evicted: dirty pages must not
+        reach the file before their commit's log records do (the
+        write-ahead rule).  When every frame is dirty or pinned the
+        pool grows past its nominal capacity; the store trims it back
+        at the next commit, when the dirty set is logged and flushed.
+        """
+        while len(self._frames) >= self.capacity:
+            victim = self._pick_victim()
+            if victim is None:
+                return  # overcommit until the next commit flush
+            self._evict(victim)
+
+    def _pick_victim(self) -> Optional[PageId]:
+        while self._clean_lru:
+            pid = next(iter(self._clean_lru))
+            frame = self._frames.get(pid)
+            if frame is not None and frame.pin_count == 0 and not frame.dirty:
+                return pid
+            self._clean_lru.pop(pid, None)  # stale entry: discard
+        return None
+
+    def trim(self) -> None:
+        """Evict clean unpinned frames until within nominal capacity."""
+        while len(self._frames) > self.capacity:
+            victim = self._pick_victim()
+            if victim is None:
+                return
+            self._evict(victim)
+
+    def _evict(self, pid: PageId) -> None:
+        frame = self._frames.pop(pid)
+        self._clean_lru.pop(pid, None)
+        if frame.dirty:
+            self._file.write_page(pid, frame.data)
+            self.stats.writebacks += 1
+        self.stats.evictions += 1
+
+    def flush_all(self) -> None:
+        """Write back every dirty frame (frames stay cached)."""
+        for frame in self._frames.values():
+            if frame.dirty:
+                self._file.write_page(frame.pid, frame.data)
+                frame.dirty = False
+                self.stats.writebacks += 1
+            if frame.pin_count == 0 and frame.pid not in self._clean_lru:
+                self._clean_lru[frame.pid] = None
+        self.trim()
+
+    def dirty_pages(self) -> Dict[PageId, bytes]:
+        """Snapshot of every dirty frame's contents (for WAL logging)."""
+        return {
+            frame.pid: bytes(frame.data)
+            for frame in self._frames.values()
+            if frame.dirty
+        }
+
+    def drop_cache(self) -> None:
+        """Flush and forget every frame: the next access is cold.
+
+        This is the section 5.3(e) "close the database" step that stops
+        caching from one operation sequence affecting the next.
+        """
+        if any(f.pin_count for f in self._frames.values()):
+            raise PageError("cannot drop cache while pages are pinned")
+        self.flush_all()
+        self._frames.clear()
+        self._clean_lru.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def cached_pages(self) -> int:
+        """Number of frames currently cached."""
+        return len(self._frames)
+
+    def cached_page_ids(self) -> Iterator[PageId]:
+        """Iterate the cached page ids in LRU order (oldest first)."""
+        return iter(list(self._frames))
+
+    def pin_counts(self) -> Dict[PageId, int]:
+        """Snapshot of non-zero pin counts (for invariant checks)."""
+        return {
+            pid: frame.pin_count
+            for pid, frame in self._frames.items()
+            if frame.pin_count
+        }

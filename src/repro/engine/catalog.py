@@ -1,0 +1,242 @@
+"""The persistent class catalog with dynamic schema evolution (R4).
+
+The catalog maps class names to class ids, field definitions (with
+defaults) and base classes.  It is stored as one serialized record in a
+dedicated heap whose RID is a named root of the page file, so it
+survives restarts and is loaded with a single record read.
+
+Schema evolution is *lazy*: adding a field to a class bumps the class's
+schema version and records the field's default; objects written under
+an older version are upgraded on read by filling in defaults.  Nothing
+is rewritten eagerly — exactly how engines avoid O(extent) schema
+changes, and what makes the paper's "add a DrawNode type / add an
+attribute" extension cheap to measure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+from repro.engine.heap import HeapFile
+from repro.engine import serializer
+from repro.errors import SchemaError
+
+
+@dataclasses.dataclass
+class FieldDefinition:
+    """One field of a class: name plus the default for lazy upgrade.
+
+    ``since_version`` is the class schema version that introduced the
+    field; objects stored with an older version get ``default`` on
+    read.
+    """
+
+    name: str
+    default: Any = None
+    since_version: int = 1
+
+    def to_dict(self) -> dict:
+        """Serializable form."""
+        return {
+            "name": self.name,
+            "default": self.default,
+            "since": self.since_version,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FieldDefinition":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(raw["name"], raw["default"], raw["since"])
+
+
+@dataclasses.dataclass
+class ClassDefinition:
+    """One class: id, name, optional base, fields and schema version."""
+
+    class_id: int
+    name: str
+    base: Optional[str]
+    fields: List[FieldDefinition]
+    version: int = 1
+
+    def field_names(self) -> List[str]:
+        """Names of the class's own (non-inherited) fields."""
+        return [f.name for f in self.fields]
+
+    def to_dict(self) -> dict:
+        """Serializable form."""
+        return {
+            "id": self.class_id,
+            "name": self.name,
+            "base": self.base,
+            "fields": [f.to_dict() for f in self.fields],
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ClassDefinition":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            raw["id"],
+            raw["name"],
+            raw["base"],
+            [FieldDefinition.from_dict(f) for f in raw["fields"]],
+            raw["version"],
+        )
+
+
+class Catalog:
+    """The schema catalog of one object store."""
+
+    _ROOT = "catalog.rid"
+
+    def __init__(self, heap: HeapFile) -> None:
+        self._heap = heap
+        self._file = heap._pool._file
+        self._classes: Dict[str, ClassDefinition] = {}
+        self._by_id: Dict[int, ClassDefinition] = {}
+        self._next_class_id = 1
+        rid = self._file.get_root(self._ROOT, 0)
+        if rid:
+            self._rid: Optional[int] = rid
+            self._load(rid)
+        else:
+            self._rid = None
+            self.save()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _load(self, rid: int) -> None:
+        raw = serializer.decode(self._heap.read(rid))
+        self._next_class_id = raw["next_id"]
+        for entry in raw["classes"]:
+            definition = ClassDefinition.from_dict(entry)
+            self._classes[definition.name] = definition
+            self._by_id[definition.class_id] = definition
+
+    def save(self) -> None:
+        """Write the catalog record and update its root pointer."""
+        payload = serializer.encode(
+            {
+                "next_id": self._next_class_id,
+                "classes": [c.to_dict() for c in self._classes.values()],
+            }
+        )
+        if self._rid is None:
+            self._rid = self._heap.insert(payload)
+        else:
+            self._rid = self._heap.update(self._rid, payload)
+        self._file.set_root(self._ROOT, self._rid)
+
+    # ------------------------------------------------------------------
+    # Class management
+    # ------------------------------------------------------------------
+
+    def define_class(
+        self,
+        name: str,
+        fields: List[FieldDefinition],
+        base: Optional[str] = None,
+    ) -> ClassDefinition:
+        """Register a new class; returns its definition.
+
+        Raises:
+            SchemaError: on duplicate names, unknown bases, or field
+                name collisions with inherited fields.
+        """
+        if name in self._classes:
+            raise SchemaError(f"class {name!r} already defined")
+        if base is not None and base not in self._classes:
+            raise SchemaError(f"unknown base class {base!r}")
+        inherited = set(self.all_field_names(base)) if base else set()
+        seen = set(inherited)
+        for field in fields:
+            if field.name in seen:
+                raise SchemaError(
+                    f"duplicate field {field.name!r} in class {name!r}"
+                )
+            seen.add(field.name)
+        definition = ClassDefinition(self._next_class_id, name, base, list(fields))
+        self._next_class_id += 1
+        self._classes[name] = definition
+        self._by_id[definition.class_id] = definition
+        self.save()
+        return definition
+
+    def add_field(self, class_name: str, field: FieldDefinition) -> None:
+        """Add a field to an existing class (lazy upgrade on read)."""
+        definition = self.get(class_name)
+        if field.name in self.all_field_names(class_name):
+            raise SchemaError(
+                f"class {class_name!r} already has field {field.name!r}"
+            )
+        definition.version += 1
+        field.since_version = definition.version
+        definition.fields.append(field)
+        self.save()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> ClassDefinition:
+        """Class definition by name."""
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise SchemaError(f"unknown class {name!r}") from None
+
+    def get_by_id(self, class_id: int) -> ClassDefinition:
+        """Class definition by id."""
+        try:
+            return self._by_id[class_id]
+        except KeyError:
+            raise SchemaError(f"unknown class id {class_id}") from None
+
+    def has_class(self, name: str) -> bool:
+        """Whether a class exists."""
+        return name in self._classes
+
+    def class_names(self) -> List[str]:
+        """All class names in definition order."""
+        return list(self._classes)
+
+    def is_subclass(self, name: str, ancestor: str) -> bool:
+        """Whether ``name`` equals or transitively specializes ``ancestor``."""
+        current: Optional[str] = name
+        while current is not None:
+            if current == ancestor:
+                return True
+            current = self.get(current).base
+        return False
+
+    def all_fields(self, name: str) -> List[FieldDefinition]:
+        """Fields including inherited ones, bases first."""
+        definition = self.get(name)
+        inherited = self.all_fields(definition.base) if definition.base else []
+        return inherited + list(definition.fields)
+
+    def all_field_names(self, name: Optional[str]) -> List[str]:
+        """Field names including inherited ones; [] for ``None``."""
+        if name is None:
+            return []
+        return [f.name for f in self.all_fields(name)]
+
+    def upgrade_state(self, class_id: int, version: int, state: dict) -> dict:
+        """Fill defaults for fields added after ``version`` (lazy upgrade)."""
+        definition = self.get_by_id(class_id)
+        if version >= definition.version:
+            return state
+        chain: List[ClassDefinition] = []
+        current: Optional[ClassDefinition] = definition
+        while current is not None:
+            chain.append(current)
+            current = self.get(current.base) if current.base else None
+        for cls in chain:
+            for field in cls.fields:
+                if field.since_version > version and field.name not in state:
+                    state[field.name] = field.default
+        return state

@@ -1,0 +1,145 @@
+"""A shared/exclusive lock manager with deadlock detection (R8).
+
+Locks are held per object id at transaction granularity, following
+strict two-phase locking: a transaction acquires locks as it touches
+objects and releases everything at commit or abort.
+
+Deadlocks are detected with a waits-for graph: before blocking, the
+requester adds edges to every current holder and a cycle check runs; a
+request that would close a cycle raises :class:`DeadlockError`
+immediately (the requester is the victim).  A wall-clock timeout is the
+backstop for lost wakeups.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Dict, Optional, Set
+
+from repro.errors import DeadlockError
+
+
+class LockMode(enum.Enum):
+    """Lock compatibility: S is shared with S; X is exclusive."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class _LockState:
+    __slots__ = ("holders", "mode", "condition")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self.holders: Set[int] = set()
+        self.mode: Optional[LockMode] = None
+        self.condition = threading.Condition(lock)
+
+
+class LockManager:
+    """Per-object S/X locks shared by all transactions of one store."""
+
+    def __init__(self, timeout: float = 5.0) -> None:
+        self.timeout = timeout
+        self._mutex = threading.Lock()
+        self._locks: Dict[int, _LockState] = {}
+        self._held: Dict[int, Set[int]] = {}  # txid -> oids
+        self._waits_for: Dict[int, Set[int]] = {}  # txid -> blocking txids
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+
+    def _compatible(self, state: _LockState, txid: int, mode: LockMode) -> bool:
+        if not state.holders:
+            return True
+        if state.holders == {txid}:
+            return True  # upgrade handled by caller
+        if mode is LockMode.SHARED and state.mode is LockMode.SHARED:
+            return True
+        return False
+
+    def _would_deadlock(self, txid: int) -> bool:
+        """DFS over the waits-for graph looking for a cycle through txid."""
+        stack = list(self._waits_for.get(txid, ()))
+        seen: Set[int] = set()
+        while stack:
+            current = stack.pop()
+            if current == txid:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._waits_for.get(current, ()))
+        return False
+
+    def acquire(self, txid: int, oid: int, mode: LockMode) -> None:
+        """Acquire (or upgrade) a lock on ``oid`` for ``txid``.
+
+        Raises:
+            DeadlockError: if waiting would deadlock, or on timeout.
+        """
+        with self._mutex:
+            state = self._locks.get(oid)
+            if state is None:
+                state = self._locks[oid] = _LockState(self._mutex)
+
+            while True:
+                if txid in state.holders:
+                    if mode is LockMode.SHARED or state.mode is LockMode.EXCLUSIVE:
+                        return  # already sufficient
+                    if state.holders == {txid}:
+                        state.mode = LockMode.EXCLUSIVE  # upgrade
+                        return
+                elif self._compatible(state, txid, mode):
+                    state.holders.add(txid)
+                    if state.mode is None or mode is LockMode.EXCLUSIVE:
+                        state.mode = mode
+                    self._held.setdefault(txid, set()).add(oid)
+                    return
+
+                blockers = state.holders - {txid}
+                self._waits_for[txid] = set(blockers)
+                if self._would_deadlock(txid):
+                    del self._waits_for[txid]
+                    raise DeadlockError(
+                        f"transaction {txid} would deadlock on object {oid}"
+                    )
+                signalled = state.condition.wait(self.timeout)
+                self._waits_for.pop(txid, None)
+                if not signalled:
+                    raise DeadlockError(
+                        f"transaction {txid} timed out waiting for object {oid}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+
+    def release_all(self, txid: int) -> None:
+        """Release every lock held by ``txid`` (end of transaction)."""
+        with self._mutex:
+            for oid in self._held.pop(txid, set()):
+                state = self._locks.get(oid)
+                if state is None:
+                    continue
+                state.holders.discard(txid)
+                if not state.holders:
+                    state.mode = None
+                state.condition.notify_all()
+            self._waits_for.pop(txid, None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def holders_of(self, oid: int) -> Set[int]:
+        """Transactions currently holding a lock on ``oid``."""
+        with self._mutex:
+            state = self._locks.get(oid)
+            return set(state.holders) if state else set()
+
+    def locks_held(self, txid: int) -> Set[int]:
+        """Objects currently locked by ``txid``."""
+        with self._mutex:
+            return set(self._held.get(txid, set()))

@@ -1,0 +1,190 @@
+"""A self-contained binary serializer for object state.
+
+Persistent objects are dictionaries mapping field names to values.  The
+encoding is a compact tag-length format (no pickle — the store's
+on-disk format must be independent of Python's object machinery):
+
+========  =======================================================
+tag       payload
+========  =======================================================
+``N``     none
+``T/F``   true / false
+``i``     zigzag varint integer
+``f``     8-byte IEEE-754 double
+``s``     varint length + UTF-8 bytes
+``b``     varint length + raw bytes
+``l``     varint count + elements (lists and tuples both decode
+          to lists)
+``d``     varint count + alternating key/value elements
+========  =======================================================
+
+Field names are encoded as strings inside the top-level dict.  The
+format round-trips everything the engine stores: node attributes, OID
+lists, (OID, offset, offset) link triples, text bodies and packed
+bitmap bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import StorageError
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_LIST = b"l"
+_TAG_DICT = b"d"
+
+import struct as _struct
+
+_DOUBLE = _struct.Struct("<d")
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise StorageError("varint must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise StorageError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise StorageError("varint too long")
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if -(1 << 63) <= value < (1 << 63) else _overflow(value)
+
+
+def _overflow(value: int) -> int:
+    raise StorageError(f"integer {value} outside 64-bit range")
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def _encode_value(out: bytearray, value: Any) -> None:
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif isinstance(value, int):
+        out += _TAG_INT
+        _write_varint(out, _zigzag(value))
+    elif isinstance(value, float):
+        out += _TAG_FLOAT
+        out += _DOUBLE.pack(value)
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out += _TAG_STR
+        _write_varint(out, len(encoded))
+        out += encoded
+    elif isinstance(value, (bytes, bytearray)):
+        out += _TAG_BYTES
+        _write_varint(out, len(value))
+        out += bytes(value)
+    elif isinstance(value, (list, tuple)):
+        out += _TAG_LIST
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif isinstance(value, dict):
+        out += _TAG_DICT
+        _write_varint(out, len(value))
+        for key, item in value.items():
+            _encode_value(out, key)
+            _encode_value(out, item)
+    else:
+        raise StorageError(f"unserializable value of type {type(value).__name__}")
+
+
+def _decode_value(data: bytes, pos: int) -> Tuple[Any, int]:
+    if pos >= len(data):
+        raise StorageError("truncated value")
+    tag = data[pos : pos + 1]
+    pos += 1
+    if tag == _TAG_NONE:
+        return None, pos
+    if tag == _TAG_TRUE:
+        return True, pos
+    if tag == _TAG_FALSE:
+        return False, pos
+    if tag == _TAG_INT:
+        raw, pos = _read_varint(data, pos)
+        return _unzigzag(raw), pos
+    if tag == _TAG_FLOAT:
+        if pos + 8 > len(data):
+            raise StorageError("truncated float")
+        return _DOUBLE.unpack_from(data, pos)[0], pos + 8
+    if tag == _TAG_STR:
+        length, pos = _read_varint(data, pos)
+        end = pos + length
+        if end > len(data):
+            raise StorageError("truncated string")
+        return data[pos:end].decode("utf-8"), end
+    if tag == _TAG_BYTES:
+        length, pos = _read_varint(data, pos)
+        end = pos + length
+        if end > len(data):
+            raise StorageError("truncated bytes")
+        return bytes(data[pos:end]), end
+    if tag == _TAG_LIST:
+        count, pos = _read_varint(data, pos)
+        items: List[Any] = []
+        for _ in range(count):
+            item, pos = _decode_value(data, pos)
+            items.append(item)
+        return items, pos
+    if tag == _TAG_DICT:
+        count, pos = _read_varint(data, pos)
+        result: Dict[Any, Any] = {}
+        for _ in range(count):
+            key, pos = _decode_value(data, pos)
+            value, pos = _decode_value(data, pos)
+            result[key] = value
+        return result, pos
+    raise StorageError(f"unknown serializer tag {tag!r}")
+
+
+def encode(value: Any) -> bytes:
+    """Serialize any supported value to bytes."""
+    out = bytearray()
+    _encode_value(out, value)
+    return bytes(out)
+
+
+def decode(data: bytes) -> Any:
+    """Deserialize bytes produced by :func:`encode`.
+
+    Raises:
+        StorageError: on truncation, unknown tags or trailing garbage.
+    """
+    value, pos = _decode_value(data, 0)
+    if pos != len(data):
+        raise StorageError(f"{len(data) - pos} trailing bytes after value")
+    return value

@@ -1,0 +1,232 @@
+"""The slotted-page record layout used by heap pages.
+
+Layout of a slotted page::
+
+    +--------------------------------------------------------------+
+    | header | record cells grow ->        ...     <- slot dir     |
+    +--------------------------------------------------------------+
+
+* The **header** (8 bytes) holds the slot count and the offset of the
+  end of the record area (records are appended at the front).
+* The **slot directory** grows backward from the end of the page; each
+  4-byte slot holds the record's offset and length.  A deleted slot is
+  a tombstone (offset ``0xFFFF``) so slot numbers stay stable — record
+  ids embed the slot number, and other pages may reference it.
+* :func:`compact` rewrites the record area to squeeze out holes left by
+  deletes and shrinking updates, preserving slot numbers.
+
+All functions operate in place on a ``bytearray`` page buffer supplied
+by the buffer pool.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.engine.pages import PAGE_SIZE
+from repro.errors import PageError
+
+_HEADER = struct.Struct("<HHI")  # slot_count, record_end, reserved
+_COUNT_END = struct.Struct("<HH")  # the mutable prefix of the header
+_SLOT = struct.Struct("<HH")  # offset, length
+
+HEADER_SIZE = _HEADER.size
+SLOT_SIZE = _SLOT.size
+
+#: Offset marking a deleted (tombstoned) slot.
+TOMBSTONE = 0xFFFF
+
+#: Largest record a single page can hold (one slot, empty page).
+MAX_RECORD_SIZE = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE
+
+
+def init_page(page: bytearray) -> None:
+    """Format a zeroed buffer as an empty slotted page."""
+    _HEADER.pack_into(page, 0, 0, HEADER_SIZE, 0)
+
+
+def slot_count(page: bytearray) -> int:
+    """Number of slots in the directory (including tombstones)."""
+    count, _end, _ = _HEADER.unpack_from(page, 0)
+    return count
+
+
+def _record_end(page: bytearray) -> int:
+    _count, end, _ = _HEADER.unpack_from(page, 0)
+    return end
+
+
+def _set_header(page: bytearray, count: int, end: int) -> None:
+    # Only the mutable prefix: the reserved word belongs to the heap
+    # layer (it chains pages) and must survive record operations.
+    _COUNT_END.pack_into(page, 0, count, end)
+
+
+def _slot_pos(index: int) -> int:
+    return PAGE_SIZE - SLOT_SIZE * (index + 1)
+
+
+def _read_slot(page: bytearray, index: int) -> Tuple[int, int]:
+    return _SLOT.unpack_from(page, _slot_pos(index))
+
+
+def _write_slot(page: bytearray, index: int, offset: int, length: int) -> None:
+    _SLOT.pack_into(page, _slot_pos(index), offset, length)
+
+
+def free_space(page: bytearray) -> int:
+    """Bytes available for a new record *including* its new slot."""
+    count = slot_count(page)
+    directory_start = PAGE_SIZE - SLOT_SIZE * count
+    gap = directory_start - _record_end(page)
+    return max(gap - SLOT_SIZE, 0)
+
+
+def can_insert(page: bytearray, length: int) -> bool:
+    """Whether a record of ``length`` bytes fits (maybe after compaction)."""
+    if length > MAX_RECORD_SIZE:
+        return False
+    if free_space(page) >= length:
+        return True
+    return _reclaimable_space(page) >= length
+
+
+def _reclaimable_space(page: bytearray) -> int:
+    """Free space obtainable by compacting the record area."""
+    count = slot_count(page)
+    live = sum(
+        length
+        for offset, length in (_read_slot(page, i) for i in range(count))
+        if offset != TOMBSTONE
+    )
+    directory_start = PAGE_SIZE - SLOT_SIZE * count
+    gap = directory_start - HEADER_SIZE - live
+    return max(gap - SLOT_SIZE, 0)
+
+
+def insert(page: bytearray, data: bytes) -> int:
+    """Insert a record, returning its slot number.
+
+    Reuses a tombstoned slot if one exists, compacts if fragmentation
+    blocks an otherwise-fitting record, and raises
+    :class:`~repro.errors.PageError` if the record cannot fit.
+    """
+    length = len(data)
+    if length > MAX_RECORD_SIZE:
+        raise PageError(f"record of {length} bytes exceeds page capacity")
+    count = slot_count(page)
+    reuse: Optional[int] = None
+    for index in range(count):
+        offset, _len = _read_slot(page, index)
+        if offset == TOMBSTONE:
+            reuse = index
+            break
+
+    needed = length if reuse is not None else length + SLOT_SIZE
+    directory_start = PAGE_SIZE - SLOT_SIZE * count
+    if directory_start - _record_end(page) < needed:
+        compact(page)
+        directory_start = PAGE_SIZE - SLOT_SIZE * count
+        if directory_start - _record_end(page) < needed:
+            raise PageError("page full")
+
+    offset = _record_end(page)
+    page[offset : offset + length] = data
+    if reuse is not None:
+        _write_slot(page, reuse, offset, length)
+        _set_header(page, count, offset + length)
+        return reuse
+    _write_slot(page, count, offset, length)
+    _set_header(page, count + 1, offset + length)
+    return count
+
+
+def read(page: bytearray, slot: int) -> bytes:
+    """Return the record stored in ``slot``.
+
+    Raises:
+        PageError: if the slot is out of range or tombstoned.
+    """
+    if not 0 <= slot < slot_count(page):
+        raise PageError(f"slot {slot} out of range")
+    offset, length = _read_slot(page, slot)
+    if offset == TOMBSTONE:
+        raise PageError(f"slot {slot} is deleted")
+    return bytes(page[offset : offset + length])
+
+
+def delete(page: bytearray, slot: int) -> None:
+    """Tombstone a slot; its space is reclaimed on the next compaction."""
+    if not 0 <= slot < slot_count(page):
+        raise PageError(f"slot {slot} out of range")
+    offset, _length = _read_slot(page, slot)
+    if offset == TOMBSTONE:
+        raise PageError(f"slot {slot} already deleted")
+    _write_slot(page, slot, TOMBSTONE, 0)
+
+
+def update(page: bytearray, slot: int, data: bytes) -> bool:
+    """Replace the record in ``slot``; returns False if it cannot fit.
+
+    Shrinking or equal-size updates are done in place.  Growing updates
+    try the free area (compacting if needed); if the page genuinely has
+    no room the function returns ``False`` and the caller must relocate
+    the record to another page.
+    """
+    if not 0 <= slot < slot_count(page):
+        raise PageError(f"slot {slot} out of range")
+    offset, length = _read_slot(page, slot)
+    if offset == TOMBSTONE:
+        raise PageError(f"slot {slot} is deleted")
+    new_length = len(data)
+    if new_length <= length:
+        page[offset : offset + new_length] = data
+        _write_slot(page, slot, offset, new_length)
+        return True
+
+    # Grow: tombstone, then try to place the new copy.
+    _write_slot(page, slot, TOMBSTONE, 0)
+    count = slot_count(page)
+    directory_start = PAGE_SIZE - SLOT_SIZE * count
+    if directory_start - _record_end(page) < new_length:
+        compact(page)
+        directory_start = PAGE_SIZE - SLOT_SIZE * count
+    if directory_start - _record_end(page) < new_length:
+        # Restore the old record so the caller can still read it.
+        _write_slot(page, slot, offset, length)
+        return False
+    new_offset = _record_end(page)
+    page[new_offset : new_offset + new_length] = data
+    _write_slot(page, slot, new_offset, new_length)
+    _set_header(page, count, new_offset + new_length)
+    return True
+
+
+def compact(page: bytearray) -> None:
+    """Rewrite the record area contiguously, keeping slot numbers."""
+    count = slot_count(page)
+    live: List[Tuple[int, bytes]] = []
+    for index in range(count):
+        offset, length = _read_slot(page, index)
+        if offset != TOMBSTONE:
+            live.append((index, bytes(page[offset : offset + length])))
+    cursor = HEADER_SIZE
+    for index, data in live:
+        page[cursor : cursor + len(data)] = data
+        _write_slot(page, index, cursor, len(data))
+        cursor += len(data)
+    _set_header(page, count, cursor)
+
+
+def records(page: bytearray) -> Iterator[Tuple[int, bytes]]:
+    """Iterate (slot, record) pairs, skipping tombstones."""
+    for index in range(slot_count(page)):
+        offset, length = _read_slot(page, index)
+        if offset != TOMBSTONE:
+            yield index, bytes(page[offset : offset + length])
+
+
+def live_count(page: bytearray) -> int:
+    """Number of non-tombstoned records on the page."""
+    return sum(1 for _ in records(page))

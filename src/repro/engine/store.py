@@ -1,0 +1,991 @@
+"""The object store facade: OIDs, classes, indexes, transactions.
+
+:class:`ObjectStore` ties the engine together.  Its design in one
+paragraph: objects are dictionaries validated against the persistent
+:class:`~repro.engine.catalog.Catalog`; each object has a stable **OID**
+resolved through a B+tree *directory* to a heap RID; per-class
+*extents* and per-field *indexes* are further B+trees; transactions
+buffer writes in memory (deferred update) and commit by logging the
+dirtied page images to the write-ahead log, fsyncing, then forcing the
+pages — so recovery is a pure physical redo.  Clustering places objects
+near a designated neighbour's page; versioned stores preserve each
+object's pre-state in a timestamped chain.
+
+The stats the benchmark cares about (page faults, cache hits, commit
+counts) surface through :class:`StoreStats`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.engine import serializer, wal as wal_mod
+from repro.engine.btree import BTree
+from repro.engine.buffer import BufferPool
+from repro.engine.catalog import Catalog, ClassDefinition, FieldDefinition
+from repro.engine.clustering import ClusteringPolicy
+from repro.engine.heap import HeapFile, Rid
+from repro.engine.locks import LockManager, LockMode
+from repro.engine.pages import PageFile
+from repro.engine.txn import DELETED, Transaction, TxnStatus
+from repro.engine.versioning import VersionChain, preserve_version
+from repro.engine.wal import WriteAheadLog
+from repro.errors import (
+    DatabaseClosedError,
+    RecordNotFoundError,
+    SchemaError,
+    StorageError,
+    TransactionError,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class VacuumStats:
+    """Before/after file sizes of one vacuum run."""
+
+    size_before: int
+    size_after: int
+
+    @property
+    def reclaimed(self) -> int:
+        """Bytes the compaction gave back."""
+        return max(0, self.size_before - self.size_after)
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Counters surfaced to the harness and the ablation benchmarks."""
+
+    commits: int = 0
+    aborts: int = 0
+    objects_written: int = 0
+    objects_read: int = 0
+    checkpoints: int = 0
+    recovered_transactions: int = 0
+
+
+class ObjectStore:
+    """A single-file object database.
+
+    Args:
+        path: the database file (a ``.wal`` sibling is created).
+        cache_pages: buffer pool capacity in pages.
+        clustered: honour clustering hints (the 1-N policy).
+        versioned: preserve pre-states of updated objects (R5).
+        locking: acquire S/X object locks per transaction (R8); off by
+            default because the benchmark proper is single-user.
+        sync_commits: fsync the WAL at commit.  Tests may disable it.
+        checkpoint_after_bytes: WAL size that triggers an automatic
+            checkpoint at the next commit boundary.
+    """
+
+    _META_ROOT = "meta.rid"
+    _DIR_ROOT = "dir.root"
+    _EXTENT_ROOT = "extent.root"
+
+    def __init__(
+        self,
+        path: str,
+        cache_pages: int = 256,
+        clustered: bool = True,
+        versioned: bool = False,
+        locking: bool = False,
+        sync_commits: bool = True,
+        checkpoint_after_bytes: int = 8 * 1024 * 1024,
+    ) -> None:
+        self.path = path
+        self.cache_pages = cache_pages
+        self.clustering = ClusteringPolicy(enabled=clustered)
+        self.versioned = versioned
+        self.locking = locking
+        self.sync_commits = sync_commits
+        self.checkpoint_after_bytes = checkpoint_after_bytes
+
+        self.stats = StoreStats()
+        self.locks = LockManager()
+        self._mutex = threading.RLock()
+        self._next_txid = 1
+        self._current: Optional[Transaction] = None
+
+        self._file: Optional[PageFile] = None
+        self._pool: Optional[BufferPool] = None
+        self._wal: Optional[WriteAheadLog] = None
+        self._heap: Optional[HeapFile] = None
+        self._catalog: Optional[Catalog] = None
+        self._directory: Optional[BTree] = None
+        self._extent: Optional[BTree] = None
+        self._indexes: Dict[Tuple[str, str], BTree] = {}
+        self._meta: Dict[str, Any] = {}
+        self._meta_rid: Optional[Rid] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def open(self) -> None:
+        """Open (creating if absent), running crash recovery if needed."""
+        with self._mutex:
+            if self.is_open:
+                return
+            self._wal = WriteAheadLog(
+                self.path + ".wal", sync_on_commit=self.sync_commits
+            )
+            self._recover_if_needed()
+            self._file = PageFile(self.path)
+            self._pool = BufferPool(self._file, self.cache_pages)
+            self._heap = HeapFile(self._pool, "data")
+            self._catalog = Catalog(self._heap)
+            self._directory = BTree(
+                self._pool, self._file.get_root(self._DIR_ROOT, 0)
+            )
+            self._extent = BTree(
+                self._pool, self._file.get_root(self._EXTENT_ROOT, 0)
+            )
+            self._load_meta()
+            self._load_indexes()
+
+    def _recover_if_needed(self) -> None:
+        """Physical redo of committed work left in the WAL."""
+        work = self._wal.recover_operations()
+        if not work:
+            return
+        file = PageFile(self.path)
+        try:
+            for _txid, records in work:
+                for record in records:
+                    if record.kind == wal_mod.PAGE:
+                        file.write_page_extending(
+                            record.oid, wal_mod.page_image(record)
+                        )
+                    elif record.kind == wal_mod.ROOTS:
+                        file.restore_roots(
+                            {k: v for k, v in record.state.items()}
+                        )
+                self.stats.recovered_transactions += 1
+            file.sync()
+        finally:
+            file.close()
+        self._wal.log_checkpoint()
+        self.stats.checkpoints += 1
+
+    def close(self) -> None:
+        """Checkpoint and close.  An open transaction is aborted."""
+        with self._mutex:
+            if not self.is_open:
+                return
+            if self._current is not None:
+                self._abort_txn(self._current)
+            self.checkpoint()
+            self._wal.close()
+            self._file.close()
+            self._file = None
+            self._pool = None
+            self._wal = None
+            self._heap = None
+            self._catalog = None
+            self._directory = None
+            self._extent = None
+            self._indexes = {}
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the store is open."""
+        return self._file is not None
+
+    def _require_open(self) -> None:
+        if not self.is_open:
+            raise DatabaseClosedError(f"store {self.path} is not open")
+
+    def checkpoint(self) -> None:
+        """Force all pages, fsync the data file, truncate the WAL."""
+        self._require_open()
+        self._save_roots()
+        self._pool.flush_all()
+        self._file.sync()
+        self._wal.log_checkpoint()
+        self.stats.checkpoints += 1
+
+    def drop_cache(self) -> None:
+        """Flush and empty the buffer pool: the next access is cold.
+
+        This is the hook behind the protocol's section 5.3(e) close
+        step; it also resets the pool's hit/miss statistics.
+        """
+        self._require_open()
+        if self._current is not None and self._current.write_set:
+            raise TransactionError("cannot drop cache with uncommitted writes")
+        self._save_roots()
+        self._pool.drop_cache()
+        self._pool.stats.reset()
+
+    @property
+    def buffer_stats(self):
+        """The buffer pool's hit/miss/eviction counters."""
+        self._require_open()
+        return self._pool.stats
+
+    @property
+    def catalog(self) -> Catalog:
+        """The schema catalog."""
+        self._require_open()
+        return self._catalog
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+
+    def _load_meta(self) -> None:
+        rid = self._file.get_root(self._META_ROOT, 0)
+        if rid:
+            self._meta_rid = rid
+            self._meta = serializer.decode(self._heap.read(rid))
+        else:
+            self._meta = {"next_oid": 1, "commit_ts": 0, "indexes": []}
+            self._meta_rid = None
+            self._save_meta()
+
+    def _save_meta(self) -> None:
+        payload = serializer.encode(self._meta)
+        if self._meta_rid is None:
+            self._meta_rid = self._heap.insert(payload)
+        else:
+            self._meta_rid = self._heap.update(self._meta_rid, payload)
+        self._file.set_root(self._META_ROOT, self._meta_rid)
+
+    def _load_indexes(self) -> None:
+        for class_name, field in self._meta["indexes"]:
+            root_name = self._index_root_name(class_name, field)
+            self._indexes[(class_name, field)] = BTree(
+                self._pool, self._file.get_root(root_name, 0)
+            )
+
+    def _index_root_name(self, class_name: str, field: str) -> str:
+        class_id = self._catalog.get(class_name).class_id
+        name = f"ix.{class_id}.{field}"
+        if len(name) > 16:
+            name = name[:16]
+        return name
+
+    def _save_roots(self) -> None:
+        self._file.set_root(self._DIR_ROOT, self._directory.root)
+        self._file.set_root(self._EXTENT_ROOT, self._extent.root)
+        for (class_name, field), tree in self._indexes.items():
+            self._file.set_root(self._index_root_name(class_name, field), tree.root)
+
+    @property
+    def commit_timestamp(self) -> int:
+        """The logical clock value of the last commit."""
+        self._require_open()
+        return self._meta["commit_ts"]
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+
+    def define_class(
+        self,
+        name: str,
+        fields: List[FieldDefinition],
+        base: Optional[str] = None,
+    ) -> ClassDefinition:
+        """Register a class in the catalog (persisted immediately)."""
+        self._require_open()
+        definition = self._catalog.define_class(name, fields, base)
+        self._flush_structural_change()
+        return definition
+
+    def add_field(self, class_name: str, field: FieldDefinition) -> None:
+        """Dynamically add a field to a class (R4; lazy upgrade)."""
+        self._require_open()
+        self._catalog.add_field(class_name, field)
+        self._flush_structural_change()
+
+    def _flush_structural_change(self) -> None:
+        """Persist catalog/index structure changes durably right away."""
+        txid = self._next_txid
+        self._next_txid += 1
+        self._save_roots()
+        self._log_and_force(txid)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start an explicit transaction.
+
+        Only one transaction can be current per store handle; the
+        multi-user layers each hold their own workspace and merge
+        through explicit check-in instead.
+        """
+        with self._mutex:
+            self._require_open()
+            if self._current is not None:
+                raise TransactionError("a transaction is already active")
+            txn = Transaction(self._next_txid)
+            self._next_txid += 1
+            txn._store = self
+            self._current = txn
+            return txn
+
+    def current_transaction(self) -> Optional[Transaction]:
+        """The active transaction, if any."""
+        return self._current
+
+    def _ensure_txn(self, txn: Optional[Transaction]) -> Transaction:
+        if txn is not None:
+            txn.require_active()
+            return txn
+        if self._current is None:
+            self.begin()
+        return self._current
+
+    def commit(self) -> None:
+        """Commit the current transaction (no-op when none is active)."""
+        with self._mutex:
+            self._require_open()
+            if self._current is not None:
+                self._commit_txn(self._current)
+
+    def abort(self) -> None:
+        """Abort the current transaction (no-op when none is active)."""
+        with self._mutex:
+            if self._current is not None:
+                self._abort_txn(self._current)
+
+    def _lock(self, txn: Transaction, oid: int, mode: LockMode) -> None:
+        if self.locking:
+            self.locks.acquire(txn.txid, oid, mode)
+
+    # ------------------------------------------------------------------
+    # Object operations
+    # ------------------------------------------------------------------
+
+    def new(
+        self,
+        class_name: str,
+        state: Dict[str, Any],
+        near: Optional[int] = None,
+        txn: Optional[Transaction] = None,
+    ) -> int:
+        """Create an object; returns its OID.
+
+        Unknown fields raise :class:`~repro.errors.SchemaError`; fields
+        missing from ``state`` take their catalog defaults.  ``near``
+        is a clustering hint (place on the same page as that object).
+        """
+        with self._mutex:
+            self._require_open()
+            txn = self._ensure_txn(txn)
+            definition = self._catalog.get(class_name)
+            valid = set(self._catalog.all_field_names(class_name))
+            unknown = set(state) - valid
+            if unknown:
+                raise SchemaError(
+                    f"unknown fields for {class_name}: {sorted(unknown)}"
+                )
+            full_state = {
+                f.name: state.get(f.name, f.default)
+                for f in self._catalog.all_fields(class_name)
+            }
+            oid = self._meta["next_oid"]
+            self._meta["next_oid"] += 1
+            self._lock(txn, oid, LockMode.EXCLUSIVE)
+            txn.buffer_put(oid, full_state, created=True)
+            txn.new_classes[oid] = definition.name
+            hint = self.clustering.hint_for_new(near)
+            if hint is not None:
+                txn.place_near[oid] = hint
+            return oid
+
+    def get(self, oid: int, txn: Optional[Transaction] = None) -> Dict[str, Any]:
+        """Read an object's state (a private copy).
+
+        Raises:
+            RecordNotFoundError: if the OID does not exist (or was
+                deleted in the current transaction).
+        """
+        with self._mutex:
+            self._require_open()
+            active = txn or self._current
+            if active is not None:
+                buffered = active.buffered(oid)
+                if buffered is DELETED:
+                    raise RecordNotFoundError(oid)
+                if buffered is not None:
+                    active.note_read(oid)
+                    return dict(buffered)
+                self._lock(active, oid, LockMode.SHARED)
+                active.note_read(oid)
+            record = self._read_record(oid)
+            self.stats.objects_read += 1
+            return record["s"]
+
+    def class_of(self, oid: int, txn: Optional[Transaction] = None) -> str:
+        """The class name of an object."""
+        with self._mutex:
+            self._require_open()
+            active = txn or self._current
+            if active is not None and oid in active.new_classes:
+                return active.new_classes[oid]
+            record = self._read_record(oid)
+            return self._catalog.get_by_id(record["c"]).name
+
+    def exists(self, oid: int, txn: Optional[Transaction] = None) -> bool:
+        """Whether an OID resolves to a live object."""
+        with self._mutex:
+            self._require_open()
+            active = txn or self._current
+            if active is not None:
+                buffered = active.buffered(oid)
+                if buffered is DELETED:
+                    return False
+                if buffered is not None:
+                    return True
+            return self._directory.search_unique(oid) is not None
+
+    def put(
+        self,
+        oid: int,
+        state: Dict[str, Any],
+        txn: Optional[Transaction] = None,
+    ) -> None:
+        """Replace an object's whole state."""
+        with self._mutex:
+            self._require_open()
+            txn = self._ensure_txn(txn)
+            if txn.buffered(oid) is None and not self.exists(oid, txn):
+                raise RecordNotFoundError(oid)
+            self._lock(txn, oid, LockMode.EXCLUSIVE)
+            txn.buffer_put(oid, dict(state))
+
+    def update(
+        self,
+        oid: int,
+        changes: Dict[str, Any],
+        txn: Optional[Transaction] = None,
+    ) -> None:
+        """Apply a partial update to an object."""
+        with self._mutex:
+            self._require_open()
+            txn = self._ensure_txn(txn)
+            state = self.get(oid, txn)
+            state.update(changes)
+            self._lock(txn, oid, LockMode.EXCLUSIVE)
+            txn.buffer_put(oid, state)
+
+    def delete(self, oid: int, txn: Optional[Transaction] = None) -> None:
+        """Delete an object."""
+        with self._mutex:
+            self._require_open()
+            txn = self._ensure_txn(txn)
+            if txn.buffered(oid) is None and not self.exists(oid, txn):
+                raise RecordNotFoundError(oid)
+            self._lock(txn, oid, LockMode.EXCLUSIVE)
+            txn.buffer_delete(oid)
+
+    def relocate_near(
+        self, oid: int, near: int, txn: Optional[Transaction] = None
+    ) -> None:
+        """Re-cluster an existing object next to another (1-N policy)."""
+        with self._mutex:
+            self._require_open()
+            if not self.clustering.should_relocate(near):
+                return
+            txn = self._ensure_txn(txn)
+            state = self.get(oid, txn)
+            txn.buffer_put(oid, state)
+            txn.place_near[oid] = near
+
+    # ------------------------------------------------------------------
+    # Record I/O
+    # ------------------------------------------------------------------
+
+    def _rid_of(self, oid: int) -> Rid:
+        rid = self._directory.search_unique(oid)
+        if rid is None:
+            raise RecordNotFoundError(oid)
+        return rid
+
+    def _read_record(self, oid: int) -> Dict[str, Any]:
+        raw = self._heap.read(self._rid_of(oid))
+        record = serializer.decode(raw)
+        record["s"] = self._catalog.upgrade_state(
+            record["c"], record["v"], record["s"]
+        )
+        return record
+
+    def _encode_record(
+        self,
+        class_id: int,
+        version: int,
+        state: Dict[str, Any],
+        version_head: Rid,
+        timestamp: int,
+    ) -> bytes:
+        return serializer.encode(
+            {"c": class_id, "v": version, "s": state, "p": version_head, "ts": timestamp}
+        )
+
+    # ------------------------------------------------------------------
+    # Commit machinery
+    # ------------------------------------------------------------------
+
+    def _commit_txn(self, txn: Transaction) -> None:
+        with self._mutex:
+            self._require_open()
+            txn.require_active()
+            if txn is not self._current:
+                raise TransactionError("not the current transaction")
+            try:
+                if txn.write_set:
+                    self._apply_and_force(txn)
+                txn.status = TxnStatus.COMMITTED
+            finally:
+                self.locks.release_all(txn.txid)
+                self._current = None
+            self.stats.commits += 1
+
+    def _apply_and_force(self, txn: Transaction) -> None:
+        self._meta["commit_ts"] += 1
+        timestamp = self._meta["commit_ts"]
+        for oid, buffered in txn.write_set.items():
+            if buffered is DELETED:
+                self._apply_delete(oid)
+            elif oid in txn.created:
+                self._apply_insert(
+                    oid, txn.new_classes[oid], buffered,
+                    txn.place_near.get(oid), timestamp,
+                )
+            else:
+                self._apply_update(
+                    oid, buffered, txn.place_near.get(oid), timestamp
+                )
+            self.stats.objects_written += 1
+        self._save_meta()
+        self._save_roots()
+        self._log_and_force(txn.txid)
+
+    def _log_and_force(self, txid: int) -> None:
+        """WAL the dirty page images + roots, fsync, then force pages."""
+        records = [
+            wal_mod.page_record(txid, pid, image)
+            for pid, image in self._pool.dirty_pages().items()
+        ]
+        records.append(
+            wal_mod.roots_record(txid, self._file.roots_snapshot())
+        )
+        self._wal.log_commit(txid, records)
+        self._pool.flush_all()
+        if self._wal_size() > self.checkpoint_after_bytes:
+            self._file.sync()
+            self._wal.log_checkpoint()
+            self.stats.checkpoints += 1
+
+    def _wal_size(self) -> int:
+        import os
+
+        try:
+            return os.path.getsize(self._wal.path)
+        except OSError:
+            return 0
+
+    def _apply_insert(
+        self,
+        oid: int,
+        class_name: str,
+        state: Dict[str, Any],
+        near_oid: Optional[int],
+        timestamp: int,
+    ) -> None:
+        definition = self._catalog.get(class_name)
+        near_rid = None
+        if near_oid is not None:
+            near_rid = self._directory.search_unique(near_oid)
+        record = self._encode_record(
+            definition.class_id, definition.version, state, 0, timestamp
+        )
+        rid = self._heap.insert(record, near=near_rid)
+        self._directory.insert(oid, rid, disc=0)
+        self._extent.insert(definition.class_id, oid, disc=oid)
+        self._index_add(class_name, oid, state)
+
+    def _apply_update(
+        self,
+        oid: int,
+        state: Dict[str, Any],
+        near_oid: Optional[int],
+        timestamp: int,
+    ) -> None:
+        rid = self._rid_of(oid)
+        old = serializer.decode(self._heap.read(rid))
+        class_name = self._catalog.get_by_id(old["c"]).name
+        old_state = self._catalog.upgrade_state(old["c"], old["v"], old["s"])
+        version_head = old.get("p", 0)
+        if self.versioned:
+            version_head = preserve_version(
+                self._heap, oid, old.get("ts", 0), old_state, version_head
+            )
+        definition = self._catalog.get(class_name)
+        record = self._encode_record(
+            definition.class_id, definition.version, state, version_head, timestamp
+        )
+        if near_oid is not None:
+            near_rid = self._directory.search_unique(near_oid)
+            self._heap.delete(rid)
+            new_rid = self._heap.insert(record, near=near_rid)
+        else:
+            new_rid = self._heap.update(rid, record)
+        if new_rid != rid:
+            self._directory.update_value(oid, 0, new_rid)
+        self._index_replace(class_name, oid, old_state, state)
+
+    def _apply_delete(self, oid: int) -> None:
+        rid = self._rid_of(oid)
+        old = serializer.decode(self._heap.read(rid))
+        class_name = self._catalog.get_by_id(old["c"]).name
+        old_state = self._catalog.upgrade_state(old["c"], old["v"], old["s"])
+        self._heap.delete(rid)
+        self._directory.delete(oid, rid, disc=0)
+        self._extent.delete(old["c"], oid, disc=oid)
+        self._index_remove(class_name, oid, old_state)
+
+    def _abort_txn(self, txn: Transaction) -> None:
+        with self._mutex:
+            txn.write_set.clear()
+            txn.place_near.clear()
+            txn.status = TxnStatus.ABORTED
+            self.locks.release_all(txn.txid)
+            if txn is self._current:
+                self._current = None
+            self.stats.aborts += 1
+
+    # ------------------------------------------------------------------
+    # Extents
+    # ------------------------------------------------------------------
+
+    def scan_class(
+        self,
+        class_name: str,
+        include_subclasses: bool = True,
+        txn: Optional[Transaction] = None,
+    ) -> Iterator[int]:
+        """Iterate the OIDs of a class extent.
+
+        Committed objects come from the extent B+tree; objects created
+        (and not yet committed) by the active transaction are appended,
+        and objects it deleted are skipped, so a transaction sees its
+        own work.
+        """
+        self._require_open()
+        active = txn or self._current
+        names = [class_name]
+        if include_subclasses:
+            names += [
+                other
+                for other in self._catalog.class_names()
+                if other != class_name
+                and self._catalog.is_subclass(other, class_name)
+            ]
+        for name in names:
+            class_id = self._catalog.get(name).class_id
+            for _key, oid in self._extent.scan_range(class_id, class_id):
+                if active is not None and active.buffered(oid) is DELETED:
+                    continue
+                yield oid
+        if active is not None:
+            for oid, created_class in list(active.new_classes.items()):
+                if active.buffered(oid) is DELETED:
+                    continue
+                if created_class in names:
+                    yield oid
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+
+    def create_index(self, class_name: str, field: str) -> None:
+        """Create (and back-fill) an integer index on ``class.field``.
+
+        The index covers the class and its subclasses.
+        """
+        with self._mutex:
+            self._require_open()
+            if (class_name, field) in self._indexes:
+                raise SchemaError(
+                    f"index on {class_name}.{field} already exists"
+                )
+            if field not in self._catalog.all_field_names(class_name):
+                raise SchemaError(f"{class_name} has no field {field!r}")
+            tree = BTree(self._pool, 0)
+            self._indexes[(class_name, field)] = tree
+            self._meta["indexes"].append([class_name, field])
+            # Back-fill with a sorted bottom-up bulk load: O(n) instead
+            # of n top-down inserts over the existing extent.
+            rows = []
+            for oid in list(self.scan_class(class_name)):
+                value = self._read_record(oid)["s"].get(field)
+                if value is not None:
+                    self._index_check_int(class_name, field, value)
+                    rows.append((value, oid, oid))
+            rows.sort()
+            tree.bulk_load(rows)
+            self._save_meta()
+            self._save_roots()
+            self._log_and_force(self._next_txid)
+            self._next_txid += 1
+
+    @staticmethod
+    def _index_check_int(class_name: str, field: str, value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise SchemaError(
+                f"index on {class_name}.{field} requires int values, "
+                f"got {type(value).__name__}"
+            )
+
+    def _indexes_covering(self, class_name: str) -> List[Tuple[str, str, BTree]]:
+        found = []
+        for (indexed_class, field), tree in self._indexes.items():
+            if self._catalog.is_subclass(class_name, indexed_class):
+                found.append((indexed_class, field, tree))
+        return found
+
+    def _index_add(self, class_name: str, oid: int, state: Dict[str, Any]) -> None:
+        for _indexed_class, field, tree in self._indexes_covering(class_name):
+            value = state.get(field)
+            if value is not None:
+                self._index_check_int(class_name, field, value)
+                tree.insert(value, oid, disc=oid)
+
+    def _index_remove(self, class_name: str, oid: int, state: Dict[str, Any]) -> None:
+        for _indexed_class, field, tree in self._indexes_covering(class_name):
+            value = state.get(field)
+            if value is not None:
+                tree.delete(value, oid, disc=oid)
+
+    def _index_replace(
+        self,
+        class_name: str,
+        oid: int,
+        old_state: Dict[str, Any],
+        new_state: Dict[str, Any],
+    ) -> None:
+        for _indexed_class, field, tree in self._indexes_covering(class_name):
+            old_value = old_state.get(field)
+            new_value = new_state.get(field)
+            if old_value == new_value:
+                continue
+            if old_value is not None:
+                tree.delete(old_value, oid, disc=oid)
+            if new_value is not None:
+                self._index_check_int(class_name, field, new_value)
+                tree.insert(new_value, oid, disc=oid)
+
+    def index_lookup(self, class_name: str, field: str, value: int) -> List[int]:
+        """OIDs with ``field == value`` via the index."""
+        return self.index_range(class_name, field, value, value)
+
+    def index_range(
+        self, class_name: str, field: str, low: int, high: int
+    ) -> List[int]:
+        """OIDs with ``low <= field <= high`` via the index.
+
+        Raises:
+            SchemaError: if no index exists on the class/field pair.
+        """
+        self._require_open()
+        tree = self._indexes.get((class_name, field))
+        if tree is None:
+            raise SchemaError(f"no index on {class_name}.{field}")
+        return [oid for _key, oid in tree.scan_range(low, high)]
+
+    def has_index(self, class_name: str, field: str) -> bool:
+        """Whether an index exists on exactly this class/field pair."""
+        return (class_name, field) in self._indexes
+
+    # ------------------------------------------------------------------
+    # Versions (R5)
+    # ------------------------------------------------------------------
+
+    def version_chain(self, oid: int) -> VersionChain:
+        """The preserved history of an object, newest first."""
+        self._require_open()
+        record = self._read_record(oid)
+        return VersionChain(self._heap, record.get("p", 0))
+
+    def previous_version(self, oid: int) -> Optional[Dict[str, Any]]:
+        """The state the object had before its latest committed update."""
+        newest = self.version_chain(oid).newest()
+        return dict(newest.state) if newest else None
+
+    def version_at(self, oid: int, timestamp: int) -> Optional[Dict[str, Any]]:
+        """The object's state as of a past commit timestamp.
+
+        Returns the live state if the object has not changed since
+        ``timestamp``, a preserved version otherwise, or None if the
+        object did not exist yet.
+        """
+        self._require_open()
+        record = self._read_record(oid)
+        if record.get("ts", 0) <= timestamp:
+            return record["s"]
+        version = VersionChain(self._heap, record.get("p", 0)).at(timestamp)
+        return dict(version.state) if version else None
+
+    # ------------------------------------------------------------------
+    # Vacuum: copy-compaction (reclaims tombstones and empty pages)
+    # ------------------------------------------------------------------
+
+    def vacuum(self) -> "VacuumStats":
+        """Rewrite the database into its compact form.
+
+        Deletes leave tombstoned slots and lazily-emptied B+tree leaves
+        behind; vacuum rebuilds the file by copying every live object
+        (in extent order, preserving OIDs, class versions, timestamps
+        and version chains) into a fresh store, then atomically swaps
+        the files.  Indexes are re-created and back-filled.
+
+        Requires no active transaction.  Returns before/after sizes.
+        """
+        import os
+
+        with self._mutex:
+            self._require_open()
+            if self._current is not None and self._current.write_set:
+                raise TransactionError("cannot vacuum with uncommitted writes")
+            self.checkpoint()
+            size_before = os.path.getsize(self.path)
+
+            compact_path = self.path + ".vacuum"
+            for stale in (compact_path, compact_path + ".wal"):
+                if os.path.exists(stale):
+                    os.remove(stale)
+            target = ObjectStore(
+                compact_path,
+                cache_pages=self.cache_pages,
+                clustered=self.clustering.enabled,
+                versioned=self.versioned,
+                sync_commits=False,
+            )
+            target.open()
+            self._copy_contents_into(target)
+            target.close()
+
+            self.close()
+            os.replace(compact_path, self.path)
+            wal_path = self.path + ".wal"
+            if os.path.exists(wal_path):
+                os.remove(wal_path)
+            vacuum_wal = compact_path + ".wal"
+            if os.path.exists(vacuum_wal):
+                os.remove(vacuum_wal)
+            self.open()
+            size_after = os.path.getsize(self.path)
+            return VacuumStats(size_before, size_after)
+
+    def _copy_contents_into(self, target: "ObjectStore") -> None:
+        """Copy catalog, objects (with history) and indexes to ``target``."""
+        # Catalog: classes in definition order preserves class ids.
+        for name in self._catalog.class_names():
+            definition = self._catalog.get(name)
+            copied = target._catalog.define_class(
+                name, [FieldDefinition(f.name, f.default, f.since_version)
+                       for f in definition.fields],
+                base=definition.base,
+            )
+            copied.version = definition.version
+        target._catalog.save()
+
+        # Objects, preserving OIDs, timestamps and version chains.
+        for name in self._catalog.class_names():
+            for oid in self.scan_class(name, include_subclasses=False):
+                record = serializer.decode(self._heap.read(self._rid_of(oid)))
+                state = self._catalog.upgrade_state(
+                    record["c"], record["v"], record["s"]
+                )
+                chain = list(VersionChain(self._heap, record.get("p", 0)))
+                new_head = 0
+                for version in reversed(chain):  # oldest first
+                    new_head = preserve_version(
+                        target._heap, oid, version.timestamp,
+                        version.state, new_head,
+                    )
+                definition = target._catalog.get(name)
+                encoded = target._encode_record(
+                    definition.class_id, record["v"], state,
+                    new_head, record.get("ts", 0),
+                )
+                rid = target._heap.insert(encoded)
+                target._directory.insert(oid, rid, disc=0)
+                target._extent.insert(definition.class_id, oid, disc=oid)
+
+        target._meta["next_oid"] = self._meta["next_oid"]
+        target._meta["commit_ts"] = self._meta["commit_ts"]
+        target._save_meta()
+        for class_name, field in self._meta["indexes"]:
+            target.create_index(class_name, field)
+        target.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Backup and restore (R10)
+    # ------------------------------------------------------------------
+
+    def backup(self, path: str) -> None:
+        """Write a consistent snapshot of the database to ``path``.
+
+        A checkpoint forces every committed page to the data file and
+        truncates the WAL, after which the file alone *is* the
+        database; the snapshot is a plain copy of it.  Requires no
+        active transaction.
+        """
+        import shutil
+
+        with self._mutex:
+            self._require_open()
+            if self._current is not None and self._current.write_set:
+                raise TransactionError("cannot back up with uncommitted writes")
+            self.checkpoint()
+            shutil.copyfile(self.path, path)
+
+    @staticmethod
+    def restore(backup_path: str, db_path: str) -> None:
+        """Replace the database at ``db_path`` with a backup snapshot.
+
+        The target store must be closed.  Any leftover WAL beside the
+        target is removed — its contents belong to the overwritten
+        database, not the snapshot.
+        """
+        import os
+        import shutil
+
+        shutil.copyfile(backup_path, db_path)
+        wal_path = db_path + ".wal"
+        if os.path.exists(wal_path):
+            os.remove(wal_path)
+
+    def record_timestamp(self, oid: int) -> int:
+        """The commit timestamp of an object's current committed state.
+
+        The optimistic concurrency layer validates read sets against
+        this: a changed timestamp means someone committed in between.
+        """
+        self._require_open()
+        raw = serializer.decode(self._heap.read(self._rid_of(oid)))
+        return raw.get("ts", 0)
+
+    # ------------------------------------------------------------------
+    # Physical introspection (clustering ablation)
+    # ------------------------------------------------------------------
+
+    def page_of(self, oid: int) -> int:
+        """The heap page currently holding an object's record."""
+        self._require_open()
+        from repro.engine.heap import rid_page
+
+        return rid_page(self._rid_of(oid))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "open" if self.is_open else "closed"
+        return f"<ObjectStore {self.path!r} {status}>"

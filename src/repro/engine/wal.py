@@ -1,0 +1,209 @@
+"""A redo-only write-ahead log with checkpoints and recovery (R10).
+
+The store uses **deferred updates**: a transaction's writes live in an
+in-memory write set until commit.  At commit the store appends the
+transaction's logical operations to the log, fsyncs it, and only then
+applies them to the heap and indexes.  Because no uncommitted change
+ever reaches a data page, recovery never needs to undo anything —
+it simply *redoes* the logical operations of every committed
+transaction recorded after the last checkpoint.
+
+Log records are framed as ``length | crc32 | payload`` so a torn tail
+write (the classic crash mode) is detected and cleanly ignored.
+
+Record types:
+
+* ``BEGIN txid``
+* ``PUT txid oid state``   — logical: insert-or-update an object
+* ``DELETE txid oid``      — logical: remove an object
+* ``PAGE txid pid image``  — physical: post-image of a dirtied page
+* ``ROOTS txid roots``     — physical: the header root-pointer table
+* ``COMMIT txid``
+* ``ABORT txid``           — informational; aborted work is never applied
+* ``CHECKPOINT``           — everything before this point is on disk
+
+The store's recovery path replays the *physical* records (page images
+in commit order, then the last committed root table); the logical
+records ride along for diagnostics and for the logical-replay tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import struct
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.engine import serializer
+from repro.errors import RecoveryError
+
+BEGIN = "B"
+PUT = "P"
+DELETE = "D"
+PAGE = "G"
+ROOTS = "R"
+COMMIT = "C"
+ABORT = "A"
+CHECKPOINT = "K"
+
+_DATA_KINDS = (PUT, DELETE, PAGE, ROOTS)
+
+_FRAME = struct.Struct("<II")  # payload length, crc32
+
+
+@dataclasses.dataclass
+class LogRecord:
+    """One decoded log record."""
+
+    kind: str
+    txid: int = 0
+    oid: int = 0
+    state: Optional[dict] = None
+
+    def to_payload(self) -> bytes:
+        """Serialize the record body."""
+        return serializer.encode(
+            {"k": self.kind, "t": self.txid, "o": self.oid, "s": self.state}
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "LogRecord":
+        """Decode a record body."""
+        raw = serializer.decode(payload)
+        return cls(
+            kind=raw["k"], txid=raw["t"], oid=raw["o"], state=raw["s"]
+        )
+
+
+class WriteAheadLog:
+    """Append-only log file with group-commit-style fsync."""
+
+    def __init__(self, path: str, sync_on_commit: bool = True) -> None:
+        self.path = path
+        self.sync_on_commit = sync_on_commit
+        self._file = open(path, "ab+")
+        self.records_written = 0
+        self.syncs = 0
+
+    def close(self) -> None:
+        """Flush and close the log file."""
+        if self._file is not None:
+            self._file.flush()
+            self._file.close()
+            self._file = None
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def append(self, record: LogRecord) -> None:
+        """Append one record (buffered; not yet durable)."""
+        payload = record.to_payload()
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+        self._file.write(frame + payload)
+        self.records_written += 1
+
+    def sync(self) -> None:
+        """Force appended records to stable storage (the commit point)."""
+        self._file.flush()
+        if self.sync_on_commit:
+            os.fsync(self._file.fileno())
+        self.syncs += 1
+
+    def log_commit(self, txid: int, operations: List[LogRecord]) -> None:
+        """Write BEGIN + operations + COMMIT and make them durable."""
+        self.append(LogRecord(BEGIN, txid=txid))
+        for op in operations:
+            self.append(op)
+        self.append(LogRecord(COMMIT, txid=txid))
+        self.sync()
+
+    def log_checkpoint(self) -> None:
+        """Record that all prior changes are on data pages, then truncate.
+
+        Truncation is safe because recovery only replays records after
+        the last checkpoint; an empty log means a clean database.
+        """
+        self._file.truncate(0)
+        self._file.seek(0)
+        self.append(LogRecord(CHECKPOINT))
+        self.sync()
+
+    # ------------------------------------------------------------------
+    # Reading and recovery
+    # ------------------------------------------------------------------
+
+    def read_all(self) -> Iterator[LogRecord]:
+        """Iterate every intact record; stop cleanly at a torn tail."""
+        self._file.flush()
+        with open(self.path, "rb") as f:
+            while True:
+                frame = f.read(_FRAME.size)
+                if len(frame) < _FRAME.size:
+                    return
+                length, crc = _FRAME.unpack(frame)
+                payload = f.read(length)
+                if len(payload) < length:
+                    return  # torn tail write
+                if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                    return  # corrupt tail
+                try:
+                    yield LogRecord.from_payload(payload)
+                except Exception as exc:  # corrupt but checksummed? bail out
+                    raise RecoveryError(f"undecodable log record: {exc}") from exc
+
+    def recover_operations(self) -> List[Tuple[int, List[LogRecord]]]:
+        """Return the redo work list: committed transactions in order.
+
+        Scans the log after the last checkpoint, collects each
+        transaction's PUT/DELETE records, and returns only those whose
+        COMMIT made it to disk, in commit order.  Incomplete or aborted
+        transactions are dropped (their changes never touched data
+        pages, so dropping them *is* the undo).
+        """
+        pending: Dict[int, List[LogRecord]] = {}
+        committed: List[Tuple[int, List[LogRecord]]] = []
+        for record in self.read_all():
+            if record.kind == CHECKPOINT:
+                pending.clear()
+                committed.clear()
+            elif record.kind == BEGIN:
+                pending[record.txid] = []
+            elif record.kind in _DATA_KINDS:
+                pending.setdefault(record.txid, []).append(record)
+            elif record.kind == COMMIT:
+                if record.txid in pending:
+                    committed.append((record.txid, pending.pop(record.txid)))
+            elif record.kind == ABORT:
+                pending.pop(record.txid, None)
+            else:
+                raise RecoveryError(f"unknown log record kind {record.kind!r}")
+        return committed
+
+
+def put_record(txid: int, oid: int, state: Any) -> LogRecord:
+    """Build a PUT record for an object's post-state."""
+    return LogRecord(PUT, txid=txid, oid=oid, state=state)
+
+
+def delete_record(txid: int, oid: int) -> LogRecord:
+    """Build a DELETE record for an object."""
+    return LogRecord(DELETE, txid=txid, oid=oid)
+
+
+def page_record(txid: int, pid: int, image: bytes) -> LogRecord:
+    """Build a PAGE record holding a zlib-compressed page post-image."""
+    return LogRecord(
+        PAGE, txid=txid, oid=pid, state={"z": zlib.compress(bytes(image), 1)}
+    )
+
+
+def page_image(record: LogRecord) -> bytes:
+    """Decompress the page image of a PAGE record."""
+    return zlib.decompress(record.state["z"])
+
+
+def roots_record(txid: int, roots: Dict[str, int]) -> LogRecord:
+    """Build a ROOTS record snapshotting the header root pointers."""
+    return LogRecord(ROOTS, txid=txid, state=dict(roots))

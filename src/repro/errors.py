@@ -1,0 +1,101 @@
+"""Exception hierarchy shared by every subsystem in the reproduction.
+
+All library errors derive from :class:`HyperModelError` so applications
+can catch one base class.  Subsystems refine it: the storage engine
+raises :class:`StorageError` subclasses, the query language raises
+:class:`QueryError` subclasses, and so on.
+"""
+
+
+class HyperModelError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(HyperModelError):
+    """An invalid benchmark or engine configuration was supplied."""
+
+
+class DatabaseClosedError(HyperModelError):
+    """An operation was attempted on a database that is not open."""
+
+
+class NodeNotFoundError(HyperModelError):
+    """A node reference or uniqueId did not resolve to a node."""
+
+    def __init__(self, ref: object) -> None:
+        super().__init__(f"no such node: {ref!r}")
+        self.ref = ref
+
+
+class InvalidOperationError(HyperModelError):
+    """The operation is not valid for the given node kind or state."""
+
+
+class StorageError(HyperModelError):
+    """Base class for errors raised by the object storage engine."""
+
+
+class PageError(StorageError):
+    """A page-level invariant was violated (bad id, overflow, corruption)."""
+
+
+class RecordNotFoundError(StorageError):
+    """A record id (RID) or object id (OID) did not resolve."""
+
+    def __init__(self, ref: object) -> None:
+        super().__init__(f"no such record: {ref!r}")
+        self.ref = ref
+
+
+class TransactionError(StorageError):
+    """A transaction was used incorrectly (not active, already ended)."""
+
+
+class DeadlockError(TransactionError):
+    """Lock acquisition aborted because it would deadlock (or timed out)."""
+
+
+class ConflictError(TransactionError):
+    """Optimistic validation failed: another transaction committed first."""
+
+
+class RecoveryError(StorageError):
+    """The write-ahead log could not be replayed cleanly."""
+
+
+class SchemaError(StorageError):
+    """A catalog/schema operation failed (unknown class, duplicate field)."""
+
+
+class QueryError(HyperModelError):
+    """Base class for ad-hoc query language errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class QueryExecutionError(QueryError):
+    """The query referenced an unknown attribute or mis-typed a value."""
+
+
+class AccessDeniedError(HyperModelError):
+    """An access-control policy forbids the attempted operation (R11)."""
+
+    def __init__(self, principal: str, action: str, target: object) -> None:
+        super().__init__(f"{principal!r} may not {action} {target!r}")
+        self.principal = principal
+        self.action = action
+        self.target = target
+
+
+class WorkspaceError(HyperModelError):
+    """A cooperative-workspace operation failed (R9)."""
+
+
+class CheckOutConflictError(WorkspaceError):
+    """A node is already checked out to a different workspace."""

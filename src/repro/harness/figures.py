@@ -1,0 +1,153 @@
+"""Plain-text figures for benchmark results.
+
+The companion results report would plot these; a terminal-first
+reproduction renders them as horizontal ASCII bar charts.  Three
+figure shapes cover the stories the data tells:
+
+* :func:`cold_warm_figure` — one backend, cold vs warm bars per
+  operation (the section 5.3 protocol's point);
+* :func:`backend_figure` — one operation across backends;
+* :func:`bar_chart` — the generic renderer, reusable for ablation and
+  multi-user series.
+
+Bars use a logarithmic scale by default: benchmark times span four
+orders of magnitude, and linear bars would flatten every story into
+"client/server is slow".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.harness.results import ResultSet
+
+#: Glyph used for bar bodies.
+_BAR = "█"
+_HALF = "▌"
+
+
+def _scaled_length(value: float, minimum: float, maximum: float,
+                   width: int, logarithmic: bool) -> int:
+    if value <= 0 or maximum <= 0:
+        return 0
+    if not logarithmic:
+        return max(1, round(width * value / maximum))
+    if maximum == minimum:
+        return width
+    low = math.log10(max(minimum, 1e-9))
+    high = math.log10(maximum)
+    if high == low:
+        return width
+    fraction = (math.log10(max(value, 1e-9)) - low) / (high - low)
+    return max(1, round(width * max(0.0, min(fraction, 1.0))))
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    title: str,
+    unit: str = "ms/node",
+    width: int = 40,
+    logarithmic: bool = True,
+) -> str:
+    """Render labelled values as a horizontal bar chart.
+
+    Args:
+        rows: (label, value) pairs, rendered in the given order.
+        title: chart heading.
+        unit: printed after each value.
+        width: bar area width in characters.
+        logarithmic: scale bars by log10 (default; see module note).
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if not rows:
+        return f"{title}\n(no data)"
+    label_width = max(len(label) for label, _v in rows)
+    values = [value for _label, value in rows if value > 0]
+    minimum = min(values) if values else 0.0
+    maximum = max(values) if values else 0.0
+    scale_note = "log scale" if logarithmic else "linear scale"
+    lines = [f"{title}  ({scale_note})"]
+    for label, value in rows:
+        length = _scaled_length(value, minimum, maximum, width, logarithmic)
+        bar = _BAR * length if length else _HALF
+        lines.append(
+            f"{label.ljust(label_width)} | {bar.ljust(width)} "
+            f"{value:10.4f} {unit}"
+        )
+    return "\n".join(lines)
+
+
+def cold_warm_figure(
+    results: ResultSet,
+    backend: str,
+    level: Optional[int] = None,
+    width: int = 40,
+) -> str:
+    """Cold and warm bars per operation for one backend."""
+    subset = results.select(backend=backend, level=level)
+    if len(subset) == 0:
+        return f"cold/warm, backend {backend}\n(no data)"
+    rows: List[Tuple[str, float]] = []
+    for op_id in subset.op_ids:
+        cell = list(subset.select(op_id=op_id))[0]
+        rows.append((f"{op_id} cold", cell.cold.mean))
+        rows.append((f"{op_id} warm", cell.warm.mean))
+    return bar_chart(
+        rows,
+        title=f"cold vs warm, backend {backend}"
+        + (f", level {level}" if level is not None else ""),
+        width=width,
+    )
+
+
+def backend_figure(
+    results: ResultSet,
+    op_id: str,
+    temperature: str = "cold",
+    level: Optional[int] = None,
+    width: int = 40,
+) -> str:
+    """One operation across every backend (cold or warm means)."""
+    if temperature not in ("cold", "warm"):
+        raise ValueError("temperature must be 'cold' or 'warm'")
+    subset = results.select(op_id=op_id, level=level)
+    if len(subset) == 0:
+        return f"op {op_id}\n(no data)"
+    rows = []
+    op_name = list(subset)[0].op_name
+    for backend in subset.backends:
+        cell = list(subset.select(backend=backend))[0]
+        stats = cell.cold if temperature == "cold" else cell.warm
+        rows.append((backend, stats.mean))
+    return bar_chart(
+        rows,
+        title=f"op {op_id} {op_name}, {temperature} run",
+        width=width,
+    )
+
+
+def speedup_figure(
+    results: ResultSet, level: Optional[int] = None, width: int = 40
+) -> str:
+    """Warm-over-cold speedup per backend, averaged over operations."""
+    subset = results.select(level=level)
+    rows = []
+    for backend in subset.backends:
+        cells = list(subset.select(backend=backend))
+        if not cells:
+            continue
+        speedups = [c.warm_speedup for c in cells if c.warm.mean > 0]
+        if speedups:
+            geometric = math.exp(
+                sum(math.log(max(s, 1e-9)) for s in speedups) / len(speedups)
+            )
+            rows.append((backend, geometric))
+    return bar_chart(
+        rows,
+        title="geometric-mean warm speedup per backend",
+        unit="x",
+        width=width,
+    )

@@ -1,0 +1,230 @@
+"""The section 5.3 operation-sequence protocol.
+
+For each benchmark operation the paper prescribes:
+
+  (a) choose the inputs (random nodes/values; op 17 reuses one form
+      node for all repetitions),
+  (b) run the operation 50 times — the **cold run** (the database was
+      just opened, so caches start empty),
+  (c) **commit** the changes,
+  (d) repeat the same 50 inputs — the **warm run** (measuring caching),
+  (e) **close** the database so this sequence cannot warm the next one.
+
+Each repetition is timed individually (wall clock plus any simulated
+network time) and normalized to **milliseconds per node** using the
+operation's result size, exactly as section 6 specifies.  The commit
+after the cold run is timed separately and reported alongside.
+
+Input preparation happens after the reopen but outside the timed
+region: the paper passes "a random node" (a reference) as input, so
+resolving a uniqueId to a reference is preparation, not measurement.
+The closure operations' output lists are stored back into the database
+once per sequence (untimed) to exercise the paper's "the list should be
+storable" requirement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, List, Optional
+
+from repro.core.config import HyperModelConfig
+from repro.core.generator import GeneratedDatabase
+from repro.core.interface import HyperModelDatabase
+from repro.core.operations import OperationSpec, Operations
+from repro.harness.timing import Stats, Timer
+
+#: The paper's repetition count per run.
+DEFAULT_REPETITIONS = 50
+
+
+@dataclasses.dataclass
+class ColdWarmResult:
+    """Measurements of one operation sequence on one database.
+
+    All ``Stats`` are in **milliseconds per node** over the
+    repetitions; ``cold_total_seconds`` / ``warm_total_seconds``
+    include everything, and ``commit_seconds`` is the cost of the
+    commit between the runs.
+    """
+
+    op_id: str
+    op_name: str
+    category: str
+    backend: str
+    level: int
+    repetitions: int
+    cold: Stats
+    warm: Stats
+    commit_seconds: float
+    cold_total_seconds: float
+    warm_total_seconds: float
+    nodes_per_repetition: float
+
+    @property
+    def warm_speedup(self) -> float:
+        """cold mean / warm mean (how much caching helped)."""
+        return self.cold.mean / self.warm.mean if self.warm.mean else float("inf")
+
+    def to_dict(self) -> dict:
+        """Serializable form."""
+        raw = dataclasses.asdict(self)
+        raw["cold"] = self.cold.to_dict()
+        raw["warm"] = self.warm.to_dict()
+        return raw
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ColdWarmResult":
+        """Rebuild from :meth:`to_dict` output."""
+        raw = dict(raw)
+        raw["cold"] = Stats.from_dict(raw["cold"])
+        raw["warm"] = Stats.from_dict(raw["warm"])
+        return cls(**raw)
+
+
+def _reopen_cold(db: HyperModelDatabase) -> None:
+    """Section 5.3(e)/(a): close and reopen so caches start empty."""
+    if db.is_open:
+        db.commit()
+        db.close()
+    db.open()
+
+
+def _prepare_inputs(
+    spec: OperationSpec,
+    gen: GeneratedDatabase,
+    rng: random.Random,
+    db: HyperModelDatabase,
+    repetitions: int,
+) -> List[tuple]:
+    if spec.same_input_every_repetition:
+        single = spec.make_input(gen, rng, db)
+        return [single] * repetitions
+    return [spec.make_input(gen, rng, db) for _ in range(repetitions)]
+
+
+def _timed_run(
+    spec: OperationSpec,
+    ops: Operations,
+    inputs: List[tuple],
+    gen: GeneratedDatabase,
+    clock: Optional[object],
+) -> tuple:
+    """Run all repetitions; returns (ms-per-node samples, total s, sizes)."""
+    per_node_ms: List[float] = []
+    total = 0.0
+    sizes: List[int] = []
+    last_result: Any = None
+    for args in inputs:
+        timer = Timer(clock)
+        with timer:
+            last_result = spec.run(ops, args)
+        size = spec.result_size(last_result, gen)
+        sizes.append(size)
+        per_node_ms.append(timer.elapsed * 1000.0 / size)
+        total += timer.elapsed
+    return per_node_ms, total, sizes, last_result
+
+
+def run_operation_sequence(
+    db: HyperModelDatabase,
+    spec: OperationSpec,
+    gen: GeneratedDatabase,
+    config: Optional[HyperModelConfig] = None,
+    repetitions: int = DEFAULT_REPETITIONS,
+    seed: int = 0,
+    store_result_list: bool = True,
+) -> ColdWarmResult:
+    """Execute one full cold/warm sequence for one operation.
+
+    Args:
+        db: the populated backend (open or closed; it is cycled).
+        spec: which operation to run.
+        gen: generation metadata (for input picking and normalization).
+        config: benchmark configuration (defaults to ``gen.config``).
+        repetitions: runs per cold and warm pass (paper: 50).
+        seed: input-selection seed (distinct per op via the runner).
+        store_result_list: store one closure result list back into the
+            database after the timed runs (capability exercise).
+
+    Returns:
+        A :class:`ColdWarmResult` with ms-per-node statistics.
+    """
+    config = config or gen.config
+    rng = random.Random((seed * 1_000_003) ^ hash(spec.op_id))
+    clock = getattr(db, "simulated_clock", None)
+
+    # (a) fresh open, then input preparation (untimed).
+    _reopen_cold(db)
+    ops = Operations(db, config)
+    inputs = _prepare_inputs(spec, gen, rng, db, repetitions)
+
+    # (b) cold run.
+    cold_ms, cold_total, sizes, last_result = _timed_run(
+        spec, ops, inputs, gen, clock
+    )
+
+    # (c) commit, timed separately.
+    commit_timer = Timer(clock)
+    with commit_timer:
+        db.commit()
+
+    # (d) warm run with the same inputs.
+    warm_ms, warm_total, _sizes, last_result = _timed_run(
+        spec, ops, inputs, gen, clock
+    )
+
+    # Exercise result-list storability (untimed; closures return lists).
+    if store_result_list and isinstance(last_result, list) and last_result:
+        refs = [
+            item[0] if isinstance(item, tuple) else item for item in last_result
+        ]
+        try:
+            db.store_node_list(f"result.{spec.op_id}", refs)
+        except Exception:
+            pass  # lists of non-refs (e.g. ranges of plain values) are fine to skip
+
+    # (e) close, so the next sequence starts cold.
+    db.commit()
+    db.close()
+
+    return ColdWarmResult(
+        op_id=spec.op_id,
+        op_name=spec.name,
+        category=spec.category,
+        backend=db.backend_name,
+        level=config.levels,
+        repetitions=repetitions,
+        cold=Stats.from_samples(cold_ms),
+        warm=Stats.from_samples(warm_ms),
+        commit_seconds=commit_timer.elapsed,
+        cold_total_seconds=cold_total,
+        warm_total_seconds=warm_total,
+        nodes_per_repetition=sum(sizes) / len(sizes),
+    )
+
+
+def measure_creation(
+    db: HyperModelDatabase,
+    config: HyperModelConfig,
+    structure_id: int = 1,
+) -> "tuple":
+    """Generate a structure, returning (GeneratedDatabase, per-phase ms).
+
+    Used by the creation benchmark (section 5.3 operations a-d): the
+    generator itself measures each phase with its commit.
+    """
+    from repro.core.generator import DatabaseGenerator
+
+    if not db.is_open:
+        db.open()
+    gen = DatabaseGenerator(config).generate(db, structure_id=structure_id)
+    phases = {}
+    phases.update(
+        {f"node-{k}": v for k, v in gen.stats.per_node_ms().items()}
+    )
+    phases.update(
+        {f"rel-{k}": v for k, v in gen.stats.per_relationship_ms().items()}
+    )
+    return gen, phases

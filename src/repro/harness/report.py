@@ -1,0 +1,199 @@
+"""Paper-style plain-text result tables.
+
+Three table shapes cover everything the reproduction reports:
+
+* :func:`operation_table` — one backend, rows = operations, columns =
+  cold/warm milliseconds-per-node for each level (the layout of the
+  companion results report /ANDE89/);
+* :func:`backend_comparison_table` — one level and run temperature,
+  rows = operations, columns = backends (who wins, by what factor);
+* :func:`creation_table` — the section 5.3 creation phases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.results import ResultSet
+
+
+def _format_ms(value: float) -> str:
+    if value >= 100:
+        return f"{value:8.1f}"
+    if value >= 1:
+        return f"{value:8.2f}"
+    return f"{value:8.4f}"
+
+
+def _rule(widths: Sequence[int]) -> str:
+    return "-+-".join("-" * w for w in widths)
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        _rule(widths),
+    ]
+    for row in rows:
+        lines.append(" | ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                                for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def operation_table(results: ResultSet, backend: str) -> str:
+    """Cold/warm ms-per-node per operation and level for one backend."""
+    subset = results.select(backend=backend)
+    levels = subset.levels
+    headers = ["op"] + [
+        f"L{level} {temp}" for level in levels for temp in ("cold", "warm")
+    ]
+    rows: List[List[str]] = []
+    for op_id in subset.op_ids:
+        row = [f"{op_id} {subset.select(op_id=op_id)._results[0].op_name}"]
+        for level in levels:
+            try:
+                cell = subset.one(backend, level, op_id)
+            except KeyError:
+                row += ["-", "-"]
+                continue
+            row.append(_format_ms(cell.cold.mean).strip())
+            row.append(_format_ms(cell.warm.mean).strip())
+        rows.append(row)
+    title = f"Backend: {backend}  (milliseconds per node, mean over repetitions)"
+    return title + "\n" + _table(headers, rows)
+
+
+def backend_comparison_table(
+    results: ResultSet, level: int, temperature: str = "cold"
+) -> str:
+    """Operations x backends for one level and run temperature."""
+    if temperature not in ("cold", "warm"):
+        raise ValueError("temperature must be 'cold' or 'warm'")
+    subset = results.select(level=level)
+    backends = subset.backends
+    headers = ["op"] + backends
+    rows: List[List[str]] = []
+    for op_id in subset.op_ids:
+        row = [f"{op_id} {subset.select(op_id=op_id)._results[0].op_name}"]
+        for backend in backends:
+            try:
+                cell = subset.one(backend, level, op_id)
+            except KeyError:
+                row.append("-")
+                continue
+            stats = cell.cold if temperature == "cold" else cell.warm
+            row.append(_format_ms(stats.mean).strip())
+        rows.append(row)
+    title = (
+        f"Level {level}, {temperature} run  (milliseconds per node, mean)"
+    )
+    return title + "\n" + _table(headers, rows)
+
+
+def speedup_table(results: ResultSet, backend: str) -> str:
+    """Warm-over-cold speedup per operation and level (cache effect)."""
+    subset = results.select(backend=backend)
+    levels = subset.levels
+    headers = ["op"] + [f"L{level} speedup" for level in levels]
+    rows: List[List[str]] = []
+    for op_id in subset.op_ids:
+        row = [f"{op_id} {subset.select(op_id=op_id)._results[0].op_name}"]
+        for level in levels:
+            try:
+                cell = subset.one(backend, level, op_id)
+            except KeyError:
+                row.append("-")
+                continue
+            row.append(f"{cell.warm_speedup:6.1f}x")
+        rows.append(row)
+    title = f"Backend: {backend}  (cold mean / warm mean)"
+    return title + "\n" + _table(headers, rows)
+
+
+def creation_table(
+    phases_by_backend: Dict[str, Dict[str, float]], level: int
+) -> str:
+    """Creation phases (ms per node / per relationship) per backend."""
+    backends = list(phases_by_backend)
+    phase_names: List[str] = []
+    for phases in phases_by_backend.values():
+        for name in phases:
+            if name not in phase_names:
+                phase_names.append(name)
+    headers = ["phase"] + backends
+    rows = [
+        [name]
+        + [
+            _format_ms(phases_by_backend[b].get(name, float("nan"))).strip()
+            if name in phases_by_backend[b]
+            else "-"
+            for b in backends
+        ]
+        for name in phase_names
+    ]
+    title = f"Database creation, level {level}  (milliseconds per item)"
+    return title + "\n" + _table(headers, rows)
+
+
+def delta_table(
+    baseline: ResultSet,
+    candidate: ResultSet,
+    temperature: str = "cold",
+    threshold: float = 0.10,
+) -> str:
+    """Compare two result sets cell by cell (regression tracking).
+
+    For every (backend, level, op) present in both sets, prints the
+    baseline and candidate means and the relative change; changes whose
+    magnitude exceeds ``threshold`` are flagged.
+    """
+    if temperature not in ("cold", "warm"):
+        raise ValueError("temperature must be 'cold' or 'warm'")
+    headers = ["backend/level/op", "baseline", "candidate", "change", ""]
+    rows: List[List[str]] = []
+    for result in baseline:
+        try:
+            other = candidate.one(result.backend, result.level, result.op_id)
+        except KeyError:
+            continue
+        old = (result.cold if temperature == "cold" else result.warm).mean
+        new = (other.cold if temperature == "cold" else other.warm).mean
+        change = (new - old) / old if old else float("inf")
+        flag = ""
+        if abs(change) > threshold:
+            flag = "SLOWER" if change > 0 else "faster"
+        rows.append(
+            [
+                f"{result.backend} L{result.level} {result.op_id}",
+                _format_ms(old).strip(),
+                _format_ms(new).strip(),
+                f"{change:+.0%}",
+                flag,
+            ]
+        )
+    title = (
+        f"Baseline vs candidate, {temperature} means "
+        f"(flagged beyond ±{threshold:.0%})"
+    )
+    return title + "\n" + _table(headers, rows)
+
+
+def full_report(results: ResultSet, title: Optional[str] = None) -> str:
+    """Every operation table plus per-level comparisons, concatenated."""
+    sections: List[str] = []
+    if title:
+        sections.append(title)
+        sections.append("=" * len(title))
+    for backend in results.backends:
+        sections.append(operation_table(results, backend))
+        sections.append("")
+    for level in results.levels:
+        sections.append(backend_comparison_table(results, level, "cold"))
+        sections.append("")
+        sections.append(backend_comparison_table(results, level, "warm"))
+        sections.append("")
+    return "\n".join(sections)

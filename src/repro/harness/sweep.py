@@ -1,0 +1,136 @@
+"""Level sweeps: the paper's size-scaling dimension.
+
+The paper's tables are indexed by database level (4, 5, 6): the same
+operations over 781, 3 906 and 19 531 nodes.  :class:`LevelSweep` runs
+one backend across several levels and answers the scaling questions the
+three-column layout exists for:
+
+* :meth:`scaling_table` — ms/node per operation across the levels
+  (an operation whose per-node cost is flat *scales*; one that grows
+  is super-linear in database size);
+* :func:`find_crossovers` — for two backends, the level where one
+  overtakes the other on an operation, if any.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.results import ResultSet
+from repro.harness.runner import BenchmarkRunner, RunnerConfig
+
+
+@dataclasses.dataclass
+class LevelSweep:
+    """Configuration of one multi-level run."""
+
+    backend: str
+    levels: Sequence[int] = (3, 4)
+    op_ids: Optional[List[str]] = None
+    repetitions: int = 10
+    seed: int = 19880301
+    workdir: Optional[str] = None
+
+    def run(self) -> ResultSet:
+        """Execute the sweep; returns the collected results."""
+        config = RunnerConfig(
+            backends=[self.backend],
+            levels=list(self.levels),
+            op_ids=self.op_ids,
+            repetitions=self.repetitions,
+            seed=self.seed,
+            workdir=self.workdir,
+        )
+        runner = BenchmarkRunner(config)
+        try:
+            results, _creation = runner.run()
+            return results
+        finally:
+            runner.close()
+
+
+def scaling_table(
+    results: ResultSet, backend: str, temperature: str = "cold"
+) -> str:
+    """ms/node per op across levels, with the largest/smallest ratio.
+
+    A ratio near 1.0 means per-node cost is independent of database
+    size (the operation scales); larger ratios flag size-sensitive
+    operations (e.g. unindexed range scans).
+    """
+    if temperature not in ("cold", "warm"):
+        raise ValueError("temperature must be 'cold' or 'warm'")
+    subset = results.select(backend=backend)
+    levels = subset.levels
+    lines = [
+        f"Scaling, backend {backend}, {temperature} (ms/node per level; "
+        "ratio = largest/smallest)"
+    ]
+    header = "op".ljust(26) + "".join(f"L{level:>2}".rjust(10) for level in levels)
+    header += "ratio".rjust(9)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for op_id in subset.op_ids:
+        cells = []
+        for level in levels:
+            try:
+                result = subset.one(backend, level, op_id)
+            except KeyError:
+                cells.append(None)
+                continue
+            stats = result.cold if temperature == "cold" else result.warm
+            cells.append(stats.mean)
+        name = subset.select(op_id=op_id)._results[0].op_name
+        row = f"{op_id} {name}".ljust(26)
+        for cell in cells:
+            row += (f"{cell:10.4f}" if cell is not None else "         -")
+        present = [c for c in cells if c]
+        ratio = max(present) / min(present) if len(present) > 1 else 1.0
+        row += f"{ratio:8.1f}x"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def per_node_series(
+    results: ResultSet, backend: str, op_id: str, temperature: str = "cold"
+) -> List[Tuple[int, float]]:
+    """(level, ms/node) points for one backend and operation."""
+    series = []
+    for level in results.levels:
+        try:
+            cell = results.one(backend, level, op_id)
+        except KeyError:
+            continue
+        stats = cell.cold if temperature == "cold" else cell.warm
+        series.append((level, stats.mean))
+    return series
+
+
+def find_crossovers(
+    results: ResultSet,
+    backend_a: str,
+    backend_b: str,
+    temperature: str = "cold",
+) -> Dict[str, Optional[int]]:
+    """Per operation: the first level where the faster backend flips.
+
+    Returns op_id -> level of the flip, or None when one backend wins
+    at every measured level.  "Where crossovers fall" is one of the
+    shape questions multi-size benchmarks exist to answer.
+    """
+    flips: Dict[str, Optional[int]] = {}
+    for op_id in results.op_ids:
+        series_a = dict(per_node_series(results, backend_a, op_id, temperature))
+        series_b = dict(per_node_series(results, backend_b, op_id, temperature))
+        shared = sorted(set(series_a) & set(series_b))
+        if len(shared) < 2:
+            continue
+        first_winner = series_a[shared[0]] <= series_b[shared[0]]
+        flips[op_id] = None
+        for level in shared[1:]:
+            winner = series_a[level] <= series_b[level]
+            if winner != first_winner:
+                flips[op_id] = level
+                break
+    return flips

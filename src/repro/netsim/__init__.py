@@ -1,0 +1,22 @@
+"""Workstation/server architecture simulation (requirements R6/R7).
+
+The paper's protocol is designed around a workstation fetching objects
+from a server: the *cold* run pays network fetches, the *warm* run hits
+the workstation's object cache.  This package reproduces that
+architecture deterministically:
+
+* :class:`~repro.netsim.latency.SimulatedClock` — a virtual time
+  source the harness adds to wall-clock measurements;
+* :class:`~repro.netsim.latency.LatencyModel` — per-round-trip latency
+  plus bandwidth-proportional transfer cost;
+* :class:`~repro.netsim.server.ObjectServer` — the server-side node
+  store, charging the clock for every request;
+* :class:`~repro.netsim.cache.WorkstationCache` — the client-side LRU
+  object cache with check-out/check-in accounting.
+"""
+
+from repro.netsim.latency import LatencyModel, SimulatedClock
+from repro.netsim.cache import WorkstationCache
+from repro.netsim.server import ObjectServer
+
+__all__ = ["LatencyModel", "SimulatedClock", "WorkstationCache", "ObjectServer"]

@@ -1,0 +1,88 @@
+"""The workstation-side object cache (the paper's check-out store).
+
+Requirement R7 notes that interactive performance "could mean that
+parts of the database have to be cached/checked-out to main memory in
+the workstations".  :class:`WorkstationCache` is that store: an LRU
+cache of node records keyed by node id, with hit/miss counters the
+cold/warm benchmark reads.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Any, Iterator, Optional
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one workstation cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served locally."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = self.misses = self.evictions = self.invalidations = 0
+
+
+class WorkstationCache:
+    """A bounded LRU cache of server objects.
+
+    ``capacity`` is in objects.  The benchmark databases hold up to
+    ~20 k nodes, so the default (4 096) forces realistic eviction on
+    the larger levels while letting a level-3 closure working set stay
+    resident — the behaviour the cold/warm split is designed to show.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "collections.OrderedDict[Any, Any]" = collections.OrderedDict()
+        self.stats = CacheStats()
+
+    def get(self, key: Any) -> Optional[Any]:
+        """Look up a cached object, refreshing its recency."""
+        if key in self._entries:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert or refresh an object, evicting LRU entries if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, key: Any) -> None:
+        """Drop one entry (server-side update of a checked-out object)."""
+        if self._entries.pop(key, None) is not None:
+            self.stats.invalidations += 1
+
+    def clear(self) -> None:
+        """Empty the cache (the section 5.3(e) cold reset)."""
+        self._entries.clear()
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Iterator[Any]:
+        """Iterate cached keys in LRU order (oldest first)."""
+        return iter(list(self._entries))

@@ -1,0 +1,102 @@
+"""Named network profiles and the R7 objects-per-second arithmetic.
+
+Requirement R7 quantifies interactive performance: "a typical
+application will need access to something between 100 - 10,000 objects
+per second, where each object is on average 100 bytes in size", and
+concludes parts of the database may have to be cached at the
+workstation.  This module makes that arithmetic executable: given a
+latency profile, how many ~100-byte objects per second can a
+workstation fault from the server, and does that meet the requirement —
+or is the workstation cache mandatory?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.netsim.latency import LatencyModel
+
+#: R7's stated need, objects per second.
+R7_MINIMUM_OBJECTS_PER_SECOND = 100
+R7_MAXIMUM_OBJECTS_PER_SECOND = 10_000
+
+#: R7's average object size in bytes.
+R7_OBJECT_BYTES = 100
+
+#: The paper's era: 10 Mbit/s Ethernet, millisecond-class round trips.
+LAN_1990 = LatencyModel(
+    round_trip_seconds=0.002, bandwidth_bytes_per_second=1_250_000
+)
+
+#: A contemporary switched LAN (tens of microseconds round trip).
+LAN_MODERN = LatencyModel(
+    round_trip_seconds=0.00005, bandwidth_bytes_per_second=125_000_000
+)
+
+#: A wide-area link: the architecture the paper warns about.
+WAN = LatencyModel(
+    round_trip_seconds=0.050, bandwidth_bytes_per_second=12_500_000
+)
+
+#: All named profiles, for sweeps.
+PROFILES: Dict[str, LatencyModel] = {
+    "lan-1990": LAN_1990,
+    "lan-modern": LAN_MODERN,
+    "wan": WAN,
+}
+
+
+def objects_per_second(
+    model: LatencyModel, object_bytes: int = R7_OBJECT_BYTES
+) -> float:
+    """Uncached object-fault throughput under a latency profile.
+
+    One object per request (the navigational worst case the HyperModel
+    operations produce).
+    """
+    cost = model.request_cost(object_bytes)
+    return float("inf") if cost == 0 else 1.0 / cost
+
+
+@dataclasses.dataclass(frozen=True)
+class R7Assessment:
+    """Whether a profile meets R7's interactive-performance band."""
+
+    profile_name: str
+    uncached_objects_per_second: float
+    meets_minimum: bool
+    meets_maximum: bool
+
+    @property
+    def cache_required(self) -> bool:
+        """True when only workstation caching can reach R7's band."""
+        return not self.meets_maximum
+
+
+def assess_r7(name: str, model: LatencyModel) -> R7Assessment:
+    """Evaluate one profile against the R7 100-10,000 objects/s band."""
+    throughput = objects_per_second(model)
+    return R7Assessment(
+        profile_name=name,
+        uncached_objects_per_second=throughput,
+        meets_minimum=throughput >= R7_MINIMUM_OBJECTS_PER_SECOND,
+        meets_maximum=throughput >= R7_MAXIMUM_OBJECTS_PER_SECOND,
+    )
+
+
+def r7_table() -> str:
+    """The R7 assessment for every named profile, as a text table."""
+    lines = [
+        f"{'profile':<12} {'objects/s (uncached)':>22} "
+        f"{'>=100/s':>8} {'>=10k/s':>8} {'cache?':>7}"
+    ]
+    for name, model in PROFILES.items():
+        assessment = assess_r7(name, model)
+        lines.append(
+            f"{name:<12} {assessment.uncached_objects_per_second:>22,.0f} "
+            f"{'yes' if assessment.meets_minimum else 'NO':>8} "
+            f"{'yes' if assessment.meets_maximum else 'NO':>8} "
+            f"{'needed' if assessment.cache_required else 'no':>7}"
+        )
+    return "\n".join(lines)

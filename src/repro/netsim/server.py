@@ -1,0 +1,242 @@
+"""The server side of the simulated workstation/server architecture.
+
+:class:`ObjectServer` stores node records (plain dictionaries) and
+answers the request types the client/server backend needs: object
+fetch/store, key-existence probes, index range queries, structure scans
+and named-list storage.  Every request charges the shared
+:class:`~repro.netsim.latency.SimulatedClock` according to the
+:class:`~repro.netsim.latency.LatencyModel` — a fixed round trip plus
+payload-proportional transfer, with payload sizes measured by actually
+serializing the records.
+
+The server object *survives* the client database's close/open cycle,
+exactly like the server machine in the paper's architecture: closing
+the workstation application empties the workstation cache but not the
+server, which is what makes the next run cold.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+from repro.engine import serializer
+from repro.netsim.latency import LatencyModel, SimulatedClock
+from repro.errors import NodeNotFoundError
+
+#: Approximate bytes of a uid in a response payload.
+_UID_BYTES = 8
+#: Approximate bytes of a request header beyond the round trip.
+_PROBE_BYTES = 16
+
+
+@dataclasses.dataclass
+class ServerStats:
+    """Request counters, by request type."""
+
+    fetches: int = 0
+    stores: int = 0
+    probes: int = 0
+    queries: int = 0
+    scans: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.fetches = self.stores = self.probes = 0
+        self.queries = self.scans = 0
+        self.bytes_sent = self.bytes_received = 0
+
+
+class ObjectServer:
+    """A remote node store charging simulated network time."""
+
+    def __init__(
+        self,
+        clock: Optional[SimulatedClock] = None,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.clock = clock or SimulatedClock()
+        self.latency = latency or LatencyModel()
+        self.stats = ServerStats()
+        self._records: Dict[int, Dict[str, Any]] = {}
+        self._lists: Dict[str, List[int]] = {}
+        self._subscribers: List[object] = []
+
+    # ------------------------------------------------------------------
+    # Cache-coherence subscriptions (R6 coordination)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, cache) -> None:
+        """Register a workstation cache for invalidation callbacks.
+
+        When any client stores a record, every *other* subscribed cache
+        drops its copy — the minimal coherence protocol that lets a
+        second user see a first user's published update without
+        restarting (R6's "coordination and collaboration between
+        users").  Invalidation messages ride on the store's round trip
+        (no extra clock charge; real systems piggyback them too).
+        """
+        if cache not in self._subscribers:
+            self._subscribers.append(cache)
+
+    def unsubscribe(self, cache) -> None:
+        """Remove a cache from the invalidation list."""
+        if cache in self._subscribers:
+            self._subscribers.remove(cache)
+
+    def _invalidate_subscribers(self, uid: int, except_cache=None) -> None:
+        for cache in self._subscribers:
+            if cache is not except_cache:
+                cache.invalidate(uid)
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+
+    def _charge(self, payload_bytes: int) -> None:
+        self.clock.advance(self.latency.request_cost(payload_bytes))
+
+    @staticmethod
+    def record_size(record: Dict[str, Any]) -> int:
+        """Wire size of a record (its serialized length)."""
+        return len(serializer.encode(record))
+
+    @staticmethod
+    def _isolate(record: Dict[str, Any]) -> Dict[str, Any]:
+        """Copy a record so client and server never share nested lists."""
+        return {
+            key: [
+                list(item) if isinstance(item, list) else item
+                for item in value
+            ]
+            if isinstance(value, list)
+            else value
+            for key, value in record.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Object requests
+    # ------------------------------------------------------------------
+
+    def fetch(self, uid: int) -> Dict[str, Any]:
+        """Fetch one record; charged round trip + record transfer.
+
+        Raises:
+            NodeNotFoundError: for an unknown uid (still charged a
+                round trip — the request happened).
+        """
+        self.stats.fetches += 1
+        record = self._records.get(uid)
+        if record is None:
+            self._charge(_PROBE_BYTES)
+            raise NodeNotFoundError(uid)
+        size = self.record_size(record)
+        self.stats.bytes_sent += size
+        self._charge(size)
+        return self._isolate(record)
+
+    def store(
+        self, uid: int, record: Dict[str, Any], from_cache=None
+    ) -> None:
+        """Upload one record (insert or replace); charged for upload.
+
+        ``from_cache`` identifies the uploading client's cache so it is
+        excluded from the coherence invalidation broadcast.
+        """
+        self.stats.stores += 1
+        size = self.record_size(record)
+        self.stats.bytes_received += size
+        self._charge(size)
+        self._records[uid] = self._isolate(record)
+        self._invalidate_subscribers(uid, except_cache=from_cache)
+
+    def exists(self, uid: int) -> bool:
+        """Key-existence probe (the server-side name-lookup index hit)."""
+        self.stats.probes += 1
+        self._charge(_PROBE_BYTES)
+        return uid in self._records
+
+    # ------------------------------------------------------------------
+    # Server-evaluated queries
+    # ------------------------------------------------------------------
+
+    def range_query(self, attribute: str, low: int, high: int) -> List[int]:
+        """Uids whose ``attribute`` lies in [low, high] (server-side).
+
+        Charged one round trip plus uid-list transfer: the query runs
+        at the server, only references come back — the design point
+        R7 makes about letting the database do work remotely.
+        """
+        self.stats.queries += 1
+        result = [
+            uid
+            for uid, record in self._records.items()
+            if low <= record[attribute] <= high
+        ]
+        size = _PROBE_BYTES + _UID_BYTES * len(result)
+        self.stats.bytes_sent += size
+        self._charge(size)
+        return result
+
+    def scan_structure(self, structure_id: int) -> List[int]:
+        """All uids of one structure, in uid order (server-side scan)."""
+        self.stats.scans += 1
+        result = sorted(
+            uid
+            for uid, record in self._records.items()
+            if record["struct"] == structure_id
+        )
+        size = _PROBE_BYTES + _UID_BYTES * len(result)
+        self.stats.bytes_sent += size
+        self._charge(size)
+        return result
+
+    def referrers_of(self, uid: int) -> List[int]:
+        """Server-side inverse-reference query (op 08's index)."""
+        self.stats.queries += 1
+        result = [
+            src
+            for src, record in self._records.items()
+            if any(dst == uid for dst, _f, _t in record["refTo"])
+        ]
+        self._charge(_PROBE_BYTES + _UID_BYTES * len(result))
+        return result
+
+    # ------------------------------------------------------------------
+    # Named lists
+    # ------------------------------------------------------------------
+
+    def store_list(self, name: str, uids: List[int]) -> None:
+        """Persist a named node list server-side."""
+        self.stats.stores += 1
+        self._charge(_PROBE_BYTES + _UID_BYTES * len(uids))
+        self._lists[name] = list(uids)
+
+    def load_list(self, name: str) -> List[int]:
+        """Load a named node list.
+
+        Raises:
+            NodeNotFoundError: for an unknown list name.
+        """
+        self.stats.fetches += 1
+        uids = self._lists.get(name)
+        if uids is None:
+            self._charge(_PROBE_BYTES)
+            raise NodeNotFoundError(name)
+        self._charge(_PROBE_BYTES + _UID_BYTES * len(uids))
+        return list(uids)
+
+    # ------------------------------------------------------------------
+    # Introspection (not charged: administrative)
+    # ------------------------------------------------------------------
+
+    def count(self, structure_id: int) -> int:
+        """Number of records in one structure (uncharged admin call)."""
+        return sum(
+            1 for r in self._records.values() if r["struct"] == structure_id
+        )
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._records

@@ -1,0 +1,23 @@
+"""The ad-hoc query language (requirement R12).
+
+Section 3.2 anticipates that, as hypertext databases grow past what
+browsing can serve, "there might be a need for ad-hoc queries to find a
+set of nodes satisfying certain criteria".  This package provides a
+small declarative language over any HyperModel backend::
+
+    find nodes where hundred between 10 and 19 and ten > 5
+    find text where million <= 5000 or million > 995000
+    find form where not (ten = 1)
+
+The pipeline is classic: :mod:`~repro.query.lexer` tokenizes,
+:mod:`~repro.query.parser` builds the :mod:`~repro.query.ast`, and
+:mod:`~repro.query.executor` evaluates — using the backend's indexed
+range lookups when the predicate allows (a one-rule planner), and a
+filtered scan otherwise.
+"""
+
+from repro.query.ast import unparse
+from repro.query.executor import QueryResult, execute, explain
+from repro.query.parser import parse
+
+__all__ = ["parse", "unparse", "execute", "explain", "QueryResult"]

@@ -1,0 +1,171 @@
+"""Query execution with a one-rule index planner.
+
+Execution strategy:
+
+* if the predicate's *top level* constrains ``hundred`` or ``million``
+  with a ``between`` or an equality/range comparison (possibly as one
+  conjunct of an ``and``), the executor seeds the candidate set from
+  the backend's indexed :meth:`range_hundred` / :meth:`range_million`
+  and re-checks the full predicate on the candidates;
+* otherwise it scans the structure with ``iter_nodes``.
+
+Either way the result is exact; the plan only changes how many nodes
+are touched.  :func:`explain` reports which plan would run — the tests
+pin the planner's choices with it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.core.interface import HyperModelDatabase, NodeRef
+from repro.core.model import NodeKind
+from repro.errors import QueryExecutionError
+from repro.query.ast import And, Between, Comparison, Expr, Query, evaluate
+from repro.query.parser import parse
+
+_KIND_FILTER = {
+    "nodes": None,
+    "text": NodeKind.TEXT,
+    "form": NodeKind.FORM,
+}
+
+#: Attributes with backend range support.
+_INDEXED = ("hundred", "million")
+
+#: Widest sensible bounds per indexed attribute.
+_DOMAIN = {"hundred": (1, 100), "million": (1, 1_000_000)}
+
+
+@dataclasses.dataclass
+class QueryResult:
+    """The outcome of a query: matching references plus plan info.
+
+    For ``count`` queries :attr:`refs` is empty and :attr:`count`
+    carries the aggregate; otherwise ``count == len(refs)``.
+    """
+
+    refs: List[NodeRef]
+    plan: str
+    nodes_examined: int
+    count: int = 0
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self):
+        return iter(self.refs)
+
+
+def _index_opportunity(expr: Optional[Expr]) -> Optional[Tuple[str, int, int]]:
+    """An (attribute, low, high) range implied by the predicate, if any.
+
+    Only ranges that are *necessary conditions* of the whole predicate
+    are safe to seed from, i.e. the range itself or one conjunct of a
+    top-level ``and`` chain.
+    """
+    if expr is None:
+        return None
+    if isinstance(expr, Between) and expr.attribute in _INDEXED:
+        return expr.attribute, expr.low, expr.high
+    if isinstance(expr, Comparison) and expr.attribute in _INDEXED:
+        low, high = _DOMAIN[expr.attribute]
+        if expr.operator == "=":
+            return expr.attribute, expr.value, expr.value
+        if expr.operator == "<":
+            return expr.attribute, low, expr.value - 1
+        if expr.operator == "<=":
+            return expr.attribute, low, expr.value
+        if expr.operator == ">":
+            return expr.attribute, expr.value + 1, high
+        if expr.operator == ">=":
+            return expr.attribute, expr.value, high
+        return None  # != is not a range
+    if isinstance(expr, And):
+        return _index_opportunity(expr.left) or _index_opportunity(expr.right)
+    return None
+
+
+def _attributes_of(db: HyperModelDatabase, ref: NodeRef) -> dict:
+    return {
+        "uniqueId": db.get_attribute(ref, "uniqueId"),
+        "ten": db.get_attribute(ref, "ten"),
+        "hundred": db.get_attribute(ref, "hundred"),
+        "million": db.get_attribute(ref, "million"),
+    }
+
+
+def execute(
+    db: HyperModelDatabase,
+    query,
+    structure_id: int = 1,
+) -> QueryResult:
+    """Run a query (string or parsed :class:`~repro.query.ast.Query`).
+
+    Raises:
+        QuerySyntaxError: for malformed query strings.
+        QueryExecutionError: for semantic problems at run time.
+    """
+    if isinstance(query, str):
+        query = parse(query)
+    if not isinstance(query, Query):
+        raise QueryExecutionError(f"not a query: {query!r}")
+    kind = _KIND_FILTER[query.kind]
+
+    opportunity = _index_opportunity(query.predicate)
+    if opportunity is not None:
+        attribute, low, high = opportunity
+        if attribute == "hundred":
+            candidates = db.range_hundred(low, high)
+        else:
+            candidates = db.range_million(low, high)
+        plan = f"index-range({attribute} in {low}..{high})"
+    else:
+        candidates = list(db.iter_nodes(structure_id))
+        plan = "scan"
+
+    from_index = opportunity is not None
+    refs: List[NodeRef] = []
+    matched = 0
+    examined = 0
+    for ref in candidates:
+        examined += 1
+        if from_index and db.structure_of(ref) != structure_id:
+            continue  # indexes span structures; queries are per-structure
+        if kind is not None and db.kind_of(ref) is not kind:
+            continue
+        if evaluate(query.predicate, _attributes_of(db, ref)):
+            matched += 1
+            if query.aggregate != "count":
+                refs.append(ref)
+
+    if query.aggregate == "count":
+        return QueryResult(
+            refs=[], plan=plan + " +count", nodes_examined=examined,
+            count=matched,
+        )
+    if query.order_by is not None:
+        attribute = query.order_by.attribute
+        refs.sort(
+            key=lambda r: db.get_attribute(r, attribute),
+            reverse=query.order_by.descending,
+        )
+        plan += f" +sort({attribute})"
+    if query.limit is not None:
+        refs = refs[: query.limit]
+        plan += f" +limit({query.limit})"
+    return QueryResult(
+        refs=refs, plan=plan, nodes_examined=examined, count=len(refs)
+    )
+
+
+def explain(query) -> str:
+    """The plan :func:`execute` would choose, without running it."""
+    if isinstance(query, str):
+        query = parse(query)
+    opportunity = _index_opportunity(query.predicate)
+    if opportunity is not None:
+        attribute, low, high = opportunity
+        return f"index-range({attribute} in {low}..{high})"
+    return "scan"

@@ -1,0 +1,96 @@
+"""Tokenizer for the ad-hoc query language."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterator, List
+
+from repro.errors import QuerySyntaxError
+
+
+class TokenType(enum.Enum):
+    """Lexical categories of the query language."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    LPAREN = "("
+    RPAREN = ")"
+    END = "end"
+
+
+#: Reserved words (case-insensitive).
+KEYWORDS = frozenset(
+    {
+        "find", "count", "nodes", "text", "form", "where",
+        "and", "or", "not", "between",
+        "order", "by", "asc", "desc", "limit",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "!=", "=", "<", ">")
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One token: its type, normalized text and source position."""
+
+    type: TokenType
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a query string.
+
+    Raises:
+        QuerySyntaxError: on any character that starts no token.
+    """
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    position = 0
+    length = len(source)
+    while position < length:
+        ch = source[position]
+        if ch.isspace():
+            position += 1
+            continue
+        if ch == "(":
+            yield Token(TokenType.LPAREN, "(", position)
+            position += 1
+            continue
+        if ch == ")":
+            yield Token(TokenType.RPAREN, ")", position)
+            position += 1
+            continue
+        matched_op = next(
+            (op for op in _OPERATORS if source.startswith(op, position)), None
+        )
+        if matched_op:
+            yield Token(TokenType.OPERATOR, matched_op, position)
+            position += len(matched_op)
+            continue
+        if ch.isdigit() or (ch == "-" and position + 1 < length and source[position + 1].isdigit()):
+            start = position
+            position += 1
+            while position < length and source[position].isdigit():
+                position += 1
+            yield Token(TokenType.NUMBER, source[start:position], start)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = position
+            while position < length and (source[position].isalnum() or source[position] == "_"):
+                position += 1
+            word = source[start:position]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                yield Token(TokenType.KEYWORD, lowered, start)
+            else:
+                yield Token(TokenType.IDENT, word, start)
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r}", position)
+    yield Token(TokenType.END, "", length)

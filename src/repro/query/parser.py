@@ -1,0 +1,204 @@
+"""Recursive-descent parser for the ad-hoc query language.
+
+Grammar (keywords case-insensitive)::
+
+    query      := ("find" | "count") kind [ "where" expr ]
+                  [ "order" "by" IDENT [ "asc" | "desc" ] ]
+                  [ "limit" NUMBER ]
+    kind       := "nodes" | "text" | "form"
+    expr       := and_expr ( "or" and_expr )*
+    and_expr   := not_expr ( "and" not_expr )*
+    not_expr   := "not" not_expr | primary
+    primary    := "(" expr ")" | comparison
+    comparison := IDENT op NUMBER
+                | IDENT "between" NUMBER "and" NUMBER
+    op         := "=" | "!=" | "<" | "<=" | ">" | ">="
+
+``and`` binds tighter than ``or``; ``not`` tighter than both.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import (
+    ATTRIBUTES,
+    And,
+    Between,
+    Comparison,
+    Expr,
+    Not,
+    Or,
+    OrderBy,
+    Query,
+)
+from repro.query.lexer import Token, TokenType, tokenize
+
+_KINDS = ("nodes", "text", "form")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.END:
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._current
+        if token.type is not TokenType.KEYWORD or token.text != word:
+            raise QuerySyntaxError(f"expected {word!r}", token.position)
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        token = self._current
+        if token.type is TokenType.KEYWORD and token.text == word:
+            self._advance()
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        aggregate = None
+        if self._accept_keyword("count"):
+            aggregate = "count"
+        else:
+            self._expect_keyword("find")
+        token = self._current
+        if token.type is not TokenType.KEYWORD or token.text not in _KINDS:
+            raise QuerySyntaxError(
+                f"expected one of {', '.join(_KINDS)}", token.position
+            )
+        kind = self._advance().text
+        predicate = None
+        if self._accept_keyword("where"):
+            predicate = self.parse_expr()
+        order_by = self._parse_order_by()
+        limit = self._parse_limit()
+        end = self._current
+        if end.type is not TokenType.END:
+            raise QuerySyntaxError(
+                f"unexpected trailing input {end.text!r}", end.position
+            )
+        if aggregate is not None and (order_by or limit is not None):
+            raise QuerySyntaxError(
+                "count queries take no order by / limit", end.position
+            )
+        return Query(
+            kind=kind,
+            predicate=predicate,
+            aggregate=aggregate,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _parse_order_by(self):
+        if not self._accept_keyword("order"):
+            return None
+        self._expect_keyword("by")
+        token = self._current
+        if token.type is not TokenType.IDENT or token.text not in ATTRIBUTES:
+            raise QuerySyntaxError(
+                "expected an attribute after 'order by'", token.position
+            )
+        attribute = self._advance().text
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return OrderBy(attribute, descending)
+
+    def _parse_limit(self):
+        if not self._accept_keyword("limit"):
+            return None
+        value = self._number()
+        if value < 0:
+            raise QuerySyntaxError("limit must be non-negative", 0)
+        return value
+
+    def parse_expr(self) -> Expr:
+        left = self.parse_and()
+        while self._accept_keyword("or"):
+            left = Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self._accept_keyword("and"):
+            left = And(left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self._accept_keyword("not"):
+            return Not(self.parse_not())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self._current
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            inner = self.parse_expr()
+            closing = self._current
+            if closing.type is not TokenType.RPAREN:
+                raise QuerySyntaxError("expected ')'", closing.position)
+            self._advance()
+            return inner
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        token = self._current
+        if token.type is not TokenType.IDENT:
+            raise QuerySyntaxError("expected an attribute name", token.position)
+        if token.text not in ATTRIBUTES:
+            raise QuerySyntaxError(
+                f"unknown attribute {token.text!r} "
+                f"(one of {', '.join(sorted(ATTRIBUTES))})",
+                token.position,
+            )
+        attribute = self._advance().text
+        if self._accept_keyword("between"):
+            low = self._number()
+            self._expect_keyword("and")
+            high = self._number()
+            if low > high:
+                raise QuerySyntaxError(
+                    f"between bounds reversed ({low} > {high})", token.position
+                )
+            return Between(attribute, low, high)
+        op_token = self._current
+        if op_token.type is not TokenType.OPERATOR:
+            raise QuerySyntaxError(
+                "expected a comparison operator or 'between'", op_token.position
+            )
+        operator = self._advance().text
+        value = self._number()
+        return Comparison(attribute, operator, value)
+
+    def _number(self) -> int:
+        token = self._current
+        if token.type is not TokenType.NUMBER:
+            raise QuerySyntaxError("expected a number", token.position)
+        self._advance()
+        return int(token.text)
+
+
+def parse(source: str) -> Query:
+    """Parse a query string into a :class:`~repro.query.ast.Query`.
+
+    Raises:
+        QuerySyntaxError: with the offending source position.
+    """
+    return _Parser(tokenize(source)).parse_query()

@@ -1,0 +1,33 @@
+"""The /RUBE87/ "simple database operations" baseline benchmark.
+
+Section 4 of the paper positions the HyperModel as an extension of
+Rubenstein, Kubicar & Cattell's SIGMOD-87 benchmark: a Person/Document
+model with a many-to-many relationship, exercised by seven simple
+operations (name lookup, range lookup, group lookup, reference lookup,
+record insert, sequential scan and database open).  The paper keeps
+those seven operations and adds the closure/editing operations its
+richer schema enables.
+
+This package implements the baseline so the reproduction can report
+both benchmarks side by side: the
+:class:`~repro.rubenstein.model.SimpleDatabase` interface, in-memory
+and SQLite implementations, the test-data generator and the seven
+timed operations.
+"""
+
+from repro.rubenstein.model import Person, Document, SimpleDatabase
+from repro.rubenstein.backends import MemorySimpleDatabase, SqliteSimpleDatabase
+from repro.rubenstein.generator import SimpleGenerator, SimpleDatasetInfo
+from repro.rubenstein.operations import SimpleOperations, SIMPLE_OP_NAMES
+
+__all__ = [
+    "Person",
+    "Document",
+    "SimpleDatabase",
+    "MemorySimpleDatabase",
+    "SqliteSimpleDatabase",
+    "SimpleGenerator",
+    "SimpleDatasetInfo",
+    "SimpleOperations",
+    "SIMPLE_OP_NAMES",
+]

@@ -1,0 +1,104 @@
+"""The Person/Document model of the /RUBE87/ baseline benchmark.
+
+Two record types with a many-to-many *authorship* relationship between
+them — deliberately simpler than the HyperModel (no recursion, no
+closure operations), which is precisely the paper's critique of it.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Iterator, List
+
+
+@dataclasses.dataclass(frozen=True)
+class Person:
+    """One person record.
+
+    ``birth`` is an integer (days since an epoch) drawn uniformly from
+    1..100 000, giving the range-lookup operation a known selectivity.
+    """
+
+    person_id: int
+    name: str
+    birth: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Document:
+    """One document record."""
+
+    document_id: int
+    title: str
+    pages: int
+
+
+class SimpleDatabase(abc.ABC):
+    """Backend interface for the seven simple operations."""
+
+    @abc.abstractmethod
+    def open(self) -> None:
+        """Open the database (op 7 times this)."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Close the database."""
+
+    @abc.abstractmethod
+    def commit(self) -> None:
+        """Make changes durable."""
+
+    @property
+    @abc.abstractmethod
+    def is_open(self) -> bool:
+        """Whether the database is open."""
+
+    # -- creation ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def insert_person(self, person: Person) -> None:
+        """Insert one person (op 5 times this, indexes included)."""
+
+    @abc.abstractmethod
+    def insert_document(self, document: Document) -> None:
+        """Insert one document."""
+
+    @abc.abstractmethod
+    def add_authorship(self, person_id: int, document_id: int) -> None:
+        """Relate a person to a document (M-N)."""
+
+    @abc.abstractmethod
+    def delete_person(self, person_id: int) -> None:
+        """Remove a person (cleanup after the insert measurement)."""
+
+    # -- the seven operations' read paths ------------------------------------
+
+    @abc.abstractmethod
+    def person_by_id(self, person_id: int) -> Person:
+        """Op 1, name lookup: key access to one person."""
+
+    @abc.abstractmethod
+    def persons_by_birth_range(self, low: int, high: int) -> List[Person]:
+        """Op 2, range lookup on the indexed ``birth`` attribute."""
+
+    @abc.abstractmethod
+    def documents_of(self, person_id: int) -> List[Document]:
+        """Op 3, group lookup: the documents a person authored."""
+
+    @abc.abstractmethod
+    def authors_of(self, document_id: int) -> List[Person]:
+        """Op 4, reference lookup: the authors of a document."""
+
+    @abc.abstractmethod
+    def scan_persons(self) -> Iterator[Person]:
+        """Op 6, sequential scan over all persons."""
+
+    @abc.abstractmethod
+    def person_count(self) -> int:
+        """Number of person records."""
+
+    @property
+    def backend_name(self) -> str:
+        """Short backend identifier for reports."""
+        return type(self).__name__

@@ -1,0 +1,117 @@
+"""The seven /RUBE87/ operations, with a small timing runner."""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List
+
+from repro.harness.timing import Stats
+from repro.rubenstein.generator import BIRTH_RANGE, SimpleDatasetInfo
+from repro.rubenstein.model import Person, SimpleDatabase
+
+#: Operation names in the order /RUBE87/ lists them.
+SIMPLE_OP_NAMES = (
+    "nameLookup",
+    "rangeLookup",
+    "groupLookup",
+    "referenceLookup",
+    "recordInsert",
+    "sequentialScan",
+    "databaseOpen",
+)
+
+#: Width of the birth range probe (10% selectivity over 1..100000).
+RANGE_WIDTH = 10_000
+
+
+class SimpleOperations:
+    """Implementations of the seven operations over one backend."""
+
+    def __init__(self, db: SimpleDatabase, info: SimpleDatasetInfo) -> None:
+        self.db = db
+        self.info = info
+        self._insert_id = 10_000_000  # id space disjoint from generated data
+
+    def name_lookup(self, person_id: int) -> str:
+        """Op 1: key lookup, returns one attribute of the person."""
+        return self.db.person_by_id(person_id).name
+
+    def range_lookup(self, low: int) -> List[Person]:
+        """Op 2: persons born within a 10%-selectivity window."""
+        return self.db.persons_by_birth_range(low, low + RANGE_WIDTH - 1)
+
+    def group_lookup(self, person_id: int) -> list:
+        """Op 3: the documents of a person (M-N forward)."""
+        return self.db.documents_of(person_id)
+
+    def reference_lookup(self, document_id: int) -> list:
+        """Op 4: the authors of a document (M-N inverse)."""
+        return self.db.authors_of(document_id)
+
+    def record_insert(self, rng: random.Random) -> int:
+        """Op 5: insert one person (with index update) and commit."""
+        self._insert_id += 1
+        self.db.insert_person(
+            Person(self._insert_id, "inserted", rng.randint(*BIRTH_RANGE))
+        )
+        self.db.commit()
+        return self._insert_id
+
+    def sequential_scan(self) -> int:
+        """Op 6: visit every person, reading the birth attribute."""
+        count = 0
+        for person in self.db.scan_persons():
+            _ = person.birth
+            count += 1
+        return count
+
+    def database_open(self) -> None:
+        """Op 7: close and reopen the database."""
+        self.db.close()
+        self.db.open()
+
+    # ------------------------------------------------------------------
+    # Timing runner
+    # ------------------------------------------------------------------
+
+    def run_all(
+        self, repetitions: int = 50, seed: int = 1987
+    ) -> Dict[str, Stats]:
+        """Time every operation; returns name -> per-call ms stats.
+
+        Inserted probe records are removed afterwards, leaving the
+        database in its generated state.
+        """
+        rng = random.Random(seed)
+        info = self.info
+        runners: Dict[str, Callable[[], object]] = {
+            "nameLookup": lambda: self.name_lookup(info.random_person_id(rng)),
+            "rangeLookup": lambda: self.range_lookup(
+                rng.randint(1, BIRTH_RANGE[1] - RANGE_WIDTH + 1)
+            ),
+            "groupLookup": lambda: self.group_lookup(
+                info.random_person_id(rng)
+            ),
+            "referenceLookup": lambda: self.reference_lookup(
+                info.random_document_id(rng)
+            ),
+            "recordInsert": lambda: self.record_insert(rng),
+            "sequentialScan": self.sequential_scan,
+            "databaseOpen": self.database_open,
+        }
+        results: Dict[str, Stats] = {}
+        inserted_before = self._insert_id
+        for name in SIMPLE_OP_NAMES:
+            run = runners[name]
+            reps = repetitions if name != "databaseOpen" else min(repetitions, 10)
+            samples = []
+            for _ in range(reps):
+                started = time.perf_counter()
+                run()
+                samples.append((time.perf_counter() - started) * 1000.0)
+            results[name] = Stats.from_samples(samples)
+        for probe_id in range(inserted_before + 1, self._insert_id + 1):
+            self.db.delete_person(probe_id)
+        self.db.commit()
+        return results

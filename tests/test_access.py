@@ -1,0 +1,186 @@
+"""Access control (R11): policy resolution and the guarded wrapper."""
+
+import pytest
+
+from repro.access import PUBLIC, AccessController, GuardedDatabase, Permission
+from repro.core.bitmap import Bitmap
+from repro.core.model import LinkAttributes
+from repro.errors import AccessDeniedError
+
+
+@pytest.fixture
+def guarded(memory_populated):
+    db, gen = memory_populated
+    controller = AccessController(db, default=Permission.READ_WRITE)
+    return GuardedDatabase(db, controller, principal="alice"), db, gen, controller
+
+
+def _doc_roots(db, gen):
+    """The five level-1 nodes: the 'documents' of the structure."""
+    return db.children(db.lookup(gen.root_uid))
+
+
+class TestPermissionResolution:
+    def test_default_applies_without_policies(self, guarded):
+        g, db, gen, controller = guarded
+        ref = db.lookup(10)
+        assert controller.effective_permission("anyone", ref) == Permission.READ_WRITE
+
+    def test_policy_covers_whole_subtree(self, guarded):
+        g, db, gen, controller = guarded
+        doc = _doc_roots(db, gen)[0]
+        doc_uid = db.get_attribute(doc, "uniqueId")
+        controller.set_policy(doc_uid, PUBLIC, Permission.READ)
+        leaf = db.children(db.children(doc)[0])[0]
+        assert controller.effective_permission("bob", leaf) == Permission.READ
+
+    def test_nearest_ancestor_wins(self, guarded):
+        g, db, gen, controller = guarded
+        doc = _doc_roots(db, gen)[0]
+        section = db.children(doc)[0]
+        controller.set_policy(db.get_attribute(doc, "uniqueId"),
+                              PUBLIC, Permission.READ)
+        controller.set_policy(db.get_attribute(section, "uniqueId"),
+                              PUBLIC, Permission.READ_WRITE)
+        leaf = db.children(section)[0]
+        assert controller.effective_permission("bob", leaf) == Permission.READ_WRITE
+
+    def test_principal_entry_shadows_public_on_same_node(self, guarded):
+        g, db, gen, controller = guarded
+        doc = _doc_roots(db, gen)[0]
+        uid = db.get_attribute(doc, "uniqueId")
+        controller.set_policy(uid, PUBLIC, Permission.READ)
+        controller.set_policy(uid, "alice", Permission.READ_WRITE)
+        assert controller.effective_permission("alice", doc) == Permission.READ_WRITE
+        assert controller.effective_permission("bob", doc) == Permission.READ
+
+    def test_clear_policy(self, guarded):
+        g, db, gen, controller = guarded
+        doc = _doc_roots(db, gen)[0]
+        uid = db.get_attribute(doc, "uniqueId")
+        controller.set_policy(uid, PUBLIC, Permission.NONE)
+        controller.clear_policy(uid, PUBLIC)
+        assert controller.effective_permission("bob", doc) == Permission.READ_WRITE
+        assert controller.policies_on(uid) == {}
+
+
+class TestR11Scenario:
+    """The paper's example: public read on one document structure,
+    public write on another, links between them still possible."""
+
+    def test_scenario(self, guarded):
+        g, db, gen, controller = guarded
+        read_doc, write_doc = _doc_roots(db, gen)[:2]
+        controller.set_policy(
+            db.get_attribute(read_doc, "uniqueId"), PUBLIC, Permission.READ
+        )
+        controller.set_policy(
+            db.get_attribute(write_doc, "uniqueId"),
+            PUBLIC,
+            Permission.READ_WRITE,
+        )
+        # Reading both works.
+        assert g.get_attribute(read_doc, "ten")
+        assert g.get_attribute(write_doc, "ten")
+        # Writing only in the writable document.
+        g.set_attribute(write_doc, "ten", 3)
+        with pytest.raises(AccessDeniedError):
+            g.set_attribute(read_doc, "ten", 3)
+        # A link from the writable structure into the read-only one.
+        source = db.children(write_doc)[0]
+        target = db.children(read_doc)[0]
+        g.add_reference(source, target, LinkAttributes(1, 2))
+        assert any(t is target for t, _a in db.refs_to(source))
+
+
+class TestGuardedOperations:
+    def _lock_down(self, guarded):
+        g, db, gen, controller = guarded
+        doc = _doc_roots(db, gen)[0]
+        controller.set_policy(
+            db.get_attribute(doc, "uniqueId"), PUBLIC, Permission.NONE
+        )
+        return g, db, gen, doc
+
+    def test_reads_denied_without_read(self, guarded):
+        g, db, gen, doc = self._lock_down(guarded)
+        for call in (
+            lambda: g.get_attribute(doc, "ten"),
+            lambda: g.children(doc),
+            lambda: g.parts(doc),
+            lambda: g.parent(doc),
+            lambda: g.kind_of(doc),
+            lambda: g.refs_to(doc),
+        ):
+            with pytest.raises(AccessDeniedError):
+                call()
+
+    def test_lookup_of_denied_node_refused(self, guarded):
+        g, db, gen, doc = self._lock_down(guarded)
+        with pytest.raises(AccessDeniedError):
+            g.lookup(db.get_attribute(doc, "uniqueId"))
+
+    def test_range_results_filtered(self, guarded):
+        g, db, gen, doc = self._lock_down(guarded)
+        allowed = g.range_hundred(1, 100)
+        denied_subtree = {
+            db.get_attribute(n, "uniqueId")
+            for n in [doc] + db.children(doc)
+        }
+        got = {db.get_attribute(r, "uniqueId") for r in allowed}
+        assert not (got & denied_subtree)
+
+    def test_scan_skips_denied_nodes(self, guarded):
+        g, db, gen, doc = self._lock_down(guarded)
+        # The locked document subtree: 1 + 5 + 25 = 31 of 156 nodes.
+        assert g.scan_ten() == 156 - 31
+
+    def test_content_writes_denied(self, guarded):
+        g, db, gen, controller = guarded
+        text_ref = db.lookup(gen.text_uids[0])
+        controller.set_policy(gen.text_uids[0], "alice", Permission.READ)
+        assert g.get_text(text_ref)
+        with pytest.raises(AccessDeniedError):
+            g.set_text(text_ref, "denied")
+
+    def test_as_principal_switches_identity(self, guarded):
+        g, db, gen, controller = guarded
+        doc = _doc_roots(db, gen)[0]
+        uid = db.get_attribute(doc, "uniqueId")
+        controller.set_policy(uid, "alice", Permission.NONE)
+        controller.set_policy(uid, "bob", Permission.READ_WRITE)
+        with pytest.raises(AccessDeniedError):
+            g.get_attribute(doc, "ten")
+        as_bob = g.as_principal("bob")
+        assert as_bob.get_attribute(doc, "ten")
+        as_bob.set_attribute(doc, "ten", 2)
+
+    def test_error_carries_context(self, guarded):
+        g, db, gen, controller = guarded
+        doc = _doc_roots(db, gen)[0]
+        uid = db.get_attribute(doc, "uniqueId")
+        controller.set_policy(uid, PUBLIC, Permission.READ)
+        with pytest.raises(AccessDeniedError) as excinfo:
+            g.set_attribute(doc, "ten", 1)
+        error = excinfo.value
+        assert error.principal == "alice"
+        assert error.action == "write"
+        assert error.target == uid
+
+    def test_backend_name_is_decorated(self, guarded):
+        g, *_ = guarded
+        assert g.backend_name == "guarded(memory)"
+
+    def test_aggregation_needs_write_on_both_ends(self, guarded):
+        g, db, gen, controller = guarded
+        from repro.core.model import NodeData
+
+        orphan = db.create_node(
+            NodeData(unique_id=5000, ten=1, hundred=1, million=1)
+        )
+        doc = _doc_roots(db, gen)[0]
+        controller.set_policy(
+            db.get_attribute(doc, "uniqueId"), PUBLIC, Permission.READ
+        )
+        with pytest.raises(AccessDeniedError):
+            g.add_part(doc, orphan)

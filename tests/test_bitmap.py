@@ -1,0 +1,177 @@
+"""Bitmaps: packing, the op 17 invert, clipping and serialization."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitmap import Bitmap, generate_bitmap
+
+
+class TestBasics:
+    def test_new_bitmap_is_white(self):
+        bitmap = Bitmap(64, 32)
+        assert bitmap.is_white()
+        assert bitmap.popcount() == 0
+
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            Bitmap(0, 10)
+        with pytest.raises(ValueError):
+            Bitmap(10, -1)
+
+    def test_set_and_get_single_pixels(self):
+        bitmap = Bitmap(17, 9)  # odd width exercises the row tail
+        bitmap.set(0, 0, 1)
+        bitmap.set(16, 8, 1)
+        bitmap.set(7, 4, 1)
+        assert bitmap.get(0, 0) == 1
+        assert bitmap.get(16, 8) == 1
+        assert bitmap.get(7, 4) == 1
+        assert bitmap.get(1, 0) == 0
+        assert bitmap.popcount() == 3
+
+    def test_set_zero_clears(self):
+        bitmap = Bitmap(8, 8)
+        bitmap.set(3, 3, 1)
+        bitmap.set(3, 3, 0)
+        assert bitmap.is_white()
+
+    def test_out_of_range_pixel_raises(self):
+        bitmap = Bitmap(10, 10)
+        with pytest.raises(IndexError):
+            bitmap.get(10, 0)
+        with pytest.raises(IndexError):
+            bitmap.set(0, 10, 1)
+        with pytest.raises(IndexError):
+            bitmap.get(-1, 0)
+
+    def test_size_bytes_matches_packing(self):
+        # 250x250 -> 32 bytes/row * 250 rows ~ 7.9 kB (the paper's ~7800).
+        assert Bitmap(250, 250).size_bytes == 32 * 250
+        assert Bitmap(8, 1).size_bytes == 1
+        assert Bitmap(9, 1).size_bytes == 2
+
+
+class TestInvertRect:
+    def test_op17_rectangle(self):
+        """Op 17: a 25x25 invert at (50, 50) flips exactly 625 pixels."""
+        bitmap = Bitmap(100, 100)
+        bitmap.invert_rect(50, 50, 25, 25)
+        assert bitmap.popcount() == 625
+        assert bitmap.get(50, 50) == 1
+        assert bitmap.get(74, 74) == 1
+        assert bitmap.get(49, 50) == 0
+        assert bitmap.get(75, 74) == 0
+
+    def test_double_invert_is_identity(self):
+        bitmap = Bitmap(120, 90)
+        bitmap.invert_rect(50, 50, 25, 25)
+        bitmap.invert_rect(50, 50, 25, 25)
+        assert bitmap.is_white()
+
+    def test_clipped_at_edges(self):
+        bitmap = Bitmap(60, 60)
+        bitmap.invert_rect(50, 50, 25, 25)  # only 10x10 fits
+        assert bitmap.popcount() == 100
+
+    def test_fully_outside_is_noop(self):
+        bitmap = Bitmap(40, 40)
+        bitmap.invert_rect(50, 50, 25, 25)
+        assert bitmap.is_white()
+
+    def test_overlapping_inverts_xor(self):
+        bitmap = Bitmap(100, 100)
+        bitmap.invert_rect(0, 0, 10, 10)
+        bitmap.invert_rect(5, 5, 10, 10)  # 5x5 overlap flips back
+        assert bitmap.popcount() == 100 + 100 - 2 * 25
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        bitmap = Bitmap(33, 17)
+        bitmap.invert_rect(3, 3, 7, 5)
+        clone = Bitmap.from_bytes(33, 17, bitmap.to_bytes())
+        assert clone == bitmap
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap.from_bytes(16, 16, b"\x00" * 3)
+
+    def test_copy_is_independent(self):
+        bitmap = Bitmap(16, 16)
+        clone = bitmap.copy()
+        clone.set(0, 0, 1)
+        assert bitmap.is_white()
+        assert not clone.is_white()
+
+    def test_equality_requires_same_dimensions(self):
+        assert Bitmap(8, 8) != Bitmap(8, 9)
+
+    def test_bitmaps_are_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Bitmap(8, 8))
+
+    def test_rows_iteration(self):
+        bitmap = Bitmap(9, 3)
+        rows = list(bitmap.rows())
+        assert len(rows) == 3
+        assert all(len(row) == 2 for row in rows)
+
+
+class TestGeneration:
+    def test_dimensions_in_paper_range(self):
+        rng = random.Random(10)
+        for _ in range(20):
+            bitmap = generate_bitmap(rng)
+            assert 100 <= bitmap.width <= 400
+            assert 100 <= bitmap.height <= 400
+            assert bitmap.is_white()
+
+    def test_average_size_near_7800_bytes(self):
+        """Section 5.2 estimates ~7800 bytes per FormNode."""
+        rng = random.Random(11)
+        sizes = [generate_bitmap(rng).size_bytes for _ in range(200)]
+        average = sum(sizes) / len(sizes)
+        assert 6000 < average < 10000
+
+
+@given(
+    width=st.integers(min_value=1, max_value=64),
+    height=st.integers(min_value=1, max_value=64),
+    pixels=st.lists(
+        st.tuples(st.integers(0, 63), st.integers(0, 63)), max_size=30
+    ),
+)
+def test_property_popcount_matches_distinct_set_pixels(width, height, pixels):
+    """popcount equals the number of distinct in-range pixels set."""
+    bitmap = Bitmap(width, height)
+    expected = set()
+    for x, y in pixels:
+        if x < width and y < height:
+            bitmap.set(x, y, 1)
+            expected.add((x, y))
+    assert bitmap.popcount() == len(expected)
+    for x, y in expected:
+        assert bitmap.get(x, y) == 1
+
+
+@given(
+    width=st.integers(min_value=1, max_value=80),
+    height=st.integers(min_value=1, max_value=80),
+    x=st.integers(min_value=-10, max_value=90),
+    y=st.integers(min_value=-10, max_value=90),
+    rect_w=st.integers(min_value=0, max_value=40),
+    rect_h=st.integers(min_value=0, max_value=40),
+)
+def test_property_invert_flips_exactly_the_clipped_area(
+    width, height, x, y, rect_w, rect_h
+):
+    """The flipped-pixel count is the clipped rectangle's area."""
+    bitmap = Bitmap(width, height)
+    bitmap.invert_rect(x, y, rect_w, rect_h)
+    clipped_w = max(0, min(x + rect_w, width) - max(x, 0))
+    clipped_h = max(0, min(y + rect_h, height) - max(y, 0))
+    assert bitmap.popcount() == clipped_w * clipped_h
+    bitmap.invert_rect(x, y, rect_w, rect_h)
+    assert bitmap.is_white()

@@ -1,0 +1,152 @@
+"""The ``hypermodel`` CLI: every subcommand end to end."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_prints_sizing_table(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "19531" in out
+        assert "781" in out
+
+
+class TestGenerate:
+    def test_memory_backend(self, capsys):
+        assert main(["generate", "--level", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "generated 31 nodes" in out
+        assert "node-leaf" in out
+
+    def test_oodb_backend_to_file(self, capsys, tmp_path):
+        path = str(tmp_path / "cli.hmdb")
+        assert main(
+            ["generate", "--backend", "oodb", "--path", path, "--level", "2"]
+        ) == 0
+        assert "generated 31 nodes" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_verify_passes(self, capsys):
+        assert main(["verify", "--level", "2"]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_verify_sqlite(self, capsys):
+        assert main(["verify", "--backend", "sqlite", "--level", "2"]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_small_grid_with_save(self, capsys, tmp_path):
+        save = str(tmp_path / "results.json")
+        code = main(
+            [
+                "run",
+                "--backends", "memory",
+                "--levels", "2",
+                "--ops", "01,05A",
+                "--repetitions", "2",
+                "--save", save,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nameLookup" in out
+        assert "groupLookup1N" in out
+        from repro.harness import ResultSet
+
+        assert len(ResultSet.load(save)) == 2
+
+
+class TestQuery:
+    def test_query_with_index_plan(self, capsys):
+        code = main(
+            ["query", "--level", "2",
+             "find nodes where hundred between 1 and 10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan: index-range(hundred in 1..10)" in out
+        assert "matched" in out
+
+    def test_query_scan_plan(self, capsys):
+        assert main(["query", "--level", "2", "find text where ten = 5"]) == 0
+        assert "plan: scan" in capsys.readouterr().out
+
+
+class TestRubenstein:
+    def test_baseline_runs(self, capsys):
+        code = main(
+            ["rubenstein", "--persons", "50", "--documents", "50",
+             "--repetitions", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("nameLookup", "sequentialScan", "databaseOpen"):
+            assert name in out
+
+    def test_memory_backend(self, capsys):
+        assert main(
+            ["rubenstein", "--backend", "memory", "--persons", "30",
+             "--documents", "30", "--repetitions", "2"]
+        ) == 0
+        assert "memory" in capsys.readouterr().out
+
+
+class TestMaintain:
+    @pytest.fixture
+    def db_path(self, tmp_path):
+        path = str(tmp_path / "m.hmdb")
+        assert main(
+            ["generate", "--backend", "oodb", "--path", path, "--level", "2"]
+        ) == 0
+        return path
+
+    def test_vacuum(self, capsys, db_path):
+        capsys.readouterr()
+        assert main(["maintain", "vacuum", db_path]) == 0
+        assert "reclaimed" in capsys.readouterr().out
+
+    def test_backup(self, capsys, db_path, tmp_path):
+        target = str(tmp_path / "snap.hmdb")
+        assert main(["maintain", "backup", db_path, "--target", target]) == 0
+        import os
+
+        assert os.path.exists(target)
+
+    def test_backup_without_target_fails(self, capsys, db_path):
+        assert main(["maintain", "backup", db_path]) == 1
+
+    def test_gc_from_the_root(self, capsys, db_path):
+        capsys.readouterr()
+        assert main(["maintain", "gc", db_path, "--roots", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "0 collected" in out  # everything reachable from the root
+        assert "31 live" in out
+
+
+class TestR7:
+    def test_prints_assessment(self, capsys):
+        assert main(["r7"]) == 0
+        out = capsys.readouterr().out
+        assert "lan-1990" in out
+        assert "wan" in out
+        assert "needed" in out
+
+
+class TestQueryExtensionsViaCli:
+    def test_count_query(self, capsys):
+        assert main(["query", "--level", "2", "count nodes"]) == 0
+        assert "matched 31 nodes" in capsys.readouterr().out
+
+
+class TestParsing:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

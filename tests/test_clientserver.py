@@ -1,0 +1,178 @@
+"""The client/server backend: caching, commits and the cold/warm gap."""
+
+import random
+
+import pytest
+
+from repro.backends.clientserver import ClientServerDatabase
+from repro.core.generator import DatabaseGenerator
+from repro.core.model import NodeData
+from repro.netsim import ObjectServer
+from repro.netsim.latency import LatencyModel
+
+
+@pytest.fixture
+def db(level3_config):
+    db = ClientServerDatabase()
+    db.open()
+    gen = DatabaseGenerator(level3_config).generate(db)
+    db.commit()
+    return db, gen
+
+
+class TestCacheBehaviour:
+    def test_first_access_is_a_fetch_second_is_cached(self, db):
+        database, gen = db
+        database.close()
+        database.open()
+        ref = database.lookup(50)
+        clock = database.simulated_clock
+        before = clock.now
+        database.get_attribute(ref, "ten")
+        cold_cost = clock.now - before
+        assert cold_cost > 0
+        before = clock.now
+        database.get_attribute(ref, "ten")
+        assert clock.now == before  # cached: free
+
+    def test_close_clears_workstation_cache_not_server(self, db):
+        database, _gen = db
+        ref = database.lookup(10)
+        database.get_attribute(ref, "ten")
+        assert len(database.cache) > 0
+        database.close()
+        assert len(database.cache) == 0
+        database.open()
+        assert database.node_count() == 156  # server retained everything
+
+    def test_warm_traversal_is_free(self, db):
+        database, gen = db
+        database.close()
+        database.open()
+        clock = database.simulated_clock
+        start = database.lookup(gen.uids_by_level[2][0])
+        from repro.core.operations import Operations
+
+        ops = Operations(database, gen.config)
+        before = clock.now
+        ops.closure_1n(start)
+        cold = clock.now - before
+        before = clock.now
+        ops.closure_1n(start)
+        warm = clock.now - before
+        assert cold > 0
+        assert warm == 0.0
+
+
+class TestWriteBuffer:
+    def test_dirty_records_upload_at_commit(self, db):
+        database, gen = db
+        stores_before = database.server.stats.stores
+        ref = database.lookup(gen.text_uids[0])
+        database.set_text(ref, "version1 edited version1 x version1")
+        assert database.server.stats.stores == stores_before
+        database.commit()
+        assert database.server.stats.stores == stores_before + 1
+
+    def test_abort_discards_local_edits(self, db):
+        database, gen = db
+        ref = database.lookup(25)
+        original = database.get_attribute(ref, "ten")
+        database.set_attribute(ref, "ten", original + 1)
+        database.abort()
+        # Cache may still hold the clean copy; re-open to be sure.
+        database.close()
+        database.open()
+        assert database.get_attribute(database.lookup(25), "ten") == original
+
+    def test_abort_does_not_leak_list_edits_into_the_cache(self, db):
+        """Regression: private edits to nested relationship lists must
+        not alias the cached (or server) copy — an aborted add_child
+        once left the phantom child visible."""
+        database, gen = db
+        parent = database.lookup(gen.uids_by_level[2][0])
+        children_before = list(database.children(parent))  # caches parent
+        from repro.core.model import NodeData
+
+        stray = database.create_node(
+            NodeData(unique_id=8000, ten=1, hundred=1, million=1)
+        )
+        database.add_child(parent, stray)
+        database.abort()
+        assert database.children(parent) == children_before
+        # The server's copy is pristine too.
+        database.cache.clear()
+        assert database.children(database.lookup(
+            gen.uids_by_level[2][0])) == children_before
+
+    def test_uncommitted_nodes_visible_locally(self, db):
+        database, gen = db
+        database.create_node(
+            NodeData(unique_id=9001, ten=1, hundred=1, million=1)
+        )
+        assert database.node_count() == 157
+        ref = database.lookup(9001)
+        assert database.get_attribute(ref, "ten") == 1
+
+    def test_range_query_merges_local_changes(self, db):
+        database, _gen = db
+        ref = database.lookup(60)
+        database.set_attribute(ref, "hundred", 1000)  # out of any window
+        in_window_before = 60 in database.range_hundred(1, 100)
+        assert not in_window_before
+        database.set_attribute(ref, "hundred", 50)
+        assert 60 in [int(r) for r in database.range_hundred(45, 55)]
+
+
+class TestSharedServer:
+    def test_two_clients_share_one_server(self, level3_config):
+        server = ObjectServer(latency=LatencyModel(0.0001, 10_000_000))
+        writer = ClientServerDatabase(server=server)
+        writer.open()
+        gen = DatabaseGenerator(level3_config).generate(writer)
+        writer.commit()
+
+        reader = ClientServerDatabase(server=server)
+        reader.open()
+        assert reader.node_count() == 156
+        ref = reader.lookup(gen.text_uids[0])
+        assert reader.get_text(ref).startswith("version1")
+
+    def test_second_client_sees_committed_edits_after_cache_miss(
+        self, level3_config
+    ):
+        server = ObjectServer()
+        alice = ClientServerDatabase(server=server)
+        bob = ClientServerDatabase(server=server)
+        alice.open()
+        gen = DatabaseGenerator(level3_config).generate(alice)
+        alice.commit()
+        bob.open()
+
+        uid = gen.text_uids[0]
+        alice.set_text(alice.lookup(uid), "version1 new version1 body version1")
+        alice.commit()
+        assert bob.get_text(bob.lookup(uid)).split(" ")[1] == "new"
+
+    def test_coherence_invalidates_stale_cached_copy(self, level3_config):
+        """Bob has the node *cached*; Alice's commit must invalidate it
+        so Bob's next read refetches the new version (R6 coordination)."""
+        server = ObjectServer()
+        alice = ClientServerDatabase(server=server)
+        bob = ClientServerDatabase(server=server)
+        alice.open()
+        gen = DatabaseGenerator(level3_config).generate(alice)
+        alice.commit()
+        bob.open()
+
+        uid = gen.text_uids[1]
+        original = bob.get_text(bob.lookup(uid))  # now cached at bob
+        assert uid in bob.cache
+
+        alice.set_text(alice.lookup(uid), "version1 fresh version1 x version1")
+        alice.commit()
+        assert uid not in bob.cache  # invalidated by the broadcast
+        assert bob.get_text(bob.lookup(uid)) != original
+        assert bob.cache.stats.invalidations >= 1
+        # Alice's own cache kept her copy (she was the writer).
+        assert uid in alice.cache

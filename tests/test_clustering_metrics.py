@@ -1,0 +1,70 @@
+"""The clustering policy object and its locality metrics."""
+
+import pytest
+
+from repro.engine.clustering import (
+    ClusteringPolicy,
+    ClusterStats,
+    clustering_factor,
+    run_length_locality,
+)
+
+
+class TestPolicy:
+    def test_enabled_policy_passes_hints_and_counts(self):
+        policy = ClusteringPolicy(enabled=True)
+        assert policy.hint_for_new(42) == 42
+        assert policy.should_relocate(42)
+        assert policy.hints_applied == 1
+        assert policy.relocations == 1
+
+    def test_disabled_policy_suppresses_everything(self):
+        policy = ClusteringPolicy(enabled=False)
+        assert policy.hint_for_new(42) is None
+        assert not policy.should_relocate(42)
+        assert policy.hints_applied == 0
+
+    def test_no_target_means_no_hint(self):
+        policy = ClusteringPolicy(enabled=True)
+        assert policy.hint_for_new(None) is None
+        assert not policy.should_relocate(None)
+
+
+class TestClusteringFactor:
+    def test_perfectly_clustered(self):
+        stats = clustering_factor([1, 1, 1, 1], objects_per_page_estimate=4)
+        assert stats == ClusterStats(objects=4, distinct_pages=1, min_pages=1)
+        assert stats.factor == 1.0
+
+    def test_fully_scattered(self):
+        stats = clustering_factor([1, 2, 3, 4], objects_per_page_estimate=4)
+        assert stats.distinct_pages == 4
+        assert stats.factor == 4.0
+
+    def test_minimum_respects_capacity(self):
+        stats = clustering_factor([1] * 10, objects_per_page_estimate=4)
+        assert stats.min_pages == 3  # ceil(10 / 4)
+
+    def test_empty_input(self):
+        stats = clustering_factor([], objects_per_page_estimate=4)
+        assert stats.objects == 0
+        assert stats.factor == 1.0
+
+    def test_bad_estimate_rejected(self):
+        with pytest.raises(ValueError):
+            clustering_factor([1], objects_per_page_estimate=0)
+
+
+class TestRunLengthLocality:
+    def test_all_same_page(self):
+        assert run_length_locality([3, 3, 3, 3]) == 1.0
+
+    def test_alternating_pages(self):
+        assert run_length_locality([1, 2, 1, 2]) == 0.0
+
+    def test_mixed(self):
+        assert run_length_locality([1, 1, 2, 2]) == pytest.approx(2 / 3)
+
+    def test_degenerate_inputs(self):
+        assert run_length_locality([]) == 1.0
+        assert run_length_locality([5]) == 1.0

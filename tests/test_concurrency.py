@@ -1,0 +1,246 @@
+"""Workspaces (R9), optimistic concurrency (R8) and the scenarios."""
+
+import os
+
+import pytest
+
+from repro.backends.memory import MemoryDatabase
+from repro.concurrency import (
+    SharedStore,
+    run_conflicting_scenario,
+    run_cooperative_scenario,
+)
+from repro.concurrency.optimistic import OptimisticCoordinator
+from repro.core.generator import DatabaseGenerator
+from repro.core.text import VERSION_2
+from repro.engine.catalog import FieldDefinition
+from repro.engine.store import ObjectStore
+from repro.errors import (
+    CheckOutConflictError,
+    ConflictError,
+    TransactionError,
+    WorkspaceError,
+)
+
+
+@pytest.fixture
+def shared(memory_populated):
+    db, gen = memory_populated
+    return SharedStore(db), db, gen
+
+
+class TestWorkspaces:
+    def test_check_out_reserves(self, shared):
+        store, _db, gen = shared
+        alice = store.workspace("alice")
+        uid = gen.text_uids[0]
+        alice.check_out(uid)
+        assert store.holder_of(uid) == "alice"
+        assert alice.checked_out == [uid]
+
+    def test_conflicting_check_out_rejected(self, shared):
+        store, _db, gen = shared
+        alice, bob = store.workspace("alice"), store.workspace("bob")
+        uid = gen.text_uids[0]
+        alice.check_out(uid)
+        with pytest.raises(CheckOutConflictError):
+            bob.check_out(uid)
+
+    def test_re_check_out_by_holder_is_fine(self, shared):
+        store, _db, gen = shared
+        alice = store.workspace("alice")
+        uid = gen.text_uids[0]
+        alice.check_out(uid)
+        alice.check_out(uid)
+        assert store.checked_out_count() == 1
+
+    def test_private_edits_invisible_until_check_in(self, shared):
+        store, db, gen = shared
+        alice = store.workspace("alice")
+        uid = gen.text_uids[0]
+        original = db.get_text(db.lookup(uid))
+        alice.check_out(uid)
+        alice.set_text(uid, "version1 private version1 draft version1")
+        # Shared state unchanged; the workspace sees its own draft.
+        assert db.get_text(db.lookup(uid)) == original
+        assert "private" in alice.get_text(uid)
+        published = alice.check_in()
+        assert published == [uid]
+        assert "private" in db.get_text(db.lookup(uid))
+
+    def test_check_in_releases_reservations(self, shared):
+        store, _db, gen = shared
+        alice = store.workspace("alice")
+        uid = gen.text_uids[0]
+        alice.check_out(uid)
+        alice.check_in()
+        assert store.holder_of(uid) is None
+        bob = store.workspace("bob")
+        bob.check_out(uid)  # now available
+
+    def test_abandon_discards_edits(self, shared):
+        store, db, gen = shared
+        alice = store.workspace("alice")
+        uid = gen.text_uids[0]
+        original = db.get_text(db.lookup(uid))
+        alice.check_out(uid)
+        alice.set_text(uid, "version1 gone version1 soon version1")
+        alice.abandon()
+        assert db.get_text(db.lookup(uid)) == original
+        assert store.checked_out_count() == 0
+
+    def test_editing_without_check_out_rejected(self, shared):
+        store, _db, gen = shared
+        alice = store.workspace("alice")
+        with pytest.raises(WorkspaceError):
+            alice.set_text(gen.text_uids[0], "nope")
+
+    def test_attribute_and_bitmap_edits(self, shared):
+        store, db, gen = shared
+        alice = store.workspace("alice")
+        text_uid, form_uid = gen.text_uids[0], gen.form_uids[0]
+        alice.check_out(text_uid)
+        alice.check_out(form_uid)
+        alice.set_attribute(text_uid, "ten", 9)
+        alice.edit_bitmap(form_uid).invert_rect(0, 0, 4, 4)
+        assert alice.dirty_count == 2
+        alice.check_in()
+        assert db.get_attribute(db.lookup(text_uid), "ten") == 9
+        assert db.get_bitmap(db.lookup(form_uid)).popcount() == 16
+
+    def test_clean_drafts_not_published(self, shared):
+        store, _db, gen = shared
+        alice = store.workspace("alice")
+        alice.check_out(gen.text_uids[0])
+        assert alice.check_in() == []
+
+
+class TestScenarios:
+    def test_cooperative_scenario_publishes_everything(self, memory_populated):
+        db, gen = memory_populated
+        result = run_cooperative_scenario(db, gen, users=3, nodes_per_user=2)
+        assert result.conflicts == 0
+        assert result.total_published == 6
+        for user_published in result.published:
+            for uid in user_published:
+                assert VERSION_2 in db.get_text(db.lookup(uid))
+
+    def test_conflicting_scenario_detects_the_race(self, memory_populated):
+        db, gen = memory_populated
+        result = run_conflicting_scenario(db, gen)
+        assert result.conflicts == 1
+        assert result.total_published == 1
+
+    def test_scenario_requires_enough_nodes(self, memory_populated):
+        db, gen = memory_populated
+        with pytest.raises(ValueError):
+            run_cooperative_scenario(db, gen, users=100, nodes_per_user=10)
+
+
+class TestWorkspacesOverPersistentBackend:
+    def test_check_in_is_durable_on_the_oodb(self, tmp_path):
+        """Workspace publication commits through the engine and
+        survives a close/reopen (R9 on a persistent store)."""
+        import os
+
+        from repro.backends.oodb import OodbDatabase
+        from repro.core.config import HyperModelConfig
+        from repro.core.generator import DatabaseGenerator
+
+        path = os.path.join(str(tmp_path), "ws.hmdb")
+        db = OodbDatabase(path)
+        db.open()
+        gen = DatabaseGenerator(HyperModelConfig(levels=2, seed=1)).generate(db)
+        db.commit()
+
+        shared = SharedStore(db)
+        alice = shared.workspace("alice")
+        uid = gen.text_uids[0]
+        alice.check_out(uid)
+        alice.set_text(uid, "version1 durable version1 edit version1")
+        alice.check_in()
+        db.close()
+
+        reopened = OodbDatabase(path)
+        reopened.open()
+        assert "durable" in reopened.get_text(reopened.lookup(uid))
+        reopened.close()
+
+
+@pytest.fixture
+def opt(tmp_path):
+    store = ObjectStore(os.path.join(str(tmp_path), "opt.hmdb"),
+                        sync_commits=False)
+    store.open()
+    store.define_class("Doc", [FieldDefinition("body", default="")])
+    oid = store.new("Doc", {"body": "v0"})
+    store.commit()
+    coordinator = OptimisticCoordinator(store)
+    yield coordinator, store, oid
+    store.close()
+
+
+class TestOptimistic:
+    def test_disjoint_transactions_both_commit(self, opt):
+        coordinator, store, oid = opt
+        other = store.new("Doc", {"body": "other"})
+        store.commit()
+        t1, t2 = coordinator.begin(), coordinator.begin()
+        t1.write(oid, {"body": "t1"})
+        t2.write(other, {"body": "t2"})
+        t1.commit()
+        t2.commit()
+        assert store.get(oid)["body"] == "t1"
+        assert store.get(other)["body"] == "t2"
+        assert coordinator.conflicts == 0
+
+    def test_first_committer_wins(self, opt):
+        coordinator, store, oid = opt
+        t1, t2 = coordinator.begin(), coordinator.begin()
+        t1.read(oid)
+        t2.read(oid)
+        t1.write(oid, {"body": "winner"})
+        t1.commit()
+        t2.write(oid, {"body": "loser"})
+        with pytest.raises(ConflictError):
+            t2.commit()
+        assert store.get(oid)["body"] == "winner"
+        assert coordinator.conflict_rate == 0.5
+
+    def test_read_only_transaction_never_conflicts_itself(self, opt):
+        coordinator, _store, oid = opt
+        t1 = coordinator.begin()
+        t1.read(oid)
+        t1.commit()  # no writes: validation passes trivially
+
+    def test_write_implies_read_validation(self, opt):
+        coordinator, store, oid = opt
+        t1, t2 = coordinator.begin(), coordinator.begin()
+        t1.write(oid, {"body": "a"})  # implies a validated read
+        t2.write(oid, {"body": "b"})
+        t1.commit()
+        with pytest.raises(ConflictError):
+            t2.commit()
+
+    def test_own_writes_visible(self, opt):
+        coordinator, _store, oid = opt
+        txn = coordinator.begin()
+        txn.write(oid, {"body": "draft"})
+        assert txn.read(oid)["body"] == "draft"
+        txn.abort()
+
+    def test_finished_transaction_unusable(self, opt):
+        coordinator, _store, oid = opt
+        txn = coordinator.begin()
+        txn.abort()
+        with pytest.raises(TransactionError):
+            txn.read(oid)
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_abort_discards_buffer(self, opt):
+        coordinator, store, oid = opt
+        txn = coordinator.begin()
+        txn.write(oid, {"body": "discarded"})
+        txn.abort()
+        assert store.get(oid)["body"] == "v0"

@@ -1,0 +1,121 @@
+"""Section 5.2's counting and sizing formulas."""
+
+import pytest
+
+from repro.core.config import (
+    HyperModelConfig,
+    LEVEL_NODE_COUNTS,
+)
+from repro.errors import ConfigurationError
+
+
+class TestNodeCounts:
+    @pytest.mark.parametrize("level,expected", sorted(LEVEL_NODE_COUNTS.items()))
+    def test_total_nodes_match_paper(self, level, expected):
+        assert HyperModelConfig(levels=level).total_nodes == expected
+
+    def test_nodes_per_level_powers_of_fanout(self):
+        cfg = HyperModelConfig(levels=6)
+        assert [cfg.nodes_at_level(level) for level in range(7)] == [
+            1, 5, 25, 125, 625, 3125, 15625,
+        ]
+
+    def test_level_outside_hierarchy_rejected(self):
+        cfg = HyperModelConfig(levels=4)
+        with pytest.raises(ConfigurationError):
+            cfg.nodes_at_level(5)
+        with pytest.raises(ConfigurationError):
+            cfg.nodes_at_level(-1)
+
+    def test_leaf_and_internal_partition(self):
+        cfg = HyperModelConfig(levels=5)
+        assert cfg.leaf_nodes + cfg.internal_nodes == cfg.total_nodes
+        assert cfg.leaf_nodes == 3125
+
+    def test_level6_leaf_mix_matches_paper(self):
+        cfg = HyperModelConfig(levels=6)
+        assert cfg.form_node_count == 125
+        assert cfg.text_node_count == 15500
+
+    def test_non_default_fanout(self):
+        cfg = HyperModelConfig(levels=3, fanout=3)
+        assert cfg.total_nodes == 1 + 3 + 9 + 27
+
+    def test_fanout_one_degenerate_chain(self):
+        cfg = HyperModelConfig(levels=4, fanout=1)
+        assert cfg.total_nodes == 5
+        assert cfg.leaf_nodes == 1
+
+
+class TestRelationshipCounts:
+    def test_one_n_count_is_nodes_minus_one(self):
+        for level in (4, 5, 6):
+            cfg = HyperModelConfig(levels=level)
+            assert cfg.one_n_relationship_count == cfg.total_nodes - 1
+
+    def test_m_n_count_five_per_internal(self):
+        cfg = HyperModelConfig(levels=4)
+        assert cfg.m_n_relationship_count == cfg.internal_nodes * 5
+
+    def test_m_n_att_count_one_per_node(self):
+        cfg = HyperModelConfig(levels=4)
+        assert cfg.m_n_att_relationship_count == cfg.total_nodes
+
+
+class TestClosureSizes:
+    def test_closure_sizes_match_paper(self):
+        """The paper quotes n-level4=6, n-level5=31, n-level6=156."""
+        for level, expected in ((4, 6), (5, 31), (6, 156)):
+            assert HyperModelConfig(levels=level).closure_1n_size(3) == expected
+
+    def test_closure_from_leaf_level_is_one(self):
+        cfg = HyperModelConfig(levels=4)
+        assert cfg.closure_1n_size(4) == 1
+
+    def test_closure_below_leaves_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HyperModelConfig(levels=4).closure_1n_size(5)
+
+
+class TestSizeModel:
+    def test_level6_is_about_8_megabytes(self):
+        size = HyperModelConfig(levels=6).estimated_size_bytes()
+        assert 7_000_000 < size < 10_000_000
+
+    def test_one_more_level_grows_about_fivefold(self):
+        small = HyperModelConfig(levels=6).estimated_size_bytes()
+        large = HyperModelConfig(levels=7).estimated_size_bytes()
+        assert 4.5 < large / small < 5.5
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"levels": 0},
+            {"fanout": 0},
+            {"parts_per_node": -1},
+            {"text_nodes_per_form_node": 0},
+            {"min_words": 0},
+            {"min_words": 50, "max_words": 10},
+            {"min_word_length": 0},
+            {"min_bitmap_dim": 500, "max_bitmap_dim": 100},
+            {"max_offset": 0},
+            {"closure_depth": 0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            HyperModelConfig(**kwargs)
+
+    def test_with_levels_and_seed_return_copies(self):
+        cfg = HyperModelConfig(levels=4)
+        assert cfg.with_levels(6).levels == 6
+        assert cfg.with_seed(9).seed == 9
+        assert cfg.levels == 4  # original untouched
+
+    def test_attribute_domains(self):
+        cfg = HyperModelConfig()
+        assert cfg.ten_range == (1, 10)
+        assert cfg.hundred_range == (1, 100)
+        assert cfg.million_range == (1, 1_000_000)

@@ -1,0 +1,137 @@
+"""The buffer pool: pinning, LRU eviction, write-back and cold resets."""
+
+import pytest
+
+from repro.engine.buffer import BufferPool
+from repro.engine.pages import PAGE_SIZE, PageFile
+from repro.errors import PageError
+
+
+@pytest.fixture
+def pool(tmp_path):
+    pf = PageFile(str(tmp_path / "b.db"))
+    pool = BufferPool(pf, capacity=4)
+    yield pool
+    pf.close()
+
+
+def _fill(pool, count):
+    pids = []
+    for _ in range(count):
+        pid = pool.new_page()
+        pids.append(pid)
+    return pids
+
+
+class TestBasics:
+    def test_capacity_validated(self, tmp_path):
+        pf = PageFile(str(tmp_path / "c.db"))
+        with pytest.raises(PageError):
+            BufferPool(pf, capacity=0)
+        pf.close()
+
+    def test_get_pins_and_caches(self, pool):
+        (pid,) = _fill(pool, 1)
+        pool.flush_all()
+        pool.drop_cache()
+        data = pool.get(pid)
+        assert len(data) == PAGE_SIZE
+        assert pool.stats.misses == 1
+        pool.unpin(pid)
+        pool.get(pid)
+        pool.unpin(pid)
+        assert pool.stats.hits == 1
+
+    def test_unpin_without_pin_rejected(self, pool):
+        (pid,) = _fill(pool, 1)
+        with pytest.raises(PageError):
+            pool.unpin(pid)
+
+    def test_dirty_write_back_on_eviction(self, pool):
+        (pid,) = _fill(pool, 1)
+        page = pool.get(pid)
+        page[0] = 0xEE
+        pool.unpin(pid, dirty=True)
+        pool.flush_all()
+        pool.drop_cache()
+        assert pool.get(pid)[0] == 0xEE
+        pool.unpin(pid)
+
+
+class TestEviction:
+    def test_clean_lru_page_evicted_first(self, pool):
+        pids = _fill(pool, 4)
+        pool.flush_all()  # everything clean
+        # Touch pids[1] so pids[0] is LRU.
+        pool.get(pids[1])
+        pool.unpin(pids[1])
+        pool.new_page()  # forces one eviction
+        cached = set(pool.cached_page_ids())
+        assert pids[0] not in cached
+        assert pids[1] in cached
+
+    def test_dirty_pages_never_evicted(self, pool):
+        pids = _fill(pool, 4)  # all dirty (new pages)
+        pool.new_page()  # no clean victim: pool overcommits
+        assert pool.cached_pages == 5
+        assert pool.stats.evictions == 0
+
+    def test_trim_restores_capacity_after_flush(self, pool):
+        _fill(pool, 6)
+        assert pool.cached_pages == 6
+        pool.flush_all()
+        assert pool.cached_pages <= pool.capacity
+
+    def test_pinned_pages_never_evicted(self, pool):
+        pids = _fill(pool, 4)
+        pool.flush_all()
+        pool.get(pids[0])  # pin and keep
+        for _ in range(4):
+            pool.new_page()
+        assert pids[0] in set(pool.cached_page_ids())
+        pool.unpin(pids[0])
+
+
+class TestColdReset:
+    def test_drop_cache_empties_and_flushes(self, pool):
+        (pid,) = _fill(pool, 1)
+        page = pool.get(pid)
+        page[1] = 0x77
+        pool.unpin(pid, dirty=True)
+        pool.drop_cache()
+        assert pool.cached_pages == 0
+        assert pool.get(pid)[1] == 0x77  # survived via write-back
+        pool.unpin(pid)
+
+    def test_drop_cache_rejected_while_pinned(self, pool):
+        (pid,) = _fill(pool, 1)
+        pool.get(pid)
+        with pytest.raises(PageError):
+            pool.drop_cache()
+        pool.unpin(pid)
+
+    def test_stats_reset(self, pool):
+        (pid,) = _fill(pool, 1)
+        pool.get(pid)
+        pool.unpin(pid)
+        pool.stats.reset()
+        assert pool.stats.hits == 0
+        assert pool.stats.hit_ratio == 0.0
+
+
+class TestDirtySnapshot:
+    def test_dirty_pages_snapshot(self, pool):
+        pids = _fill(pool, 2)
+        pool.flush_all()
+        page = pool.get(pids[0])
+        page[2] = 0x33
+        pool.unpin(pids[0], dirty=True)
+        dirty = pool.dirty_pages()
+        assert set(dirty) == {pids[0]}
+        assert dirty[pids[0]][2] == 0x33
+
+    def test_free_page_removes_from_cache(self, pool):
+        pids = _fill(pool, 2)
+        pool.flush_all()
+        pool.free_page(pids[0])
+        assert pids[0] not in set(pool.cached_page_ids())

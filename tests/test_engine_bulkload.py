@@ -1,0 +1,121 @@
+"""B+tree bulk loading: bottom-up builds equivalent to insert loops."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.btree import ORDER, BTree
+from repro.engine.buffer import BufferPool
+from repro.engine.pages import PageFile
+from repro.errors import PageError
+
+
+def _fresh_tree(tmp_path, name="bulk.db"):
+    pf = PageFile(str(tmp_path / name))
+    pool = BufferPool(pf, capacity=128)
+    return BTree(pool, 0), pf
+
+
+class TestBulkLoad:
+    def test_small_load_single_leaf(self, tmp_path):
+        tree, pf = _fresh_tree(tmp_path)
+        tree.bulk_load([(1, 1, 10), (2, 2, 20), (3, 3, 30)])
+        assert tree.search_unique(2) == 20
+        assert list(tree.scan_all()) == [(1, 10), (2, 20), (3, 30)]
+        tree.check_invariants()
+        pf.close()
+
+    def test_multi_level_load(self, tmp_path):
+        tree, pf = _fresh_tree(tmp_path)
+        count = ORDER * 12  # several leaves and at least two levels
+        tree.bulk_load([(k, k, k * 2) for k in range(count)])
+        assert len(tree) == count
+        for probe in (0, 1, ORDER, count // 2, count - 1):
+            assert tree.search_unique(probe) == probe * 2
+        assert list(tree.scan_range(500, 520)) == [
+            (k, k * 2) for k in range(500, 521)
+        ]
+        tree.check_invariants()
+        pf.close()
+
+    def test_lone_trailing_child_group(self, tmp_path):
+        """A child count of fill+2 leaves a group of one at the next
+        level; the lone child must bubble up without an empty parent."""
+        tree, pf = _fresh_tree(tmp_path)
+        fill = max(1, (ORDER * 9) // 10)
+        count = fill * (fill + 2)  # (fill+2) leaves -> groups of fill+1, 1
+        tree.bulk_load([(k, k, k) for k in range(count)])
+        assert len(tree) == count
+        tree.check_invariants()
+        pf.close()
+
+    def test_loaded_tree_accepts_further_inserts_and_deletes(self, tmp_path):
+        tree, pf = _fresh_tree(tmp_path)
+        tree.bulk_load([(k, k, k) for k in range(0, 2000, 2)])
+        for key in range(1, 100, 2):
+            tree.insert(key, key)
+        assert tree.search_unique(51) == 51
+        assert tree.delete(50, 50)
+        assert tree.search_unique(50) is None
+        tree.check_invariants()
+        pf.close()
+
+    def test_empty_load_is_noop(self, tmp_path):
+        tree, pf = _fresh_tree(tmp_path)
+        tree.bulk_load([])
+        assert len(tree) == 0
+        tree.insert(1, 1)
+        assert tree.search_unique(1) == 1
+        pf.close()
+
+    def test_non_empty_tree_rejected(self, tmp_path):
+        tree, pf = _fresh_tree(tmp_path)
+        tree.insert(1, 1)
+        with pytest.raises(PageError):
+            tree.bulk_load([(2, 2, 2)])
+        pf.close()
+
+    def test_unsorted_input_rejected(self, tmp_path):
+        tree, pf = _fresh_tree(tmp_path)
+        with pytest.raises(PageError):
+            tree.bulk_load([(2, 2, 2), (1, 1, 1)])
+        with pytest.raises(PageError):
+            tree.bulk_load([(1, 1, 1), (1, 1, 9)])  # duplicate (key, disc)
+        pf.close()
+
+    def test_duplicate_keys_distinct_discs_allowed(self, tmp_path):
+        tree, pf = _fresh_tree(tmp_path)
+        tree.bulk_load([(5, 1, 100), (5, 2, 200), (5, 3, 300)])
+        assert tree.search(5) == [100, 200, 300]
+        pf.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    keys=st.sets(st.integers(-10_000, 10_000), min_size=0, max_size=600)
+)
+def test_property_bulk_load_equals_insert_loop(tmp_path_factory, keys):
+    """A bulk-loaded tree answers exactly like an insert-built one."""
+    base = tmp_path_factory.mktemp("bulk-prop")
+    ordered = sorted(keys)
+
+    loaded, pf_a = _fresh_tree(base, "a.db")
+    loaded.bulk_load([(k, k, k) for k in ordered])
+
+    inserted, pf_b = _fresh_tree(base, "b.db")
+    shuffled = list(ordered)
+    random.Random(1).shuffle(shuffled)
+    for key in shuffled:
+        inserted.insert(key, key)
+
+    assert list(loaded.scan_all()) == list(inserted.scan_all())
+    if ordered:
+        low = ordered[len(ordered) // 4]
+        high = ordered[3 * len(ordered) // 4]
+        assert list(loaded.scan_range(low, high)) == list(
+            inserted.scan_range(low, high)
+        )
+    loaded.check_invariants()
+    pf_a.close()
+    pf_b.close()

@@ -1,0 +1,156 @@
+"""Lock manager: compatibility, upgrades, deadlock detection (R8)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.locks import LockManager, LockMode
+from repro.errors import DeadlockError
+
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+
+
+@pytest.fixture
+def locks():
+    return LockManager(timeout=0.5)
+
+
+class TestCompatibility:
+    def test_shared_locks_coexist(self, locks):
+        locks.acquire(1, 100, S)
+        locks.acquire(2, 100, S)
+        assert locks.holders_of(100) == {1, 2}
+
+    def test_exclusive_excludes(self, locks):
+        locks.acquire(1, 100, X)
+        with pytest.raises(DeadlockError):  # timeout backstop
+            locks.acquire(2, 100, X)
+
+    def test_shared_blocks_exclusive(self, locks):
+        locks.acquire(1, 100, S)
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, 100, X)
+
+    def test_reacquire_is_idempotent(self, locks):
+        locks.acquire(1, 100, S)
+        locks.acquire(1, 100, S)
+        locks.acquire(1, 100, X)  # sole holder may upgrade
+        locks.acquire(1, 100, S)  # X already covers S
+        assert locks.holders_of(100) == {1}
+
+    def test_upgrade_blocked_by_other_reader(self, locks):
+        locks.acquire(1, 100, S)
+        locks.acquire(2, 100, S)
+        with pytest.raises(DeadlockError):
+            locks.acquire(1, 100, X)
+
+
+class TestRelease:
+    def test_release_all_frees_everything(self, locks):
+        locks.acquire(1, 100, X)
+        locks.acquire(1, 101, S)
+        locks.release_all(1)
+        assert locks.holders_of(100) == set()
+        assert locks.locks_held(1) == set()
+        locks.acquire(2, 100, X)  # now available
+
+    def test_release_wakes_waiter(self, locks):
+        locks.acquire(1, 100, X)
+        acquired = threading.Event()
+
+        def waiter():
+            locks.acquire(2, 100, X)
+            acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()
+        locks.release_all(1)
+        thread.join(timeout=2)
+        assert acquired.is_set()
+        locks.release_all(2)
+
+
+class TestDeadlock:
+    def test_two_party_deadlock_detected(self, locks):
+        locks.acquire(1, 100, X)
+        locks.acquire(2, 200, X)
+        results = {}
+
+        def txn1():
+            try:
+                locks.acquire(1, 200, X)  # waits for 2
+                results[1] = "ok"
+            except DeadlockError:
+                results[1] = "deadlock"
+            finally:
+                locks.release_all(1)
+
+        thread = threading.Thread(target=txn1)
+        thread.start()
+        time.sleep(0.05)
+        # Txn 2 requesting 100 closes the cycle: it must be refused.
+        try:
+            locks.acquire(2, 100, X)
+            results[2] = "ok"
+        except DeadlockError:
+            results[2] = "deadlock"
+        finally:
+            locks.release_all(2)
+        thread.join(timeout=2)
+        assert "deadlock" in results.values()
+        assert list(results.values()).count("ok") >= 1
+
+    def test_timeout_reported_as_deadlock_error(self, locks):
+        locks.acquire(1, 100, X)
+        started = time.perf_counter()
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, 100, S)
+        assert time.perf_counter() - started >= 0.4
+
+
+class TestStress:
+    def test_many_threads_random_locks_no_leaks(self):
+        """Eight threads hammer ten objects with mixed S/X locks.
+
+        Deadlock victims retry after releasing; the invariants are that
+        nothing crashes, every thread finishes, and all locks are free
+        at the end.
+        """
+        import random
+
+        locks = LockManager(timeout=0.2)
+        finished = []
+        errors = []
+
+        def worker(txid: int) -> None:
+            rng = random.Random(txid)
+            try:
+                for _round in range(40):
+                    wanted = rng.sample(range(10), rng.randint(1, 3))
+                    mode = X if rng.random() < 0.3 else S
+                    try:
+                        for oid in wanted:
+                            locks.acquire(txid, oid, mode)
+                    except DeadlockError:
+                        pass  # victim: release and move on
+                    finally:
+                        locks.release_all(txid)
+                finished.append(txid)
+            except Exception as exc:  # pragma: no cover - defensive
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(txid,)) for txid in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert sorted(finished) == list(range(8))
+        for oid in range(10):
+            assert locks.holders_of(oid) == set()

@@ -1,0 +1,114 @@
+"""The binary serializer: roundtrips, edge values and corruption."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.serializer import decode, encode
+from repro.errors import StorageError
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            2**62,
+            -(2**62),
+            0.0,
+            3.141592653589793,
+            -1e300,
+            "",
+            "hello",
+            "unicode: æøå 中文 🙂",
+            b"",
+            b"\x00\xff" * 100,
+            [],
+            [1, 2, 3],
+            [[1], [2, [3]]],
+            {},
+            {"a": 1, "b": [True, None]},
+            {"nested": {"deep": {"deeper": b"bytes"}}},
+        ],
+    )
+    def test_value_roundtrip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_tuple_decodes_as_list(self):
+        assert decode(encode((1, 2, 3))) == [1, 2, 3]
+
+    def test_object_state_shape(self):
+        state = {
+            "uniqueId": 42,
+            "children": [1, 2, 3, 4, 5],
+            "refTo": [[7, 3, 8]],
+            "text": "version1 words version1",
+            "bits": b"\x00" * 1000,
+        }
+        assert decode(encode(state)) == state
+
+    def test_int_keys_in_dicts(self):
+        assert decode(encode({1: "a", 2: "b"})) == {1: "a", 2: "b"}
+
+
+class TestErrors:
+    def test_unserializable_type_rejected(self):
+        with pytest.raises(StorageError):
+            encode(object())
+
+    def test_int_outside_64_bits_rejected(self):
+        with pytest.raises(StorageError):
+            encode(2**64)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(StorageError):
+            decode(encode(1) + b"junk")
+
+    def test_truncation_rejected(self):
+        blob = encode({"key": "a long enough string value"})
+        for cut in (1, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(StorageError):
+                decode(blob[:cut])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(StorageError):
+            decode(b"Z")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(StorageError):
+            decode(b"")
+
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.dictionaries(st.text(max_size=10), children, max_size=6),
+    ),
+    max_leaves=25,
+)
+
+
+@given(value=_values)
+def test_property_roundtrip_any_supported_value(value):
+    """encode/decode is the identity for all supported shapes."""
+    assert decode(encode(value)) == value
+
+
+@given(value=_values)
+def test_property_encoding_is_deterministic(value):
+    """Equal values encode to identical bytes (stable dict order given)."""
+    assert encode(value) == encode(value)

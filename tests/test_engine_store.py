@@ -1,0 +1,388 @@
+"""The object store facade: CRUD, transactions, indexes, recovery."""
+
+import os
+
+import pytest
+
+from repro.engine.catalog import FieldDefinition
+from repro.engine.store import ObjectStore
+from repro.errors import (
+    DatabaseClosedError,
+    RecordNotFoundError,
+    SchemaError,
+    TransactionError,
+)
+
+
+def _make_store(tmp_path, name="s.hmdb", **kwargs):
+    kwargs.setdefault("sync_commits", False)
+    return ObjectStore(os.path.join(str(tmp_path), name), **kwargs)
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = _make_store(tmp_path)
+    s.open()
+    s.define_class(
+        "Item",
+        [
+            FieldDefinition("name", default=""),
+            FieldDefinition("value", default=0),
+        ],
+    )
+    yield s
+    if s.is_open:
+        s.close()
+
+
+class TestLifecycle:
+    def test_closed_store_rejects_operations(self, tmp_path):
+        s = _make_store(tmp_path)
+        with pytest.raises(DatabaseClosedError):
+            s.get(1)
+
+    def test_open_is_idempotent(self, store):
+        store.open()
+        assert store.is_open
+
+    def test_close_aborts_open_transaction(self, store):
+        oid = store.new("Item", {"value": 1})
+        store.commit()
+        store.update(oid, {"value": 2})  # implicit txn, uncommitted
+        store.close()
+        store.open()
+        assert store.get(oid)["value"] == 1
+
+
+class TestCrud:
+    def test_new_get_update_delete(self, store):
+        oid = store.new("Item", {"name": "a", "value": 1})
+        assert store.get(oid) == {"name": "a", "value": 1}
+        store.update(oid, {"value": 2})
+        assert store.get(oid)["value"] == 2
+        store.put(oid, {"name": "b", "value": 3})
+        assert store.get(oid) == {"name": "b", "value": 3}
+        store.delete(oid)
+        with pytest.raises(RecordNotFoundError):
+            store.get(oid)
+        assert not store.exists(oid)
+
+    def test_defaults_filled_on_create(self, store):
+        oid = store.new("Item", {})
+        assert store.get(oid) == {"name": "", "value": 0}
+
+    def test_unknown_fields_rejected(self, store):
+        with pytest.raises(SchemaError):
+            store.new("Item", {"ghost": 1})
+
+    def test_class_of(self, store):
+        oid = store.new("Item", {})
+        assert store.class_of(oid) == "Item"
+
+    def test_get_returns_private_copy(self, store):
+        oid = store.new("Item", {"value": 1})
+        store.commit()
+        state = store.get(oid)
+        state["value"] = 999
+        assert store.get(oid)["value"] == 1
+
+
+class TestTransactions:
+    def test_explicit_commit_and_abort(self, store):
+        with store.begin() as txn:
+            oid = store.new("Item", {"value": 5}, txn=txn)
+        assert store.get(oid)["value"] == 5
+
+        txn = store.begin()
+        store.update(oid, {"value": 6}, txn=txn)
+        assert store.get(oid, txn=txn)["value"] == 6  # own writes visible
+        txn.abort()
+        assert store.get(oid)["value"] == 5
+
+    def test_context_manager_aborts_on_exception(self, store):
+        oid = store.new("Item", {"value": 1})
+        store.commit()
+        with pytest.raises(RuntimeError):
+            with store.begin() as txn:
+                store.update(oid, {"value": 2}, txn=txn)
+                raise RuntimeError("boom")
+        assert store.get(oid)["value"] == 1
+
+    def test_only_one_active_transaction(self, store):
+        store.begin()
+        with pytest.raises(TransactionError):
+            store.begin()
+        store.abort()
+
+    def test_created_object_visible_in_scan_before_commit(self, store):
+        oid = store.new("Item", {})
+        assert oid in list(store.scan_class("Item"))
+
+    def test_deleted_object_hidden_before_commit(self, store):
+        oid = store.new("Item", {})
+        store.commit()
+        store.delete(oid)
+        assert oid not in list(store.scan_class("Item"))
+        store.abort()
+        assert oid in list(store.scan_class("Item"))
+
+    def test_commit_without_changes_is_cheap_noop(self, store):
+        commits = store.stats.commits
+        store.commit()  # no active txn
+        assert store.stats.commits == commits
+
+
+class TestExtents:
+    def test_scan_includes_subclasses(self, store):
+        store.define_class("Special", [FieldDefinition("extra", default=0)],
+                           base="Item")
+        a = store.new("Item", {})
+        b = store.new("Special", {})
+        store.commit()
+        assert set(store.scan_class("Item")) == {a, b}
+        assert set(store.scan_class("Item", include_subclasses=False)) == {a}
+        assert set(store.scan_class("Special")) == {b}
+
+
+class TestIndexes:
+    def test_index_lookup_and_range(self, store):
+        store.create_index("Item", "value")
+        oids = [store.new("Item", {"value": v}) for v in (5, 3, 9, 3)]
+        store.commit()
+        assert set(store.index_lookup("Item", "value", 3)) == {oids[1], oids[3]}
+        assert set(store.index_range("Item", "value", 4, 10)) == {
+            oids[0], oids[2],
+        }
+
+    def test_index_backfills_existing_objects(self, store):
+        oid = store.new("Item", {"value": 7})
+        store.commit()
+        store.create_index("Item", "value")
+        assert store.index_lookup("Item", "value", 7) == [oid]
+
+    def test_index_maintained_on_update_and_delete(self, store):
+        store.create_index("Item", "value")
+        oid = store.new("Item", {"value": 1})
+        store.commit()
+        store.update(oid, {"value": 2})
+        store.commit()
+        assert store.index_lookup("Item", "value", 1) == []
+        assert store.index_lookup("Item", "value", 2) == [oid]
+        store.delete(oid)
+        store.commit()
+        assert store.index_lookup("Item", "value", 2) == []
+
+    def test_index_covers_subclasses(self, store):
+        store.create_index("Item", "value")
+        store.define_class("Special", [], base="Item")
+        oid = store.new("Special", {"value": 11})
+        store.commit()
+        assert store.index_lookup("Item", "value", 11) == [oid]
+
+    def test_non_integer_values_rejected(self, store):
+        store.create_index("Item", "name")  # name is a str field
+        with pytest.raises(SchemaError):
+            store.new("Item", {"name": "text"})
+            store.commit()
+        store.abort()
+
+    def test_duplicate_index_rejected(self, store):
+        store.create_index("Item", "value")
+        with pytest.raises(SchemaError):
+            store.create_index("Item", "value")
+
+    def test_missing_index_rejected(self, store):
+        with pytest.raises(SchemaError):
+            store.index_range("Item", "value", 1, 2)
+
+
+class TestPersistenceAndRecovery:
+    def test_state_survives_clean_close(self, tmp_path):
+        store = _make_store(tmp_path, "clean.hmdb")
+        store.open()
+        store.define_class("Item", [FieldDefinition("value", default=0)])
+        store.create_index("Item", "value")
+        oid = store.new("Item", {"value": 123})
+        store.commit()
+        store.close()
+
+        store.open()
+        assert store.get(oid)["value"] == 123
+        assert store.index_lookup("Item", "value", 123) == [oid]
+        store.close()
+
+    def test_crash_recovery_replays_committed_work(self, tmp_path):
+        """Simulated crash: committed work is never checkpointed, the
+        process 'dies' (no close), and a new store must recover it
+        from the WAL alone."""
+        path = os.path.join(str(tmp_path), "crash.hmdb")
+        store = ObjectStore(path, sync_commits=False)
+        store.open()
+        store.define_class("Item", [FieldDefinition("value", default=0)])
+        oid = store.new("Item", {"value": 77})
+        store.commit()
+        # Crash: abandon the handles without close/checkpoint.  Reach in
+        # and close the raw files so the OS lets us reopen them.
+        store._wal._file.flush()
+        store._wal._file.close()
+        store._wal._file = None
+        store._file._file.close()
+        store._file._file = None
+
+        recovered = ObjectStore(path, sync_commits=False)
+        recovered.open()
+        assert recovered.stats.recovered_transactions >= 1
+        assert recovered.get(oid)["value"] == 77
+        recovered.close()
+
+    def test_uncommitted_work_lost_on_crash(self, tmp_path):
+        path = os.path.join(str(tmp_path), "crash2.hmdb")
+        store = ObjectStore(path, sync_commits=False)
+        store.open()
+        store.define_class("Item", [FieldDefinition("value", default=0)])
+        committed = store.new("Item", {"value": 1})
+        store.commit()
+        store.new("Item", {"value": 2})  # never committed
+        store._wal._file.flush()
+        store._wal._file.close()
+        store._wal._file = None
+        store._file._file.close()
+        store._file._file = None
+
+        recovered = ObjectStore(path, sync_commits=False)
+        recovered.open()
+        oids = list(recovered.scan_class("Item"))
+        assert oids == [committed]
+        recovered.close()
+
+
+def _chain_distance(store, page_a, page_b):
+    """Distance between two pages in the heap's chain order."""
+    order = {pid: i for i, pid in enumerate(store._heap.page_ids())}
+    return abs(order[page_a] - order[page_b])
+
+
+class TestClustering:
+    def test_near_hint_places_on_same_or_adjacent_page(self, tmp_path):
+        store = _make_store(tmp_path, "cluster.hmdb", clustered=True)
+        store.open()
+        store.define_class("Item", [FieldDefinition("value", default=0)])
+        anchor = store.new("Item", {"value": 1})
+        store.commit()
+        # Scatter unrelated records so the tail drifts far away.
+        for i in range(200):
+            store.new("Item", {"value": i})
+        store.commit()
+        near = store.new("Item", {"value": 2}, near=anchor)
+        store.commit()
+        distance = _chain_distance(
+            store, store.page_of(near), store.page_of(anchor)
+        )
+        assert distance <= 1  # same page, or spliced right after it
+        store.close()
+
+    def test_relocate_near_moves_record(self, tmp_path):
+        store = _make_store(tmp_path, "reloc.hmdb", clustered=True)
+        store.open()
+        store.define_class("Item", [FieldDefinition("value", default=0)])
+        anchor = store.new("Item", {"value": 1})
+        for i in range(200):
+            store.new("Item", {"value": i})
+        stray = store.new("Item", {"value": 99})
+        store.commit()
+        assert _chain_distance(
+            store, store.page_of(stray), store.page_of(anchor)
+        ) > 1
+        store.relocate_near(stray, anchor)
+        store.commit()
+        assert _chain_distance(
+            store, store.page_of(stray), store.page_of(anchor)
+        ) <= 1
+        assert store.get(stray)["value"] == 99
+        store.close()
+
+    def test_unclustered_store_ignores_hints(self, tmp_path):
+        store = _make_store(tmp_path, "uncluster.hmdb", clustered=False)
+        store.open()
+        store.define_class("Item", [FieldDefinition("value", default=0)])
+        anchor = store.new("Item", {"value": 1})
+        stray = store.new("Item", {"value": 2})
+        store.commit()
+        page_before = store.page_of(stray)
+        store.relocate_near(stray, anchor)
+        store.commit()
+        assert store.page_of(stray) == page_before
+        store.close()
+
+
+class TestLockingMode:
+    @pytest.fixture
+    def locking_store(self, tmp_path):
+        s = _make_store(tmp_path, "lock.hmdb", locking=True)
+        s.open()
+        s.define_class("Item", [FieldDefinition("value", default=0)])
+        yield s
+        if s.is_open:
+            s.close()
+
+    def test_reads_take_shared_locks(self, locking_store):
+        s = locking_store
+        oid = s.new("Item", {"value": 1})
+        s.commit()
+        txn = s.begin()
+        s.get(oid, txn=txn)
+        assert oid in s.locks.locks_held(txn.txid)
+        assert s.locks.holders_of(oid) == {txn.txid}
+        txn.commit()
+        assert s.locks.holders_of(oid) == set()
+
+    def test_writes_take_exclusive_locks_until_end(self, locking_store):
+        s = locking_store
+        oid = s.new("Item", {"value": 1})
+        s.commit()
+        txn = s.begin()
+        s.update(oid, {"value": 2}, txn=txn)
+        assert s.locks.holders_of(oid) == {txn.txid}
+        txn.abort()
+        assert s.locks.holders_of(oid) == set()
+        assert s.get(oid)["value"] == 1
+
+    def test_foreign_holder_blocks_then_times_out(self, locking_store):
+        from repro.errors import DeadlockError
+
+        s = locking_store
+        s.locks.timeout = 0.1
+        oid = s.new("Item", {"value": 1})
+        s.commit()
+        # Simulate another session holding the X lock.
+        from repro.engine.locks import LockMode
+
+        s.locks.acquire(9999, oid, LockMode.EXCLUSIVE)
+        txn = s.begin()
+        with pytest.raises(DeadlockError):
+            s.get(oid, txn=txn)
+        txn.abort()
+        s.locks.release_all(9999)
+
+
+class TestSchemaEvolutionOnLiveData:
+    def test_existing_objects_gain_new_field_lazily(self, store):
+        oid = store.new("Item", {"value": 1})
+        store.commit()
+        store.add_field("Item", FieldDefinition("grade", default="B"))
+        assert store.get(oid)["grade"] == "B"
+
+    def test_draw_node_style_subclass_addition(self, store):
+        store.define_class(
+            "DrawItem",
+            [
+                FieldDefinition("circles", default=0),
+                FieldDefinition("rectangles", default=0),
+            ],
+            base="Item",
+        )
+        oid = store.new("DrawItem", {"circles": 3})
+        store.commit()
+        state = store.get(oid)
+        assert state["circles"] == 3
+        assert state["value"] == 0  # inherited default

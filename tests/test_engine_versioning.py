@@ -1,0 +1,137 @@
+"""Version chains (R5): previous versions and time-point snapshots."""
+
+import os
+
+import pytest
+
+from repro.engine.catalog import FieldDefinition
+from repro.engine.store import ObjectStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = ObjectStore(
+        os.path.join(str(tmp_path), "v.hmdb"),
+        versioned=True,
+        sync_commits=False,
+    )
+    s.open()
+    s.define_class("Doc", [FieldDefinition("body", default="")])
+    yield s
+    if s.is_open:
+        s.close()
+
+
+class TestVersionChains:
+    def test_fresh_object_has_no_history(self, store):
+        oid = store.new("Doc", {"body": "v1"})
+        store.commit()
+        assert store.previous_version(oid) is None
+        assert len(store.version_chain(oid)) == 0
+
+    def test_update_preserves_previous_state(self, store):
+        oid = store.new("Doc", {"body": "v1"})
+        store.commit()
+        store.update(oid, {"body": "v2"})
+        store.commit()
+        assert store.get(oid)["body"] == "v2"
+        assert store.previous_version(oid)["body"] == "v1"
+
+    def test_chain_grows_newest_first(self, store):
+        oid = store.new("Doc", {"body": "v1"})
+        store.commit()
+        for body in ("v2", "v3", "v4"):
+            store.update(oid, {"body": body})
+            store.commit()
+        chain = store.version_chain(oid).all()
+        assert [v.state["body"] for v in chain] == ["v3", "v2", "v1"]
+        timestamps = [v.timestamp for v in chain]
+        assert timestamps == sorted(timestamps, reverse=True)
+
+    def test_version_at_timestamp(self, store):
+        oid = store.new("Doc", {"body": "v1"})
+        store.commit()
+        ts_v1 = store.commit_timestamp
+        store.update(oid, {"body": "v2"})
+        store.commit()
+        ts_v2 = store.commit_timestamp
+        store.update(oid, {"body": "v3"})
+        store.commit()
+
+        assert store.version_at(oid, ts_v1)["body"] == "v1"
+        assert store.version_at(oid, ts_v2)["body"] == "v2"
+        assert store.version_at(oid, store.commit_timestamp)["body"] == "v3"
+
+    def test_version_before_creation_is_none(self, store):
+        baseline = store.commit_timestamp
+        oid = store.new("Doc", {"body": "v1"})
+        store.commit()
+        store.update(oid, {"body": "v2"})
+        store.commit()
+        assert store.version_at(oid, baseline) is None
+
+    def test_several_updates_in_one_commit_keep_one_version(self, store):
+        """Deferred updates: the write set collapses to one post-state,
+        so one commit preserves exactly one pre-state."""
+        oid = store.new("Doc", {"body": "v1"})
+        store.commit()
+        store.update(oid, {"body": "a"})
+        store.update(oid, {"body": "b"})
+        store.commit()
+        chain = store.version_chain(oid).all()
+        assert [v.state["body"] for v in chain] == ["v1"]
+
+    def test_history_survives_reopen(self, tmp_path):
+        path = os.path.join(str(tmp_path), "vp.hmdb")
+        store = ObjectStore(path, versioned=True, sync_commits=False)
+        store.open()
+        store.define_class("Doc", [FieldDefinition("body", default="")])
+        oid = store.new("Doc", {"body": "v1"})
+        store.commit()
+        store.update(oid, {"body": "v2"})
+        store.commit()
+        store.close()
+
+        store.open()
+        assert store.previous_version(oid)["body"] == "v1"
+        store.close()
+
+    def test_unversioned_store_keeps_no_history(self, tmp_path):
+        store = ObjectStore(
+            os.path.join(str(tmp_path), "nv.hmdb"),
+            versioned=False,
+            sync_commits=False,
+        )
+        store.open()
+        store.define_class("Doc", [FieldDefinition("body", default="")])
+        oid = store.new("Doc", {"body": "v1"})
+        store.commit()
+        store.update(oid, {"body": "v2"})
+        store.commit()
+        assert store.previous_version(oid) is None
+        store.close()
+
+
+class TestVersionedHyperModel:
+    def test_previous_version_of_a_text_node(self, tmp_path):
+        """The R5 extension experiment from section 6.8: retrieve the
+        previous version of a node after an edit."""
+        from repro.backends.oodb import OodbDatabase
+        from repro.core.generator import DatabaseGenerator
+        from repro.core.config import HyperModelConfig
+        from repro.core.operations import Operations
+
+        db = OodbDatabase(
+            os.path.join(str(tmp_path), "vh.hmdb"), versioned=True
+        )
+        db.open()
+        gen = DatabaseGenerator(HyperModelConfig(levels=2, seed=1)).generate(db)
+        db.commit()
+        uid = gen.text_uids[0]
+        ref = db.lookup(uid)
+        original = db.get_text(ref)
+        Operations(db, gen.config).text_node_edit(ref)
+        db.commit()
+        assert db.get_text(ref) != original
+        assert db.store.previous_version(int(ref))["text"] == original
+        db.close()

@@ -1,0 +1,127 @@
+"""The write-ahead log: framing, torn tails, redo extraction."""
+
+import os
+
+import pytest
+
+from repro.engine import wal as wal_mod
+from repro.engine.wal import (
+    ABORT,
+    BEGIN,
+    COMMIT,
+    DELETE,
+    PAGE,
+    PUT,
+    ROOTS,
+    LogRecord,
+    WriteAheadLog,
+    delete_record,
+    page_image,
+    page_record,
+    put_record,
+    roots_record,
+)
+
+
+@pytest.fixture
+def wal(tmp_path):
+    log = WriteAheadLog(str(tmp_path / "test.wal"), sync_on_commit=False)
+    yield log
+    if log._file is not None:
+        log.close()
+
+
+class TestFraming:
+    def test_records_roundtrip(self, wal):
+        wal.append(LogRecord(BEGIN, txid=1))
+        wal.append(put_record(1, 7, {"value": 3}))
+        wal.append(delete_record(1, 8))
+        wal.append(LogRecord(COMMIT, txid=1))
+        wal.sync()
+        kinds = [(r.kind, r.txid, r.oid) for r in wal.read_all()]
+        assert kinds == [(BEGIN, 1, 0), (PUT, 1, 7), (DELETE, 1, 8), (COMMIT, 1, 0)]
+
+    def test_page_record_compresses_and_restores(self, wal):
+        image = bytes(range(256)) * 16
+        record = page_record(1, 9, image)
+        wal.append(record)
+        wal.sync()
+        (loaded,) = wal.read_all()
+        assert loaded.kind == PAGE
+        assert loaded.oid == 9
+        assert page_image(loaded) == image
+
+    def test_roots_record_roundtrip(self, wal):
+        wal.append(roots_record(1, {"dir.root": 4, "extent.root": 7}))
+        wal.sync()
+        (loaded,) = wal.read_all()
+        assert loaded.kind == ROOTS
+        assert loaded.state == {"dir.root": 4, "extent.root": 7}
+
+    def test_torn_tail_ignored(self, wal, tmp_path):
+        wal.log_commit(1, [put_record(1, 1, {"a": 1})])
+        wal.append(LogRecord(BEGIN, txid=2))
+        wal.sync()
+        wal.close()
+        path = str(tmp_path / "test.wal")
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) - 3)  # tear the last record
+        reopened = WriteAheadLog(path, sync_on_commit=False)
+        kinds = [r.kind for r in reopened.read_all()]
+        assert kinds == [BEGIN, PUT, COMMIT]  # intact prefix only
+        reopened.close()
+
+    def test_corrupt_crc_stops_reading(self, wal, tmp_path):
+        wal.log_commit(1, [put_record(1, 1, {"a": 1})])
+        size_after_first = os.path.getsize(str(tmp_path / "test.wal"))
+        wal.log_commit(2, [put_record(2, 2, {"b": 2})])
+        wal.close()
+        path = str(tmp_path / "test.wal")
+        with open(path, "r+b") as f:
+            f.seek(size_after_first + 10)
+            f.write(b"\xde\xad")
+        reopened = WriteAheadLog(path, sync_on_commit=False)
+        committed = reopened.recover_operations()
+        assert [txid for txid, _ops in committed] == [1]
+        reopened.close()
+
+
+class TestRecoverOperations:
+    def test_only_committed_transactions_returned(self, wal):
+        wal.log_commit(1, [put_record(1, 10, {"x": 1})])
+        wal.append(LogRecord(BEGIN, txid=2))
+        wal.append(put_record(2, 11, {"y": 2}))  # never commits
+        wal.append(LogRecord(BEGIN, txid=3))
+        wal.append(put_record(3, 12, {"z": 3}))
+        wal.append(LogRecord(ABORT, txid=3))
+        wal.sync()
+        committed = wal.recover_operations()
+        assert [txid for txid, _ in committed] == [1]
+        assert committed[0][1][0].oid == 10
+
+    def test_commit_order_preserved(self, wal):
+        for txid in (5, 2, 9):
+            wal.log_commit(txid, [put_record(txid, txid, {})])
+        assert [txid for txid, _ in wal.recover_operations()] == [5, 2, 9]
+
+    def test_checkpoint_discards_earlier_work(self, wal):
+        wal.log_commit(1, [put_record(1, 1, {})])
+        wal.log_checkpoint()
+        wal.log_commit(2, [put_record(2, 2, {})])
+        committed = wal.recover_operations()
+        assert [txid for txid, _ in committed] == [2]
+
+    def test_checkpoint_truncates_file(self, wal, tmp_path):
+        for txid in range(10):
+            wal.log_commit(txid, [page_record(txid, 1, b"\x00" * 4096)])
+        grown = os.path.getsize(str(tmp_path / "test.wal"))
+        wal.log_checkpoint()
+        assert os.path.getsize(str(tmp_path / "test.wal")) < grown
+
+    def test_empty_log_recovers_nothing(self, wal):
+        assert wal.recover_operations() == []
+
+    def test_counters(self, wal):
+        wal.log_commit(1, [put_record(1, 1, {})])
+        assert wal.records_written == 3  # BEGIN + PUT + COMMIT
+        assert wal.syncs == 1

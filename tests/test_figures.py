@@ -1,0 +1,82 @@
+"""The ASCII figure renderers."""
+
+import pytest
+
+from repro.core.operations import CATALOG
+from repro.harness.figures import (
+    backend_figure,
+    bar_chart,
+    cold_warm_figure,
+    speedup_figure,
+)
+from repro.harness.protocol import run_operation_sequence
+from repro.harness.results import ResultSet
+
+
+@pytest.fixture
+def results(memory_populated):
+    db, gen = memory_populated
+    collected = ResultSet()
+    for op_id in ("01", "10"):
+        collected.add(
+            run_operation_sequence(db, CATALOG.get(op_id), gen,
+                                   repetitions=2, seed=1)
+        )
+    return collected
+
+
+class TestBarChart:
+    def test_renders_labels_values_and_bars(self):
+        chart = bar_chart([("alpha", 1.0), ("beta", 10.0)], title="demo")
+        assert "demo" in chart
+        assert "alpha" in chart and "beta" in chart
+        assert "█" in chart
+        assert "1.0000" in chart and "10.0000" in chart
+
+    def test_larger_value_gets_longer_bar(self):
+        chart = bar_chart(
+            [("small", 0.001), ("large", 10.0)], title="t", width=30
+        )
+        lines = chart.splitlines()[1:]
+        small_bar = lines[0].count("█")
+        large_bar = lines[1].count("█")
+        assert large_bar > small_bar
+
+    def test_linear_scale(self):
+        chart = bar_chart(
+            [("half", 5.0), ("full", 10.0)], title="t",
+            width=20, logarithmic=False,
+        )
+        lines = chart.splitlines()[1:]
+        assert lines[1].count("█") == 2 * lines[0].count("█")
+        assert "linear scale" in chart
+
+    def test_zero_value_gets_stub(self):
+        chart = bar_chart([("nil", 0.0), ("some", 1.0)], title="t")
+        assert "▌" in chart.splitlines()[1]
+
+    def test_empty_rows(self):
+        assert "(no data)" in bar_chart([], title="t")
+
+
+class TestResultFigures:
+    def test_cold_warm_figure(self, results):
+        figure = cold_warm_figure(results, "memory", level=3)
+        assert "01 cold" in figure and "01 warm" in figure
+        assert "10 cold" in figure
+        assert "memory" in figure
+
+    def test_cold_warm_figure_no_data(self, results):
+        assert "(no data)" in cold_warm_figure(results, "ghost")
+
+    def test_backend_figure(self, results):
+        figure = backend_figure(results, "01", "cold")
+        assert "nameLookup" in figure
+        assert "memory" in figure
+        with pytest.raises(ValueError):
+            backend_figure(results, "01", "lukewarm")
+
+    def test_speedup_figure(self, results):
+        figure = speedup_figure(results, level=3)
+        assert "memory" in figure
+        assert "x" in figure

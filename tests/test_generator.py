@@ -1,0 +1,171 @@
+"""The section 5.2 generator: structure, determinism, statistics."""
+
+import random
+
+import pytest
+
+from repro.backends.memory import MemoryDatabase
+from repro.core.config import HyperModelConfig
+from repro.core.generator import DatabaseGenerator
+from repro.core.model import NodeKind
+
+
+def _generate(config):
+    db = MemoryDatabase()
+    db.open()
+    gen = DatabaseGenerator(config).generate(db)
+    return db, gen
+
+
+class TestStructure:
+    def test_level_index_counts(self, level3_config):
+        _db, gen = _generate(level3_config)
+        assert [len(level) for level in gen.uids_by_level] == [1, 5, 25, 125]
+        assert gen.total_nodes == 156
+
+    def test_unique_ids_are_dense_from_one(self, level3_config):
+        _db, gen = _generate(level3_config)
+        all_uids = sorted(u for level in gen.uids_by_level for u in level)
+        assert all_uids == list(range(1, 157))
+
+    def test_one_n_is_a_tree_with_fanout(self, level3_config):
+        db, gen = _generate(level3_config)
+        root = db.lookup(gen.root_uid)
+        seen = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            seen.append(node)
+            children = db.children(node)
+            if children:
+                assert len(children) == 5
+            stack.extend(children)
+        assert len(seen) == gen.total_nodes  # spanning: every node reached
+
+    def test_mn_parts_point_exactly_one_level_down(self, level3_config):
+        db, gen = _generate(level3_config)
+        uid_level = {
+            uid: level
+            for level, uids in enumerate(gen.uids_by_level)
+            for uid in uids
+        }
+        for level, uids in enumerate(gen.uids_by_level[:-1]):
+            for uid in uids:
+                parts = db.parts(db.lookup(uid))
+                assert len(parts) == 5
+                for part in parts:
+                    part_uid = db.get_attribute(part, "uniqueId")
+                    assert uid_level[part_uid] == level + 1
+
+    def test_mn_parts_are_distinct_per_node(self, level3_config):
+        db, gen = _generate(level3_config)
+        for uid in gen.uids_by_level[1]:
+            parts = db.parts(db.lookup(uid))
+            uids = [db.get_attribute(p, "uniqueId") for p in parts]
+            assert len(set(uids)) == len(uids)
+
+    def test_every_node_has_exactly_one_outgoing_reference(self, level3_config):
+        db, gen = _generate(level3_config)
+        for node in db.iter_nodes():
+            refs = db.refs_to(node)
+            assert len(refs) == 1
+            _target, attrs = refs[0]
+            assert 0 <= attrs.offset_from <= 9
+            assert 0 <= attrs.offset_to <= 9
+
+    def test_leaf_mix_matches_ratio(self):
+        # level 4: 625 leaves, one form per 125 text-positions -> 5 forms.
+        db, gen = _generate(HyperModelConfig(levels=4, seed=1))
+        assert len(gen.form_uids) == 5
+        assert len(gen.text_uids) == 620
+        for uid in gen.form_uids:
+            assert db.kind_of(db.lookup(uid)) is NodeKind.FORM
+        for uid in gen.text_uids[:20]:
+            assert db.kind_of(db.lookup(uid)) is NodeKind.TEXT
+
+    def test_internal_nodes_are_plain(self, level3_config):
+        db, gen = _generate(level3_config)
+        for level in gen.uids_by_level[:-1]:
+            for uid in level:
+                assert db.kind_of(db.lookup(uid)) is NodeKind.NODE
+
+
+class TestDeterminism:
+    def test_same_seed_same_structure(self, level3_config):
+        db1, gen1 = _generate(level3_config)
+        db2, gen2 = _generate(level3_config)
+        assert gen1.uids_by_level == gen2.uids_by_level
+        for uid in (1, 17, 99, 156):
+            n1, n2 = db1.lookup(uid), db2.lookup(uid)
+            for name in ("ten", "hundred", "million"):
+                assert db1.get_attribute(n1, name) == db2.get_attribute(n2, name)
+            p1 = [db1.get_attribute(x, "uniqueId") for x in db1.parts(n1)]
+            p2 = [db2.get_attribute(x, "uniqueId") for x in db2.parts(n2)]
+            assert p1 == p2
+
+    def test_different_seed_differs(self, level3_config):
+        db1, _ = _generate(level3_config)
+        db2, _ = _generate(level3_config.with_seed(777))
+        differing = sum(
+            db1.get_attribute(db1.lookup(uid), "million")
+            != db2.get_attribute(db2.lookup(uid), "million")
+            for uid in range(1, 157)
+        )
+        assert differing > 100
+
+
+class TestMetadataHelpers:
+    def test_random_pickers_stay_in_domain(self, level3_config):
+        _db, gen = _generate(level3_config)
+        rng = random.Random(3)
+        for _ in range(50):
+            assert 1 <= gen.random_uid(rng) <= 156
+            assert gen.random_non_root_uid(rng) != gen.root_uid
+            assert gen.random_internal_uid(rng) not in gen.uids_by_level[-1]
+            assert gen.random_text_uid(rng) in gen.text_uids
+            level2 = gen.random_uid_at_level(rng, 2)
+            assert level2 in gen.uids_by_level[2]
+
+    def test_min_max_uid(self, level3_config):
+        _db, gen = _generate(level3_config)
+        assert gen.min_uid == 1
+        assert gen.max_uid == 156
+
+
+class TestStats:
+    def test_phase_counters_match_structure(self, level3_config):
+        _db, gen = _generate(level3_config)
+        stats = gen.stats
+        assert stats.internal_nodes == 31
+        assert stats.leaf_nodes == 125
+        assert stats.one_n_links == 155
+        assert stats.m_n_links == 31 * 5
+        assert stats.m_n_att_links == 156
+
+    def test_per_item_milliseconds_present(self, level3_config):
+        _db, gen = _generate(level3_config)
+        per_node = gen.stats.per_node_ms()
+        per_rel = gen.stats.per_relationship_ms()
+        assert set(per_node) == {"internal", "leaf"}
+        assert set(per_rel) == {"1-N", "M-N", "M-N-att"}
+        assert all(v >= 0 for v in {**per_node, **per_rel}.values())
+        assert gen.stats.total_seconds > 0
+
+
+class TestSecondStructure:
+    def test_two_structures_coexist_disjointly(self, level3_config):
+        """The paper's N.B.: a second copy of the test database may
+        exist; scans must not leak across structures."""
+        db = MemoryDatabase()
+        db.open()
+        generator = DatabaseGenerator(level3_config)
+        gen1 = generator.generate(db, structure_id=1)
+        gen2 = generator.generate(db, structure_id=2, first_uid=1000)
+        assert db.node_count(1) == 156
+        assert db.node_count(2) == 156
+        assert db.scan_ten(1) == 156
+        assert db.scan_ten(2) == 156
+        assert gen2.min_uid == 1000
+        uids_1 = {db.get_attribute(n, "uniqueId") for n in db.iter_nodes(1)}
+        uids_2 = {db.get_attribute(n, "uniqueId") for n in db.iter_nodes(2)}
+        assert not (uids_1 & uids_2)

@@ -1,0 +1,154 @@
+"""The network simulation: virtual clock, cost model, cache, server."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.netsim import LatencyModel, ObjectServer, SimulatedClock, WorkstationCache
+from repro.netsim.latency import ZERO_COST
+
+
+class TestClock:
+    def test_advances_monotonically(self):
+        clock = SimulatedClock()
+        clock.advance(0.5)
+        clock.advance(0.25)
+        assert clock.now == pytest.approx(0.75)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1)
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.advance(3)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestLatencyModel:
+    def test_cost_combines_round_trip_and_transfer(self):
+        model = LatencyModel(round_trip_seconds=0.001, bandwidth_bytes_per_second=1000)
+        assert model.request_cost(0) == pytest.approx(0.001)
+        assert model.request_cost(500) == pytest.approx(0.501)
+
+    def test_zero_cost_model(self):
+        assert ZERO_COST.request_cost(1_000_000) == 0.0
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel().request_cost(-1)
+
+
+class TestWorkstationCache:
+    def test_hit_miss_accounting(self):
+        cache = WorkstationCache(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_ratio == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = WorkstationCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_and_clear(self):
+        cache = WorkstationCache(capacity=4)
+        cache.put("a", 1)
+        cache.invalidate("a")
+        assert "a" not in cache
+        assert cache.stats.invalidations == 1
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            WorkstationCache(capacity=0)
+
+
+class TestObjectServer:
+    def _record(self, uid, **extra):
+        record = {
+            "uid": uid, "kind": "node", "ten": 1, "hundred": 2,
+            "million": 3, "struct": 1, "children": [], "parent": 0,
+            "parts": [], "partOf": [], "refTo": [], "refFrom": [],
+        }
+        record.update(extra)
+        return record
+
+    def test_store_and_fetch_charge_the_clock(self):
+        server = ObjectServer()
+        server.store(1, self._record(1))
+        after_store = server.clock.now
+        assert after_store > 0
+        fetched = server.fetch(1)
+        assert fetched["uid"] == 1
+        assert server.clock.now > after_store
+        assert server.stats.fetches == 1
+        assert server.stats.bytes_sent > 0
+
+    def test_fetch_returns_a_copy(self):
+        server = ObjectServer()
+        server.store(1, self._record(1))
+        server.fetch(1)["ten"] = 99
+        assert server.fetch(1)["ten"] == 1
+
+    def test_missing_fetch_still_charged(self):
+        server = ObjectServer()
+        before = server.clock.now
+        with pytest.raises(NodeNotFoundError):
+            server.fetch(404)
+        assert server.clock.now > before
+
+    def test_exists_probe(self):
+        server = ObjectServer()
+        server.store(5, self._record(5))
+        assert server.exists(5)
+        assert not server.exists(6)
+        assert server.stats.probes == 2
+
+    def test_range_query_server_side(self):
+        server = ObjectServer()
+        for uid in range(1, 11):
+            server.store(uid, self._record(uid, hundred=uid * 10))
+        result = server.range_query("hundred", 25, 65)
+        assert sorted(result) == [3, 4, 5, 6]
+
+    def test_scan_structure_filters_and_sorts(self):
+        server = ObjectServer()
+        server.store(3, self._record(3, struct=1))
+        server.store(1, self._record(1, struct=1))
+        server.store(2, self._record(2, struct=2))
+        assert server.scan_structure(1) == [1, 3]
+        assert server.count(1) == 2
+
+    def test_bigger_records_cost_more(self):
+        server = ObjectServer()
+        small = self._record(1)
+        big = self._record(2, bits=b"\x00" * 10_000, kind="form")
+        server.store(1, small)
+        small_cost = server.clock.now
+        server.store(2, big)
+        big_cost = server.clock.now - small_cost
+        assert big_cost > small_cost
+
+    def test_named_lists(self):
+        server = ObjectServer()
+        server.store_list("toc", [3, 1, 2])
+        assert server.load_list("toc") == [3, 1, 2]
+        with pytest.raises(NodeNotFoundError):
+            server.load_list("ghost")
+
+    def test_shared_clock_injection(self):
+        clock = SimulatedClock()
+        server = ObjectServer(clock, ZERO_COST)
+        server.store(1, self._record(1))
+        assert clock.now == 0.0  # zero-cost model charges nothing

@@ -1,0 +1,211 @@
+"""Cross-cutting property-based tests on core invariants.
+
+These push beyond the fixed paper parameters: random levels, fan-outs
+and content bounds must still satisfy the structural contract, the
+counting formulas must agree with the actually-generated structures,
+and random CRUD sequences against the engine must match a dictionary
+reference model.
+"""
+
+import os
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.backends.memory import MemoryDatabase
+from repro.core.config import HyperModelConfig
+from repro.core.generator import DatabaseGenerator
+from repro.core.operations import Operations
+from repro.core.verification import verify_database
+from repro.engine.catalog import FieldDefinition
+from repro.engine.store import ObjectStore
+
+_small_configs = st.builds(
+    HyperModelConfig,
+    levels=st.integers(min_value=1, max_value=3),
+    fanout=st.integers(min_value=1, max_value=5),
+    parts_per_node=st.integers(min_value=0, max_value=5),
+    text_nodes_per_form_node=st.integers(min_value=1, max_value=10),
+    min_words=st.just(3),
+    max_words=st.just(8),
+    max_offset=st.integers(min_value=1, max_value=10),
+    min_bitmap_dim=st.just(8),
+    max_bitmap_dim=st.just(16),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(config=_small_configs)
+def test_property_any_config_generates_a_valid_structure(config):
+    """Every parameter combination yields a contract-valid database."""
+    db = MemoryDatabase()
+    db.open()
+    gen = DatabaseGenerator(config).generate(db)
+    assert gen.total_nodes == config.total_nodes
+    verify_database(db, gen, content_sample=3).raise_if_failed()
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(config=_small_configs)
+def test_property_closure_size_formula_matches_traversal(config):
+    """closure_1n_size agrees with an actual traversal at every level."""
+    db = MemoryDatabase()
+    db.open()
+    gen = DatabaseGenerator(config).generate(db)
+    ops = Operations(db, config)
+    rng = random.Random(0)
+    for level in range(config.levels + 1):
+        start = db.lookup(gen.random_uid_at_level(rng, level))
+        assert len(ops.closure_1n(start)) == config.closure_1n_size(level)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    config=_small_configs,
+    depth=st.integers(min_value=1, max_value=30),
+)
+def test_property_mnatt_closure_length_equals_depth(config, depth):
+    """Every node has exactly one outgoing ref, so the walk is `depth`."""
+    db = MemoryDatabase()
+    db.open()
+    gen = DatabaseGenerator(config).generate(db)
+    ops = Operations(db, config)
+    start = db.lookup(gen.random_uid(random.Random(1)))
+    assert len(ops.closure_mnatt(start, depth=depth)) == depth
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(config=_small_configs, x=st.integers(min_value=1, max_value=90))
+def test_property_range_lookup_is_exact(config, x):
+    """Range results are exactly the brute-force filtered set."""
+    db = MemoryDatabase()
+    db.open()
+    DatabaseGenerator(config).generate(db)
+    got = {id(r) for r in db.range_hundred(x, x + 9)}
+    expected = {
+        id(n)
+        for n in db.iter_nodes()
+        if x <= db.get_attribute(n, "hundred") <= x + 9
+    }
+    assert got == expected
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    rounds=st.integers(min_value=1, max_value=4),
+)
+def test_property_att_set_applied_twice_per_round_is_identity(seed, rounds):
+    """Op 12 is an involution regardless of start node and repetition."""
+    config = HyperModelConfig(levels=2, seed=seed)
+    db = MemoryDatabase()
+    db.open()
+    gen = DatabaseGenerator(config).generate(db)
+    ops = Operations(db, config)
+    start = db.lookup(gen.random_uid_at_level(random.Random(seed), 1))
+    before = [
+        db.get_attribute(n, "hundred") for n in ops.closure_1n(start)
+    ]
+    for _ in range(rounds):
+        ops.closure_1n_att_set(start)
+        ops.closure_1n_att_set(start)
+    after = [db.get_attribute(n, "hundred") for n in ops.closure_1n(start)]
+    assert after == before
+
+
+# ----------------------------------------------------------------------
+# Engine store vs a dictionary reference model
+# ----------------------------------------------------------------------
+
+_store_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["new", "update", "delete", "commit", "abort"]),
+        st.integers(min_value=0, max_value=14),  # slot in the model
+        st.integers(min_value=-1000, max_value=1000),  # value payload
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(operations=_store_ops)
+def test_property_store_matches_dict_model(tmp_path_factory, operations):
+    """Random new/update/delete/commit/abort agree with a dict model.
+
+    The model tracks committed state plus a pending overlay; abort
+    drops the overlay, commit merges it — mirroring the engine's
+    deferred-update transactions.
+    """
+    base = tmp_path_factory.mktemp("store-prop")
+    store = ObjectStore(os.path.join(str(base), "m.hmdb"), sync_commits=False)
+    store.open()
+    store.define_class("Obj", [FieldDefinition("value", default=0)])
+
+    committed = {}
+    pending = {}
+    slots = {}  # model slot -> oid
+
+    def live_view():
+        view = dict(committed)
+        for oid, state in pending.items():
+            if state is None:
+                view.pop(oid, None)
+            else:
+                view[oid] = state
+        return view
+
+    for op, slot, value in operations:
+        if op == "new":
+            oid = store.new("Obj", {"value": value})
+            slots[slot] = oid
+            pending[oid] = value
+        elif op == "update":
+            oid = slots.get(slot)
+            if oid is not None and oid in live_view():
+                store.update(oid, {"value": value})
+                pending[oid] = value
+        elif op == "delete":
+            oid = slots.get(slot)
+            if oid is not None and oid in live_view():
+                store.delete(oid)
+                pending[oid] = None
+        elif op == "commit":
+            store.commit()
+            for oid, state in pending.items():
+                if state is None:
+                    committed.pop(oid, None)
+                else:
+                    committed[oid] = state
+            pending.clear()
+        elif op == "abort":
+            store.abort()
+            pending.clear()
+
+    view = live_view()
+    actual = {
+        oid: store.get(oid)["value"] for oid in store.scan_class("Obj")
+    }
+    assert actual == view
+    store.close()
+
+
+# ----------------------------------------------------------------------
+# Generator determinism as a property
+# ----------------------------------------------------------------------
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_property_generation_is_seed_deterministic(seed):
+    """Two runs with one seed produce byte-identical leaf content."""
+    config = HyperModelConfig(levels=1, seed=seed)
+    first, second = MemoryDatabase(), MemoryDatabase()
+    first.open(), second.open()
+    gen_a = DatabaseGenerator(config).generate(first)
+    gen_b = DatabaseGenerator(config).generate(second)
+    assert gen_a.text_uids == gen_b.text_uids
+    for uid in gen_a.text_uids:
+        assert first.get_text(first.lookup(uid)) == second.get_text(
+            second.lookup(uid)
+        )

@@ -1,0 +1,214 @@
+"""The ad-hoc query language (R12): lexing, parsing, execution, plans."""
+
+import pytest
+
+from repro.core.model import NodeKind
+from repro.errors import QuerySyntaxError
+from repro.query import execute, explain, parse
+from repro.query.ast import (
+    And,
+    Between,
+    Comparison,
+    Not,
+    Or,
+    attributes_used,
+    evaluate,
+)
+from repro.query.lexer import TokenType, tokenize
+
+
+class TestLexer:
+    def test_tokens_and_positions(self):
+        tokens = tokenize("find nodes where ten >= 5")
+        kinds = [t.type for t in tokens]
+        assert kinds == [
+            TokenType.KEYWORD, TokenType.KEYWORD, TokenType.KEYWORD,
+            TokenType.IDENT, TokenType.OPERATOR, TokenType.NUMBER,
+            TokenType.END,
+        ]
+        assert tokens[4].text == ">="
+        assert tokens[5].position == 24
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("FIND Nodes WHERE")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:3])
+        assert tokens[0].text == "find"
+
+    def test_negative_numbers(self):
+        tokens = tokenize("x = -5")
+        assert tokens[2].text == "-5"
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            tokenize("ten @ 5")
+        assert excinfo.value.position == 4
+
+
+class TestParser:
+    def test_minimal_query(self):
+        query = parse("find nodes")
+        assert query.kind == "nodes"
+        assert query.predicate is None
+
+    def test_kinds(self):
+        assert parse("find text").kind == "text"
+        assert parse("find form").kind == "form"
+
+    def test_comparison(self):
+        query = parse("find nodes where hundred >= 10")
+        assert query.predicate == Comparison("hundred", ">=", 10)
+
+    def test_between(self):
+        query = parse("find nodes where million between 100 and 200")
+        assert query.predicate == Between("million", 100, 200)
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        query = parse("find nodes where ten = 1 or ten = 2 and hundred = 3")
+        assert isinstance(query.predicate, Or)
+        assert isinstance(query.predicate.right, And)
+
+    def test_parentheses_override(self):
+        query = parse("find nodes where (ten = 1 or ten = 2) and hundred = 3")
+        assert isinstance(query.predicate, And)
+        assert isinstance(query.predicate.left, Or)
+
+    def test_not(self):
+        query = parse("find nodes where not ten = 1")
+        assert query.predicate == Not(Comparison("ten", "=", 1))
+
+    def test_nested_not(self):
+        query = parse("find nodes where not not ten = 1")
+        assert query.predicate == Not(Not(Comparison("ten", "=", 1)))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "nodes where ten = 1",       # missing find
+            "find gizmos",                # unknown kind
+            "find nodes where",           # missing predicate
+            "find nodes where ten",       # missing operator
+            "find nodes where ten = ",    # missing value
+            "find nodes where thousand = 1",  # unknown attribute
+            "find nodes where (ten = 1",  # unclosed paren
+            "find nodes where ten between 9 and 2",  # reversed bounds
+            "find nodes extra",           # trailing input
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse(bad)
+
+
+class TestAst:
+    def test_attributes_used(self):
+        query = parse(
+            "find nodes where ten = 1 and (hundred > 2 or not million = 3)"
+        )
+        assert attributes_used(query.predicate) == {"ten", "hundred", "million"}
+        assert attributes_used(None) == frozenset()
+
+    @pytest.mark.parametrize(
+        "text,attrs,expected",
+        [
+            ("find nodes where ten = 5", {"ten": 5}, True),
+            ("find nodes where ten != 5", {"ten": 5}, False),
+            ("find nodes where ten < 5", {"ten": 4}, True),
+            ("find nodes where ten <= 5", {"ten": 5}, True),
+            ("find nodes where ten > 5", {"ten": 5}, False),
+            ("find nodes where ten between 3 and 7", {"ten": 7}, True),
+            ("find nodes where ten = 1 and hundred = 2",
+             {"ten": 1, "hundred": 2}, True),
+            ("find nodes where ten = 1 or hundred = 2",
+             {"ten": 9, "hundred": 2}, True),
+            ("find nodes where not ten = 1", {"ten": 1}, False),
+        ],
+    )
+    def test_evaluate(self, text, attrs, expected):
+        assert evaluate(parse(text).predicate, attrs) is expected
+
+
+class TestExecutor:
+    def _brute_force(self, db, query_text):
+        query = parse(query_text)
+        kind = {"nodes": None, "text": NodeKind.TEXT, "form": NodeKind.FORM}[
+            query.kind
+        ]
+        out = set()
+        for ref in db.iter_nodes():
+            if kind is not None and db.kind_of(ref) is not kind:
+                continue
+            attrs = {
+                name: db.get_attribute(ref, name)
+                for name in ("uniqueId", "ten", "hundred", "million")
+            }
+            if evaluate(query.predicate, attrs):
+                out.add(attrs["uniqueId"])
+        return out
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "find nodes",
+            "find nodes where hundred between 10 and 19",
+            "find nodes where million <= 100000",
+            "find text where hundred between 1 and 50",
+            "find form where ten > 0",
+            "find nodes where ten = 5 and hundred > 50",
+            "find nodes where not hundred between 10 and 90",
+            "find nodes where uniqueId <= 10",
+            "find nodes where hundred = 7 or hundred = 9",
+        ],
+    )
+    def test_matches_brute_force(self, memory_populated, text):
+        db, _gen = memory_populated
+        result = execute(db, text)
+        expected = self._brute_force(db, text)
+        got = {db.get_attribute(r, "uniqueId") for r in result}
+        assert got == expected
+
+    def test_planner_uses_index_for_ranges(self):
+        assert explain("find nodes where hundred between 10 and 19").startswith(
+            "index-range(hundred"
+        )
+        assert explain("find nodes where million > 500000").startswith(
+            "index-range(million"
+        )
+        assert explain(
+            "find nodes where hundred = 5 and ten = 1"
+        ).startswith("index-range(hundred in 5..5")
+
+    def test_planner_falls_back_to_scan(self):
+        assert explain("find nodes") == "scan"
+        assert explain("find nodes where ten = 5") == "scan"
+        assert explain("find nodes where hundred != 5") == "scan"
+        assert explain("find nodes where not hundred = 5") == "scan"
+        assert explain(
+            "find nodes where hundred = 5 or ten = 1"
+        ) == "scan"  # disjunction: the range is not a necessary condition
+
+    def test_index_plan_examines_fewer_nodes(self, memory_populated):
+        db, gen = memory_populated
+        indexed = execute(db, "find nodes where hundred between 10 and 19")
+        scanned = execute(db, "find nodes where ten = 5")
+        assert indexed.plan.startswith("index-range")
+        assert scanned.plan == "scan"
+        assert indexed.nodes_examined < scanned.nodes_examined
+
+    def test_same_answer_on_every_backend(self, populated):
+        db, _gen = populated
+        result = execute(db, "find nodes where hundred between 20 and 29")
+        for ref in result:
+            assert 20 <= db.get_attribute(ref, "hundred") <= 29
+
+    def test_index_plan_respects_structure_boundaries(self, level3_config):
+        from repro.backends.memory import MemoryDatabase
+        from repro.core.generator import DatabaseGenerator
+
+        db = MemoryDatabase()
+        db.open()
+        generator = DatabaseGenerator(level3_config)
+        generator.generate(db, structure_id=1)
+        generator.generate(db, structure_id=2, first_uid=1000)
+        result = execute(db, "find nodes where hundred between 1 and 100",
+                         structure_id=1)
+        assert len(result) == 156  # only structure 1, despite global index

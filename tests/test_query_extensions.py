@@ -1,0 +1,118 @@
+"""Query-language extensions: count, order by, limit."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query import execute, parse
+from repro.query.ast import OrderBy
+
+
+class TestParsing:
+    def test_count_query(self):
+        query = parse("count nodes where ten = 5")
+        assert query.aggregate == "count"
+        assert query.kind == "nodes"
+
+    def test_order_by_defaults_ascending(self):
+        query = parse("find nodes order by hundred")
+        assert query.order_by == OrderBy("hundred", descending=False)
+
+    def test_order_by_desc(self):
+        query = parse("find text where ten > 2 order by million desc")
+        assert query.order_by == OrderBy("million", descending=True)
+
+    def test_explicit_asc(self):
+        assert parse("find nodes order by ten asc").order_by == OrderBy("ten")
+
+    def test_limit(self):
+        assert parse("find nodes limit 10").limit == 10
+
+    def test_full_clause_chain(self):
+        query = parse(
+            "find nodes where hundred between 1 and 50 "
+            "order by uniqueId desc limit 7"
+        )
+        assert query.predicate is not None
+        assert query.order_by.attribute == "uniqueId"
+        assert query.limit == 7
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "count nodes limit 5",            # aggregates take no limit
+            "count nodes order by ten",       # nor ordering
+            "find nodes order ten",           # missing 'by'
+            "find nodes order by bogus",      # unknown attribute
+            "find nodes limit",               # missing number
+            "find nodes limit -3",            # negative
+            "count",                          # missing kind
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse(bad)
+
+
+class TestExecution:
+    def test_count_matches_find(self, memory_populated):
+        db, _gen = memory_populated
+        text = "nodes where hundred between 10 and 39"
+        counted = execute(db, "count " + text)
+        found = execute(db, "find " + text)
+        assert counted.count == len(found.refs)
+        assert counted.refs == []
+        assert counted.plan.endswith("+count")
+
+    def test_count_of_everything(self, memory_populated):
+        db, gen = memory_populated
+        assert execute(db, "count nodes").count == gen.total_nodes
+        assert execute(db, "count text").count == len(gen.text_uids)
+        assert execute(db, "count form").count == len(gen.form_uids)
+
+    def test_order_by_sorts_results(self, memory_populated):
+        db, _gen = memory_populated
+        result = execute(db, "find nodes where ten = 5 order by million")
+        millions = [db.get_attribute(r, "million") for r in result]
+        assert millions == sorted(millions)
+
+    def test_order_by_desc(self, memory_populated):
+        db, _gen = memory_populated
+        result = execute(db, "find nodes order by uniqueId desc limit 3")
+        uids = [db.get_attribute(r, "uniqueId") for r in result]
+        assert uids == [156, 155, 154]
+
+    def test_limit_caps_results(self, memory_populated):
+        db, _gen = memory_populated
+        result = execute(db, "find nodes limit 5")
+        assert len(result.refs) == 5
+        assert result.count == 5
+
+    def test_limit_zero(self, memory_populated):
+        db, _gen = memory_populated
+        assert execute(db, "find nodes limit 0").refs == []
+
+    def test_limit_larger_than_matches(self, memory_populated):
+        db, gen = memory_populated
+        result = execute(db, "find form limit 100")
+        assert len(result.refs) == len(gen.form_uids)
+
+    def test_ordered_limit_gives_top_k(self, memory_populated):
+        db, _gen = memory_populated
+        result = execute(db, "find nodes order by million desc limit 4")
+        top = [db.get_attribute(r, "million") for r in result]
+        every = sorted(
+            (db.get_attribute(n, "million") for n in db.iter_nodes()),
+            reverse=True,
+        )
+        assert top == every[:4]
+
+    def test_count_uses_index_plan_when_possible(self, memory_populated):
+        db, _gen = memory_populated
+        result = execute(db, "count nodes where hundred between 1 and 10")
+        assert result.plan.startswith("index-range")
+
+    def test_extensions_work_on_every_backend(self, populated):
+        db, gen = populated
+        assert execute(db, "count nodes").count == gen.total_nodes
+        limited = execute(db, "find nodes order by uniqueId limit 2")
+        assert [db.get_attribute(r, "uniqueId") for r in limited] == [1, 2]

@@ -1,0 +1,105 @@
+"""The query unparser and the parse/unparse round-trip property."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.query import parse
+from repro.query.ast import (
+    And,
+    Between,
+    Comparison,
+    Not,
+    Or,
+    OrderBy,
+    Query,
+    unparse,
+)
+
+
+class TestUnparseExamples:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "find nodes",
+            "count text",
+            "find nodes where ten = 5",
+            "find nodes where hundred between 10 and 19",
+            "find nodes where ten = 1 and hundred = 2",
+            "find nodes where (ten = 1 or ten = 2) and hundred = 3",
+            "find nodes where not ten = 1",
+            "find form where ten > 2 order by million desc limit 10",
+            "count nodes where million <= 100",
+        ],
+    )
+    def test_round_trip_from_text(self, text):
+        query = parse(text)
+        assert parse(unparse(query)) == query
+
+    def test_canonical_form(self):
+        assert unparse(parse("FIND Nodes WHERE ten=5")) == (
+            "find nodes where ten = 5"
+        )
+
+    def test_minimal_parentheses(self):
+        rendered = unparse(parse("find nodes where ten = 1 and hundred = 2"))
+        assert "(" not in rendered
+
+    def test_right_nested_trees_keep_their_shape(self):
+        query = Query(
+            kind="nodes",
+            predicate=Or(
+                Comparison("ten", "=", 1),
+                Or(Comparison("ten", "=", 2), Comparison("ten", "=", 3)),
+            ),
+        )
+        assert parse(unparse(query)) == query
+
+
+_attrs = st.sampled_from(["uniqueId", "ten", "hundred", "million"])
+_operators = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+_values = st.integers(min_value=-999, max_value=999_999)
+
+_comparisons = st.builds(Comparison, attribute=_attrs, operator=_operators,
+                         value=_values)
+_betweens = st.builds(
+    lambda attr, a, b: Between(attr, min(a, b), max(a, b)),
+    _attrs, _values, _values,
+)
+
+_exprs = st.recursive(
+    st.one_of(_comparisons, _betweens),
+    lambda children: st.one_of(
+        st.builds(And, children, children),
+        st.builds(Or, children, children),
+        st.builds(Not, children),
+    ),
+    max_leaves=12,
+)
+
+_queries = st.builds(
+    Query,
+    kind=st.sampled_from(["nodes", "text", "form"]),
+    predicate=st.one_of(st.none(), _exprs),
+    aggregate=st.just(None),
+    order_by=st.one_of(
+        st.none(),
+        st.builds(OrderBy, attribute=_attrs, descending=st.booleans()),
+    ),
+    limit=st.one_of(st.none(), st.integers(min_value=0, max_value=500)),
+)
+
+
+@given(query=_queries)
+def test_property_parse_unparse_is_identity(query):
+    """Any well-formed query survives a render/parse cycle exactly."""
+    assert parse(unparse(query)) == query
+
+
+@given(query=st.builds(
+    Query,
+    kind=st.sampled_from(["nodes", "text", "form"]),
+    predicate=st.one_of(st.none(), _exprs),
+    aggregate=st.just("count"),
+))
+def test_property_count_queries_round_trip(query):
+    assert parse(unparse(query)) == query

@@ -1,0 +1,95 @@
+"""The backend registry and the shared exception hierarchy."""
+
+import os
+
+import pytest
+
+from repro.backends import available_backends, create_backend
+from repro.core.interface import HyperModelDatabase
+from repro.errors import (
+    AccessDeniedError,
+    ConfigurationError,
+    DeadlockError,
+    HyperModelError,
+    NodeNotFoundError,
+    QuerySyntaxError,
+    RecordNotFoundError,
+    SchemaError,
+    StorageError,
+    TransactionError,
+)
+
+
+class TestRegistry:
+    def test_lists_all_backends(self):
+        names = available_backends()
+        for expected in ("memory", "sqlite", "oodb", "clientserver"):
+            assert expected in names
+        assert "oodb-unclustered" in names
+
+    def test_creates_every_backend(self, tmp_path):
+        for name in available_backends():
+            path = None
+            if name in ("oodb", "oodb-unclustered"):
+                path = os.path.join(str(tmp_path), f"{name}.hmdb")
+            elif name == "sqlite-file":
+                path = os.path.join(str(tmp_path), "f.db")
+            db = create_backend(name, path)
+            assert isinstance(db, HyperModelDatabase)
+            db.open()
+            assert db.is_open
+            db.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            create_backend("dbase-iii")
+
+    @pytest.mark.parametrize("name", ["oodb", "oodb-unclustered", "sqlite-file"])
+    def test_file_backends_require_a_path(self, name):
+        with pytest.raises(ConfigurationError):
+            create_backend(name, None)
+
+    def test_unclustered_variant_disables_policy(self, tmp_path):
+        db = create_backend(
+            "oodb-unclustered", os.path.join(str(tmp_path), "u.hmdb")
+        )
+        db.open()
+        assert db.backend_name == "oodb-unclustered"
+        assert not db.store.clustering.enabled
+        db.close()
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            NodeNotFoundError,
+            RecordNotFoundError,
+            StorageError,
+            TransactionError,
+            DeadlockError,
+            SchemaError,
+            QuerySyntaxError,
+            AccessDeniedError,
+            ConfigurationError,
+        ],
+    )
+    def test_everything_derives_from_the_base(self, error_type):
+        assert issubclass(error_type, HyperModelError)
+
+    def test_storage_refinements(self):
+        assert issubclass(DeadlockError, TransactionError)
+        assert issubclass(TransactionError, StorageError)
+        assert issubclass(RecordNotFoundError, StorageError)
+
+    def test_error_payloads(self):
+        node_error = NodeNotFoundError(42)
+        assert node_error.ref == 42
+        assert "42" in str(node_error)
+
+        access_error = AccessDeniedError("alice", "write", 7)
+        assert (access_error.principal, access_error.action) == ("alice", "write")
+
+        syntax_error = QuerySyntaxError("boom", position=13)
+        assert syntax_error.position == 13
+        assert "position 13" in str(syntax_error)

@@ -1,0 +1,119 @@
+"""The /RUBE87/ baseline: generator, the seven operations, both backends."""
+
+import random
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.rubenstein import (
+    MemorySimpleDatabase,
+    SIMPLE_OP_NAMES,
+    SimpleGenerator,
+    SimpleOperations,
+    SqliteSimpleDatabase,
+)
+from repro.rubenstein.generator import BIRTH_RANGE
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def simple_db(request, tmp_path):
+    if request.param == "memory":
+        db = MemorySimpleDatabase()
+    else:
+        db = SqliteSimpleDatabase(str(tmp_path / "rube.db"))
+    db.open()
+    info = SimpleGenerator(persons=150, documents=120, seed=3).generate(db)
+    yield db, info
+    if db.is_open:
+        db.close()
+
+
+class TestGenerator:
+    def test_counts(self, simple_db):
+        db, info = simple_db
+        assert db.person_count() == 150
+        assert info.persons == 150
+        assert info.documents == 120
+        assert 120 <= info.authorships <= 360  # 1-3 authors per document
+
+    def test_birth_in_domain(self, simple_db):
+        db, _info = simple_db
+        for person in db.scan_persons():
+            assert BIRTH_RANGE[0] <= person.birth <= BIRTH_RANGE[1]
+
+    def test_deterministic(self, tmp_path):
+        a, b = MemorySimpleDatabase(), MemorySimpleDatabase()
+        a.open(), b.open()
+        SimpleGenerator(50, 50, seed=9).generate(a)
+        SimpleGenerator(50, 50, seed=9).generate(b)
+        assert a.person_by_id(10) == b.person_by_id(10)
+        docs_a = sorted(d.document_id for d in a.documents_of(10))
+        docs_b = sorted(d.document_id for d in b.documents_of(10))
+        assert docs_a == docs_b
+
+
+class TestOperations:
+    def test_name_lookup(self, simple_db):
+        db, info = simple_db
+        ops = SimpleOperations(db, info)
+        assert ops.name_lookup(7) == db.person_by_id(7).name
+        with pytest.raises(NodeNotFoundError):
+            ops.name_lookup(99999)
+
+    def test_range_lookup_matches_brute_force(self, simple_db):
+        db, info = simple_db
+        ops = SimpleOperations(db, info)
+        result = {p.person_id for p in ops.range_lookup(20_000)}
+        expected = {
+            p.person_id
+            for p in db.scan_persons()
+            if 20_000 <= p.birth <= 29_999
+        }
+        assert result == expected
+
+    def test_group_and_reference_are_inverses(self, simple_db):
+        db, info = simple_db
+        ops = SimpleOperations(db, info)
+        rng = random.Random(5)
+        for _ in range(10):
+            document_id = info.random_document_id(rng)
+            for author in ops.reference_lookup(document_id):
+                document_ids = {
+                    d.document_id for d in ops.group_lookup(author.person_id)
+                }
+                assert document_id in document_ids
+
+    def test_record_insert_and_cleanup(self, simple_db):
+        db, info = simple_db
+        ops = SimpleOperations(db, info)
+        rng = random.Random(6)
+        before = db.person_count()
+        inserted = ops.record_insert(rng)
+        assert db.person_count() == before + 1
+        db.delete_person(inserted)
+        assert db.person_count() == before
+
+    def test_sequential_scan_counts_all(self, simple_db):
+        db, info = simple_db
+        ops = SimpleOperations(db, info)
+        assert ops.sequential_scan() == 150
+
+    def test_database_open_cycle(self, simple_db):
+        db, info = simple_db
+        ops = SimpleOperations(db, info)
+        ops.database_open()
+        assert db.is_open
+        assert db.person_count() == 150
+
+
+class TestRunner:
+    def test_run_all_times_all_seven(self, simple_db):
+        db, info = simple_db
+        ops = SimpleOperations(db, info)
+        results = ops.run_all(repetitions=5)
+        assert set(results) == set(SIMPLE_OP_NAMES)
+        for stats in results.values():
+            assert stats.mean >= 0
+            assert stats.count >= 5 or stats.count >= 1
+        # Probe records were cleaned up.
+        assert db.person_count() == 150

@@ -1,0 +1,129 @@
+"""Figure 1 as data: the OMT schema description and R4 evolution."""
+
+import pytest
+
+from repro.core.schema import (
+    AttributeDef,
+    ClassDef,
+    RelationshipDef,
+    RelationshipKind,
+    Schema,
+    add_draw_node_class,
+    build_hypermodel_schema,
+)
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return build_hypermodel_schema()
+
+
+class TestFigure1Structure:
+    def test_three_classes(self, schema):
+        assert schema.class_names == ["Node", "TextNode", "FormNode"]
+
+    def test_generalization_edges(self, schema):
+        assert schema.get_class("TextNode").base == "Node"
+        assert schema.get_class("FormNode").base == "Node"
+        assert schema.subclasses("Node") == ["TextNode", "FormNode"]
+
+    def test_node_has_the_four_attributes(self, schema):
+        names = [a.name for a in schema.get_class("Node").attributes]
+        assert names == ["uniqueId", "ten", "hundred", "million"]
+
+    def test_subtype_attributes_inherited(self, schema):
+        names = [a.name for a in schema.all_attributes("TextNode")]
+        assert names == ["uniqueId", "ten", "hundred", "million", "text"]
+
+    def test_three_relationships(self, schema):
+        assert schema.relationship_names == [
+            "parentChildren", "partOfParts", "refToRefFrom",
+        ]
+
+    def test_only_the_1n_aggregation_is_ordered(self, schema):
+        assert schema.get_relationship("parentChildren").ordered
+        assert not schema.get_relationship("partOfParts").ordered
+        assert not schema.get_relationship("refToRefFrom").ordered
+
+    def test_relationship_kinds(self, schema):
+        assert (
+            schema.get_relationship("parentChildren").kind
+            is RelationshipKind.AGGREGATION_1N
+        )
+        assert (
+            schema.get_relationship("partOfParts").kind
+            is RelationshipKind.AGGREGATION_MN
+        )
+        assert (
+            schema.get_relationship("refToRefFrom").kind
+            is RelationshipKind.ASSOCIATION_MN
+        )
+
+    def test_only_the_association_carries_attributes(self, schema):
+        offsets = schema.get_relationship("refToRefFrom").attributes
+        assert [a.name for a in offsets] == ["offsetFrom", "offsetTo"]
+        assert schema.get_relationship("parentChildren").attributes == ()
+
+    def test_roles_match_the_paper(self, schema):
+        one_n = schema.get_relationship("parentChildren")
+        assert (one_n.forward_role, one_n.inverse_role) == ("children", "parent")
+        assoc = schema.get_relationship("refToRefFrom")
+        assert (assoc.forward_role, assoc.inverse_role) == ("refTo", "refFrom")
+
+
+class TestSubclassing:
+    def test_is_subclass_reflexive_and_transitive(self, schema):
+        assert schema.is_subclass("Node", "Node")
+        assert schema.is_subclass("TextNode", "Node")
+        assert not schema.is_subclass("Node", "TextNode")
+        assert not schema.is_subclass("TextNode", "FormNode")
+
+
+class TestEvolution:
+    def test_add_draw_node_class(self, schema):
+        """The R4 experiment: a DrawNode with circles/rectangles/ellipses."""
+        draw = add_draw_node_class(schema)
+        assert draw.base == "Node"
+        assert schema.is_subclass("DrawNode", "Node")
+        names = [a.name for a in schema.all_attributes("DrawNode")]
+        assert names[-3:] == ["circles", "rectangles", "ellipses"]
+        assert names[:4] == ["uniqueId", "ten", "hundred", "million"]
+
+    def test_add_attribute_dynamically(self, schema):
+        schema.add_attribute("TextNode", AttributeDef("language", "str"))
+        assert schema.all_attributes("TextNode")[-1].name == "language"
+
+    def test_duplicate_attribute_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_attribute("Node", AttributeDef("ten", "int"))
+
+
+class TestErrors:
+    def test_duplicate_class_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_class(ClassDef("Node"))
+
+    def test_unknown_base_rejected(self):
+        fresh = Schema()
+        with pytest.raises(SchemaError):
+            fresh.add_class(ClassDef("Child", base="Ghost"))
+
+    def test_unknown_class_lookup(self, schema):
+        with pytest.raises(SchemaError):
+            schema.get_class("Ghost")
+
+    def test_duplicate_relationship_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_relationship(
+                RelationshipDef(
+                    "parentChildren",
+                    RelationshipKind.AGGREGATION_1N,
+                    "children",
+                    "parent",
+                )
+            )
+
+    def test_unknown_relationship_lookup(self, schema):
+        with pytest.raises(SchemaError):
+            schema.get_relationship("ghost")

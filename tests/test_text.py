@@ -1,0 +1,119 @@
+"""Text-node content: the section 5.1 contract and the op 16 edit."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.text import (
+    VERSION_1,
+    VERSION_2,
+    edit_text_backward,
+    edit_text_forward,
+    generate_text,
+    is_valid_generated_text,
+    version_marker_count,
+)
+
+
+class TestGeneration:
+    def test_word_count_in_range(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            words = generate_text(rng).split(" ")
+            assert 10 <= len(words) <= 100
+
+    def test_version1_at_first_middle_last(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            words = generate_text(rng).split(" ")
+            assert words[0] == VERSION_1
+            assert words[len(words) // 2] == VERSION_1
+            assert words[-1] == VERSION_1
+
+    def test_other_words_lowercase_and_bounded(self):
+        rng = random.Random(3)
+        words = generate_text(rng, max_word_length=10).split(" ")
+        for word in words:
+            if word != VERSION_1:
+                assert 1 <= len(word) <= 10
+                assert word.islower()
+
+    def test_generated_text_is_valid(self):
+        rng = random.Random(4)
+        for _ in range(100):
+            assert is_valid_generated_text(generate_text(rng))
+
+    def test_deterministic_for_seed(self):
+        assert generate_text(random.Random(99)) == generate_text(random.Random(99))
+
+    def test_custom_bounds_respected(self):
+        rng = random.Random(5)
+        words = generate_text(rng, min_words=3, max_words=3, max_word_length=2).split(" ")
+        assert len(words) == 3
+        assert words == [VERSION_1, VERSION_1, VERSION_1]
+
+
+class TestEditing:
+    def test_forward_is_one_char_longer_per_marker(self):
+        rng = random.Random(6)
+        text = generate_text(rng)
+        markers = version_marker_count(text)
+        edited = edit_text_forward(text)
+        assert len(edited) == len(text) + markers
+        assert VERSION_2 in edited
+        assert VERSION_1 not in edited.split(" ")
+
+    def test_roundtrip_restores_exactly(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            text = generate_text(rng)
+            assert edit_text_backward(edit_text_forward(text)) == text
+
+    def test_marker_count_ignores_substrings(self):
+        assert version_marker_count("version1 xversion1 version1x version1") == 2
+
+    def test_forward_on_text_without_marker_is_identity(self):
+        assert edit_text_forward("plain words only") == "plain words only"
+
+
+class TestValidation:
+    def test_rejects_wrong_word_count(self):
+        text = " ".join([VERSION_1] * 3)
+        assert not is_valid_generated_text(text, min_words=10)
+
+    def test_rejects_missing_markers(self):
+        body = " ".join(["abc"] * 20)
+        assert not is_valid_generated_text(body)
+
+    def test_rejects_uppercase_words(self):
+        words = [VERSION_1] + ["ABC"] * 18 + [VERSION_1]
+        words[len(words) // 2] = VERSION_1
+        assert not is_valid_generated_text(" ".join(words))
+
+    def test_rejects_overlong_words(self):
+        words = [VERSION_1] + ["a" * 11] * 18 + [VERSION_1]
+        words[len(words) // 2] = VERSION_1
+        assert not is_valid_generated_text(" ".join(words), max_word_length=10)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_generated_text_always_valid_and_roundtrips(seed):
+    """Any seed yields contract-valid text whose edit cycle is identity."""
+    text = generate_text(random.Random(seed))
+    assert is_valid_generated_text(text)
+    assert edit_text_backward(edit_text_forward(text)) == text
+
+
+@given(
+    words=st.lists(
+        st.text(alphabet="abcdefghij", min_size=1, max_size=8), min_size=1, max_size=30
+    )
+)
+def test_property_edit_never_creates_or_loses_nonmarker_words(words):
+    """Editing only rewrites the markers, never surrounding words."""
+    text = " ".join(words)
+    edited = edit_text_forward(text)
+    restored = edit_text_backward(edited)
+    non_markers = [w for w in text.split(" ") if w != VERSION_1]
+    assert [w for w in restored.split(" ") if w != VERSION_1] == non_markers

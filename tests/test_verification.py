@@ -1,0 +1,93 @@
+"""The structural verifier: accepts faithful databases, catches damage."""
+
+import pytest
+
+from repro.backends.memory import MemoryDatabase
+from repro.core.generator import DatabaseGenerator
+from repro.core.verification import verify_database
+
+
+@pytest.fixture
+def built(level3_config):
+    db = MemoryDatabase()
+    db.open()
+    gen = DatabaseGenerator(level3_config).generate(db)
+    return db, gen
+
+
+class TestAcceptance:
+    def test_fresh_database_verifies(self, built):
+        db, gen = built
+        report = verify_database(db, gen)
+        assert report.ok
+        assert report.checks_run > 1000
+        report.raise_if_failed()  # must not raise
+
+    def test_content_checks_can_be_skipped(self, built):
+        db, gen = built
+        report = verify_database(db, gen, check_content=False)
+        assert report.ok
+
+
+class TestDetection:
+    def test_detects_attribute_out_of_domain(self, built):
+        db, gen = built
+        db.set_attribute(db.lookup(50), "hundred", 9999)
+        report = verify_database(db, gen)
+        assert not report.ok
+        assert any("hundred=9999" in p for p in report.problems)
+
+    def test_detects_broken_text_contract(self, built):
+        db, gen = built
+        db.set_text(db.lookup(gen.text_uids[0]), "NOT VALID TEXT")
+        report = verify_database(db, gen)
+        assert any("text contract" in p for p in report.problems)
+
+    def test_detects_dirty_bitmap(self, built):
+        db, gen = built
+        bitmap = db.get_bitmap(db.lookup(gen.form_uids[0]))
+        bitmap.set(0, 0, 1)
+        report = verify_database(db, gen)
+        assert any("not white" in p for p in report.problems)
+
+    def test_detects_extra_reference(self, built):
+        db, gen = built
+        from repro.core.model import LinkAttributes
+
+        db.add_reference(db.lookup(10), db.lookup(20), LinkAttributes(1, 1))
+        report = verify_database(db, gen)
+        assert any("outgoing references" in p for p in report.problems)
+
+    def test_detects_extra_child(self, built):
+        db, gen = built
+        from repro.core.model import NodeData
+
+        stray = db.create_node(
+            NodeData(unique_id=9999, ten=1, hundred=1, million=1)
+        )
+        db.add_child(db.lookup(gen.uids_by_level[2][0]), stray)
+        report = verify_database(db, gen)
+        assert not report.ok
+
+    def test_detects_broken_ref_inverse(self, built):
+        db, gen = built
+        # Reach into the memory backend to damage an inverse list.
+        victim = db.lookup(30)
+        stray = db.lookup(31)
+        victim.refs_from.append(stray)  # no matching refTo on `stray`
+        report = verify_database(db, gen)
+        assert any("no matching refTo" in p for p in report.problems)
+
+    def test_detects_broken_part_inverse(self, built):
+        db, gen = built
+        victim = db.lookup(40)
+        impostor = db.lookup(41)
+        victim.part_of.append(impostor)  # impostor has no such part
+        report = verify_database(db, gen)
+        assert any("does not list it" in p for p in report.problems)
+
+    def test_raise_if_failed_lists_problems(self, built):
+        db, gen = built
+        db.set_attribute(db.lookup(50), "ten", 0)
+        with pytest.raises(AssertionError, match="ten=0"):
+            verify_database(db, gen).raise_if_failed()
