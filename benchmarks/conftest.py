@@ -43,9 +43,8 @@ def runner(tmp_path_factory):
         levels=[LEVEL],
         workdir=str(tmp_path_factory.mktemp("hypermodel-bench")),
     )
-    runner = BenchmarkRunner(config)
-    yield runner
-    runner.close()
+    with BenchmarkRunner(config) as runner:
+        yield runner
 
 
 @pytest.fixture(scope="session", params=BACKENDS)

@@ -49,13 +49,12 @@ def main() -> None:
         levels=[args.level],
         repetitions=args.repetitions,
     )
-    runner = BenchmarkRunner(config)
     print(
         f"running {len(config.backends)} backends x level {args.level} x "
         f"20 operations, {args.repetitions} repetitions per cold/warm run"
     )
     print("(databases build first; the oodb backend takes the longest)\n")
-    try:
+    with BenchmarkRunner(config) as runner:
         results, creation = runner.run()
 
         print(
@@ -85,8 +84,6 @@ def main() -> None:
         if args.save:
             results.save(args.save)
             print(f"results saved to {args.save}")
-    finally:
-        runner.close()
 
 
 if __name__ == "__main__":

@@ -39,8 +39,19 @@ def main() -> None:
     path = os.path.join(workdir, "archive.hmdb")
     config = HyperModelConfig(levels=4, seed=99)  # leaves are subsections
 
-    db = OodbDatabase(path)
-    db.open()
+    with OodbDatabase(path) as db:
+        section_uid = _work(db, path, config)
+
+    # --- Durability ----------------------------------------------------
+    with OodbDatabase(path) as reopened:
+        toc_again = reopened.load_node_list("toc:document-1")
+        edited = reopened.get_text(reopened.lookup(section_uid))
+        assert "version-2" in edited
+        print(f"\nreopened the file: table of contents has {len(toc_again)} "
+              f"entries and the text edit survived — durability holds")
+
+
+def _work(db, path: str, config: HyperModelConfig) -> int:
     print(f"building the archive into {path} ...")
     gen = DatabaseGenerator(config).generate(db)
     db.commit()
@@ -100,17 +111,7 @@ def main() -> None:
     print(f"\nquery 'find text where hundred between 90 and 100' "
           f"[{result.plan}]: {len(result)} sections")
 
-    # --- Durability ----------------------------------------------------
-    section_uid = db.get_attribute(section, "uniqueId")
-    db.close()
-    reopened = OodbDatabase(path)
-    reopened.open()
-    toc_again = reopened.load_node_list("toc:document-1")
-    edited = reopened.get_text(reopened.lookup(section_uid))
-    assert "version-2" in edited
-    print(f"\nreopened the file: table of contents has {len(toc_again)} "
-          f"entries and the text edit survived — durability holds")
-    reopened.close()
+    return db.get_attribute(section, "uniqueId")
 
 
 if __name__ == "__main__":

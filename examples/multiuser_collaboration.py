@@ -38,57 +38,58 @@ from repro.errors import CheckOutConflictError, ConflictError
 
 def cooperative_editing() -> None:
     print("=== 1. cooperative workspaces (R9) ===")
-    db = MemoryDatabase()
-    db.open()
-    gen = DatabaseGenerator(HyperModelConfig(levels=3, seed=5)).generate(db)
+    with MemoryDatabase() as db:
+        gen = DatabaseGenerator(HyperModelConfig(levels=3, seed=5)).generate(db)
 
-    result = run_cooperative_scenario(db, gen, users=2, nodes_per_user=3)
-    print(f"2 users each edited 3 different text nodes of one structure")
-    print(f"conflicts: {result.conflicts}, "
-          f"nodes published: {result.total_published}")
-    for user, published in enumerate(result.published):
-        print(f"  user-{user} made nodes {published} shareable")
+        result = run_cooperative_scenario(db, gen, users=2, nodes_per_user=3)
+        print(f"2 users each edited 3 different text nodes of one structure")
+        print(f"conflicts: {result.conflicts}, "
+              f"nodes published: {result.total_published}")
+        for user, published in enumerate(result.published):
+            print(f"  user-{user} made nodes {published} shareable")
 
-    conflict = run_conflicting_scenario(db, gen)
-    print(f"\nsame node contended: {conflict.conflicts} check-out conflict "
-          f"(reported to the user immediately), winner published "
-          f"{conflict.total_published} node")
-    db.close()
+        conflict = run_conflicting_scenario(db, gen)
+        print(f"\nsame node contended: {conflict.conflicts} check-out conflict "
+              f"(reported to the user immediately), winner published "
+              f"{conflict.total_published} node")
 
 
 def manual_workspace_walkthrough() -> None:
     print("\n=== 2. a check-out conflict, step by step ===")
-    db = MemoryDatabase()
-    db.open()
-    gen = DatabaseGenerator(HyperModelConfig(levels=2, seed=6)).generate(db)
-    shared = SharedStore(db)
-    alice = shared.workspace("alice")
-    bob = shared.workspace("bob")
+    with MemoryDatabase() as db:
+        gen = DatabaseGenerator(HyperModelConfig(levels=2, seed=6)).generate(db)
+        shared = SharedStore(db)
+        alice = shared.workspace("alice")
+        bob = shared.workspace("bob")
 
-    uid = gen.text_uids[0]
-    alice.check_out(uid)
-    print(f"alice checked out node {uid}")
-    try:
+        uid = gen.text_uids[0]
+        alice.check_out(uid)
+        print(f"alice checked out node {uid}")
+        try:
+            bob.check_out(uid)
+        except CheckOutConflictError as error:
+            print(f"bob is refused: {error}")
+        alice.set_text(uid, "version1 alices private draft version1 end version1")
+        print(f"alice edits privately; shared text unchanged: "
+              f"{db.get_text(db.lookup(uid))[:30]}...")
+        alice.check_in()
+        print(f"alice checks in; shared text now: "
+              f"{db.get_text(db.lookup(uid))[:30]}...")
         bob.check_out(uid)
-    except CheckOutConflictError as error:
-        print(f"bob is refused: {error}")
-    alice.set_text(uid, "version1 alices private draft version1 end version1")
-    print(f"alice edits privately; shared text unchanged: "
-          f"{db.get_text(db.lookup(uid))[:30]}...")
-    alice.check_in()
-    print(f"alice checks in; shared text now: "
-          f"{db.get_text(db.lookup(uid))[:30]}...")
-    bob.check_out(uid)
-    print("bob's retry succeeds after alice's check-in")
-    bob.abandon()
-    db.close()
+        print("bob's retry succeeds after alice's check-in")
+        bob.abandon()
 
 
 def optimistic_control() -> None:
     print("\n=== 3. optimistic concurrency on the engine (R8) ===")
     workdir = tempfile.mkdtemp(prefix="hypermodel-occ-")
-    store = ObjectStore(os.path.join(workdir, "occ.hmdb"), sync_commits=False)
-    store.open()
+    with ObjectStore(
+        os.path.join(workdir, "occ.hmdb"), sync_commits=False
+    ) as store:
+        _optimistic_scenario(store)
+
+
+def _optimistic_scenario(store: ObjectStore) -> None:
     store.define_class("Section", [FieldDefinition("body", default="")])
     section = store.new("Section", {"body": "draft 0"})
     store.commit()
@@ -111,7 +112,6 @@ def optimistic_control() -> None:
         print(f"bob's validation fails: {error}")
     print(f"final body: {store.get(section)['body']!r}; "
           f"conflict rate {coordinator.conflict_rate:.0%}")
-    store.close()
 
 
 def main() -> None:

@@ -27,8 +27,14 @@ def main() -> None:
           f"({config.text_node_count} text, {config.form_node_count} form), "
           f"~{config.estimated_size_bytes() / 1e6:.2f} MB")
 
-    db = create_backend("memory")
-    db.open()
+    # Backends are context managers: opened on entry, committed and
+    # closed on exit (aborted first if the block raises).
+    with create_backend("memory") as db:
+        _tour(db, config)
+    print("\ndone — see examples/benchmark_comparison.py for the full grid")
+
+
+def _tour(db, config: HyperModelConfig) -> None:
     gen = DatabaseGenerator(config).generate(db)
     verify_database(db, gen).raise_if_failed()
     print("generated and verified against the section 5.2 contract\n")
@@ -79,9 +85,6 @@ def main() -> None:
     ops.text_node_edit(text_ref)  # restore
     print(f"op 16 textNodeEdit                 -> '{before}...'")
     print(f"                                   => '{after}...'")
-
-    db.close()
-    print("\ndone — see examples/benchmark_comparison.py for the full grid")
 
 
 if __name__ == "__main__":

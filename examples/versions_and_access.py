@@ -30,108 +30,107 @@ from repro.errors import AccessDeniedError
 
 def versions_demo(workdir: str) -> None:
     print("=== R5: versions and time-point snapshots ===")
-    db = OodbDatabase(os.path.join(workdir, "versions.hmdb"), versioned=True)
-    db.open()
-    config = HyperModelConfig(levels=2, seed=4)
-    gen = DatabaseGenerator(config).generate(db)
-    db.commit()
-
-    uid = gen.text_uids[0]
-    ref = db.lookup(uid)
-    ops = Operations(db, config)
-    original = db.get_text(ref)
-    snapshot_ts = db.store.commit_timestamp
-    print(f"node {uid} at t={snapshot_ts}: {original[:40]}...")
-
-    for round_number in range(3):
-        ops.text_node_edit(ref)
+    with OodbDatabase(
+        os.path.join(workdir, "versions.hmdb"), versioned=True
+    ) as db:
+        config = HyperModelConfig(levels=2, seed=4)
+        gen = DatabaseGenerator(config).generate(db)
         db.commit()
-        print(f"edit {round_number + 1} committed at "
-              f"t={db.store.commit_timestamp}")
 
-    previous = db.store.previous_version(int(ref))
-    snapshot = db.store.version_at(int(ref), snapshot_ts)
-    history = db.store.version_chain(int(ref)).all()
-    print(f"previous version text: {previous['text'][:40]}...")
-    print(f"snapshot at t={snapshot_ts} equals the original: "
-          f"{snapshot['text'] == original}")
-    print(f"history depth: {len(history)} preserved versions\n")
-    db.close()
+        uid = gen.text_uids[0]
+        ref = db.lookup(uid)
+        ops = Operations(db, config)
+        original = db.get_text(ref)
+        snapshot_ts = db.store.commit_timestamp
+        print(f"node {uid} at t={snapshot_ts}: {original[:40]}...")
+
+        for round_number in range(3):
+            ops.text_node_edit(ref)
+            db.commit()
+            print(f"edit {round_number + 1} committed at "
+                  f"t={db.store.commit_timestamp}")
+
+        previous = db.store.previous_version(int(ref))
+        snapshot = db.store.version_at(int(ref), snapshot_ts)
+        history = db.store.version_chain(int(ref)).all()
+        print(f"previous version text: {previous['text'][:40]}...")
+        print(f"snapshot at t={snapshot_ts} equals the original: "
+              f"{snapshot['text'] == original}")
+        print(f"history depth: {len(history)} preserved versions\n")
 
 
 def schema_demo(workdir: str) -> None:
     print("=== R4: dynamic schema modification ===")
-    db = OodbDatabase(os.path.join(workdir, "schema.hmdb"))
-    db.open()
-    config = HyperModelConfig(levels=2, seed=4)
-    gen = DatabaseGenerator(config).generate(db)
-    db.commit()
+    with OodbDatabase(os.path.join(workdir, "schema.hmdb")) as db:
+        config = HyperModelConfig(levels=2, seed=4)
+        gen = DatabaseGenerator(config).generate(db)
+        db.commit()
 
-    # Add the DrawNode type the requirement sketches.
-    db.store.define_class(
-        "DrawNode",
-        [
-            FieldDefinition("circles", default=0),
-            FieldDefinition("rectangles", default=0),
-            FieldDefinition("ellipses", default=0),
-        ],
-        base="Node",
-    )
-    drawing = db.store.new(
-        "DrawNode",
-        {"uniqueId": 100_000, "ten": 1, "hundred": 1, "million": 1,
-         "circles": 2, "rectangles": 1, "ellipses": 4},
-    )
-    db.commit()
-    print(f"added DrawNode class and created instance oid={drawing}: "
-          f"{db.store.get(drawing)['ellipses']} ellipses")
+        # Add the DrawNode type the requirement sketches.
+        db.store.define_class(
+            "DrawNode",
+            [
+                FieldDefinition("circles", default=0),
+                FieldDefinition("rectangles", default=0),
+                FieldDefinition("ellipses", default=0),
+            ],
+            base="Node",
+        )
+        drawing = db.store.new(
+            "DrawNode",
+            {"uniqueId": 100_000, "ten": 1, "hundred": 1, "million": 1,
+             "circles": 2, "rectangles": 1, "ellipses": 4},
+        )
+        db.commit()
+        print(f"added DrawNode class and created instance oid={drawing}: "
+              f"{db.store.get(drawing)['ellipses']} ellipses")
 
-    # Add an attribute to an existing type: old objects upgrade lazily.
-    db.store.add_field("TextNode", FieldDefinition("language", default="en"))
-    state = db.store.get(int(db.lookup(gen.text_uids[0])))
-    print(f"added TextNode.language; a pre-existing node reads "
-          f"language={state['language']!r} without any rewrite\n")
-    db.close()
+        # Add an attribute to an existing type: old objects upgrade lazily.
+        db.store.add_field(
+            "TextNode", FieldDefinition("language", default="en")
+        )
+        state = db.store.get(int(db.lookup(gen.text_uids[0])))
+        print(f"added TextNode.language; a pre-existing node reads "
+              f"language={state['language']!r} without any rewrite\n")
 
 
 def access_demo() -> None:
     print("=== R11: per-document access policies ===")
-    inner = MemoryDatabase()
-    inner.open()
-    config = HyperModelConfig(levels=3, seed=4)
-    gen = DatabaseGenerator(config).generate(inner)
+    with MemoryDatabase() as inner:
+        config = HyperModelConfig(levels=3, seed=4)
+        gen = DatabaseGenerator(config).generate(inner)
 
-    controller = AccessController(inner)
-    root = inner.lookup(gen.root_uid)
-    published_doc, draft_doc = inner.children(root)[:2]
-    controller.set_policy(
-        inner.get_attribute(published_doc, "uniqueId"),
-        PUBLIC,
-        Permission.READ,
-    )
-    controller.set_policy(
-        inner.get_attribute(draft_doc, "uniqueId"),
-        PUBLIC,
-        Permission.READ_WRITE,
-    )
-    db = GuardedDatabase(inner, controller, principal="visitor")
-    print("document 1 is public-read, document 2 is public-write")
+        controller = AccessController(inner)
+        root = inner.lookup(gen.root_uid)
+        published_doc, draft_doc = inner.children(root)[:2]
+        controller.set_policy(
+            inner.get_attribute(published_doc, "uniqueId"),
+            PUBLIC,
+            Permission.READ,
+        )
+        controller.set_policy(
+            inner.get_attribute(draft_doc, "uniqueId"),
+            PUBLIC,
+            Permission.READ_WRITE,
+        )
+        db = GuardedDatabase(inner, controller, principal="visitor")
+        print("document 1 is public-read, document 2 is public-write")
 
-    section = inner.children(published_doc)[0]
-    print(f"visitor reads the published document: "
-          f"ten={db.get_attribute(section, 'ten')}")
-    try:
-        db.set_attribute(section, "ten", 5)
-    except AccessDeniedError as error:
-        print(f"visitor cannot edit it: {error}")
+        section = inner.children(published_doc)[0]
+        print(f"visitor reads the published document: "
+              f"ten={db.get_attribute(section, 'ten')}")
+        try:
+            db.set_attribute(section, "ten", 5)
+        except AccessDeniedError as error:
+            print(f"visitor cannot edit it: {error}")
 
-    draft_section = inner.children(draft_doc)[0]
-    db.set_attribute(draft_section, "ten", 5)
-    print("visitor edits the draft document freely")
+        draft_section = inner.children(draft_doc)[0]
+        db.set_attribute(draft_section, "ten", 5)
+        print("visitor edits the draft document freely")
 
-    db.add_reference(draft_section, section, LinkAttributes(1, 1))
-    print("and links from the draft into the read-only document — "
-          "links across protection boundaries keep working")
+        db.add_reference(draft_section, section, LinkAttributes(1, 1))
+        print("and links from the draft into the read-only document — "
+              "links across protection boundaries keep working")
 
 
 def main() -> None:

@@ -15,6 +15,24 @@ Four backends reproduce the architectural spectrum the paper compares:
 name.
 """
 
-from repro.backends.registry import available_backends, create_backend
+from repro.backends.registry import (
+    BackendOptions,
+    BackendSpec,
+    available_backends,
+    backend_specs,
+    create_backend,
+    get_backend_spec,
+    register_backend,
+    unregister_backend,
+)
 
-__all__ = ["available_backends", "create_backend"]
+__all__ = [
+    "BackendOptions",
+    "BackendSpec",
+    "available_backends",
+    "backend_specs",
+    "create_backend",
+    "get_backend_spec",
+    "register_backend",
+    "unregister_backend",
+]

@@ -25,6 +25,7 @@ from repro.core.model import LinkAttributes, NodeData, NodeKind
 from repro.netsim.cache import WorkstationCache
 from repro.netsim.latency import LatencyModel, SimulatedClock
 from repro.netsim.server import ObjectServer
+from repro.obs import Instrumentation, resolve
 from repro.errors import (
     DatabaseClosedError,
     InvalidOperationError,
@@ -101,12 +102,18 @@ class ClientServerDatabase(HyperModelDatabase):
         cache_capacity: int = 4096,
         latency: Optional[LatencyModel] = None,
         server: Optional[ObjectServer] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
+        self.instrumentation = resolve(instrumentation)
         self.simulated_clock: SimulatedClock = (
             server.clock if server is not None else SimulatedClock()
         )
-        self.server = server or ObjectServer(self.simulated_clock, latency)
-        self.cache = WorkstationCache(cache_capacity)
+        self.server = server or ObjectServer(
+            self.simulated_clock, latency, instrumentation=self.instrumentation
+        )
+        self.cache = WorkstationCache(
+            cache_capacity, instrumentation=self.instrumentation
+        )
         self.server.subscribe(self.cache)  # coherence invalidations
         self._local: Dict[int, Dict[str, Any]] = {}  # dirty write buffer
         self._local_lists: Dict[str, List[int]] = {}

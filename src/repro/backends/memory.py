@@ -16,6 +16,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.core.bitmap import Bitmap
 from repro.core.interface import HyperModelDatabase, NodeRef
 from repro.core.model import LinkAttributes, NodeData, NodeKind
+from repro.obs import Instrumentation, resolve
 from repro.errors import (
     DatabaseClosedError,
     InvalidOperationError,
@@ -72,7 +73,11 @@ class _MemoryNode:
 class MemoryDatabase(HyperModelDatabase):
     """A HyperModel database held entirely in process memory."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self, instrumentation: Optional[Instrumentation] = None
+    ) -> None:
+        self.instrumentation = resolve(instrumentation)
+        self._instr = self.instrumentation
         self._open = False
         self._by_uid: Dict[int, _MemoryNode] = {}
         self._insertion_order: List[_MemoryNode] = []
@@ -109,6 +114,7 @@ class MemoryDatabase(HyperModelDatabase):
 
     def create_node(self, data: NodeData) -> NodeRef:
         self._require_open()
+        self._instr.count("backend.op.writes")
         if data.unique_id in self._by_uid:
             raise InvalidOperationError(
                 f"duplicate uniqueId {data.unique_id}"
@@ -120,6 +126,7 @@ class MemoryDatabase(HyperModelDatabase):
 
     def add_child(self, parent: NodeRef, child: NodeRef) -> None:
         self._require_open()
+        self._instr.count("backend.op.writes")
         parent_node, child_node = self._node(parent), self._node(child)
         if child_node.parent is not None:
             raise InvalidOperationError(
@@ -130,6 +137,7 @@ class MemoryDatabase(HyperModelDatabase):
 
     def add_part(self, whole: NodeRef, part: NodeRef) -> None:
         self._require_open()
+        self._instr.count("backend.op.writes")
         whole_node, part_node = self._node(whole), self._node(part)
         whole_node.parts.append(part_node)
         part_node.part_of.append(whole_node)
@@ -138,6 +146,7 @@ class MemoryDatabase(HyperModelDatabase):
         self, source: NodeRef, target: NodeRef, attrs: LinkAttributes
     ) -> None:
         self._require_open()
+        self._instr.count("backend.op.writes")
         source_node, target_node = self._node(source), self._node(target)
         source_node.refs_to.append((target_node, attrs))
         target_node.refs_from.append(source_node)
@@ -146,6 +155,7 @@ class MemoryDatabase(HyperModelDatabase):
 
     def lookup(self, unique_id: int) -> NodeRef:
         self._require_open()
+        self._instr.count("backend.op.reads")
         try:
             return self._by_uid[unique_id]
         except KeyError:
@@ -153,6 +163,7 @@ class MemoryDatabase(HyperModelDatabase):
 
     def get_attribute(self, ref: NodeRef, name: str) -> int:
         self._require_open()
+        self._instr.count("backend.op.reads")
         node = self._node(ref)
         if name == "uniqueId":
             return node.unique_id
@@ -162,6 +173,7 @@ class MemoryDatabase(HyperModelDatabase):
 
     def set_attribute(self, ref: NodeRef, name: str, value: int) -> None:
         self._require_open()
+        self._instr.count("backend.op.writes")
         node = self._node(ref)
         if name == "uniqueId":
             raise InvalidOperationError("uniqueId is immutable")
@@ -171,6 +183,7 @@ class MemoryDatabase(HyperModelDatabase):
 
     def kind_of(self, ref: NodeRef) -> NodeKind:
         self._require_open()
+        self._instr.count("backend.op.reads")
         return self._node(ref).kind
 
     def structure_of(self, ref: NodeRef) -> int:
@@ -181,44 +194,53 @@ class MemoryDatabase(HyperModelDatabase):
 
     def range_hundred(self, low: int, high: int) -> List[NodeRef]:
         self._require_open()
+        self._instr.count("backend.op.scans")
         return [n for n in self._insertion_order if low <= n.hundred <= high]
 
     def range_million(self, low: int, high: int) -> List[NodeRef]:
         self._require_open()
+        self._instr.count("backend.op.scans")
         return [n for n in self._insertion_order if low <= n.million <= high]
 
     # -- forward traversal ----------------------------------------------------
 
     def children(self, ref: NodeRef) -> List[NodeRef]:
         self._require_open()
+        self._instr.count("backend.op.reads")
         return list(self._node(ref).children)
 
     def parts(self, ref: NodeRef) -> List[NodeRef]:
         self._require_open()
+        self._instr.count("backend.op.reads")
         return list(self._node(ref).parts)
 
     def refs_to(self, ref: NodeRef) -> List[Tuple[NodeRef, LinkAttributes]]:
         self._require_open()
+        self._instr.count("backend.op.reads")
         return list(self._node(ref).refs_to)
 
     # -- inverse traversal ------------------------------------------------------
 
     def parent(self, ref: NodeRef) -> Optional[NodeRef]:
         self._require_open()
+        self._instr.count("backend.op.reads")
         return self._node(ref).parent
 
     def part_of(self, ref: NodeRef) -> List[NodeRef]:
         self._require_open()
+        self._instr.count("backend.op.reads")
         return list(self._node(ref).part_of)
 
     def refs_from(self, ref: NodeRef) -> List[NodeRef]:
         self._require_open()
+        self._instr.count("backend.op.reads")
         return list(self._node(ref).refs_from)
 
     # -- scan ----------------------------------------------------------------
 
     def scan_ten(self, structure_id: int = 1) -> int:
         self._require_open()
+        self._instr.count("backend.op.scans")
         count = 0
         for node in self._insertion_order:
             if node.structure_id == structure_id:
@@ -236,6 +258,7 @@ class MemoryDatabase(HyperModelDatabase):
 
     def get_text(self, ref: NodeRef) -> str:
         self._require_open()
+        self._instr.count("backend.op.reads")
         node = self._node(ref)
         if node.kind is not NodeKind.TEXT:
             raise InvalidOperationError(
@@ -245,6 +268,7 @@ class MemoryDatabase(HyperModelDatabase):
 
     def set_text(self, ref: NodeRef, text: str) -> None:
         self._require_open()
+        self._instr.count("backend.op.writes")
         node = self._node(ref)
         if node.kind is not NodeKind.TEXT:
             raise InvalidOperationError(
@@ -254,6 +278,7 @@ class MemoryDatabase(HyperModelDatabase):
 
     def get_bitmap(self, ref: NodeRef) -> Bitmap:
         self._require_open()
+        self._instr.count("backend.op.reads")
         node = self._node(ref)
         if node.kind is not NodeKind.FORM:
             raise InvalidOperationError(
@@ -263,6 +288,7 @@ class MemoryDatabase(HyperModelDatabase):
 
     def set_bitmap(self, ref: NodeRef, bitmap: Bitmap) -> None:
         self._require_open()
+        self._instr.count("backend.op.writes")
         node = self._node(ref)
         if node.kind is not NodeKind.FORM:
             raise InvalidOperationError(
@@ -274,10 +300,12 @@ class MemoryDatabase(HyperModelDatabase):
 
     def store_node_list(self, name: str, refs: Sequence[NodeRef]) -> None:
         self._require_open()
+        self._instr.count("backend.op.writes")
         self._node_lists[name] = [self._node(r) for r in refs]
 
     def load_node_list(self, name: str) -> List[NodeRef]:
         self._require_open()
+        self._instr.count("backend.op.reads")
         try:
             return list(self._node_lists[name])
         except KeyError:

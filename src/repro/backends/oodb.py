@@ -24,6 +24,7 @@ from repro.core.interface import HyperModelDatabase, NodeRef
 from repro.core.model import LinkAttributes, NodeData, NodeKind
 from repro.engine.catalog import FieldDefinition
 from repro.engine.store import ObjectStore
+from repro.obs import Instrumentation, resolve
 from repro.errors import (
     InvalidOperationError,
     NodeNotFoundError,
@@ -56,14 +57,17 @@ class OodbDatabase(HyperModelDatabase):
         cache_pages: int = 512,
         sync_commits: bool = False,
         versioned: bool = False,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.path = path
+        self.instrumentation = resolve(instrumentation)
         self._store = ObjectStore(
             path,
             cache_pages=cache_pages,
             clustered=clustered,
             sync_commits=sync_commits,
             versioned=versioned,
+            instrumentation=self.instrumentation,
         )
         self._clustered = clustered
         self._pending_uids: set = set()

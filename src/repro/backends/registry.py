@@ -1,91 +1,281 @@
-"""Backend factory: build any HyperModel backend by name.
+"""Backend registry: build any HyperModel backend by name.
 
-Backends are constructed lazily so importing the registry never pulls
-in subsystems the caller does not use.  The registry is the single
-place the harness, the CLI and the examples obtain backends from.
+Backends are registered as :class:`BackendSpec` entries through
+:func:`register_backend` and constructed with :func:`create_backend`.
+Factories import their backend module lazily so importing the registry
+never pulls in subsystems the caller does not use.  The registry is
+the single place the harness, the CLI, the examples and the tests
+obtain backends from — and it is *open*: external code can register
+its own backend under a new name and every harness entry point picks
+it up.
+
+Construction is uniform: ``create_backend(name, path=None, **options)``
+forwards ``path`` plus any keyword options to the backend factory, so
+variants like ``oodb-unclustered`` are plain registrations with
+``default_options={"clustered": False}`` instead of one-off wrapper
+functions.  Every built-in backend accepts an ``instrumentation``
+option (see :mod:`repro.obs`).
+
+The legacy private ``_FACTORIES`` dict is retained as a deprecated
+read-only view for code that used to reach into it; it warns on
+access and will be removed.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import dataclasses
+import warnings
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
 from repro.core.interface import HyperModelDatabase
 from repro.errors import ConfigurationError
 
+#: A mapping of keyword options forwarded to a backend factory
+#: (``cache_pages=...``, ``clustered=...``, ``instrumentation=...`` …).
+BackendOptions = Mapping[str, Any]
 
-def _make_memory(path: Optional[str]) -> HyperModelDatabase:
-    from repro.backends.memory import MemoryDatabase
-
-    return MemoryDatabase()
-
-
-def _make_sqlite(path: Optional[str]) -> HyperModelDatabase:
-    from repro.backends.sqlite_backend import SqliteDatabase
-
-    return SqliteDatabase(path or ":memory:")
+#: A backend factory: receives the filesystem path (or ``None``) plus
+#: the merged keyword options and returns a *closed* backend instance.
+BackendFactory = Callable[..., HyperModelDatabase]
 
 
-def _make_sqlite_file(path: Optional[str]) -> HyperModelDatabase:
-    from repro.backends.sqlite_backend import SqliteDatabase
+@dataclasses.dataclass(frozen=True)
+class BackendSpec:
+    """One registered backend.
 
-    if path is None:
-        raise ConfigurationError("sqlite-file backend requires a path")
-    return SqliteDatabase(path)
+    Attributes:
+        name: the registry key accepted by :func:`create_backend`.
+        factory: callable ``factory(path, **options)`` returning a
+            closed :class:`HyperModelDatabase`.
+        needs_path: whether ``create_backend`` must be given a
+            filesystem path for this backend.
+        default_options: options merged *under* the caller's keyword
+            options (the caller wins on conflict).  This is how ablation
+            variants are expressed without wrapper functions.
+        description: one line for ``repro info`` and error messages.
+    """
 
-
-def _make_oodb(path: Optional[str]) -> HyperModelDatabase:
-    from repro.backends.oodb import OodbDatabase
-
-    if path is None:
-        raise ConfigurationError("oodb backend requires a path")
-    return OodbDatabase(path)
-
-
-def _make_oodb_unclustered(path: Optional[str]) -> HyperModelDatabase:
-    from repro.backends.oodb import OodbDatabase
-
-    if path is None:
-        raise ConfigurationError("oodb-unclustered backend requires a path")
-    return OodbDatabase(path, clustered=False)
-
-
-def _make_clientserver(path: Optional[str]) -> HyperModelDatabase:
-    from repro.backends.clientserver import ClientServerDatabase
-
-    return ClientServerDatabase(path)
+    name: str
+    factory: BackendFactory
+    needs_path: bool = False
+    default_options: Mapping[str, Any] = dataclasses.field(
+        default_factory=dict
+    )
+    description: str = ""
 
 
-_FACTORIES: Dict[str, Callable[[Optional[str]], HyperModelDatabase]] = {
-    "memory": _make_memory,
-    "sqlite": _make_sqlite,
-    "sqlite-file": _make_sqlite_file,
-    "oodb": _make_oodb,
-    "oodb-unclustered": _make_oodb_unclustered,
-    "clientserver": _make_clientserver,
-}
+_REGISTRY: Dict[str, BackendSpec] = {}
+
+
+def register_backend(
+    name: str,
+    factory: BackendFactory,
+    *,
+    needs_path: bool = False,
+    default_options: Optional[BackendOptions] = None,
+    description: str = "",
+    replace: bool = False,
+) -> BackendSpec:
+    """Register (or re-register) a backend factory under ``name``.
+
+    Args:
+        name: registry key; must be new unless ``replace=True``.
+        factory: ``factory(path, **options) -> HyperModelDatabase``.
+        needs_path: require a path at :func:`create_backend` time.
+        default_options: options applied beneath the caller's.
+        description: short human-readable summary.
+        replace: allow overwriting an existing registration.
+
+    Returns:
+        The stored :class:`BackendSpec`.
+
+    Raises:
+        ConfigurationError: if ``name`` is taken and not ``replace``.
+    """
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"backend {name!r} is already registered; pass replace=True"
+            " to overwrite"
+        )
+    spec = BackendSpec(
+        name=name,
+        factory=factory,
+        needs_path=needs_path,
+        default_options=dict(default_options or {}),
+        description=description,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registration (primarily for tests of the registry)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend_spec(name: str) -> BackendSpec:
+    """Return the :class:`BackendSpec` registered under ``name``.
+
+    Raises:
+        ConfigurationError: for an unknown name.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; available: {', '.join(_REGISTRY)}"
+        ) from None
 
 
 def available_backends() -> List[str]:
     """Names accepted by :func:`create_backend`, in registry order."""
-    return list(_FACTORIES)
+    return list(_REGISTRY)
 
 
-def create_backend(name: str, path: Optional[str] = None) -> HyperModelDatabase:
+def backend_specs() -> List[BackendSpec]:
+    """All registered specs, in registry order."""
+    return list(_REGISTRY.values())
+
+
+def create_backend(
+    name: str, path: Optional[str] = None, **options: Any
+) -> HyperModelDatabase:
     """Construct a closed backend instance by registry name.
 
     Args:
         name: one of :func:`available_backends`.
         path: filesystem location for file-backed backends; ignored by
             purely in-memory ones.
+        **options: backend-specific keyword options, merged over the
+            spec's ``default_options`` (caller wins).  All built-in
+            backends accept ``instrumentation=`` here.
 
     Raises:
         ConfigurationError: for an unknown name or a missing required
             path.
     """
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown backend {name!r}; available: {', '.join(_FACTORIES)}"
-        ) from None
-    return factory(path)
+    spec = get_backend_spec(name)
+    if spec.needs_path and path is None:
+        raise ConfigurationError(f"{name} backend requires a path")
+    merged: Dict[str, Any] = dict(spec.default_options)
+    merged.update(options)
+    return spec.factory(path, **merged)
+
+
+# ----------------------------------------------------------------------
+# Built-in backends (lazy imports inside the factories)
+# ----------------------------------------------------------------------
+
+
+def _memory_factory(
+    path: Optional[str], **options: Any
+) -> HyperModelDatabase:
+    from repro.backends.memory import MemoryDatabase
+
+    return MemoryDatabase(**options)
+
+
+def _sqlite_factory(
+    path: Optional[str], **options: Any
+) -> HyperModelDatabase:
+    from repro.backends.sqlite_backend import SqliteDatabase
+
+    return SqliteDatabase(path or ":memory:", **options)
+
+
+def _sqlite_file_factory(
+    path: Optional[str], **options: Any
+) -> HyperModelDatabase:
+    from repro.backends.sqlite_backend import SqliteDatabase
+
+    return SqliteDatabase(path, **options)
+
+
+def _oodb_factory(path: Optional[str], **options: Any) -> HyperModelDatabase:
+    from repro.backends.oodb import OodbDatabase
+
+    return OodbDatabase(path, **options)
+
+
+def _clientserver_factory(
+    path: Optional[str], **options: Any
+) -> HyperModelDatabase:
+    from repro.backends.clientserver import ClientServerDatabase
+
+    return ClientServerDatabase(path, **options)
+
+
+register_backend(
+    "memory",
+    _memory_factory,
+    description="in-process object graph (the Smalltalk-image bound)",
+)
+register_backend(
+    "sqlite",
+    _sqlite_factory,
+    description="relational mapping on sqlite3 (in-memory by default)",
+)
+register_backend(
+    "sqlite-file",
+    _sqlite_file_factory,
+    needs_path=True,
+    description="relational mapping on a sqlite3 file",
+)
+register_backend(
+    "oodb",
+    _oodb_factory,
+    needs_path=True,
+    description="from-scratch paged object engine, 1-N clustered",
+)
+register_backend(
+    "oodb-unclustered",
+    _oodb_factory,
+    needs_path=True,
+    default_options={"clustered": False},
+    description="paged object engine with clustering disabled (ablation)",
+)
+register_backend(
+    "clientserver",
+    _clientserver_factory,
+    description="workstation cache over a simulated object server",
+)
+
+
+# ----------------------------------------------------------------------
+# Deprecated legacy surface
+# ----------------------------------------------------------------------
+
+
+class _DeprecatedFactories(Mapping):
+    """Read-only, warning view emulating the old ``_FACTORIES`` dict.
+
+    Old code did ``_FACTORIES[name](path)``; each value here is a
+    single-argument callable delegating to :func:`create_backend`.
+    """
+
+    def _warn(self) -> None:
+        warnings.warn(
+            "_FACTORIES is deprecated; use register_backend() /"
+            " create_backend() instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, name: str) -> Callable[..., HyperModelDatabase]:
+        self._warn()
+        if name not in _REGISTRY:
+            raise KeyError(name)
+        return lambda path=None, **options: create_backend(
+            name, path, **options
+        )
+
+    def __iter__(self) -> Iterator[str]:
+        self._warn()
+        return iter(list(_REGISTRY))
+
+    def __len__(self) -> int:
+        self._warn()
+        return len(_REGISTRY)
+
+
+_FACTORIES = _DeprecatedFactories()

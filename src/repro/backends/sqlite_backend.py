@@ -30,6 +30,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 from repro.core.bitmap import Bitmap
 from repro.core.interface import HyperModelDatabase, NodeRef
 from repro.core.model import LinkAttributes, NodeData, NodeKind
+from repro.obs import Instrumentation, resolve
 from repro.errors import (
     DatabaseClosedError,
     InvalidOperationError,
@@ -108,8 +109,14 @@ class SqliteDatabase(HyperModelDatabase):
     level.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(
+        self,
+        path: str = ":memory:",
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
         self.path = path
+        self.instrumentation = resolve(instrumentation)
+        self._instr = self.instrumentation
         self._conn: Optional[sqlite3.Connection] = None
         self._memory_conn: Optional[sqlite3.Connection] = None
 
@@ -157,6 +164,7 @@ class SqliteDatabase(HyperModelDatabase):
         return self._conn
 
     def _row(self, query: str, params: tuple) -> tuple:
+        self._instr.count("backend.op.reads")
         row = self._require_open().execute(query, params).fetchone()
         if row is None:
             raise NodeNotFoundError(params[0] if params else query)
@@ -166,6 +174,7 @@ class SqliteDatabase(HyperModelDatabase):
 
     def create_node(self, data: NodeData) -> NodeRef:
         conn = self._require_open()
+        self._instr.count("backend.op.writes")
         try:
             conn.execute(
                 "INSERT INTO node (uid, kind, ten, hundred, million, struct)"
@@ -203,6 +212,7 @@ class SqliteDatabase(HyperModelDatabase):
 
     def add_child(self, parent: NodeRef, child: NodeRef) -> None:
         conn = self._require_open()
+        self._instr.count("backend.op.writes")
         current = self._row(
             "SELECT parent FROM node WHERE uid = ?", (child,)
         )[0]
@@ -217,6 +227,7 @@ class SqliteDatabase(HyperModelDatabase):
         )
 
     def add_part(self, whole: NodeRef, part: NodeRef) -> None:
+        self._instr.count("backend.op.writes")
         self._require_open().execute(
             "INSERT INTO part (whole, part) VALUES (?, ?)", (whole, part)
         )
@@ -224,6 +235,7 @@ class SqliteDatabase(HyperModelDatabase):
     def add_reference(
         self, source: NodeRef, target: NodeRef, attrs: LinkAttributes
     ) -> None:
+        self._instr.count("backend.op.writes")
         self._require_open().execute(
             "INSERT INTO ref (src, dst, offset_from, offset_to)"
             " VALUES (?, ?, ?, ?)",
@@ -248,6 +260,7 @@ class SqliteDatabase(HyperModelDatabase):
             raise InvalidOperationError("uniqueId is immutable")
         if name not in ("ten", "hundred", "million"):
             raise KeyError(f"unknown node attribute {name!r}")
+        self._instr.count("backend.op.writes")
         cursor = self._require_open().execute(
             f"UPDATE node SET {name} = ? WHERE uid = ?", (value, ref)
         )
@@ -265,6 +278,7 @@ class SqliteDatabase(HyperModelDatabase):
     # -- range lookups ----------------------------------------------------
 
     def range_hundred(self, low: int, high: int) -> List[NodeRef]:
+        self._instr.count("backend.op.scans")
         return [
             row[0]
             for row in self._require_open().execute(
@@ -274,6 +288,7 @@ class SqliteDatabase(HyperModelDatabase):
         ]
 
     def range_million(self, low: int, high: int) -> List[NodeRef]:
+        self._instr.count("backend.op.scans")
         return [
             row[0]
             for row in self._require_open().execute(
@@ -285,6 +300,7 @@ class SqliteDatabase(HyperModelDatabase):
     # -- forward traversal -------------------------------------------------
 
     def children(self, ref: NodeRef) -> List[NodeRef]:
+        self._instr.count("backend.op.reads")
         return [
             row[0]
             for row in self._require_open().execute(
@@ -293,6 +309,7 @@ class SqliteDatabase(HyperModelDatabase):
         ]
 
     def parts(self, ref: NodeRef) -> List[NodeRef]:
+        self._instr.count("backend.op.reads")
         return [
             row[0]
             for row in self._require_open().execute(
@@ -301,6 +318,7 @@ class SqliteDatabase(HyperModelDatabase):
         ]
 
     def refs_to(self, ref: NodeRef) -> List[Tuple[NodeRef, LinkAttributes]]:
+        self._instr.count("backend.op.reads")
         return [
             (dst, LinkAttributes(offset_from, offset_to))
             for dst, offset_from, offset_to in self._require_open().execute(
@@ -315,6 +333,7 @@ class SqliteDatabase(HyperModelDatabase):
         return self._row("SELECT parent FROM node WHERE uid = ?", (ref,))[0]
 
     def part_of(self, ref: NodeRef) -> List[NodeRef]:
+        self._instr.count("backend.op.reads")
         return [
             row[0]
             for row in self._require_open().execute(
@@ -323,6 +342,7 @@ class SqliteDatabase(HyperModelDatabase):
         ]
 
     def refs_from(self, ref: NodeRef) -> List[NodeRef]:
+        self._instr.count("backend.op.reads")
         return [
             row[0]
             for row in self._require_open().execute(
@@ -333,6 +353,7 @@ class SqliteDatabase(HyperModelDatabase):
     # -- scan ------------------------------------------------------------------
 
     def scan_ten(self, structure_id: int = 1) -> int:
+        self._instr.count("backend.op.scans")
         count = 0
         for (_ten,) in self._require_open().execute(
             "SELECT ten FROM node WHERE struct = ?", (structure_id,)
@@ -349,6 +370,7 @@ class SqliteDatabase(HyperModelDatabase):
     # -- content -----------------------------------------------------------------
 
     def get_text(self, ref: NodeRef) -> str:
+        self._instr.count("backend.op.reads")
         row = self._require_open().execute(
             "SELECT body FROM text_content WHERE uid = ?", (ref,)
         ).fetchone()
@@ -357,6 +379,7 @@ class SqliteDatabase(HyperModelDatabase):
         return row[0]
 
     def set_text(self, ref: NodeRef, text: str) -> None:
+        self._instr.count("backend.op.writes")
         cursor = self._require_open().execute(
             "UPDATE text_content SET body = ? WHERE uid = ?", (text, ref)
         )
@@ -364,6 +387,7 @@ class SqliteDatabase(HyperModelDatabase):
             raise InvalidOperationError(f"node {ref} is not a text node")
 
     def get_bitmap(self, ref: NodeRef) -> Bitmap:
+        self._instr.count("backend.op.reads")
         row = self._require_open().execute(
             "SELECT width, height, bits FROM form_content WHERE uid = ?",
             (ref,),
@@ -373,6 +397,7 @@ class SqliteDatabase(HyperModelDatabase):
         return Bitmap.from_bytes(row[0], row[1], row[2])
 
     def set_bitmap(self, ref: NodeRef, bitmap: Bitmap) -> None:
+        self._instr.count("backend.op.writes")
         cursor = self._require_open().execute(
             "UPDATE form_content SET width = ?, height = ?, bits = ?"
             " WHERE uid = ?",
@@ -385,6 +410,7 @@ class SqliteDatabase(HyperModelDatabase):
 
     def store_node_list(self, name: str, refs: Sequence[NodeRef]) -> None:
         conn = self._require_open()
+        self._instr.count("backend.op.writes")
         conn.execute("DELETE FROM node_list WHERE name = ?", (name,))
         conn.executemany(
             "INSERT INTO node_list (name, pos, uid) VALUES (?, ?, ?)",
@@ -392,6 +418,7 @@ class SqliteDatabase(HyperModelDatabase):
         )
 
     def load_node_list(self, name: str) -> List[NodeRef]:
+        self._instr.count("backend.op.reads")
         rows = self._require_open().execute(
             "SELECT uid FROM node_list WHERE name = ? ORDER BY pos", (name,)
         ).fetchall()

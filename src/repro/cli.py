@@ -6,6 +6,8 @@ Subcommands:
 * ``generate``   — build a test database into a backend file;
 * ``verify``     — structurally verify a freshly generated database;
 * ``run``        — run the benchmark grid and print the report tables;
+* ``bench``      — like ``run``, with ``--counters`` for per-operation
+  instrumentation counter tables (see ``docs/observability.md``);
 * ``query``      — evaluate an ad-hoc query against a generated database;
 * ``rubenstein`` — run the /RUBE87/ baseline benchmark;
 * ``maintain``   — R10 maintenance on an oodb file: vacuum / backup / gc;
@@ -56,24 +58,44 @@ def _build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser("verify", help="generate and verify a database")
     _add_common_db_args(verify)
 
+    def _add_grid_args(
+        grid: argparse.ArgumentParser, default_backends: str
+    ) -> None:
+        grid.add_argument(
+            "--backends",
+            default=default_backends,
+            help="comma-separated backend names",
+        )
+        grid.add_argument(
+            "--levels", default="4", help="comma-separated leaf levels"
+        )
+        grid.add_argument(
+            "--ops",
+            default=None,
+            help="comma-separated operation ids (default: all)",
+        )
+        grid.add_argument(
+            "--repetitions",
+            type=int,
+            default=50,
+            help="runs per cold/warm pass",
+        )
+        grid.add_argument("--seed", type=int, default=19880301)
+        grid.add_argument(
+            "--save", default=None, help="write results JSON to this path"
+        )
+
     run = sub.add_parser("run", help="run the benchmark grid")
-    run.add_argument(
-        "--backends",
-        default="memory,sqlite,oodb,clientserver",
-        help="comma-separated backend names",
+    _add_grid_args(run, "memory,sqlite,oodb,clientserver")
+
+    bench = sub.add_parser(
+        "bench", help="run the benchmark grid with instrumentation"
     )
-    run.add_argument(
-        "--levels", default="4", help="comma-separated leaf levels"
-    )
-    run.add_argument(
-        "--ops", default=None, help="comma-separated operation ids (default: all)"
-    )
-    run.add_argument(
-        "--repetitions", type=int, default=50, help="runs per cold/warm pass"
-    )
-    run.add_argument("--seed", type=int, default=19880301)
-    run.add_argument(
-        "--save", default=None, help="write results JSON to this path"
+    _add_grid_args(bench, "memory,clientserver")
+    bench.add_argument(
+        "--counters",
+        action="store_true",
+        help="instrument the backends and print per-operation counter tables",
     )
 
     query = sub.add_parser("query", help="run an ad-hoc query (R12)")
@@ -164,9 +186,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _cmd_run(args: argparse.Namespace, counters: bool = False) -> int:
     from repro.harness import BenchmarkRunner, RunnerConfig
     from repro.harness.report import full_report
+    from repro.obs import Instrumentation
 
     config = RunnerConfig(
         backends=args.backends.split(","),
@@ -174,16 +197,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         op_ids=args.ops.split(",") if args.ops else None,
         repetitions=args.repetitions,
         seed=args.seed,
+        instrumentation=Instrumentation() if counters else None,
     )
-    runner = BenchmarkRunner(config)
-    try:
+    with BenchmarkRunner(config) as runner:
         results, _creation = runner.run()
-        print(full_report(results, title="HyperModel benchmark results"))
+        print(
+            full_report(
+                results,
+                title="HyperModel benchmark results",
+                include_counters=counters,
+            )
+        )
         if args.save:
             results.save(args.save)
             print(f"results written to {args.save}")
-    finally:
-        runner.close()
     return 0
 
 
@@ -287,6 +314,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": lambda: _cmd_generate(args),
         "verify": lambda: _cmd_verify(args),
         "run": lambda: _cmd_run(args),
+        "bench": lambda: _cmd_run(args, counters=args.counters),
         "query": lambda: _cmd_query(args),
         "rubenstein": lambda: _cmd_rubenstein(args),
         "maintain": lambda: _cmd_maintain(args),

@@ -22,6 +22,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.bitmap import Bitmap
 from repro.core.model import LinkAttributes, NodeData, NodeKind
+from repro.obs import NO_OP, Instrumentation
 
 #: An opaque, backend-specific node reference (key value or object id).
 NodeRef = Any
@@ -34,7 +35,21 @@ class HyperModelDatabase(abc.ABC):
     usable, :meth:`close` flushes and releases it (and, per section
     5.3(e), drops any cache so the next open starts cold).  Mutations
     become durable at :meth:`commit`.
+
+    Backends are also context managers::
+
+        with create_backend("memory") as db:
+            ...            # opened on entry
+        # closed on exit; aborted first if the block raised
+
+    and each carries an :attr:`instrumentation` handle (the no-op
+    singleton unless one was supplied at construction) whose counters
+    the harness snapshots around every cold/warm run.
     """
+
+    #: The measurement handle; backends overwrite this in ``__init__``
+    #: with whatever :func:`repro.obs.resolve` gives them.
+    instrumentation: Instrumentation = NO_OP
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -60,6 +75,29 @@ class HyperModelDatabase(abc.ABC):
     @abc.abstractmethod
     def is_open(self) -> bool:
         """Whether the database is currently open."""
+
+    def __enter__(self) -> "HyperModelDatabase":
+        """Open the database (if closed) and return it."""
+        if not self.is_open:
+            self.open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Close on exit; abort uncommitted work first if the block raised.
+
+        The clean path relies on :meth:`close` flushing committed work
+        (every backend's close implies a final commit of pending
+        writes); the exception path calls :meth:`abort` first so a
+        failed block's half-done mutations are discarded, honouring the
+        "abort-on-exception" contract.
+        """
+        try:
+            if exc_type is not None and self.is_open:
+                self.abort()
+        finally:
+            if self.is_open:
+                self.close()
+        return False
 
     @property
     def supports_object_identity(self) -> bool:

@@ -97,6 +97,8 @@ class BTree:
 
     def __init__(self, pool: BufferPool, root: PageId = 0) -> None:
         self._pool = pool
+        #: Shared with the buffer pool: one handle per store.
+        self._instr = pool.instrumentation
         if root == 0:
             root = pool.new_page()
             page = pool.get(root)
@@ -195,6 +197,7 @@ class BTree:
         disc = value if disc is None else disc
         split = self._insert_into(self.root, key, disc, value)
         if split is not None:
+            self._instr.count("engine.btree.root_splits")
             sep_key, sep_disc, new_child = split
             new_root = self._pool.new_page()
             page = self._pool.get(new_root)
@@ -240,6 +243,7 @@ class BTree:
                 _set_entries(page, _INTERNAL, entries, link)
                 return None
             # Split the internal node: the middle separator moves up.
+            self._instr.count("engine.btree.splits")
             mid = len(entries) // 2
             up_key, up_disc, up_child = entries[mid]
             left_entries = entries[:mid]
@@ -272,6 +276,7 @@ class BTree:
         if len(entries) <= ORDER:
             _set_entries(page, _LEAF, entries, next_leaf)
             return None
+        self._instr.count("engine.btree.splits")
         mid = len(entries) // 2
         left_entries, right_entries = entries[:mid], entries[mid:]
         right_pid = self._pool.new_page()

@@ -20,6 +20,7 @@ from typing import Dict, Iterator, Optional
 
 from repro.engine.pages import PAGE_SIZE, PageFile, PageId
 from repro.errors import PageError
+from repro.obs import Instrumentation, resolve
 
 
 @dataclasses.dataclass
@@ -55,11 +56,20 @@ class _Frame:
 class BufferPool:
     """A fixed-capacity write-back page cache over one page file."""
 
-    def __init__(self, page_file: PageFile, capacity: int = 256) -> None:
+    def __init__(
+        self,
+        page_file: PageFile,
+        capacity: int = 256,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
         if capacity < 1:
             raise PageError("buffer pool capacity must be >= 1")
         self._file = page_file
         self.capacity = capacity
+        #: The measurement handle; NO_OP unless instrumentation is on.
+        #: B+trees and heaps constructed over this pool share it.
+        self.instrumentation = resolve(instrumentation)
+        self._instr = self.instrumentation
         self._frames: "collections.OrderedDict[PageId, _Frame]" = (
             collections.OrderedDict()
         )
@@ -85,9 +95,11 @@ class BufferPool:
         frame = self._frames.get(pid)
         if frame is not None:
             self.stats.hits += 1
+            self._instr.count("engine.buffer.hit")
             self._frames.move_to_end(pid)
         else:
             self.stats.misses += 1
+            self._instr.count("engine.buffer.miss")
             self._ensure_room()
             frame = _Frame(pid, self._file.read_page(pid))
             self._frames[pid] = frame
@@ -166,7 +178,9 @@ class BufferPool:
         if frame.dirty:
             self._file.write_page(pid, frame.data)
             self.stats.writebacks += 1
+            self._instr.count("engine.buffer.writeback")
         self.stats.evictions += 1
+        self._instr.count("engine.buffer.eviction")
 
     def flush_all(self) -> None:
         """Write back every dirty frame (frames stay cached)."""
@@ -175,6 +189,7 @@ class BufferPool:
                 self._file.write_page(frame.pid, frame.data)
                 frame.dirty = False
                 self.stats.writebacks += 1
+                self._instr.count("engine.buffer.writeback")
             if frame.pin_count == 0 and frame.pid not in self._clean_lru:
                 self._clean_lru[frame.pid] = None
         self.trim()

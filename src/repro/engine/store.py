@@ -32,6 +32,7 @@ from repro.engine.pages import PageFile
 from repro.engine.txn import DELETED, Transaction, TxnStatus
 from repro.engine.versioning import VersionChain, preserve_version
 from repro.engine.wal import WriteAheadLog
+from repro.obs import Instrumentation, resolve
 from repro.errors import (
     DatabaseClosedError,
     RecordNotFoundError,
@@ -94,6 +95,7 @@ class ObjectStore:
         locking: bool = False,
         sync_commits: bool = True,
         checkpoint_after_bytes: int = 8 * 1024 * 1024,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.path = path
         self.cache_pages = cache_pages
@@ -102,6 +104,8 @@ class ObjectStore:
         self.locking = locking
         self.sync_commits = sync_commits
         self.checkpoint_after_bytes = checkpoint_after_bytes
+        #: Shared by the buffer pool, the WAL and every B+tree below.
+        self.instrumentation = resolve(instrumentation)
 
         self.stats = StoreStats()
         self.locks = LockManager()
@@ -130,11 +134,16 @@ class ObjectStore:
             if self.is_open:
                 return
             self._wal = WriteAheadLog(
-                self.path + ".wal", sync_on_commit=self.sync_commits
+                self.path + ".wal",
+                sync_on_commit=self.sync_commits,
+                instrumentation=self.instrumentation,
             )
             self._recover_if_needed()
             self._file = PageFile(self.path)
-            self._pool = BufferPool(self._file, self.cache_pages)
+            self._pool = BufferPool(
+                self._file, self.cache_pages,
+                instrumentation=self.instrumentation,
+            )
             self._heap = HeapFile(self._pool, "data")
             self._catalog = Catalog(self._heap)
             self._directory = BTree(
@@ -151,6 +160,7 @@ class ObjectStore:
         work = self._wal.recover_operations()
         if not work:
             return
+        self.instrumentation.count("engine.store.recoveries")
         file = PageFile(self.path)
         try:
             for _txid, records in work:
@@ -194,6 +204,25 @@ class ObjectStore:
         """Whether the store is open."""
         return self._file is not None
 
+    def __enter__(self) -> "ObjectStore":
+        """Open (if needed) and return the store: ``with ObjectStore(p) as s:``."""
+        if not self.is_open:
+            self.open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Commit on success, abort on exception, then close."""
+        try:
+            if self.is_open:
+                if exc_type is not None:
+                    self.abort()
+                else:
+                    self.commit()
+        finally:
+            if self.is_open:
+                self.close()
+        return False
+
     def _require_open(self) -> None:
         if not self.is_open:
             raise DatabaseClosedError(f"store {self.path} is not open")
@@ -201,11 +230,13 @@ class ObjectStore:
     def checkpoint(self) -> None:
         """Force all pages, fsync the data file, truncate the WAL."""
         self._require_open()
-        self._save_roots()
-        self._pool.flush_all()
-        self._file.sync()
-        self._wal.log_checkpoint()
-        self.stats.checkpoints += 1
+        with self.instrumentation.span("store.checkpoint"):
+            self._save_roots()
+            self._pool.flush_all()
+            self._file.sync()
+            self._wal.log_checkpoint()
+            self.stats.checkpoints += 1
+            self.instrumentation.count("engine.store.checkpoints")
 
     def drop_cache(self) -> None:
         """Flush and empty the buffer pool: the next access is cold.
@@ -421,6 +452,7 @@ class ObjectStore:
                 active.note_read(oid)
             record = self._read_record(oid)
             self.stats.objects_read += 1
+            self.instrumentation.count("engine.store.objects_read")
             return record["s"]
 
     def class_of(self, oid: int, txn: Optional[Transaction] = None) -> str:
@@ -541,18 +573,25 @@ class ObjectStore:
                 raise TransactionError("not the current transaction")
             try:
                 if txn.write_set:
-                    self._apply_and_force(txn)
+                    with self.instrumentation.span("store.commit"):
+                        self._apply_and_force(txn)
                 txn.status = TxnStatus.COMMITTED
             finally:
                 self.locks.release_all(txn.txid)
                 self._current = None
             self.stats.commits += 1
+            self.instrumentation.count("engine.store.commits")
 
     def _apply_and_force(self, txn: Transaction) -> None:
         self._meta["commit_ts"] += 1
         timestamp = self._meta["commit_ts"]
         for oid, buffered in txn.write_set.items():
             if buffered is DELETED:
+                if oid in txn.new_classes:
+                    # Created and deleted inside this very transaction:
+                    # it never reached the directory, so there is
+                    # nothing to remove (dropping it *is* the delete).
+                    continue
                 self._apply_delete(oid)
             elif oid in txn.created:
                 self._apply_insert(
@@ -564,6 +603,7 @@ class ObjectStore:
                     oid, buffered, txn.place_near.get(oid), timestamp
                 )
             self.stats.objects_written += 1
+            self.instrumentation.count("engine.store.objects_written")
         self._save_meta()
         self._save_roots()
         self._log_and_force(txn.txid)
@@ -661,6 +701,7 @@ class ObjectStore:
             if txn is self._current:
                 self._current = None
             self.stats.aborts += 1
+            self.instrumentation.count("engine.store.aborts")
 
     # ------------------------------------------------------------------
     # Extents
@@ -868,6 +909,7 @@ class ObjectStore:
                 clustered=self.clustering.enabled,
                 versioned=self.versioned,
                 sync_commits=False,
+                instrumentation=self.instrumentation,
             )
             target.open()
             self._copy_contents_into(target)

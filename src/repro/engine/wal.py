@@ -37,6 +37,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.engine import serializer
 from repro.errors import RecoveryError
+from repro.obs import Instrumentation, resolve
 
 BEGIN = "B"
 PUT = "P"
@@ -79,12 +80,18 @@ class LogRecord:
 class WriteAheadLog:
     """Append-only log file with group-commit-style fsync."""
 
-    def __init__(self, path: str, sync_on_commit: bool = True) -> None:
+    def __init__(
+        self,
+        path: str,
+        sync_on_commit: bool = True,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
         self.path = path
         self.sync_on_commit = sync_on_commit
         self._file = open(path, "ab+")
         self.records_written = 0
         self.syncs = 0
+        self._instr = resolve(instrumentation)
 
     def close(self) -> None:
         """Flush and close the log file."""
@@ -103,6 +110,8 @@ class WriteAheadLog:
         frame = _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
         self._file.write(frame + payload)
         self.records_written += 1
+        self._instr.count("engine.wal.records")
+        self._instr.count("engine.wal.bytes", _FRAME.size + len(payload))
 
     def sync(self) -> None:
         """Force appended records to stable storage (the commit point)."""
@@ -110,14 +119,16 @@ class WriteAheadLog:
         if self.sync_on_commit:
             os.fsync(self._file.fileno())
         self.syncs += 1
+        self._instr.count("engine.wal.syncs")
 
     def log_commit(self, txid: int, operations: List[LogRecord]) -> None:
         """Write BEGIN + operations + COMMIT and make them durable."""
-        self.append(LogRecord(BEGIN, txid=txid))
-        for op in operations:
-            self.append(op)
-        self.append(LogRecord(COMMIT, txid=txid))
-        self.sync()
+        with self._instr.span("wal.commit"):
+            self.append(LogRecord(BEGIN, txid=txid))
+            for op in operations:
+                self.append(op)
+            self.append(LogRecord(COMMIT, txid=txid))
+            self.sync()
 
     def log_checkpoint(self) -> None:
         """Record that all prior changes are on data pages, then truncate.

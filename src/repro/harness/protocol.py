@@ -27,13 +27,14 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.config import HyperModelConfig
 from repro.core.generator import GeneratedDatabase
 from repro.core.interface import HyperModelDatabase
 from repro.core.operations import OperationSpec, Operations
 from repro.harness.timing import Stats, Timer
+from repro.obs import NO_OP, Instrumentation
 
 #: The paper's repetition count per run.
 DEFAULT_REPETITIONS = 50
@@ -47,6 +48,11 @@ class ColdWarmResult:
     repetitions; ``cold_total_seconds`` / ``warm_total_seconds``
     include everything, and ``commit_seconds`` is the cost of the
     commit between the runs.
+
+    ``cold_counters`` / ``warm_counters`` are instrumentation counter
+    *deltas* over the corresponding run (what the 50 repetitions did,
+    not absolute totals); empty when the backend runs with the no-op
+    instrumentation.  The between-run commit is excluded from both.
     """
 
     op_id: str
@@ -61,6 +67,8 @@ class ColdWarmResult:
     cold_total_seconds: float
     warm_total_seconds: float
     nodes_per_repetition: float
+    cold_counters: Dict[str, float] = dataclasses.field(default_factory=dict)
+    warm_counters: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     @property
     def warm_speedup(self) -> float:
@@ -76,10 +84,16 @@ class ColdWarmResult:
 
     @classmethod
     def from_dict(cls, raw: dict) -> "ColdWarmResult":
-        """Rebuild from :meth:`to_dict` output."""
+        """Rebuild from :meth:`to_dict` output.
+
+        Tolerates documents written before counter capture existed:
+        missing counter keys load as empty deltas.
+        """
         raw = dict(raw)
         raw["cold"] = Stats.from_dict(raw["cold"])
         raw["warm"] = Stats.from_dict(raw["warm"])
+        raw.setdefault("cold_counters", {})
+        raw.setdefault("warm_counters", {})
         return cls(**raw)
 
 
@@ -154,26 +168,31 @@ def run_operation_sequence(
     config = config or gen.config
     rng = random.Random((seed * 1_000_003) ^ hash(spec.op_id))
     clock = getattr(db, "simulated_clock", None)
+    instr: Instrumentation = getattr(db, "instrumentation", NO_OP) or NO_OP
 
     # (a) fresh open, then input preparation (untimed).
     _reopen_cold(db)
     ops = Operations(db, config)
     inputs = _prepare_inputs(spec, gen, rng, db, repetitions)
 
-    # (b) cold run.
+    # (b) cold run, with a counter snapshot around it.
+    before_cold = instr.snapshot()
     cold_ms, cold_total, sizes, last_result = _timed_run(
         spec, ops, inputs, gen, clock
     )
+    cold_counters = instr.snapshot().delta(before_cold)
 
-    # (c) commit, timed separately.
+    # (c) commit, timed separately (its counters belong to neither run).
     commit_timer = Timer(clock)
     with commit_timer:
         db.commit()
 
     # (d) warm run with the same inputs.
+    before_warm = instr.snapshot()
     warm_ms, warm_total, _sizes, last_result = _timed_run(
         spec, ops, inputs, gen, clock
     )
+    warm_counters = instr.snapshot().delta(before_warm)
 
     # Exercise result-list storability (untimed; closures return lists).
     if store_result_list and isinstance(last_result, list) and last_result:
@@ -202,6 +221,8 @@ def run_operation_sequence(
         cold_total_seconds=cold_total,
         warm_total_seconds=warm_total,
         nodes_per_repetition=sum(sizes) / len(sizes),
+        cold_counters=cold_counters,
+        warm_counters=warm_counters,
     )
 
 

@@ -8,6 +8,12 @@ Three table shapes cover everything the reproduction reports:
 * :func:`backend_comparison_table` — one level and run temperature,
   rows = operations, columns = backends (who wins, by what factor);
 * :func:`creation_table` — the section 5.3 creation phases.
+
+:func:`counter_table` adds the observability dimension: per-operation
+instrumentation counter deltas (buffer hits, RPC round trips, WAL
+bytes, ...) for one backend/level/temperature — the "why" next to the
+"how fast".  The :data:`~repro.obs.HEADLINE_COUNTERS` are always
+printed, even at zero, so tables from different backends align.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.harness.results import ResultSet
+from repro.obs import HEADLINE_COUNTERS
 
 
 def _format_ms(value: float) -> str:
@@ -114,6 +121,55 @@ def speedup_table(results: ResultSet, backend: str) -> str:
     return title + "\n" + _table(headers, rows)
 
 
+def _format_count(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.1f}"
+
+
+def counter_table(
+    results: ResultSet,
+    backend: str,
+    level: Optional[int] = None,
+    temperature: str = "cold",
+) -> str:
+    """Instrumentation counter deltas per operation for one backend.
+
+    Rows are counter names — the :data:`~repro.obs.HEADLINE_COUNTERS`
+    first (printed even when zero), then every other counter observed,
+    sorted.  Columns are operations; each cell is the counter's delta
+    over that operation's 50-repetition run.
+    """
+    if temperature not in ("cold", "warm"):
+        raise ValueError("temperature must be 'cold' or 'warm'")
+    subset = results.select(backend=backend, level=level)
+    op_ids = subset.op_ids
+    deltas: Dict[str, Dict[str, float]] = {}
+    for op_id in op_ids:
+        cell = subset.select(op_id=op_id)._results[0]
+        deltas[op_id] = (
+            cell.cold_counters if temperature == "cold" else cell.warm_counters
+        )
+    names: List[str] = list(HEADLINE_COUNTERS)
+    observed = sorted(
+        {name for delta in deltas.values() for name in delta}
+        - set(HEADLINE_COUNTERS)
+    )
+    names.extend(observed)
+    headers = ["counter"] + op_ids
+    rows = [
+        [name]
+        + [_format_count(deltas[op_id].get(name, 0)) for op_id in op_ids]
+        for name in names
+    ]
+    scope = f", level {level}" if level is not None else ""
+    title = (
+        f"Counters: {backend}{scope}, {temperature} run "
+        f"(delta over the repetitions)"
+    )
+    return title + "\n" + _table(headers, rows)
+
+
 def creation_table(
     phases_by_backend: Dict[str, Dict[str, float]], level: int
 ) -> str:
@@ -182,8 +238,16 @@ def delta_table(
     return title + "\n" + _table(headers, rows)
 
 
-def full_report(results: ResultSet, title: Optional[str] = None) -> str:
-    """Every operation table plus per-level comparisons, concatenated."""
+def full_report(
+    results: ResultSet,
+    title: Optional[str] = None,
+    include_counters: bool = False,
+) -> str:
+    """Every operation table plus per-level comparisons, concatenated.
+
+    With ``include_counters=True`` a cold-run :func:`counter_table` per
+    backend and level is appended (``repro bench --counters``).
+    """
     sections: List[str] = []
     if title:
         sections.append(title)
@@ -196,4 +260,9 @@ def full_report(results: ResultSet, title: Optional[str] = None) -> str:
         sections.append("")
         sections.append(backend_comparison_table(results, level, "warm"))
         sections.append("")
+    if include_counters:
+        for backend in results.backends:
+            for level in results.select(backend=backend).levels:
+                sections.append(counter_table(results, backend, level, "cold"))
+                sections.append("")
     return "\n".join(sections)

@@ -96,6 +96,17 @@ class ResultSet:
             seen.setdefault(key(result), None)
         return list(seen)
 
+    def counter_names(self) -> List[str]:
+        """Every instrumentation counter observed in any result, sorted.
+
+        Empty when the runs were made with the no-op instrumentation.
+        """
+        names = set()
+        for result in self._results:
+            names.update(result.cold_counters)
+            names.update(result.warm_counters)
+        return sorted(names)
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------

@@ -15,7 +15,7 @@ import os
 import tempfile
 from typing import Dict, List, Optional, Tuple
 
-from repro.backends.registry import create_backend
+from repro.backends.registry import create_backend, get_backend_spec
 from repro.core.config import HyperModelConfig
 from repro.core.generator import DatabaseGenerator, GeneratedDatabase
 from repro.core.interface import HyperModelDatabase
@@ -26,9 +26,7 @@ from repro.harness.protocol import (
     run_operation_sequence,
 )
 from repro.harness.results import ResultSet
-
-#: Backends that need a filesystem path.
-_FILE_BACKENDS = {"oodb", "oodb-unclustered", "sqlite-file"}
+from repro.obs import Instrumentation
 
 
 @dataclasses.dataclass
@@ -43,6 +41,10 @@ class RunnerConfig:
         seed: base seed for generation and input picking.
         workdir: where file-backed databases are created (a temporary
             directory if omitted).
+        instrumentation: a live :class:`~repro.obs.Instrumentation`
+            handle passed to every backend the runner builds, so the
+            results carry per-run counter deltas; ``None`` leaves the
+            process default (usually the no-op singleton) in charge.
     """
 
     backends: List[str] = dataclasses.field(
@@ -53,6 +55,7 @@ class RunnerConfig:
     repetitions: int = DEFAULT_REPETITIONS
     seed: int = 19880301
     workdir: Optional[str] = None
+    instrumentation: Optional[Instrumentation] = None
 
 
 @dataclasses.dataclass
@@ -91,7 +94,7 @@ class BenchmarkRunner:
     # ------------------------------------------------------------------
 
     def _backend_path(self, backend: str, level: int) -> Optional[str]:
-        if backend not in _FILE_BACKENDS:
+        if not get_backend_spec(backend).needs_path:
             return None
         suffix = "db" if backend == "sqlite-file" else "hmdb"
         return os.path.join(self._workdir, f"{backend}-L{level}.{suffix}")
@@ -105,7 +108,11 @@ class BenchmarkRunner:
         if key in self._cells:
             return self._cells[key]
         hm_config = HyperModelConfig(levels=level, seed=self.config.seed)
-        db = create_backend(backend, self._backend_path(backend, level))
+        db = create_backend(
+            backend,
+            self._backend_path(backend, level),
+            instrumentation=self.config.instrumentation,
+        )
         db.open()
         gen = DatabaseGenerator(hm_config).generate(db)
         phases: Dict[str, float] = {}
@@ -174,3 +181,10 @@ class BenchmarkRunner:
             if cell.db.is_open:
                 cell.db.close()
         self._cells.clear()
+
+    def __enter__(self) -> "BenchmarkRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

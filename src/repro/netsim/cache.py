@@ -13,6 +13,8 @@ import collections
 import dataclasses
 from typing import Any, Iterator, Optional
 
+from repro.obs import Instrumentation, resolve
+
 
 @dataclasses.dataclass
 class CacheStats:
@@ -43,20 +45,27 @@ class WorkstationCache:
     resident — the behaviour the cold/warm split is designed to show.
     """
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(
+        self,
+        capacity: int = 4096,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
         self._entries: "collections.OrderedDict[Any, Any]" = collections.OrderedDict()
         self.stats = CacheStats()
+        self._instr = resolve(instrumentation)
 
     def get(self, key: Any) -> Optional[Any]:
         """Look up a cached object, refreshing its recency."""
         if key in self._entries:
             self.stats.hits += 1
+            self._instr.count("netsim.cache.hit")
             self._entries.move_to_end(key)
             return self._entries[key]
         self.stats.misses += 1
+        self._instr.count("netsim.cache.miss")
         return None
 
     def put(self, key: Any, value: Any) -> None:
@@ -67,11 +76,13 @@ class WorkstationCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self._instr.count("netsim.cache.eviction")
 
     def invalidate(self, key: Any) -> None:
         """Drop one entry (server-side update of a checked-out object)."""
         if self._entries.pop(key, None) is not None:
             self.stats.invalidations += 1
+            self._instr.count("netsim.cache.invalidation")
 
     def clear(self) -> None:
         """Empty the cache (the section 5.3(e) cold reset)."""

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.engine import serializer
 from repro.netsim.latency import LatencyModel, SimulatedClock
+from repro.obs import Instrumentation, resolve
 from repro.errors import NodeNotFoundError
 
 #: Approximate bytes of a uid in a response payload.
@@ -56,10 +57,13 @@ class ObjectServer:
         self,
         clock: Optional[SimulatedClock] = None,
         latency: Optional[LatencyModel] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.clock = clock or SimulatedClock()
         self.latency = latency or LatencyModel()
         self.stats = ServerStats()
+        self.instrumentation = resolve(instrumentation)
+        self._instr = self.instrumentation
         self._records: Dict[int, Dict[str, Any]] = {}
         self._lists: Dict[str, List[int]] = {}
         self._subscribers: List[object] = []
@@ -96,7 +100,10 @@ class ObjectServer:
     # ------------------------------------------------------------------
 
     def _charge(self, payload_bytes: int) -> None:
-        self.clock.advance(self.latency.request_cost(payload_bytes))
+        cost = self.latency.request_cost(payload_bytes)
+        self.clock.advance(cost)
+        self._instr.count("backend.rpc.round_trips")
+        self._instr.count("netsim.latency.injected_ms", cost * 1000.0)
 
     @staticmethod
     def record_size(record: Dict[str, Any]) -> int:
@@ -134,6 +141,7 @@ class ObjectServer:
             raise NodeNotFoundError(uid)
         size = self.record_size(record)
         self.stats.bytes_sent += size
+        self._instr.count("backend.rpc.bytes_sent", size)
         self._charge(size)
         return self._isolate(record)
 
@@ -148,6 +156,7 @@ class ObjectServer:
         self.stats.stores += 1
         size = self.record_size(record)
         self.stats.bytes_received += size
+        self._instr.count("backend.rpc.bytes_received", size)
         self._charge(size)
         self._records[uid] = self._isolate(record)
         self._invalidate_subscribers(uid, except_cache=from_cache)
@@ -177,6 +186,7 @@ class ObjectServer:
         ]
         size = _PROBE_BYTES + _UID_BYTES * len(result)
         self.stats.bytes_sent += size
+        self._instr.count("backend.rpc.bytes_sent", size)
         self._charge(size)
         return result
 
@@ -190,6 +200,7 @@ class ObjectServer:
         )
         size = _PROBE_BYTES + _UID_BYTES * len(result)
         self.stats.bytes_sent += size
+        self._instr.count("backend.rpc.bytes_sent", size)
         self._charge(size)
         return result
 

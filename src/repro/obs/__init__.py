@@ -1,0 +1,57 @@
+"""Observability: counters and spans across every layer of the stack.
+
+The paper's protocol reports wall-clock milliseconds per node; this
+package answers *why* those numbers are what they are.  It has three
+parts and no dependencies beyond the standard library:
+
+* :mod:`repro.obs.counters` — a hierarchical (dot-named) counter
+  registry with snapshot/delta/reset, e.g. ``engine.buffer.hit``,
+  ``backend.rpc.round_trips``, ``netsim.latency.injected_ms``;
+* :mod:`repro.obs.spans` — ``span(name)`` context-manager tracing with
+  nesting, recorded into a fixed-capacity ring buffer;
+* :mod:`repro.obs.instrumentation` — the :class:`Instrumentation`
+  handle components receive at construction, the :data:`NO_OP`
+  disabled singleton, and the process-global default
+  (:func:`enable` / :func:`disable` / :func:`get_instrumentation`).
+
+The counter name taxonomy lives in ``docs/observability.md``; the
+headline counters every report prints are in :data:`HEADLINE_COUNTERS`.
+"""
+
+from repro.obs.counters import Counters, CounterSnapshot
+from repro.obs.instrumentation import (
+    NO_OP,
+    Instrumentation,
+    NoOpInstrumentation,
+    disable,
+    enable,
+    get_instrumentation,
+    resolve,
+    set_instrumentation,
+)
+from repro.obs.spans import SpanRecord, SpanRecorder
+
+#: Counters every per-operation report table prints even when zero,
+#: so cross-backend tables always align (a zero is information too:
+#: "the memory backend made no RPC round trips" is the point).
+HEADLINE_COUNTERS = (
+    "engine.buffer.hit",
+    "engine.buffer.miss",
+    "backend.rpc.round_trips",
+)
+
+__all__ = [
+    "Counters",
+    "CounterSnapshot",
+    "Instrumentation",
+    "NoOpInstrumentation",
+    "NO_OP",
+    "SpanRecord",
+    "SpanRecorder",
+    "HEADLINE_COUNTERS",
+    "enable",
+    "disable",
+    "get_instrumentation",
+    "set_instrumentation",
+    "resolve",
+]

@@ -1,0 +1,155 @@
+"""Hierarchical counters: the numeric half of the instrumentation layer.
+
+Counter names are dot-separated paths (``engine.buffer.hit``,
+``backend.rpc.round_trips``, ``netsim.latency.injected_ms``).  The dots
+are more than decoration: :meth:`Counters.total` rolls a whole subtree
+up (``total("engine.buffer")`` is hits + misses + evictions + ...), and
+the report tables group rows by prefix.
+
+The cold/warm protocol never wants absolute values — it wants *what a
+run did*.  That is what :class:`CounterSnapshot` is for::
+
+    before = counters.snapshot()
+    ...  # 50 cold repetitions
+    delta = counters.snapshot().delta(before)   # {"engine.buffer.miss": 312, ...}
+
+Values are plain numbers (ints for event counts, floats for accumulated
+quantities such as simulated milliseconds); increments may be negative
+only through :meth:`Counters.add`, which the engine never uses but the
+tests exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+Number = float  # ints coerce losslessly for the magnitudes involved
+
+
+class CounterSnapshot(Mapping[str, Number]):
+    """An immutable point-in-time copy of a counter registry.
+
+    Behaves as a read-only mapping from counter name to value; missing
+    names read as 0 through :meth:`get` so delta code never branches.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Optional[Mapping[str, Number]] = None) -> None:
+        self._values: Dict[str, Number] = dict(values or {})
+
+    # -- mapping protocol --------------------------------------------------
+
+    def __getitem__(self, name: str) -> Number:
+        return self._values[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def get(self, name: str, default: Number = 0) -> Number:
+        """The value of ``name``, defaulting to 0 (not None)."""
+        return self._values.get(name, default)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def delta(self, earlier: "CounterSnapshot") -> Dict[str, Number]:
+        """Per-counter change since ``earlier``; zero deltas are dropped.
+
+        Counters absent from ``earlier`` count from 0, so a counter
+        born between the two snapshots still shows its full value.
+        """
+        out: Dict[str, Number] = {}
+        for name, value in self._values.items():
+            change = value - earlier.get(name, 0)
+            if change:
+                out[name] = change
+        for name, value in earlier.items():
+            if name not in self._values and value:
+                out[name] = -value
+        return out
+
+    def total(self, prefix: str) -> Number:
+        """Sum of every counter at or under a dotted prefix."""
+        return _total(self._values, prefix)
+
+    def as_dict(self) -> Dict[str, Number]:
+        """A plain-dict copy (JSON-serializable)."""
+        return dict(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CounterSnapshot({self._values!r})"
+
+
+def _total(values: Mapping[str, Number], prefix: str) -> Number:
+    if not prefix:
+        return sum(values.values())
+    dotted = prefix + "."
+    return sum(
+        value
+        for name, value in values.items()
+        if name == prefix or name.startswith(dotted)
+    )
+
+
+class Counters:
+    """A mutable registry of named counters.
+
+    The hot-path method is :meth:`inc`; it is one dict ``get`` plus one
+    store, no locking (the engine is single-writer per store handle; the
+    multi-user layers each carry their own instrumentation object).
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: Dict[str, Number] = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def inc(self, name: str, amount: Number = 1) -> None:
+        """Increase ``name`` by ``amount`` (creating it at 0)."""
+        values = self._values
+        values[name] = values.get(name, 0) + amount
+
+    def add(self, name: str, amount: Number) -> None:
+        """Alias of :meth:`inc` for quantity-style counters (bytes, ms)."""
+        values = self._values
+        values[name] = values.get(name, 0) + amount
+
+    def reset(self) -> None:
+        """Drop every counter (the next read starts from zero)."""
+        self._values.clear()
+
+    # -- reading -----------------------------------------------------------
+
+    def get(self, name: str, default: Number = 0) -> Number:
+        """Current value of one counter."""
+        return self._values.get(name, default)
+
+    def total(self, prefix: str) -> Number:
+        """Sum of every counter at or under a dotted prefix."""
+        return _total(self._values, prefix)
+
+    def snapshot(self) -> CounterSnapshot:
+        """An immutable copy of the current values."""
+        return CounterSnapshot(self._values)
+
+    def names(self) -> Tuple[str, ...]:
+        """All counter names, sorted (stable for reports)."""
+        return tuple(sorted(self._values))
+
+    def as_dict(self) -> Dict[str, Number]:
+        """A plain-dict copy of the current values."""
+        return dict(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counters({self._values!r})"

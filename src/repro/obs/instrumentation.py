@@ -1,0 +1,158 @@
+"""The instrumentation handle: counters + spans behind one object.
+
+Every instrumentable component (buffer pool, WAL, B+tree, the backends,
+the simulated network) is handed an :class:`Instrumentation` at
+construction and calls exactly two kinds of method on it:
+
+* ``instr.count(name, n)`` — bump a counter;
+* ``with instr.span(name):`` — time a region.
+
+When measurement is off the component holds :data:`NO_OP` instead — a
+singleton whose ``count`` is an empty method and whose ``span`` returns
+a shared, stateless null context manager.  The disabled cost is one
+attribute lookup and one no-op call; the paper-protocol timings stay
+honest (the acceptance bar is < 5% on the tightest benchmark loop, and
+the engine's per-page work dwarfs that).
+
+A process-global default exists so code far from a constructor can still
+reach the active handle::
+
+    from repro import obs
+
+    instr = obs.enable()           # install a live handle globally
+    ...                            # backends built now pick it up
+    print(instr.counters.as_dict())
+    obs.disable()                  # back to the no-op singleton
+
+Constructors take ``instrumentation=None`` to mean "whatever is globally
+active right now"; passing an explicit object isolates a component (the
+benchmark runner does this so concurrent grids never share counters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.counters import Counters, CounterSnapshot, Number
+from repro.obs.spans import SpanRecorder
+
+
+class _NullSpan:
+    """A reusable, stateless context manager that does nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Instrumentation:
+    """A live measurement handle: one counter registry + one span ring."""
+
+    __slots__ = ("counters", "spans")
+
+    #: Live handles record; the no-op singleton overrides this to False.
+    enabled = True
+
+    def __init__(self, span_capacity: int = 1024) -> None:
+        self.counters = Counters()
+        self.spans = SpanRecorder(span_capacity)
+
+    # -- the two hot entry points -----------------------------------------
+
+    def count(self, name: str, amount: Number = 1) -> None:
+        """Bump a counter by ``amount``."""
+        self.counters.inc(name, amount)
+
+    def span(self, name: str):
+        """Open a timed span; use as a context manager."""
+        return self.spans.span(name)
+
+    # -- snapshots and lifecycle ------------------------------------------
+
+    def snapshot(self) -> CounterSnapshot:
+        """An immutable copy of the current counter values."""
+        return self.counters.snapshot()
+
+    def delta_since(self, earlier: CounterSnapshot) -> Dict[str, Number]:
+        """Nonzero counter changes since an earlier snapshot."""
+        return self.counters.snapshot().delta(earlier)
+
+    def reset(self) -> None:
+        """Zero the counters and drop recorded spans."""
+        self.counters.reset()
+        self.spans.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Instrumentation counters={len(self.counters)} spans={len(self.spans)}>"
+
+
+class NoOpInstrumentation(Instrumentation):
+    """The disabled handle: records nothing, costs (almost) nothing.
+
+    It still *owns* (empty, shared) ``counters``/``spans`` objects so
+    code that snapshots unconditionally keeps working; every snapshot
+    is empty and every delta is ``{}``.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(span_capacity=1)
+
+    def count(self, name: str, amount: Number = 1) -> None:
+        pass
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NoOpInstrumentation>"
+
+
+#: The process-wide disabled singleton.  Components default to this.
+NO_OP = NoOpInstrumentation()
+
+_global: Instrumentation = NO_OP
+
+
+def get_instrumentation() -> Instrumentation:
+    """The currently active process-global handle (NO_OP by default)."""
+    return _global
+
+
+def set_instrumentation(instr: Optional[Instrumentation]) -> Instrumentation:
+    """Install a handle as the process-global default.
+
+    ``None`` restores the no-op singleton.  Returns the *previous*
+    handle so callers can restore it (the tests do).
+    """
+    global _global
+    previous = _global
+    _global = instr if instr is not None else NO_OP
+    return previous
+
+
+def enable(span_capacity: int = 1024) -> Instrumentation:
+    """Install (and return) a fresh live handle as the global default."""
+    instr = Instrumentation(span_capacity=span_capacity)
+    set_instrumentation(instr)
+    return instr
+
+
+def disable() -> None:
+    """Restore the no-op singleton as the global default."""
+    set_instrumentation(NO_OP)
+
+
+def resolve(instr: Optional[Instrumentation]) -> Instrumentation:
+    """The handle a constructor should keep: explicit, or the global."""
+    return instr if instr is not None else _global

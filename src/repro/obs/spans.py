@@ -1,0 +1,151 @@
+"""Span tracing: the temporal half of the instrumentation layer.
+
+A *span* is one named, timed region of execution.  Spans nest — opening
+a span inside another records the parent — and completed spans land in
+a fixed-capacity ring buffer, so tracing a million-operation benchmark
+run costs bounded memory and the buffer always holds the most recent
+activity (the part a post-mortem cares about).
+
+Usage::
+
+    with instr.span("commit"):
+        with instr.span("wal.sync"):
+            ...
+
+    for record in instr.spans.records():
+        print("  " * record.depth, record.name, record.duration_ms)
+
+Timing uses ``time.perf_counter``; a span's ``duration_ms`` therefore
+measures wall clock, not simulated network time — the counters carry
+the virtual-clock side (``netsim.latency.injected_ms``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Iterator, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanRecord:
+    """One completed span."""
+
+    #: Dotted span name (taxonomy mirrors the counter names).
+    name: str
+    #: ``perf_counter`` value at entry.
+    start: float
+    #: ``perf_counter`` value at exit.
+    end: float
+    #: Nesting depth at entry (0 = top level).
+    depth: int
+    #: Sequence number of the enclosing span, or None at top level.
+    parent: Optional[int]
+    #: Monotonic sequence number (orders records across ring wraps).
+    sequence: int
+
+    @property
+    def duration_seconds(self) -> float:
+        """Elapsed wall time inside the span."""
+        return self.end - self.start
+
+    @property
+    def duration_ms(self) -> float:
+        """Elapsed wall time in milliseconds."""
+        return (self.end - self.start) * 1000.0
+
+
+class _ActiveSpan:
+    """Context manager for one open span (internal)."""
+
+    __slots__ = ("_recorder", "_name", "_start", "_parent", "_sequence")
+
+    def __init__(self, recorder: "SpanRecorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+
+    def __enter__(self) -> "_ActiveSpan":
+        recorder = self._recorder
+        self._parent = recorder._stack[-1] if recorder._stack else None
+        self._sequence = recorder._next_sequence
+        recorder._next_sequence += 1
+        recorder._stack.append(self._sequence)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        recorder = self._recorder
+        depth = len(recorder._stack) - 1
+        recorder._stack.pop()
+        recorder._record(
+            SpanRecord(
+                name=self._name,
+                start=self._start,
+                end=end,
+                depth=depth,
+                parent=self._parent,
+                sequence=self._sequence,
+            )
+        )
+        return False
+
+
+class SpanRecorder:
+    """A ring buffer of completed spans plus the open-span stack.
+
+    ``capacity`` bounds retained *completed* spans; once full, the
+    oldest record is overwritten (classic flight-recorder semantics).
+    Records are emitted at span *exit*, so nested spans appear after
+    their children but carry ``depth``/``parent`` for reconstruction;
+    :meth:`records` returns them re-sorted by entry order.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("span ring capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: List[Optional[SpanRecord]] = [None] * capacity
+        self._cursor = 0
+        self._count = 0
+        self._stack: List[int] = []
+        self._next_sequence = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str) -> _ActiveSpan:
+        """Open a span; use as a context manager."""
+        return _ActiveSpan(self, name)
+
+    def _record(self, record: SpanRecord) -> None:
+        self._ring[self._cursor] = record
+        self._cursor = (self._cursor + 1) % self.capacity
+        if self._count < self.capacity:
+            self._count += 1
+
+    # -- reading -----------------------------------------------------------
+
+    def records(self) -> List[SpanRecord]:
+        """Retained spans, oldest first, ordered by entry sequence."""
+        if self._count < self.capacity:
+            kept = [r for r in self._ring[: self._count] if r is not None]
+        else:
+            kept = [r for r in self._ring if r is not None]
+        return sorted(kept, key=lambda r: r.sequence)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[SpanRecord]:
+        return iter(self.records())
+
+    @property
+    def open_depth(self) -> int:
+        """How many spans are currently open (0 when quiescent)."""
+        return len(self._stack)
+
+    def clear(self) -> None:
+        """Drop all completed spans (open spans are unaffected)."""
+        self._ring = [None] * self.capacity
+        self._cursor = 0
+        self._count = 0

@@ -5,16 +5,24 @@ These tests run parametrized over all four backends (see the
 full contract for free.
 """
 
+import os
 import random
 
 import pytest
 
+from repro.backends import available_backends, create_backend
 from repro.core.bitmap import Bitmap
 from repro.core.model import LinkAttributes, NodeData, NodeKind
 from repro.core.verification import verify_database
 from repro.errors import (
     InvalidOperationError,
     NodeNotFoundError,
+)
+from repro.obs import (
+    NO_OP,
+    Instrumentation,
+    get_instrumentation,
+    set_instrumentation,
 )
 
 
@@ -221,3 +229,122 @@ class TestFullStructure:
         db.close()
         db.open()
         verify_database(db, gen, content_sample=5).raise_if_failed()
+
+
+class TestContextManager:
+    def test_with_block_opens_and_closes(self, any_backend_name, tmp_path):
+        db = _registry_backend(any_backend_name, tmp_path)
+        assert not db.is_open
+        with db as entered:
+            assert entered is db
+            assert db.is_open
+            db.create_node(_node(1))
+            db.commit()
+        assert not db.is_open
+
+    def test_exception_aborts_and_closes(self, any_backend_name, tmp_path):
+        db = _registry_backend(any_backend_name, tmp_path)
+        with pytest.raises(RuntimeError):
+            with db:
+                db.create_node(_node(1))
+                raise RuntimeError("boom")
+        assert not db.is_open
+        if any_backend_name == "memory":
+            return  # the in-process object graph has no rollback to observe
+        # The open-create-raise block must not have committed node 1.
+        with db:
+            with pytest.raises(NodeNotFoundError):
+                db.lookup(1)
+
+
+def _registry_backend(name, tmp_path, **options):
+    path = None
+    if name in ("oodb", "oodb-unclustered"):
+        path = os.path.join(str(tmp_path), f"{name}.hmdb")
+    elif name == "sqlite-file":
+        path = os.path.join(str(tmp_path), "conf.sqlite")
+    return create_backend(name, path, **options)
+
+
+@pytest.fixture(params=sorted(set(["memory", "sqlite", "sqlite-file",
+                                   "oodb", "oodb-unclustered",
+                                   "clientserver"])))
+def any_backend_name(request):
+    assert request.param in available_backends()
+    return request.param
+
+
+def _tiny_workload(db):
+    """A few nodes, relationships, content and a commit — every counter
+    family a backend emits fires at least once somewhere in here."""
+    a = db.create_node(_node(1))
+    b = db.create_node(_node(2, kind=NodeKind.TEXT, text="version1 x"))
+    db.add_child(a, b)
+    db.commit()
+    assert db.get_attribute(db.lookup(1), "uniqueId") == 1
+    assert "version1" in db.get_text(db.lookup(2))
+    db.range_hundred(1, 10)
+    db.scan_ten()
+
+
+class TestInstrumentedConformance:
+    """Every backend works with a live handle AND the no-op singleton."""
+
+    def test_explicit_instrumentation_records(self, any_backend_name, tmp_path):
+        instr = Instrumentation()
+        with _registry_backend(
+            any_backend_name, tmp_path, instrumentation=instr
+        ) as db:
+            assert db.instrumentation is instr
+            _tiny_workload(db)
+        assert instr.counters.total("") > 0, (
+            f"{any_backend_name}: expected some counter activity"
+        )
+
+    def test_noop_instrumentation_stays_silent(self, any_backend_name, tmp_path):
+        with _registry_backend(
+            any_backend_name, tmp_path, instrumentation=NO_OP
+        ) as db:
+            assert db.instrumentation is NO_OP
+            _tiny_workload(db)
+        assert len(NO_OP.counters) == 0
+        assert len(NO_OP.spans) == 0
+
+    def test_default_resolves_to_the_global_handle(
+        self, any_backend_name, tmp_path
+    ):
+        live = Instrumentation()
+        previous = set_instrumentation(live)
+        try:
+            with _registry_backend(any_backend_name, tmp_path) as db:
+                assert db.instrumentation is live
+                _tiny_workload(db)
+        finally:
+            set_instrumentation(previous)
+        assert live.counters.total("") > 0
+
+    def test_default_without_global_is_the_noop(
+        self, any_backend_name, tmp_path
+    ):
+        assert get_instrumentation() is NO_OP  # the suite never leaks one
+        with _registry_backend(any_backend_name, tmp_path) as db:
+            assert db.instrumentation is NO_OP
+            _tiny_workload(db)
+
+    def test_expected_counter_families(self, any_backend_name, tmp_path):
+        """Each backend emits the counter family its docs promise."""
+        instr = Instrumentation()
+        with _registry_backend(
+            any_backend_name, tmp_path, instrumentation=instr
+        ) as db:
+            _tiny_workload(db)
+        counters = instr.counters
+        if any_backend_name in ("memory", "sqlite", "sqlite-file"):
+            assert counters.total("backend.op") > 0
+        if any_backend_name in ("oodb", "oodb-unclustered"):
+            assert counters.total("engine.buffer") > 0
+            assert counters.total("engine.wal") > 0
+            assert counters.get("engine.store.commits") >= 1
+        if any_backend_name == "clientserver":
+            assert counters.get("backend.rpc.round_trips") > 0
+            assert counters.total("netsim.cache") > 0

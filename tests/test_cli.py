@@ -60,6 +60,63 @@ class TestRun:
         assert len(ResultSet.load(save)) == 2
 
 
+class TestBench:
+    def test_counters_prints_headline_counter_table(self, capsys):
+        code = main(
+            [
+                "bench",
+                "--backends", "memory",
+                "--levels", "2",
+                "--ops", "01,09",
+                "--repetitions", "2",
+                "--counters",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Counters: memory" in out
+        # The headline rows print even when zero on this backend.
+        assert "engine.buffer.hit" in out
+        assert "engine.buffer.miss" in out
+        assert "backend.rpc.round_trips" in out
+        # The memory backend's coarse call counters are nonzero.
+        assert "backend.op.reads" in out
+
+    def test_clientserver_round_trips_are_nonzero(self, capsys):
+        code = main(
+            [
+                "bench",
+                "--backends", "clientserver",
+                "--levels", "2",
+                "--ops", "01",
+                "--repetitions", "2",
+                "--counters",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        table = out[out.index("Counters: clientserver"):]
+        rpc_row = next(
+            line for line in table.splitlines()
+            if "backend.rpc.round_trips" in line
+        )
+        values = [tok for tok in rpc_row.split() if tok.replace(".", "").isdigit()]
+        assert any(float(v) > 0 for v in values)
+
+    def test_without_counters_prints_no_counter_tables(self, capsys):
+        code = main(
+            [
+                "bench",
+                "--backends", "memory",
+                "--levels", "2",
+                "--ops", "01",
+                "--repetitions", "2",
+            ]
+        )
+        assert code == 0
+        assert "Counters:" not in capsys.readouterr().out
+
+
 class TestQuery:
     def test_query_with_index_plan(self, capsys):
         code = main(

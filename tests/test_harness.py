@@ -133,6 +133,86 @@ class TestProtocol:
         assert result.warm.mean < result.cold.mean
 
 
+class TestCounterCapture:
+    """ColdWarmResult carries per-run counter deltas when instrumented."""
+
+    def _populated_memory(self, instr):
+        from repro.backends.memory import MemoryDatabase
+        from repro.core.config import HyperModelConfig
+        from repro.core.generator import DatabaseGenerator
+        from repro.obs import Instrumentation
+
+        db = MemoryDatabase(instrumentation=instr)
+        db.open()
+        gen = DatabaseGenerator(HyperModelConfig(levels=2, seed=8)).generate(db)
+        db.commit()
+        return db, gen
+
+    def test_instrumented_run_captures_cold_and_warm_deltas(self):
+        from repro.obs import Instrumentation
+
+        instr = Instrumentation()
+        db, gen = self._populated_memory(instr)
+        result = run_operation_sequence(db, CATALOG.get("01"), gen,
+                                        repetitions=4, seed=5)
+        assert result.cold_counters.get("backend.op.reads", 0) > 0
+        assert result.warm_counters.get("backend.op.reads", 0) > 0
+        # Deltas are per-pass, not cumulative: cold ~= warm for memory.
+        assert result.cold_counters["backend.op.reads"] == pytest.approx(
+            result.warm_counters["backend.op.reads"], rel=0.5
+        )
+
+    def test_uninstrumented_run_captures_nothing(self):
+        from repro.obs import NO_OP
+
+        db, gen = self._populated_memory(NO_OP)
+        result = run_operation_sequence(db, CATALOG.get("01"), gen,
+                                        repetitions=3, seed=5)
+        assert result.cold_counters == {}
+        assert result.warm_counters == {}
+
+    def test_dict_roundtrip_preserves_counters(self):
+        from repro.harness.protocol import ColdWarmResult
+        from repro.obs import Instrumentation
+
+        db, gen = self._populated_memory(Instrumentation())
+        result = run_operation_sequence(db, CATALOG.get("09"), gen,
+                                        repetitions=2, seed=5)
+        clone = ColdWarmResult.from_dict(result.to_dict())
+        assert clone.cold_counters == result.cold_counters
+        assert clone == result
+
+    def test_from_dict_tolerates_pre_counter_payloads(self):
+        from repro.harness.protocol import ColdWarmResult
+
+        db, gen = self._populated_memory(None)
+        result = run_operation_sequence(db, CATALOG.get("01"), gen,
+                                        repetitions=2, seed=5)
+        raw = result.to_dict()
+        raw.pop("cold_counters")
+        raw.pop("warm_counters")
+        clone = ColdWarmResult.from_dict(raw)
+        assert clone.cold_counters == {}
+        assert clone.warm_counters == {}
+
+    def test_counter_table_renders_headline_rows(self, tmp_path):
+        from repro.harness.report import counter_table
+        from repro.obs import Instrumentation
+
+        config = RunnerConfig(
+            backends=["memory"], levels=[2], op_ids=["01", "09"],
+            repetitions=2, workdir=str(tmp_path),
+            instrumentation=Instrumentation(),
+        )
+        with BenchmarkRunner(config) as runner:
+            results, _ = runner.run()
+        table = counter_table(results, "memory", level=2, temperature="cold")
+        assert "engine.buffer.hit" in table    # headline even at zero
+        assert "backend.rpc.round_trips" in table
+        assert "backend.op.reads" in table     # observed and nonzero
+        assert sorted(results.counter_names())
+
+
 class TestRunner:
     @pytest.fixture(scope="class")
     def grid(self, tmp_path_factory):

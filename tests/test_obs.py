@@ -1,0 +1,251 @@
+"""The instrumentation subsystem: counters, spans, the global handle.
+
+Three layers under test:
+
+* counter arithmetic (inc/add/total/snapshot/delta);
+* span nesting and the ring buffer's flight-recorder semantics;
+* the :class:`Instrumentation` handle, the no-op singleton and the
+  process-global default (enable/disable/resolve).
+"""
+
+import pytest
+
+from repro.obs import (
+    HEADLINE_COUNTERS,
+    NO_OP,
+    Counters,
+    CounterSnapshot,
+    Instrumentation,
+    NoOpInstrumentation,
+    SpanRecorder,
+    disable,
+    enable,
+    get_instrumentation,
+    resolve,
+    set_instrumentation,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_global():
+    """Every test leaves the process-global handle as it found it."""
+    previous = get_instrumentation()
+    yield
+    set_instrumentation(previous)
+
+
+class TestCounters:
+    def test_inc_defaults_to_one_and_accumulates(self):
+        counters = Counters()
+        counters.inc("engine.buffer.hit")
+        counters.inc("engine.buffer.hit")
+        counters.inc("engine.buffer.hit", 3)
+        assert counters.get("engine.buffer.hit") == 5
+
+    def test_missing_counter_reads_zero(self):
+        assert Counters().get("never.touched") == 0
+
+    def test_add_accepts_floats_and_negatives(self):
+        counters = Counters()
+        counters.add("netsim.latency.injected_ms", 1.5)
+        counters.add("netsim.latency.injected_ms", 2.25)
+        counters.add("netsim.latency.injected_ms", -0.75)
+        assert counters.get("netsim.latency.injected_ms") == 3.0
+
+    def test_total_rolls_up_a_dotted_subtree(self):
+        counters = Counters()
+        counters.inc("engine.buffer.hit", 7)
+        counters.inc("engine.buffer.miss", 2)
+        counters.inc("engine.wal.bytes", 100)
+        counters.inc("backend.rpc.round_trips", 5)
+        assert counters.total("engine.buffer") == 9
+        assert counters.total("engine") == 109
+        assert counters.total("") == 114
+
+    def test_total_does_not_match_name_prefixes_without_a_dot(self):
+        counters = Counters()
+        counters.inc("engine.buffer.hit")
+        counters.inc("engine.bufferpool.hit")  # not under engine.buffer
+        assert counters.total("engine.buffer") == 1
+
+    def test_names_are_sorted_and_len_contains_work(self):
+        counters = Counters()
+        counters.inc("b.two")
+        counters.inc("a.one")
+        assert counters.names() == ("a.one", "b.two")
+        assert len(counters) == 2
+        assert "a.one" in counters
+        assert "c.three" not in counters
+
+    def test_reset_drops_everything(self):
+        counters = Counters()
+        counters.inc("x", 9)
+        counters.reset()
+        assert len(counters) == 0
+        assert counters.get("x") == 0
+
+
+class TestSnapshots:
+    def test_snapshot_is_an_immutable_copy(self):
+        counters = Counters()
+        counters.inc("engine.buffer.hit", 4)
+        snap = counters.snapshot()
+        counters.inc("engine.buffer.hit", 10)
+        assert snap["engine.buffer.hit"] == 4
+        assert snap.get("absent") == 0
+        assert dict(snap) == {"engine.buffer.hit": 4}
+        assert len(snap) == 1
+
+    def test_delta_reports_nonzero_changes_only(self):
+        counters = Counters()
+        counters.inc("a", 1)
+        counters.inc("b", 5)
+        before = counters.snapshot()
+        counters.inc("a", 2)  # changed
+        counters.inc("c", 7)  # born after the snapshot
+        # b untouched -> must be absent from the delta
+        delta = counters.snapshot().delta(before)
+        assert delta == {"a": 2, "c": 7}
+
+    def test_delta_after_reset_shows_negative_changes(self):
+        counters = Counters()
+        counters.inc("a", 3)
+        before = counters.snapshot()
+        counters.reset()
+        assert counters.snapshot().delta(before) == {"a": -3}
+
+    def test_snapshot_total_and_as_dict(self):
+        snap = CounterSnapshot({"engine.wal.bytes": 64, "engine.wal.syncs": 2})
+        assert snap.total("engine.wal") == 66
+        assert snap.as_dict() == {"engine.wal.bytes": 64, "engine.wal.syncs": 2}
+
+
+class TestSpans:
+    def test_nesting_records_depth_and_parent(self):
+        recorder = SpanRecorder(capacity=16)
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        records = recorder.records()
+        assert [r.name for r in records] == ["outer", "inner"]
+        outer, inner = records
+        assert outer.depth == 0 and outer.parent is None
+        assert inner.depth == 1 and inner.parent == outer.sequence
+        assert inner.duration_ms >= 0
+        assert outer.duration_seconds >= inner.duration_seconds
+
+    def test_records_are_entry_ordered_despite_exit_order(self):
+        recorder = SpanRecorder(capacity=16)
+        with recorder.span("a"):
+            with recorder.span("b"):
+                pass
+            with recorder.span("c"):
+                pass
+        assert [r.name for r in recorder.records()] == ["a", "b", "c"]
+
+    def test_ring_buffer_keeps_the_most_recent_spans(self):
+        recorder = SpanRecorder(capacity=3)
+        for index in range(7):
+            with recorder.span(f"span-{index}"):
+                pass
+        assert len(recorder) == 3
+        assert [r.name for r in recorder.records()] == [
+            "span-4", "span-5", "span-6",
+        ]
+
+    def test_open_depth_and_clear(self):
+        recorder = SpanRecorder(capacity=4)
+        assert recorder.open_depth == 0
+        with recorder.span("open"):
+            assert recorder.open_depth == 1
+        assert recorder.open_depth == 0
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_exception_inside_a_span_still_records_it(self):
+        recorder = SpanRecorder(capacity=4)
+        with pytest.raises(RuntimeError):
+            with recorder.span("doomed"):
+                raise RuntimeError("boom")
+        assert [r.name for r in recorder.records()] == ["doomed"]
+        assert recorder.open_depth == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(capacity=0)
+
+
+class TestInstrumentationHandle:
+    def test_count_and_span_are_wired_through(self):
+        instr = Instrumentation(span_capacity=8)
+        instr.count("engine.buffer.hit")
+        instr.count("engine.wal.bytes", 512)
+        with instr.span("store.commit"):
+            pass
+        assert instr.counters.get("engine.buffer.hit") == 1
+        assert instr.counters.get("engine.wal.bytes") == 512
+        assert [r.name for r in instr.spans.records()] == ["store.commit"]
+        assert instr.enabled
+
+    def test_snapshot_delta_since_and_reset(self):
+        instr = Instrumentation()
+        instr.count("a", 2)
+        before = instr.snapshot()
+        instr.count("a", 3)
+        assert instr.delta_since(before) == {"a": 3}
+        instr.reset()
+        assert instr.snapshot().as_dict() == {}
+        assert len(instr.spans) == 0
+
+    def test_noop_records_nothing(self):
+        NO_OP.count("engine.buffer.hit", 1000)
+        with NO_OP.span("anything"):
+            NO_OP.count("nested", 1)
+        assert not NO_OP.enabled
+        assert NO_OP.snapshot().as_dict() == {}
+        assert len(NO_OP.spans) == 0
+
+    def test_noop_span_is_a_shared_stateless_object(self):
+        # The disabled hot path must not allocate per call.
+        assert NO_OP.span("a") is NO_OP.span("b")
+
+    def test_noop_is_an_instrumentation(self):
+        # Components type against Instrumentation; NO_OP must satisfy it.
+        assert isinstance(NO_OP, Instrumentation)
+        assert isinstance(NO_OP, NoOpInstrumentation)
+
+
+class TestGlobalHandle:
+    def test_default_is_the_noop_singleton(self):
+        disable()
+        assert get_instrumentation() is NO_OP
+
+    def test_enable_installs_a_live_handle_and_disable_restores(self):
+        live = enable(span_capacity=4)
+        assert get_instrumentation() is live
+        assert live.enabled
+        disable()
+        assert get_instrumentation() is NO_OP
+
+    def test_set_instrumentation_returns_the_previous_handle(self):
+        disable()
+        mine = Instrumentation()
+        previous = set_instrumentation(mine)
+        assert previous is NO_OP
+        assert set_instrumentation(None) is mine
+        assert get_instrumentation() is NO_OP
+
+    def test_resolve_prefers_the_explicit_handle(self):
+        explicit = Instrumentation()
+        globally = enable()
+        assert resolve(explicit) is explicit
+        assert resolve(None) is globally
+        disable()
+        assert resolve(None) is NO_OP
+
+
+class TestHeadlineCounters:
+    def test_headline_counters_cover_the_acceptance_names(self):
+        assert "engine.buffer.hit" in HEADLINE_COUNTERS
+        assert "engine.buffer.miss" in HEADLINE_COUNTERS
+        assert "backend.rpc.round_trips" in HEADLINE_COUNTERS

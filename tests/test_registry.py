@@ -1,10 +1,20 @@
 """The backend registry and the shared exception hierarchy."""
 
 import os
+import warnings
 
 import pytest
 
-from repro.backends import available_backends, create_backend
+from repro.backends import (
+    BackendSpec,
+    available_backends,
+    backend_specs,
+    create_backend,
+    get_backend_spec,
+    register_backend,
+    unregister_backend,
+)
+from repro.backends.memory import MemoryDatabase
 from repro.core.interface import HyperModelDatabase
 from repro.errors import (
     AccessDeniedError,
@@ -50,13 +60,120 @@ class TestRegistry:
             create_backend(name, None)
 
     def test_unclustered_variant_disables_policy(self, tmp_path):
-        db = create_backend(
+        with create_backend(
             "oodb-unclustered", os.path.join(str(tmp_path), "u.hmdb")
-        )
-        db.open()
-        assert db.backend_name == "oodb-unclustered"
-        assert not db.store.clustering.enabled
-        db.close()
+        ) as db:
+            assert db.backend_name == "oodb-unclustered"
+            assert not db.store.clustering.enabled
+
+
+class TestRegistration:
+    """The public register_backend / BackendSpec surface."""
+
+    def _spy_factory(self, calls):
+        def factory(path, **options):
+            calls.append((path, options))
+            return MemoryDatabase()
+        return factory
+
+    def test_register_and_create_roundtrip(self):
+        calls = []
+        try:
+            spec = register_backend(
+                "test-backend",
+                self._spy_factory(calls),
+                description="registry test double",
+            )
+            assert isinstance(spec, BackendSpec)
+            assert "test-backend" in available_backends()
+            assert get_backend_spec("test-backend") is spec
+            assert spec in backend_specs()
+            db = create_backend("test-backend", cache_pages=32)
+            assert isinstance(db, HyperModelDatabase)
+            assert calls == [(None, {"cache_pages": 32})]
+        finally:
+            unregister_backend("test-backend")
+        assert "test-backend" not in available_backends()
+
+    def test_duplicate_registration_rejected_without_replace(self):
+        try:
+            register_backend("test-dup", self._spy_factory([]))
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_backend("test-dup", self._spy_factory([]))
+            # replace=True overwrites cleanly.
+            replaced = register_backend(
+                "test-dup", self._spy_factory([]), replace=True
+            )
+            assert get_backend_spec("test-dup") is replaced
+        finally:
+            unregister_backend("test-dup")
+
+    def test_default_options_merge_under_caller_options(self):
+        calls = []
+        try:
+            register_backend(
+                "test-opts",
+                self._spy_factory(calls),
+                default_options={"clustered": False, "cache_pages": 8},
+            )
+            create_backend("test-opts", cache_pages=64)
+            assert calls == [(None, {"clustered": False, "cache_pages": 64})]
+        finally:
+            unregister_backend("test-opts")
+
+    def test_needs_path_enforced_at_create_time(self):
+        try:
+            register_backend(
+                "test-file", self._spy_factory([]), needs_path=True
+            )
+            with pytest.raises(ConfigurationError, match="requires a path"):
+                create_backend("test-file")
+        finally:
+            unregister_backend("test-file")
+
+    def test_spec_is_immutable(self):
+        spec = get_backend_spec("memory")
+        with pytest.raises(Exception):
+            spec.name = "other"
+
+    def test_unknown_spec_lookup_names_the_alternatives(self):
+        with pytest.raises(ConfigurationError, match="available:"):
+            get_backend_spec("dbase-iii")
+
+    def test_instrumentation_option_reaches_the_backend(self):
+        from repro.obs import Instrumentation
+
+        instr = Instrumentation()
+        db = create_backend("memory", instrumentation=instr)
+        assert db.instrumentation is instr
+
+
+class TestDeprecatedFactories:
+    def test_dict_access_warns_but_still_builds(self):
+        from repro.backends.registry import _FACTORIES
+
+        with pytest.warns(DeprecationWarning, match="_FACTORIES"):
+            factory = _FACTORIES["memory"]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # the returned factory is clean
+            db = factory()
+        assert isinstance(db, HyperModelDatabase)
+
+    def test_iteration_and_len_warn(self):
+        from repro.backends.registry import _FACTORIES
+
+        with pytest.warns(DeprecationWarning):
+            names = list(_FACTORIES)
+        assert "memory" in names
+        with pytest.warns(DeprecationWarning):
+            assert len(_FACTORIES) == len(available_backends())
+
+    def test_unknown_name_raises_key_error(self):
+        from repro.backends.registry import _FACTORIES
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError):
+                _FACTORIES["dbase-iii"]
 
 
 class TestErrorHierarchy:
