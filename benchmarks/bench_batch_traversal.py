@@ -1,0 +1,86 @@
+"""T-BATCH — frontier-BFS closures over the batched navigation API.
+
+Companion to ``hypermodel bench-closure`` (which writes
+``BENCH_closure.json``): the same traversals, driven by
+pytest-benchmark for interactive exploration.  Two angles:
+
+* whole-structure closures from the *root* (the deepest traversal the
+  database offers — the case the batch layer was built for), and
+* the raw batch verb against its per-item equivalent on a full
+  frontier, so the per-call overhead collapse is measured in
+  isolation from traversal logic.
+
+Expected shape: on the client/server backend the root closure costs
+O(depth) round trips instead of O(nodes), so its simulated-latency
+share collapses by roughly the tree fan-out per level; on the paged
+backend the clustering-aware ``get_many`` turns per-object faults
+into sequential page prefetches.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_driver
+from repro.core.interface import HyperModelDatabase
+from repro.core.operations import Operations
+
+
+def _root(cell):
+    return cell.db.lookup(cell.gen.root_uid)
+
+
+def _ops(cell):
+    return Operations(cell.db, cell.gen.config)
+
+
+@pytest.mark.benchmark(group="op10 closure1N (root, batched)")
+def test_op10_root_closure_batched(benchmark, cell):
+    if not cell.db.is_open:
+        cell.db.open()
+    ops = _ops(cell)
+    root = _root(cell)
+    benchmark.extra_info["backend"] = cell.backend_name
+    result = benchmark(lambda: ops.closure_1n(root))
+    assert len(result) == cell.gen.total_nodes
+
+
+@pytest.mark.benchmark(group="op11 closure1NAttSum (root, batched)")
+def test_op11_root_attsum_batched(benchmark, cell):
+    if not cell.db.is_open:
+        cell.db.open()
+    ops = _ops(cell)
+    root = _root(cell)
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark(lambda: ops.closure_1n_att_sum(root))
+
+
+@pytest.mark.benchmark(group="op10 closure1N (level-3 start)")
+def test_op10_level3_closure(benchmark, cell):
+    driver = make_driver(cell, "10")
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark(driver)
+
+
+@pytest.mark.benchmark(group="children_many vs per-item children")
+def test_children_many_full_frontier(benchmark, cell):
+    if not cell.db.is_open:
+        cell.db.open()
+    db = cell.db
+    refs = list(db.iter_nodes(cell.gen.structure_id))
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark.extra_info["frontier"] = len(refs)
+    result = benchmark(lambda: db.children_many(refs))
+    assert len(result) == len(refs)
+
+
+@pytest.mark.benchmark(group="children_many vs per-item children")
+def test_children_per_item_full_frontier(benchmark, cell):
+    if not cell.db.is_open:
+        cell.db.open()
+    db = cell.db
+    refs = list(db.iter_nodes(cell.gen.structure_id))
+    benchmark.extra_info["backend"] = cell.backend_name
+    benchmark.extra_info["frontier"] = len(refs)
+    result = benchmark(
+        lambda: HyperModelDatabase.children_many(db, refs)
+    )
+    assert len(result) == len(refs)

@@ -180,6 +180,37 @@ class ClientServerDatabase(HyperModelDatabase):
         self.cache.put(uid, record)
         return record
 
+    def _fetch_many(self, uids: Sequence[int]) -> Dict[int, Dict[str, Any]]:
+        """Read a batch of records with **at most one** round trip.
+
+        Resolution order matches :meth:`_fetch` per uid — write buffer,
+        then workstation cache, then the network — but the network leg
+        collapses to a single batch RPC carrying only the refs the
+        first two layers missed (a partial cache hit ships the misses
+        alone, see :meth:`WorkstationCache.get_many`).
+        """
+        records: Dict[int, Dict[str, Any]] = {}
+        remaining: list = []
+        seen = set()
+        for uid in uids:
+            if uid in seen:
+                continue
+            seen.add(uid)
+            local = self._local.get(uid)
+            if local is not None:
+                records[uid] = local
+            else:
+                remaining.append(uid)
+        if remaining:
+            found, missing = self.cache.get_many(remaining)
+            records.update(found)
+            if missing:
+                fetched = self.server.fetch_many(missing)  # one round trip
+                for uid, record in fetched.items():
+                    self.cache.put(uid, record)
+                records.update(fetched)
+        return records
+
     def _fetch_for_write(self, uid: int) -> Dict[str, Any]:
         """Read a record and move a private copy into the write buffer."""
         record = self._local.get(uid)
@@ -297,6 +328,58 @@ class ClientServerDatabase(HyperModelDatabase):
             (dst, LinkAttributes(offset_from, offset_to))
             for dst, offset_from, offset_to in self._fetch(ref)["refTo"]
         ]
+
+    # -- batched navigation ----------------------------------------------------
+
+    def _count_batch(self, refs: Sequence[NodeRef]) -> None:
+        self.instrumentation.count("backend.batch.calls")
+        self.instrumentation.count("backend.batch.items", len(refs))
+
+    def children_many(self, refs: Sequence[NodeRef]) -> List[List[NodeRef]]:
+        self._require_open()
+        if not refs:
+            return []
+        self._count_batch(refs)
+        records = self._fetch_many(refs)
+        return [list(records[ref]["children"]) for ref in refs]
+
+    def parts_many(self, refs: Sequence[NodeRef]) -> List[List[NodeRef]]:
+        self._require_open()
+        if not refs:
+            return []
+        self._count_batch(refs)
+        records = self._fetch_many(refs)
+        return [list(records[ref]["parts"]) for ref in refs]
+
+    def refs_to_many(
+        self, refs: Sequence[NodeRef]
+    ) -> List[List[Tuple[NodeRef, LinkAttributes]]]:
+        self._require_open()
+        if not refs:
+            return []
+        self._count_batch(refs)
+        records = self._fetch_many(refs)
+        return [
+            [
+                (dst, LinkAttributes(offset_from, offset_to))
+                for dst, offset_from, offset_to in records[ref]["refTo"]
+            ]
+            for ref in refs
+        ]
+
+    def get_attributes_many(
+        self, refs: Sequence[NodeRef], name: str
+    ) -> List[int]:
+        self._require_open()
+        if name == "uniqueId":
+            name = "uid"
+        elif name not in ("ten", "hundred", "million"):
+            raise KeyError(f"unknown node attribute {name!r}")
+        if not refs:
+            return []
+        self._count_batch(refs)
+        records = self._fetch_many(refs)
+        return [records[ref][name] for ref in refs]
 
     # -- inverse traversal ---------------------------------------------------
 

@@ -219,6 +219,48 @@ class MemoryDatabase(HyperModelDatabase):
         self._instr.count("backend.op.reads")
         return list(self._node(ref).refs_to)
 
+    # -- batched navigation ---------------------------------------------------
+
+    def _batch(self, refs: Sequence[NodeRef]) -> List[_MemoryNode]:
+        """Validate a frontier and account for the batch call."""
+        nodes = [self._node(ref) for ref in refs]
+        self._instr.count("backend.batch.calls")
+        self._instr.count("backend.batch.items", len(nodes))
+        self._instr.count("backend.op.reads")
+        return nodes
+
+    def children_many(self, refs: Sequence[NodeRef]) -> List[List[NodeRef]]:
+        self._require_open()
+        if not refs:
+            return []
+        return [list(n.children) for n in self._batch(refs)]
+
+    def parts_many(self, refs: Sequence[NodeRef]) -> List[List[NodeRef]]:
+        self._require_open()
+        if not refs:
+            return []
+        return [list(n.parts) for n in self._batch(refs)]
+
+    def refs_to_many(
+        self, refs: Sequence[NodeRef]
+    ) -> List[List[Tuple[NodeRef, LinkAttributes]]]:
+        self._require_open()
+        if not refs:
+            return []
+        return [list(n.refs_to) for n in self._batch(refs)]
+
+    def get_attributes_many(
+        self, refs: Sequence[NodeRef], name: str
+    ) -> List[int]:
+        self._require_open()
+        if not refs:
+            return []
+        if name == "uniqueId":
+            name = "unique_id"
+        elif name not in ("ten", "hundred", "million"):
+            raise KeyError(f"unknown node attribute {name!r}")
+        return [getattr(n, name) for n in self._batch(refs)]
+
     # -- inverse traversal ------------------------------------------------------
 
     def parent(self, ref: NodeRef) -> Optional[NodeRef]:

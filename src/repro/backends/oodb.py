@@ -261,6 +261,58 @@ class OodbDatabase(HyperModelDatabase):
             for target, offset_from, offset_to in self._get(ref)["refTo"]
         ]
 
+    # -- batched navigation ----------------------------------------------------
+
+    def _get_many(self, refs: Sequence[NodeRef]) -> dict:
+        """Batch state fetch keyed by oid, clustering-aware.
+
+        Delegates to :meth:`ObjectStore.get_many`, which sorts the oids
+        by heap page and prefetches the page set through the buffer
+        pool — the traversal analogue of the 1-N clustering policy.
+        """
+        self.instrumentation.count("backend.batch.calls")
+        self.instrumentation.count("backend.batch.items", len(refs))
+        try:
+            return self._store.get_many([int(r) for r in refs])
+        except RecordNotFoundError as exc:
+            raise NodeNotFoundError(exc.args[0] if exc.args else refs) from None
+
+    def children_many(self, refs: Sequence[NodeRef]) -> List[List[NodeRef]]:
+        if not refs:
+            return []
+        states = self._get_many(refs)
+        return [list(states[int(r)]["children"]) for r in refs]
+
+    def parts_many(self, refs: Sequence[NodeRef]) -> List[List[NodeRef]]:
+        if not refs:
+            return []
+        states = self._get_many(refs)
+        return [list(states[int(r)]["parts"]) for r in refs]
+
+    def refs_to_many(
+        self, refs: Sequence[NodeRef]
+    ) -> List[List[Tuple[NodeRef, LinkAttributes]]]:
+        if not refs:
+            return []
+        states = self._get_many(refs)
+        return [
+            [
+                (target, LinkAttributes(offset_from, offset_to))
+                for target, offset_from, offset_to in states[int(r)]["refTo"]
+            ]
+            for r in refs
+        ]
+
+    def get_attributes_many(
+        self, refs: Sequence[NodeRef], name: str
+    ) -> List[int]:
+        if name not in ("uniqueId", "ten", "hundred", "million"):
+            raise KeyError(f"unknown node attribute {name!r}")
+        if not refs:
+            return []
+        states = self._get_many(refs)
+        return [states[int(r)][name] for r in refs]
+
     # -- inverse traversal ---------------------------------------------------
 
     def parent(self, ref: NodeRef) -> Optional[NodeRef]:

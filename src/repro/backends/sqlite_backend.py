@@ -310,10 +310,13 @@ class SqliteDatabase(HyperModelDatabase):
 
     def parts(self, ref: NodeRef) -> List[NodeRef]:
         self._instr.count("backend.op.reads")
+        # ORDER BY pins the (semantically unordered) M-N set to the same
+        # deterministic order parts_many produces, so batch and per-item
+        # paths are byte-identical.
         return [
             row[0]
             for row in self._require_open().execute(
-                "SELECT part FROM part WHERE whole = ?", (ref,)
+                "SELECT part FROM part WHERE whole = ? ORDER BY part", (ref,)
             )
         ]
 
@@ -322,10 +325,106 @@ class SqliteDatabase(HyperModelDatabase):
         return [
             (dst, LinkAttributes(offset_from, offset_to))
             for dst, offset_from, offset_to in self._require_open().execute(
-                "SELECT dst, offset_from, offset_to FROM ref WHERE src = ?",
+                "SELECT dst, offset_from, offset_to FROM ref WHERE src = ?"
+                " ORDER BY rowid",
                 (ref,),
             )
         ]
+
+    # -- batched navigation ---------------------------------------------------
+
+    #: Keys per ``IN (...)`` clause; comfortably under SQLite's host
+    #: parameter limit (999 in conservative builds).
+    _IN_CHUNK = 500
+
+    def _in_chunks(self, keys: List[NodeRef]) -> Iterator[List[NodeRef]]:
+        for start in range(0, len(keys), self._IN_CHUNK):
+            yield keys[start : start + self._IN_CHUNK]
+
+    def _batch_count(self, refs: Sequence[NodeRef]) -> None:
+        self._instr.count("backend.batch.calls")
+        self._instr.count("backend.batch.items", len(refs))
+
+    def children_many(self, refs: Sequence[NodeRef]) -> List[List[NodeRef]]:
+        """All frontier children in one ``IN (...)`` query per chunk."""
+        conn = self._require_open()
+        if not refs:
+            return []
+        self._batch_count(refs)
+        by_parent: dict = {ref: [] for ref in refs}
+        for chunk in self._in_chunks(sorted(set(refs))):
+            self._instr.count("backend.op.reads")
+            marks = ",".join("?" * len(chunk))
+            for parent, uid in conn.execute(
+                f"SELECT parent, uid FROM node WHERE parent IN ({marks})"
+                " ORDER BY parent, seq",
+                tuple(chunk),
+            ):
+                by_parent[parent].append(uid)
+        return [list(by_parent[ref]) for ref in refs]
+
+    def parts_many(self, refs: Sequence[NodeRef]) -> List[List[NodeRef]]:
+        conn = self._require_open()
+        if not refs:
+            return []
+        self._batch_count(refs)
+        by_whole: dict = {ref: [] for ref in refs}
+        for chunk in self._in_chunks(sorted(set(refs))):
+            self._instr.count("backend.op.reads")
+            marks = ",".join("?" * len(chunk))
+            for whole, part in conn.execute(
+                f"SELECT whole, part FROM part WHERE whole IN ({marks})"
+                " ORDER BY whole, part",
+                tuple(chunk),
+            ):
+                by_whole[whole].append(part)
+        return [list(by_whole[ref]) for ref in refs]
+
+    def refs_to_many(
+        self, refs: Sequence[NodeRef]
+    ) -> List[List[Tuple[NodeRef, LinkAttributes]]]:
+        conn = self._require_open()
+        if not refs:
+            return []
+        self._batch_count(refs)
+        by_src: dict = {ref: [] for ref in refs}
+        for chunk in self._in_chunks(sorted(set(refs))):
+            self._instr.count("backend.op.reads")
+            marks = ",".join("?" * len(chunk))
+            for src, dst, offset_from, offset_to in conn.execute(
+                f"SELECT src, dst, offset_from, offset_to FROM ref"
+                f" WHERE src IN ({marks}) ORDER BY rowid",
+                tuple(chunk),
+            ):
+                by_src[src].append((dst, LinkAttributes(offset_from, offset_to)))
+        return [list(by_src[ref]) for ref in refs]
+
+    def get_attributes_many(
+        self, refs: Sequence[NodeRef], name: str
+    ) -> List[int]:
+        conn = self._require_open()
+        try:
+            column = _ATTR_COLUMNS[name]
+        except KeyError:
+            raise KeyError(f"unknown node attribute {name!r}") from None
+        if not refs:
+            return []
+        self._batch_count(refs)
+        values: dict = {}
+        for chunk in self._in_chunks(sorted(set(refs))):
+            self._instr.count("backend.op.reads")
+            marks = ",".join("?" * len(chunk))
+            for uid, value in conn.execute(
+                f"SELECT uid, {column} FROM node WHERE uid IN ({marks})",
+                tuple(chunk),
+            ):
+                values[uid] = value
+        out = []
+        for ref in refs:
+            if ref not in values:
+                raise NodeNotFoundError(ref)
+            out.append(values[ref])
+        return out
 
     # -- inverse traversal ---------------------------------------------------
 

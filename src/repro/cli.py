@@ -8,6 +8,9 @@ Subcommands:
 * ``run``        — run the benchmark grid and print the report tables;
 * ``bench``      — like ``run``, with ``--counters`` for per-operation
   instrumentation counter tables (see ``docs/observability.md``);
+* ``bench-closure`` — measure the batched closure traversals (ops
+  10-12) across backends and write ``BENCH_closure.json`` (see
+  ``docs/performance.md``);
 * ``query``      — evaluate an ad-hoc query against a generated database;
 * ``rubenstein`` — run the /RUBE87/ baseline benchmark;
 * ``maintain``   — R10 maintenance on an oodb file: vacuum / backup / gc;
@@ -96,6 +99,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--counters",
         action="store_true",
         help="instrument the backends and print per-operation counter tables",
+    )
+
+    closure = sub.add_parser(
+        "bench-closure",
+        help="measure batched closure traversals, write BENCH_closure.json",
+    )
+    closure.add_argument(
+        "--backends",
+        default=",".join(
+            ("memory", "sqlite", "oodb", "clientserver")
+        ),
+        help="comma-separated backend names",
+    )
+    closure.add_argument(
+        "--level", type=int, default=4, help="leaf level (paper: 4, 5 or 6)"
+    )
+    closure.add_argument(
+        "--repetitions", type=int, default=5, help="runs per operation"
+    )
+    closure.add_argument("--seed", type=int, default=19880301)
+    closure.add_argument(
+        "--out",
+        default="BENCH_closure.json",
+        help="output JSON path (default: BENCH_closure.json)",
     )
 
     query = sub.add_parser("query", help="run an ad-hoc query (R12)")
@@ -214,6 +241,21 @@ def _cmd_run(args: argparse.Namespace, counters: bool = False) -> int:
     return 0
 
 
+def _cmd_bench_closure(args: argparse.Namespace) -> int:
+    from repro.harness.batchbench import format_summary, write_closure_bench
+
+    document = write_closure_bench(
+        args.out,
+        backends=args.backends.split(","),
+        level=args.level,
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    print(format_summary(document))
+    print(f"results written to {args.out}")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core.generator import DatabaseGenerator
     from repro.query import execute
@@ -315,6 +357,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": lambda: _cmd_verify(args),
         "run": lambda: _cmd_run(args),
         "bench": lambda: _cmd_run(args, counters=args.counters),
+        "bench-closure": lambda: _cmd_bench_closure(args),
         "query": lambda: _cmd_query(args),
         "rubenstein": lambda: _cmd_rubenstein(args),
         "maintain": lambda: _cmd_maintain(args),

@@ -188,6 +188,53 @@ class HyperModelDatabase(abc.ABC):
         """Outgoing attributed references with their offsets (op 06)."""
 
     # ------------------------------------------------------------------
+    # Batched navigation (frontier traversal; see docs/performance.md)
+    # ------------------------------------------------------------------
+    #
+    # The closure operations (ops 10-15/18) traverse one *frontier* of
+    # nodes at a time.  Issued per node, a frontier costs one backend
+    # interaction per member — N simulated round trips on the
+    # client/server backend, N un-clustered store reads on the paged
+    # engine.  The ``*_many`` methods let a backend answer a whole
+    # frontier in one interaction (one ``IN (...)`` query, one batch
+    # RPC, one page-ordered prefetch).
+    #
+    # Contract, shared by every implementation:
+    #
+    # * results align 1:1 with ``refs`` — element *i* is exactly what
+    #   the corresponding per-item method would return for ``refs[i]``,
+    #   including order within each element;
+    # * duplicate refs are answered per occurrence (the *query* may be
+    #   deduplicated, the result must not be);
+    # * an empty ``refs`` returns an empty list without touching the
+    #   backend;
+    # * unknown refs raise exactly what the per-item method raises.
+    #
+    # The defaults below fall back to per-item calls so third-party
+    # backends keep working unchanged; built-in backends override them
+    # natively and count ``backend.batch.calls`` / ``backend.batch.items``.
+
+    def children_many(self, refs: Sequence[NodeRef]) -> List[List[NodeRef]]:
+        """Ordered 1-N children for each of ``refs`` (aligned)."""
+        return [self.children(ref) for ref in refs]
+
+    def parts_many(self, refs: Sequence[NodeRef]) -> List[List[NodeRef]]:
+        """M-N parts for each of ``refs`` (aligned)."""
+        return [self.parts(ref) for ref in refs]
+
+    def refs_to_many(
+        self, refs: Sequence[NodeRef]
+    ) -> List[List[Tuple[NodeRef, LinkAttributes]]]:
+        """Outgoing attributed references for each of ``refs`` (aligned)."""
+        return [self.refs_to(ref) for ref in refs]
+
+    def get_attributes_many(
+        self, refs: Sequence[NodeRef], name: str
+    ) -> List[int]:
+        """One integer attribute read for each of ``refs`` (aligned)."""
+        return [self.get_attribute(ref, name) for ref in refs]
+
+    # ------------------------------------------------------------------
     # Reference lookups — inverse traversal (ops 07A/07B/08)
     # ------------------------------------------------------------------
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterable, Iterator, Optional
 
 from repro.engine.pages import PAGE_SIZE, PageFile, PageId
 from repro.errors import PageError
@@ -118,6 +118,39 @@ class BufferPool:
         if frame.pin_count == 0 and not frame.dirty:
             self._clean_lru[pid] = None
             self._clean_lru.move_to_end(pid)
+
+    def prefetch(self, pids: "Iterable[PageId]") -> int:
+        """Fault a batch of pages into the pool without pinning them.
+
+        The batched traversal path sorts a frontier's object refs by
+        page and prefetches here, so the demand :meth:`get` calls that
+        follow hit warm frames in clustering order instead of faulting
+        one page per object.  Pages already resident are left alone
+        (and keep their recency); loaded frames enter the pool clean,
+        unpinned and evictable.  At most ``capacity`` pages are loaded
+        per call — prefetching more would evict the batch's own head
+        before its tail is used.
+
+        Returns the number of pages actually read from the file.
+        Counters: ``engine.buffer.prefetch.pages`` (loaded) and
+        ``engine.buffer.prefetch.cached`` (already resident).  Demand
+        hit/miss stats are *not* touched: a prefetch is speculative
+        I/O, and the later ``get`` hits are the measured effect.
+        """
+        loaded = 0
+        for pid in pids:
+            if pid in self._frames:
+                self._instr.count("engine.buffer.prefetch.cached")
+                continue
+            if loaded >= self.capacity:
+                break
+            self._ensure_room()
+            frame = _Frame(pid, self._file.read_page(pid))
+            self._frames[pid] = frame
+            self._clean_lru[pid] = None  # clean + unpinned: evictable
+            loaded += 1
+            self._instr.count("engine.buffer.prefetch.pages")
+        return loaded
 
     def new_page(self) -> PageId:
         """Allocate a fresh zeroed page and cache it (unpinned)."""

@@ -455,6 +455,65 @@ class ObjectStore:
             self.instrumentation.count("engine.store.objects_read")
             return record["s"]
 
+    def get_many(
+        self, oids: List[int], txn: Optional[Transaction] = None
+    ) -> Dict[int, Dict[str, Any]]:
+        """Read a batch of objects' states, clustered-fetch style.
+
+        Semantically equivalent to ``{oid: store.get(oid)}`` over the
+        distinct oids (transaction-buffered copies win, shared locks
+        and read notes are taken per oid, deleted oids raise), but the
+        committed residue is fetched in *physical* order: rids are
+        resolved first, the oids sorted by heap page, and the page set
+        prefetched through the buffer pool in one pass — so a frontier
+        of clustered objects costs sequential page reads instead of one
+        random fault per object.
+
+        Returns a dict keyed by oid (duplicates collapse).
+
+        Raises:
+            RecordNotFoundError: for any missing or deleted oid.
+        """
+        with self._mutex:
+            self._require_open()
+            active = txn or self._current
+            out: Dict[int, Dict[str, Any]] = {}
+            committed: List[int] = []
+            for oid in dict.fromkeys(oids):
+                if active is not None:
+                    buffered = active.buffered(oid)
+                    if buffered is DELETED:
+                        raise RecordNotFoundError(oid)
+                    if buffered is not None:
+                        active.note_read(oid)
+                        out[oid] = dict(buffered)
+                        continue
+                    self._lock(active, oid, LockMode.SHARED)
+                    active.note_read(oid)
+                committed.append(oid)
+            if not committed:
+                return out
+            from repro.engine.heap import rid_page
+
+            rids = {oid: self._rid_of(oid) for oid in committed}
+            committed.sort(key=lambda oid: rids[oid])
+            pages = list(
+                dict.fromkeys(rid_page(rids[oid]) for oid in committed)
+            )
+            self._pool.prefetch(pages)
+            self.instrumentation.count("engine.store.batch_reads")
+            self.instrumentation.count(
+                "engine.store.batch_objects", len(committed)
+            )
+            for oid in committed:
+                record = serializer.decode(self._heap.read(rids[oid]))
+                out[oid] = self._catalog.upgrade_state(
+                    record["c"], record["v"], record["s"]
+                )
+                self.stats.objects_read += 1
+                self.instrumentation.count("engine.store.objects_read")
+            return out
+
     def class_of(self, oid: int, txn: Optional[Transaction] = None) -> str:
         """The class name of an object."""
         with self._mutex:

@@ -1,0 +1,220 @@
+"""The closure micro-benchmark behind ``BENCH_closure.json``.
+
+The batched navigation layer exists for one reason: closure traversals
+(ops 10-12) dominated by per-node backend interactions.  This module
+measures exactly that — median milliseconds per node for each closure
+operation on each backend, together with the instrumentation counter
+deltas (batch calls, RPC round trips, buffer faults) that *explain*
+the number — and writes the result as one JSON document.
+
+It is deliberately tiny and dependency-free so CI can run it as a
+smoke job (``hypermodel bench-closure --level 4``) and archive the
+JSON as a build artifact; ``benchmarks/bench_batch_traversal.py`` is
+the pytest-benchmark twin for interactive exploration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import statistics
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import HyperModelConfig
+from repro.core.generator import DatabaseGenerator
+from repro.core.operations import CATALOG, Operations
+from repro.obs import Instrumentation
+
+#: The closure operations the batch layer targets (section 6.5/6.6).
+CLOSURE_OPS = ("10", "11", "12")
+
+#: Backends the benchmark compares (the paper's four architectures).
+DEFAULT_BACKENDS = ("memory", "sqlite", "oodb", "clientserver")
+
+#: Counter families worth reporting next to the timings.
+_REPORTED_PREFIXES = (
+    "backend.batch",
+    "backend.rpc",
+    "backend.op",
+    "engine.buffer",
+    "engine.store.batch",
+    "netsim.cache",
+)
+
+
+@dataclasses.dataclass
+class ClosureCell:
+    """One (backend, operation) measurement."""
+
+    backend: str
+    op_id: str
+    op_name: str
+    nodes: int
+    repetitions: int
+    median_ms: float
+    median_ms_per_node: float
+    counters: Dict[str, float]
+
+    def to_json(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+def _reported(delta: Dict[str, float]) -> Dict[str, float]:
+    return {
+        name: value
+        for name, value in sorted(delta.items())
+        if name.startswith(_REPORTED_PREFIXES)
+    }
+
+
+def _result_nodes(op_id: str, result, subtree_nodes: int) -> int:
+    """Node count for ms-per-node normalization.
+
+    All three closure ops traverse the same root subtree, so they are
+    normalized by the same node count; ops 10 and 12 report it
+    directly (list length / update count), op 11 returns a sum and
+    inherits the count measured by op 10.
+    """
+    if op_id == "10":
+        return max(len(result), 1)
+    if op_id == "12":
+        return max(int(result), 1)
+    return max(subtree_nodes, 1)
+
+
+def run_closure_bench(
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    level: int = 4,
+    repetitions: int = 5,
+    seed: int = 19880301,
+    workdir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Measure ops 10-12 on every backend; return the JSON document.
+
+    Every backend gets a freshly generated level-``level`` database.
+    Each operation runs from the structure root (the deepest closure
+    the database offers) ``repetitions`` times; the median wall-clock
+    time is normalized by the operation's node count.  Counter deltas
+    cover the *first* repetition — the cold pass, where the batch
+    layer's round-trip and fault behaviour shows.
+    """
+    from repro.backends import create_backend
+
+    own_tmp = None
+    if workdir is None:
+        own_tmp = tempfile.TemporaryDirectory(prefix="hypermodel-bench-")
+        workdir = own_tmp.name
+    cells: List[ClosureCell] = []
+    try:
+        for backend in backends:
+            instr = Instrumentation()
+            path = os.path.join(workdir, f"closure-{backend}.db")
+            db = create_backend(backend, path, instrumentation=instr)
+            db.open()
+            try:
+                gen = DatabaseGenerator(
+                    HyperModelConfig(levels=level, seed=seed)
+                ).generate(db)
+                db.commit()
+                subtree_nodes = 0
+                for op_id in CLOSURE_OPS:
+                    spec = CATALOG.get(op_id)
+                    ops = Operations(db, gen.config)
+                    # Section 5.3(e): close and reopen so the first
+                    # repetition is a *cold* run — that's where the
+                    # batch layer's round trips and faults show.
+                    db.close()
+                    db.open()
+                    root = db.lookup(gen.root_uid)
+                    timings_ms: List[float] = []
+                    nodes = 1
+                    first_delta: Dict[str, float] = {}
+                    for rep in range(repetitions):
+                        before = instr.snapshot()
+                        start = time.perf_counter()
+                        result = spec.run(ops, (root,))
+                        timings_ms.append(
+                            (time.perf_counter() - start) * 1000.0
+                        )
+                        if rep == 0:
+                            first_delta = instr.delta_since(before)
+                            nodes = _result_nodes(
+                                op_id, result, subtree_nodes
+                            )
+                            if op_id == "10":
+                                subtree_nodes = nodes
+                        if spec.mutates:
+                            db.commit()
+                    median_ms = statistics.median(timings_ms)
+                    cells.append(
+                        ClosureCell(
+                            backend=backend,
+                            op_id=op_id,
+                            op_name=spec.name,
+                            nodes=nodes,
+                            repetitions=repetitions,
+                            median_ms=round(median_ms, 4),
+                            median_ms_per_node=round(median_ms / nodes, 6),
+                            counters=_reported(first_delta),
+                        )
+                    )
+            finally:
+                db.close()
+    finally:
+        if own_tmp is not None:
+            own_tmp.cleanup()
+    return {
+        "benchmark": "closure-batch-traversal",
+        "level": level,
+        "repetitions": repetitions,
+        "seed": seed,
+        "operations": list(CLOSURE_OPS),
+        "cells": {
+            backend: {
+                cell.op_id: cell.to_json()
+                for cell in cells
+                if cell.backend == backend
+            }
+            for backend in backends
+        },
+    }
+
+
+def write_closure_bench(
+    out_path: str,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    level: int = 4,
+    repetitions: int = 5,
+    seed: int = 19880301,
+) -> Dict[str, object]:
+    """Run :func:`run_closure_bench` and write ``out_path`` as JSON."""
+    document = run_closure_bench(
+        backends=backends, level=level, repetitions=repetitions, seed=seed
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def format_summary(document: Dict[str, object]) -> str:
+    """A small fixed-width table of the document (for the CLI)."""
+    lines = [
+        f"closure batch traversal — level {document['level']}, "
+        f"{document['repetitions']} repetitions",
+        f"{'backend':<14}{'op':<5}{'name':<20}{'nodes':>7}"
+        f"{'med ms':>10}{'ms/node':>10}{'rpc rt':>8}",
+    ]
+    cells = document["cells"]
+    for backend, per_op in cells.items():  # type: ignore[union-attr]
+        for op_id, cell in per_op.items():
+            rpc = cell["counters"].get("backend.rpc.round_trips", 0)
+            lines.append(
+                f"{backend:<14}{op_id:<5}{cell['op_name']:<20}"
+                f"{cell['nodes']:>7}{cell['median_ms']:>10.3f}"
+                f"{cell['median_ms_per_node']:>10.4f}{int(rpc):>8}"
+            )
+    return "\n".join(lines)

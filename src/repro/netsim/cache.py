@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
-from typing import Any, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs import Instrumentation, resolve
 
@@ -67,6 +67,37 @@ class WorkstationCache:
         self.stats.misses += 1
         self._instr.count("netsim.cache.miss")
         return None
+
+    def get_many(
+        self, keys: Sequence[Any]
+    ) -> Tuple[Dict[Any, Any], List[Any]]:
+        """Look up a batch of keys: ``(found, missing)``.
+
+        ``found`` maps each resident key to its object (recency
+        refreshed); ``missing`` lists the keys to fetch, deduplicated
+        but in first-seen order — a *partial* hit ships only the
+        missing refs over the network.  Counters are exact: one hit per
+        resident distinct key, one miss per missing distinct key
+        (duplicates within a batch are one lookup, as they would be
+        against a request-coalescing cache).
+        """
+        found: Dict[Any, Any] = {}
+        missing: List[Any] = []
+        seen_missing = set()
+        for key in keys:
+            if key in found or key in seen_missing:
+                continue
+            if key in self._entries:
+                self.stats.hits += 1
+                self._instr.count("netsim.cache.hit")
+                self._entries.move_to_end(key)
+                found[key] = self._entries[key]
+            else:
+                self.stats.misses += 1
+                self._instr.count("netsim.cache.miss")
+                seen_missing.add(key)
+                missing.append(key)
+        return found, missing
 
     def put(self, key: Any, value: Any) -> None:
         """Insert or refresh an object, evicting LRU entries if full."""

@@ -36,6 +36,8 @@ class ServerStats:
     """Request counters, by request type."""
 
     fetches: int = 0
+    batch_fetches: int = 0
+    batched_objects: int = 0
     stores: int = 0
     probes: int = 0
     queries: int = 0
@@ -46,6 +48,7 @@ class ServerStats:
     def reset(self) -> None:
         """Zero all counters."""
         self.fetches = self.stores = self.probes = 0
+        self.batch_fetches = self.batched_objects = 0
         self.queries = self.scans = 0
         self.bytes_sent = self.bytes_received = 0
 
@@ -144,6 +147,46 @@ class ObjectServer:
         self._instr.count("backend.rpc.bytes_sent", size)
         self._charge(size)
         return self._isolate(record)
+
+    def fetch_many(self, uids: List[int]) -> Dict[int, Dict[str, Any]]:
+        """Fetch a batch of records in **one** round trip.
+
+        This is the batch RPC verb the frontier traversals ride on: the
+        fixed round-trip cost is paid once, the transfer cost stays
+        proportional to the payload (the summed record sizes), so a
+        closure frontier of N nodes costs ``round_trip + N·transfer``
+        instead of ``N·(round_trip + transfer)``.
+
+        Duplicates in ``uids`` are served once.  Raises
+        :class:`NodeNotFoundError` for the first unknown uid (the whole
+        request is still charged one round trip — it happened), matching
+        the per-item :meth:`fetch` error contract.
+        """
+        self.stats.batch_fetches += 1
+        unique: List[int] = []
+        seen = set()
+        for uid in uids:
+            if uid not in seen:
+                seen.add(uid)
+                unique.append(uid)
+        missing = next(
+            (uid for uid in unique if uid not in self._records), None
+        )
+        if missing is not None:
+            self._charge(_PROBE_BYTES)
+            raise NodeNotFoundError(missing)
+        payload = _PROBE_BYTES
+        out: Dict[int, Dict[str, Any]] = {}
+        for uid in unique:
+            record = self._records[uid]
+            payload += self.record_size(record)
+            out[uid] = self._isolate(record)
+        self.stats.batched_objects += len(unique)
+        self.stats.bytes_sent += payload
+        self._instr.count("backend.rpc.bytes_sent", payload)
+        self._instr.count("backend.rpc.batched_objects", len(unique))
+        self._charge(payload)
+        return out
 
     def store(
         self, uid: int, record: Dict[str, Any], from_cache=None

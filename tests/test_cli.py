@@ -133,6 +133,34 @@ class TestQuery:
         assert "plan: scan" in capsys.readouterr().out
 
 
+class TestBenchClosure:
+    def test_writes_json_and_prints_summary(self, capsys, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "BENCH_closure.json")
+        code = main(
+            ["bench-closure", "--level", "2", "--repetitions", "2",
+             "--backends", "memory,clientserver", "--out", out_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "closure batch traversal" in out
+        assert f"results written to {out_path}" in out
+        with open(out_path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["level"] == 2
+        assert set(document["cells"]) == {"memory", "clientserver"}
+        for backend, per_op in document["cells"].items():
+            assert set(per_op) == {"10", "11", "12"}
+            for cell in per_op.values():
+                assert cell["nodes"] == 31  # whole level-2 structure
+                assert cell["median_ms_per_node"] >= 0.0
+        # The point of the batch layer: closing a 31-node closure on
+        # the client/server backend costs O(depth) round trips.
+        cs10 = document["cells"]["clientserver"]["10"]
+        assert 0 < cs10["counters"]["backend.rpc.round_trips"] <= 5
+
+
 class TestRubenstein:
     def test_baseline_runs(self, capsys):
         code = main(

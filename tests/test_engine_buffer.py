@@ -92,6 +92,105 @@ class TestEviction:
         pool.unpin(pids[0])
 
 
+class TestVictimSelectionOrder:
+    """Regression tests for the O(1) clean-LRU victim index.
+
+    Victim choice must be exact least-recently-used over clean,
+    unpinned frames — and the ``_clean_lru`` shadow index must never
+    hand back a frame that was re-pinned or re-dirtied after it was
+    enrolled.
+    """
+
+    def test_evictions_follow_lru_order_across_multiple_evictions(
+        self, pool
+    ):
+        pids = _fill(pool, 4)
+        pool.flush_all()  # all clean, LRU order == creation order
+        # Recency now: pids[0] oldest .. pids[3] newest.  Reverse it.
+        for pid in reversed(pids):
+            pool.get(pid)
+            pool.unpin(pid)
+        # Recency now: pids[3] oldest .. pids[0] newest.
+        evicted_order = []
+        for _ in range(3):
+            pool.new_page()  # each allocation evicts exactly one clean page
+            cached = set(pool.cached_page_ids())
+            gone = [p for p in pids if p not in cached and p not in evicted_order]
+            evicted_order.extend(gone)
+        assert evicted_order == [pids[3], pids[2], pids[1]]
+
+    def test_repinned_frame_is_skipped_not_evicted(self, pool):
+        pids = _fill(pool, 4)
+        pool.flush_all()
+        # pids[0] is LRU-first, but pin it again: the stale clean-LRU
+        # entry must be skipped and pids[1] evicted instead.
+        pool.get(pids[0])
+        pool.new_page()
+        cached = set(pool.cached_page_ids())
+        assert pids[0] in cached
+        assert pids[1] not in cached
+        pool.unpin(pids[0])
+
+    def test_redirtied_frame_is_skipped_not_evicted(self, pool):
+        pids = _fill(pool, 4)
+        pool.flush_all()
+        page = pool.get(pids[0])
+        page[0] = 0xAB
+        pool.unpin(pids[0], dirty=True)  # now dirty: not evictable
+        pool.new_page()
+        cached = set(pool.cached_page_ids())
+        assert pids[0] in cached  # dirty page survived
+        assert pids[1] not in cached  # next clean LRU went instead
+
+
+class TestPrefetch:
+    def test_prefetch_loads_pages_without_pinning(self, pool):
+        pids = _fill(pool, 3)
+        pool.flush_all()
+        pool.drop_cache()
+        loaded = pool.prefetch(pids)
+        assert loaded == 3
+        assert set(pool.cached_page_ids()) == set(pids)
+        assert pool.pin_counts() == {}  # nothing pinned
+
+    def test_prefetch_skips_resident_pages(self, pool):
+        pids = _fill(pool, 3)
+        pool.flush_all()
+        pool.drop_cache()
+        pool.prefetch(pids[:2])
+        assert pool.prefetch(pids) == 1  # only pids[2] still missing
+
+    def test_prefetch_does_not_touch_demand_stats(self, pool):
+        pids = _fill(pool, 2)
+        pool.flush_all()
+        pool.drop_cache()
+        pool.stats.reset()
+        pool.prefetch(pids)
+        assert pool.stats.hits == 0
+        assert pool.stats.misses == 0
+        pool.get(pids[0])  # demand access hits the prefetched frame
+        pool.unpin(pids[0])
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 0
+
+    def test_prefetch_capped_at_capacity(self, pool):
+        pids = _fill(pool, 6)  # capacity is 4
+        pool.flush_all()
+        pool.drop_cache()
+        loaded = pool.prefetch(pids)
+        assert loaded == pool.capacity
+        assert pool.cached_pages <= pool.capacity
+
+    def test_prefetched_frames_are_evictable(self, pool):
+        pids = _fill(pool, 4)
+        pool.flush_all()
+        pool.drop_cache()
+        pool.prefetch(pids)
+        pool.new_page()  # must evict a prefetched (clean, unpinned) frame
+        assert pool.cached_pages <= pool.capacity + 1
+        assert pool.stats.evictions >= 1
+
+
 class TestColdReset:
     def test_drop_cache_empties_and_flushes(self, pool):
         (pid,) = _fill(pool, 1)
