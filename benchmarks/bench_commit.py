@@ -1,0 +1,123 @@
+"""Commit throughput across the durability grid (docs/durability.md).
+
+Times small committed transactions on the ``oodb`` engine over the
+``sync_commits × group_commit`` grid:
+
+* ``sync=on,  group=off``  — the safe default: one fsync per commit;
+* ``sync=on,  group=on``   — group commit: one fsync per
+  ``GROUP_SIZE`` commits, bounded durability relaxation;
+* ``sync=off, group=off``  — no fsync at all (the benchmark-mode
+  upper bound; crash durability surrendered);
+* ``sync=off, group=on``   — group commit without fsyncs, isolating
+  the batching bookkeeping itself.
+
+Expected shape: with syncs on, group commit recovers most of the gap
+to the no-fsync bound (the fsync dominates small commits); with syncs
+off the two modes are within noise of each other.  ``extra_info``
+records the measured WAL sync count per configuration so the fsync
+arithmetic is visible next to the timings.
+"""
+
+import os
+
+import pytest
+
+from repro.engine.catalog import FieldDefinition
+from repro.engine.store import ObjectStore
+from repro.obs import Instrumentation
+
+#: Commits per timed batch (and per group-commit window flush).
+BATCH = 16
+#: Commits folded into one fsync in group-commit mode.
+GROUP_SIZE = 8
+
+_GRID = [
+    ("sync", dict(sync_commits=True, group_commit=False)),
+    (
+        "sync+group",
+        dict(
+            sync_commits=True,
+            group_commit=True,
+            group_commit_size=GROUP_SIZE,
+        ),
+    ),
+    ("nosync", dict(sync_commits=False, group_commit=False)),
+    (
+        "nosync+group",
+        dict(
+            sync_commits=False,
+            group_commit=True,
+            group_commit_size=GROUP_SIZE,
+        ),
+    ),
+]
+
+
+@pytest.mark.benchmark(group="commit throughput (durability grid)")
+@pytest.mark.parametrize("mode,options", _GRID, ids=[m for m, _ in _GRID])
+def test_commit_throughput(benchmark, mode, options, tmp_path):
+    instr = Instrumentation()
+    store = ObjectStore(
+        os.path.join(str(tmp_path), f"commit-{mode}.hmdb"),
+        instrumentation=instr,
+        **options,
+    )
+    store.open()
+    store.define_class(
+        "Item",
+        [FieldDefinition("value", default=0), FieldDefinition("body", "")],
+    )
+    counter = {"n": 0}
+
+    def commit_batch():
+        for _ in range(BATCH):
+            counter["n"] += 1
+            store.new(
+                "Item", {"value": counter["n"], "body": "x" * 128}
+            )
+            store.commit()
+
+    before = instr.snapshot()
+    benchmark(commit_batch)
+    delta = instr.snapshot().delta(before)
+    commits = delta.get("engine.store.commits", 0)
+    syncs = delta.get("engine.io.syncs", 0)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["commits"] = commits
+    benchmark.extra_info["io_syncs"] = syncs
+    benchmark.extra_info["syncs_per_commit"] = (
+        round(syncs / commits, 3) if commits else 0.0
+    )
+    benchmark.extra_info["group_commit_batches"] = delta.get(
+        "engine.wal.group_commit.batches", 0
+    )
+    store.close()
+
+
+def test_group_commit_syncs_less(tmp_path):
+    """The arithmetic itself: one fsync per GROUP_SIZE commits (untimed)."""
+
+    def syncs_for(**options):
+        instr = Instrumentation()
+        store = ObjectStore(
+            os.path.join(
+                str(tmp_path), f"probe-{len(os.listdir(tmp_path))}.hmdb"
+            ),
+            instrumentation=instr,
+            sync_commits=True,
+            **options,
+        )
+        store.open()
+        store.define_class("Item", [FieldDefinition("value", default=0)])
+        before = instr.snapshot()
+        for value in range(BATCH):
+            store.new("Item", {"value": value})
+            store.commit()
+        delta = instr.snapshot().delta(before)
+        store.close()
+        return delta.get("engine.wal.syncs", 0)
+
+    plain = syncs_for(group_commit=False)
+    grouped = syncs_for(group_commit=True, group_commit_size=GROUP_SIZE)
+    assert grouped < plain
+    assert grouped == BATCH // GROUP_SIZE

@@ -23,13 +23,17 @@ from repro.core.bitmap import Bitmap
 from repro.core.interface import HyperModelDatabase, NodeRef
 from repro.core.model import LinkAttributes, NodeData, NodeKind
 from repro.netsim.cache import WorkstationCache
+from repro.netsim.faults import FaultModel
 from repro.netsim.latency import LatencyModel, SimulatedClock
 from repro.netsim.server import ObjectServer
 from repro.obs import Instrumentation, resolve
 from repro.errors import (
+    ConfigurationError,
     DatabaseClosedError,
     InvalidOperationError,
+    NetworkError,
     NodeNotFoundError,
+    RpcExhaustedError,
 )
 
 _KIND_NAMES = {
@@ -94,6 +98,16 @@ class ClientServerDatabase(HyperModelDatabase):
             at ~1 MB/s).
         server: share an existing server between several client
             handles (the multi-user scenario).
+        fault_model: seeded RPC fault injection (drop/timeout) on the
+            simulated channel, see :mod:`repro.netsim.faults`.  Only
+            applied when this client *creates* the server; a shared
+            ``server`` keeps whatever model it was built with.
+        rpc_retries: how many times a faulted request is retried
+            before :class:`~repro.errors.RpcExhaustedError` is raised.
+            Retries are counted under ``backend.rpc.retries``.
+        rpc_backoff_seconds: base of the exponential backoff charged
+            to the simulated clock between attempts (doubling per
+            retry: base, 2·base, 4·base, …).
     """
 
     def __init__(
@@ -103,14 +117,31 @@ class ClientServerDatabase(HyperModelDatabase):
         latency: Optional[LatencyModel] = None,
         server: Optional[ObjectServer] = None,
         instrumentation: Optional[Instrumentation] = None,
+        fault_model: Optional[FaultModel] = None,
+        rpc_retries: int = 4,
+        rpc_backoff_seconds: float = 0.002,
     ) -> None:
+        if rpc_retries < 0:
+            raise ConfigurationError(
+                f"rpc_retries cannot be negative, got {rpc_retries}"
+            )
+        if rpc_backoff_seconds < 0:
+            raise ConfigurationError(
+                "rpc_backoff_seconds cannot be negative,"
+                f" got {rpc_backoff_seconds}"
+            )
         self.instrumentation = resolve(instrumentation)
         self.simulated_clock: SimulatedClock = (
             server.clock if server is not None else SimulatedClock()
         )
         self.server = server or ObjectServer(
-            self.simulated_clock, latency, instrumentation=self.instrumentation
+            self.simulated_clock,
+            latency,
+            instrumentation=self.instrumentation,
+            fault_model=fault_model,
         )
+        self.rpc_retries = rpc_retries
+        self.rpc_backoff_seconds = rpc_backoff_seconds
         self.cache = WorkstationCache(
             cache_capacity, instrumentation=self.instrumentation
         )
@@ -146,11 +177,13 @@ class ClientServerDatabase(HyperModelDatabase):
         """
         self._require_open()
         for uid, record in self._local.items():
-            self.server.store(uid, record, from_cache=self.cache)
+            # A faulted store is retried by _rpc; the server raises the
+            # fault before touching state, so the retry is idempotent.
+            self._rpc(self.server.store, uid, record, from_cache=self.cache)
             self.cache.put(uid, record)
         self._local.clear()
         for name, uids in self._local_lists.items():
-            self.server.store_list(name, uids)
+            self._rpc(self.server.store_list, name, uids)
         self._local_lists.clear()
 
     def abort(self) -> None:
@@ -166,6 +199,42 @@ class ClientServerDatabase(HyperModelDatabase):
         if not self._open:
             raise DatabaseClosedError("client/server database is not open")
 
+    # -- fault-tolerant RPC ----------------------------------------------
+
+    def _rpc(self, func, *args, **kwargs):
+        """Issue one server request with bounded retry and backoff.
+
+        A request faulted by the server's
+        :class:`~repro.netsim.faults.FaultModel` raises a
+        :class:`~repro.errors.NetworkError`; this wrapper retries it up
+        to ``rpc_retries`` times, charging an exponential backoff delay
+        (``rpc_backoff_seconds`` doubling per attempt) to the simulated
+        clock before each retry and counting every actual retry under
+        ``backend.rpc.retries``.  When the budget runs out the last
+        fault is wrapped in :class:`~repro.errors.RpcExhaustedError`.
+
+        Application-level errors (``NodeNotFoundError`` and friends)
+        are not network faults and propagate untouched.
+        """
+        attempt = 0
+        while True:
+            try:
+                return func(*args, **kwargs)
+            except NetworkError as fault:
+                if attempt >= self.rpc_retries:
+                    raise RpcExhaustedError(
+                        f"request still failing after {attempt} retries:"
+                        f" {fault}"
+                    ) from fault
+                backoff = self.rpc_backoff_seconds * (2 ** attempt)
+                if backoff:
+                    self.simulated_clock.advance(backoff)
+                    self.instrumentation.count(
+                        "backend.rpc.backoff_ms", backoff * 1000.0
+                    )
+                attempt += 1
+                self.instrumentation.count("backend.rpc.retries")
+
     # -- record access ------------------------------------------------------
 
     def _fetch(self, uid: int) -> Dict[str, Any]:
@@ -176,7 +245,7 @@ class ClientServerDatabase(HyperModelDatabase):
         record = self.cache.get(uid)
         if record is not None:
             return record
-        record = self.server.fetch(uid)  # charges the clock
+        record = self._rpc(self.server.fetch, uid)  # charges the clock
         self.cache.put(uid, record)
         return record
 
@@ -205,7 +274,9 @@ class ClientServerDatabase(HyperModelDatabase):
             found, missing = self.cache.get_many(remaining)
             records.update(found)
             if missing:
-                fetched = self.server.fetch_many(missing)  # one round trip
+                fetched = self._rpc(
+                    self.server.fetch_many, missing
+                )  # one round trip
                 for uid, record in fetched.items():
                     self.cache.put(uid, record)
                 records.update(fetched)
@@ -260,7 +331,7 @@ class ClientServerDatabase(HyperModelDatabase):
         self._require_open()
         if unique_id in self._local or unique_id in self.cache:
             return unique_id
-        if not self.server.exists(unique_id):  # charges one round trip
+        if not self._rpc(self.server.exists, unique_id):  # one round trip
             raise NodeNotFoundError(unique_id)
         return unique_id
 
@@ -292,7 +363,7 @@ class ClientServerDatabase(HyperModelDatabase):
 
     def _merged_range(self, attribute: str, low: int, high: int) -> List[NodeRef]:
         """Server-side range query corrected by local dirty records."""
-        result = self.server.range_query(attribute, low, high)
+        result = self._rpc(self.server.range_query, attribute, low, high)
         if not self._local:
             return result
         dirty = set(self._local)
@@ -401,7 +472,7 @@ class ClientServerDatabase(HyperModelDatabase):
         """Server-side scan: references come back, ``ten`` is read
         through the cache (faulting at most once per node)."""
         self._require_open()
-        uids = self.server.scan_structure(structure_id)
+        uids = self._rpc(self.server.scan_structure, structure_id)
         dirty_extra = [
             uid
             for uid, record in self._local.items()
@@ -416,7 +487,7 @@ class ClientServerDatabase(HyperModelDatabase):
     def iter_nodes(self, structure_id: int = 1) -> Iterator[NodeRef]:
         self._require_open()
         seen = set()
-        for uid in self.server.scan_structure(structure_id):
+        for uid in self._rpc(self.server.scan_structure, structure_id):
             seen.add(uid)
             yield uid
         for uid, record in self._local.items():
@@ -465,7 +536,7 @@ class ClientServerDatabase(HyperModelDatabase):
         self._require_open()
         if name in self._local_lists:
             return list(self._local_lists[name])
-        return self.server.load_list(name)
+        return self._rpc(self.server.load_list, name)
 
     # -- introspection ------------------------------------------------------------------
 

@@ -48,6 +48,12 @@ class OodbDatabase(HyperModelDatabase):
     flush latency).  Deployments that need power-loss durability should
     pass ``sync_commits=True``; crash *consistency* (process death) is
     guaranteed either way by the write-ahead log.
+
+    ``vfs`` injects the engine's file-system seam (see
+    :mod:`repro.engine.vfs`): ``create_backend("oodb", path, vfs=...)``
+    threads a fault-injecting or counting VFS through the page file,
+    the WAL and the buffer-pool flush paths.  ``group_commit`` batches
+    consecutive commit fsyncs (``docs/durability.md``).
     """
 
     def __init__(
@@ -58,6 +64,9 @@ class OodbDatabase(HyperModelDatabase):
         sync_commits: bool = False,
         versioned: bool = False,
         instrumentation: Optional[Instrumentation] = None,
+        vfs=None,
+        group_commit: bool = False,
+        group_commit_size: int = 8,
     ) -> None:
         self.path = path
         self.instrumentation = resolve(instrumentation)
@@ -68,6 +77,9 @@ class OodbDatabase(HyperModelDatabase):
             sync_commits=sync_commits,
             versioned=versioned,
             instrumentation=self.instrumentation,
+            vfs=vfs,
+            group_commit=group_commit,
+            group_commit_size=group_commit_size,
         )
         self._clustered = clustered
         self._pending_uids: set = set()

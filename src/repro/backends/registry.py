@@ -14,7 +14,14 @@ forwards ``path`` plus any keyword options to the backend factory, so
 variants like ``oodb-unclustered`` are plain registrations with
 ``default_options={"clustered": False}`` instead of one-off wrapper
 functions.  Every built-in backend accepts an ``instrumentation``
-option (see :mod:`repro.obs`).
+option (see :mod:`repro.obs`).  The engine-file backends (``oodb``,
+``oodb-unclustered``) additionally accept ``vfs=`` (the storage I/O
+seam of :mod:`repro.engine.vfs`, used for deterministic fault
+injection and I/O counting) and ``group_commit=`` /
+``group_commit_size=`` (batched commit fsyncs); the ``clientserver``
+backend accepts ``fault_model=`` (seeded RPC drop/timeout injection,
+see :mod:`repro.netsim.faults`) plus ``rpc_retries=`` /
+``rpc_backoff_seconds=`` for its bounded retry policy.
 
 The legacy private ``_FACTORIES`` dict is retained as a deprecated
 read-only view for code that used to reach into it; it warns on

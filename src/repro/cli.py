@@ -125,6 +125,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="output JSON path (default: BENCH_closure.json)",
     )
 
+    crash = sub.add_parser(
+        "crashtest",
+        help="crash the engine at every I/O op, verify recovery, "
+        "write BENCH_crash.json",
+    )
+    crash.add_argument(
+        "--transactions",
+        type=int,
+        default=16,
+        help="committed transactions in the scripted workload",
+    )
+    crash.add_argument(
+        "--ops-per-txn",
+        type=int,
+        default=6,
+        help="object operations per transaction",
+    )
+    crash.add_argument(
+        "--payload-bytes",
+        type=int,
+        default=512,
+        help="object body size (bigger = more I/O ops per commit)",
+    )
+    crash.add_argument("--seed", type=int, default=7)
+    crash.add_argument(
+        "--stride",
+        type=int,
+        default=1,
+        help="test every Nth crash point (1 = exhaustive)",
+    )
+    crash.add_argument(
+        "--out",
+        default="BENCH_crash.json",
+        help="output JSON path (default: BENCH_crash.json)",
+    )
+
     query = sub.add_parser("query", help="run an ad-hoc query (R12)")
     _add_common_db_args(query)
     query.add_argument("text", help='e.g. "find nodes where hundred between 1 and 10"')
@@ -256,6 +292,27 @@ def _cmd_bench_closure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_crashtest(args: argparse.Namespace) -> int:
+    from repro.harness.crashtest import (
+        CrashWorkload,
+        format_summary,
+        write_crash_bench,
+    )
+
+    workload = CrashWorkload(
+        transactions=args.transactions,
+        ops_per_txn=args.ops_per_txn,
+        payload_bytes=args.payload_bytes,
+        seed=args.seed,
+    )
+    document = write_crash_bench(
+        args.out, workload=workload, stride=args.stride
+    )
+    print(format_summary(document))
+    print(f"results written to {args.out}")
+    return 1 if document["violation_count"] else 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core.generator import DatabaseGenerator
     from repro.query import execute
@@ -358,6 +415,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": lambda: _cmd_run(args),
         "bench": lambda: _cmd_run(args, counters=args.counters),
         "bench-closure": lambda: _cmd_bench_closure(args),
+        "crashtest": lambda: _cmd_crashtest(args),
         "query": lambda: _cmd_query(args),
         "rubenstein": lambda: _cmd_rubenstein(args),
         "maintain": lambda: _cmd_maintain(args),

@@ -14,8 +14,10 @@ object store built from first principles —
   (:mod:`repro.engine.btree`);
 * a tag-based binary **serializer** for object state
   (:mod:`repro.engine.serializer`);
-* a redo-only **write-ahead log** with checkpoints and recovery
-  (:mod:`repro.engine.wal`);
+* a redo-only **write-ahead log** with checkpoints, recovery and
+  optional group commit (:mod:`repro.engine.wal`);
+* a pluggable **virtual file system** seam with I/O counting and
+  deterministic fault injection (:mod:`repro.engine.vfs`);
 * a **lock manager** (S/X, deadlock detection) and **transactions**
   with deferred write sets (:mod:`repro.engine.locks`,
   :mod:`repro.engine.txn`);
@@ -32,10 +34,24 @@ clustering along the aggregation hierarchy, and commit cost.
 
 from repro.engine.store import ObjectStore, StoreStats
 from repro.engine.catalog import ClassDefinition, FieldDefinition
+from repro.engine.vfs import (
+    VFS,
+    VFSFile,
+    RealVFS,
+    CountingVFS,
+    FaultInjectingVFS,
+    SimulatedCrash,
+)
 
 __all__ = [
     "ObjectStore",
     "StoreStats",
     "ClassDefinition",
     "FieldDefinition",
+    "VFS",
+    "VFSFile",
+    "RealVFS",
+    "CountingVFS",
+    "FaultInjectingVFS",
+    "SimulatedCrash",
 ]

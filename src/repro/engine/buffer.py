@@ -10,6 +10,12 @@ protocol is *about* this cache: a cold run faults pages in, the warm
 run hits them, and :meth:`drop_cache` (called from the backend's
 ``close``) is what resets the database to cold state between operation
 sequences (section 5.3(e)).
+
+The pool's flush and eviction write-back paths reach the disk through
+the :class:`PageFile` it is constructed over, whose I/O in turn crosses
+the injected :class:`~repro.engine.vfs.VFS` seam — so a fault-injecting
+VFS observes (and can crash) every page the pool writes, in
+deterministic order.
 """
 
 from __future__ import annotations

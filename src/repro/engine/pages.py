@@ -8,14 +8,18 @@ next OID, ...) that the upper layers bootstrap from.
 :class:`PageFile` does raw page reads/writes and allocation;
 free-page recycling is handled here through a simple free-list whose
 head lives in the header.
+
+All file access goes through an injected :class:`~repro.engine.vfs.VFS`
+(defaulting to :class:`~repro.engine.vfs.RealVFS`), so fault-injection
+and I/O-counting decorators observe every byte this layer moves.
 """
 
 from __future__ import annotations
 
-import os
 import struct
 from typing import Dict, Optional
 
+from repro.engine.vfs import VFS, VFSFile, RealVFS
 from repro.errors import PageError
 
 #: Size of every page in bytes.
@@ -52,9 +56,10 @@ class PageFile:
     commit boundaries.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, vfs: Optional[VFS] = None) -> None:
         self.path = path
-        self._file: Optional[object] = None
+        self.vfs = vfs or RealVFS()
+        self._file: Optional[VFSFile] = None
         self._page_count = 0
         self._free_head: PageId = 0
         self._roots: Dict[str, int] = {}
@@ -65,8 +70,8 @@ class PageFile:
     # ------------------------------------------------------------------
 
     def _open(self) -> None:
-        fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
-        self._file = open(self.path, "r+b" if not fresh else "w+b")
+        fresh = not self.vfs.exists(self.path) or self.vfs.size(self.path) == 0
+        self._file = self.vfs.open(self.path, "r+b" if not fresh else "w+b")
         if fresh:
             self._page_count = 1
             self._free_head = 0
@@ -90,8 +95,7 @@ class PageFile:
     def sync(self) -> None:
         """Flush the header and fsync the file (durability point)."""
         self._write_header()
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        self._file.sync()
 
     # ------------------------------------------------------------------
     # Header management

@@ -31,6 +31,7 @@ from repro.engine.locks import LockManager, LockMode
 from repro.engine.pages import PageFile
 from repro.engine.txn import DELETED, Transaction, TxnStatus
 from repro.engine.versioning import VersionChain, preserve_version
+from repro.engine.vfs import VFS, CountingVFS, RealVFS
 from repro.engine.wal import WriteAheadLog
 from repro.obs import Instrumentation, resolve
 from repro.errors import (
@@ -80,6 +81,19 @@ class ObjectStore:
         sync_commits: fsync the WAL at commit.  Tests may disable it.
         checkpoint_after_bytes: WAL size that triggers an automatic
             checkpoint at the next commit boundary.
+        vfs: the file-system seam every byte of I/O crosses (see
+            :mod:`repro.engine.vfs`).  Defaults to the real filesystem;
+            tests inject a :class:`~repro.engine.vfs.FaultInjectingVFS`
+            to crash the store at chosen I/O operations.  Whatever is
+            passed is wrapped in a :class:`~repro.engine.vfs.CountingVFS`
+            feeding ``engine.io.*`` counters.
+        group_commit: batch consecutive commits into one WAL fsync (and
+            one page-force).  Bounded durability relaxation — at most
+            ``group_commit_size - 1`` trailing commits can be lost to a
+            power failure, each atomically; crash *consistency* is
+            unaffected.  See ``docs/durability.md``.
+        group_commit_size: commits per durability point when
+            ``group_commit`` is on.
     """
 
     _META_ROOT = "meta.rid"
@@ -96,6 +110,9 @@ class ObjectStore:
         sync_commits: bool = True,
         checkpoint_after_bytes: int = 8 * 1024 * 1024,
         instrumentation: Optional[Instrumentation] = None,
+        vfs: Optional[VFS] = None,
+        group_commit: bool = False,
+        group_commit_size: int = 8,
     ) -> None:
         self.path = path
         self.cache_pages = cache_pages
@@ -104,8 +121,14 @@ class ObjectStore:
         self.locking = locking
         self.sync_commits = sync_commits
         self.checkpoint_after_bytes = checkpoint_after_bytes
+        self.group_commit = group_commit
+        self.group_commit_size = group_commit_size
         #: Shared by the buffer pool, the WAL and every B+tree below.
         self.instrumentation = resolve(instrumentation)
+        #: The raw injected VFS (shared with vacuum's target store).
+        self._base_vfs: VFS = vfs or RealVFS()
+        #: The counting wrapper every engine component below receives.
+        self.vfs: VFS = CountingVFS(self._base_vfs, self.instrumentation)
 
         self.stats = StoreStats()
         self.locks = LockManager()
@@ -129,31 +152,67 @@ class ObjectStore:
     # ------------------------------------------------------------------
 
     def open(self) -> None:
-        """Open (creating if absent), running crash recovery if needed."""
+        """Open (creating if absent), running crash recovery if needed.
+
+        On *any* failure — a corrupt WAL raising
+        :class:`~repro.errors.RecoveryError`, a bad header page — every
+        handle opened so far is closed and the store is reset to its
+        closed state before the exception propagates, so a failed open
+        neither leaks file descriptors nor leaves a half-open store.
+        """
         with self._mutex:
             if self.is_open:
                 return
-            self._wal = WriteAheadLog(
-                self.path + ".wal",
-                sync_on_commit=self.sync_commits,
-                instrumentation=self.instrumentation,
-            )
-            self._recover_if_needed()
-            self._file = PageFile(self.path)
-            self._pool = BufferPool(
-                self._file, self.cache_pages,
-                instrumentation=self.instrumentation,
-            )
-            self._heap = HeapFile(self._pool, "data")
-            self._catalog = Catalog(self._heap)
-            self._directory = BTree(
-                self._pool, self._file.get_root(self._DIR_ROOT, 0)
-            )
-            self._extent = BTree(
-                self._pool, self._file.get_root(self._EXTENT_ROOT, 0)
-            )
-            self._load_meta()
-            self._load_indexes()
+            try:
+                self._wal = WriteAheadLog(
+                    self.path + ".wal",
+                    sync_on_commit=self.sync_commits,
+                    instrumentation=self.instrumentation,
+                    vfs=self.vfs,
+                    group_commit=self.group_commit,
+                    group_commit_size=self.group_commit_size,
+                )
+                self._recover_if_needed()
+                self._file = PageFile(self.path, vfs=self.vfs)
+                self._pool = BufferPool(
+                    self._file, self.cache_pages,
+                    instrumentation=self.instrumentation,
+                )
+                self._heap = HeapFile(self._pool, "data")
+                self._catalog = Catalog(self._heap)
+                self._directory = BTree(
+                    self._pool, self._file.get_root(self._DIR_ROOT, 0)
+                )
+                self._extent = BTree(
+                    self._pool, self._file.get_root(self._EXTENT_ROOT, 0)
+                )
+                self._load_meta()
+                self._load_indexes()
+            except BaseException:
+                self._dispose_handles()
+                raise
+
+    def _dispose_handles(self) -> None:
+        """Close any open file handles and reset to the closed state.
+
+        Used when :meth:`open` fails part-way: without it a corrupt WAL
+        would leave ``self._wal`` holding an open descriptor that
+        :meth:`close` (a no-op on a closed store) never released.
+        """
+        for handle in (self._wal, self._file):
+            if handle is not None:
+                try:
+                    handle.close()
+                except Exception:
+                    pass  # disposal must not mask the original error
+        self._file = None
+        self._pool = None
+        self._wal = None
+        self._heap = None
+        self._catalog = None
+        self._directory = None
+        self._extent = None
+        self._indexes = {}
 
     def _recover_if_needed(self) -> None:
         """Physical redo of committed work left in the WAL."""
@@ -161,7 +220,7 @@ class ObjectStore:
         if not work:
             return
         self.instrumentation.count("engine.store.recoveries")
-        file = PageFile(self.path)
+        file = PageFile(self.path, vfs=self.vfs)
         try:
             for _txid, records in work:
                 for record in records:
@@ -181,23 +240,24 @@ class ObjectStore:
         self.stats.checkpoints += 1
 
     def close(self) -> None:
-        """Checkpoint and close.  An open transaction is aborted."""
+        """Checkpoint and close.  An open transaction is **aborted**.
+
+        Contract note: ``close()`` *silently discards* uncommitted
+        writes — closing is a deliberate end-of-session action and the
+        deferred-update design makes the discard safe (nothing
+        uncommitted ever reached a data page).  This is intentionally
+        the opposite of :meth:`drop_cache`, which *raises*
+        :class:`~repro.errors.TransactionError` on uncommitted writes
+        because dropping the cache mid-transaction is almost always a
+        harness sequencing bug.  Both behaviours are pinned by tests.
+        """
         with self._mutex:
             if not self.is_open:
                 return
             if self._current is not None:
                 self._abort_txn(self._current)
             self.checkpoint()
-            self._wal.close()
-            self._file.close()
-            self._file = None
-            self._pool = None
-            self._wal = None
-            self._heap = None
-            self._catalog = None
-            self._directory = None
-            self._extent = None
-            self._indexes = {}
+            self._dispose_handles()
 
     @property
     def is_open(self) -> bool:
@@ -231,6 +291,8 @@ class ObjectStore:
         """Force all pages, fsync the data file, truncate the WAL."""
         self._require_open()
         with self.instrumentation.span("store.checkpoint"):
+            if self._wal.pending_commits:
+                self._wal.sync(force=True)  # write-ahead: log before pages
             self._save_roots()
             self._pool.flush_all()
             self._file.sync()
@@ -243,10 +305,24 @@ class ObjectStore:
 
         This is the hook behind the protocol's section 5.3(e) close
         step; it also resets the pool's hit/miss statistics.
+
+        Contract note: unlike :meth:`close` (which silently aborts an
+        open transaction), ``drop_cache`` **raises**
+        :class:`~repro.errors.TransactionError` when the current
+        transaction has uncommitted writes.  A cache drop is a
+        measurement-protocol step, not a session end: reaching it with
+        buffered writes means the harness forgot a commit, and eating
+        the writes would silently corrupt the measurement.
+
+        Raises:
+            TransactionError: if the active transaction has buffered
+                writes.
         """
         self._require_open()
         if self._current is not None and self._current.write_set:
             raise TransactionError("cannot drop cache with uncommitted writes")
+        if self._wal.pending_commits:
+            self._wal.sync(force=True)  # write-ahead: log before pages
         self._save_roots()
         self._pool.drop_cache()
         self._pool.stats.reset()
@@ -668,7 +744,16 @@ class ObjectStore:
         self._log_and_force(txn.txid)
 
     def _log_and_force(self, txid: int) -> None:
-        """WAL the dirty page images + roots, fsync, then force pages."""
+        """WAL the dirty page images + roots, fsync, then force pages.
+
+        With group commit, the WAL defers the fsync until a batch of
+        commits has accumulated; page-forcing is deferred in lockstep —
+        dirty pages stay in the pool (re-logged by the next commit, so
+        replay still sees every committed image) and are flushed only
+        when the batch reaches its durability point.  This preserves
+        the write-ahead rule: no page image reaches the data file
+        before the log records that can recreate it are durable.
+        """
         records = [
             wal_mod.page_record(txid, pid, image)
             for pid, image in self._pool.dirty_pages().items()
@@ -676,7 +761,9 @@ class ObjectStore:
         records.append(
             wal_mod.roots_record(txid, self._file.roots_snapshot())
         )
-        self._wal.log_commit(txid, records)
+        synced = self._wal.log_commit(txid, records)
+        if not synced:
+            return  # group commit: pages force at the batch boundary
         self._pool.flush_all()
         if self._wal_size() > self.checkpoint_after_bytes:
             self._file.sync()
@@ -684,12 +771,7 @@ class ObjectStore:
             self.stats.checkpoints += 1
 
     def _wal_size(self) -> int:
-        import os
-
-        try:
-            return os.path.getsize(self._wal.path)
-        except OSError:
-            return 0
+        return self.vfs.size(self._wal.path)
 
     def _apply_insert(
         self,
@@ -949,19 +1031,17 @@ class ObjectStore:
 
         Requires no active transaction.  Returns before/after sizes.
         """
-        import os
-
         with self._mutex:
             self._require_open()
             if self._current is not None and self._current.write_set:
                 raise TransactionError("cannot vacuum with uncommitted writes")
             self.checkpoint()
-            size_before = os.path.getsize(self.path)
+            size_before = self.vfs.size(self.path)
 
             compact_path = self.path + ".vacuum"
             for stale in (compact_path, compact_path + ".wal"):
-                if os.path.exists(stale):
-                    os.remove(stale)
+                if self.vfs.exists(stale):
+                    self.vfs.remove(stale)
             target = ObjectStore(
                 compact_path,
                 cache_pages=self.cache_pages,
@@ -969,21 +1049,22 @@ class ObjectStore:
                 versioned=self.versioned,
                 sync_commits=False,
                 instrumentation=self.instrumentation,
+                vfs=self._base_vfs,
             )
             target.open()
             self._copy_contents_into(target)
             target.close()
 
             self.close()
-            os.replace(compact_path, self.path)
+            self.vfs.replace(compact_path, self.path)
             wal_path = self.path + ".wal"
-            if os.path.exists(wal_path):
-                os.remove(wal_path)
+            if self.vfs.exists(wal_path):
+                self.vfs.remove(wal_path)
             vacuum_wal = compact_path + ".wal"
-            if os.path.exists(vacuum_wal):
-                os.remove(vacuum_wal)
+            if self.vfs.exists(vacuum_wal):
+                self.vfs.remove(vacuum_wal)
             self.open()
-            size_after = os.path.getsize(self.path)
+            size_after = self.vfs.size(self.path)
             return VacuumStats(size_before, size_after)
 
     def _copy_contents_into(self, target: "ObjectStore") -> None:
@@ -1041,30 +1122,28 @@ class ObjectStore:
         database; the snapshot is a plain copy of it.  Requires no
         active transaction.
         """
-        import shutil
-
         with self._mutex:
             self._require_open()
             if self._current is not None and self._current.write_set:
                 raise TransactionError("cannot back up with uncommitted writes")
             self.checkpoint()
-            shutil.copyfile(self.path, path)
+            self.vfs.copy(self.path, path)
 
     @staticmethod
-    def restore(backup_path: str, db_path: str) -> None:
+    def restore(
+        backup_path: str, db_path: str, vfs: Optional[VFS] = None
+    ) -> None:
         """Replace the database at ``db_path`` with a backup snapshot.
 
         The target store must be closed.  Any leftover WAL beside the
         target is removed — its contents belong to the overwritten
         database, not the snapshot.
         """
-        import os
-        import shutil
-
-        shutil.copyfile(backup_path, db_path)
+        fs = vfs or RealVFS()
+        fs.copy(backup_path, db_path)
         wal_path = db_path + ".wal"
-        if os.path.exists(wal_path):
-            os.remove(wal_path)
+        if fs.exists(wal_path):
+            fs.remove(wal_path)
 
     def record_timestamp(self, oid: int) -> int:
         """The commit timestamp of an object's current committed state.

@@ -30,12 +30,12 @@ records ride along for diagnostics and for the logical-replay tests.
 from __future__ import annotations
 
 import dataclasses
-import os
 import struct
 import zlib
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.engine import serializer
+from repro.engine.vfs import VFS, RealVFS
 from repro.errors import RecoveryError
 from repro.obs import Instrumentation, resolve
 
@@ -78,24 +78,55 @@ class LogRecord:
 
 
 class WriteAheadLog:
-    """Append-only log file with group-commit-style fsync."""
+    """Append-only log file with optional group commit.
+
+    Args:
+        path: the log file.
+        sync_on_commit: fsync at each commit point.  Tests and
+            benchmark-mode stores disable it.
+        instrumentation: counter/span sink (``engine.wal.*``).
+        vfs: the file-system seam; defaults to the real one.  The store
+            passes its (counting, possibly fault-injecting) VFS here so
+            the log's I/O is observed with everything else.
+        group_commit: batch consecutive commits into one fsync.  A
+            commit's records are still *written* (and flushed to the OS)
+            immediately — crash *consistency* is unchanged — but the
+            fsync is deferred until ``group_commit_size`` commits have
+            accumulated, a checkpoint runs, or the log closes.  The
+            durability relaxation is bounded: at most the last
+            ``group_commit_size - 1`` commits can be lost to a power
+            failure, each atomically.
+        group_commit_size: commits per fsync in group-commit mode.
+    """
 
     def __init__(
         self,
         path: str,
         sync_on_commit: bool = True,
         instrumentation: Optional[Instrumentation] = None,
+        vfs: Optional[VFS] = None,
+        group_commit: bool = False,
+        group_commit_size: int = 8,
     ) -> None:
+        if group_commit_size < 1:
+            raise ValueError("group_commit_size must be >= 1")
         self.path = path
         self.sync_on_commit = sync_on_commit
-        self._file = open(path, "ab+")
+        self.vfs = vfs or RealVFS()
+        self.group_commit = group_commit
+        self.group_commit_size = group_commit_size
+        self._file = self.vfs.open(path, "ab+")
         self.records_written = 0
         self.syncs = 0
+        #: Commits whose fsync is still pending (group-commit mode).
+        self.pending_commits = 0
         self._instr = resolve(instrumentation)
 
     def close(self) -> None:
-        """Flush and close the log file."""
+        """Flush (fsyncing any pending group) and close the log file."""
         if self._file is not None:
+            if self.pending_commits:
+                self.sync(force=True)
             self._file.flush()
             self._file.close()
             self._file = None
@@ -113,22 +144,42 @@ class WriteAheadLog:
         self._instr.count("engine.wal.records")
         self._instr.count("engine.wal.bytes", _FRAME.size + len(payload))
 
-    def sync(self) -> None:
-        """Force appended records to stable storage (the commit point)."""
+    def sync(self, force: bool = False) -> bool:
+        """Force appended records to stable storage (the commit point).
+
+        In group-commit mode the fsync is deferred until
+        ``group_commit_size`` commits are pending (or ``force=True``);
+        deferred calls still flush to the OS so readers observe the
+        records.  Returns whether a real durability point was taken.
+        """
+        if self.group_commit and not force:
+            self.pending_commits += 1
+            if self.pending_commits < self.group_commit_size:
+                self._file.flush()
+                self._instr.count("engine.wal.group_commit.deferred")
+                return False
+            self._instr.count("engine.wal.group_commit.batches")
         self._file.flush()
         if self.sync_on_commit:
-            os.fsync(self._file.fileno())
+            self._file.sync()
+        self.pending_commits = 0
         self.syncs += 1
         self._instr.count("engine.wal.syncs")
+        return True
 
-    def log_commit(self, txid: int, operations: List[LogRecord]) -> None:
-        """Write BEGIN + operations + COMMIT and make them durable."""
+    def log_commit(self, txid: int, operations: List[LogRecord]) -> bool:
+        """Write BEGIN + operations + COMMIT and make them durable.
+
+        Returns whether the records reached a durability point (always
+        true outside group-commit mode; in group-commit mode, true only
+        on the commit that closes a batch).
+        """
         with self._instr.span("wal.commit"):
             self.append(LogRecord(BEGIN, txid=txid))
             for op in operations:
                 self.append(op)
             self.append(LogRecord(COMMIT, txid=txid))
-            self.sync()
+            return self.sync()
 
     def log_checkpoint(self) -> None:
         """Record that all prior changes are on data pages, then truncate.
@@ -139,7 +190,7 @@ class WriteAheadLog:
         self._file.truncate(0)
         self._file.seek(0)
         self.append(LogRecord(CHECKPOINT))
-        self.sync()
+        self.sync(force=True)
 
     # ------------------------------------------------------------------
     # Reading and recovery
@@ -148,12 +199,17 @@ class WriteAheadLog:
     def read_all(self) -> Iterator[LogRecord]:
         """Iterate every intact record; stop cleanly at a torn tail."""
         self._file.flush()
-        with open(self.path, "rb") as f:
+        with self.vfs.open(self.path, "rb") as f:
             while True:
                 frame = f.read(_FRAME.size)
                 if len(frame) < _FRAME.size:
-                    return
+                    return  # torn mid-frame-header (or clean EOF)
                 length, crc = _FRAME.unpack(frame)
+                if length == 0:
+                    # A zero-length frame with a matching CRC is what a
+                    # zero-filled tail block looks like (crc32(b"") is
+                    # 0): treat it as end-of-log, not as a record.
+                    return
                 payload = f.read(length)
                 if len(payload) < length:
                     return  # torn tail write

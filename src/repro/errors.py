@@ -67,6 +67,22 @@ class SchemaError(StorageError):
     """A catalog/schema operation failed (unknown class, duplicate field)."""
 
 
+class NetworkError(HyperModelError):
+    """Base class for simulated network failures (see repro.netsim.faults)."""
+
+
+class RpcDroppedError(NetworkError):
+    """A simulated RPC was dropped on the wire (request or response lost)."""
+
+
+class RpcTimeoutError(NetworkError):
+    """A simulated RPC timed out waiting for the server's response."""
+
+
+class RpcExhaustedError(NetworkError):
+    """An RPC kept failing after the client's bounded retries ran out."""
+
+
 class QueryError(HyperModelError):
     """Base class for ad-hoc query language errors."""
 

@@ -8,7 +8,10 @@
 * :mod:`repro.harness.results` — result records with JSON persistence;
 * :mod:`repro.harness.report` — paper-style result tables;
 * :mod:`repro.harness.runner` — the full grid driver
-  (backends x levels x operations).
+  (backends x levels x operations);
+* :mod:`repro.harness.crashtest` — the crash-recovery matrix (kill the
+  engine at every mutating I/O operation, reopen, verify atomicity and
+  durability), surfaced as the ``repro crashtest`` CLI subcommand.
 """
 
 from repro.harness.protocol import ColdWarmResult, run_operation_sequence

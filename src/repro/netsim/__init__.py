@@ -12,11 +12,21 @@ architecture deterministically:
 * :class:`~repro.netsim.server.ObjectServer` — the server-side node
   store, charging the clock for every request;
 * :class:`~repro.netsim.cache.WorkstationCache` — the client-side LRU
-  object cache with check-out/check-in accounting.
+  object cache with check-out/check-in accounting;
+* :class:`~repro.netsim.faults.FaultModel` — seeded per-request
+  drop/timeout fault injection on the simulated wire, retried with
+  bounded backoff by the client/server backend.
 """
 
 from repro.netsim.latency import LatencyModel, SimulatedClock
 from repro.netsim.cache import WorkstationCache
+from repro.netsim.faults import FaultModel
 from repro.netsim.server import ObjectServer
 
-__all__ = ["LatencyModel", "SimulatedClock", "WorkstationCache", "ObjectServer"]
+__all__ = [
+    "LatencyModel",
+    "SimulatedClock",
+    "WorkstationCache",
+    "FaultModel",
+    "ObjectServer",
+]

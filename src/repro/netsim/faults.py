@@ -1,0 +1,97 @@
+"""Seeded fault injection for the simulated network channel.
+
+The storage engine's :mod:`repro.engine.vfs` makes disk failure
+testable; this module is the same philosophy applied to the simulated
+workstation/server wire.  A :class:`FaultModel` makes a deterministic
+per-request decision — deliver, drop, or time out — driven by a seeded
+PRNG, so a given ``(seed, request sequence)`` replays identically.
+
+Faults still cost simulated time: a *drop* wastes the request's round
+trip (the packet travelled and died), a *timeout* charges the client's
+full timeout window.  The client/server backend wraps every server
+interaction in a bounded retry-with-backoff loop (counted under
+``backend.rpc.retries``), so the benchmark can quantify what an 0.1 %
+loss rate does to a closure traversal instead of guessing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Optional
+
+from repro.errors import RpcDroppedError, RpcTimeoutError
+
+__all__ = ["FaultModel", "NO_FAULTS"]
+
+
+@dataclasses.dataclass
+class FaultModel:
+    """A deterministic per-request fault decision source.
+
+    Attributes:
+        seed: drives the PRNG; same seed, same fault sequence.
+        drop_rate: probability a request is dropped on the wire.
+        timeout_rate: probability a request times out instead.
+        timeout_seconds: simulated time a timed-out request costs the
+            client before it notices.
+
+    The two rates are evaluated independently per request (drop first),
+    so ``drop_rate=0.01, timeout_rate=0.01`` yields roughly 2 % faulty
+    requests.  A model with both rates zero never faults and costs one
+    PRNG draw per request.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    timeout_rate: float = 0.0
+    timeout_seconds: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "timeout_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.timeout_seconds < 0:
+            raise ValueError("timeout_seconds cannot be negative")
+        self._rng = random.Random(self.seed)
+        #: Requests faulted so far, by kind (introspection for reports).
+        self.drops = 0
+        self.timeouts = 0
+
+    # ------------------------------------------------------------------
+
+    def next_fault(self) -> Optional[str]:
+        """The fault decision for the next request.
+
+        Returns ``"drop"``, ``"timeout"`` or ``None`` (deliver).  One
+        PRNG draw per possible fault kind keeps the sequence stable
+        when one rate is zero.
+        """
+        if self.drop_rate and self._rng.random() < self.drop_rate:
+            self.drops += 1
+            return "drop"
+        if self.timeout_rate and self._rng.random() < self.timeout_rate:
+            self.timeouts += 1
+            return "timeout"
+        return None
+
+    def raise_fault(self, kind: str, request: str) -> None:
+        """Raise the exception matching a :meth:`next_fault` decision."""
+        if kind == "drop":
+            raise RpcDroppedError(f"simulated drop of {request} request")
+        if kind == "timeout":
+            raise RpcTimeoutError(
+                f"simulated timeout ({self.timeout_seconds * 1000:.0f} ms) "
+                f"of {request} request"
+            )
+        raise ValueError(f"unknown fault kind {kind!r}")
+
+    def reset(self) -> None:
+        """Re-seed the PRNG and zero the fault counts (replay support)."""
+        self._rng = random.Random(self.seed)
+        self.drops = self.timeouts = 0
+
+
+#: A model that never faults (the default wire behaviour).
+NO_FAULTS = FaultModel()

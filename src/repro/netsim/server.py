@@ -21,6 +21,7 @@ import dataclasses
 from typing import Any, Dict, List, Optional
 
 from repro.engine import serializer
+from repro.netsim.faults import FaultModel
 from repro.netsim.latency import LatencyModel, SimulatedClock
 from repro.obs import Instrumentation, resolve
 from repro.errors import NodeNotFoundError
@@ -54,17 +55,27 @@ class ServerStats:
 
 
 class ObjectServer:
-    """A remote node store charging simulated network time."""
+    """A remote node store charging simulated network time.
+
+    ``fault_model`` (see :mod:`repro.netsim.faults`) injects seeded
+    drop/timeout faults at the channel: a faulted request raises
+    :class:`~repro.errors.RpcDroppedError` or
+    :class:`~repro.errors.RpcTimeoutError` *after* charging the clock
+    for the wasted wire time, and the request never touches server
+    state.  The client retries with bounded backoff.
+    """
 
     def __init__(
         self,
         clock: Optional[SimulatedClock] = None,
         latency: Optional[LatencyModel] = None,
         instrumentation: Optional[Instrumentation] = None,
+        fault_model: Optional[FaultModel] = None,
     ) -> None:
         self.clock = clock or SimulatedClock()
         self.latency = latency or LatencyModel()
         self.stats = ServerStats()
+        self.fault_model = fault_model
         self.instrumentation = resolve(instrumentation)
         self._instr = self.instrumentation
         self._records: Dict[int, Dict[str, Any]] = {}
@@ -108,6 +119,29 @@ class ObjectServer:
         self._instr.count("backend.rpc.round_trips")
         self._instr.count("netsim.latency.injected_ms", cost * 1000.0)
 
+    def _maybe_fault(self, request: str) -> None:
+        """Consult the fault model before serving a request.
+
+        A *drop* costs one wasted round trip (the request travelled and
+        died); a *timeout* costs the model's full timeout window.  The
+        fault is raised before any server state changes, so a retried
+        ``store`` is idempotent from the server's point of view.
+        """
+        if self.fault_model is None:
+            return
+        kind = self.fault_model.next_fault()
+        if kind is None:
+            return
+        self._instr.count("backend.rpc.faults")
+        self._instr.count(f"backend.rpc.faults.{kind}")
+        if kind == "timeout":
+            wasted = self.fault_model.timeout_seconds
+        else:
+            wasted = self.latency.request_cost(0)
+        self.clock.advance(wasted)
+        self._instr.count("netsim.latency.injected_ms", wasted * 1000.0)
+        self.fault_model.raise_fault(kind, request)
+
     @staticmethod
     def record_size(record: Dict[str, Any]) -> int:
         """Wire size of a record (its serialized length)."""
@@ -137,6 +171,7 @@ class ObjectServer:
             NodeNotFoundError: for an unknown uid (still charged a
                 round trip — the request happened).
         """
+        self._maybe_fault("fetch")
         self.stats.fetches += 1
         record = self._records.get(uid)
         if record is None:
@@ -162,6 +197,7 @@ class ObjectServer:
         request is still charged one round trip — it happened), matching
         the per-item :meth:`fetch` error contract.
         """
+        self._maybe_fault("fetch_many")
         self.stats.batch_fetches += 1
         unique: List[int] = []
         seen = set()
@@ -196,6 +232,7 @@ class ObjectServer:
         ``from_cache`` identifies the uploading client's cache so it is
         excluded from the coherence invalidation broadcast.
         """
+        self._maybe_fault("store")
         self.stats.stores += 1
         size = self.record_size(record)
         self.stats.bytes_received += size
@@ -206,6 +243,7 @@ class ObjectServer:
 
     def exists(self, uid: int) -> bool:
         """Key-existence probe (the server-side name-lookup index hit)."""
+        self._maybe_fault("exists")
         self.stats.probes += 1
         self._charge(_PROBE_BYTES)
         return uid in self._records
@@ -221,6 +259,7 @@ class ObjectServer:
         at the server, only references come back — the design point
         R7 makes about letting the database do work remotely.
         """
+        self._maybe_fault("range_query")
         self.stats.queries += 1
         result = [
             uid
@@ -235,6 +274,7 @@ class ObjectServer:
 
     def scan_structure(self, structure_id: int) -> List[int]:
         """All uids of one structure, in uid order (server-side scan)."""
+        self._maybe_fault("scan_structure")
         self.stats.scans += 1
         result = sorted(
             uid
@@ -249,6 +289,7 @@ class ObjectServer:
 
     def referrers_of(self, uid: int) -> List[int]:
         """Server-side inverse-reference query (op 08's index)."""
+        self._maybe_fault("referrers_of")
         self.stats.queries += 1
         result = [
             src
@@ -264,6 +305,7 @@ class ObjectServer:
 
     def store_list(self, name: str, uids: List[int]) -> None:
         """Persist a named node list server-side."""
+        self._maybe_fault("store_list")
         self.stats.stores += 1
         self._charge(_PROBE_BYTES + _UID_BYTES * len(uids))
         self._lists[name] = list(uids)
@@ -274,6 +316,7 @@ class ObjectServer:
         Raises:
             NodeNotFoundError: for an unknown list name.
         """
+        self._maybe_fault("load_list")
         self.stats.fetches += 1
         uids = self._lists.get(name)
         if uids is None:

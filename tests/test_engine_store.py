@@ -386,3 +386,198 @@ class TestSchemaEvolutionOnLiveData:
         state = store.get(oid)
         assert state["circles"] == 3
         assert state["value"] == 0  # inherited default
+
+
+class TestOpenFailureCleanup:
+    """Regression: a failed open() must not leak the WAL handle."""
+
+    def _write_corrupt_wal(self, path):
+        """A frame whose CRC checks out but whose payload is garbage."""
+        import struct
+        import zlib
+
+        payload = b"\xff\xfe\xfd\xfc not a serialized record"
+        frame = struct.pack(
+            "<II", len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+        )
+        with open(path + ".wal", "wb") as f:
+            f.write(frame + payload)
+
+    def test_recovery_error_releases_handles(self, tmp_path):
+        from repro.errors import RecoveryError
+
+        path = os.path.join(str(tmp_path), "corrupt.hmdb")
+        self._write_corrupt_wal(path)
+        store = ObjectStore(path, sync_commits=False)
+        with pytest.raises(RecoveryError):
+            store.open()
+        # The leak: _wal used to keep its descriptor open here, and
+        # close() (a no-op on a closed store) never released it.
+        assert store._wal is None
+        assert store._file is None
+        assert not store.is_open
+
+    def test_store_reopens_after_fixing_the_wal(self, tmp_path):
+        from repro.errors import RecoveryError
+
+        path = os.path.join(str(tmp_path), "corrupt2.hmdb")
+        self._write_corrupt_wal(path)
+        store = ObjectStore(path, sync_commits=False)
+        with pytest.raises(RecoveryError):
+            store.open()
+        os.remove(path + ".wal")  # operator repair: discard the bad log
+        store.open()
+        store.define_class("Item", [FieldDefinition("value", default=0)])
+        oid = store.new("Item", {"value": 5})
+        store.commit()
+        assert store.get(oid)["value"] == 5
+        store.close()
+
+
+class TestCloseDropCacheContract:
+    """close() silently aborts; drop_cache() raises.  Both are pinned."""
+
+    def test_close_silently_discards_uncommitted_writes(self, store):
+        oid = store.new("Item", {"value": 1})
+        store.commit()
+        store.update(oid, {"value": 99})  # uncommitted
+        store.close()  # no exception: end-of-session discard
+        store.open()
+        assert store.get(oid)["value"] == 1
+
+    def test_drop_cache_raises_on_uncommitted_writes(self, store):
+        oid = store.new("Item", {"value": 1})
+        store.commit()
+        store.update(oid, {"value": 99})  # uncommitted
+        with pytest.raises(TransactionError):
+            store.drop_cache()
+        store.commit()
+        store.drop_cache()  # fine once the writes are committed
+        assert store.get(oid)["value"] == 99
+
+    def test_drop_cache_allows_read_only_transaction(self, store):
+        oid = store.new("Item", {"value": 7})
+        store.commit()
+        store.get(oid)  # read-only implicit transaction
+        store.drop_cache()  # reads buffered nothing: allowed
+        assert store.get(oid)["value"] == 7
+
+
+class TestStoreGroupCommit:
+    def _group_store(self, tmp_path, **kwargs):
+        kwargs.setdefault("group_commit", True)
+        kwargs.setdefault("group_commit_size", 4)
+        kwargs.setdefault("sync_commits", True)
+        return _make_store(tmp_path, "group.hmdb", **kwargs)
+
+    def test_fewer_syncs_than_commits(self, tmp_path):
+        from repro.obs import Instrumentation
+
+        instr = Instrumentation()
+        store = self._group_store(tmp_path, instrumentation=instr)
+        store.open()
+        store.define_class("Item", [FieldDefinition("value", default=0)])
+        before = instr.snapshot()
+        for value in range(8):
+            store.new("Item", {"value": value})
+            store.commit()
+        delta = instr.snapshot().delta(before)
+        assert delta.get("engine.wal.group_commit.batches", 0) == 2
+        assert delta.get("engine.wal.group_commit.deferred", 0) == 6
+        assert delta.get("engine.wal.syncs", 0) < 8
+        store.close()
+
+    def test_deferred_commits_survive_close(self, tmp_path):
+        store = self._group_store(tmp_path, group_commit_size=16)
+        store.open()
+        store.define_class("Item", [FieldDefinition("value", default=0)])
+        oids = []
+        for value in range(3):  # all three deferred (batch of 16)
+            oids.append(store.new("Item", {"value": value}))
+            store.commit()
+        store.close()
+        store.open()
+        assert [store.get(oid)["value"] for oid in oids] == [0, 1, 2]
+        store.close()
+
+    def test_deferred_commits_recovered_after_crash(self, tmp_path):
+        path = os.path.join(str(tmp_path), "groupcrash.hmdb")
+        store = ObjectStore(
+            path, sync_commits=False, group_commit=True, group_commit_size=8
+        )
+        store.open()
+        store.define_class("Item", [FieldDefinition("value", default=0)])
+        oid = store.new("Item", {"value": 42})
+        store.commit()  # deferred: pages not forced yet
+        # Crash without close: the flushed-but-unsynced WAL survives in
+        # the OS page cache (this process's view), so recovery sees it.
+        store._wal._file.flush()
+        store._wal._file.close()
+        store._wal._file = None
+        store._file._file.close()
+        store._file._file = None
+
+        recovered = ObjectStore(path, sync_commits=False)
+        recovered.open()
+        assert recovered.get(oid)["value"] == 42
+        recovered.close()
+
+    def test_invalid_group_commit_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            self._group_store(tmp_path, group_commit_size=0).open()
+
+
+class TestVfsThreading:
+    def test_engine_io_counters_flow_from_store(self, tmp_path):
+        from repro.obs import Instrumentation
+
+        instr = Instrumentation()
+        store = _make_store(tmp_path, "io.hmdb", instrumentation=instr)
+        store.open()
+        store.define_class("Item", [FieldDefinition("value", default=0)])
+        store.new("Item", {"value": 1})
+        store.commit()
+        store.close()
+        counters = instr.snapshot()
+        assert counters.get("engine.io.opens") >= 2  # data file + WAL
+        assert counters.get("engine.io.writes") > 0
+        assert counters.get("engine.io.bytes_written") > 0
+        assert counters.get("engine.io.syncs") > 0
+
+    def test_injected_crash_mid_commit_recovers_cleanly(self, tmp_path):
+        from repro.engine.vfs import FaultInjectingVFS, SimulatedCrash
+
+        path = os.path.join(str(tmp_path), "inject.hmdb")
+        # First pass: count the I/O of one committed transaction.
+        probe = FaultInjectingVFS()
+        store = ObjectStore(path, sync_commits=True, vfs=probe)
+        store.open()
+        store.define_class("Item", [FieldDefinition("value", default=0)])
+        oid = store.new("Item", {"value": 1})
+        store.commit()
+        ops_through_first_commit = probe.mutation_ops
+        store._dispose_handles()
+        os.remove(path)
+        os.remove(path + ".wal")
+
+        # Second pass: crash during the *second* commit's I/O.
+        vfs = FaultInjectingVFS().crash_at(ops_through_first_commit + 2)
+        store = ObjectStore(path, sync_commits=True, vfs=vfs)
+        store.open()
+        store.define_class("Item", [FieldDefinition("value", default=0)])
+        oid = store.new("Item", {"value": 1})
+        store.commit()
+        store.new("Item", {"value": 2})
+        with pytest.raises(SimulatedCrash):
+            store.commit()
+        store._dispose_handles()
+
+        recovered = ObjectStore(path)  # fresh RealVFS
+        recovered.open()
+        values = sorted(
+            recovered.get(o)["value"]
+            for o in recovered.scan_class("Item")
+        )
+        assert values in ([1], [1, 2])  # atomic: never a torn mix
+        assert recovered.get(oid)["value"] == 1  # durable: commit 1 held
+        recovered.close()

@@ -1,0 +1,192 @@
+"""The VFS seam: real I/O, counting, deterministic fault injection."""
+
+import os
+
+import pytest
+
+from repro.engine.vfs import (
+    FAULT_KINDS,
+    CountingVFS,
+    FaultInjectedError,
+    FaultInjectingVFS,
+    RealVFS,
+    SimulatedCrash,
+)
+from repro.obs import Instrumentation
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "file.bin")
+
+
+class TestRealVFS:
+    def test_write_read_roundtrip(self, path):
+        vfs = RealVFS()
+        with vfs.open(path, "w+b") as f:
+            f.write(b"hello world")
+            f.sync()
+        with vfs.open(path, "rb") as f:
+            assert f.read() == b"hello world"
+
+    def test_seek_tell_truncate(self, path):
+        vfs = RealVFS()
+        with vfs.open(path, "w+b") as f:
+            f.write(b"0123456789")
+            f.seek(2)
+            assert f.tell() == 2
+            f.truncate(5)
+        assert vfs.size(path) == 5
+
+    def test_exists_size_remove(self, path):
+        vfs = RealVFS()
+        assert not vfs.exists(path)
+        assert vfs.size(path) == 0
+        with vfs.open(path, "w+b") as f:
+            f.write(b"abc")
+        assert vfs.exists(path)
+        assert vfs.size(path) == 3
+        vfs.remove(path)
+        assert not vfs.exists(path)
+        vfs.remove(path)  # missing files are tolerated
+
+    def test_replace_and_copy(self, path, tmp_path):
+        vfs = RealVFS()
+        other = str(tmp_path / "other.bin")
+        with vfs.open(path, "w+b") as f:
+            f.write(b"payload")
+        vfs.copy(path, other)
+        assert vfs.size(other) == 7
+        vfs.replace(other, path)
+        assert not vfs.exists(other)
+        with vfs.open(path, "rb") as f:
+            assert f.read() == b"payload"
+
+    def test_close_is_idempotent(self, path):
+        vfs = RealVFS()
+        f = vfs.open(path, "w+b")
+        f.close()
+        f.close()
+        assert f.closed
+
+
+class TestCountingVFS:
+    def test_counts_reads_writes_syncs(self, path):
+        instr = Instrumentation()
+        vfs = CountingVFS(RealVFS(), instr)
+        with vfs.open(path, "w+b") as f:
+            f.write(b"abcd")
+            f.sync()
+            f.seek(0)
+            f.read()
+            f.truncate(2)
+        counters = instr.snapshot()
+        assert counters["engine.io.opens"] == 1
+        assert counters["engine.io.writes"] == 1
+        assert counters["engine.io.bytes_written"] == 4
+        assert counters["engine.io.reads"] == 1
+        assert counters["engine.io.bytes_read"] == 4
+        assert counters["engine.io.syncs"] == 1
+        assert counters["engine.io.truncates"] == 1
+
+    def test_passes_path_operations_through(self, path):
+        vfs = CountingVFS(RealVFS(), Instrumentation())
+        with vfs.open(path, "w+b") as f:
+            f.write(b"x")
+        assert vfs.exists(path)
+        assert vfs.size(path) == 1
+        vfs.remove(path)
+        assert not vfs.exists(path)
+
+
+class TestFaultInjectingVFS:
+    def test_numbers_mutating_operations(self, path):
+        vfs = FaultInjectingVFS()
+        with vfs.open(path, "w+b") as f:
+            f.write(b"a")  # op 1
+            f.sync()  # op 2
+            f.truncate(0)  # op 3
+            f.seek(0)  # not a mutation
+            f.read()  # not a mutation
+        vfs.remove(path)  # op 4
+        assert vfs.mutation_ops == 4
+
+    def test_fail_raises_transient_error_once(self, path):
+        vfs = FaultInjectingVFS().fail_at(2, "fail")
+        with vfs.open(path, "w+b") as f:
+            f.write(b"a")
+            with pytest.raises(FaultInjectedError):
+                f.write(b"b")
+            f.write(b"c")  # the fault was one-shot
+        assert not vfs.crashed
+        assert [op for op, _kind, _path in vfs.fired] == [2]
+
+    def test_short_write_persists_prefix_but_reports_success(self, path):
+        vfs = FaultInjectingVFS(seed=3).fail_at(1, "short_write")
+        with vfs.open(path, "w+b") as f:
+            assert f.write(b"0123456789") == 10  # the lie
+        assert RealVFS().size(path) < 10
+
+    def test_torn_write_persists_prefix_then_crashes(self, path):
+        vfs = FaultInjectingVFS(seed=5).fail_at(1, "torn_write")
+        f = vfs.open(path, "w+b")
+        with pytest.raises(SimulatedCrash):
+            f.write(b"0123456789")
+        assert vfs.crashed
+        assert RealVFS().size(path) < 10
+
+    def test_drop_fsync_silently_skips_durability(self, path):
+        vfs = FaultInjectingVFS().fail_at(2, "drop_fsync")
+        with vfs.open(path, "w+b") as f:
+            f.write(b"a")
+            f.sync()  # dropped, but no error
+        assert not vfs.crashed
+
+    def test_crash_blocks_every_later_mutation(self, path):
+        vfs = FaultInjectingVFS().crash_at(1)
+        f = vfs.open(path, "w+b")
+        with pytest.raises(SimulatedCrash):
+            f.write(b"a")
+        with pytest.raises(SimulatedCrash):
+            f.write(b"b")
+        with pytest.raises(SimulatedCrash):
+            vfs.remove(path)
+        with pytest.raises(SimulatedCrash):
+            vfs.open(path, "w+b")
+        f.close()  # closing is always allowed
+
+    def test_crashed_vfs_still_reads(self, path):
+        real = RealVFS()
+        with real.open(path, "w+b") as f:
+            f.write(b"before")
+        vfs = FaultInjectingVFS().crash_at(1)
+        with pytest.raises(SimulatedCrash):
+            with vfs.open(path, "r+b") as f:
+                f.write(b"x")
+        with vfs.open(path, "rb") as f:
+            assert f.read() == b"before"
+
+    def test_partial_lengths_are_seeded(self, path):
+        lengths = []
+        for _ in range(2):
+            vfs = FaultInjectingVFS(seed=42).fail_at(1, "short_write")
+            with vfs.open(path, "w+b") as f:
+                f.write(b"x" * 1000)
+            lengths.append(os.path.getsize(path))
+        assert lengths[0] == lengths[1]
+
+    def test_unknown_kind_and_bad_op_rejected(self):
+        vfs = FaultInjectingVFS()
+        with pytest.raises(ValueError):
+            vfs.fail_at(1, "meteor_strike")
+        with pytest.raises(ValueError):
+            vfs.fail_at(0)
+
+    def test_fault_kinds_catalog(self):
+        assert set(FAULT_KINDS) == {
+            "fail",
+            "short_write",
+            "torn_write",
+            "drop_fsync",
+            "crash",
+        }

@@ -86,6 +86,132 @@ class TestFraming:
         reopened.close()
 
 
+class TestTornTailEdgeCases:
+    """The four tail shapes a crash can leave (see docs/durability.md)."""
+
+    def _commit_one(self, wal):
+        wal.log_commit(1, [put_record(1, 1, {"a": 1})])
+        return [BEGIN, PUT, COMMIT]
+
+    def test_frame_header_truncated_mid_frame(self, wal, tmp_path):
+        intact = self._commit_one(wal)
+        size_before = os.path.getsize(str(tmp_path / "test.wal"))
+        wal.append(LogRecord(BEGIN, txid=2))
+        wal.sync()
+        wal.close()
+        path = str(tmp_path / "test.wal")
+        with open(path, "r+b") as f:
+            # Leave only half of the last record's length/crc header.
+            f.truncate(size_before + wal_mod._FRAME.size // 2)
+        reopened = WriteAheadLog(path, sync_on_commit=False)
+        assert [r.kind for r in reopened.read_all()] == intact
+        reopened.close()
+
+    def test_crc_mismatch_on_last_record(self, wal, tmp_path):
+        intact = self._commit_one(wal)
+        size_before = os.path.getsize(str(tmp_path / "test.wal"))
+        wal.append(LogRecord(BEGIN, txid=2))
+        wal.sync()
+        wal.close()
+        path = str(tmp_path / "test.wal")
+        with open(path, "r+b") as f:
+            f.seek(size_before + wal_mod._FRAME.size)  # first payload byte
+            f.write(b"\xff")
+        reopened = WriteAheadLog(path, sync_on_commit=False)
+        assert [r.kind for r in reopened.read_all()] == intact
+        assert [t for t, _ in reopened.recover_operations()] == [1]
+        reopened.close()
+
+    def test_zero_filled_tail_reads_as_end_of_log(self, wal, tmp_path):
+        intact = self._commit_one(wal)
+        wal.close()
+        path = str(tmp_path / "test.wal")
+        with open(path, "ab") as f:
+            # A preallocated-but-unwritten tail block: all zeros.  The
+            # zero length/crc pair must read as end-of-log, not as an
+            # infinite stream of empty records (crc32(b"") is 0).
+            f.write(b"\x00" * 64)
+        reopened = WriteAheadLog(path, sync_on_commit=False)
+        assert [r.kind for r in reopened.read_all()] == intact
+        reopened.close()
+
+    def test_valid_record_after_torn_one_is_ignored(self, wal, tmp_path):
+        import zlib
+
+        intact = self._commit_one(wal)
+        wal.close()
+        payload = LogRecord(BEGIN, txid=9).to_payload()
+        frame = wal_mod._FRAME.pack(
+            len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+        )
+        path = str(tmp_path / "test.wal")
+        with open(path, "ab") as f:
+            f.write(frame + payload[:-3])  # torn record ...
+            f.write(frame + payload)  # ... then a perfectly valid one
+        reopened = WriteAheadLog(path, sync_on_commit=False)
+        # Replay must stop at the tear: bytes beyond it are garbage even
+        # if they happen to contain a well-formed frame.
+        assert [r.kind for r in reopened.read_all()] == intact
+        reopened.close()
+
+
+class TestGroupCommit:
+    def _group_wal(self, tmp_path, size=4):
+        return WriteAheadLog(
+            str(tmp_path / "group.wal"),
+            sync_on_commit=True,
+            group_commit=True,
+            group_commit_size=size,
+        )
+
+    def test_batches_commits_into_one_sync(self, tmp_path):
+        wal = self._group_wal(tmp_path, size=4)
+        results = [
+            wal.log_commit(txid, [put_record(txid, txid, {})])
+            for txid in range(1, 5)
+        ]
+        assert results == [False, False, False, True]
+        assert wal.syncs == 1  # one durability point for four commits
+        assert wal.pending_commits == 0
+        wal.close()
+
+    def test_deferred_commits_still_visible(self, tmp_path):
+        wal = self._group_wal(tmp_path, size=8)
+        wal.log_commit(1, [put_record(1, 1, {"a": 1})])
+        assert wal.pending_commits == 1
+        assert [t for t, _ in wal.recover_operations()] == [1]
+        wal.close()
+
+    def test_close_forces_pending_batch(self, tmp_path):
+        wal = self._group_wal(tmp_path, size=8)
+        wal.log_commit(1, [put_record(1, 1, {})])
+        wal.close()
+        reopened = WriteAheadLog(str(tmp_path / "group.wal"))
+        assert [t for t, _ in reopened.recover_operations()] == [1]
+        reopened.close()
+
+    def test_checkpoint_resets_pending(self, tmp_path):
+        wal = self._group_wal(tmp_path, size=8)
+        wal.log_commit(1, [put_record(1, 1, {})])
+        wal.log_checkpoint()
+        assert wal.pending_commits == 0
+        wal.close()
+
+    def test_size_one_degenerates_to_per_commit_sync(self, tmp_path):
+        wal = self._group_wal(tmp_path, size=1)
+        assert wal.log_commit(1, [put_record(1, 1, {})]) is True
+        assert wal.syncs == 1
+        wal.close()
+
+    def test_invalid_batch_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(
+                str(tmp_path / "bad.wal"),
+                group_commit=True,
+                group_commit_size=0,
+            )
+
+
 class TestRecoverOperations:
     def test_only_committed_transactions_returned(self, wal):
         wal.log_commit(1, [put_record(1, 10, {"x": 1})])

@@ -152,3 +152,185 @@ class TestObjectServer:
         server = ObjectServer(clock, ZERO_COST)
         server.store(1, self._record(1))
         assert clock.now == 0.0  # zero-cost model charges nothing
+
+
+class TestFaultModel:
+    def test_same_seed_same_fault_sequence(self):
+        from repro.netsim.faults import FaultModel
+
+        decisions = []
+        for _ in range(2):
+            model = FaultModel(seed=11, drop_rate=0.3, timeout_rate=0.2)
+            decisions.append([model.next_fault() for _ in range(50)])
+        assert decisions[0] == decisions[1]
+        assert "drop" in decisions[0] and "timeout" in decisions[0]
+
+    def test_zero_rates_never_fault(self):
+        from repro.netsim.faults import FaultModel
+
+        model = FaultModel(seed=1)
+        assert all(model.next_fault() is None for _ in range(100))
+
+    def test_reset_replays(self):
+        from repro.netsim.faults import FaultModel
+
+        model = FaultModel(seed=5, drop_rate=0.5)
+        first = [model.next_fault() for _ in range(20)]
+        model.reset()
+        assert [model.next_fault() for _ in range(20)] == first
+        assert model.drops == first.count("drop")
+
+    def test_rate_validation(self):
+        from repro.netsim.faults import FaultModel
+
+        with pytest.raises(ValueError):
+            FaultModel(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultModel(timeout_seconds=-1)
+
+    def test_raise_fault_kinds(self):
+        from repro.errors import RpcDroppedError, RpcTimeoutError
+        from repro.netsim.faults import FaultModel
+
+        model = FaultModel()
+        with pytest.raises(RpcDroppedError):
+            model.raise_fault("drop", "fetch")
+        with pytest.raises(RpcTimeoutError):
+            model.raise_fault("timeout", "fetch")
+        with pytest.raises(ValueError):
+            model.raise_fault("gremlin", "fetch")
+
+
+class TestServerFaults:
+    def _server(self, **kwargs):
+        from repro.netsim.faults import FaultModel
+
+        return ObjectServer(fault_model=FaultModel(**kwargs))
+
+    def test_faulted_request_charges_time_but_not_state(self):
+        from repro.errors import RpcDroppedError
+
+        server = self._server(seed=0, drop_rate=1.0)
+        before = server.clock.now
+        with pytest.raises(RpcDroppedError):
+            server.store(1, {"uid": 1, "kind": "node"})
+        assert server.clock.now > before  # the wasted round trip
+        assert 1 not in server  # the request never touched state
+
+    def test_timeout_charges_the_timeout_window(self):
+        from repro.errors import RpcTimeoutError
+
+        server = self._server(seed=0, timeout_rate=1.0, timeout_seconds=0.25)
+        with pytest.raises(RpcTimeoutError):
+            server.exists(1)
+        assert server.clock.now >= 0.25
+
+    def test_no_fault_model_serves_normally(self):
+        server = ObjectServer()
+        server.store(1, {"uid": 1, "kind": "node"})
+        assert server.fetch(1)["uid"] == 1
+
+
+class TestClientRetries:
+    def _client(self, **kwargs):
+        from repro.backends.clientserver import ClientServerDatabase
+        from repro.netsim.faults import FaultModel
+        from repro.obs import Instrumentation
+
+        instr = Instrumentation()
+        fault_kwargs = kwargs.pop("faults", {})
+        db = ClientServerDatabase(
+            fault_model=FaultModel(**fault_kwargs) if fault_kwargs else None,
+            instrumentation=instr,
+            **kwargs,
+        )
+        db.open()
+        return db, instr
+
+    def _store_one(self, db, uid=1):
+        from repro.core.model import NodeData, NodeKind
+
+        db.create_node(
+            NodeData(
+                unique_id=uid,
+                ten=1,
+                hundred=1,
+                million=1,
+                kind=NodeKind.NODE,
+            )
+        )
+        db.commit()
+
+    def test_lossy_wire_is_survivable(self):
+        db, instr = self._client(faults=dict(seed=3, drop_rate=0.2))
+        for uid in range(1, 30):
+            self._store_one(db, uid)
+        db.cache.clear()
+        for uid in range(1, 30):
+            assert db.lookup(uid) == uid
+        counters = instr.snapshot()
+        assert counters.get("backend.rpc.retries") > 0
+        assert counters.get("backend.rpc.faults") > 0
+        db.close()
+
+    def test_retries_charge_backoff_to_the_clock(self):
+        db, instr = self._client(
+            faults=dict(seed=1, drop_rate=0.3),
+            rpc_retries=8,
+            rpc_backoff_seconds=0.01,
+        )
+        for uid in range(1, 20):
+            self._store_one(db, uid)
+        counters = instr.snapshot()
+        assert counters.get("backend.rpc.retries") > 0
+        assert counters.get("backend.rpc.backoff_ms") > 0
+        db.close()
+
+    def test_exhausted_retries_raise(self):
+        from repro.errors import RpcExhaustedError
+
+        db, _instr = self._client(
+            faults=dict(seed=0, drop_rate=1.0), rpc_retries=2
+        )
+        with pytest.raises(RpcExhaustedError):
+            db.lookup(1)
+        db._open = False  # close() would commit over the dead wire
+
+    def test_not_found_passes_through_untouched(self):
+        db, instr = self._client()
+        with pytest.raises(NodeNotFoundError):
+            db.lookup(404)
+        assert instr.snapshot().get("backend.rpc.retries") == 0
+        db.close()
+
+    def test_retry_of_store_is_idempotent(self):
+        db, _instr = self._client(faults=dict(seed=7, drop_rate=0.3))
+        for uid in range(1, 15):
+            self._store_one(db, uid)
+        assert db.server.stats.stores >= 14  # retried stores re-count ...
+        for uid in range(1, 15):
+            record = db._rpc(db.server.fetch, uid)
+            assert record["uid"] == uid  # ... but state is clean
+        db.close()
+
+    def test_invalid_retry_configuration_rejected(self):
+        from repro.backends.clientserver import ClientServerDatabase
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ClientServerDatabase(rpc_retries=-1)
+        with pytest.raises(ConfigurationError):
+            ClientServerDatabase(rpc_backoff_seconds=-0.1)
+
+    def test_registry_forwards_fault_options(self):
+        from repro.backends.registry import create_backend
+        from repro.netsim.faults import FaultModel
+
+        db = create_backend(
+            "clientserver",
+            fault_model=FaultModel(seed=2, drop_rate=0.1),
+            rpc_retries=6,
+            rpc_backoff_seconds=0.001,
+        )
+        assert db.rpc_retries == 6
+        assert db.server.fault_model is not None

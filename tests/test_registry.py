@@ -210,3 +210,45 @@ class TestErrorHierarchy:
         syntax_error = QuerySyntaxError("boom", position=13)
         assert syntax_error.position == 13
         assert "position 13" in str(syntax_error)
+
+
+class TestStorageIoOptions:
+    """The vfs/group_commit options flow through create_backend."""
+
+    def test_vfs_option_reaches_the_engine(self, tmp_path):
+        from repro.backends.registry import create_backend
+        from repro.engine.vfs import FaultInjectingVFS
+
+        vfs = FaultInjectingVFS()
+        db = create_backend(
+            "oodb", str(tmp_path / "vfs.hmdb"), vfs=vfs, sync_commits=True
+        )
+        db.open()
+        db.close()
+        assert vfs.mutation_ops > 0  # the engine's I/O crossed the seam
+
+    def test_group_commit_option_reaches_the_wal(self, tmp_path):
+        from repro.backends.registry import create_backend
+
+        db = create_backend(
+            "oodb",
+            str(tmp_path / "gc.hmdb"),
+            group_commit=True,
+            group_commit_size=5,
+        )
+        db.open()
+        assert db.store._wal.group_commit is True
+        assert db.store._wal.group_commit_size == 5
+        db.close()
+
+    def test_network_error_hierarchy(self):
+        from repro.errors import (
+            NetworkError,
+            RpcDroppedError,
+            RpcExhaustedError,
+            RpcTimeoutError,
+        )
+
+        for refined in (RpcDroppedError, RpcTimeoutError, RpcExhaustedError):
+            assert issubclass(refined, NetworkError)
+        assert issubclass(NetworkError, HyperModelError)
