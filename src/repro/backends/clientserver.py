@@ -17,6 +17,7 @@ time, so reported figures combine compute and simulated communication.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.bitmap import Bitmap
@@ -26,7 +27,7 @@ from repro.netsim.cache import WorkstationCache
 from repro.netsim.faults import FaultModel
 from repro.netsim.latency import LatencyModel, SimulatedClock
 from repro.netsim.server import ObjectServer
-from repro.obs import Instrumentation, resolve
+from repro.obs import Instrumentation, TraceContext, resolve
 from repro.errors import (
     ConfigurationError,
     DatabaseClosedError,
@@ -213,27 +214,63 @@ class ClientServerDatabase(HyperModelDatabase):
         ``backend.rpc.retries``.  When the budget runs out the last
         fault is wrapped in :class:`~repro.errors.RpcExhaustedError`.
 
+        Observability per **attempt** (retries included, so faulted
+        attempts are visible in traces and tails):
+
+        * a client span ``rpc.<verb>`` is opened around the request;
+        * the span's :class:`~repro.obs.TraceContext` (trace id + span
+          sequence) rides in the request envelope — the server records
+          its own span with a remote-parent link back to it;
+        * the attempt's latency (wall + simulated network delta) lands
+          in the ``backend.rpc.call`` histogram, in milliseconds.
+
         Application-level errors (``NodeNotFoundError`` and friends)
         are not network faults and propagate untouched.
         """
         attempt = 0
+        instr = self.instrumentation
+        clock = self.simulated_clock
+        verb = getattr(func, "__name__", "call")
+        span_name = "rpc." + verb
         while True:
+            fault = None
+            result = None
+            span = instr.span(span_name)
+            wall_start = time.perf_counter()
+            sim_start = clock.now
             try:
-                return func(*args, **kwargs)
-            except NetworkError as fault:
-                if attempt >= self.rpc_retries:
-                    raise RpcExhaustedError(
-                        f"request still failing after {attempt} retries:"
-                        f" {fault}"
-                    ) from fault
-                backoff = self.rpc_backoff_seconds * (2 ** attempt)
-                if backoff:
-                    self.simulated_clock.advance(backoff)
-                    self.instrumentation.count(
-                        "backend.rpc.backoff_ms", backoff * 1000.0
+                with span:
+                    if instr.enabled:
+                        # The request envelope: client span id + trace
+                        # id, consumed by the server's next request.
+                        self.server.accept_trace_context(
+                            TraceContext(instr.trace_id, span.sequence)
+                        )
+                    result = func(*args, **kwargs)
+            except NetworkError as exc:
+                fault = exc
+            finally:
+                instr.observe(
+                    "backend.rpc.call",
+                    (
+                        (time.perf_counter() - wall_start)
+                        + (clock.now - sim_start)
                     )
-                attempt += 1
-                self.instrumentation.count("backend.rpc.retries")
+                    * 1000.0,
+                )
+            if fault is None:
+                return result
+            if attempt >= self.rpc_retries:
+                raise RpcExhaustedError(
+                    f"request still failing after {attempt} retries:"
+                    f" {fault}"
+                ) from fault
+            backoff = self.rpc_backoff_seconds * (2 ** attempt)
+            if backoff:
+                clock.advance(backoff)
+                instr.count("backend.rpc.backoff_ms", backoff * 1000.0)
+            attempt += 1
+            instr.count("backend.rpc.retries")
 
     # -- record access ------------------------------------------------------
 

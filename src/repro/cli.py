@@ -6,11 +6,18 @@ Subcommands:
 * ``generate``   — build a test database into a backend file;
 * ``verify``     — structurally verify a freshly generated database;
 * ``run``        — run the benchmark grid and print the report tables;
-* ``bench``      — like ``run``, with ``--counters`` for per-operation
-  instrumentation counter tables (see ``docs/observability.md``);
+* ``bench``      — like ``run``, plus latency-percentile tables,
+  ``--counters`` for per-operation instrumentation counter tables and
+  ``--trace`` for a Chrome/Perfetto trace of the run's tail (see
+  ``docs/observability.md``);
 * ``bench-closure`` — measure the batched closure traversals (ops
   10-12) across backends and write ``BENCH_closure.json`` (see
   ``docs/performance.md``);
+* ``bench-diff`` — compare two ``BENCH_*.json`` documents with
+  percentile-aware thresholds; exits non-zero on regression (the CI
+  bench gate);
+* ``trace``      — run one operation cold under full instrumentation
+  and export a Chrome trace-event JSON for Perfetto;
 * ``query``      — evaluate an ad-hoc query against a generated database;
 * ``rubenstein`` — run the /RUBE87/ baseline benchmark;
 * ``maintain``   — R10 maintenance on an oodb file: vacuum / backup / gc;
@@ -99,6 +106,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "--counters",
         action="store_true",
         help="instrument the backends and print per-operation counter tables",
+    )
+    bench.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="export a Chrome trace-event JSON of the run's tail "
+        "(load in Perfetto / chrome://tracing)",
+    )
+
+    diff = sub.add_parser(
+        "bench-diff",
+        help="compare two BENCH_*.json documents; exit 1 on regression",
+    )
+    diff.add_argument("baseline", help="baseline BENCH_*.json")
+    diff.add_argument("candidate", help="candidate BENCH_*.json")
+    diff.add_argument(
+        "--all",
+        action="store_true",
+        help="print every compared cell, not just regressions",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one operation cold under instrumentation, export a "
+        "Chrome trace",
+    )
+    _add_common_db_args(trace)
+    trace.add_argument(
+        "--op", default="10", help="operation id to trace (default: 10)"
+    )
+    trace.add_argument(
+        "--out",
+        default="trace.json",
+        help="Chrome trace-event JSON path (default: trace.json)",
     )
 
     closure = sub.add_parser(
@@ -249,18 +290,26 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1
 
 
-def _cmd_run(args: argparse.Namespace, counters: bool = False) -> int:
+def _cmd_run(args: argparse.Namespace, bench: bool = False) -> int:
     from repro.harness import BenchmarkRunner, RunnerConfig
     from repro.harness.report import full_report
     from repro.obs import Instrumentation
 
+    counters = bench and args.counters
+    trace_out = getattr(args, "trace", None) if bench else None
+    instrumentation = None
+    if counters or trace_out:
+        # A big span ring when tracing: keep the whole tail of the run.
+        instrumentation = Instrumentation(
+            span_capacity=65536 if trace_out else 1024
+        )
     config = RunnerConfig(
         backends=args.backends.split(","),
         levels=[int(level) for level in args.levels.split(",")],
         op_ids=args.ops.split(",") if args.ops else None,
         repetitions=args.repetitions,
         seed=args.seed,
-        instrumentation=Instrumentation() if counters else None,
+        instrumentation=instrumentation,
     )
     with BenchmarkRunner(config) as runner:
         results, _creation = runner.run()
@@ -269,11 +318,65 @@ def _cmd_run(args: argparse.Namespace, counters: bool = False) -> int:
                 results,
                 title="HyperModel benchmark results",
                 include_counters=counters,
+                include_percentiles=bench,
             )
         )
         if args.save:
             results.save(args.save)
             print(f"results written to {args.save}")
+        if trace_out:
+            from repro.obs.traceexport import write_chrome_trace
+
+            document = write_chrome_trace(
+                runner.instrumentation, trace_out
+            )
+            print(
+                f"trace written to {trace_out} "
+                f"({len(document['traceEvents'])} events; load in Perfetto)"
+            )
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.harness.benchdiff import diff_files, format_diff
+
+    rows, exit_code = diff_files(args.baseline, args.candidate)
+    print(format_diff(rows, only_regressions=not args.all))
+    return exit_code
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.generator import DatabaseGenerator
+    from repro.core.operations import CATALOG, Operations
+    from repro.backends import create_backend
+    from repro.obs import Instrumentation
+    from repro.obs.traceexport import write_chrome_trace
+
+    instr = Instrumentation(span_capacity=65536)
+    db = create_backend(args.backend, args.path, instrumentation=instr)
+    db.open()
+    config = HyperModelConfig(levels=args.level, seed=args.seed)
+    gen = DatabaseGenerator(config).generate(db)
+    db.commit()
+    # Cold run: close/reopen so the trace shows faulting and round trips.
+    db.close()
+    db.open()
+    instr.reset()
+    spec = CATALOG.get(args.op)
+    ops = Operations(db, config)
+    root = db.lookup(gen.root_uid)
+    with instr.span(f"trace.op{spec.op_id}"):
+        spec.run(ops, (root,))
+    if spec.mutates:
+        db.commit()
+    db.close()
+    document = write_chrome_trace(instr, args.out)
+    print(
+        f"op {spec.op_id} ({spec.name}) on {args.backend}: "
+        f"{document['otherData']['span_count']} spans, "
+        f"{len(document['traceEvents'])} trace events"
+    )
+    print(f"trace written to {args.out} (load in Perfetto / chrome://tracing)")
     return 0
 
 
@@ -413,8 +516,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": lambda: _cmd_generate(args),
         "verify": lambda: _cmd_verify(args),
         "run": lambda: _cmd_run(args),
-        "bench": lambda: _cmd_run(args, counters=args.counters),
+        "bench": lambda: _cmd_run(args, bench=True),
         "bench-closure": lambda: _cmd_bench_closure(args),
+        "bench-diff": lambda: _cmd_bench_diff(args),
+        "trace": lambda: _cmd_trace(args),
         "crashtest": lambda: _cmd_crashtest(args),
         "query": lambda: _cmd_query(args),
         "rubenstein": lambda: _cmd_rubenstein(args),

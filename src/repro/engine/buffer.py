@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
+import time
 from typing import Dict, Iterable, Iterator, Optional
 
 from repro.engine.pages import PAGE_SIZE, PageFile, PageId
@@ -107,7 +108,12 @@ class BufferPool:
             self.stats.misses += 1
             self._instr.count("engine.buffer.miss")
             self._ensure_room()
+            started = time.perf_counter()
             frame = _Frame(pid, self._file.read_page(pid))
+            self._instr.observe(
+                "engine.buffer.miss",
+                (time.perf_counter() - started) * 1000.0,
+            )
             self._frames[pid] = frame
         frame.pin_count += 1
         self._clean_lru.pop(pid, None)  # pinned: not evictable

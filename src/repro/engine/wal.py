@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 import struct
+import time
 import zlib
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -161,7 +162,11 @@ class WriteAheadLog:
             self._instr.count("engine.wal.group_commit.batches")
         self._file.flush()
         if self.sync_on_commit:
+            started = time.perf_counter()
             self._file.sync()
+            self._instr.observe(
+                "engine.wal.fsync", (time.perf_counter() - started) * 1000.0
+            )
         self.pending_commits = 0
         self.syncs += 1
         self._instr.count("engine.wal.syncs")

@@ -26,7 +26,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.config import HyperModelConfig
 from repro.core.generator import DatabaseGenerator
 from repro.core.operations import CATALOG, Operations
-from repro.obs import Instrumentation
+from repro.harness.provenance import provenance
+from repro.obs import Instrumentation, LatencyHistogram
 
 #: The closure operations the batch layer targets (section 6.5/6.6).
 CLOSURE_OPS = ("10", "11", "12")
@@ -47,7 +48,14 @@ _REPORTED_PREFIXES = (
 
 @dataclasses.dataclass
 class ClosureCell:
-    """One (backend, operation) measurement."""
+    """One (backend, operation) measurement.
+
+    ``p50_ms``/``p90_ms``/``p99_ms``/``max_ms`` summarize the
+    per-repetition latency through a log-bucketed histogram (see
+    :class:`~repro.obs.LatencyHistogram`); ``histogram`` carries the
+    full bucket form so downstream tooling (bench-diff, plots) can
+    recompute any quantile.
+    """
 
     backend: str
     op_id: str
@@ -57,6 +65,11 @@ class ClosureCell:
     median_ms: float
     median_ms_per_node: float
     counters: Dict[str, float]
+    p50_ms: float = 0.0
+    p90_ms: float = 0.0
+    p99_ms: float = 0.0
+    max_ms: float = 0.0
+    histogram: Dict[str, object] = dataclasses.field(default_factory=dict)
 
     def to_json(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -149,6 +162,7 @@ def run_closure_bench(
                         if spec.mutates:
                             db.commit()
                     median_ms = statistics.median(timings_ms)
+                    hist = LatencyHistogram.from_samples(timings_ms)
                     cells.append(
                         ClosureCell(
                             backend=backend,
@@ -159,6 +173,11 @@ def run_closure_bench(
                             median_ms=round(median_ms, 4),
                             median_ms_per_node=round(median_ms / nodes, 6),
                             counters=_reported(first_delta),
+                            p50_ms=round(hist.percentile(0.50), 4),
+                            p90_ms=round(hist.percentile(0.90), 4),
+                            p99_ms=round(hist.percentile(0.99), 4),
+                            max_ms=round(hist.maximum, 4),
+                            histogram=hist.to_dict(),
                         )
                     )
             finally:
@@ -172,6 +191,12 @@ def run_closure_bench(
         "repetitions": repetitions,
         "seed": seed,
         "operations": list(CLOSURE_OPS),
+        "provenance": provenance(
+            backends=list(backends),
+            level=level,
+            repetitions=repetitions,
+            seed=seed,
+        ),
         "cells": {
             backend: {
                 cell.op_id: cell.to_json()

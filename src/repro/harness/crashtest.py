@@ -37,6 +37,7 @@ from repro.engine.catalog import FieldDefinition
 from repro.engine.store import ObjectStore
 from repro.engine.vfs import FaultInjectingVFS, RealVFS, SimulatedCrash, VFS
 from repro.errors import StorageError
+from repro.harness.provenance import provenance
 
 __all__ = [
     "CrashWorkload",
@@ -340,6 +341,9 @@ def run_crash_matrix(
         histogram[key] = histogram.get(key, 0) + 1
     return {
         "benchmark": "crash-recovery-matrix",
+        "provenance": provenance(
+            stride=stride, **dataclasses.asdict(spec)
+        ),
         "workload": dataclasses.asdict(spec),
         "io_ops_total": total_ops,
         "stride": stride,

@@ -34,7 +34,7 @@ from repro.core.generator import GeneratedDatabase
 from repro.core.interface import HyperModelDatabase
 from repro.core.operations import OperationSpec, Operations
 from repro.harness.timing import Stats, Timer
-from repro.obs import NO_OP, Instrumentation
+from repro.obs import NO_OP, Instrumentation, LatencyHistogram
 
 #: The paper's repetition count per run.
 DEFAULT_REPETITIONS = 50
@@ -52,7 +52,17 @@ class ColdWarmResult:
     ``cold_counters`` / ``warm_counters`` are instrumentation counter
     *deltas* over the corresponding run (what the 50 repetitions did,
     not absolute totals); empty when the backend runs with the no-op
-    instrumentation.  The between-run commit is excluded from both.
+    instrumentation.  The between-run commit is excluded from both:
+    the harness calls ``Instrumentation.reset()`` after the cold delta
+    is captured, so warm counters, histograms and spans describe the
+    warm pass alone.
+
+    ``cold_hist`` / ``warm_hist`` are log-bucketed latency-histogram
+    summaries (count/mean/min/max/p50/p90/p99, in **ms per node**)
+    over the same per-repetition samples the ``Stats`` summarize —
+    the distributional view mean-only tables hide.  Always present
+    (they are built from the timing samples, not the backend's
+    instrumentation).
     """
 
     op_id: str
@@ -69,6 +79,8 @@ class ColdWarmResult:
     nodes_per_repetition: float
     cold_counters: Dict[str, float] = dataclasses.field(default_factory=dict)
     warm_counters: Dict[str, float] = dataclasses.field(default_factory=dict)
+    cold_hist: Dict[str, float] = dataclasses.field(default_factory=dict)
+    warm_hist: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     @property
     def warm_speedup(self) -> float:
@@ -94,6 +106,8 @@ class ColdWarmResult:
         raw["warm"] = Stats.from_dict(raw["warm"])
         raw.setdefault("cold_counters", {})
         raw.setdefault("warm_counters", {})
+        raw.setdefault("cold_hist", {})
+        raw.setdefault("warm_hist", {})
         return cls(**raw)
 
 
@@ -124,12 +138,21 @@ def _timed_run(
     inputs: List[tuple],
     gen: GeneratedDatabase,
     clock: Optional[object],
+    instr: Instrumentation = NO_OP,
+    temperature: str = "cold",
 ) -> tuple:
-    """Run all repetitions; returns (ms-per-node samples, total s, sizes)."""
+    """Run all repetitions; returns (ms-per-node samples, total s, sizes).
+
+    Each repetition's latency also lands in the per-pass
+    ``harness.iteration.<temperature>`` histogram (ms per repetition) —
+    the hot-seam distributional record next to the engine and RPC
+    seam histograms.
+    """
     per_node_ms: List[float] = []
     total = 0.0
     sizes: List[int] = []
     last_result: Any = None
+    hist_name = f"harness.iteration.{temperature}"
     for args in inputs:
         timer = Timer(clock)
         with timer:
@@ -138,6 +161,7 @@ def _timed_run(
         sizes.append(size)
         per_node_ms.append(timer.elapsed * 1000.0 / size)
         total += timer.elapsed
+        instr.observe(hist_name, timer.elapsed * 1000.0)
     return per_node_ms, total, sizes, last_result
 
 
@@ -178,7 +202,7 @@ def run_operation_sequence(
     # (b) cold run, with a counter snapshot around it.
     before_cold = instr.snapshot()
     cold_ms, cold_total, sizes, last_result = _timed_run(
-        spec, ops, inputs, gen, clock
+        spec, ops, inputs, gen, clock, instr, "cold"
     )
     cold_counters = instr.snapshot().delta(before_cold)
 
@@ -187,10 +211,17 @@ def run_operation_sequence(
     with commit_timer:
         db.commit()
 
+    # Pinned contract: reset() atomically clears counters, histograms
+    # and the span ring between the passes, so warm-pass measurements
+    # (and spans — sequence numbers stay monotonic across the reset)
+    # never alias cold-pass state.  The between-run commit's activity
+    # is wiped with it, keeping it out of both passes.
+    instr.reset()
+
     # (d) warm run with the same inputs.
     before_warm = instr.snapshot()
     warm_ms, warm_total, _sizes, last_result = _timed_run(
-        spec, ops, inputs, gen, clock
+        spec, ops, inputs, gen, clock, instr, "warm"
     )
     warm_counters = instr.snapshot().delta(before_warm)
 
@@ -223,6 +254,8 @@ def run_operation_sequence(
         nodes_per_repetition=sum(sizes) / len(sizes),
         cold_counters=cold_counters,
         warm_counters=warm_counters,
+        cold_hist=LatencyHistogram.from_samples(cold_ms).summary(),
+        warm_hist=LatencyHistogram.from_samples(warm_ms).summary(),
     )
 
 

@@ -170,6 +170,45 @@ def counter_table(
     return title + "\n" + _table(headers, rows)
 
 
+#: The histogram-summary columns every percentile table prints.
+_PERCENTILE_COLUMNS = ("p50", "p90", "p99", "max")
+
+
+def percentile_table(
+    results: ResultSet,
+    backend: str,
+    level: Optional[int] = None,
+    temperature: str = "cold",
+) -> str:
+    """Latency-percentile summaries per operation for one backend.
+
+    Rows are operations; columns are the log-bucketed histogram
+    summary quantiles (p50/p90/p99/max, ms per node) of the
+    ``temperature`` pass — the distributional view Darmont's OODB
+    benchmark survey asks for next to the mean-only tables.
+    Results saved before histograms existed print ``-``.
+    """
+    if temperature not in ("cold", "warm"):
+        raise ValueError("temperature must be 'cold' or 'warm'")
+    subset = results.select(backend=backend, level=level)
+    headers = ["op"] + list(_PERCENTILE_COLUMNS)
+    rows: List[List[str]] = []
+    for op_id in subset.op_ids:
+        cell = subset.select(op_id=op_id)._results[0]
+        hist = cell.cold_hist if temperature == "cold" else cell.warm_hist
+        row = [f"{op_id} {cell.op_name}"]
+        for column in _PERCENTILE_COLUMNS:
+            value = hist.get(column)
+            row.append("-" if value is None else _format_ms(value).strip())
+        rows.append(row)
+    scope = f", level {level}" if level is not None else ""
+    title = (
+        f"Latency percentiles: {backend}{scope}, {temperature} run "
+        f"(ms per node)"
+    )
+    return title + "\n" + _table(headers, rows)
+
+
 def creation_table(
     phases_by_backend: Dict[str, Dict[str, float]], level: int
 ) -> str:
@@ -242,11 +281,14 @@ def full_report(
     results: ResultSet,
     title: Optional[str] = None,
     include_counters: bool = False,
+    include_percentiles: bool = False,
 ) -> str:
     """Every operation table plus per-level comparisons, concatenated.
 
     With ``include_counters=True`` a cold-run :func:`counter_table` per
-    backend and level is appended (``repro bench --counters``).
+    backend and level is appended (``repro bench --counters``); with
+    ``include_percentiles=True`` a cold-run :func:`percentile_table`
+    per backend and level too (``repro bench``).
     """
     sections: List[str] = []
     if title:
@@ -260,6 +302,13 @@ def full_report(
         sections.append("")
         sections.append(backend_comparison_table(results, level, "warm"))
         sections.append("")
+    if include_percentiles:
+        for backend in results.backends:
+            for level in results.select(backend=backend).levels:
+                sections.append(
+                    percentile_table(results, backend, level, "cold")
+                )
+                sections.append("")
     if include_counters:
         for backend in results.backends:
             for level in results.select(backend=backend).levels:

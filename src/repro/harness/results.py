@@ -112,9 +112,24 @@ class ResultSet:
     # ------------------------------------------------------------------
 
     def to_json(self) -> str:
-        """Serialize all results to a JSON document."""
+        """Serialize all results to a JSON document.
+
+        The document carries a :func:`~repro.harness.provenance.provenance`
+        header (git SHA, python, platform, timestamp, grid shape) so a
+        saved run is attributable; :meth:`from_json` ignores it.
+        """
+        from repro.harness.provenance import provenance
+
         return json.dumps(
-            {"results": [r.to_dict() for r in self._results]}, indent=2
+            {
+                "provenance": provenance(
+                    backends=self.backends,
+                    levels=self.levels,
+                    op_ids=self.op_ids,
+                ),
+                "results": [r.to_dict() for r in self._results],
+            },
+            indent=2,
         )
 
     @classmethod

@@ -89,6 +89,17 @@ class BenchmarkRunner:
         """Where file-backed databases live."""
         return self._workdir
 
+    @property
+    def instrumentation(self) -> Optional[Instrumentation]:
+        """The live handle every backend the runner builds shares.
+
+        ``None`` when the runner was configured without one (backends
+        then resolve the process-global default).  The CLI's
+        ``bench --trace`` exports this handle's span ring after the
+        grid finishes.
+        """
+        return self.config.instrumentation
+
     # ------------------------------------------------------------------
     # Database construction
     # ------------------------------------------------------------------

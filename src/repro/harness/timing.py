@@ -108,11 +108,16 @@ class Timer:
 
 
 def time_calls(
-    calls: List, simulated_clock: Optional[object] = None
+    calls: List,
+    simulated_clock: Optional[object] = None,
+    histogram: Optional[object] = None,
 ) -> List[float]:
     """Time a list of zero-argument callables individually.
 
-    Returns per-call elapsed seconds (wall + simulated).
+    Returns per-call elapsed seconds (wall + simulated).  When a
+    :class:`~repro.obs.LatencyHistogram` is passed, each call's
+    latency is also recorded into it in **milliseconds** (the repo's
+    histogram unit convention).
     """
     samples = []
     for call in calls:
@@ -120,4 +125,6 @@ def time_calls(
         with timer:
             call()
         samples.append(timer.elapsed)
+        if histogram is not None:
+            histogram.record(timer.elapsed * 1000.0)
     return samples

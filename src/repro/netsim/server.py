@@ -17,13 +17,14 @@ server, which is what makes the next run cold.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 from typing import Any, Dict, List, Optional
 
 from repro.engine import serializer
 from repro.netsim.faults import FaultModel
 from repro.netsim.latency import LatencyModel, SimulatedClock
-from repro.obs import Instrumentation, resolve
+from repro.obs import Instrumentation, TraceContext, resolve
 from repro.errors import NodeNotFoundError
 
 #: Approximate bytes of a uid in a response payload.
@@ -81,6 +82,41 @@ class ObjectServer:
         self._records: Dict[int, Dict[str, Any]] = {}
         self._lists: Dict[str, List[int]] = {}
         self._subscribers: List[object] = []
+        #: Trace context of the in-flight request (the RPC envelope).
+        self._pending_trace: Optional[TraceContext] = None
+
+    # ------------------------------------------------------------------
+    # Trace propagation (the request envelope)
+    # ------------------------------------------------------------------
+
+    def accept_trace_context(self, context: Optional[TraceContext]) -> None:
+        """Attach the caller's trace context to the *next* request.
+
+        The client's RPC wrapper calls this just before each attempt —
+        it models the trace headers a real RPC envelope carries.  The
+        context is consumed (and cleared) by the request it precedes;
+        requests arriving without one record plain server spans.
+        """
+        self._pending_trace = context
+
+    @contextlib.contextmanager
+    def _serve(self, request: str):
+        """Record one server-side request span with its remote parent.
+
+        The span covers fault injection too, so a dropped or timed-out
+        attempt still appears as server-side work linked to the client
+        attempt that caused it (that is how retries become visible in
+        the exported trace).
+        """
+        context = self._pending_trace
+        self._pending_trace = None
+        with self._instr.span(
+            "server." + request,
+            remote_parent=None if context is None else context.span_id,
+            remote_trace=None if context is None else context.trace_id,
+        ):
+            self._maybe_fault(request)
+            yield
 
     # ------------------------------------------------------------------
     # Cache-coherence subscriptions (R6 coordination)
@@ -171,17 +207,17 @@ class ObjectServer:
             NodeNotFoundError: for an unknown uid (still charged a
                 round trip — the request happened).
         """
-        self._maybe_fault("fetch")
-        self.stats.fetches += 1
-        record = self._records.get(uid)
-        if record is None:
-            self._charge(_PROBE_BYTES)
-            raise NodeNotFoundError(uid)
-        size = self.record_size(record)
-        self.stats.bytes_sent += size
-        self._instr.count("backend.rpc.bytes_sent", size)
-        self._charge(size)
-        return self._isolate(record)
+        with self._serve("fetch"):
+            self.stats.fetches += 1
+            record = self._records.get(uid)
+            if record is None:
+                self._charge(_PROBE_BYTES)
+                raise NodeNotFoundError(uid)
+            size = self.record_size(record)
+            self.stats.bytes_sent += size
+            self._instr.count("backend.rpc.bytes_sent", size)
+            self._charge(size)
+            return self._isolate(record)
 
     def fetch_many(self, uids: List[int]) -> Dict[int, Dict[str, Any]]:
         """Fetch a batch of records in **one** round trip.
@@ -197,32 +233,32 @@ class ObjectServer:
         request is still charged one round trip — it happened), matching
         the per-item :meth:`fetch` error contract.
         """
-        self._maybe_fault("fetch_many")
-        self.stats.batch_fetches += 1
-        unique: List[int] = []
-        seen = set()
-        for uid in uids:
-            if uid not in seen:
-                seen.add(uid)
-                unique.append(uid)
-        missing = next(
-            (uid for uid in unique if uid not in self._records), None
-        )
-        if missing is not None:
-            self._charge(_PROBE_BYTES)
-            raise NodeNotFoundError(missing)
-        payload = _PROBE_BYTES
-        out: Dict[int, Dict[str, Any]] = {}
-        for uid in unique:
-            record = self._records[uid]
-            payload += self.record_size(record)
-            out[uid] = self._isolate(record)
-        self.stats.batched_objects += len(unique)
-        self.stats.bytes_sent += payload
-        self._instr.count("backend.rpc.bytes_sent", payload)
-        self._instr.count("backend.rpc.batched_objects", len(unique))
-        self._charge(payload)
-        return out
+        with self._serve("fetch_many"):
+            self.stats.batch_fetches += 1
+            unique: List[int] = []
+            seen = set()
+            for uid in uids:
+                if uid not in seen:
+                    seen.add(uid)
+                    unique.append(uid)
+            missing = next(
+                (uid for uid in unique if uid not in self._records), None
+            )
+            if missing is not None:
+                self._charge(_PROBE_BYTES)
+                raise NodeNotFoundError(missing)
+            payload = _PROBE_BYTES
+            out: Dict[int, Dict[str, Any]] = {}
+            for uid in unique:
+                record = self._records[uid]
+                payload += self.record_size(record)
+                out[uid] = self._isolate(record)
+            self.stats.batched_objects += len(unique)
+            self.stats.bytes_sent += payload
+            self._instr.count("backend.rpc.bytes_sent", payload)
+            self._instr.count("backend.rpc.batched_objects", len(unique))
+            self._charge(payload)
+            return out
 
     def store(
         self, uid: int, record: Dict[str, Any], from_cache=None
@@ -232,21 +268,21 @@ class ObjectServer:
         ``from_cache`` identifies the uploading client's cache so it is
         excluded from the coherence invalidation broadcast.
         """
-        self._maybe_fault("store")
-        self.stats.stores += 1
-        size = self.record_size(record)
-        self.stats.bytes_received += size
-        self._instr.count("backend.rpc.bytes_received", size)
-        self._charge(size)
-        self._records[uid] = self._isolate(record)
-        self._invalidate_subscribers(uid, except_cache=from_cache)
+        with self._serve("store"):
+            self.stats.stores += 1
+            size = self.record_size(record)
+            self.stats.bytes_received += size
+            self._instr.count("backend.rpc.bytes_received", size)
+            self._charge(size)
+            self._records[uid] = self._isolate(record)
+            self._invalidate_subscribers(uid, except_cache=from_cache)
 
     def exists(self, uid: int) -> bool:
         """Key-existence probe (the server-side name-lookup index hit)."""
-        self._maybe_fault("exists")
-        self.stats.probes += 1
-        self._charge(_PROBE_BYTES)
-        return uid in self._records
+        with self._serve("exists"):
+            self.stats.probes += 1
+            self._charge(_PROBE_BYTES)
+            return uid in self._records
 
     # ------------------------------------------------------------------
     # Server-evaluated queries
@@ -259,45 +295,45 @@ class ObjectServer:
         at the server, only references come back — the design point
         R7 makes about letting the database do work remotely.
         """
-        self._maybe_fault("range_query")
-        self.stats.queries += 1
-        result = [
-            uid
-            for uid, record in self._records.items()
-            if low <= record[attribute] <= high
-        ]
-        size = _PROBE_BYTES + _UID_BYTES * len(result)
-        self.stats.bytes_sent += size
-        self._instr.count("backend.rpc.bytes_sent", size)
-        self._charge(size)
-        return result
+        with self._serve("range_query"):
+            self.stats.queries += 1
+            result = [
+                uid
+                for uid, record in self._records.items()
+                if low <= record[attribute] <= high
+            ]
+            size = _PROBE_BYTES + _UID_BYTES * len(result)
+            self.stats.bytes_sent += size
+            self._instr.count("backend.rpc.bytes_sent", size)
+            self._charge(size)
+            return result
 
     def scan_structure(self, structure_id: int) -> List[int]:
         """All uids of one structure, in uid order (server-side scan)."""
-        self._maybe_fault("scan_structure")
-        self.stats.scans += 1
-        result = sorted(
-            uid
-            for uid, record in self._records.items()
-            if record["struct"] == structure_id
-        )
-        size = _PROBE_BYTES + _UID_BYTES * len(result)
-        self.stats.bytes_sent += size
-        self._instr.count("backend.rpc.bytes_sent", size)
-        self._charge(size)
-        return result
+        with self._serve("scan_structure"):
+            self.stats.scans += 1
+            result = sorted(
+                uid
+                for uid, record in self._records.items()
+                if record["struct"] == structure_id
+            )
+            size = _PROBE_BYTES + _UID_BYTES * len(result)
+            self.stats.bytes_sent += size
+            self._instr.count("backend.rpc.bytes_sent", size)
+            self._charge(size)
+            return result
 
     def referrers_of(self, uid: int) -> List[int]:
         """Server-side inverse-reference query (op 08's index)."""
-        self._maybe_fault("referrers_of")
-        self.stats.queries += 1
-        result = [
-            src
-            for src, record in self._records.items()
-            if any(dst == uid for dst, _f, _t in record["refTo"])
-        ]
-        self._charge(_PROBE_BYTES + _UID_BYTES * len(result))
-        return result
+        with self._serve("referrers_of"):
+            self.stats.queries += 1
+            result = [
+                src
+                for src, record in self._records.items()
+                if any(dst == uid for dst, _f, _t in record["refTo"])
+            ]
+            self._charge(_PROBE_BYTES + _UID_BYTES * len(result))
+            return result
 
     # ------------------------------------------------------------------
     # Named lists
@@ -305,10 +341,10 @@ class ObjectServer:
 
     def store_list(self, name: str, uids: List[int]) -> None:
         """Persist a named node list server-side."""
-        self._maybe_fault("store_list")
-        self.stats.stores += 1
-        self._charge(_PROBE_BYTES + _UID_BYTES * len(uids))
-        self._lists[name] = list(uids)
+        with self._serve("store_list"):
+            self.stats.stores += 1
+            self._charge(_PROBE_BYTES + _UID_BYTES * len(uids))
+            self._lists[name] = list(uids)
 
     def load_list(self, name: str) -> List[int]:
         """Load a named node list.
@@ -316,14 +352,14 @@ class ObjectServer:
         Raises:
             NodeNotFoundError: for an unknown list name.
         """
-        self._maybe_fault("load_list")
-        self.stats.fetches += 1
-        uids = self._lists.get(name)
-        if uids is None:
-            self._charge(_PROBE_BYTES)
-            raise NodeNotFoundError(name)
-        self._charge(_PROBE_BYTES + _UID_BYTES * len(uids))
-        return list(uids)
+        with self._serve("load_list"):
+            self.stats.fetches += 1
+            uids = self._lists.get(name)
+            if uids is None:
+                self._charge(_PROBE_BYTES)
+                raise NodeNotFoundError(name)
+            self._charge(_PROBE_BYTES + _UID_BYTES * len(uids))
+            return list(uids)
 
     # ------------------------------------------------------------------
     # Introspection (not charged: administrative)

@@ -8,7 +8,13 @@ parts and no dependencies beyond the standard library:
   registry with snapshot/delta/reset, e.g. ``engine.buffer.hit``,
   ``backend.rpc.round_trips``, ``netsim.latency.injected_ms``;
 * :mod:`repro.obs.spans` — ``span(name)`` context-manager tracing with
-  nesting, recorded into a fixed-capacity ring buffer;
+  nesting, recorded into a fixed-capacity ring buffer, plus
+  :class:`TraceContext` for cross-RPC remote-parent links;
+* :mod:`repro.obs.histograms` — log-bucketed (power-of-two) latency
+  histograms with p50/p90/p99/max, e.g. ``engine.wal.fsync``,
+  ``backend.rpc.call``;
+* :mod:`repro.obs.traceexport` — Chrome trace-event JSON export of the
+  span ring (opens in Perfetto / ``chrome://tracing``);
 * :mod:`repro.obs.instrumentation` — the :class:`Instrumentation`
   handle components receive at construction, the :data:`NO_OP`
   disabled singleton, and the process-global default
@@ -19,6 +25,7 @@ headline counters every report prints are in :data:`HEADLINE_COUNTERS`.
 """
 
 from repro.obs.counters import Counters, CounterSnapshot
+from repro.obs.histograms import HistogramRegistry, LatencyHistogram
 from repro.obs.instrumentation import (
     NO_OP,
     Instrumentation,
@@ -29,7 +36,7 @@ from repro.obs.instrumentation import (
     resolve,
     set_instrumentation,
 )
-from repro.obs.spans import SpanRecord, SpanRecorder
+from repro.obs.spans import SpanRecord, SpanRecorder, TraceContext
 
 #: Counters every per-operation report table prints even when zero,
 #: so cross-backend tables always align (a zero is information too:
@@ -43,11 +50,14 @@ HEADLINE_COUNTERS = (
 __all__ = [
     "Counters",
     "CounterSnapshot",
+    "HistogramRegistry",
     "Instrumentation",
+    "LatencyHistogram",
     "NoOpInstrumentation",
     "NO_OP",
     "SpanRecord",
     "SpanRecorder",
+    "TraceContext",
     "HEADLINE_COUNTERS",
     "enable",
     "disable",

@@ -1,0 +1,256 @@
+"""Log-bucketed latency histograms: the distributional half of timing.
+
+The paper's protocol reports means; Darmont's OODB-benchmark survey
+(PAPERS.md) points out that mean-only reporting hides exactly the
+behaviour a cold/warm cache protocol is about — the *tail*.  This
+module adds HDR-style histograms with power-of-two buckets:
+
+* recording is O(1) and allocation-free on the hot path (one
+  ``math.frexp``, one dict upsert);
+* memory is bounded by the *dynamic range* of the data, not its
+  volume — a nanosecond-to-minute spread is ~50 buckets;
+* percentiles (p50/p90/p99/max) are estimated by linear interpolation
+  inside the containing bucket, so the relative error is bounded by
+  the bucket width (a factor of two, halved by interpolation).
+
+Values are unit-agnostic floats; the repo's convention is
+**milliseconds** for every seam histogram (``engine.wal.fsync``,
+``engine.buffer.miss``, ``backend.rpc.call``,
+``harness.iteration.cold`` / ``.warm``).  The taxonomy lives in
+``docs/observability.md``.
+
+Usage through the instrumentation handle::
+
+    instr.observe("backend.rpc.call", elapsed_ms)
+    instr.histograms.get("backend.rpc.call").percentile(0.99)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+#: The quantiles every summary reports (name -> q).
+SUMMARY_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+)
+
+
+class LatencyHistogram:
+    """A histogram with power-of-two (base-2 exponential) buckets.
+
+    Bucket ``e`` holds values in ``[2**(e-1), 2**e)`` — exactly the
+    exponent ``math.frexp`` returns.  Zero and negative values land in
+    a dedicated underflow bucket (they happen when a timed region is
+    faster than the clock resolution).
+    """
+
+    __slots__ = ("_buckets", "count", "total", "minimum", "maximum", "zeros")
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.zeros = 0  # underflow: values <= 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, value: float) -> None:
+        """Add one observation (O(1), no allocation beyond the bucket)."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        exponent = math.frexp(value)[1]
+        buckets = self._buckets
+        buckets[exponent] = buckets.get(exponent, 0) + 1
+
+    def record_many(self, values: Sequence[float]) -> None:
+        """Add a batch of observations."""
+        for value in values:
+            self.record(value)
+
+    @classmethod
+    def from_samples(cls, values: Sequence[float]) -> "LatencyHistogram":
+        """Build a histogram from a sample sequence."""
+        hist = cls()
+        hist.record_many(values)
+        return hist
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram into this one."""
+        self.count += other.count
+        self.total += other.total
+        self.zeros += other.zeros
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        for exponent, n in other._buckets.items():
+            self._buckets[exponent] = self._buckets.get(exponent, 0) + n
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q`` quantile (0 <= q <= 1).
+
+        Uses nearest-rank bucket selection with linear interpolation
+        inside the bucket; the result is clamped to the observed
+        min/max so p100 is exact and p0 never undershoots.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * (self.count - 1)  # 0-based fractional rank
+        cumulative = 0
+        if rank < self.zeros:
+            return min(self.minimum, 0.0)
+        cumulative += self.zeros
+        for exponent in sorted(self._buckets):
+            n = self._buckets[exponent]
+            if rank < cumulative + n:
+                low = math.ldexp(1.0, exponent - 1)
+                high = math.ldexp(1.0, exponent)
+                fraction = (rank - cumulative + 0.5) / n
+                estimate = low + fraction * (high - low)
+                return max(self.minimum, min(self.maximum, estimate))
+            cumulative += n
+        return self.maximum
+
+    def buckets(self) -> Iterator[Tuple[float, float, int]]:
+        """Yield ``(low, high, count)`` per non-empty bucket, ascending."""
+        if self.zeros:
+            yield (0.0, 0.0, self.zeros)
+        for exponent in sorted(self._buckets):
+            yield (
+                math.ldexp(1.0, exponent - 1),
+                math.ldexp(1.0, exponent),
+                self._buckets[exponent],
+            )
+
+    def summary(self) -> Dict[str, float]:
+        """The flat percentile summary every report and BENCH JSON uses."""
+        if self.count == 0:
+            return {"count": 0}
+        out: Dict[str, float] = {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+        for name, q in SUMMARY_QUANTILES:
+            out[name] = self.percentile(q)
+        return out
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full serializable form (summary + raw buckets)."""
+        doc: Dict[str, object] = dict(self.summary())
+        doc["sum"] = self.total
+        doc["zeros"] = self.zeros
+        doc["buckets"] = {str(e): n for e, n in sorted(self._buckets.items())}
+        return doc
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "LatencyHistogram":
+        """Rebuild from :meth:`to_dict` output."""
+        hist = cls()
+        hist.count = int(raw.get("count", 0))
+        hist.total = float(raw.get("sum", 0.0))
+        hist.zeros = int(raw.get("zeros", 0))
+        if hist.count:
+            hist.minimum = float(raw.get("min", 0.0))
+            hist.maximum = float(raw.get("max", 0.0))
+        hist._buckets = {
+            int(e): int(n) for e, n in dict(raw.get("buckets", {})).items()
+        }
+        return hist
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.count:
+            return "<LatencyHistogram empty>"
+        return (
+            f"<LatencyHistogram n={self.count} p50={self.percentile(0.5):.4g}"
+            f" p99={self.percentile(0.99):.4g} max={self.maximum:.4g}>"
+        )
+
+
+class HistogramRegistry:
+    """Named histograms, dot-named like the counters.
+
+    The hot-path method is :meth:`observe`: one dict ``get`` plus an
+    O(1) :meth:`LatencyHistogram.record`.  Like :class:`Counters`, the
+    registry is unlocked — each instrumented component tree owns its
+    handle.
+    """
+
+    __slots__ = ("_histograms",)
+
+    def __init__(self) -> None:
+        self._histograms: Dict[str, LatencyHistogram] = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the histogram called ``name``."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = LatencyHistogram()
+        hist.record(value)
+
+    def reset(self) -> None:
+        """Drop every histogram (the next observe starts fresh)."""
+        self._histograms.clear()
+
+    # -- reading -----------------------------------------------------------
+
+    def get(self, name: str) -> Optional[LatencyHistogram]:
+        """The histogram called ``name``, or None if never observed."""
+        return self._histograms.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        """All histogram names, sorted (stable for reports)."""
+        return tuple(sorted(self._histograms))
+
+    def summaries(self) -> Dict[str, Dict[str, float]]:
+        """``{name: summary}`` for every histogram (JSON-serializable)."""
+        return {
+            name: self._histograms[name].summary() for name in self.names()
+        }
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """``{name: full to_dict form}`` for every histogram."""
+        return {
+            name: self._histograms[name].to_dict() for name in self.names()
+        }
+
+    def items(self) -> Iterator[Tuple[str, LatencyHistogram]]:
+        """(name, histogram) pairs in sorted-name order."""
+        for name in self.names():
+            yield name, self._histograms[name]
+
+    def __len__(self) -> int:
+        return len(self._histograms)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._histograms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HistogramRegistry({self.names()!r})"

@@ -31,10 +31,16 @@ benchmark runner does this so concurrent grids never share counters).
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Optional
 
 from repro.obs.counters import Counters, CounterSnapshot, Number
-from repro.obs.spans import SpanRecorder
+from repro.obs.histograms import HistogramRegistry
+from repro.obs.spans import SpanRecorder, TraceContext
+
+#: Distinct trace ids per process; every live handle draws one, so a
+#: TraceContext names its originating handle unambiguously.
+_TRACE_IDS = itertools.count(1)
 
 
 class _NullSpan:
@@ -53,9 +59,9 @@ _NULL_SPAN = _NullSpan()
 
 
 class Instrumentation:
-    """A live measurement handle: one counter registry + one span ring."""
+    """A live measurement handle: counters + spans + latency histograms."""
 
-    __slots__ = ("counters", "spans")
+    __slots__ = ("counters", "spans", "histograms", "trace_id")
 
     #: Live handles record; the no-op singleton overrides this to False.
     enabled = True
@@ -63,16 +69,51 @@ class Instrumentation:
     def __init__(self, span_capacity: int = 1024) -> None:
         self.counters = Counters()
         self.spans = SpanRecorder(span_capacity)
+        self.histograms = HistogramRegistry()
+        self.trace_id = next(_TRACE_IDS)
 
-    # -- the two hot entry points -----------------------------------------
+    # -- the three hot entry points ----------------------------------------
 
     def count(self, name: str, amount: Number = 1) -> None:
         """Bump a counter by ``amount``."""
         self.counters.inc(name, amount)
 
-    def span(self, name: str):
-        """Open a timed span; use as a context manager."""
-        return self.spans.span(name)
+    def span(
+        self,
+        name: str,
+        remote_parent: Optional[int] = None,
+        remote_trace: Optional[int] = None,
+    ):
+        """Open a timed span; use as a context manager.
+
+        ``remote_parent``/``remote_trace`` link the span to a caller
+        on the other side of an RPC boundary (see
+        :class:`~repro.obs.spans.TraceContext`).
+        """
+        return self.spans.span(
+            name, remote_parent=remote_parent, remote_trace=remote_trace
+        )
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the latency histogram ``name``.
+
+        Convention: values are **milliseconds** (the seam histograms —
+        ``engine.wal.fsync``, ``engine.buffer.miss``,
+        ``backend.rpc.call`` — all record ms).
+        """
+        self.histograms.observe(name, value)
+
+    # -- trace propagation -------------------------------------------------
+
+    def current_context(self) -> Optional[TraceContext]:
+        """The (trace id, innermost open span) pair an RPC should carry.
+
+        None when no span is open — there is nothing to link to.
+        """
+        span_id = self.spans.current_span_id()
+        if span_id is None:
+            return None
+        return TraceContext(trace_id=self.trace_id, span_id=span_id)
 
     # -- snapshots and lifecycle ------------------------------------------
 
@@ -85,12 +126,30 @@ class Instrumentation:
         return self.counters.snapshot().delta(earlier)
 
     def reset(self) -> None:
-        """Zero the counters and drop recorded spans."""
+        """Atomically clear counters, histograms, and the span ring.
+
+        **Contract** (the harness pins this between the cold and warm
+        passes of the section 5.3 protocol):
+
+        * counters drop to zero, histograms drop to empty, and every
+          *completed* span is discarded, in one call with no recording
+          interleaved (handles are single-threaded by design — each
+          component tree owns its own handle);
+        * span **sequence numbering is not reset** — it stays monotonic
+          across the reset, so spans recorded afterwards can never
+          reference (or be confused with) pre-reset sequence numbers;
+        * spans still *open* across the reset survive and complete
+          normally; their records land in the post-reset ring.
+        """
         self.counters.reset()
+        self.histograms.reset()
         self.spans.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Instrumentation counters={len(self.counters)} spans={len(self.spans)}>"
+        return (
+            f"<Instrumentation counters={len(self.counters)} "
+            f"spans={len(self.spans)} histograms={len(self.histograms)}>"
+        )
 
 
 class NoOpInstrumentation(Instrumentation):
@@ -111,8 +170,19 @@ class NoOpInstrumentation(Instrumentation):
     def count(self, name: str, amount: Number = 1) -> None:
         pass
 
-    def span(self, name: str) -> _NullSpan:
+    def span(
+        self,
+        name: str,
+        remote_parent: Optional[int] = None,
+        remote_trace: Optional[int] = None,
+    ) -> _NullSpan:
         return _NULL_SPAN
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def current_context(self) -> None:
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<NoOpInstrumentation>"

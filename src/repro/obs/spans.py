@@ -18,6 +18,13 @@ Usage::
 Timing uses ``time.perf_counter``; a span's ``duration_ms`` therefore
 measures wall clock, not simulated network time — the counters carry
 the virtual-clock side (``netsim.latency.injected_ms``).
+
+Cross-component causality rides on :class:`TraceContext`: an RPC
+client opens a span, puts ``(trace_id, span sequence)`` in the request
+envelope, and the server records its own span with
+``remote_parent``/``remote_trace`` set — a *remote-parent link* the
+Chrome-trace exporter turns into flow arrows (see
+:mod:`repro.obs.traceexport`).
 """
 
 from __future__ import annotations
@@ -25,6 +32,19 @@ from __future__ import annotations
 import dataclasses
 import time
 from typing import Iterator, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """The trace identity one RPC request carries across the wire.
+
+    ``trace_id`` names the recording :class:`Instrumentation` handle
+    (all spans of one handle share it); ``span_id`` is the *sequence*
+    of the client span that caused the request.
+    """
+
+    trace_id: int
+    span_id: int
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,6 +63,11 @@ class SpanRecord:
     parent: Optional[int]
     #: Monotonic sequence number (orders records across ring wraps).
     sequence: int
+    #: Sequence of the *remote* span that caused this one (a client
+    #: RPC span), or None for purely local spans.
+    remote_parent: Optional[int] = None
+    #: Trace id of the remote caller's instrumentation handle.
+    remote_trace: Optional[int] = None
 
     @property
     def duration_seconds(self) -> float:
@@ -58,11 +83,32 @@ class SpanRecord:
 class _ActiveSpan:
     """Context manager for one open span (internal)."""
 
-    __slots__ = ("_recorder", "_name", "_start", "_parent", "_sequence")
+    __slots__ = (
+        "_recorder",
+        "_name",
+        "_start",
+        "_parent",
+        "_sequence",
+        "_remote_parent",
+        "_remote_trace",
+    )
 
-    def __init__(self, recorder: "SpanRecorder", name: str) -> None:
+    def __init__(
+        self,
+        recorder: "SpanRecorder",
+        name: str,
+        remote_parent: Optional[int] = None,
+        remote_trace: Optional[int] = None,
+    ) -> None:
         self._recorder = recorder
         self._name = name
+        self._remote_parent = remote_parent
+        self._remote_trace = remote_trace
+
+    @property
+    def sequence(self) -> int:
+        """The span's sequence number (valid once entered)."""
+        return self._sequence
 
     def __enter__(self) -> "_ActiveSpan":
         recorder = self._recorder
@@ -86,6 +132,8 @@ class _ActiveSpan:
                 depth=depth,
                 parent=self._parent,
                 sequence=self._sequence,
+                remote_parent=self._remote_parent,
+                remote_trace=self._remote_trace,
             )
         )
         return False
@@ -113,9 +161,26 @@ class SpanRecorder:
 
     # -- recording ---------------------------------------------------------
 
-    def span(self, name: str) -> _ActiveSpan:
-        """Open a span; use as a context manager."""
-        return _ActiveSpan(self, name)
+    def span(
+        self,
+        name: str,
+        remote_parent: Optional[int] = None,
+        remote_trace: Optional[int] = None,
+    ) -> _ActiveSpan:
+        """Open a span; use as a context manager.
+
+        ``remote_parent``/``remote_trace`` record a cross-component
+        causal link (see :class:`TraceContext`): the span was caused by
+        span ``remote_parent`` of the handle ``remote_trace`` — usually
+        a client RPC span on the other side of the simulated network.
+        """
+        return _ActiveSpan(
+            self, name, remote_parent=remote_parent, remote_trace=remote_trace
+        )
+
+    def current_span_id(self) -> Optional[int]:
+        """Sequence of the innermost open span, or None when quiescent."""
+        return self._stack[-1] if self._stack else None
 
     def _record(self, record: SpanRecord) -> None:
         self._ring[self._cursor] = record
@@ -126,12 +191,29 @@ class SpanRecorder:
     # -- reading -----------------------------------------------------------
 
     def records(self) -> List[SpanRecord]:
-        """Retained spans, oldest first, ordered by entry sequence."""
+        """Retained spans, oldest first, ordered by entry sequence.
+
+        Dangling parents are healed: once the ring wraps (or is
+        cleared mid-trace), a record's ``parent`` may name a sequence
+        that was evicted.  Such records are returned with
+        ``parent=None`` — top level — instead of silently mis-nesting
+        under whatever span later reuses the slot.  A parent that is
+        *still open* (its record not yet emitted) is kept: it will be
+        resolvable once the enclosing span exits.
+        """
         if self._count < self.capacity:
             kept = [r for r in self._ring[: self._count] if r is not None]
         else:
             kept = [r for r in self._ring if r is not None]
-        return sorted(kept, key=lambda r: r.sequence)
+        kept.sort(key=lambda r: r.sequence)
+        known = {r.sequence for r in kept}
+        known.update(self._stack)  # parents still open are not dangling
+        return [
+            dataclasses.replace(r, parent=None)
+            if r.parent is not None and r.parent not in known
+            else r
+            for r in kept
+        ]
 
     def __len__(self) -> int:
         return self._count
@@ -145,7 +227,14 @@ class SpanRecorder:
         return len(self._stack)
 
     def clear(self) -> None:
-        """Drop all completed spans (open spans are unaffected)."""
+        """Drop all completed spans (open spans are unaffected).
+
+        Sequence numbering is **not** reset: it stays monotonic across
+        clears (and ring wraps), so a span recorded after a clear can
+        never be confused with — or accidentally reference — a span
+        recorded before it.  The harness relies on this between the
+        cold and warm passes (see ``Instrumentation.reset``).
+        """
         self._ring = [None] * self.capacity
         self._cursor = 0
         self._count = 0

@@ -1,0 +1,200 @@
+"""Chrome trace-event JSON export of the instrumentation state.
+
+One call turns an :class:`~repro.obs.Instrumentation` handle into a
+JSON document any run of Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing`` opens directly:
+
+* every retained span becomes a complete ("X") duration event;
+* spans named ``server.*`` (or carrying a remote-trace link) land on a
+  separate "object server" process track, mirroring the simulated
+  workstation/server architecture;
+* a server span whose ``remote_parent`` names a retained client span
+  gets a **flow arrow** ("s"/"f" events) from the client RPC span that
+  caused it — batched ``fetch_many`` and every retry attempt included;
+* final counter values are emitted as counter-track ("C") samples plus
+  one global instant ("i") event each, and histogram summaries ride in
+  ``otherData`` so the numbers travel with the picture.
+
+The exporter never mutates the handle; exporting mid-run is safe (you
+see the flight recorder's current contents).
+
+Usage::
+
+    from repro.obs import enable
+    from repro.obs.traceexport import write_chrome_trace
+
+    instr = enable(span_capacity=65536)
+    ...  # run something
+    write_chrome_trace(instr, "out.json")
+
+or from the CLI: ``repro bench --trace out.json`` / ``repro trace``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.instrumentation import Instrumentation
+
+#: Synthetic process ids for the two sides of the simulated network.
+CLIENT_PID = 1
+SERVER_PID = 2
+
+#: Span-name prefix that places a span on the server track.
+_SERVER_PREFIX = "server."
+
+
+def _category(name: str) -> str:
+    """The trace category: the first dotted segment of the span name."""
+    return name.split(".", 1)[0] if "." in name else name
+
+
+def _is_server_span(record) -> bool:
+    return record.name.startswith(_SERVER_PREFIX) or (
+        record.remote_trace is not None
+    )
+
+
+def build_trace(
+    instr: Instrumentation,
+    process_name: str = "hypermodel workstation",
+    server_name: str = "object server (netsim)",
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event document for one handle."""
+    records = instr.spans.records()
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": CLIENT_PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        },
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": SERVER_PID,
+            "tid": 0,
+            "args": {"name": server_name},
+        },
+    ]
+    base = min((r.start for r in records), default=0.0)
+    end = max((r.end for r in records), default=0.0)
+
+    def _us(t: float) -> float:
+        return round((t - base) * 1e6, 3)
+
+    by_sequence = {r.sequence: r for r in records}
+    for record in records:
+        pid = SERVER_PID if _is_server_span(record) else CLIENT_PID
+        args: Dict[str, Any] = {
+            "sequence": record.sequence,
+            "depth": record.depth,
+        }
+        if record.parent is not None:
+            args["parent"] = record.parent
+        if record.remote_parent is not None:
+            args["remote_parent"] = record.remote_parent
+            args["remote_trace"] = record.remote_trace
+        events.append(
+            {
+                "ph": "X",
+                "name": record.name,
+                "cat": _category(record.name),
+                "pid": pid,
+                "tid": 1,
+                "ts": _us(record.start),
+                "dur": round(record.duration_seconds * 1e6, 3),
+                "args": args,
+            }
+        )
+        # Flow arrow: client RPC span -> the server work it caused.
+        if record.remote_parent is not None:
+            cause = by_sequence.get(record.remote_parent)
+            if cause is not None and not _is_server_span(cause):
+                flow_id = f"rpc-{record.remote_trace}-{record.sequence}"
+                events.append(
+                    {
+                        "ph": "s",
+                        "id": flow_id,
+                        "name": "rpc",
+                        "cat": "rpc",
+                        "pid": CLIENT_PID,
+                        "tid": 1,
+                        "ts": _us(cause.start),
+                    }
+                )
+                events.append(
+                    {
+                        "ph": "f",
+                        "bp": "e",
+                        "id": flow_id,
+                        "name": "rpc",
+                        "cat": "rpc",
+                        "pid": SERVER_PID,
+                        "tid": 1,
+                        "ts": _us(record.start),
+                    }
+                )
+
+    # Counter totals: one counter-track sample at the trace end plus a
+    # global instant event per counter (Perfetto shows both).
+    counter_values = instr.counters.as_dict()
+    ts_end = _us(end) if records else 0.0
+    for name in sorted(counter_values):
+        value = counter_values[name]
+        events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "cat": _category(name),
+                "pid": CLIENT_PID,
+                "tid": 1,
+                "ts": ts_end,
+                "args": {"value": value},
+            }
+        )
+        events.append(
+            {
+                "ph": "i",
+                "s": "g",
+                "name": f"{name} = {value:g}",
+                "cat": _category(name),
+                "pid": CLIENT_PID,
+                "tid": 1,
+                "ts": ts_end,
+            }
+        )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_id": instr.trace_id,
+            "span_count": len(records),
+            "counters": counter_values,
+            "histograms": instr.histograms.summaries(),
+        },
+    }
+
+
+def write_chrome_trace(
+    instr: Instrumentation,
+    path: str,
+    process_name: str = "hypermodel workstation",
+    server_name: str = "object server (netsim)",
+) -> Dict[str, Any]:
+    """Build the trace document and write it to ``path`` as JSON."""
+    document = build_trace(
+        instr, process_name=process_name, server_name=server_name
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return document
+
+
+def flow_links(document: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The flow-start events of a built document (test/introspection aid)."""
+    return [e for e in document["traceEvents"] if e.get("ph") == "s"]

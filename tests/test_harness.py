@@ -335,3 +335,133 @@ class TestReports:
         assert "SLOWER" not in clean and "faster" not in clean
         with pytest.raises(ValueError):
             delta_table(results, results, "tepid")
+
+
+class TestLatencyHistogramCapture:
+    """ColdWarmResult carries sample-derived latency histograms."""
+
+    def test_histograms_present_even_without_instrumentation(
+        self, memory_populated
+    ):
+        db, gen = memory_populated
+        result = run_operation_sequence(db, CATALOG.get("01"), gen,
+                                        repetitions=4, seed=5)
+        for hist in (result.cold_hist, result.warm_hist):
+            assert hist["count"] == 4
+            assert hist["min"] <= hist["p50"] <= hist["p90"]
+            assert hist["p90"] <= hist["p99"] <= hist["max"]
+
+    def test_dict_roundtrip_preserves_histograms(self, memory_populated):
+        from repro.harness.protocol import ColdWarmResult
+
+        db, gen = memory_populated
+        result = run_operation_sequence(db, CATALOG.get("01"), gen,
+                                        repetitions=3, seed=5)
+        clone = ColdWarmResult.from_dict(result.to_dict())
+        assert clone.cold_hist == result.cold_hist
+        assert clone.warm_hist == result.warm_hist
+
+    def test_from_dict_tolerates_pre_histogram_payloads(
+        self, memory_populated
+    ):
+        from repro.harness.protocol import ColdWarmResult
+
+        db, gen = memory_populated
+        result = run_operation_sequence(db, CATALOG.get("01"), gen,
+                                        repetitions=3, seed=5)
+        raw = result.to_dict()
+        del raw["cold_hist"], raw["warm_hist"]
+        clone = ColdWarmResult.from_dict(raw)
+        assert clone.cold_hist == {} and clone.warm_hist == {}
+
+    def test_percentile_table_renders(self, memory_populated):
+        from repro.harness.report import percentile_table
+
+        db, gen = memory_populated
+        collected = ResultSet()
+        collected.add(
+            run_operation_sequence(db, CATALOG.get("01"), gen,
+                                   repetitions=3, seed=7)
+        )
+        table = percentile_table(collected, "memory", level=3)
+        assert "p50" in table and "p99" in table
+        assert "01 nameLookup" in table
+        with pytest.raises(ValueError):
+            percentile_table(collected, "memory", temperature="tepid")
+
+    def test_full_report_appends_percentile_tables(self, memory_populated):
+        db, gen = memory_populated
+        collected = ResultSet()
+        collected.add(
+            run_operation_sequence(db, CATALOG.get("01"), gen,
+                                   repetitions=2, seed=7)
+        )
+        report = full_report(collected, include_percentiles=True)
+        assert "Latency percentiles" in report
+
+
+class TestResetBetweenPasses:
+    """The harness resets instrumentation between cold and warm passes."""
+
+    def test_warm_spans_and_histograms_describe_the_warm_pass_only(self):
+        from repro.backends.memory import MemoryDatabase
+        from repro.core.config import HyperModelConfig
+        from repro.core.generator import DatabaseGenerator
+        from repro.obs import Instrumentation
+
+        instr = Instrumentation(span_capacity=4096)
+        db = MemoryDatabase(instrumentation=instr)
+        db.open()
+        gen = DatabaseGenerator(
+            HyperModelConfig(levels=2, seed=8)
+        ).generate(db)
+        db.commit()
+        repetitions = 4
+        result = run_operation_sequence(db, CATALOG.get("01"), gen,
+                                        repetitions=repetitions, seed=5)
+        # The surviving ring only holds warm-pass (and later) spans:
+        # each record postdates every cold iteration the histogram saw.
+        warm_hist = instr.histograms.get("harness.iteration.warm")
+        assert warm_hist is not None and len(warm_hist) == repetitions
+        assert instr.histograms.get("harness.iteration.cold") is None
+        assert result.cold_hist["count"] == repetitions
+
+    def test_warm_records_never_reference_cold_sequences(self):
+        # The clientserver backend opens rpc/server spans on every
+        # round trip, so both passes record spans; the harness reset
+        # between the passes must leave the warm ring free of any
+        # cold-pass sequence number.
+        from repro.backends import create_backend
+        from repro.core.config import HyperModelConfig
+        from repro.core.generator import DatabaseGenerator
+        from repro.obs import Instrumentation
+
+        cold_sequences = set()
+
+        class CapturingInstrumentation(Instrumentation):
+            __slots__ = ()
+
+            def reset(self):
+                cold_sequences.update(
+                    r.sequence for r in self.spans.records()
+                )
+                super().reset()
+
+        instr = CapturingInstrumentation(span_capacity=4096)
+        db = create_backend("clientserver", None, instrumentation=instr)
+        db.open()
+        gen = DatabaseGenerator(
+            HyperModelConfig(levels=2, seed=8)
+        ).generate(db)
+        db.commit()
+        run_operation_sequence(db, CATALOG.get("10"), gen,
+                               repetitions=3, seed=5)
+        warm_records = instr.spans.records()
+        assert cold_sequences, "cold pass recorded no spans"
+        assert warm_records, "warm pass recorded no spans"
+        ceiling = max(cold_sequences)
+        for record in warm_records:
+            assert record.sequence > ceiling
+            assert record.sequence not in cold_sequences
+            if record.parent is not None:
+                assert record.parent not in cold_sequences

@@ -1,12 +1,18 @@
 """The instrumentation subsystem: counters, spans, the global handle.
 
-Three layers under test:
+Five layers under test:
 
 * counter arithmetic (inc/add/total/snapshot/delta);
-* span nesting and the ring buffer's flight-recorder semantics;
+* span nesting and the ring buffer's flight-recorder semantics,
+  including wraparound parent healing and trace-context plumbing;
+* log-bucketed latency histograms and the per-handle registry;
 * the :class:`Instrumentation` handle, the no-op singleton and the
-  process-global default (enable/disable/resolve).
+  process-global default (enable/disable/resolve);
+* the pinned :meth:`Instrumentation.reset` contract the cold/warm
+  harness protocol builds on.
 """
+
+import tracemalloc
 
 import pytest
 
@@ -15,9 +21,12 @@ from repro.obs import (
     NO_OP,
     Counters,
     CounterSnapshot,
+    HistogramRegistry,
     Instrumentation,
+    LatencyHistogram,
     NoOpInstrumentation,
     SpanRecorder,
+    TraceContext,
     disable,
     enable,
     get_instrumentation,
@@ -249,3 +258,234 @@ class TestHeadlineCounters:
         assert "engine.buffer.hit" in HEADLINE_COUNTERS
         assert "engine.buffer.miss" in HEADLINE_COUNTERS
         assert "backend.rpc.round_trips" in HEADLINE_COUNTERS
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram_is_all_zeros(self):
+        hist = LatencyHistogram()
+        assert len(hist) == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(0.5) == 0.0
+        assert hist.summary()["count"] == 0
+
+    def test_count_mean_min_max(self):
+        hist = LatencyHistogram.from_samples([1.0, 2.0, 3.0, 10.0])
+        assert len(hist) == 4
+        assert hist.mean == pytest.approx(4.0)
+        assert hist.minimum == 1.0
+        assert hist.maximum == 10.0
+
+    def test_percentiles_are_monotone_and_bounded(self):
+        samples = [0.1 * i for i in range(1, 201)]  # 0.1 .. 20.0 ms
+        hist = LatencyHistogram.from_samples(samples)
+        p50 = hist.percentile(0.50)
+        p90 = hist.percentile(0.90)
+        p99 = hist.percentile(0.99)
+        assert hist.minimum <= p50 <= p90 <= p99 <= hist.maximum
+        # Log buckets are coarse, but the median of a uniform ramp
+        # must land in the right half-decade.
+        assert 5.0 <= p50 <= 16.0
+
+    def test_single_sample_every_quantile_is_that_sample(self):
+        hist = LatencyHistogram.from_samples([3.25])
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert hist.percentile(q) == pytest.approx(3.25)
+
+    def test_zeros_and_negatives_land_in_the_underflow_bucket(self):
+        hist = LatencyHistogram.from_samples([0.0, 0.0, -1.0, 4.0])
+        assert len(hist) == 4
+        assert hist.zeros == 3
+        # Underflow quantiles report the observed minimum, never a
+        # made-up positive latency.
+        assert hist.percentile(0.25) == hist.minimum == -1.0
+        assert hist.maximum == 4.0
+
+    def test_merge_equals_recording_everything_in_one(self):
+        a = LatencyHistogram.from_samples([1.0, 2.0, 4.0])
+        b = LatencyHistogram.from_samples([8.0, 16.0])
+        a.merge(b)
+        both = LatencyHistogram.from_samples([1.0, 2.0, 4.0, 8.0, 16.0])
+        assert len(a) == len(both)
+        assert a.summary() == both.summary()
+
+    def test_dict_roundtrip_preserves_the_summary(self):
+        hist = LatencyHistogram.from_samples([0.5, 1.5, 2.5, 100.0])
+        clone = LatencyHistogram.from_dict(hist.to_dict())
+        assert clone.summary() == hist.summary()
+        assert list(clone.buckets()) == list(hist.buckets())
+
+    def test_registry_observe_get_reset(self):
+        registry = HistogramRegistry()
+        registry.observe("backend.rpc.call", 1.0)
+        registry.observe("backend.rpc.call", 3.0)
+        registry.observe("engine.wal.fsync", 0.2)
+        assert set(registry.names()) == {
+            "backend.rpc.call", "engine.wal.fsync",
+        }
+        assert len(registry.get("backend.rpc.call")) == 2
+        assert "engine.wal.fsync" in registry
+        summaries = registry.summaries()
+        assert summaries["backend.rpc.call"]["count"] == 2
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.get("backend.rpc.call") is None
+
+
+class TestSpanWraparound:
+    def test_dangling_parent_after_wraparound_becomes_top_level(self):
+        # Simulate the post-wraparound ring state: a retained record
+        # whose parent's record was evicted (and whose parent is not
+        # on the open stack).  It must read as top-level, not point at
+        # a sequence number the ring no longer holds — and definitely
+        # not mis-nest under whatever span later reuses the slot.
+        from repro.obs.spans import SpanRecord
+
+        recorder = SpanRecorder(capacity=4)
+        recorder._record(
+            SpanRecord(
+                name="orphan", start=0.0, end=1.0, depth=1,
+                parent=99, sequence=101,
+            )
+        )
+        recorder._record(
+            SpanRecord(
+                name="root", start=1.0, end=2.0, depth=0,
+                parent=None, sequence=102,
+            )
+        )
+        recorder._record(
+            SpanRecord(
+                name="child", start=1.2, end=1.8, depth=1,
+                parent=102, sequence=103,
+            )
+        )
+        records = recorder.records()
+        assert [r.name for r in records] == ["orphan", "root", "child"]
+        orphan, root, child = records
+        assert orphan.parent is None  # healed: 99 was evicted
+        assert child.parent == root.sequence  # intact: 102 is retained
+
+    def test_no_record_ever_references_an_evicted_sequence(self):
+        # Black-box wraparound invariant: whatever the ring evicted,
+        # every surviving parent pointer resolves to a retained record
+        # or an open span.
+        recorder = SpanRecorder(capacity=3)
+        with recorder.span("a"):
+            with recorder.span("b"):
+                for index in range(5):
+                    with recorder.span(f"leaf-{index}"):
+                        pass
+        retained = {r.sequence for r in recorder.records()}
+        for record in recorder.records():
+            assert record.parent is None or record.parent in retained
+
+    def test_open_parent_still_counts_as_known(self):
+        # A parent that is still *open* (on the stack) is not dangling
+        # even though it has no record yet.
+        recorder = SpanRecorder(capacity=8)
+        with recorder.span("outer") as outer:
+            with recorder.span("inner"):
+                pass
+            records = recorder.records()
+            assert records[0].name == "inner"
+            assert records[0].parent == outer.sequence
+
+    def test_remote_parent_and_trace_are_recorded(self):
+        recorder = SpanRecorder(capacity=8)
+        with recorder.span("server.fetch", remote_parent=41, remote_trace=7):
+            pass
+        record = recorder.records()[0]
+        assert record.remote_parent == 41
+        assert record.remote_trace == 7
+        assert record.parent is None
+
+
+class TestTraceContext:
+    def test_current_context_reflects_the_open_span(self):
+        instr = Instrumentation()
+        assert instr.current_context() is None
+        with instr.span("rpc.fetch") as span:
+            context = instr.current_context()
+            assert context == TraceContext(
+                trace_id=instr.trace_id, span_id=span.sequence
+            )
+        assert instr.current_context() is None
+
+    def test_trace_ids_are_unique_per_live_handle(self):
+        first = Instrumentation()
+        second = Instrumentation()
+        assert first.trace_id != second.trace_id
+
+
+class TestResetContract:
+    """The pinned cold/warm contract (see docs/observability.md)."""
+
+    def test_reset_clears_counters_histograms_and_spans(self):
+        instr = Instrumentation()
+        instr.count("engine.buffer.hit", 5)
+        instr.observe("backend.rpc.call", 1.25)
+        with instr.span("cold.work"):
+            pass
+        instr.reset()
+        assert instr.snapshot().as_dict() == {}
+        assert len(instr.histograms) == 0
+        assert len(instr.spans) == 0
+
+    def test_warm_spans_never_reference_cold_sequence_numbers(self):
+        # Sequence numbers stay monotonic across reset(): every span
+        # recorded *after* the reset has a sequence strictly greater
+        # than every cold-pass sequence, and no warm parent/record can
+        # alias a cold one.
+        instr = Instrumentation(span_capacity=64)
+        with instr.span("cold.outer"):
+            with instr.span("cold.inner"):
+                pass
+        cold_sequences = {r.sequence for r in instr.spans.records()}
+        instr.reset()
+        with instr.span("warm.outer"):
+            with instr.span("warm.inner"):
+                pass
+        warm = instr.spans.records()
+        assert {r.name for r in warm} == {"warm.outer", "warm.inner"}
+        for record in warm:
+            assert record.sequence > max(cold_sequences)
+            assert record.sequence not in cold_sequences
+            if record.parent is not None:
+                assert record.parent not in cold_sequences
+
+    def test_reset_preserves_open_spans(self):
+        instr = Instrumentation()
+        with instr.span("outer"):
+            instr.reset()
+            assert instr.spans.open_depth == 1
+        assert [r.name for r in instr.spans.records()] == ["outer"]
+
+
+class TestNoOpZeroCost:
+    def test_noop_observe_and_span_allocate_nothing(self):
+        # The disabled hot path: histogram record + span open must not
+        # allocate per call (shared singleton span, pass-through
+        # observe).  tracemalloc bounds the *total* allocation of 10k
+        # iterations to noise (<16 KiB), which a per-call allocation
+        # of any kind would blow through.
+        NO_OP.observe("backend.rpc.call", 1.0)  # warm up
+        with NO_OP.span("warmup"):
+            pass
+        tracemalloc.start()
+        try:
+            before, _peak = tracemalloc.get_traced_memory()
+            for _ in range(10_000):
+                NO_OP.observe("backend.rpc.call", 1.0)
+                with NO_OP.span("anything"):
+                    pass
+            after, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before < 16_384
+        assert peak - before < 16_384
+        assert len(NO_OP.histograms) == 0
+        assert len(NO_OP.spans) == 0
+
+    def test_noop_current_context_is_none(self):
+        with NO_OP.span("rpc.fetch"):
+            assert NO_OP.current_context() is None

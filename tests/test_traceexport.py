@@ -1,0 +1,166 @@
+"""The Chrome trace-event exporter and cross-RPC trace propagation.
+
+Two layers under test:
+
+* the exporter's document shape (Perfetto/chrome://tracing loadable:
+  ``traceEvents`` with metadata, complete, flow, counter events);
+* the end-to-end propagation chain: a clientserver benchmark run must
+  yield server spans that carry the client's trace context and are
+  linked to the originating ``rpc.*`` spans by flow-event pairs.
+"""
+
+import json
+
+import pytest
+
+from repro.backends import create_backend
+from repro.core.config import HyperModelConfig
+from repro.core.generator import DatabaseGenerator
+from repro.core.operations import CATALOG, Operations
+from repro.obs import Instrumentation
+from repro.obs.traceexport import (
+    CLIENT_PID,
+    SERVER_PID,
+    build_trace,
+    flow_links,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def clientserver_trace():
+    """One cold closure run on the clientserver backend, traced."""
+    instr = Instrumentation(span_capacity=65536)
+    db = create_backend("clientserver", None, instrumentation=instr)
+    db.open()
+    config = HyperModelConfig(levels=3, seed=7)
+    gen = DatabaseGenerator(config).generate(db)
+    db.commit()
+    db.close()
+    db.open()
+    instr.reset()
+    spec = CATALOG.get("10")
+    root = db.lookup(gen.root_uid)
+    spec.run(Operations(db, config), (root,))
+    db.close()
+    return instr, build_trace(instr)
+
+
+class TestDocumentShape:
+    def test_top_level_keys_and_time_unit(self, clientserver_trace):
+        _instr, document = clientserver_trace
+        assert set(document) == {
+            "traceEvents", "displayTimeUnit", "otherData",
+        }
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["span_count"] > 0
+
+    def test_process_metadata_names_both_sides(self, clientserver_trace):
+        _instr, document = clientserver_trace
+        metadata = [
+            e for e in document["traceEvents"] if e["ph"] == "M"
+        ]
+        assert {e["pid"] for e in metadata} == {CLIENT_PID, SERVER_PID}
+        assert all(e["name"] == "process_name" for e in metadata)
+
+    def test_complete_events_have_ts_and_dur_in_microseconds(
+        self, clientserver_trace
+    ):
+        _instr, document = clientserver_trace
+        complete = [
+            e for e in document["traceEvents"] if e["ph"] == "X"
+        ]
+        assert complete
+        for event in complete:
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert event["pid"] in (CLIENT_PID, SERVER_PID)
+            assert "sequence" in event["args"]
+
+    def test_server_spans_live_in_the_server_process(
+        self, clientserver_trace
+    ):
+        _instr, document = clientserver_trace
+        server = [
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e["name"].startswith("server.")
+        ]
+        assert server
+        assert all(e["pid"] == SERVER_PID for e in server)
+
+    def test_counter_events_cover_the_round_trips(self, clientserver_trace):
+        instr, document = clientserver_trace
+        counter_names = {
+            e["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "C"
+        }
+        assert "backend.rpc.round_trips" in counter_names
+
+
+class TestFlowLinks:
+    def test_every_server_span_is_linked_to_a_client_rpc_span(
+        self, clientserver_trace
+    ):
+        _instr, document = clientserver_trace
+        events = document["traceEvents"]
+        starts = {e["id"]: e for e in events if e["ph"] == "s"}
+        finishes = {e["id"]: e for e in events if e["ph"] == "f"}
+        assert starts, "no flow start events in the trace"
+        # Every flow is a matched s/f pair: client-side start,
+        # server-side finish.
+        assert set(starts) == set(finishes)
+        for flow_id, start in starts.items():
+            assert start["pid"] == CLIENT_PID
+            assert finishes[flow_id]["pid"] == SERVER_PID
+            assert flow_id.startswith("rpc-")
+
+    def test_flow_starts_sit_on_rpc_spans(self, clientserver_trace):
+        _instr, document = clientserver_trace
+        events = document["traceEvents"]
+        rpc_ts = {
+            e["ts"]
+            for e in events
+            if e["ph"] == "X" and e["name"].startswith("rpc.")
+        }
+        for start in flow_links(document):
+            assert start["ts"] in rpc_ts
+
+    def test_server_records_carry_the_client_trace_context(
+        self, clientserver_trace
+    ):
+        instr, _document = clientserver_trace
+        records = instr.spans.records()
+        server = [r for r in records if r.name.startswith("server.")]
+        rpc_sequences = {
+            r.sequence for r in records if r.name.startswith("rpc.")
+        }
+        assert server
+        for record in server:
+            assert record.remote_trace == instr.trace_id
+            assert record.remote_parent in rpc_sequences
+
+
+class TestWriteChromeTrace:
+    def test_written_file_is_json_loadable(self, tmp_path):
+        instr = Instrumentation()
+        instr.count("engine.buffer.hit", 3)
+        with instr.span("outer"):
+            with instr.span("inner"):
+                pass
+        out = tmp_path / "trace.json"
+        document = write_chrome_trace(instr, str(out))
+        on_disk = json.loads(out.read_text())
+        assert on_disk == document
+        names = [
+            e["name"] for e in on_disk["traceEvents"] if e["ph"] == "X"
+        ]
+        assert names == ["outer", "inner"]
+
+    def test_empty_instrumentation_exports_a_valid_document(self, tmp_path):
+        instr = Instrumentation()
+        out = tmp_path / "empty.json"
+        document = write_chrome_trace(instr, str(out))
+        assert document["otherData"]["span_count"] == 0
+        assert json.loads(out.read_text())["traceEvents"] is not None
