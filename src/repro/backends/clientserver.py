@@ -109,6 +109,17 @@ class ClientServerDatabase(HyperModelDatabase):
         rpc_backoff_seconds: base of the exponential backoff charged
             to the simulated clock between attempts (doubling per
             retry: base, 2·base, 4·base, …).
+        pushdown: run closure traversals *at the server*
+            (:meth:`prefetch_closure` issues one ``traverse`` RPC that
+            warms the workstation cache with the whole reachable set)
+            and structurally read ahead on cache misses.  Default on;
+            ``pushdown=False`` falls back to the PR-2 frontier BFS —
+            one batch RPC per level — and is what the registry's
+            ``clientserver-bfs`` ablation selects.
+        readahead_depth: how many levels of a node's subtree/part
+            graph a cache-missing :meth:`_fetch` speculatively admits
+            (``0`` disables structural readahead; only meaningful with
+            ``pushdown=True``).
     """
 
     def __init__(
@@ -121,6 +132,8 @@ class ClientServerDatabase(HyperModelDatabase):
         fault_model: Optional[FaultModel] = None,
         rpc_retries: int = 4,
         rpc_backoff_seconds: float = 0.002,
+        pushdown: bool = True,
+        readahead_depth: int = 1,
     ) -> None:
         if rpc_retries < 0:
             raise ConfigurationError(
@@ -131,6 +144,12 @@ class ClientServerDatabase(HyperModelDatabase):
                 "rpc_backoff_seconds cannot be negative,"
                 f" got {rpc_backoff_seconds}"
             )
+        if readahead_depth < 0:
+            raise ConfigurationError(
+                f"readahead_depth cannot be negative, got {readahead_depth}"
+            )
+        self.pushdown = bool(pushdown)
+        self.readahead_depth = readahead_depth
         self.instrumentation = resolve(instrumentation)
         self.simulated_clock: SimulatedClock = (
             server.clock if server is not None else SimulatedClock()
@@ -274,13 +293,46 @@ class ClientServerDatabase(HyperModelDatabase):
 
     # -- record access ------------------------------------------------------
 
+    def _admit(self, reply: Dict[int, Dict[str, Any]]) -> None:
+        """Bulk-admit a record-carrying server reply into the cache.
+
+        Admission is in **server-reply order** (BFS order for the
+        push-down verbs) through :meth:`WorkstationCache.put_many`, so
+        eviction runs once per reply instead of once per record.
+        """
+        instr = self.instrumentation
+        evicted = self.cache.put_many(reply.items())
+        instr.count("cache.readahead.admitted", len(reply))
+        if evicted:
+            instr.count("cache.readahead.evicted", evicted)
+
     def _fetch(self, uid: int) -> Dict[str, Any]:
-        """Read a record: write buffer, then cache, then the network."""
+        """Read a record: write buffer, then cache, then the network.
+
+        With ``pushdown`` enabled the network leg is a **structural
+        readahead**: the same single round trip that fetches the record
+        also ships ``readahead_depth`` levels of its subtree/part
+        graph, speculatively warming the cache for the navigation that
+        a first touch almost always precedes.
+        """
         record = self._local.get(uid)
         if record is not None:
             return record
         record = self.cache.get(uid)
         if record is not None:
+            return record
+        if self.pushdown and self.readahead_depth > 0:
+            self.instrumentation.count("cache.readahead.requests")
+            reply = self._rpc(
+                self.server.readahead,
+                [uid],
+                depth=self.readahead_depth,
+                limit=self.cache.capacity,
+            )  # one round trip, records in BFS order
+            record = reply.get(uid)
+            if record is None:
+                raise NodeNotFoundError(uid)
+            self._admit(reply)
             return record
         record = self._rpc(self.server.fetch, uid)  # charges the clock
         self.cache.put(uid, record)
@@ -314,10 +366,57 @@ class ClientServerDatabase(HyperModelDatabase):
                 fetched = self._rpc(
                     self.server.fetch_many, missing
                 )  # one round trip
-                for uid, record in fetched.items():
-                    self.cache.put(uid, record)
+                self.cache.put_many(fetched.items())  # server-reply order
                 records.update(fetched)
         return records
+
+    # -- closure push-down ------------------------------------------------
+
+    def prefetch_closure(
+        self,
+        root: NodeRef,
+        relation: str,
+        depth: Optional[int] = None,
+    ) -> bool:
+        """Push a closure traversal down to the server.
+
+        One ``traverse`` RPC runs the BFS server-side and returns every
+        reachable record in a single size-charged reply, which is
+        bulk-admitted into the workstation cache — the closure replay
+        that follows then resolves every frontier locally, so a cold
+        closure costs **one** round trip instead of one per level.
+
+        The verb is a *hint*: it returns ``False`` (and the caller
+        falls back to frontier BFS) when push-down is disabled, and it
+        is skipped entirely when the root is already locally resident —
+        a warm pass must stay at zero round trips.  Replies are capped
+        at the cache capacity server-side, so a traversal larger than
+        the cache admits a coherent BFS prefix and leaves the tail to
+        the per-level path.
+        """
+        self._require_open()
+        if not self.pushdown:
+            return False
+        instr = self.instrumentation
+        if root in self._local or root in self.cache:
+            # Locally resident root: the replay will hit the cache (or
+            # fall back per level for the un-cached tail); a push-down
+            # here would turn a zero-RPC warm pass into one RPC.
+            instr.count("backend.rpc.pushdown.skipped_warm")
+            return False
+        reply = self._rpc(
+            self.server.traverse,
+            root,
+            relation,
+            direction="forward",
+            depth=depth,
+            with_records=True,
+            limit=self.cache.capacity,
+        )  # one round trip for the whole closure
+        instr.count("backend.rpc.pushdown.calls")
+        instr.count("backend.rpc.pushdown.objects", len(reply))
+        self._admit(reply)
+        return True
 
     def _fetch_for_write(self, uid: int) -> Dict[str, Any]:
         """Read a record and move a private copy into the write buffer."""

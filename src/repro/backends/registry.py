@@ -21,7 +21,10 @@ injection and I/O counting) and ``group_commit=`` /
 ``group_commit_size=`` (batched commit fsyncs); the ``clientserver``
 backend accepts ``fault_model=`` (seeded RPC drop/timeout injection,
 see :mod:`repro.netsim.faults`) plus ``rpc_retries=`` /
-``rpc_backoff_seconds=`` for its bounded retry policy.
+``rpc_backoff_seconds=`` for its bounded retry policy and
+``pushdown=`` / ``readahead_depth=`` for server-side closure
+push-down (``clientserver-bfs`` is the ``pushdown=False`` ablation,
+mirroring ``oodb-unclustered``).
 
 The legacy private ``_FACTORIES`` dict is retained as a deprecated
 read-only view for code that used to reach into it; it warns on
@@ -244,7 +247,19 @@ register_backend(
 register_backend(
     "clientserver",
     _clientserver_factory,
-    description="workstation cache over a simulated object server",
+    description=(
+        "workstation cache over a simulated object server"
+        " (closure push-down on)"
+    ),
+)
+register_backend(
+    "clientserver-bfs",
+    _clientserver_factory,
+    default_options={"pushdown": False},
+    description=(
+        "client/server with push-down disabled: one batch RPC per"
+        " closure level (ablation)"
+    ),
 )
 
 

@@ -165,6 +165,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default="BENCH_closure.json",
         help="output JSON path (default: BENCH_closure.json)",
     )
+    closure.add_argument(
+        "--compare-pushdown",
+        action="store_true",
+        help=(
+            "also run the clientserver-bfs ablation so the document"
+            " compares closure push-down against frontier BFS"
+        ),
+    )
 
     crash = sub.add_parser(
         "crashtest",
@@ -389,6 +397,7 @@ def _cmd_bench_closure(args: argparse.Namespace) -> int:
         level=args.level,
         repetitions=args.repetitions,
         seed=args.seed,
+        compare_pushdown=args.compare_pushdown,
     )
     print(format_summary(document))
     print(f"results written to {args.out}")

@@ -234,6 +234,25 @@ class HyperModelDatabase(abc.ABC):
         """One integer attribute read for each of ``refs`` (aligned)."""
         return [self.get_attribute(ref, name) for ref in refs]
 
+    def prefetch_closure(
+        self,
+        root: NodeRef,
+        relation: str,
+        depth: Optional[int] = None,
+    ) -> bool:
+        """Hint that a closure over ``relation`` from ``root`` follows.
+
+        ``relation`` is one of ``"children"``, ``"parts"`` or
+        ``"refTo"``; ``depth`` bounds the traversal (``None`` =
+        unbounded).  A backend that can warm the reachable set cheaply
+        — e.g. by pushing the whole traversal down to a remote server
+        in one request — may do so and return ``True``; the default
+        does nothing and returns ``False``.  Purely an optimization
+        hint: callers must behave identically either way, because the
+        subsequent per-item/batched reads define the result.
+        """
+        return False
+
     # ------------------------------------------------------------------
     # Reference lookups — inverse traversal (ops 07A/07B/08)
     # ------------------------------------------------------------------

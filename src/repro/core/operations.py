@@ -122,7 +122,14 @@ class Operations:
 
         One ``children_many`` call per tree level.  The 1-N relation is
         a tree, so every node appears in exactly one frontier.
+
+        A backend that supports closure push-down
+        (:meth:`~repro.core.interface.HyperModelDatabase.prefetch_closure`)
+        warms its cache with the whole subtree first, collapsing the
+        per-level interactions to local hits — the loop below is
+        unchanged either way, so results cannot diverge.
         """
+        self.db.prefetch_closure(ref, "children")
         children_of: Dict[NodeRef, List[NodeRef]] = {}
         frontier: List[NodeRef] = [ref]
         while frontier:
@@ -161,6 +168,7 @@ class Operations:
         *distinct* node's part list is fetched once (one ``parts_many``
         per DAG level); the per-path expansion is replayed in memory.
         """
+        self.db.prefetch_closure(ref, "parts")
         parts_of: Dict[NodeRef, List[NodeRef]] = {}
         frontier: List[NodeRef] = [ref]
         while frontier:
@@ -190,6 +198,7 @@ class Operations:
         ``refs_to_many`` call over the whole frontier.
         """
         limit = self.config.closure_depth if depth is None else depth
+        self.db.prefetch_closure(ref, "refTo", depth=limit)
         result: List[NodeRef] = []
         frontier = [ref]
         for _ in range(limit):
@@ -213,6 +222,7 @@ class Operations:
         One ``children_many`` plus one ``get_attributes_many`` call per
         tree level; addition commutes, so no replay pass is needed.
         """
+        self.db.prefetch_closure(ref, "children")
         total = 0
         frontier: List[NodeRef] = [ref]
         while frontier:
@@ -234,6 +244,7 @@ class Operations:
         path has no batch verb — the paper times the read-modify-write
         loop as given).
         """
+        self.db.prefetch_closure(ref, "children")
         count = 0
         frontier: List[NodeRef] = [ref]
         while frontier:
@@ -257,6 +268,11 @@ class Operations:
         per-item formulation (pruned subtrees cost nothing).
         """
         low, high = x, x + 9999
+        # Push-down note: the hint ships the *whole* subtree even
+        # though pruned branches are never read back — trading payload
+        # for the single round trip.  The per-level fall-back keeps the
+        # pruned-subtrees-cost-nothing property.
+        self.db.prefetch_closure(ref, "children")
         pruned: Dict[NodeRef, bool] = {}
         children_of: Dict[NodeRef, List[NodeRef]] = {}
         frontier: List[NodeRef] = [ref]
@@ -294,6 +310,7 @@ class Operations:
         whole frontier with one ``refs_to_many`` call.
         """
         limit = self.config.closure_depth if depth is None else depth
+        self.db.prefetch_closure(ref, "refTo", depth=limit)
         result: List[Tuple[NodeRef, int]] = []
         frontier: List[Tuple[NodeRef, int]] = [(ref, 0)]
         for _ in range(limit):

@@ -40,10 +40,16 @@ _REPORTED_PREFIXES = (
     "backend.batch",
     "backend.rpc",
     "backend.op",
+    "cache.readahead",
     "engine.buffer",
     "engine.store.batch",
     "netsim.cache",
 )
+
+#: ``ClosureCell.mode`` values derived from the backend's ``pushdown``
+#: attribute: the clientserver pair reports which closure strategy it
+#: ran, every other backend is simply "native".
+_MODES = {True: "pushdown", False: "bfs"}
 
 
 @dataclasses.dataclass
@@ -55,6 +61,13 @@ class ClosureCell:
     :class:`~repro.obs.LatencyHistogram`); ``histogram`` carries the
     full bucket form so downstream tooling (bench-diff, plots) can
     recompute any quantile.
+
+    ``mode`` tags which closure strategy produced the cell
+    (``"pushdown"`` / ``"bfs"`` on the clientserver pair, ``"native"``
+    elsewhere); ``sim_ms`` / ``sim_ms_per_node`` are the *simulated*
+    network time of the cold repetition — deterministic, so this is
+    the column the pushdown-vs-BFS comparison reads (wall time on a
+    loaded CI worker is not).
     """
 
     backend: str
@@ -70,6 +83,9 @@ class ClosureCell:
     p99_ms: float = 0.0
     max_ms: float = 0.0
     histogram: Dict[str, object] = dataclasses.field(default_factory=dict)
+    mode: str = "native"
+    sim_ms: float = 0.0
+    sim_ms_per_node: float = 0.0
 
     def to_json(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -104,6 +120,7 @@ def run_closure_bench(
     repetitions: int = 5,
     seed: int = 19880301,
     workdir: Optional[str] = None,
+    compare_pushdown: bool = False,
 ) -> Dict[str, object]:
     """Measure ops 10-12 on every backend; return the JSON document.
 
@@ -113,9 +130,24 @@ def run_closure_bench(
     time is normalized by the operation's node count.  Counter deltas
     cover the *first* repetition — the cold pass, where the batch
     layer's round-trip and fault behaviour shows.
+
+    ``compare_pushdown=True`` adds the ``clientserver-bfs`` ablation
+    next to every ``clientserver`` entry, so the document carries a
+    pushdown-vs-frontier-BFS comparison in its ``sim_ms_per_node``
+    columns (and the mode-tagged cells give ``repro bench-diff`` both
+    paths to gate).
     """
     from repro.backends import create_backend
 
+    if compare_pushdown:
+        expanded: List[str] = []
+        for backend in backends:
+            expanded.append(backend)
+            if backend == "clientserver" and (
+                "clientserver-bfs" not in backends
+            ):
+                expanded.append("clientserver-bfs")
+        backends = expanded
     own_tmp = None
     if workdir is None:
         own_tmp = tempfile.TemporaryDirectory(prefix="hypermodel-bench-")
@@ -126,6 +158,8 @@ def run_closure_bench(
             instr = Instrumentation()
             path = os.path.join(workdir, f"closure-{backend}.db")
             db = create_backend(backend, path, instrumentation=instr)
+            mode = _MODES.get(getattr(db, "pushdown", None), "native")
+            clock = getattr(db, "simulated_clock", None)
             db.open()
             try:
                 gen = DatabaseGenerator(
@@ -144,15 +178,22 @@ def run_closure_bench(
                     root = db.lookup(gen.root_uid)
                     timings_ms: List[float] = []
                     nodes = 1
+                    sim_ms = 0.0
                     first_delta: Dict[str, float] = {}
                     for rep in range(repetitions):
                         before = instr.snapshot()
+                        sim_start = clock.now if clock is not None else 0.0
                         start = time.perf_counter()
                         result = spec.run(ops, (root,))
                         timings_ms.append(
                             (time.perf_counter() - start) * 1000.0
                         )
                         if rep == 0:
+                            if clock is not None:
+                                # Deterministic network cost of the
+                                # cold pass — the pushdown-vs-BFS
+                                # comparison column.
+                                sim_ms = (clock.now - sim_start) * 1000.0
                             first_delta = instr.delta_since(before)
                             nodes = _result_nodes(
                                 op_id, result, subtree_nodes
@@ -178,6 +219,9 @@ def run_closure_bench(
                             p99_ms=round(hist.percentile(0.99), 4),
                             max_ms=round(hist.maximum, 4),
                             histogram=hist.to_dict(),
+                            mode=mode,
+                            sim_ms=round(sim_ms, 4),
+                            sim_ms_per_node=round(sim_ms / nodes, 6),
                         )
                     )
             finally:
@@ -214,10 +258,15 @@ def write_closure_bench(
     level: int = 4,
     repetitions: int = 5,
     seed: int = 19880301,
+    compare_pushdown: bool = False,
 ) -> Dict[str, object]:
     """Run :func:`run_closure_bench` and write ``out_path`` as JSON."""
     document = run_closure_bench(
-        backends=backends, level=level, repetitions=repetitions, seed=seed
+        backends=backends,
+        level=level,
+        repetitions=repetitions,
+        seed=seed,
+        compare_pushdown=compare_pushdown,
     )
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
@@ -230,16 +279,18 @@ def format_summary(document: Dict[str, object]) -> str:
     lines = [
         f"closure batch traversal — level {document['level']}, "
         f"{document['repetitions']} repetitions",
-        f"{'backend':<14}{'op':<5}{'name':<20}{'nodes':>7}"
-        f"{'med ms':>10}{'ms/node':>10}{'rpc rt':>8}",
+        f"{'backend':<18}{'op':<5}{'name':<20}{'mode':<10}{'nodes':>7}"
+        f"{'med ms':>10}{'ms/node':>10}{'sim/node':>10}{'rpc rt':>8}",
     ]
     cells = document["cells"]
     for backend, per_op in cells.items():  # type: ignore[union-attr]
         for op_id, cell in per_op.items():
             rpc = cell["counters"].get("backend.rpc.round_trips", 0)
             lines.append(
-                f"{backend:<14}{op_id:<5}{cell['op_name']:<20}"
+                f"{backend:<18}{op_id:<5}{cell['op_name']:<20}"
+                f"{cell.get('mode', 'native'):<10}"
                 f"{cell['nodes']:>7}{cell['median_ms']:>10.3f}"
-                f"{cell['median_ms_per_node']:>10.4f}{int(rpc):>8}"
+                f"{cell['median_ms_per_node']:>10.4f}"
+                f"{cell.get('sim_ms_per_node', 0.0):>10.4f}{int(rpc):>8}"
             )
     return "\n".join(lines)

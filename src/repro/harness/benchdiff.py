@@ -84,7 +84,11 @@ def _closure_cells(document: Dict[str, Any]) -> Dict[Tuple[str, str, str], Dict[
                 # Documents written before histograms existed.
                 values["p50"] = float(cell["median_ms"])
             if values:
-                out[(backend, str(op_id), "closure")] = values
+                # Mode-tagged cells (pushdown / bfs / native) gate each
+                # closure strategy separately; documents written before
+                # the tag existed collapse to the legacy "closure" mode.
+                mode = str(cell.get("mode") or "closure")
+                out[(backend, str(op_id), mode)] = values
     return out
 
 

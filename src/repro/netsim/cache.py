@@ -109,6 +109,31 @@ class WorkstationCache:
             self.stats.evictions += 1
             self._instr.count("netsim.cache.eviction")
 
+    def put_many(self, items: Sequence[Tuple[Any, Any]]) -> int:
+        """Bulk insert/refresh, then **one** eviction pass; returns it.
+
+        Entries are admitted (or recency-refreshed) in iteration order —
+        for a server reply this is the reply's own order, so the most
+        recently *listed* record is also the most recently *used* one.
+        Unlike a loop of :meth:`put` calls, eviction runs once at the
+        end: a bulk admission larger than the whole cache evicts the
+        admission's own oldest prefix in a single pass instead of
+        churning per key.  The number of evicted entries is returned
+        (and counted under ``netsim.cache.eviction``).
+        """
+        for key, value in items:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+        evicted = 0
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            evicted += 1
+        if evicted:
+            self.stats.evictions += evicted
+            self._instr.count("netsim.cache.eviction", evicted)
+        return evicted
+
     def invalidate(self, key: Any) -> None:
         """Drop one entry (server-side update of a checked-out object)."""
         if self._entries.pop(key, None) is not None:

@@ -25,12 +25,16 @@ from repro.engine import serializer
 from repro.netsim.faults import FaultModel
 from repro.netsim.latency import LatencyModel, SimulatedClock
 from repro.obs import Instrumentation, TraceContext, resolve
-from repro.errors import NodeNotFoundError
+from repro.errors import InvalidOperationError, NodeNotFoundError
 
 #: Approximate bytes of a uid in a response payload.
 _UID_BYTES = 8
-#: Approximate bytes of a request header beyond the round trip.
+#: Approximate bytes of a request/reply envelope beyond the round trip.
 _PROBE_BYTES = 16
+
+#: Relations the push-down verbs understand, with the record keys that
+#: hold their forward and reverse adjacency.
+_RELATIONS = ("children", "parts", "refTo")
 
 
 @dataclasses.dataclass
@@ -40,6 +44,9 @@ class ServerStats:
     fetches: int = 0
     batch_fetches: int = 0
     batched_objects: int = 0
+    traversals: int = 0
+    readaheads: int = 0
+    pushdown_objects: int = 0
     stores: int = 0
     probes: int = 0
     queries: int = 0
@@ -51,6 +58,7 @@ class ServerStats:
         """Zero all counters."""
         self.fetches = self.stores = self.probes = 0
         self.batch_fetches = self.batched_objects = 0
+        self.traversals = self.readaheads = self.pushdown_objects = 0
         self.queries = self.scans = 0
         self.bytes_sent = self.bytes_received = 0
 
@@ -147,13 +155,37 @@ class ObjectServer:
 
     # ------------------------------------------------------------------
     # Cost accounting
+    #
+    # Every request charges exactly one round trip plus its payload.
+    # Reply payloads follow **one documented model** shared by every
+    # record-carrying verb (``fetch``, ``fetch_many``, ``traverse``,
+    # ``readahead``):
+    #
+    #     payload = envelope (_PROBE_BYTES) + Σ record_size(record)
+    #
+    # so a batch reply and a push-down reply carrying the *same* record
+    # set charge the *same* simulated time (pinned by a regression test
+    # in ``tests/test_pushdown.py``).  Reference-only replies charge
+    # ``envelope + _UID_BYTES per uid`` instead.  Payload sizes land in
+    # the ``backend.rpc.payload_bytes`` histogram (bytes, not ms) so
+    # the wire-size distribution is inspectable next to the latency
+    # distributions.
     # ------------------------------------------------------------------
 
-    def _charge(self, payload_bytes: int) -> None:
+    def _charge(self, payload_bytes: int, verb: Optional[str] = None) -> None:
         cost = self.latency.request_cost(payload_bytes)
         self.clock.advance(cost)
         self._instr.count("backend.rpc.round_trips")
         self._instr.count("netsim.latency.injected_ms", cost * 1000.0)
+        self._instr.observe("backend.rpc.payload_bytes", float(payload_bytes))
+        if verb is not None:
+            self._instr.observe(
+                f"backend.rpc.payload_bytes.{verb}", float(payload_bytes)
+            )
+
+    def _reply_payload(self, records) -> int:
+        """Wire size of one record-carrying reply: envelope + records."""
+        return _PROBE_BYTES + sum(self.record_size(r) for r in records)
 
     def _maybe_fault(self, request: str) -> None:
         """Consult the fault model before serving a request.
@@ -211,12 +243,12 @@ class ObjectServer:
             self.stats.fetches += 1
             record = self._records.get(uid)
             if record is None:
-                self._charge(_PROBE_BYTES)
+                self._charge(_PROBE_BYTES, "fetch")
                 raise NodeNotFoundError(uid)
-            size = self.record_size(record)
-            self.stats.bytes_sent += size
-            self._instr.count("backend.rpc.bytes_sent", size)
-            self._charge(size)
+            payload = self._reply_payload([record])
+            self.stats.bytes_sent += payload
+            self._instr.count("backend.rpc.bytes_sent", payload)
+            self._charge(payload, "fetch")
             return self._isolate(record)
 
     def fetch_many(self, uids: List[int]) -> Dict[int, Dict[str, Any]]:
@@ -245,19 +277,197 @@ class ObjectServer:
                 (uid for uid in unique if uid not in self._records), None
             )
             if missing is not None:
-                self._charge(_PROBE_BYTES)
+                self._charge(_PROBE_BYTES, "fetch_many")
                 raise NodeNotFoundError(missing)
-            payload = _PROBE_BYTES
-            out: Dict[int, Dict[str, Any]] = {}
-            for uid in unique:
-                record = self._records[uid]
-                payload += self.record_size(record)
-                out[uid] = self._isolate(record)
+            payload = self._reply_payload(
+                self._records[uid] for uid in unique
+            )
+            out: Dict[int, Dict[str, Any]] = {
+                uid: self._isolate(self._records[uid]) for uid in unique
+            }
             self.stats.batched_objects += len(unique)
             self.stats.bytes_sent += payload
             self._instr.count("backend.rpc.bytes_sent", payload)
             self._instr.count("backend.rpc.batched_objects", len(unique))
-            self._charge(payload)
+            self._charge(payload, "fetch_many")
+            return out
+
+    # ------------------------------------------------------------------
+    # Closure push-down (query shipping instead of data shipping)
+    # ------------------------------------------------------------------
+
+    def _neighbors(
+        self, record: Dict[str, Any], relation: str, direction: str
+    ) -> List[int]:
+        """Adjacent uids of one record along ``relation``/``direction``."""
+        if direction == "forward":
+            if relation == "refTo":
+                return [dst for dst, _f, _t in record["refTo"]]
+            return list(record[relation])
+        if relation == "children":
+            parent = record["parent"]
+            return [parent] if parent else []
+        if relation == "parts":
+            return list(record["partOf"])
+        return list(record["refFrom"])
+
+    def traverse(
+        self,
+        root: int,
+        relation: str,
+        direction: str = "forward",
+        depth: Optional[int] = None,
+        with_records: bool = True,
+        limit: Optional[int] = None,
+    ) -> Dict[int, Dict[str, Any]]:
+        """Run a closure BFS **at the server**; one size-charged reply.
+
+        This is the query-shipping verb: instead of the client walking
+        the structure level by level (one ``fetch_many`` round trip per
+        level), the whole traversal executes server-side and every
+        *distinct* visited record comes back in a single reply.  A
+        closure then costs ``round_trip + Σ transfer`` — the same
+        payload a frontier BFS ships in total, minus all but one of its
+        fixed round trips (and their envelopes).
+
+        Args:
+            root: start node; raises :class:`NodeNotFoundError` if
+                unknown (the request is still charged — it happened).
+            relation: ``"children"``, ``"parts"`` or ``"refTo"``.
+            direction: ``"forward"`` follows the relation,
+                ``"reverse"`` its inverse (parent / partOf / refFrom).
+            depth: maximum BFS depth (``None`` = unbounded; the
+                attributed-association closures pass their run-time
+                depth, 25 by default).
+            with_records: ship the visited records (the push-down fast
+                path) or just their uids (a reference-only closure,
+                charged like a range query).
+            limit: stop collecting after this many nodes — the client
+                passes its workstation-cache capacity so a reply never
+                ships records the cache could not hold; the BFS prefix
+                it does ship is still coherent (early levels complete),
+                and the client's frontier BFS fetches the remainder.
+
+        Returns:
+            ``{uid: record}`` in BFS visit order (insertion order of
+            the dict) when ``with_records``; ``{uid: None}`` in visit
+            order otherwise.  Dangling edge targets (uids the server
+            does not hold) are skipped silently — the client-side
+            replay resolves them through its own read path.
+        """
+        with self._serve("traverse"):
+            self.stats.traversals += 1
+            if relation not in _RELATIONS:
+                raise InvalidOperationError(
+                    f"traverse does not understand relation {relation!r}"
+                )
+            if direction not in ("forward", "reverse"):
+                raise InvalidOperationError(
+                    f"traverse direction must be forward or reverse,"
+                    f" got {direction!r}"
+                )
+            if root not in self._records:
+                self._charge(_PROBE_BYTES, "traverse")
+                raise NodeNotFoundError(root)
+            order: List[int] = [root]
+            seen = {root}
+            frontier: List[int] = [root]
+            level = 0
+            full = limit is not None and len(order) >= limit
+            while frontier and not full and (depth is None or level < depth):
+                next_frontier: List[int] = []
+                for uid in frontier:
+                    for adj in self._neighbors(
+                        self._records[uid], relation, direction
+                    ):
+                        if adj in seen or adj not in self._records:
+                            continue
+                        seen.add(adj)
+                        order.append(adj)
+                        next_frontier.append(adj)
+                        if limit is not None and len(order) >= limit:
+                            full = True
+                            break
+                    if full:
+                        break
+                frontier = next_frontier
+                level += 1
+            if not with_records:
+                payload = _PROBE_BYTES + _UID_BYTES * len(order)
+                self.stats.bytes_sent += payload
+                self._instr.count("backend.rpc.bytes_sent", payload)
+                self._charge(payload, "traverse")
+                return {uid: None for uid in order}
+            payload = self._reply_payload(
+                self._records[uid] for uid in order
+            )
+            out = {uid: self._isolate(self._records[uid]) for uid in order}
+            self.stats.pushdown_objects += len(order)
+            self.stats.bytes_sent += payload
+            self._instr.count("backend.rpc.bytes_sent", payload)
+            self._instr.count("backend.rpc.batched_objects", len(order))
+            self._charge(payload, "traverse")
+            return out
+
+    def readahead(
+        self, uids: List[int], depth: int = 1, limit: Optional[int] = None
+    ) -> Dict[int, Dict[str, Any]]:
+        """Speculative structural readahead around a set of seed uids.
+
+        Expands each seed's structural neighbourhood — children *and*
+        parts, breadth-first to ``depth`` levels — and returns every
+        distinct record found, in one size-charged reply.  The verb is
+        **speculative by contract**: unknown seeds and dangling edges
+        are skipped silently (an empty reply is a valid answer), so the
+        client can ask optimistically on a cold first touch without a
+        second error round trip.  Raising is the caller's business if
+        a seed it *required* is absent from the reply.
+        """
+        with self._serve("readahead"):
+            self.stats.readaheads += 1
+            if depth < 0:
+                raise InvalidOperationError(
+                    f"readahead depth cannot be negative, got {depth}"
+                )
+            order: List[int] = []
+            seen = set()
+            frontier: List[int] = []
+            for uid in uids:
+                if uid in seen or uid not in self._records:
+                    continue
+                seen.add(uid)
+                order.append(uid)
+                frontier.append(uid)
+            level = 0
+            full = limit is not None and len(order) >= limit
+            while frontier and not full and level < depth:
+                next_frontier: List[int] = []
+                for uid in frontier:
+                    record = self._records[uid]
+                    for adj in list(record["children"]) + list(
+                        record["parts"]
+                    ):
+                        if adj in seen or adj not in self._records:
+                            continue
+                        seen.add(adj)
+                        order.append(adj)
+                        next_frontier.append(adj)
+                        if limit is not None and len(order) >= limit:
+                            full = True
+                            break
+                    if full:
+                        break
+                frontier = next_frontier
+                level += 1
+            payload = self._reply_payload(
+                self._records[uid] for uid in order
+            )
+            out = {uid: self._isolate(self._records[uid]) for uid in order}
+            self.stats.pushdown_objects += len(order)
+            self.stats.bytes_sent += payload
+            self._instr.count("backend.rpc.bytes_sent", payload)
+            self._instr.count("backend.rpc.batched_objects", len(order))
+            self._charge(payload, "readahead")
             return out
 
     def store(

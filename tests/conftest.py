@@ -19,7 +19,10 @@ from repro.backends.sqlite_backend import SqliteDatabase
 from repro.core.config import HyperModelConfig
 from repro.core.generator import DatabaseGenerator
 
-BACKEND_NAMES = ["memory", "sqlite", "sqlite-file", "oodb", "clientserver"]
+BACKEND_NAMES = [
+    "memory", "sqlite", "sqlite-file", "oodb",
+    "clientserver", "clientserver-bfs",
+]
 
 
 def make_backend(name: str, tmp_path, suffix: str = "db"):
@@ -34,6 +37,8 @@ def make_backend(name: str, tmp_path, suffix: str = "db"):
         return OodbDatabase(os.path.join(str(tmp_path), f"{suffix}.hmdb"))
     if name == "clientserver":
         return ClientServerDatabase()
+    if name == "clientserver-bfs":
+        return ClientServerDatabase(pushdown=False)
     raise ValueError(name)
 
 

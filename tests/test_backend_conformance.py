@@ -268,7 +268,7 @@ def _registry_backend(name, tmp_path, **options):
 
 @pytest.fixture(params=sorted(set(["memory", "sqlite", "sqlite-file",
                                    "oodb", "oodb-unclustered",
-                                   "clientserver"])))
+                                   "clientserver", "clientserver-bfs"])))
 def any_backend_name(request):
     assert request.param in available_backends()
     return request.param
@@ -345,6 +345,6 @@ class TestInstrumentedConformance:
             assert counters.total("engine.buffer") > 0
             assert counters.total("engine.wal") > 0
             assert counters.get("engine.store.commits") >= 1
-        if any_backend_name == "clientserver":
+        if any_backend_name in ("clientserver", "clientserver-bfs"):
             assert counters.get("backend.rpc.round_trips") > 0
             assert counters.total("netsim.cache") > 0
