@@ -20,13 +20,14 @@ from repro.backends.clientserver import ClientServerDatabase
 from repro.core.config import HyperModelConfig
 from repro.core.generator import DatabaseGenerator
 from repro.core.operations import Operations
+from repro.netsim.config import NetworkConfig
 from repro.netsim.profiles import PROFILES, assess_r7
 
 
 @pytest.fixture(scope="module", params=sorted(PROFILES))
 def profiled_client(request):
     name = request.param
-    db = ClientServerDatabase(latency=PROFILES[name])
+    db = ClientServerDatabase(network=NetworkConfig(latency=PROFILES[name]))
     db.open()
     config = HyperModelConfig(levels=min(LEVEL, 4))
     gen = DatabaseGenerator(config).generate(db)

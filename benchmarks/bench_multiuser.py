@@ -2,17 +2,20 @@
 
 "Starting up two and more HyperModel applications in parallel and
 running the operations as for the single user case": N clients share
-one simulated server; the read mix measures how the centralized server
-bounds aggregate throughput while per-client caches keep warm work
-local (R6/R7), and the update load stages the non-conflicting
-multi-user write workload the paper calls out as the hard case.
+one simulated server on the discrete-event scheduler
+(:class:`repro.concurrency.multiuser.MultiUserHarness`).  The read mix
+measures how the centralized server bounds aggregate throughput while
+per-client caches keep warm work local (R6/R7); the update load stages
+the non-conflicting multi-user write workload; the transaction grid
+adds the optimistic-concurrency cells behind ``repro bench-multiuser``
+(abort/retry under a shared hot set).
 """
 
 import pytest
 
 from benchmarks.conftest import LEVEL
 from repro.backends.clientserver import ClientServerDatabase
-from repro.concurrency.multiuser import run_read_load, run_update_load
+from repro.concurrency.multiuser import MultiUserHarness
 from repro.core.config import HyperModelConfig
 from repro.core.generator import DatabaseGenerator
 from repro.netsim.server import ObjectServer
@@ -34,11 +37,10 @@ def shared_server():
 @pytest.mark.parametrize("users", [1, 2, 4, 8])
 def test_parallel_read_load(benchmark, shared_server, users):
     server, gen = shared_server
+    harness = MultiUserHarness(server, gen, users=users, seed=1989)
 
     def load():
-        return run_read_load(
-            server, gen, users=users, operations_per_user=25
-        )
+        return harness.run_read_mix(operations_per_user=25)
 
     result = benchmark.pedantic(load, rounds=3, iterations=1)
     benchmark.extra_info["users"] = users
@@ -60,12 +62,33 @@ def test_parallel_update_load(benchmark, shared_server, users):
         # Alternate forward/backward edit rounds so the database ends
         # each pair of rounds in its original state.
         state["round"] += 1
-        return run_update_load(
-            server, gen, users=users, edits_per_user=2,
-            seed=1990 + state["round"] % 2,
+        harness = MultiUserHarness(
+            server, gen, users=users, seed=1990 + state["round"] % 2
         )
+        return harness.run_disjoint_updates(edits_per_user=2)
 
     result = benchmark.pedantic(load, rounds=2, iterations=1)
     benchmark.extra_info["users"] = users
     benchmark.extra_info["total_edits"] = result.total_edits
     assert result.all_edits_visible_everywhere
+
+
+@pytest.mark.benchmark(group="multiuser optimistic transactions")
+@pytest.mark.parametrize("users,conflict", [(2, 0.0), (8, 0.0), (8, 0.5)])
+def test_transaction_grid(benchmark, shared_server, users, conflict):
+    server, gen = shared_server
+
+    def load():
+        harness = MultiUserHarness(server, gen, users=users, seed=1989)
+        return harness.run_transactions(
+            transactions_per_user=4, conflict_rate=conflict
+        )
+
+    result = benchmark.pedantic(load, rounds=2, iterations=1)
+    benchmark.extra_info["users"] = users
+    benchmark.extra_info["conflict_rate"] = conflict
+    benchmark.extra_info["throughput_per_s"] = result.throughput_per_second
+    benchmark.extra_info["abort_rate"] = result.abort_rate
+    assert result.committed + result.giveups == users * 4
+    if conflict == 0.0:
+        assert result.aborted == 0

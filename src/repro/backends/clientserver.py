@@ -18,18 +18,20 @@ time, so reported figures combine compute and simulated communication.
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.bitmap import Bitmap
 from repro.core.interface import HyperModelDatabase, NodeRef
 from repro.core.model import LinkAttributes, NodeData, NodeKind
 from repro.netsim.cache import WorkstationCache
+from repro.netsim.config import NetworkConfig
 from repro.netsim.faults import FaultModel
 from repro.netsim.latency import LatencyModel, SimulatedClock
 from repro.netsim.server import ObjectServer
 from repro.obs import Instrumentation, TraceContext, resolve
 from repro.errors import (
-    ConfigurationError,
+    CommitConflictError,
     DatabaseClosedError,
     InvalidOperationError,
     NetworkError,
@@ -91,83 +93,113 @@ def _new_record(data: NodeData) -> Dict[str, Any]:
 class ClientServerDatabase(HyperModelDatabase):
     """A HyperModel database accessed through a simulated network.
 
+    Configuration lives in one typed
+    :class:`~repro.netsim.config.NetworkConfig` — latency and fault
+    models, cache size, retry policy, push-down/readahead, and the
+    concurrency mode (plain stores vs optimistic validation at
+    commit).  The old per-knob keyword arguments (``cache_capacity=``,
+    ``latency=``, ``fault_model=``, ``rpc_retries=``,
+    ``rpc_backoff_seconds=``, ``pushdown=``, ``readahead_depth=``)
+    still work for one release: each is folded into the config and
+    emits a ``DeprecationWarning``.
+
     Args:
         path: unused (registry signature compatibility); the server
             lives in process memory and survives close/open.
-        cache_capacity: workstation cache size in objects.
-        latency: the network cost model (defaults to ~1 ms round trips
-            at ~1 MB/s).
+        network: the typed network/cache/retry/concurrency settings
+            (defaults to ``NetworkConfig()``).
         server: share an existing server between several client
-            handles (the multi-user scenario).
-        fault_model: seeded RPC fault injection (drop/timeout) on the
-            simulated channel, see :mod:`repro.netsim.faults`.  Only
-            applied when this client *creates* the server; a shared
-            ``server`` keeps whatever model it was built with.
-        rpc_retries: how many times a faulted request is retried
-            before :class:`~repro.errors.RpcExhaustedError` is raised.
-            Retries are counted under ``backend.rpc.retries``.
-        rpc_backoff_seconds: base of the exponential backoff charged
-            to the simulated clock between attempts (doubling per
-            retry: base, 2·base, 4·base, …).
-        pushdown: run closure traversals *at the server*
-            (:meth:`prefetch_closure` issues one ``traverse`` RPC that
-            warms the workstation cache with the whole reachable set)
-            and structurally read ahead on cache misses.  Default on;
-            ``pushdown=False`` falls back to the PR-2 frontier BFS —
-            one batch RPC per level — and is what the registry's
-            ``clientserver-bfs`` ablation selects.
-        readahead_depth: how many levels of a node's subtree/part
-            graph a cache-missing :meth:`_fetch` speculatively admits
-            (``0`` disables structural readahead; only meaningful with
-            ``pushdown=True``).
+            handles (the multi-user scenario).  A shared server keeps
+            its own latency/fault models.
+        instrumentation: counter/span/histogram sink.
+        clock: the virtual clock this client's time (RPC latency
+            histograms, retry backoff) is charged to.  Defaults to
+            the server's clock — correct for a single client; the
+            discrete-event scheduler gives each workstation its own.
+        client_id: stable identity tag (``w00``, ...) carried on RPC
+            spans and in trace contexts so multi-client traces stay
+            attributable per client.
     """
+
+    _LEGACY_OPTIONS = (
+        "cache_capacity",
+        "latency",
+        "fault_model",
+        "rpc_retries",
+        "rpc_backoff_seconds",
+        "pushdown",
+        "readahead_depth",
+    )
 
     def __init__(
         self,
         path: Optional[str] = None,
-        cache_capacity: int = 4096,
-        latency: Optional[LatencyModel] = None,
+        network: Optional[NetworkConfig] = None,
+        *,
         server: Optional[ObjectServer] = None,
         instrumentation: Optional[Instrumentation] = None,
+        clock: Optional[SimulatedClock] = None,
+        client_id: Optional[str] = None,
+        cache_capacity: Optional[int] = None,
+        latency: Optional[LatencyModel] = None,
         fault_model: Optional[FaultModel] = None,
-        rpc_retries: int = 4,
-        rpc_backoff_seconds: float = 0.002,
-        pushdown: bool = True,
-        readahead_depth: int = 1,
+        rpc_retries: Optional[int] = None,
+        rpc_backoff_seconds: Optional[float] = None,
+        pushdown: Optional[bool] = None,
+        readahead_depth: Optional[int] = None,
     ) -> None:
-        if rpc_retries < 0:
-            raise ConfigurationError(
-                f"rpc_retries cannot be negative, got {rpc_retries}"
+        legacy = {
+            name: value
+            for name, value in (
+                ("cache_capacity", cache_capacity),
+                ("latency", latency),
+                ("fault_model", fault_model),
+                ("rpc_retries", rpc_retries),
+                ("rpc_backoff_seconds", rpc_backoff_seconds),
+                ("pushdown", pushdown),
+                ("readahead_depth", readahead_depth),
             )
-        if rpc_backoff_seconds < 0:
-            raise ConfigurationError(
-                "rpc_backoff_seconds cannot be negative,"
-                f" got {rpc_backoff_seconds}"
+            if value is not None
+        }
+        if legacy:
+            warnings.warn(
+                "ClientServerDatabase keyword option(s) "
+                + ", ".join(sorted(legacy))
+                + " are deprecated; pass network=NetworkConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        if readahead_depth < 0:
-            raise ConfigurationError(
-                f"readahead_depth cannot be negative, got {readahead_depth}"
-            )
-        self.pushdown = bool(pushdown)
-        self.readahead_depth = readahead_depth
+        network = (network or NetworkConfig()).replace(**legacy)
+        self.network = network
+        self.client_id = client_id
+        self.pushdown = bool(network.pushdown)
+        self.readahead_depth = network.readahead_depth
+        self.rpc_retries = network.rpc_retries
+        self.rpc_backoff_seconds = network.rpc_backoff_seconds
+        self.optimistic = network.concurrency == "optimistic"
         self.instrumentation = resolve(instrumentation)
-        self.simulated_clock: SimulatedClock = (
-            server.clock if server is not None else SimulatedClock()
-        )
-        self.server = server or ObjectServer(
-            self.simulated_clock,
-            latency,
-            instrumentation=self.instrumentation,
-            fault_model=fault_model,
-        )
-        self.rpc_retries = rpc_retries
-        self.rpc_backoff_seconds = rpc_backoff_seconds
+        if server is not None:
+            self.simulated_clock = clock or server.clock
+            self.server = server
+        else:
+            self.simulated_clock = clock or SimulatedClock()
+            self.server = ObjectServer(
+                self.simulated_clock,
+                network.latency,
+                instrumentation=self.instrumentation,
+                fault_model=network.fault_model,
+            )
         self.cache = WorkstationCache(
-            cache_capacity, instrumentation=self.instrumentation
+            network.cache_capacity, instrumentation=self.instrumentation
         )
         self.server.subscribe(self.cache)  # coherence invalidations
         self._local: Dict[int, Dict[str, Any]] = {}  # dirty write buffer
         self._local_lists: Dict[str, List[int]] = {}
+        #: Optimistic bookkeeping: the freshest version this client has
+        #: observed per uid, and the versions pinned by this
+        #: transaction's first read of each uid (the read set).
+        self._versions_seen: Dict[int, int] = {}
+        self._txn_reads: Dict[int, int] = {}
         self._open = False
 
     # -- lifecycle -------------------------------------------------------
@@ -189,13 +221,27 @@ class ClientServerDatabase(HyperModelDatabase):
         self._open = False
 
     def commit(self) -> None:
-        """Upload every dirty record and named list to the server.
+        """Publish this transaction's writes to the server.
 
-        Other clients' caches are invalidated for each stored record
-        (the server's coherence broadcast), so published updates become
-        visible everywhere on the next access.
+        In the default mode every dirty record is uploaded with a
+        last-writer-wins ``store`` (the single-user behaviour).  In
+        optimistic mode (``NetworkConfig(concurrency="optimistic")``)
+        the whole write set plus the transaction's read-set versions
+        ship in **one** ``commit_batch`` request; the server validates
+        first-committer-wins and either applies everything atomically
+        or raises :class:`~repro.errors.CommitConflictError`, in which
+        case this transaction's work is discarded, the stale cached
+        copies are invalidated, and the caller decides whether to
+        retry the transaction from the top.
+
+        Either way, other clients' caches are invalidated for each
+        published record (the server's coherence broadcast), so
+        updates become visible everywhere on the next access.
         """
         self._require_open()
+        if self.optimistic:
+            self._commit_optimistic()
+            return
         for uid, record in self._local.items():
             # A faulted store is retried by _rpc; the server raises the
             # fault before touching state, so the retry is idempotent.
@@ -205,11 +251,50 @@ class ClientServerDatabase(HyperModelDatabase):
         for name, uids in self._local_lists.items():
             self._rpc(self.server.store_list, name, uids)
         self._local_lists.clear()
+        self._txn_reads.clear()
 
-    def abort(self) -> None:
-        """Discard the local write buffer."""
+    def _commit_optimistic(self) -> None:
+        """One validated ``commit_batch`` round trip (or a no-op)."""
+        instr = self.instrumentation
+        if not self._local and not self._local_lists:
+            # A read-only transaction commits trivially: nothing to
+            # validate against, nothing to ship.  The read set still
+            # resets — the next transaction pins fresh versions.
+            self._txn_reads.clear()
+            return
+        instr.count("backend.mp.commit.attempts")
+        try:
+            applied = self._rpc(
+                self.server.commit_batch,
+                self._local,
+                self._txn_reads,
+                self._local_lists,
+                from_cache=self.cache,
+            )
+        except CommitConflictError as exc:
+            # First-committer-wins: this transaction lost.  Drop its
+            # work and the stale cached copies so a retry re-reads
+            # current versions from the server.
+            for uid in exc.conflicts:
+                self.cache.invalidate(uid)
+                self._versions_seen.pop(uid, None)
+            self._local.clear()
+            self._local_lists.clear()
+            self._txn_reads.clear()
+            raise
+        for uid, version in applied.items():
+            self._versions_seen[uid] = version
+        for uid, record in self._local.items():
+            self.cache.put(uid, record)
         self._local.clear()
         self._local_lists.clear()
+        self._txn_reads.clear()
+
+    def abort(self) -> None:
+        """Discard the local write buffer (and the read set)."""
+        self._local.clear()
+        self._local_lists.clear()
+        self._txn_reads.clear()
 
     @property
     def is_open(self) -> bool:
@@ -254,7 +339,7 @@ class ClientServerDatabase(HyperModelDatabase):
         while True:
             fault = None
             result = None
-            span = instr.span(span_name)
+            span = instr.span(span_name, client=self.client_id)
             wall_start = time.perf_counter()
             sim_start = clock.now
             try:
@@ -263,7 +348,11 @@ class ClientServerDatabase(HyperModelDatabase):
                         # The request envelope: client span id + trace
                         # id, consumed by the server's next request.
                         self.server.accept_trace_context(
-                            TraceContext(instr.trace_id, span.sequence)
+                            TraceContext(
+                                instr.trace_id,
+                                span.sequence,
+                                client_id=self.client_id,
+                            )
                         )
                     result = func(*args, **kwargs)
             except NetworkError as exc:
@@ -278,6 +367,13 @@ class ClientServerDatabase(HyperModelDatabase):
                     * 1000.0,
                 )
             if fault is None:
+                if self.optimistic:
+                    # Version stamps of the records this reply carried
+                    # (the in-process stand-in for per-record version
+                    # fields a real wire format would embed).
+                    self._versions_seen.update(
+                        self.server.take_reply_versions()
+                    )
                 return result
             if attempt >= self.rpc_retries:
                 raise RpcExhaustedError(
@@ -306,6 +402,16 @@ class ClientServerDatabase(HyperModelDatabase):
         if evicted:
             instr.count("cache.readahead.evicted", evicted)
 
+    def _note_read(self, uid: int) -> None:
+        """Pin a uid's first-read version into the transaction read set.
+
+        ``setdefault`` keeps the *first* observed version: optimistic
+        validation must check against what the transaction actually
+        based its work on, not a later refresh.
+        """
+        if self.optimistic:
+            self._txn_reads.setdefault(uid, self._versions_seen.get(uid, 0))
+
     def _fetch(self, uid: int) -> Dict[str, Any]:
         """Read a record: write buffer, then cache, then the network.
 
@@ -320,6 +426,7 @@ class ClientServerDatabase(HyperModelDatabase):
             return record
         record = self.cache.get(uid)
         if record is not None:
+            self._note_read(uid)
             return record
         if self.pushdown and self.readahead_depth > 0:
             self.instrumentation.count("cache.readahead.requests")
@@ -333,9 +440,11 @@ class ClientServerDatabase(HyperModelDatabase):
             if record is None:
                 raise NodeNotFoundError(uid)
             self._admit(reply)
+            self._note_read(uid)
             return record
         record = self._rpc(self.server.fetch, uid)  # charges the clock
         self.cache.put(uid, record)
+        self._note_read(uid)
         return record
 
     def _fetch_many(self, uids: Sequence[int]) -> Dict[int, Dict[str, Any]]:
@@ -368,6 +477,9 @@ class ClientServerDatabase(HyperModelDatabase):
                 )  # one round trip
                 self.cache.put_many(fetched.items())  # server-reply order
                 records.update(fetched)
+            if self.optimistic:
+                for uid in remaining:
+                    self._note_read(uid)
         return records
 
     # -- closure push-down ------------------------------------------------
@@ -434,6 +546,9 @@ class ClientServerDatabase(HyperModelDatabase):
         uid = data.unique_id
         if uid in self._local or uid in self.cache or uid in self.server:
             raise InvalidOperationError(f"duplicate uniqueId {uid}")
+        # Creation reads "uid absent" (version 0): a concurrent creator
+        # of the same uid then conflicts at optimistic commit.
+        self._note_read(uid)
         self._local[uid] = _new_record(data)
         return uid
 

@@ -19,12 +19,15 @@ option (see :mod:`repro.obs`).  The engine-file backends (``oodb``,
 seam of :mod:`repro.engine.vfs`, used for deterministic fault
 injection and I/O counting) and ``group_commit=`` /
 ``group_commit_size=`` (batched commit fsyncs); the ``clientserver``
-backend accepts ``fault_model=`` (seeded RPC drop/timeout injection,
-see :mod:`repro.netsim.faults`) plus ``rpc_retries=`` /
-``rpc_backoff_seconds=`` for its bounded retry policy and
-``pushdown=`` / ``readahead_depth=`` for server-side closure
-push-down (``clientserver-bfs`` is the ``pushdown=False`` ablation,
-mirroring ``oodb-unclustered``).
+backend takes one typed ``network=``
+:class:`~repro.netsim.config.NetworkConfig` bundling the latency and
+fault models, cache size, retry policy, closure push-down and the
+concurrency mode (``clientserver-bfs`` is the
+``NetworkConfig(pushdown=False)`` ablation, mirroring
+``oodb-unclustered``).  The old per-knob keywords (``fault_model=``,
+``rpc_retries=``, ``rpc_backoff_seconds=``, ``pushdown=``,
+``readahead_depth=``, ``cache_capacity=``, ``latency=``) still forward
+for one release behind a ``DeprecationWarning``.
 
 The legacy private ``_FACTORIES`` dict is retained as a deprecated
 read-only view for code that used to reach into it; it warns on
@@ -39,6 +42,7 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
 from repro.core.interface import HyperModelDatabase
 from repro.errors import ConfigurationError
+from repro.netsim.config import NetworkConfig
 
 #: A mapping of keyword options forwarded to a backend factory
 #: (``cache_pages=...``, ``clustered=...``, ``instrumentation=...`` …).
@@ -255,7 +259,7 @@ register_backend(
 register_backend(
     "clientserver-bfs",
     _clientserver_factory,
-    default_options={"pushdown": False},
+    default_options={"network": NetworkConfig(pushdown=False)},
     description=(
         "client/server with push-down disabled: one batch RPC per"
         " closure level (ablation)"

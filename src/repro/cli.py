@@ -13,6 +13,9 @@ Subcommands:
 * ``bench-closure`` — measure the batched closure traversals (ops
   10-12) across backends and write ``BENCH_closure.json`` (see
   ``docs/performance.md``);
+* ``bench-multiuser`` — run the discrete-event multi-client grid
+  (clients × conflict rate, optimistic concurrency, group-commit WAL)
+  and write ``BENCH_multiuser.json`` (see ``docs/multiuser.md``);
 * ``bench-diff`` — compare two ``BENCH_*.json`` documents with
   percentile-aware thresholds; exits non-zero on regression (the CI
   bench gate);
@@ -172,6 +175,62 @@ def _build_parser() -> argparse.ArgumentParser:
             "also run the clientserver-bfs ablation so the document"
             " compares closure push-down against frontier BFS"
         ),
+    )
+
+    multiuser = sub.add_parser(
+        "bench-multiuser",
+        help="run the multi-client optimistic grid, write"
+        " BENCH_multiuser.json",
+    )
+    multiuser.add_argument(
+        "--clients",
+        default="1,2,4,8",
+        help="comma-separated client counts (default: 1,2,4,8)",
+    )
+    multiuser.add_argument(
+        "--conflict",
+        default="0.0,0.2",
+        help="comma-separated conflict rates in [0,1] (default: 0.0,0.2)",
+    )
+    multiuser.add_argument(
+        "--level", type=int, default=3, help="leaf level (default: 3)"
+    )
+    multiuser.add_argument(
+        "--transactions",
+        type=int,
+        default=8,
+        help="transactions per client (default: 8)",
+    )
+    multiuser.add_argument(
+        "--reads-per-txn",
+        type=int,
+        default=4,
+        help="Zipf-skewed reads per transaction (default: 4)",
+    )
+    multiuser.add_argument(
+        "--hot-set",
+        type=int,
+        default=8,
+        help="size of the shared hot write set (default: 8)",
+    )
+    multiuser.add_argument("--seed", type=int, default=1989)
+    multiuser.add_argument(
+        "--group-commit-size",
+        type=int,
+        default=8,
+        help="WAL commits per fsync in group-commit mode (default: 8)",
+    )
+    multiuser.add_argument(
+        "--out",
+        default="BENCH_multiuser.json",
+        help="output JSON path (default: BENCH_multiuser.json)",
+    )
+    multiuser.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE_JSON",
+        help="export a Chrome trace-event JSON of the run's tail, one"
+        " lane per client (see docs/observability.md)",
     )
 
     crash = sub.add_parser(
@@ -404,6 +463,43 @@ def _cmd_bench_closure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_multiuser(args: argparse.Namespace) -> int:
+    from repro.harness.multiuserbench import (
+        format_summary,
+        write_multiuser_bench,
+    )
+
+    instr = None
+    if args.trace:
+        from repro.obs import Instrumentation
+
+        instr = Instrumentation(span_capacity=65536)
+    document = write_multiuser_bench(
+        args.out,
+        clients=[int(n) for n in args.clients.split(",")],
+        conflict_rates=[float(r) for r in args.conflict.split(",")],
+        level=args.level,
+        transactions_per_client=args.transactions,
+        reads_per_txn=args.reads_per_txn,
+        hot_set_size=args.hot_set,
+        seed=args.seed,
+        group_commit_size=args.group_commit_size,
+        instrumentation=instr,
+    )
+    print(format_summary(document))
+    print(f"results written to {args.out}")
+    if instr is not None:
+        from repro.obs.traceexport import write_chrome_trace
+
+        trace_doc = write_chrome_trace(instr, args.trace)
+        print(
+            f"trace written to {args.trace} "
+            f"({trace_doc['otherData']['span_count']} spans,"
+            " one lane per client)"
+        )
+    return 0
+
+
 def _cmd_crashtest(args: argparse.Namespace) -> int:
     from repro.harness.crashtest import (
         CrashWorkload,
@@ -527,6 +623,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": lambda: _cmd_run(args),
         "bench": lambda: _cmd_run(args, bench=True),
         "bench-closure": lambda: _cmd_bench_closure(args),
+        "bench-multiuser": lambda: _cmd_bench_multiuser(args),
         "bench-diff": lambda: _cmd_bench_diff(args),
         "trace": lambda: _cmd_trace(args),
         "crashtest": lambda: _cmd_crashtest(args),

@@ -22,7 +22,9 @@ from repro.concurrency.sessions import (
     run_conflicting_scenario,
 )
 from repro.concurrency.multiuser import (
+    MultiUserHarness,
     ParallelLoadResult,
+    TransactionLoadResult,
     UpdateLoadResult,
     run_read_load,
     run_update_load,
@@ -36,7 +38,9 @@ __all__ = [
     "CooperativeScenarioResult",
     "run_cooperative_scenario",
     "run_conflicting_scenario",
+    "MultiUserHarness",
     "ParallelLoadResult",
+    "TransactionLoadResult",
     "UpdateLoadResult",
     "run_read_load",
     "run_update_load",

@@ -1,42 +1,64 @@
-"""Parallel multi-user load over one server (the section 7 experiment).
+"""Multi-user loads over one shared server (the section 7 experiment).
 
 The paper: "We have done some experiments with multi-user aspects by
 starting up two and more HyperModel applications in parallel and
 running the operations as for the single user case."  This module
-reproduces that setup deterministically: N client handles share one
-:class:`~repro.netsim.server.ObjectServer`, and a round-robin scheduler
-interleaves one operation per client per round — a deterministic stand-
-in for concurrent execution that keeps results reproducible.
+reproduces that setup deterministically on the discrete-event
+scheduler of :mod:`repro.netsim.sim`: N client handles — each with its
+own :class:`~repro.netsim.cache.WorkstationCache`, virtual clock and
+seeded PRNG — share one :class:`~repro.netsim.server.ObjectServer`
+whose requests queue FIFO on a contended transport, so service time,
+queueing delay and the latency/fault models are all charged on virtual
+clocks and every interleaving is a pure function of the seed.
 
-Two load shapes:
+:class:`MultiUserHarness` is the single entry point, with three load
+shapes:
 
-* :func:`run_read_load` — the paper's single-user operation mix run by
-  every client.  All requests serialize through the one server (its
-  virtual clock is shared), so aggregate throughput is server-bound —
-  quantifying R6's note that "most multi-user mechanisms require some
-  centralized control which degrades performance" while each client's
-  *warm* operations stay local and fast.
-* :func:`run_update_load` — clients edit *disjoint* text-node sets and
-  commit, then every client verifies it observes all published edits —
-  the non-conflicting update workload the paper wanted.
+* :meth:`MultiUserHarness.run_read_mix` — the paper's single-user
+  operation mix on every client; aggregate throughput is server-bound
+  (R6's "centralized control degrades performance") while each
+  client's warm operations stay local.
+* :meth:`MultiUserHarness.run_disjoint_updates` — clients edit
+  disjoint text-node sets and commit; every client then verifies it
+  observes all published edits (the shareability half of R9).
+* :meth:`MultiUserHarness.run_transactions` — the optimistic
+  concurrency workload behind ``repro bench-multiuser``: Zipf-skewed
+  reads, one text-node write per transaction (hot shared set with
+  probability ``conflict_rate``, a private partition otherwise),
+  optimistic validation at commit, abort/retry on conflict.
+
+The old round-robin entry points :func:`run_read_load` and
+:func:`run_update_load` delegate to the harness and emit a
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Callable, Dict, List
+import warnings
+from typing import Callable, Dict, List, Optional
 
 from repro.backends.clientserver import ClientServerDatabase
 from repro.core.generator import GeneratedDatabase
 from repro.core.operations import Operations
-from repro.core.text import edit_text_forward
+from repro.core.text import edit_text_backward, edit_text_forward
+from repro.errors import ConflictError
+from repro.netsim.config import NetworkConfig, SimConfig
+from repro.netsim.latency import SimulatedClock
 from repro.netsim.server import ObjectServer
+from repro.netsim.sim import (
+    ContendedTransport,
+    DiscreteEventScheduler,
+    Workstation,
+    ZipfSampler,
+)
+from repro.obs import Instrumentation, resolve
 
 
 @dataclasses.dataclass
 class ParallelLoadResult:
-    """Outcome of one multi-user load run."""
+    """Outcome of one multi-user read load run."""
 
     users: int
     operations_per_user: int
@@ -46,74 +68,10 @@ class ParallelLoadResult:
 
     @property
     def aggregate_ops_per_second(self) -> float:
-        """Total operations over total (simulated) server time."""
+        """Total operations over the simulated makespan."""
         if self.server_seconds <= 0:
             return float("inf")
         return self.total_operations / self.server_seconds
-
-
-def _make_clients(server: ObjectServer, users: int) -> List[ClientServerDatabase]:
-    clients = []
-    for _ in range(users):
-        client = ClientServerDatabase(server=server)
-        client.open()
-        clients.append(client)
-    return clients
-
-
-def _operation_mix(
-    ops: Operations, gen: GeneratedDatabase, rng: random.Random
-) -> List[Callable[[], object]]:
-    """The paper's 'single user case' mix: one op per read category."""
-    db = ops.db
-    level = min(3, gen.config.levels - 1)
-    return [
-        lambda: ops.name_lookup(gen.random_uid(rng)),
-        lambda: ops.group_lookup_1n(db.lookup(gen.random_internal_uid(rng))),
-        lambda: ops.ref_lookup_1n(db.lookup(gen.random_non_root_uid(rng))),
-        lambda: ops.closure_1n(db.lookup(gen.random_uid_at_level(rng, level))),
-        lambda: ops.closure_mnatt(db.lookup(gen.random_uid_at_level(rng, level))),
-    ]
-
-
-def run_read_load(
-    server: ObjectServer,
-    gen: GeneratedDatabase,
-    users: int = 2,
-    operations_per_user: int = 50,
-    seed: int = 1989,
-) -> ParallelLoadResult:
-    """Run the read-only operation mix on N parallel clients.
-
-    Returns per-user cache behaviour and the shared server's simulated
-    time, from which aggregate throughput follows.
-    """
-    clients = _make_clients(server, users)
-    schedules: List[List[Callable[[], object]]] = []
-    for index, client in enumerate(clients):
-        rng = random.Random(seed + index)
-        ops = Operations(client, gen.config)
-        mix = _operation_mix(ops, gen, rng)
-        schedules.append(
-            [mix[i % len(mix)] for i in range(operations_per_user)]
-        )
-
-    started = server.clock.now
-    for round_number in range(operations_per_user):
-        for schedule in schedules:  # round-robin interleaving
-            schedule[round_number]()
-    elapsed = server.clock.now - started
-
-    hit_ratios = [client.cache.stats.hit_ratio for client in clients]
-    for client in clients:
-        client.close()
-    return ParallelLoadResult(
-        users=users,
-        operations_per_user=operations_per_user,
-        total_operations=users * operations_per_user,
-        server_seconds=elapsed,
-        per_user_cache_hit_ratio=hit_ratios,
-    )
 
 
 @dataclasses.dataclass
@@ -131,6 +89,405 @@ class UpdateLoadResult:
         return sum(len(uids) for uids in self.published.values())
 
 
+@dataclasses.dataclass
+class TransactionLoadResult:
+    """Outcome of one optimistic transaction load (one grid cell)."""
+
+    users: int
+    transactions_per_user: int
+    conflict_rate: float
+    #: Transactions that committed (after any number of retries).
+    committed: int
+    #: Optimistic aborts (each is one failed commit attempt).
+    aborted: int
+    #: Transactions abandoned after ``max_retries`` aborts.
+    giveups: int
+    #: Retry attempts issued (aborts that were followed by a retry).
+    retries: int
+    #: Simulated duration of the whole parallel run.
+    makespan_seconds: float
+    #: Virtual commit-to-commit latency of every transaction, ms.
+    latencies_ms: List[float]
+    #: Server-side commit/conflict counts for this run.
+    server_commits: int
+    server_conflicts: int
+    #: WAL durability points taken during this run (0 without a WAL).
+    wal_syncs: int
+    #: Aggregate FIFO queueing delay and server busy time, seconds.
+    queue_seconds: float
+    busy_seconds: float
+
+    @property
+    def throughput_per_second(self) -> float:
+        """Committed transactions per simulated second."""
+        if self.makespan_seconds <= 0:
+            return float("inf")
+        return self.committed / self.makespan_seconds
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborted commit attempts over all commit attempts."""
+        attempts = self.committed + self.aborted
+        return self.aborted / attempts if attempts else 0.0
+
+    @property
+    def fsyncs_per_commit(self) -> float:
+        """WAL durability points per committed transaction."""
+        if self.server_commits <= 0:
+            return 0.0
+        return self.wal_syncs / self.server_commits
+
+
+def _operation_mix(
+    ops: Operations, gen: GeneratedDatabase, rng: random.Random
+) -> List[Callable[[], object]]:
+    """The paper's 'single user case' mix: one op per read category."""
+    db = ops.db
+    level = min(3, gen.config.levels - 1)
+    return [
+        lambda: ops.name_lookup(gen.random_uid(rng)),
+        lambda: ops.group_lookup_1n(db.lookup(gen.random_internal_uid(rng))),
+        lambda: ops.ref_lookup_1n(db.lookup(gen.random_non_root_uid(rng))),
+        lambda: ops.closure_1n(db.lookup(gen.random_uid_at_level(rng, level))),
+        lambda: ops.closure_mnatt(db.lookup(gen.random_uid_at_level(rng, level))),
+    ]
+
+
+class MultiUserHarness:
+    """N simulated workstations on one server, scheduled by events.
+
+    Args:
+        server: the shared :class:`ObjectServer` (its latency model is
+            the wire every workstation sees).
+        gen: the generated structure the workload navigates.
+        users: workstation count.
+        seed: master seed; per-station PRNGs derive as ``seed + index``.
+        network: per-client settings (cache size, retries, push-down,
+            concurrency mode); defaults to ``NetworkConfig()``.
+        sim: scheduler settings (think time, service time, virtual
+            fsync cost, Zipf skew); defaults to ``SimConfig(seed=seed)``.
+        instrumentation: counter/span/histogram sink shared by the
+            stations and the transport (``backend.mp.*``).
+    """
+
+    def __init__(
+        self,
+        server: ObjectServer,
+        gen: GeneratedDatabase,
+        users: int = 2,
+        seed: int = 1989,
+        network: Optional[NetworkConfig] = None,
+        sim: Optional[SimConfig] = None,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
+        if users < 1:
+            raise ValueError("need at least one user")
+        self.server = server
+        self.gen = gen
+        self.users = users
+        self.seed = seed
+        self.network = network or NetworkConfig()
+        self.sim = sim or SimConfig(seed=seed)
+        self.instrumentation = resolve(instrumentation)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _stations(self, network: NetworkConfig) -> List[Workstation]:
+        stations = []
+        for index in range(self.users):
+            client = ClientServerDatabase(
+                network=network,
+                server=self.server,
+                instrumentation=self.instrumentation,
+                clock=SimulatedClock(),
+                client_id=f"w{index:02d}",
+            )
+            client.open()
+            stations.append(
+                Workstation(index, client, random.Random(self.seed + index))
+            )
+        return stations
+
+    def _transport(self) -> ContendedTransport:
+        return ContendedTransport(
+            self.server.latency,
+            self.sim.service_time_seconds,
+            instrumentation=self.instrumentation,
+            fallback_clock=self.server.clock,
+        )
+
+    def _teardown(self, stations: List[Workstation]) -> None:
+        for station in stations:
+            station.client.close()
+            self.server.unsubscribe(station.client.cache)
+
+    # -- load shapes -----------------------------------------------------
+
+    def run_read_mix(
+        self, operations_per_user: int = 50
+    ) -> ParallelLoadResult:
+        """The paper's read mix on every workstation, event-scheduled."""
+        stations = self._stations(self.network)
+        jobs = []
+        for station in stations:
+            ops = Operations(station.client, self.gen.config)
+            mix = _operation_mix(ops, self.gen, station.rng)
+            jobs.append(
+                (
+                    station,
+                    [mix[i % len(mix)] for i in range(operations_per_user)],
+                )
+            )
+        scheduler = DiscreteEventScheduler(
+            self.server, self._transport(), self.sim.think_time_seconds
+        )
+        makespan = scheduler.run(jobs)
+        hit_ratios = [s.client.cache.stats.hit_ratio for s in stations]
+        self._teardown(stations)
+        return ParallelLoadResult(
+            users=self.users,
+            operations_per_user=operations_per_user,
+            total_operations=self.users * operations_per_user,
+            server_seconds=makespan,
+            per_user_cache_hit_ratio=hit_ratios,
+        )
+
+    def run_disjoint_updates(
+        self, edits_per_user: int = 3
+    ) -> UpdateLoadResult:
+        """Disjoint text edits, then cross-visibility verification."""
+        rng = random.Random(self.seed)
+        needed = self.users * edits_per_user
+        if needed > len(self.gen.text_uids):
+            raise ValueError("structure has too few text nodes for this load")
+        chosen = rng.sample(self.gen.text_uids, needed)
+        assignments = {
+            user: chosen[user * edits_per_user : (user + 1) * edits_per_user]
+            for user in range(self.users)
+        }
+
+        stations = self._stations(self.network)
+        jobs = []
+        for station in stations:
+            client = station.client
+
+            def _edit(client, uid):
+                def task():
+                    ref = client.lookup(uid)
+                    client.set_text(
+                        ref, edit_text_forward(client.get_text(ref))
+                    )
+
+                return task
+
+            tasks = [
+                _edit(client, uid) for uid in assignments[station.index]
+            ]
+            tasks.append(client.commit)
+            jobs.append((station, tasks))
+        scheduler = DiscreteEventScheduler(
+            self.server, self._transport(), self.sim.think_time_seconds
+        )
+        scheduler.run(jobs)
+
+        # Cross-visibility: fresh caches, then verify every edit.
+        all_visible = True
+        for station in stations:
+            client = station.client
+            client.cache.clear()
+            for uids in assignments.values():
+                for uid in uids:
+                    text = client.get_text(client.lookup(uid))
+                    if "version-2" not in text:
+                        all_visible = False
+        self._teardown(stations)
+        return UpdateLoadResult(
+            users=self.users,
+            edits_per_user=edits_per_user,
+            published=assignments,
+            all_edits_visible_everywhere=all_visible,
+        )
+
+    def run_transactions(
+        self,
+        transactions_per_user: int = 16,
+        reads_per_txn: int = 4,
+        conflict_rate: float = 0.0,
+        hot_set_size: int = 8,
+        max_retries: int = 8,
+    ) -> TransactionLoadResult:
+        """The optimistic transaction workload (one benchmark cell).
+
+        Each transaction reads ``reads_per_txn`` Zipf-skewed records
+        from the structure's *internal* nodes, then edits one text
+        node: with probability ``conflict_rate`` a member of the
+        shared hot set (``hot_set_size`` text nodes everyone fights
+        over), otherwise a node from the client's private partition.
+        The commit ships write set + read versions in one validated
+        request; a conflict aborts the transaction, which retries from
+        the top after ``sim.retry_backoff_seconds`` — up to
+        ``max_retries`` times before giving up.
+
+        At ``conflict_rate = 0`` the read pools and write partitions
+        are disjoint across clients by construction, so the abort rate
+        is exactly zero — the benchmark's control cell.
+        """
+        if not 0.0 <= conflict_rate <= 1.0:
+            raise ValueError("conflict_rate must be within [0, 1]")
+        network = (
+            self.network
+            if self.network.concurrency == "optimistic"
+            else self.network.replace(concurrency="optimistic")
+        )
+        text_set = set(self.gen.text_uids)
+        read_pool = [
+            uid
+            for uid in range(self.gen.min_uid, self.gen.max_uid + 1)
+            if uid not in text_set
+        ]
+        hot = list(self.gen.text_uids[:hot_set_size])
+        rest = list(self.gen.text_uids[hot_set_size:])
+        if len(rest) < self.users:
+            raise ValueError(
+                "structure has too few text nodes for per-client"
+                f" private partitions ({len(rest)} spare, {self.users}"
+                " users); generate a deeper structure"
+            )
+        private = [rest[i :: self.users] for i in range(self.users)]
+        zipf = ZipfSampler(len(read_pool), self.sim.zipf_theta)
+
+        stations = self._stations(network)
+        instr = self.instrumentation
+        tallies = {"committed": 0, "aborted": 0, "giveups": 0, "retries": 0}
+        latencies: List[float] = []
+
+        def _transaction(station: Workstation) -> Callable[[], object]:
+            """One transaction as a two-event state machine.
+
+            The read phase (reads + buffered write) and the commit are
+            *separate* scheduler events, so other stations' commits
+            interleave between a read and the validation that checks
+            it — the window in which optimistic conflicts arise.
+            """
+            client = station.client
+            rng = station.rng
+            mine = private[station.index]
+            state = {"start": None, "attempts": 0}
+
+            def _finish() -> None:
+                latencies.append(
+                    (station.clock.now - state["start"]) * 1000.0
+                )
+
+            def read_phase() -> Callable[[], object]:
+                if state["start"] is None:
+                    state["start"] = station.clock.now
+                for _ in range(reads_per_txn):
+                    uid = read_pool[zipf.sample(rng)]
+                    client.get_attribute(uid, "hundred")
+                if hot and rng.random() < conflict_rate:
+                    target = hot[rng.randrange(len(hot))]
+                else:
+                    target = mine[rng.randrange(len(mine))]
+                text = client.get_text(target)
+                client.set_text(
+                    target,
+                    edit_text_forward(text)
+                    if "version1" in text
+                    else edit_text_backward(text),
+                )
+                return commit_phase
+
+            def commit_phase() -> Optional[Callable[[], object]]:
+                try:
+                    client.commit()
+                except ConflictError:
+                    # commit() already dropped the write buffer and
+                    # invalidated the stale cached copies.
+                    tallies["aborted"] += 1
+                    instr.count("backend.mp.txn.aborted")
+                    state["attempts"] += 1
+                    if state["attempts"] > max_retries:
+                        tallies["giveups"] += 1
+                        instr.count("backend.mp.txn.giveups")
+                        _finish()
+                        return None
+                    tallies["retries"] += 1
+                    instr.count("backend.mp.txn.retries")
+                    if self.sim.retry_backoff_seconds:
+                        station.clock.advance(
+                            self.sim.retry_backoff_seconds
+                        )
+                    return read_phase
+                tallies["committed"] += 1
+                instr.count("backend.mp.txn.committed")
+                _finish()
+                return None
+
+            return read_phase
+
+        jobs = [
+            (
+                station,
+                [_transaction(station) for _ in range(transactions_per_user)],
+            )
+            for station in stations
+        ]
+        commits_before = self.server.stats.commits
+        conflicts_before = self.server.stats.commit_conflicts
+        syncs_before = self.server.wal.syncs if self.server.wal else 0
+        transport = self._transport()
+        scheduler = DiscreteEventScheduler(
+            self.server, transport, self.sim.think_time_seconds
+        )
+        makespan = scheduler.run(jobs)
+        self._teardown(stations)
+        return TransactionLoadResult(
+            users=self.users,
+            transactions_per_user=transactions_per_user,
+            conflict_rate=conflict_rate,
+            committed=tallies["committed"],
+            aborted=tallies["aborted"],
+            giveups=tallies["giveups"],
+            retries=tallies["retries"],
+            makespan_seconds=makespan,
+            latencies_ms=latencies,
+            server_commits=self.server.stats.commits - commits_before,
+            server_conflicts=(
+                self.server.stats.commit_conflicts - conflicts_before
+            ),
+            wal_syncs=(
+                (self.server.wal.syncs if self.server.wal else 0)
+                - syncs_before
+            ),
+            queue_seconds=transport.queue_seconds,
+            busy_seconds=transport.busy_seconds,
+        )
+
+
+# ----------------------------------------------------------------------
+# Deprecated round-robin entry points (one release of grace)
+# ----------------------------------------------------------------------
+
+
+def run_read_load(
+    server: ObjectServer,
+    gen: GeneratedDatabase,
+    users: int = 2,
+    operations_per_user: int = 50,
+    seed: int = 1989,
+) -> ParallelLoadResult:
+    """Deprecated: use :meth:`MultiUserHarness.run_read_mix`."""
+    warnings.warn(
+        "run_read_load is deprecated; use"
+        " MultiUserHarness(server, gen, ...).run_read_mix(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    harness = MultiUserHarness(server, gen, users=users, seed=seed)
+    return harness.run_read_mix(operations_per_user=operations_per_user)
+
+
 def run_update_load(
     server: ObjectServer,
     gen: GeneratedDatabase,
@@ -138,46 +495,12 @@ def run_update_load(
     edits_per_user: int = 3,
     seed: int = 1990,
 ) -> UpdateLoadResult:
-    """Disjoint-update workload: each client edits its own text nodes.
-
-    After every client commits, each client re-reads *all* edited nodes
-    through its own cache-missing path and checks the edits are
-    visible — the shareability half of R9, across real client handles.
-    """
-    rng = random.Random(seed)
-    needed = users * edits_per_user
-    if needed > len(gen.text_uids):
-        raise ValueError("structure has too few text nodes for this load")
-    chosen = rng.sample(gen.text_uids, needed)
-    assignments = {
-        user: chosen[user * edits_per_user : (user + 1) * edits_per_user]
-        for user in range(users)
-    }
-
-    clients = _make_clients(server, users)
-    # Interleaved edits, then interleaved commits.
-    for position in range(edits_per_user):
-        for user, client in enumerate(clients):
-            uid = assignments[user][position]
-            ref = client.lookup(uid)
-            client.set_text(ref, edit_text_forward(client.get_text(ref)))
-    for client in clients:
-        client.commit()
-
-    # Cross-visibility: fresh caches, then verify every edit.
-    all_visible = True
-    for client in clients:
-        client.cache.clear()
-        for uids in assignments.values():
-            for uid in uids:
-                text = client.get_text(client.lookup(uid))
-                if "version-2" not in text:
-                    all_visible = False
-    for client in clients:
-        client.close()
-    return UpdateLoadResult(
-        users=users,
-        edits_per_user=edits_per_user,
-        published=assignments,
-        all_edits_visible_everywhere=all_visible,
+    """Deprecated: use :meth:`MultiUserHarness.run_disjoint_updates`."""
+    warnings.warn(
+        "run_update_load is deprecated; use"
+        " MultiUserHarness(server, gen, ...).run_disjoint_updates(...)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    harness = MultiUserHarness(server, gen, users=users, seed=seed)
+    return harness.run_disjoint_updates(edits_per_user=edits_per_user)

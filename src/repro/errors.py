@@ -59,6 +59,25 @@ class ConflictError(TransactionError):
     """Optimistic validation failed: another transaction committed first."""
 
 
+class CommitConflictError(ConflictError):
+    """A server-side optimistic commit was rejected: stale reads.
+
+    Carries the conflicting uids so the client can invalidate exactly
+    the cached copies that went stale before retrying.
+    """
+
+    def __init__(self, conflicts):
+        uids = sorted(conflicts)
+        shown = ", ".join(str(uid) for uid in uids[:8])
+        if len(uids) > 8:
+            shown += ", ..."
+        super().__init__(
+            f"optimistic commit rejected: {len(uids)} stale read(s)"
+            f" [{shown}]"
+        )
+        self.conflicts = uids
+
+
 class RecoveryError(StorageError):
     """The write-ahead log could not be replayed cleanly."""
 

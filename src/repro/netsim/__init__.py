@@ -10,18 +10,33 @@ architecture deterministically:
 * :class:`~repro.netsim.latency.LatencyModel` — per-round-trip latency
   plus bandwidth-proportional transfer cost;
 * :class:`~repro.netsim.server.ObjectServer` — the server-side node
-  store, charging the clock for every request;
+  store, charging the clock for every request (and validating
+  optimistic commits against per-record versions);
 * :class:`~repro.netsim.cache.WorkstationCache` — the client-side LRU
   object cache with check-out/check-in accounting;
 * :class:`~repro.netsim.faults.FaultModel` — seeded per-request
   drop/timeout fault injection on the simulated wire, retried with
-  bounded backoff by the client/server backend.
+  bounded backoff by the client/server backend;
+* :class:`~repro.netsim.config.NetworkConfig` /
+  :class:`~repro.netsim.config.SimConfig` — the typed configuration
+  pair that replaced the backend's keyword sprawl;
+* :mod:`repro.netsim.sim` — the discrete-event scheduler, the
+  contended transport and the Zipf sampler behind the multi-client
+  simulation (see ``docs/multiuser.md``).
 """
 
 from repro.netsim.latency import LatencyModel, SimulatedClock
 from repro.netsim.cache import WorkstationCache
+from repro.netsim.config import NetworkConfig, SimConfig
 from repro.netsim.faults import FaultModel
 from repro.netsim.server import ObjectServer
+from repro.netsim.sim import (
+    ContendedTransport,
+    DirectTransport,
+    DiscreteEventScheduler,
+    Workstation,
+    ZipfSampler,
+)
 
 __all__ = [
     "LatencyModel",
@@ -29,4 +44,11 @@ __all__ = [
     "WorkstationCache",
     "FaultModel",
     "ObjectServer",
+    "NetworkConfig",
+    "SimConfig",
+    "ContendedTransport",
+    "DirectTransport",
+    "DiscreteEventScheduler",
+    "Workstation",
+    "ZipfSampler",
 ]

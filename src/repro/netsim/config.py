@@ -1,0 +1,158 @@
+"""Typed configuration for the simulated network and the event scheduler.
+
+The client/server backend historically grew one keyword argument per
+knob (``latency=``, ``fault_model=``, ``cache_capacity=``,
+``pushdown=``, ``readahead_depth=``, ``rpc_retries=``,
+``rpc_backoff_seconds=``) and every call site — registry defaults,
+benchmarks, tests — repeated the sprawl.  This module replaces that
+surface with two frozen dataclasses:
+
+* :class:`NetworkConfig` — everything that shapes **one client's**
+  view of the wire: the latency/fault models, the workstation cache
+  size, the retry policy, push-down/readahead, and the concurrency
+  mode (plain last-writer-wins stores vs optimistic validation at
+  commit).
+* :class:`SimConfig` — everything that shapes a **multi-client
+  simulation**: the seed, think time, server service time, the virtual
+  fsync cost charged at WAL durability points, the Zipf skew of the
+  access pattern, and the retry pause after an optimistic abort.
+
+Both are immutable (safe to share as registry ``default_options``) and
+validate in ``__post_init__`` with the same
+:class:`~repro.errors.ConfigurationError` the old keyword checks
+raised.  The old keywords still work for one release behind a
+``DeprecationWarning`` (see
+:class:`~repro.backends.clientserver.ClientServerDatabase`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.netsim.faults import FaultModel
+from repro.netsim.latency import LatencyModel
+
+#: Concurrency modes a client understands.
+CONCURRENCY_MODES = ("none", "optimistic")
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkConfig:
+    """One client's network, cache, retry and concurrency settings.
+
+    Attributes:
+        latency: the wire cost model (``None`` = the server's default,
+            ~1 ms round trips at ~1 MB/s).
+        fault_model: seeded RPC drop/timeout injection; only applied
+            when the client *creates* its server (a shared server keeps
+            whatever model it was built with).
+        cache_capacity: workstation cache size in objects.
+        rpc_retries: retries before
+            :class:`~repro.errors.RpcExhaustedError`.
+        rpc_backoff_seconds: base of the exponential retry backoff
+            charged to the simulated clock.
+        pushdown: run closure traversals at the server and read ahead
+            structurally on cache misses (the ``clientserver-bfs``
+            ablation sets this False).
+        readahead_depth: structural readahead depth on a cache miss
+            (0 disables; only meaningful with ``pushdown=True``).
+        concurrency: ``"none"`` — commits upload dirty records with
+            last-writer-wins stores (the single-user default) —
+            or ``"optimistic"`` — commits ship the write set *and* the
+            read-set versions in one ``commit_batch`` RPC the server
+            validates, raising
+            :class:`~repro.errors.CommitConflictError` on stale reads.
+    """
+
+    latency: Optional[LatencyModel] = None
+    fault_model: Optional[FaultModel] = None
+    cache_capacity: int = 4096
+    rpc_retries: int = 4
+    rpc_backoff_seconds: float = 0.002
+    pushdown: bool = True
+    readahead_depth: int = 1
+    concurrency: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity < 1:
+            raise ConfigurationError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity}"
+            )
+        if self.rpc_retries < 0:
+            raise ConfigurationError(
+                f"rpc_retries cannot be negative, got {self.rpc_retries}"
+            )
+        if self.rpc_backoff_seconds < 0:
+            raise ConfigurationError(
+                "rpc_backoff_seconds cannot be negative,"
+                f" got {self.rpc_backoff_seconds}"
+            )
+        if self.readahead_depth < 0:
+            raise ConfigurationError(
+                "readahead_depth cannot be negative,"
+                f" got {self.readahead_depth}"
+            )
+        if self.concurrency not in CONCURRENCY_MODES:
+            raise ConfigurationError(
+                f"concurrency must be one of {CONCURRENCY_MODES},"
+                f" got {self.concurrency!r}"
+            )
+
+    def replace(self, **changes) -> "NetworkConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclasses.dataclass(frozen=True)
+class SimConfig:
+    """Shape of one discrete-event multi-client simulation.
+
+    Attributes:
+        seed: master seed; every per-client PRNG derives from it, so
+            one integer pins the whole run (event order, Zipf draws,
+            abort decisions).
+        think_time_seconds: virtual pause between a workstation's
+            consecutive tasks — the closed-queueing-network "Z" that
+            makes throughput rise with client count until the server
+            saturates.
+        service_time_seconds: fixed server CPU cost per request,
+            charged on the server's busy timeline (requests queue
+            behind it; the contended half of the charge model).
+        fsync_seconds: virtual cost of one WAL durability point,
+            charged as extra service on the commit that takes it —
+            this is what makes group commit measurable: deferred
+            commits skip the charge.
+        zipf_theta: skew of the Zipf access pattern (0 = uniform;
+            ~0.8 = classic hot-spot skew).
+        retry_backoff_seconds: virtual pause a client waits after an
+            optimistic abort before retrying the transaction.
+    """
+
+    seed: int = 1989
+    think_time_seconds: float = 0.005
+    service_time_seconds: float = 0.0002
+    fsync_seconds: float = 0.002
+    zipf_theta: float = 0.8
+    retry_backoff_seconds: float = 0.002
+
+    def __post_init__(self) -> None:
+        for name in (
+            "think_time_seconds",
+            "service_time_seconds",
+            "fsync_seconds",
+            "retry_backoff_seconds",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(
+                    f"{name} cannot be negative, got {getattr(self, name)}"
+                )
+        if self.zipf_theta < 0:
+            raise ConfigurationError(
+                f"zipf_theta cannot be negative, got {self.zipf_theta}"
+            )
+
+    def replace(self, **changes) -> "SimConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)

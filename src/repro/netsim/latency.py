@@ -35,6 +35,16 @@ class SimulatedClock:
             raise ValueError("cannot advance a clock backwards")
         self._now += seconds
 
+    def advance_to(self, timestamp: float) -> None:
+        """Advance the clock to an absolute time; never moves backwards.
+
+        The discrete-event scheduler uses this to synchronize a clock
+        with an event timestamp: an already-later clock is left alone
+        (an event from the past cannot rewind time).
+        """
+        if timestamp > self._now:
+            self._now = timestamp
+
     def reset(self) -> None:
         """Reset virtual time to zero."""
         self._now = 0.0

@@ -22,10 +22,16 @@ import dataclasses
 from typing import Any, Dict, List, Optional
 
 from repro.engine import serializer
+from repro.engine.wal import WriteAheadLog, put_record
 from repro.netsim.faults import FaultModel
 from repro.netsim.latency import LatencyModel, SimulatedClock
+from repro.netsim.sim import DirectTransport
 from repro.obs import Instrumentation, TraceContext, resolve
-from repro.errors import InvalidOperationError, NodeNotFoundError
+from repro.errors import (
+    CommitConflictError,
+    InvalidOperationError,
+    NodeNotFoundError,
+)
 
 #: Approximate bytes of a uid in a response payload.
 _UID_BYTES = 8
@@ -51,6 +57,8 @@ class ServerStats:
     probes: int = 0
     queries: int = 0
     scans: int = 0
+    commits: int = 0
+    commit_conflicts: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
 
@@ -60,6 +68,7 @@ class ServerStats:
         self.batch_fetches = self.batched_objects = 0
         self.traversals = self.readaheads = self.pushdown_objects = 0
         self.queries = self.scans = 0
+        self.commits = self.commit_conflicts = 0
         self.bytes_sent = self.bytes_received = 0
 
 
@@ -80,6 +89,8 @@ class ObjectServer:
         latency: Optional[LatencyModel] = None,
         instrumentation: Optional[Instrumentation] = None,
         fault_model: Optional[FaultModel] = None,
+        wal: Optional[WriteAheadLog] = None,
+        fsync_seconds: float = 0.0,
     ) -> None:
         self.clock = clock or SimulatedClock()
         self.latency = latency or LatencyModel()
@@ -87,11 +98,41 @@ class ObjectServer:
         self.fault_model = fault_model
         self.instrumentation = resolve(instrumentation)
         self._instr = self.instrumentation
+        #: Optional durable commit log; ``commit_batch`` appends each
+        #: transaction's PUT records and charges ``fsync_seconds`` of
+        #: extra service time on the commits that take a real
+        #: durability point (group commit defers most of them).
+        self.wal = wal
+        self.fsync_seconds = fsync_seconds
+        #: The charge seam: every request's time lands here.  The
+        #: default reproduces the single-client model exactly; the
+        #: discrete-event scheduler swaps in a contended transport
+        #: (see :mod:`repro.netsim.sim`) for multi-client runs.
+        self.transport = DirectTransport(self.clock, self.latency)
         self._records: Dict[int, Dict[str, Any]] = {}
         self._lists: Dict[str, List[int]] = {}
+        #: Version per uid, bumped on every store/commit; the optimistic
+        #: commit protocol validates read sets against it.
+        self._versions: Dict[int, int] = {}
+        self._commit_seq = 0
+        #: Versions of the records the *last* record-carrying reply
+        #: shipped — an in-process side channel standing in for the
+        #: version stamps a real wire format would embed per record
+        #: (kept out of the payload so reply sizes are unchanged).
+        self.last_reply_versions: Dict[int, int] = {}
         self._subscribers: List[object] = []
         #: Trace context of the in-flight request (the RPC envelope).
         self._pending_trace: Optional[TraceContext] = None
+
+    @contextlib.contextmanager
+    def use_transport(self, transport):
+        """Temporarily swap the charge transport (the scheduler's seam)."""
+        previous = self.transport
+        self.transport = transport
+        try:
+            yield transport
+        finally:
+            self.transport = previous
 
     # ------------------------------------------------------------------
     # Trace propagation (the request envelope)
@@ -122,7 +163,11 @@ class ObjectServer:
             "server." + request,
             remote_parent=None if context is None else context.span_id,
             remote_trace=None if context is None else context.trace_id,
+            client=None if context is None else context.client_id,
         ):
+            # Version stamps never survive into the next request: each
+            # reply's stamps belong to exactly one caller.
+            self.last_reply_versions = {}
             self._maybe_fault(request)
             yield
 
@@ -172,9 +217,15 @@ class ObjectServer:
     # distributions.
     # ------------------------------------------------------------------
 
-    def _charge(self, payload_bytes: int, verb: Optional[str] = None) -> None:
-        cost = self.latency.request_cost(payload_bytes)
-        self.clock.advance(cost)
+    def _charge(
+        self,
+        payload_bytes: int,
+        verb: Optional[str] = None,
+        extra_service_seconds: float = 0.0,
+    ) -> None:
+        cost = self.transport.charge_request(
+            payload_bytes, extra_service_seconds=extra_service_seconds
+        )
         self._instr.count("backend.rpc.round_trips")
         self._instr.count("netsim.latency.injected_ms", cost * 1000.0)
         self._instr.observe("backend.rpc.payload_bytes", float(payload_bytes))
@@ -186,6 +237,24 @@ class ObjectServer:
     def _reply_payload(self, records) -> int:
         """Wire size of one record-carrying reply: envelope + records."""
         return _PROBE_BYTES + sum(self.record_size(r) for r in records)
+
+    def _stamp_reply_versions(self, uids) -> None:
+        """Record the versions the reply's records were shipped at."""
+        self.last_reply_versions = {
+            uid: self._versions.get(uid, 0) for uid in uids
+        }
+
+    def take_reply_versions(self) -> Dict[int, int]:
+        """Consume the version stamps of the last record-carrying reply.
+
+        The optimistic client calls this after each successful RPC to
+        learn which version of each record it now holds; consuming
+        clears the channel so stale stamps never leak into the next
+        request's bookkeeping.
+        """
+        versions = self.last_reply_versions
+        self.last_reply_versions = {}
+        return versions
 
     def _maybe_fault(self, request: str) -> None:
         """Consult the fault model before serving a request.
@@ -206,7 +275,7 @@ class ObjectServer:
             wasted = self.fault_model.timeout_seconds
         else:
             wasted = self.latency.request_cost(0)
-        self.clock.advance(wasted)
+        self.transport.charge_wasted(wasted)
         self._instr.count("netsim.latency.injected_ms", wasted * 1000.0)
         self.fault_model.raise_fault(kind, request)
 
@@ -249,6 +318,7 @@ class ObjectServer:
             self.stats.bytes_sent += payload
             self._instr.count("backend.rpc.bytes_sent", payload)
             self._charge(payload, "fetch")
+            self._stamp_reply_versions((uid,))
             return self._isolate(record)
 
     def fetch_many(self, uids: List[int]) -> Dict[int, Dict[str, Any]]:
@@ -290,6 +360,7 @@ class ObjectServer:
             self._instr.count("backend.rpc.bytes_sent", payload)
             self._instr.count("backend.rpc.batched_objects", len(unique))
             self._charge(payload, "fetch_many")
+            self._stamp_reply_versions(unique)
             return out
 
     # ------------------------------------------------------------------
@@ -407,6 +478,7 @@ class ObjectServer:
             self._instr.count("backend.rpc.bytes_sent", payload)
             self._instr.count("backend.rpc.batched_objects", len(order))
             self._charge(payload, "traverse")
+            self._stamp_reply_versions(order)
             return out
 
     def readahead(
@@ -468,6 +540,7 @@ class ObjectServer:
             self._instr.count("backend.rpc.bytes_sent", payload)
             self._instr.count("backend.rpc.batched_objects", len(order))
             self._charge(payload, "readahead")
+            self._stamp_reply_versions(order)
             return out
 
     def store(
@@ -484,8 +557,88 @@ class ObjectServer:
             self.stats.bytes_received += size
             self._instr.count("backend.rpc.bytes_received", size)
             self._charge(size)
+            self._commit_seq += 1
             self._records[uid] = self._isolate(record)
+            self._versions[uid] = self._commit_seq
             self._invalidate_subscribers(uid, except_cache=from_cache)
+
+    def commit_batch(
+        self,
+        writes: Dict[int, Dict[str, Any]],
+        reads: Dict[int, int],
+        lists: Optional[Dict[str, List[int]]] = None,
+        from_cache=None,
+    ) -> Dict[int, int]:
+        """Optimistically validate and apply one transaction atomically.
+
+        The optimistic client ships its whole write set plus the
+        versions of every record it read this transaction in **one**
+        request (charged for the uploaded records plus a uid+version
+        pair per read).  Validation is first-committer-wins: if any
+        read version no longer matches the server's current version —
+        another client committed that record meanwhile — nothing is
+        applied and :class:`~repro.errors.CommitConflictError` reports
+        the stale uids so the client can invalidate and retry.
+
+        A valid transaction is applied atomically under one new commit
+        sequence number: all writes land, versions bump, the optional
+        WAL logs the write set (charging ``fsync_seconds`` of extra
+        service only when the log takes a real durability point —
+        group commit defers most of them), and every *other*
+        subscribed cache is invalidated for each written uid.
+
+        Returns ``{uid: new version}`` for the write set.
+        """
+        with self._serve("commit"):
+            lists = lists or {}
+            upload = (
+                _PROBE_BYTES
+                + sum(self.record_size(r) for r in writes.values())
+                + (_UID_BYTES + _UID_BYTES) * len(reads)
+                + sum(
+                    _UID_BYTES * len(uids) for uids in lists.values()
+                )
+            )
+            self.stats.bytes_received += upload
+            self._instr.count("backend.rpc.bytes_received", upload)
+            conflicts = [
+                uid
+                for uid, seen in reads.items()
+                if self._versions.get(uid, 0) != seen
+            ]
+            if conflicts:
+                self.stats.commit_conflicts += 1
+                self._instr.count("backend.mp.commit.conflicts")
+                self._charge(upload, "commit")
+                raise CommitConflictError(conflicts)
+            synced = False
+            if self.wal is not None and writes:
+                txid = self._commit_seq + 1
+                synced = self.wal.log_commit(
+                    txid,
+                    [
+                        put_record(txid, uid, {"record": record})
+                        for uid, record in sorted(writes.items())
+                    ],
+                )
+            self._commit_seq += 1
+            applied: Dict[int, int] = {}
+            for uid, record in writes.items():
+                self._records[uid] = self._isolate(record)
+                self._versions[uid] = self._commit_seq
+                applied[uid] = self._commit_seq
+            for name, uids in lists.items():
+                self._lists[name] = list(uids)
+            self.stats.commits += 1
+            self._instr.count("backend.mp.commits")
+            self._charge(
+                upload,
+                "commit",
+                extra_service_seconds=self.fsync_seconds if synced else 0.0,
+            )
+            for uid in writes:
+                self._invalidate_subscribers(uid, except_cache=from_cache)
+            return applied
 
     def exists(self, uid: int) -> bool:
         """Key-existence probe (the server-side name-lookup index hit)."""
@@ -580,6 +733,32 @@ class ObjectServer:
         return sum(
             1 for r in self._records.values() if r["struct"] == structure_id
         )
+
+    def export_records(self) -> Dict[int, Dict[str, Any]]:
+        """A deep-enough copy of every record (uncharged admin call).
+
+        The multi-user benchmark generates the structure once and
+        preloads a fresh server per grid cell from this snapshot.
+        """
+        return {
+            uid: self._isolate(record)
+            for uid, record in self._records.items()
+        }
+
+    def load_records(self, records: Dict[int, Dict[str, Any]]) -> None:
+        """Replace server state from a snapshot (uncharged admin call).
+
+        Versions reset to zero and the commit sequence restarts, so
+        every preloaded cell of a benchmark grid starts from the same
+        deterministic state.
+        """
+        self._records = {
+            uid: self._isolate(record) for uid, record in records.items()
+        }
+        self._lists = {}
+        self._versions = {}
+        self._commit_seq = 0
+        self.last_reply_versions = {}
 
     def __contains__(self, uid: int) -> bool:
         return uid in self._records

@@ -83,15 +83,20 @@ class Instrumentation:
         name: str,
         remote_parent: Optional[int] = None,
         remote_trace: Optional[int] = None,
+        client: Optional[str] = None,
     ):
         """Open a timed span; use as a context manager.
 
         ``remote_parent``/``remote_trace`` link the span to a caller
         on the other side of an RPC boundary (see
-        :class:`~repro.obs.spans.TraceContext`).
+        :class:`~repro.obs.spans.TraceContext`); ``client`` tags the
+        span with the issuing client's identity in multi-client runs.
         """
         return self.spans.span(
-            name, remote_parent=remote_parent, remote_trace=remote_trace
+            name,
+            remote_parent=remote_parent,
+            remote_trace=remote_trace,
+            client=client,
         )
 
     def observe(self, name: str, value: float) -> None:
@@ -175,6 +180,7 @@ class NoOpInstrumentation(Instrumentation):
         name: str,
         remote_parent: Optional[int] = None,
         remote_trace: Optional[int] = None,
+        client: Optional[str] = None,
     ) -> _NullSpan:
         return _NULL_SPAN
 

@@ -45,6 +45,9 @@ class TraceContext:
 
     trace_id: int
     span_id: int
+    #: Stable identity of the issuing client (``w00``, ``w01``, ... in
+    #: multi-client simulations); None for anonymous single clients.
+    client_id: Optional[str] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -68,6 +71,12 @@ class SpanRecord:
     remote_parent: Optional[int] = None
     #: Trace id of the remote caller's instrumentation handle.
     remote_trace: Optional[int] = None
+    #: Client identity tag (multi-client runs): client-side RPC spans
+    #: carry their own client's id, server-side spans carry the id of
+    #: the client whose request they serve.  The Chrome trace exporter
+    #: fans tagged spans out onto per-client threads so concurrent
+    #: clients stop interleaving into one anonymous stream.
+    client: Optional[str] = None
 
     @property
     def duration_seconds(self) -> float:
@@ -91,6 +100,7 @@ class _ActiveSpan:
         "_sequence",
         "_remote_parent",
         "_remote_trace",
+        "_client",
     )
 
     def __init__(
@@ -99,11 +109,13 @@ class _ActiveSpan:
         name: str,
         remote_parent: Optional[int] = None,
         remote_trace: Optional[int] = None,
+        client: Optional[str] = None,
     ) -> None:
         self._recorder = recorder
         self._name = name
         self._remote_parent = remote_parent
         self._remote_trace = remote_trace
+        self._client = client
 
     @property
     def sequence(self) -> int:
@@ -134,6 +146,7 @@ class _ActiveSpan:
                 sequence=self._sequence,
                 remote_parent=self._remote_parent,
                 remote_trace=self._remote_trace,
+                client=self._client,
             )
         )
         return False
@@ -166,6 +179,7 @@ class SpanRecorder:
         name: str,
         remote_parent: Optional[int] = None,
         remote_trace: Optional[int] = None,
+        client: Optional[str] = None,
     ) -> _ActiveSpan:
         """Open a span; use as a context manager.
 
@@ -173,9 +187,15 @@ class SpanRecorder:
         causal link (see :class:`TraceContext`): the span was caused by
         span ``remote_parent`` of the handle ``remote_trace`` — usually
         a client RPC span on the other side of the simulated network.
+        ``client`` tags the span with the issuing client's identity so
+        concurrent clients stay attributable in the exported trace.
         """
         return _ActiveSpan(
-            self, name, remote_parent=remote_parent, remote_trace=remote_trace
+            self,
+            name,
+            remote_parent=remote_parent,
+            remote_trace=remote_trace,
+            client=client,
         )
 
     def current_span_id(self) -> Optional[int]:

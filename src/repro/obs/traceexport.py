@@ -86,8 +86,40 @@ def build_trace(
         return round((t - base) * 1e6, 3)
 
     by_sequence = {r.sequence: r for r in records}
+
+    # Per-client thread lanes: untagged spans stay on tid 1 (the
+    # anonymous single-client lane); each distinct client tag gets its
+    # own stable tid (2, 3, ... in order of first appearance — records
+    # are sequence-ordered, so the assignment is deterministic) on
+    # *both* process tracks, with a thread_name metadata event each.
+    client_tids: Dict[str, int] = {}
+    named_lanes = set()
+
+    def _tid(record) -> int:
+        if record.client is None:
+            return 1
+        return client_tids.setdefault(record.client, len(client_tids) + 2)
+
+    def _name_lane(pid: int, tid: int, client: str) -> None:
+        if (pid, tid) in named_lanes:
+            return
+        named_lanes.add((pid, tid))
+        side = "rpc" if pid == CLIENT_PID else "serving"
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"client {client} ({side})"},
+            }
+        )
+
     for record in records:
         pid = SERVER_PID if _is_server_span(record) else CLIENT_PID
+        tid = _tid(record)
+        if record.client is not None:
+            _name_lane(pid, tid, record.client)
         args: Dict[str, Any] = {
             "sequence": record.sequence,
             "depth": record.depth,
@@ -97,13 +129,15 @@ def build_trace(
         if record.remote_parent is not None:
             args["remote_parent"] = record.remote_parent
             args["remote_trace"] = record.remote_trace
+        if record.client is not None:
+            args["client"] = record.client
         events.append(
             {
                 "ph": "X",
                 "name": record.name,
                 "cat": _category(record.name),
                 "pid": pid,
-                "tid": 1,
+                "tid": tid,
                 "ts": _us(record.start),
                 "dur": round(record.duration_seconds * 1e6, 3),
                 "args": args,
@@ -121,7 +155,7 @@ def build_trace(
                         "name": "rpc",
                         "cat": "rpc",
                         "pid": CLIENT_PID,
-                        "tid": 1,
+                        "tid": _tid(cause),
                         "ts": _us(cause.start),
                     }
                 )
@@ -133,7 +167,7 @@ def build_trace(
                         "name": "rpc",
                         "cat": "rpc",
                         "pid": SERVER_PID,
-                        "tid": 1,
+                        "tid": tid,
                         "ts": _us(record.start),
                     }
                 )

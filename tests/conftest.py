@@ -18,6 +18,7 @@ from repro.backends.oodb import OodbDatabase
 from repro.backends.sqlite_backend import SqliteDatabase
 from repro.core.config import HyperModelConfig
 from repro.core.generator import DatabaseGenerator
+from repro.netsim.config import NetworkConfig
 
 BACKEND_NAMES = [
     "memory", "sqlite", "sqlite-file", "oodb",
@@ -38,7 +39,7 @@ def make_backend(name: str, tmp_path, suffix: str = "db"):
     if name == "clientserver":
         return ClientServerDatabase()
     if name == "clientserver-bfs":
-        return ClientServerDatabase(pushdown=False)
+        return ClientServerDatabase(network=NetworkConfig(pushdown=False))
     raise ValueError(name)
 
 

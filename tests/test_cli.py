@@ -161,6 +161,50 @@ class TestBenchClosure:
         assert 0 < cs10["counters"]["backend.rpc.round_trips"] <= 5
 
 
+class TestBenchMultiuser:
+    def test_writes_json_and_prints_summary(self, capsys, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "BENCH_multiuser.json")
+        code = main(
+            ["bench-multiuser", "--clients", "1,4", "--conflict", "0.0,0.5",
+             "--transactions", "4", "--out", out_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "multi-user optimistic grid" in out
+        assert f"results written to {out_path}" in out
+        with open(out_path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["benchmark"] == "multiuser"
+        assert set(document["cells"]) == {"clients-1", "clients-4"}
+        control = document["cells"]["clients-4"]["conflict-0"]
+        assert control["aborted"] == 0
+        assert document["wal"]["per_commit"]["fsyncs_per_commit"] == 1.0
+
+    def test_trace_export_has_client_lanes(self, capsys, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "BENCH_multiuser.json")
+        trace_path = str(tmp_path / "mp_trace.json")
+        code = main(
+            ["bench-multiuser", "--clients", "2", "--conflict", "0.0",
+             "--transactions", "2", "--out", out_path,
+             "--trace", trace_path]
+        )
+        assert code == 0
+        assert "one lane per client" in capsys.readouterr().out
+        with open(trace_path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+        lane_names = {
+            event["args"]["name"]
+            for event in trace["traceEvents"]
+            if event.get("ph") == "M" and event["name"] == "thread_name"
+        }
+        assert any("w00" in name for name in lane_names)
+        assert any("w01" in name for name in lane_names)
+
+
 class TestRubenstein:
     def test_baseline_runs(self, capsys):
         code = main(

@@ -1,0 +1,212 @@
+"""The discrete-event simulation core: sampler, transport, scheduler."""
+
+import random
+
+import pytest
+
+from repro.backends.clientserver import ClientServerDatabase
+from repro.netsim.latency import LatencyModel, SimulatedClock
+from repro.netsim.server import ObjectServer
+from repro.netsim.sim import (
+    ContendedTransport,
+    DirectTransport,
+    DiscreteEventScheduler,
+    Workstation,
+    ZipfSampler,
+)
+
+
+class TestZipfSampler:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, theta=-0.1)
+
+    def test_deterministic_for_seed(self):
+        sampler = ZipfSampler(50, theta=0.8)
+        first = [sampler.sample(random.Random(7)) for _ in range(1)]
+        draws_a = [sampler.sample(random.Random(7))]
+        rng_a, rng_b = random.Random(9), random.Random(9)
+        seq_a = [sampler.sample(rng_a) for _ in range(200)]
+        seq_b = [sampler.sample(rng_b) for _ in range(200)]
+        assert seq_a == seq_b
+        assert first == draws_a
+
+    def test_skew_prefers_low_ranks(self):
+        sampler = ZipfSampler(100, theta=1.0)
+        rng = random.Random(3)
+        draws = [sampler.sample(rng) for _ in range(2000)]
+        head = sum(1 for d in draws if d < 10)
+        tail = sum(1 for d in draws if d >= 90)
+        assert head > 4 * tail
+
+    def test_theta_zero_is_uniform(self):
+        sampler = ZipfSampler(10, theta=0.0)
+        rng = random.Random(5)
+        draws = [sampler.sample(rng) for _ in range(5000)]
+        counts = [draws.count(r) for r in range(10)]
+        assert min(counts) > 300  # every rank drawn roughly equally
+
+    def test_range(self):
+        sampler = ZipfSampler(5, theta=0.9)
+        rng = random.Random(11)
+        assert all(0 <= sampler.sample(rng) < 5 for _ in range(500))
+
+
+class _FakeStation:
+    def __init__(self):
+        self.clock = SimulatedClock()
+
+
+class TestContendedTransport:
+    def test_fifo_queueing_delays_second_request(self):
+        latency = LatencyModel(
+            round_trip_seconds=0.010, bandwidth_bytes_per_second=1e6
+        )
+        transport = ContendedTransport(latency, service_time_seconds=0.100)
+        a, b = _FakeStation(), _FakeStation()
+        transport.station = a
+        transport.charge_request(0)
+        # a: arrival 0.005, service to 0.105, depart 0.110
+        assert a.clock.now == pytest.approx(0.110)
+        transport.station = b
+        transport.charge_request(0)
+        # b arrives at 0.005 but the server is busy until 0.105.
+        assert b.clock.now == pytest.approx(0.210)
+        assert transport.queue_seconds == pytest.approx(0.100)
+        assert transport.busy_seconds == pytest.approx(0.200)
+        assert transport.requests == 2
+
+    def test_no_contention_no_queueing(self):
+        latency = LatencyModel(round_trip_seconds=0.010)
+        transport = ContendedTransport(latency, service_time_seconds=0.001)
+        a = _FakeStation()
+        a.clock.advance(5.0)  # arrives long after the server idles
+        transport.station = a
+        transport.charge_request(0)
+        assert transport.queue_seconds == 0.0
+        assert a.clock.now == pytest.approx(5.011)
+
+    def test_transfer_time_counts_as_service(self):
+        latency = LatencyModel(
+            round_trip_seconds=0.010, bandwidth_bytes_per_second=1000.0
+        )
+        transport = ContendedTransport(latency, service_time_seconds=0.0)
+        a = _FakeStation()
+        transport.station = a
+        transport.charge_request(10)  # 10 bytes at 1 kB/s = 10 ms
+        assert transport.busy_seconds == pytest.approx(0.010)
+        assert a.clock.now == pytest.approx(0.020)
+
+    def test_fallback_clock_without_station(self):
+        fallback = SimulatedClock()
+        latency = LatencyModel(round_trip_seconds=0.004)
+        transport = ContendedTransport(
+            latency, service_time_seconds=0.001, fallback_clock=fallback
+        )
+        cost = transport.charge_request(0)
+        assert fallback.now == pytest.approx(cost)
+        assert transport.requests == 0  # admin traffic is not queued
+
+    def test_direct_transport_matches_latency_model(self):
+        clock = SimulatedClock()
+        latency = LatencyModel(round_trip_seconds=0.002)
+        transport = DirectTransport(clock, latency)
+        cost = transport.charge_request(500)
+        assert cost == pytest.approx(latency.request_cost(500))
+        assert clock.now == pytest.approx(cost)
+
+
+def _make_station(server, index):
+    client = ClientServerDatabase(
+        server=server, clock=SimulatedClock(), client_id=f"w{index:02d}"
+    )
+    client.open()
+    return Workstation(index, client, random.Random(index))
+
+
+class TestDiscreteEventScheduler:
+    def test_tasks_interleave_by_virtual_time(self):
+        server = ObjectServer()
+        a = _make_station(server, 0)
+        b = _make_station(server, 1)
+        order = []
+        transport = ContendedTransport(
+            server.latency, 0.0, fallback_clock=server.clock
+        )
+        scheduler = DiscreteEventScheduler(
+            server, transport, think_time_seconds=0.0
+        )
+        # b starts later on its own clock, so a's tasks all run first
+        # at time 0 ties, then b's.
+        b.clock.advance(10.0)
+        jobs = [
+            (a, [lambda: order.append("a1"), lambda: order.append("a2")]),
+            (b, [lambda: order.append("b1")]),
+        ]
+        makespan = scheduler.run(jobs)
+        assert order == ["a1", "a2", "b1"]
+        assert makespan >= 10.0
+
+    def test_continuation_runs_next_on_same_station(self):
+        server = ObjectServer()
+        a = _make_station(server, 0)
+        order = []
+
+        def second():
+            order.append("second")
+
+        def first():
+            order.append("first")
+            return second
+
+        transport = ContendedTransport(
+            server.latency, 0.0, fallback_clock=server.clock
+        )
+        scheduler = DiscreteEventScheduler(server, transport, 0.0)
+        scheduler.run([(a, [first, lambda: order.append("tail")])])
+        assert order == ["first", "second", "tail"]
+
+    def test_think_time_spaces_tasks(self):
+        server = ObjectServer()
+        a = _make_station(server, 0)
+        times = []
+        transport = ContendedTransport(
+            server.latency, 0.0, fallback_clock=server.clock
+        )
+        scheduler = DiscreteEventScheduler(
+            server, transport, think_time_seconds=0.5
+        )
+        scheduler.run(
+            [(a, [lambda: times.append(a.clock.now) for _ in range(3)])]
+        )
+        assert times == pytest.approx([0.0, 0.5, 1.0])
+
+    def test_server_clock_advances_with_the_run(self):
+        server = ObjectServer()
+        before = server.clock.now
+        a = _make_station(server, 0)
+        a.clock.advance(2.0)
+        transport = ContendedTransport(
+            server.latency, 0.0, fallback_clock=server.clock
+        )
+        DiscreteEventScheduler(server, transport, 0.0).run(
+            [(a, [lambda: None])]
+        )
+        assert server.clock.now >= before + 2.0
+
+    def test_single_client_direct_behaviour_unchanged(self):
+        """Without a scheduler the server charges the shared clock."""
+        server = ObjectServer()
+        client = ClientServerDatabase(server=server)
+        client.open()
+        before = server.clock.now
+        from repro.core.model import NodeData
+
+        client.create_node(
+            NodeData(unique_id=20_000_001, ten=1, hundred=2, million=3)
+        )
+        client.commit()
+        assert server.clock.now > before
+        assert client.simulated_clock is server.clock

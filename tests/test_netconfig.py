@@ -1,0 +1,146 @@
+"""Typed netsim configuration and the deprecated keyword surface."""
+
+import pytest
+
+from repro.backends import create_backend
+from repro.backends.clientserver import ClientServerDatabase
+from repro.core.config import HyperModelConfig
+from repro.core.generator import DatabaseGenerator
+from repro.errors import ConfigurationError
+from repro.netsim.config import NetworkConfig, SimConfig
+from repro.netsim.faults import FaultModel
+from repro.netsim.latency import LatencyModel
+from repro.netsim.server import ObjectServer
+
+
+class TestNetworkConfig:
+    def test_defaults(self):
+        config = NetworkConfig()
+        assert config.cache_capacity == 4096
+        assert config.pushdown is True
+        assert config.concurrency == "none"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(cache_capacity=0)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(rpc_retries=-1)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(rpc_backoff_seconds=-0.1)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(readahead_depth=-1)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(concurrency="pessimistic")
+
+    def test_replace(self):
+        base = NetworkConfig()
+        variant = base.replace(pushdown=False, cache_capacity=16)
+        assert variant.pushdown is False
+        assert variant.cache_capacity == 16
+        assert base.pushdown is True  # frozen original untouched
+        with pytest.raises(ConfigurationError):
+            base.replace(concurrency="bogus")
+
+
+class TestSimConfig:
+    def test_defaults(self):
+        sim = SimConfig()
+        assert sim.think_time_seconds > 0
+        assert sim.zipf_theta == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(think_time_seconds=-1)
+        with pytest.raises(ConfigurationError):
+            SimConfig(service_time_seconds=-0.1)
+        with pytest.raises(ConfigurationError):
+            SimConfig(fsync_seconds=-0.1)
+        with pytest.raises(ConfigurationError):
+            SimConfig(zipf_theta=-0.5)
+        with pytest.raises(ConfigurationError):
+            SimConfig(retry_backoff_seconds=-0.1)
+
+    def test_replace(self):
+        sim = SimConfig().replace(think_time_seconds=0.0)
+        assert sim.think_time_seconds == 0.0
+
+
+class TestDeprecatedKeywords:
+    """Old per-knob constructor kwargs warn but keep working."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cache_capacity": 64},
+            {"latency": LatencyModel(round_trip_seconds=0.002)},
+            {"fault_model": FaultModel(seed=1)},
+            {"rpc_retries": 2},
+            {"rpc_backoff_seconds": 0.001},
+            {"pushdown": False},
+            {"readahead_depth": 0},
+        ],
+    )
+    def test_each_legacy_kwarg_warns(self, kwargs):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            db = ClientServerDatabase(**kwargs)
+        # ... and the value landed in the typed config.
+        (name, value), = kwargs.items()
+        assert getattr(db.network, name) == value
+
+    def test_legacy_kwargs_override_network(self):
+        with pytest.warns(DeprecationWarning):
+            db = ClientServerDatabase(
+                network=NetworkConfig(cache_capacity=100), cache_capacity=7
+            )
+        assert db.network.cache_capacity == 7
+
+    def test_network_config_does_not_warn(self, recwarn):
+        ClientServerDatabase(network=NetworkConfig(cache_capacity=32))
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_registry_bfs_variant_does_not_warn(self, recwarn):
+        db = create_backend("clientserver-bfs")
+        assert db.pushdown is False
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_registry_accepts_network_option(self):
+        db = create_backend(
+            "clientserver", network=NetworkConfig(readahead_depth=0)
+        )
+        assert db.readahead_depth == 0
+
+
+class TestDeprecatedLoadEntryPoints:
+    @pytest.fixture
+    def shared(self):
+        server = ObjectServer()
+        loader = ClientServerDatabase(server=server)
+        loader.open()
+        gen = DatabaseGenerator(
+            HyperModelConfig(levels=3, seed=17)
+        ).generate(loader)
+        loader.commit()
+        loader.close()
+        return server, gen
+
+    def test_run_read_load_warns(self, shared):
+        from repro.concurrency.multiuser import run_read_load
+
+        server, gen = shared
+        with pytest.warns(DeprecationWarning, match="run_read_mix"):
+            result = run_read_load(
+                server, gen, users=2, operations_per_user=5
+            )
+        assert result.total_operations == 10
+
+    def test_run_update_load_warns(self, shared):
+        from repro.concurrency.multiuser import run_update_load
+
+        server, gen = shared
+        with pytest.warns(DeprecationWarning, match="run_disjoint_updates"):
+            result = run_update_load(server, gen, users=2, edits_per_user=1)
+        assert result.all_edits_visible_everywhere

@@ -234,16 +234,17 @@ class TestServerFaults:
 class TestClientRetries:
     def _client(self, **kwargs):
         from repro.backends.clientserver import ClientServerDatabase
+        from repro.netsim.config import NetworkConfig
         from repro.netsim.faults import FaultModel
         from repro.obs import Instrumentation
 
         instr = Instrumentation()
         fault_kwargs = kwargs.pop("faults", {})
-        db = ClientServerDatabase(
+        network = NetworkConfig(
             fault_model=FaultModel(**fault_kwargs) if fault_kwargs else None,
-            instrumentation=instr,
             **kwargs,
         )
+        db = ClientServerDatabase(network=network, instrumentation=instr)
         db.open()
         return db, instr
 
@@ -314,23 +315,26 @@ class TestClientRetries:
         db.close()
 
     def test_invalid_retry_configuration_rejected(self):
-        from repro.backends.clientserver import ClientServerDatabase
         from repro.errors import ConfigurationError
+        from repro.netsim.config import NetworkConfig
 
         with pytest.raises(ConfigurationError):
-            ClientServerDatabase(rpc_retries=-1)
+            NetworkConfig(rpc_retries=-1)
         with pytest.raises(ConfigurationError):
-            ClientServerDatabase(rpc_backoff_seconds=-0.1)
+            NetworkConfig(rpc_backoff_seconds=-0.1)
 
     def test_registry_forwards_fault_options(self):
         from repro.backends.registry import create_backend
+        from repro.netsim.config import NetworkConfig
         from repro.netsim.faults import FaultModel
 
         db = create_backend(
             "clientserver",
-            fault_model=FaultModel(seed=2, drop_rate=0.1),
-            rpc_retries=6,
-            rpc_backoff_seconds=0.001,
+            network=NetworkConfig(
+                fault_model=FaultModel(seed=2, drop_rate=0.1),
+                rpc_retries=6,
+                rpc_backoff_seconds=0.001,
+            ),
         )
         assert db.rpc_retries == 6
         assert db.server.fault_model is not None

@@ -1,0 +1,172 @@
+"""Optimistic concurrency on the client/server backend.
+
+Two (or more) handles share one :class:`ObjectServer` in
+``concurrency="optimistic"`` mode: reads pin the version the client
+saw, ``commit()`` ships the write set plus the pinned read versions in
+one validated request, and the first committer wins — the loser's
+commit raises, its stale cache entries are invalidated, and a retry
+re-reads fresh state.
+"""
+
+import pytest
+
+from repro.backends.clientserver import ClientServerDatabase
+from repro.core.config import HyperModelConfig
+from repro.core.generator import DatabaseGenerator
+from repro.core.model import NodeData
+from repro.errors import CommitConflictError, ConflictError
+from repro.netsim.config import NetworkConfig
+from repro.netsim.server import ObjectServer
+
+OPTIMISTIC = NetworkConfig(concurrency="optimistic")
+
+
+@pytest.fixture
+def shared():
+    server = ObjectServer()
+    loader = ClientServerDatabase(server=server)
+    loader.open()
+    gen = DatabaseGenerator(HyperModelConfig(levels=3, seed=17)).generate(
+        loader
+    )
+    loader.commit()
+    loader.close()
+    server.stats.reset()
+    return server, gen
+
+
+def _client(server, client_id=None):
+    db = ClientServerDatabase(
+        network=OPTIMISTIC, server=server, client_id=client_id
+    )
+    db.open()
+    return db
+
+
+class TestOptimisticCommit:
+    def test_stale_read_conflicts(self, shared):
+        server, gen = shared
+        target = gen.text_uids[0]
+        a, b = _client(server, "a"), _client(server, "b")
+        # Both read the same node; b commits first.
+        a.get_text(a.lookup(target))
+        b.set_text(b.lookup(target), "b wins")
+        b.commit()
+        a.set_text(target, "a loses")
+        with pytest.raises(CommitConflictError) as info:
+            a.commit()
+        assert target in info.value.conflicts
+        assert server.stats.commit_conflicts == 1
+
+    def test_conflict_is_a_conflict_error(self, shared):
+        server, gen = shared
+        assert issubclass(CommitConflictError, ConflictError)
+
+    def test_retry_after_conflict_succeeds(self, shared):
+        server, gen = shared
+        target = gen.text_uids[1]
+        a, b = _client(server, "a"), _client(server, "b")
+        a.get_text(a.lookup(target))
+        b.set_text(b.lookup(target), "first")
+        b.commit()
+        a.set_text(target, "second attempt")
+        with pytest.raises(CommitConflictError):
+            a.commit()
+        # The abort invalidated a's stale copy: the retry re-reads the
+        # committed state and wins.
+        assert a.get_text(a.lookup(target)) == "first"
+        a.set_text(target, "second attempt")
+        a.commit()
+        assert b.get_text(b.lookup(target)) == "second attempt"
+
+    def test_disjoint_writes_do_not_conflict(self, shared):
+        server, gen = shared
+        a, b = _client(server, "a"), _client(server, "b")
+        a.set_text(a.lookup(gen.text_uids[0]), "a's node")
+        b.set_text(b.lookup(gen.text_uids[1]), "b's node")
+        a.commit()
+        b.commit()
+        assert server.stats.commit_conflicts == 0
+        assert server.stats.commits == 2
+
+    def test_read_only_commit_is_a_no_op(self, shared):
+        server, gen = shared
+        a = _client(server, "a")
+        a.get_text(a.lookup(gen.text_uids[0]))
+        commits_before = server.stats.commits
+        a.commit()  # nothing written: no validation round trip
+        assert server.stats.commits == commits_before
+
+    def test_write_without_stale_read_commits(self, shared):
+        """Blind read-modify-write in one txn: versions are current."""
+        server, gen = shared
+        a = _client(server, "a")
+        target = gen.text_uids[2]
+        a.set_text(a.lookup(target), "fresh")
+        a.commit()
+        assert server.stats.commit_conflicts == 0
+
+    def test_create_create_race_conflicts(self, shared):
+        server, gen = shared
+        a, b = _client(server, "a"), _client(server, "b")
+        data = NodeData(unique_id=77_000_001, ten=1, hundred=1, million=1)
+        a.create_node(data)
+        b.create_node(data)
+        a.commit()
+        with pytest.raises(CommitConflictError):
+            b.commit()
+
+    def test_abort_clears_pinned_reads(self, shared):
+        server, gen = shared
+        target = gen.text_uids[0]
+        a, b = _client(server, "a"), _client(server, "b")
+        a.get_text(a.lookup(target))
+        a.abort()
+        b.set_text(b.lookup(target), "new")
+        b.commit()
+        # a's aborted transaction pinned nothing: a fresh read-write
+        # cycle sees the new version and commits cleanly.
+        assert a.get_text(a.lookup(target)) == "new"
+        a.set_text(target, "newer")
+        a.commit()
+
+    def test_conflicting_cache_entries_invalidated_on_abort(self, shared):
+        server, gen = shared
+        target = gen.text_uids[3]
+        a, b = _client(server, "a"), _client(server, "b")
+        a.get_text(a.lookup(target))
+        assert target in a.cache
+        b.set_text(b.lookup(target), "winner")
+        b.commit()
+        a.set_text(target, "loser")
+        with pytest.raises(CommitConflictError):
+            a.commit()
+        assert target not in a.cache
+
+    def test_versions_flow_through_batched_reads(self, shared):
+        """fetch_many / traverse replies also pin read versions."""
+        server, gen = shared
+        a, b = _client(server, "a"), _client(server, "b")
+        root = a.lookup(gen.root_uid)
+        children = a.children(root)  # batched fetch of the child level
+        victim = children[0]
+        a.get_attribute(victim, "hundred")
+        b.set_attribute(b.lookup(victim), "hundred", 99)
+        b.commit()
+        a.set_attribute(victim, "hundred", 1)
+        with pytest.raises(CommitConflictError):
+            a.commit()
+
+    def test_legacy_mode_unaffected(self, shared):
+        """concurrency='none' keeps last-writer-wins semantics."""
+        server, gen = shared
+        target = gen.text_uids[0]
+        a = ClientServerDatabase(server=server)
+        b = ClientServerDatabase(server=server)
+        a.open(), b.open()
+        a.get_text(a.lookup(target))
+        b.set_text(b.lookup(target), "b")
+        b.commit()
+        a.set_text(target, "a")
+        a.commit()  # no validation: last writer wins silently
+        assert server.stats.commit_conflicts == 0

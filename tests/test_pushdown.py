@@ -40,8 +40,12 @@ from repro.obs import Instrumentation
 
 def _build(levels=3, seed=42, **options):
     """A generated clientserver database + its generator handle."""
+    from repro.netsim.config import NetworkConfig
+
     instr = options.pop("instrumentation", None) or Instrumentation()
-    db = ClientServerDatabase(instrumentation=instr, **options)
+    db = ClientServerDatabase(
+        network=NetworkConfig(**options), instrumentation=instr
+    )
     db.open()
     gen = DatabaseGenerator(
         HyperModelConfig(levels=levels, seed=seed)
@@ -380,8 +384,14 @@ class TestPushdownFastPath:
             db.close()
 
     def test_option_validation(self):
+        from repro.netsim.config import NetworkConfig
+
         with pytest.raises(ConfigurationError):
-            ClientServerDatabase(readahead_depth=-1)
+            NetworkConfig(readahead_depth=-1)
+        # The deprecated keyword path validates through the same type.
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                ClientServerDatabase(readahead_depth=-1)
 
     def test_registry_ablation_disables_pushdown(self):
         with create_backend("clientserver-bfs", None) as db:
