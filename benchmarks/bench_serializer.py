@@ -1,0 +1,103 @@
+"""T-SER — the serializer's encode/decode hot path in isolation.
+
+The closure traversals spend most of their engine time decoding object
+records (the cold-pass profile in ``docs/performance.md``), so this
+microbench pins the serializer's own cost per payload shape:
+
+* a HyperModel node record (the hot-path payload: small ints, child
+  lists, a text attribute) — encode, decode from bytes, and decode
+  from a ``memoryview`` (the zero-copy slotted-page path);
+* a form record with a large byte blob (the overflow-chain payload);
+* a deeply nested value, exercising the iterative decoder's explicit
+  stack against the recursion the encoder still uses.
+
+Run with ``pytest benchmarks/bench_serializer.py --benchmark-only``.
+"""
+
+import pytest
+
+from repro.engine.serializer import decode, decode_view, encode
+
+#: A level-4 node record as the store actually serializes one: catalog
+#: envelope around the HyperModel state (five children, back-refs, the
+#: ten-word text attribute).
+NODE_RECORD = {
+    "c": 1,
+    "v": 1,
+    "s": {
+        "uniqueId": 4021,
+        "ten": 7,
+        "hundred": 42,
+        "thousand": 421,
+        "million": 98765,
+        "text": "version1 " * 10,
+        "children": [4101, 4102, 4103, 4104, 4105],
+        "partOf": [4004],
+        "refTo": [311, 1422, 2933],
+        "refFrom": [17, 208],
+    },
+    "p": 0,
+    "ts": 12,
+}
+
+#: A form node: the 400x400 bitmap dominates (overflow-chain payload).
+FORM_RECORD = {
+    "c": 2,
+    "v": 1,
+    "s": {"uniqueId": 90001, "bitMap": b"\x5a" * 20_000},
+    "p": 0,
+    "ts": 3,
+}
+
+
+def _nested(depth: int):
+    value = {"leaf": [1, 2.5, "end"]}
+    for _ in range(depth):
+        value = {"child": [value]}
+    return value
+
+
+NESTED_VALUE = _nested(400)
+
+
+@pytest.mark.benchmark(group="serializer encode")
+def test_encode_node_record(benchmark):
+    benchmark(encode, NODE_RECORD)
+
+
+@pytest.mark.benchmark(group="serializer decode")
+def test_decode_node_record_bytes(benchmark):
+    blob = encode(NODE_RECORD)
+    assert benchmark(decode, blob) == NODE_RECORD
+
+
+@pytest.mark.benchmark(group="serializer decode")
+def test_decode_node_record_view(benchmark):
+    """The zero-copy path: decode straight out of a page-like buffer."""
+    page = bytearray(b"\x00" * 64 + encode(NODE_RECORD) + b"\x00" * 64)
+    view = memoryview(page)[64:-64]
+    assert benchmark(decode_view, view) == NODE_RECORD
+
+
+@pytest.mark.benchmark(group="serializer decode")
+def test_decode_many_node_records(benchmark):
+    """A closure frontier's worth of decodes (125 node records)."""
+    blobs = [encode(NODE_RECORD) for _ in range(125)]
+
+    def run():
+        for blob in blobs:
+            decode(blob)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="serializer blob")
+def test_decode_form_record(benchmark):
+    blob = encode(FORM_RECORD)
+    assert benchmark(decode, blob)["s"]["bitMap"] == FORM_RECORD["s"]["bitMap"]
+
+
+@pytest.mark.benchmark(group="serializer nesting")
+def test_decode_deeply_nested(benchmark):
+    blob = encode(NESTED_VALUE)
+    benchmark(decode, blob)

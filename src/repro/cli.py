@@ -129,6 +129,16 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every compared cell, not just regressions",
     )
+    diff.add_argument(
+        "--refresh-improvement",
+        action="store_true",
+        help=(
+            "ratchet mode: rewrite the baseline file with every cell"
+            " the candidate beat by more than the p50 threshold"
+            " (tightening its ms/node budget); exits 0 whether or not"
+            " anything moved"
+        ),
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -174,6 +184,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "also run the clientserver-bfs ablation so the document"
             " compares closure push-down against frontier BFS"
+        ),
+    )
+    closure.add_argument(
+        "--levels",
+        default=None,
+        metavar="L1,L2",
+        help=(
+            "extra tree levels to run alongside --level; their cells"
+            " land under <backend>-L<level> keys (e.g. --levels 6 adds"
+            " the 19531-node big-database column)"
+        ),
+    )
+    closure.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "cProfile each operation's cold pass and write the top-25"
+            " cumulative reports to <out>.profile.txt"
         ),
     )
 
@@ -405,10 +433,31 @@ def _cmd_run(args: argparse.Namespace, bench: bool = False) -> int:
 
 
 def _cmd_bench_diff(args: argparse.Namespace) -> int:
-    from repro.harness.benchdiff import diff_files, format_diff
+    from repro.harness.benchdiff import (
+        diff_files,
+        format_diff,
+        load_document,
+        refresh_improvements,
+        write_document,
+    )
 
     rows, exit_code = diff_files(args.baseline, args.candidate)
     print(format_diff(rows, only_regressions=not args.all))
+    if args.refresh_improvement:
+        updated, replaced = refresh_improvements(
+            load_document(args.baseline), load_document(args.candidate)
+        )
+        if replaced:
+            write_document(args.baseline, updated)
+            print(
+                f"ratchet: refreshed {len(replaced)} cell"
+                f"{'' if len(replaced) == 1 else 's'} in {args.baseline}: "
+                + ", ".join(replaced)
+            )
+        else:
+            print("ratchet: no cell beat the baseline decisively; "
+                  "baseline unchanged")
+        return 0
     return exit_code
 
 
@@ -450,6 +499,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_bench_closure(args: argparse.Namespace) -> int:
     from repro.harness.batchbench import format_summary, write_closure_bench
 
+    extra_levels = (
+        [int(lvl) for lvl in args.levels.split(",")] if args.levels else ()
+    )
     document = write_closure_bench(
         args.out,
         backends=args.backends.split(","),
@@ -457,9 +509,13 @@ def _cmd_bench_closure(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         seed=args.seed,
         compare_pushdown=args.compare_pushdown,
+        extra_levels=extra_levels,
+        profile=args.profile,
     )
     print(format_summary(document))
     print(f"results written to {args.out}")
+    if document.get("profile_report"):
+        print(f"cold-pass profiles written to {args.out}.profile.txt")
     return 0
 
 

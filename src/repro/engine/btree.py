@@ -24,7 +24,10 @@ and for the benchmark's insert-heavy workload.
 from __future__ import annotations
 
 import struct
-from typing import Iterator, List, Optional, Tuple
+import sys
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.engine.buffer import BufferPool
 from repro.engine.pages import PAGE_SIZE, PageId
@@ -44,6 +47,58 @@ ORDER = (PAGE_SIZE - _HEADER_SIZE) // _ENTRY_SIZE
 
 _MIN_I64 = -(1 << 63)
 _MAX_I64 = (1 << 63) - 1
+
+#: Whether ``array('q')`` can alias the on-page little-endian entries
+#: directly (one C-speed ``frombytes`` per node instead of one struct
+#: unpack per entry).  On exotic platforms the struct fallback keeps
+#: the format portable.
+_ARRAY_FAST_PATH = array("q").itemsize == 8
+_BYTESWAP = sys.byteorder != "little"
+
+#: Unpacked nodes cached per tree; cleared wholesale when full.
+NODE_CACHE_CAPACITY = 1024
+
+
+class _NodeView:
+    """One unpacked B+tree node, immutable, keyed by ``(pid, lsn)``.
+
+    Entries live in three parallel ``array('q')`` columns so descents
+    and range scans run :func:`bisect.bisect_left` over a C-backed
+    sequence instead of struct-unpacking entries probe by probe.  The
+    view is a snapshot of the page's bytes at frame LSN ``lsn``: any
+    mutation dirty-unpins the page, which bumps the frame LSN and makes
+    the cached view unreachable.
+    """
+
+    __slots__ = ("lsn", "node_type", "count", "link", "keys", "discs", "values")
+
+    def __init__(
+        self, lsn: int, node_type: int, count: int, link: int, flat: "array"
+    ) -> None:
+        self.lsn = lsn
+        self.node_type = node_type
+        self.count = count
+        self.link = link
+        self.keys = flat[0::3]
+        self.discs = flat[1::3]
+        self.values = flat[2::3]
+
+
+def _unpack_entries(page: bytearray, count: int) -> "array":
+    """The node's entry area as one flat little-endian int64 array."""
+    flat = array("q")
+    if count == 0:
+        return flat
+    end = _HEADER_SIZE + count * _ENTRY_SIZE
+    if _ARRAY_FAST_PATH:
+        flat.frombytes(memoryview(page)[_HEADER_SIZE:end])
+        if _BYTESWAP:
+            flat.byteswap()
+    else:  # pragma: no cover - exotic platforms only
+        flat.extend(
+            struct.unpack_from(f"<{count * 3}q", page, _HEADER_SIZE)
+        )
+    return flat
 
 
 def _read_header(page: bytearray) -> Tuple[int, int, int]:
@@ -99,6 +154,10 @@ class BTree:
         self._pool = pool
         #: Shared with the buffer pool: one handle per store.
         self._instr = pool.instrumentation
+        #: pid -> _NodeView; validated against the frame LSN on every
+        #: access, so stale views (page mutated, or evicted and
+        #: reloaded) are replaced, never served.
+        self._nodes: Dict[PageId, _NodeView] = {}
         if root == 0:
             root = pool.new_page()
             page = pool.get(root)
@@ -112,30 +171,74 @@ class BTree:
     # Search
     # ------------------------------------------------------------------
 
+    def _node(self, pid: PageId) -> _NodeView:
+        """The unpacked view of node ``pid``, via the per-tree cache.
+
+        Pins the page just long enough to validate (or rebuild) the
+        cached view against the frame's content LSN.
+        """
+        page = self._pool.get(pid)
+        try:
+            lsn = self._pool.frame_lsn(pid)
+            node = self._nodes.get(pid)
+            if node is not None and node.lsn == lsn:
+                self._instr.count("engine.btree.node_cache.hits")
+                return node
+            self._instr.count("engine.btree.node_cache.misses")
+            node_type, count, link = _read_header(page)
+            node = _NodeView(
+                lsn, node_type, count, link, _unpack_entries(page, count)
+            )
+        finally:
+            self._pool.unpin(pid)
+        if len(self._nodes) >= NODE_CACHE_CAPACITY:
+            self._nodes.clear()
+            self._instr.count("engine.btree.node_cache.clears")
+        self._nodes[pid] = node
+        return node
+
+    @staticmethod
+    def _bisect_node(node: _NodeView, key: int, disc: int) -> int:
+        """First index in ``node`` whose (key, disc) >= the probe."""
+        lo = bisect_left(node.keys, key)
+        if lo == node.count or node.keys[lo] != key:
+            return lo
+        hi = bisect_right(node.keys, key, lo)
+        return bisect_left(node.discs, disc, lo, hi)
+
     def _find_leaf(self, key: int, disc: int) -> PageId:
         pid = self.root
         while True:
-            page = self._pool.get(pid)
-            try:
-                node_type, count, link = _read_header(page)
-                if node_type == _LEAF:
-                    return pid
-                if node_type != _INTERNAL:
-                    raise PageError(f"page {pid}: not a btree node")
-                index = _bisect_left(page, count, key, disc)
-                # Separator i is the smallest entry of child i; an exact
-                # match therefore descends into that child.
-                if index < count and _read_entry(page, index)[:2] == (key, disc):
-                    child = _read_entry(page, index)[2]
-                else:
-                    child = link if index == 0 else _read_entry(page, index - 1)[2]
-            finally:
-                self._pool.unpin(pid)
-            pid = child
+            node = self._node(pid)
+            if node.node_type == _LEAF:
+                return pid
+            if node.node_type != _INTERNAL:
+                raise PageError(f"page {pid}: not a btree node")
+            index = self._bisect_node(node, key, disc)
+            # Separator i is the smallest entry of child i; an exact
+            # match therefore descends into that child.
+            if (
+                index < node.count
+                and node.keys[index] == key
+                and node.discs[index] == disc
+            ):
+                pid = node.values[index]
+            else:
+                pid = node.link if index == 0 else node.values[index - 1]
 
     def search(self, key: int) -> List[int]:
         """All values stored under ``key``, in discriminator order."""
-        return [value for _key, value in self.scan_range(key, key)]
+        out: List[int] = []
+        pid = self._find_leaf(key, _MIN_I64)
+        while pid:
+            node = self._node(pid)
+            start = bisect_left(node.keys, key)
+            end = bisect_right(node.keys, key, start)
+            out.extend(node.values[start:end])
+            if end < node.count:
+                break
+            pid = node.link  # duplicates (or empty leaves) may continue
+        return out
 
     def search_unique(self, key: int) -> Optional[int]:
         """The single value under ``key``, or None.
@@ -143,38 +246,38 @@ class BTree:
         Intended for unique indexes (directory, uniqueId); returns the
         first entry if duplicates exist.
         """
-        for _key, value in self.scan_range(key, key):
-            return value
+        pid = self._find_leaf(key, _MIN_I64)
+        while pid:
+            node = self._node(pid)
+            index = bisect_left(node.keys, key)
+            if index < node.count:
+                return node.values[index] if node.keys[index] == key else None
+            pid = node.link  # lazy deletes can leave empty leaves
         return None
 
     def contains(self, key: int, value: int, disc: Optional[int] = None) -> bool:
         """Whether the exact (key, disc) entry exists."""
         disc = value if disc is None else disc
         pid = self._find_leaf(key, disc)
-        page = self._pool.get(pid)
-        try:
-            _type, count, _link = _read_header(page)
-            index = _bisect_left(page, count, key, disc)
-            return index < count and _read_entry(page, index)[:2] == (key, disc)
-        finally:
-            self._pool.unpin(pid)
+        node = self._node(pid)
+        index = self._bisect_node(node, key, disc)
+        return (
+            index < node.count
+            and node.keys[index] == key
+            and node.discs[index] == disc
+        )
 
     def scan_range(self, low: int, high: int) -> Iterator[Tuple[int, int]]:
         """Yield (key, value) for all entries with low <= key <= high."""
         pid = self._find_leaf(low, _MIN_I64)
         while pid:
-            page = self._pool.get(pid)
-            try:
-                _type, count, next_leaf = _read_header(page)
-                start = _bisect_left(page, count, low, _MIN_I64)
-                rows = _entries(page, count)[start:]
-            finally:
-                self._pool.unpin(pid)
-            for key, disc, value in rows:
-                if key > high:
-                    return
-                yield key, value
-            pid = next_leaf
+            node = self._node(pid)
+            start = bisect_left(node.keys, low)
+            end = bisect_right(node.keys, high, start)
+            yield from zip(node.keys[start:end], node.values[start:end])
+            if end < node.count:
+                return  # a key above ``high`` exists: the scan is done
+            pid = node.link
 
     def scan_all(self) -> Iterator[Tuple[int, int]]:
         """Yield every (key, value) in key order."""

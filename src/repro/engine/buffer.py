@@ -51,13 +51,20 @@ class BufferStats:
 
 
 class _Frame:
-    __slots__ = ("pid", "data", "pin_count", "dirty")
+    __slots__ = ("pid", "data", "pin_count", "dirty", "lsn")
 
-    def __init__(self, pid: PageId, data: bytearray) -> None:
+    def __init__(self, pid: PageId, data: bytearray, lsn: int) -> None:
         self.pid = pid
         self.data = data
         self.pin_count = 0
         self.dirty = False
+        #: Pool-wide modification stamp for this frame's *content*.
+        #: Bumped from one monotonic pool clock on every load and on
+        #: every dirty unpin, so a ``(pid, lsn)`` pair identifies one
+        #: immutable byte state — decode/node caches key on it.  The
+        #: clock is global (never per-frame) so an evicted-and-reloaded
+        #: page can never alias a stale cache entry.
+        self.lsn = lsn
 
 
 class BufferPool:
@@ -86,7 +93,13 @@ class BufferPool:
         self._clean_lru: "collections.OrderedDict[PageId, None]" = (
             collections.OrderedDict()
         )
+        #: Monotonic content clock feeding frame LSNs (see _Frame.lsn).
+        self._mod_clock = 0
         self.stats = BufferStats()
+
+    def _next_lsn(self) -> int:
+        self._mod_clock += 1
+        return self._mod_clock
 
     # ------------------------------------------------------------------
     # Page access
@@ -109,7 +122,7 @@ class BufferPool:
             self._instr.count("engine.buffer.miss")
             self._ensure_room()
             started = time.perf_counter()
-            frame = _Frame(pid, self._file.read_page(pid))
+            frame = _Frame(pid, self._file.read_page(pid), self._next_lsn())
             self._instr.observe(
                 "engine.buffer.miss",
                 (time.perf_counter() - started) * 1000.0,
@@ -119,6 +132,51 @@ class BufferPool:
         self._clean_lru.pop(pid, None)  # pinned: not evictable
         return frame.data
 
+    def get_many(self, pids: "Iterable[PageId]") -> Dict[PageId, bytearray]:
+        """Pin a batch of pages with one LRU promotion pass.
+
+        Functionally ``{pid: get(pid)}`` (every page comes back pinned
+        and must be unpinned), but resident pages are promoted in a
+        single sweep and the hit/miss counters are bumped in aggregate —
+        the per-ref ``move_to_end``/counter overhead of a frontier of
+        demand ``get`` calls collapses to one pass.
+        """
+        out: Dict[PageId, bytearray] = {}
+        hits = 0
+        misses = 0
+        for pid in pids:
+            if pid in out:
+                # Double-pin duplicates so unpin bookkeeping stays 1:1.
+                self._frames[pid].pin_count += 1
+                hits += 1
+                continue
+            frame = self._frames.get(pid)
+            if frame is not None:
+                hits += 1
+                self._frames.move_to_end(pid)
+            else:
+                misses += 1
+                self._ensure_room()
+                started = time.perf_counter()
+                frame = _Frame(
+                    pid, self._file.read_page(pid), self._next_lsn()
+                )
+                self._instr.observe(
+                    "engine.buffer.miss",
+                    (time.perf_counter() - started) * 1000.0,
+                )
+                self._frames[pid] = frame
+            frame.pin_count += 1
+            self._clean_lru.pop(pid, None)  # pinned: not evictable
+            out[pid] = frame.data
+        if hits:
+            self.stats.hits += hits
+            self._instr.count("engine.buffer.hit", hits)
+        if misses:
+            self.stats.misses += misses
+            self._instr.count("engine.buffer.miss", misses)
+        return out
+
     def unpin(self, pid: PageId, dirty: bool = False) -> None:
         """Release one pin; mark the frame dirty if it was modified."""
         frame = self._frames.get(pid)
@@ -127,9 +185,19 @@ class BufferPool:
         frame.pin_count -= 1
         if dirty:
             frame.dirty = True
+            frame.lsn = self._next_lsn()
         if frame.pin_count == 0 and not frame.dirty:
             self._clean_lru[pid] = None
             self._clean_lru.move_to_end(pid)
+
+    def frame_lsn(self, pid: PageId) -> Optional[int]:
+        """The resident frame's content stamp, or None if not cached.
+
+        Valid as a cache key only while the caller holds a pin (an
+        unpinned frame can be evicted and reloaded under a new LSN).
+        """
+        frame = self._frames.get(pid)
+        return None if frame is None else frame.lsn
 
     def prefetch(self, pids: "Iterable[PageId]") -> int:
         """Fault a batch of pages into the pool without pinning them.
@@ -157,7 +225,7 @@ class BufferPool:
             if loaded >= self.capacity:
                 break
             self._ensure_room()
-            frame = _Frame(pid, self._file.read_page(pid))
+            frame = _Frame(pid, self._file.read_page(pid), self._next_lsn())
             self._frames[pid] = frame
             self._clean_lru[pid] = None  # clean + unpinned: evictable
             loaded += 1
@@ -168,7 +236,7 @@ class BufferPool:
         """Allocate a fresh zeroed page and cache it (unpinned)."""
         pid = self._file.allocate()
         self._ensure_room()
-        frame = _Frame(pid, bytearray(PAGE_SIZE))
+        frame = _Frame(pid, bytearray(PAGE_SIZE), self._next_lsn())
         frame.dirty = True
         self._frames[pid] = frame
         return pid

@@ -218,6 +218,13 @@ class HeapFile:
         return bytes(stub)
 
     def _decode_record(self, raw: bytes) -> bytes:
+        """Decode a raw slotted record to its payload.
+
+        ``raw`` may be a zero-copy ``memoryview`` into a page frame; an
+        inline record's payload is then itself a view (valid until the
+        page is next mutated), while overflow payloads are always owned
+        bytes reassembled from the chain.
+        """
         if raw[0] == _INLINE:
             return raw[1:]
         if raw[0] == _OVERFLOW:
@@ -230,6 +237,10 @@ class HeapFile:
         if raw[0] == _OVERFLOW:
             _total, first = _OVERFLOW_STUB.unpack_from(raw, 1)
             self._free_overflow_chain(first)
+
+    #: Bytes of a raw record that _release_record ever looks at: the
+    #: tag plus, for overflow records, the (length, first page) stub.
+    _RELEASE_PREFIX = 1 + _OVERFLOW_STUB.size
 
     # ------------------------------------------------------------------
     # Public record operations
@@ -245,6 +256,11 @@ class HeapFile:
 
     def read(self, rid: Rid) -> bytes:
         """Read the record at ``rid``.
+
+        Inline records come back as a zero-copy ``memoryview`` into the
+        (unpinned but unmodified) page frame; overflow records are
+        owned bytes.  Decode or copy the payload before the next heap
+        mutation.
 
         Raises:
             RecordNotFoundError: if the slot is deleted or out of range.
@@ -271,13 +287,19 @@ class HeapFile:
         page = self._pool.get(pid)
         try:
             try:
-                old_raw = slotted.read(page, slot)
+                # slotted.read returns a view into the page and
+                # slotted.update may move/overwrite the old bytes, so
+                # copy the prefix _release_record needs *before*
+                # mutating.
+                old_head = bytes(
+                    slotted.read(page, slot)[: self._RELEASE_PREFIX]
+                )
             except PageError:
                 raise RecordNotFoundError(rid) from None
             fitted = slotted.update(page, slot, record)
         finally:
             self._pool.unpin(pid, dirty=True)
-        self._release_record(old_raw)
+        self._release_record(old_head)
         if fitted:
             return rid
         # Relocate: delete here, insert elsewhere (same-page hint first).
@@ -343,7 +365,9 @@ class HeapFile:
         page = self._pool.get(pid)
         try:
             try:
-                raw = slotted.read(page, slot)
+                raw = bytes(
+                    slotted.read(page, slot)[: self._RELEASE_PREFIX]
+                )
             except PageError:
                 raise RecordNotFoundError(rid) from None
             slotted.delete(page, slot)
@@ -351,13 +375,47 @@ class HeapFile:
             self._pool.unpin(pid, dirty=True)
         self._release_record(raw)
 
+    def read_many(self, rids) -> "dict":
+        """Read many records with one page pin per distinct page.
+
+        Returns ``{rid: payload}``.  Inline payloads are zero-copy
+        views (see :meth:`read`); the caller must decode or copy them
+        before the next heap mutation.
+
+        Raises:
+            RecordNotFoundError: if any slot is deleted or out of range.
+        """
+        by_page: dict = {}
+        for rid in rids:
+            by_page.setdefault(rid >> _SLOT_BITS, []).append(rid)
+        raws: dict = {}
+        for pid in sorted(by_page):
+            page = self._pool.get(pid)
+            try:
+                for rid in by_page[pid]:
+                    try:
+                        raws[rid] = slotted.read(page, rid & _SLOT_MASK)
+                    except PageError:
+                        raise RecordNotFoundError(rid) from None
+            finally:
+                self._pool.unpin(pid)
+        # Decode after all directory pins are released: overflow chains
+        # re-enter the pool, and nothing here mutates pages, so the
+        # inline views stay valid.
+        return {rid: self._decode_record(raw) for rid, raw in raws.items()}
+
     def scan(self) -> Iterator[Tuple[Rid, bytes]]:
         """Iterate every live record in physical (page-chain) order."""
         pid = self._head
         while pid:
             page = self._pool.get(pid)
             try:
-                entries = list(slotted.records(page))
+                # Copy while pinned: the consumer may mutate the heap
+                # between yields, which would invalidate page views.
+                entries = [
+                    (slot, bytes(raw))
+                    for slot, raw in slotted.records(page)
+                ]
                 next_pid = _get_next(page)
             finally:
                 self._pool.unpin(pid)

@@ -22,11 +22,20 @@ Field names are encoded as strings inside the top-level dict.  The
 format round-trips everything the engine stores: node attributes, OID
 lists, (OID, offset, offset) link triples, text bodies and packed
 bitmap bytes.
+
+Decoding is *zero-copy friendly*: :func:`decode_view` accepts any
+bytes-like buffer (``bytes``, ``bytearray``, ``memoryview``) and only
+materialises owned objects for the values themselves — a record can be
+decoded straight out of a pinned page frame without an intermediate
+``bytes`` copy.  The decoder drives an explicit work stack instead of
+recursing, so nesting depth is bounded by memory, not by the
+interpreter's recursion limit, and the per-value call overhead of the
+old recursive decoder is gone.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, List, Tuple
 
 from repro.errors import StorageError
 
@@ -40,9 +49,28 @@ _TAG_BYTES = b"b"
 _TAG_LIST = b"l"
 _TAG_DICT = b"d"
 
+# Integer tag values for the decoder (indexing a bytes-like buffer
+# yields ints; comparing ints avoids a one-byte slice per value).
+_T_NONE = _TAG_NONE[0]
+_T_TRUE = _TAG_TRUE[0]
+_T_FALSE = _TAG_FALSE[0]
+_T_INT = _TAG_INT[0]
+_T_FLOAT = _TAG_FLOAT[0]
+_T_STR = _TAG_STR[0]
+_T_BYTES = _TAG_BYTES[0]
+_T_LIST = _TAG_LIST[0]
+_T_DICT = _TAG_DICT[0]
+
 import struct as _struct
 
 _DOUBLE = _struct.Struct("<d")
+
+#: Sentinel for "dict frame is waiting for a key" (``None`` is a
+#: legitimate decoded key, so a private object is required).
+_MISSING = object()
+
+_KIND_LIST = 0
+_KIND_DICT = 1
 
 
 def _write_varint(out: bytearray, value: int) -> None:
@@ -58,7 +86,7 @@ def _write_varint(out: bytearray, value: int) -> None:
             return
 
 
-def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+def _read_varint(data: Any, pos: int) -> Tuple[int, int]:
     result = 0
     shift = 0
     while True:
@@ -123,52 +151,89 @@ def _encode_value(out: bytearray, value: Any) -> None:
         raise StorageError(f"unserializable value of type {type(value).__name__}")
 
 
-def _decode_value(data: bytes, pos: int) -> Tuple[Any, int]:
-    if pos >= len(data):
-        raise StorageError("truncated value")
-    tag = data[pos : pos + 1]
-    pos += 1
-    if tag == _TAG_NONE:
-        return None, pos
-    if tag == _TAG_TRUE:
-        return True, pos
-    if tag == _TAG_FALSE:
-        return False, pos
-    if tag == _TAG_INT:
-        raw, pos = _read_varint(data, pos)
-        return _unzigzag(raw), pos
-    if tag == _TAG_FLOAT:
-        if pos + 8 > len(data):
-            raise StorageError("truncated float")
-        return _DOUBLE.unpack_from(data, pos)[0], pos + 8
-    if tag == _TAG_STR:
-        length, pos = _read_varint(data, pos)
-        end = pos + length
-        if end > len(data):
-            raise StorageError("truncated string")
-        return data[pos:end].decode("utf-8"), end
-    if tag == _TAG_BYTES:
-        length, pos = _read_varint(data, pos)
-        end = pos + length
-        if end > len(data):
-            raise StorageError("truncated bytes")
-        return bytes(data[pos:end]), end
-    if tag == _TAG_LIST:
-        count, pos = _read_varint(data, pos)
-        items: List[Any] = []
-        for _ in range(count):
-            item, pos = _decode_value(data, pos)
-            items.append(item)
-        return items, pos
-    if tag == _TAG_DICT:
-        count, pos = _read_varint(data, pos)
-        result: Dict[Any, Any] = {}
-        for _ in range(count):
-            key, pos = _decode_value(data, pos)
-            value, pos = _decode_value(data, pos)
-            result[key] = value
-        return result, pos
-    raise StorageError(f"unknown serializer tag {tag!r}")
+def _decode_value(data: Any, pos: int) -> Tuple[Any, int]:
+    """Decode one value starting at ``pos``; returns ``(value, end)``.
+
+    Iterative: containers push a frame onto an explicit work stack
+    instead of recursing, so the hot path pays one loop iteration per
+    value rather than a Python call, and pathologically nested input
+    cannot blow the interpreter's recursion limit.  ``data`` may be any
+    bytes-like buffer; only the decoded values themselves own memory.
+    """
+    n = len(data)
+    # A frame is [kind, container, remaining, pending_key].
+    stack: List[List[Any]] = []
+    while True:
+        if pos >= n:
+            raise StorageError("truncated value")
+        tag = data[pos]
+        pos += 1
+        if tag == _T_INT:
+            raw, pos = _read_varint(data, pos)
+            value: Any = _unzigzag(raw)
+        elif tag == _T_STR:
+            length, pos = _read_varint(data, pos)
+            end = pos + length
+            if end > n:
+                raise StorageError("truncated string")
+            value = str(data[pos:end], "utf-8")
+            pos = end
+        elif tag == _T_LIST:
+            count, pos = _read_varint(data, pos)
+            if count:
+                stack.append([_KIND_LIST, [], count, _MISSING])
+                continue
+            value = []
+        elif tag == _T_DICT:
+            count, pos = _read_varint(data, pos)
+            if count:
+                stack.append([_KIND_DICT, {}, count, _MISSING])
+                continue
+            value = {}
+        elif tag == _T_NONE:
+            value = None
+        elif tag == _T_TRUE:
+            value = True
+        elif tag == _T_FALSE:
+            value = False
+        elif tag == _T_FLOAT:
+            if pos + 8 > n:
+                raise StorageError("truncated float")
+            value = _DOUBLE.unpack_from(data, pos)[0]
+            pos += 8
+        elif tag == _T_BYTES:
+            length, pos = _read_varint(data, pos)
+            end = pos + length
+            if end > n:
+                raise StorageError("truncated bytes")
+            value = bytes(data[pos:end])
+            pos = end
+        else:
+            raise StorageError(
+                f"unknown serializer tag {bytes(data[pos - 1 : pos])!r}"
+            )
+        # Fold the completed value into the enclosing containers; a
+        # container that becomes full is itself a completed value.
+        while stack:
+            frame = stack[-1]
+            if frame[0] == _KIND_LIST:
+                frame[1].append(value)
+                frame[2] -= 1
+                if frame[2]:
+                    break
+            else:
+                if frame[3] is _MISSING:
+                    frame[3] = value
+                    break
+                frame[1][frame[3]] = value
+                frame[3] = _MISSING
+                frame[2] -= 1
+                if frame[2]:
+                    break
+            value = frame[1]
+            stack.pop()
+        else:
+            return value, pos
 
 
 def encode(value: Any) -> bytes:
@@ -180,6 +245,22 @@ def encode(value: Any) -> bytes:
 
 def decode(data: bytes) -> Any:
     """Deserialize bytes produced by :func:`encode`.
+
+    Raises:
+        StorageError: on truncation, unknown tags or trailing garbage.
+    """
+    return decode_view(data)
+
+
+def decode_view(data: Any) -> Any:
+    """Deserialize any bytes-like buffer produced by :func:`encode`.
+
+    Unlike :func:`decode`'s historical contract this accepts
+    ``memoryview`` (e.g. a slice of a pinned page frame) and
+    ``bytearray`` directly, decoding in place without first copying the
+    buffer.  The caller must keep the underlying buffer alive and
+    unmodified for the duration of the call only — every decoded value
+    owns its memory.
 
     Raises:
         StorageError: on truncation, unknown tags or trailing garbage.

@@ -6,8 +6,12 @@ Layout of a slotted page::
     | header | record cells grow ->        ...     <- slot dir     |
     +--------------------------------------------------------------+
 
-* The **header** (8 bytes) holds the slot count and the offset of the
-  end of the record area (records are appended at the front).
+* The **header** (16 bytes) holds the slot count, the offset of the end
+  of the record area (records are appended at the front), the heap
+  layer's next-page chain link, and two maintenance hints: the total
+  bytes of live records (so ``can_insert`` never sums the directory)
+  and the index of the first slot that *may* be a tombstone (so
+  ``insert`` never scans live slots looking for one to reuse).
 * The **slot directory** grows backward from the end of the page; each
   4-byte slot holds the record's offset and length.  A deleted slot is
   a tombstone (offset ``0xFFFF``) so slot numbers stay stable — record
@@ -16,7 +20,12 @@ Layout of a slotted page::
   deletes and shrinking updates, preserving slot numbers.
 
 All functions operate in place on a ``bytearray`` page buffer supplied
-by the buffer pool.
+by the buffer pool.  Read paths are **zero-copy**: :func:`read` and
+:func:`records` return ``memoryview`` slices into the page buffer, not
+``bytes`` copies.  Callers must treat the views as read-only and must
+not hold one across a mutation of the same page (insert/update/delete/
+compact may move the underlying bytes); copy with ``bytes(view)`` — or
+:func:`read_into` — when the record outlives the pin.
 """
 
 from __future__ import annotations
@@ -27,8 +36,12 @@ from typing import Iterator, List, Optional, Tuple
 from repro.engine.pages import PAGE_SIZE
 from repro.errors import PageError
 
-_HEADER = struct.Struct("<HHI")  # slot_count, record_end, reserved
-_COUNT_END = struct.Struct("<HH")  # the mutable prefix of the header
+# slot_count, record_end, next-page link (heap's word), live_bytes,
+# free_slot_hint, reserved.
+_HEADER = struct.Struct("<HHIHHI")
+_COUNT_END = struct.Struct("<HH")  # the slot_count/record_end prefix
+_HINTS = struct.Struct("<HH")  # live_bytes, free_slot_hint
+_HINTS_OFFSET = 8  # after count (H) + end (H) + heap next link (I)
 _SLOT = struct.Struct("<HH")  # offset, length
 
 HEADER_SIZE = _HEADER.size
@@ -37,30 +50,47 @@ SLOT_SIZE = _SLOT.size
 #: Offset marking a deleted (tombstoned) slot.
 TOMBSTONE = 0xFFFF
 
+#: ``free_slot_hint`` value meaning "no tombstoned slot on this page".
+NO_FREE_SLOT = 0xFFFF
+
 #: Largest record a single page can hold (one slot, empty page).
 MAX_RECORD_SIZE = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE
 
 
 def init_page(page: bytearray) -> None:
     """Format a zeroed buffer as an empty slotted page."""
-    _HEADER.pack_into(page, 0, 0, HEADER_SIZE, 0)
+    _HEADER.pack_into(page, 0, 0, HEADER_SIZE, 0, 0, NO_FREE_SLOT, 0)
 
 
 def slot_count(page: bytearray) -> int:
     """Number of slots in the directory (including tombstones)."""
-    count, _end, _ = _HEADER.unpack_from(page, 0)
+    (count,) = struct.unpack_from("<H", page, 0)
     return count
 
 
 def _record_end(page: bytearray) -> int:
-    _count, end, _ = _HEADER.unpack_from(page, 0)
+    (end,) = struct.unpack_from("<H", page, 2)
     return end
 
 
 def _set_header(page: bytearray, count: int, end: int) -> None:
-    # Only the mutable prefix: the reserved word belongs to the heap
+    # Only the mutable prefix: the next-link word belongs to the heap
     # layer (it chains pages) and must survive record operations.
     _COUNT_END.pack_into(page, 0, count, end)
+
+
+def _hints(page: bytearray) -> Tuple[int, int]:
+    """The maintenance hints: (live record bytes, first-tombstone hint).
+
+    The hint is a conservative *lower bound*: every slot below it is
+    live, but the slot it names may or may not still be a tombstone.
+    ``NO_FREE_SLOT`` asserts the page has no tombstones at all.
+    """
+    return _HINTS.unpack_from(page, _HINTS_OFFSET)
+
+
+def _set_hints(page: bytearray, live_bytes: int, free_hint: int) -> None:
+    _HINTS.pack_into(page, _HINTS_OFFSET, live_bytes, free_hint)
 
 
 def _slot_pos(index: int) -> int:
@@ -93,22 +123,43 @@ def can_insert(page: bytearray, length: int) -> bool:
 
 
 def _reclaimable_space(page: bytearray) -> int:
-    """Free space obtainable by compacting the record area."""
+    """Free space obtainable by compacting the record area.
+
+    O(1): the live-byte total is maintained in the header instead of
+    being re-summed over the whole slot directory on every call.
+    """
     count = slot_count(page)
-    live = sum(
-        length
-        for offset, length in (_read_slot(page, i) for i in range(count))
-        if offset != TOMBSTONE
-    )
+    live, _hint = _hints(page)
     directory_start = PAGE_SIZE - SLOT_SIZE * count
     gap = directory_start - HEADER_SIZE - live
     return max(gap - SLOT_SIZE, 0)
 
 
+def _find_free_slot(page: bytearray, count: int) -> Optional[int]:
+    """First tombstoned slot, or None — amortized O(1) via the hint.
+
+    Scanning starts at the header hint; every live slot the scan steps
+    over permanently advances the lower bound, so repeated inserts never
+    rescan the same live prefix.
+    """
+    live, hint = _hints(page)
+    if hint == NO_FREE_SLOT:
+        return None
+    for index in range(hint, count):
+        offset, _len = _read_slot(page, index)
+        if offset == TOMBSTONE:
+            if index != hint:
+                _set_hints(page, live, index)
+            return index
+    _set_hints(page, live, NO_FREE_SLOT)
+    return None
+
+
 def insert(page: bytearray, data: bytes) -> int:
     """Insert a record, returning its slot number.
 
-    Reuses a tombstoned slot if one exists, compacts if fragmentation
+    Reuses a tombstoned slot if one exists (found via the header's
+    free-slot hint, not a directory scan), compacts if fragmentation
     blocks an otherwise-fitting record, and raises
     :class:`~repro.errors.PageError` if the record cannot fit.
     """
@@ -116,12 +167,7 @@ def insert(page: bytearray, data: bytes) -> int:
     if length > MAX_RECORD_SIZE:
         raise PageError(f"record of {length} bytes exceeds page capacity")
     count = slot_count(page)
-    reuse: Optional[int] = None
-    for index in range(count):
-        offset, _len = _read_slot(page, index)
-        if offset == TOMBSTONE:
-            reuse = index
-            break
+    reuse = _find_free_slot(page, count)
 
     needed = length if reuse is not None else length + SLOT_SIZE
     directory_start = PAGE_SIZE - SLOT_SIZE * count
@@ -131,19 +177,28 @@ def insert(page: bytearray, data: bytes) -> int:
         if directory_start - _record_end(page) < needed:
             raise PageError("page full")
 
+    live, hint = _hints(page)
     offset = _record_end(page)
     page[offset : offset + length] = data
     if reuse is not None:
         _write_slot(page, reuse, offset, length)
         _set_header(page, count, offset + length)
+        # The reused slot is live again; the next tombstone (if any)
+        # can only be past it.
+        _set_hints(page, live + length, reuse + 1 if reuse + 1 < count else NO_FREE_SLOT)
         return reuse
     _write_slot(page, count, offset, length)
     _set_header(page, count + 1, offset + length)
+    _set_hints(page, live + length, hint)
     return count
 
 
-def read(page: bytearray, slot: int) -> bytes:
-    """Return the record stored in ``slot``.
+def read(page: bytearray, slot: int) -> memoryview:
+    """Return the record stored in ``slot`` as a zero-copy view.
+
+    The view aliases the page buffer: treat it as read-only and copy it
+    (``bytes(view)``) before mutating the page or releasing the pin
+    beyond the current operation.
 
     Raises:
         PageError: if the slot is out of range or tombstoned.
@@ -153,17 +208,37 @@ def read(page: bytearray, slot: int) -> bytes:
     offset, length = _read_slot(page, slot)
     if offset == TOMBSTONE:
         raise PageError(f"slot {slot} is deleted")
-    return bytes(page[offset : offset + length])
+    return memoryview(page)[offset : offset + length]
+
+
+def read_into(page: bytearray, slot: int, out: bytearray) -> int:
+    """Append the record stored in ``slot`` to ``out``; returns its length.
+
+    The owned-copy companion of :func:`read` for callers that need the
+    record to survive page mutation.
+
+    Raises:
+        PageError: if the slot is out of range or tombstoned.
+    """
+    if not 0 <= slot < slot_count(page):
+        raise PageError(f"slot {slot} out of range")
+    offset, length = _read_slot(page, slot)
+    if offset == TOMBSTONE:
+        raise PageError(f"slot {slot} is deleted")
+    out += memoryview(page)[offset : offset + length]
+    return length
 
 
 def delete(page: bytearray, slot: int) -> None:
     """Tombstone a slot; its space is reclaimed on the next compaction."""
     if not 0 <= slot < slot_count(page):
         raise PageError(f"slot {slot} out of range")
-    offset, _length = _read_slot(page, slot)
+    offset, length = _read_slot(page, slot)
     if offset == TOMBSTONE:
         raise PageError(f"slot {slot} already deleted")
     _write_slot(page, slot, TOMBSTONE, 0)
+    live, hint = _hints(page)
+    _set_hints(page, live - length, min(hint, slot))
 
 
 def update(page: bytearray, slot: int, data: bytes) -> bool:
@@ -183,10 +258,14 @@ def update(page: bytearray, slot: int, data: bytes) -> bool:
     if new_length <= length:
         page[offset : offset + new_length] = data
         _write_slot(page, slot, offset, new_length)
+        live, hint = _hints(page)
+        _set_hints(page, live - length + new_length, hint)
         return True
 
     # Grow: tombstone, then try to place the new copy.
     _write_slot(page, slot, TOMBSTONE, 0)
+    live, hint = _hints(page)
+    _set_hints(page, live - length, min(hint, slot))
     count = slot_count(page)
     directory_start = PAGE_SIZE - SLOT_SIZE * count
     if directory_start - _record_end(page) < new_length:
@@ -195,36 +274,58 @@ def update(page: bytearray, slot: int, data: bytes) -> bool:
     if directory_start - _record_end(page) < new_length:
         # Restore the old record so the caller can still read it.
         _write_slot(page, slot, offset, length)
+        live, hint = _hints(page)
+        _set_hints(page, live + length, hint)
         return False
     new_offset = _record_end(page)
     page[new_offset : new_offset + new_length] = data
     _write_slot(page, slot, new_offset, new_length)
     _set_header(page, count, new_offset + new_length)
+    live, hint = _hints(page)
+    _set_hints(page, live + new_length, hint)
     return True
 
 
 def compact(page: bytearray) -> None:
-    """Rewrite the record area contiguously, keeping slot numbers."""
+    """Rewrite the record area contiguously, keeping slot numbers.
+
+    Also recomputes the header hints exactly (live bytes and the index
+    of the first surviving tombstone).
+    """
     count = slot_count(page)
     live: List[Tuple[int, bytes]] = []
+    first_tombstone = NO_FREE_SLOT
     for index in range(count):
         offset, length = _read_slot(page, index)
         if offset != TOMBSTONE:
             live.append((index, bytes(page[offset : offset + length])))
+        elif first_tombstone == NO_FREE_SLOT:
+            first_tombstone = index
     cursor = HEADER_SIZE
     for index, data in live:
         page[cursor : cursor + len(data)] = data
         _write_slot(page, index, cursor, len(data))
         cursor += len(data)
     _set_header(page, count, cursor)
+    _set_hints(page, cursor - HEADER_SIZE, first_tombstone)
 
 
-def records(page: bytearray) -> Iterator[Tuple[int, bytes]]:
-    """Iterate (slot, record) pairs, skipping tombstones."""
+def records(page: bytearray) -> Iterator[Tuple[int, memoryview]]:
+    """Iterate (slot, record-view) pairs, skipping tombstones.
+
+    Views alias the page buffer (see :func:`read`); copy any record
+    that must outlive the iteration or a subsequent page mutation.
+    """
+    return records_view(page)
+
+
+def records_view(page: bytearray) -> Iterator[Tuple[int, memoryview]]:
+    """Zero-copy iterator over (slot, ``memoryview``) pairs."""
+    view = memoryview(page)
     for index in range(slot_count(page)):
         offset, length = _read_slot(page, index)
         if offset != TOMBSTONE:
-            yield index, bytes(page[offset : offset + length])
+            yield index, view[offset : offset + length]
 
 
 def live_count(page: bytearray) -> int:

@@ -26,7 +26,7 @@ from repro.engine.btree import BTree
 from repro.engine.buffer import BufferPool
 from repro.engine.catalog import Catalog, ClassDefinition, FieldDefinition
 from repro.engine.clustering import ClusteringPolicy
-from repro.engine.heap import HeapFile, Rid
+from repro.engine.heap import HeapFile, Rid, rid_page
 from repro.engine.locks import LockManager, LockMode
 from repro.engine.pages import PageFile
 from repro.engine.txn import DELETED, Transaction, TxnStatus
@@ -68,6 +68,104 @@ class StoreStats:
     recovered_transactions: int = 0
 
 
+def _clone_value(value: Any) -> Any:
+    """Deep-copy the mutable containers of a decoded value.
+
+    Scalars (str/int/float/bytes/bool/None) are immutable and shared;
+    dicts and lists are copied recursively so a cached record can hand
+    out private states without re-decoding.
+    """
+    if isinstance(value, dict):
+        return {key: _clone_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_clone_value(item) for item in value]
+    return value
+
+
+class DecodeCache:
+    """Decoded-record cache keyed by heap RID, tagged with frame LSNs.
+
+    A record that has not changed since it was last decoded never needs
+    decoding again — the dominant cost of a warm object read.  Each
+    entry is keyed by the record's RID (``(pid, slot)`` packed into one
+    int) and tagged with the heap page's buffer-frame LSN at decode
+    time, giving the ``(pid, slot, lsn)`` identity the coherence rules
+    are stated over:
+
+    * every committed write to a RID (insert into a reused slot,
+      update, delete) **invalidates** that RID's entry;
+    * WAL recovery, vacuum, ``drop_cache``/``close`` (the section
+      5.3(e) cold step) and structural schema changes **clear** the
+      cache wholesale;
+    * when the record's page is resident, a hit additionally requires
+      the frame LSN to match the entry's tag — a belt-and-braces guard
+      against any write path that forgot to invalidate.  A
+      *non-resident* page cannot have changed (every write goes through
+      the pool and the explicit invalidations above), so entries keep
+      serving after their page is evicted — the decode cache acts as an
+      object cache extending past the buffer pool's capacity.
+
+    Entries returned by :meth:`get` are the cache's own objects: the
+    caller must clone before mutating (see :func:`_clone_value`).
+    Eviction is FIFO at ``capacity``.
+
+    Counters: ``engine.decode_cache.hits`` / ``.misses`` /
+    ``.invalidations`` / ``.clears``.
+    """
+
+    __slots__ = ("capacity", "_entries", "_instr")
+
+    def __init__(self, capacity: int, instrumentation) -> None:
+        self.capacity = capacity
+        self._entries: Dict[Rid, Tuple[Optional[int], Dict[str, Any]]] = {}
+        self._instr = instrumentation
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self, rid: Rid, page_lsn: Optional[int]
+    ) -> Optional[Dict[str, Any]]:
+        """The cached record for ``rid``, or None.
+
+        ``page_lsn`` is the RID's page frame LSN if resident (None
+        otherwise); a resident page whose LSN moved past the entry's
+        tag invalidates the entry.
+        """
+        entry = self._entries.get(rid)
+        if entry is None:
+            self._instr.count("engine.decode_cache.misses")
+            return None
+        lsn, record = entry
+        if lsn is not None and page_lsn is not None and lsn != page_lsn:
+            del self._entries[rid]
+            self._instr.count("engine.decode_cache.invalidations")
+            self._instr.count("engine.decode_cache.misses")
+            return None
+        self._instr.count("engine.decode_cache.hits")
+        return record
+
+    def put(
+        self, rid: Rid, page_lsn: Optional[int], record: Dict[str, Any]
+    ) -> None:
+        """Cache ``record`` (which the cache now owns) under ``rid``."""
+        entries = self._entries
+        if rid not in entries and len(entries) >= self.capacity:
+            entries.pop(next(iter(entries)))  # FIFO
+        entries[rid] = (page_lsn, record)
+
+    def invalidate(self, rid: Rid) -> None:
+        """Drop the entry for ``rid`` (a committed write touched it)."""
+        if self._entries.pop(rid, None) is not None:
+            self._instr.count("engine.decode_cache.invalidations")
+
+    def clear(self) -> None:
+        """Forget everything (cold reset, recovery, vacuum, schema)."""
+        if self._entries:
+            self._instr.count("engine.decode_cache.clears")
+        self._entries.clear()
+
+
 class ObjectStore:
     """A single-file object database.
 
@@ -94,6 +192,9 @@ class ObjectStore:
             unaffected.  See ``docs/durability.md``.
         group_commit_size: commits per durability point when
             ``group_commit`` is on.
+        decode_cache_size: capacity (records) of the :class:`DecodeCache`
+            serving unchanged records without re-decoding; ``0``
+            disables it.
     """
 
     _META_ROOT = "meta.rid"
@@ -113,9 +214,11 @@ class ObjectStore:
         vfs: Optional[VFS] = None,
         group_commit: bool = False,
         group_commit_size: int = 8,
+        decode_cache_size: int = 8192,
     ) -> None:
         self.path = path
         self.cache_pages = cache_pages
+        self.decode_cache_size = decode_cache_size
         self.clustering = ClusteringPolicy(enabled=clustered)
         self.versioned = versioned
         self.locking = locking
@@ -146,6 +249,7 @@ class ObjectStore:
         self._indexes: Dict[Tuple[str, str], BTree] = {}
         self._meta: Dict[str, Any] = {}
         self._meta_rid: Optional[Rid] = None
+        self._decode_cache: Optional[DecodeCache] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -188,6 +292,14 @@ class ObjectStore:
                 )
                 self._load_meta()
                 self._load_indexes()
+                # Always fresh at open: recovery (which just ran if
+                # needed) must never be able to serve a pre-crash
+                # decode under a stale (pid, slot, lsn) identity.
+                self._decode_cache = (
+                    DecodeCache(self.decode_cache_size, self.instrumentation)
+                    if self.decode_cache_size > 0
+                    else None
+                )
             except BaseException:
                 self._dispose_handles()
                 raise
@@ -213,6 +325,7 @@ class ObjectStore:
         self._directory = None
         self._extent = None
         self._indexes = {}
+        self._decode_cache = None
 
     def _recover_if_needed(self) -> None:
         """Physical redo of committed work left in the WAL."""
@@ -326,6 +439,8 @@ class ObjectStore:
         self._save_roots()
         self._pool.drop_cache()
         self._pool.stats.reset()
+        if self._decode_cache is not None:
+            self._decode_cache.clear()
 
     @property
     def buffer_stats(self):
@@ -415,6 +530,10 @@ class ObjectStore:
         self._next_txid += 1
         self._save_roots()
         self._log_and_force(txid)
+        if self._decode_cache is not None:
+            # Cached records embed schema-upgraded states; a catalog
+            # change (new class version, new fields) makes them stale.
+            self._decode_cache.clear()
 
     # ------------------------------------------------------------------
     # Transactions
@@ -569,25 +688,49 @@ class ObjectStore:
                 committed.append(oid)
             if not committed:
                 return out
-            from repro.engine.heap import rid_page
-
             rids = {oid: self._rid_of(oid) for oid in committed}
             committed.sort(key=lambda oid: rids[oid])
-            pages = list(
-                dict.fromkeys(rid_page(rids[oid]) for oid in committed)
-            )
-            self._pool.prefetch(pages)
             self.instrumentation.count("engine.store.batch_reads")
             self.instrumentation.count(
                 "engine.store.batch_objects", len(committed)
             )
-            for oid in committed:
-                record = serializer.decode(self._heap.read(rids[oid]))
-                out[oid] = self._catalog.upgrade_state(
-                    record["c"], record["v"], record["s"]
+            cache = self._decode_cache
+            to_fetch = committed
+            if cache is not None:
+                # Serve decode-cache hits first; only the misses cost
+                # page prefetch + pin + decode below.
+                to_fetch = []
+                frame_lsn = self._pool.frame_lsn
+                for oid in committed:
+                    rid = rids[oid]
+                    record = cache.get(rid, frame_lsn(rid_page(rid)))
+                    if record is None:
+                        to_fetch.append(oid)
+                    else:
+                        out[oid] = _clone_value(record["s"])
+            if to_fetch:
+                pages = list(
+                    dict.fromkeys(rid_page(rids[oid]) for oid in to_fetch)
                 )
-                self.stats.objects_read += 1
-                self.instrumentation.count("engine.store.objects_read")
+                self._pool.prefetch(pages)
+                raws = self._heap.read_many([rids[oid] for oid in to_fetch])
+                for oid in to_fetch:
+                    rid = rids[oid]
+                    record = serializer.decode(raws[rid])
+                    record["s"] = self._catalog.upgrade_state(
+                        record["c"], record["v"], record["s"]
+                    )
+                    if cache is not None:
+                        cache.put(
+                            rid, self._pool.frame_lsn(rid_page(rid)), record
+                        )
+                        out[oid] = _clone_value(record["s"])
+                    else:
+                        out[oid] = record["s"]
+            self.stats.objects_read += len(committed)
+            self.instrumentation.count(
+                "engine.store.objects_read", len(committed)
+            )
             return out
 
     def class_of(self, oid: int, txn: Optional[Transaction] = None) -> str:
@@ -676,12 +819,38 @@ class ObjectStore:
             raise RecordNotFoundError(oid)
         return rid
 
-    def _read_record(self, oid: int) -> Dict[str, Any]:
-        raw = self._heap.read(self._rid_of(oid))
-        record = serializer.decode(raw)
+    def _decode_at(self, rid: Rid) -> Dict[str, Any]:
+        """Decode (and schema-upgrade) the committed record at ``rid``."""
+        record = serializer.decode(self._heap.read(rid))
         record["s"] = self._catalog.upgrade_state(
             record["c"], record["v"], record["s"]
         )
+        return record
+
+    def _cached_record(self, rid: Rid) -> Dict[str, Any]:
+        """The record at ``rid``, via the decode cache when enabled.
+
+        With the cache on, the returned record is (or becomes) a shared
+        cache entry — callers must clone anything they hand out for
+        mutation (see :func:`_clone_value`).
+        """
+        cache = self._decode_cache
+        if cache is None:
+            return self._decode_at(rid)
+        pid = rid_page(rid)
+        record = cache.get(rid, self._pool.frame_lsn(pid))
+        if record is None:
+            record = self._decode_at(rid)
+            # heap.read left the page resident, so this LSN tags the
+            # exact byte state we just decoded.
+            cache.put(rid, self._pool.frame_lsn(pid), record)
+        return record
+
+    def _read_record(self, oid: int) -> Dict[str, Any]:
+        record = self._cached_record(self._rid_of(oid))
+        if self._decode_cache is not None:
+            record = dict(record)
+            record["s"] = _clone_value(record["s"])
         return record
 
     def _encode_record(
@@ -789,6 +958,10 @@ class ObjectStore:
             definition.class_id, definition.version, state, 0, timestamp
         )
         rid = self._heap.insert(record, near=near_rid)
+        if self._decode_cache is not None:
+            # The insert may reuse a tombstoned slot whose previous
+            # occupant was decoded under the same RID.
+            self._decode_cache.invalidate(rid)
         self._directory.insert(oid, rid, disc=0)
         self._extent.insert(definition.class_id, oid, disc=oid)
         self._index_add(class_name, oid, state)
@@ -819,6 +992,10 @@ class ObjectStore:
             new_rid = self._heap.insert(record, near=near_rid)
         else:
             new_rid = self._heap.update(rid, record)
+        if self._decode_cache is not None:
+            self._decode_cache.invalidate(rid)
+            if new_rid != rid:
+                self._decode_cache.invalidate(new_rid)
         if new_rid != rid:
             self._directory.update_value(oid, 0, new_rid)
         self._index_replace(class_name, oid, old_state, state)
@@ -829,6 +1006,8 @@ class ObjectStore:
         class_name = self._catalog.get_by_id(old["c"]).name
         old_state = self._catalog.upgrade_state(old["c"], old["v"], old["s"])
         self._heap.delete(rid)
+        if self._decode_cache is not None:
+            self._decode_cache.invalidate(rid)
         self._directory.delete(oid, rid, disc=0)
         self._extent.delete(old["c"], oid, disc=oid)
         self._index_remove(class_name, oid, old_state)
@@ -1152,8 +1331,10 @@ class ObjectStore:
         this: a changed timestamp means someone committed in between.
         """
         self._require_open()
-        raw = serializer.decode(self._heap.read(self._rid_of(oid)))
-        return raw.get("ts", 0)
+        # Served from the decode cache without cloning: "ts" is a
+        # scalar read, and the cache is invalidated by every commit
+        # that touches the record — exactly the signal OCC validates.
+        return self._cached_record(self._rid_of(oid)).get("ts", 0)
 
     # ------------------------------------------------------------------
     # Physical introspection (clustering ablation)

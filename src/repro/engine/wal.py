@@ -71,8 +71,12 @@ class LogRecord:
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "LogRecord":
-        """Decode a record body."""
-        raw = serializer.decode(payload)
+        """Decode a record body.
+
+        Accepts a ``memoryview`` frame as well as bytes — recovery
+        decodes straight out of the read buffer without an extra copy.
+        """
+        raw = serializer.decode_view(payload)
         return cls(
             kind=raw["k"], txid=raw["t"], oid=raw["o"], state=raw["s"]
         )
@@ -221,7 +225,10 @@ class WriteAheadLog:
                 if zlib.crc32(payload) & 0xFFFFFFFF != crc:
                     return  # corrupt tail
                 try:
-                    yield LogRecord.from_payload(payload)
+                    # Decode through a view: the record's strings and
+                    # byte blobs are carved straight out of the read
+                    # buffer instead of through intermediate slices.
+                    yield LogRecord.from_payload(memoryview(payload))
                 except Exception as exc:  # corrupt but checksummed? bail out
                     raise RecoveryError(f"undecodable log record: {exc}") from exc
 

@@ -15,9 +15,12 @@ the pytest-benchmark twin for interactive exploration.
 
 from __future__ import annotations
 
+import cProfile
 import dataclasses
+import io
 import json
 import os
+import pstats
 import statistics
 import tempfile
 import time
@@ -62,6 +65,10 @@ class ClosureCell:
     full bucket form so downstream tooling (bench-diff, plots) can
     recompute any quantile.
 
+    ``level`` is the tree level the cell's database was generated at
+    (cells from ``extra_levels`` runs carry theirs, so a mixed-level
+    document stays self-describing).
+
     ``mode`` tags which closure strategy produced the cell
     (``"pushdown"`` / ``"bfs"`` on the clientserver pair, ``"native"``
     elsewhere); ``sim_ms`` / ``sim_ms_per_node`` are the *simulated*
@@ -86,6 +93,7 @@ class ClosureCell:
     mode: str = "native"
     sim_ms: float = 0.0
     sim_ms_per_node: float = 0.0
+    level: int = 4
 
     def to_json(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -114,6 +122,19 @@ def _result_nodes(op_id: str, result, subtree_nodes: int) -> int:
     return max(subtree_nodes, 1)
 
 
+def _cell_key(backend: str, bench_level: int, base_level: int) -> str:
+    """The document key of one (backend, level) column.
+
+    The document's primary level keeps the plain backend name (so
+    existing baselines keep matching); extra levels are suffixed
+    ``-L<level>`` — e.g. ``oodb-L6`` — the same keyed-ablation pattern
+    as ``clientserver-bfs``.
+    """
+    if bench_level == base_level:
+        return backend
+    return f"{backend}-L{bench_level}"
+
+
 def run_closure_bench(
     backends: Sequence[str] = DEFAULT_BACKENDS,
     level: int = 4,
@@ -121,6 +142,8 @@ def run_closure_bench(
     seed: int = 19880301,
     workdir: Optional[str] = None,
     compare_pushdown: bool = False,
+    extra_levels: Sequence[int] = (),
+    profile: bool = False,
 ) -> Dict[str, object]:
     """Measure ops 10-12 on every backend; return the JSON document.
 
@@ -136,6 +159,18 @@ def run_closure_bench(
     pushdown-vs-frontier-BFS comparison in its ``sim_ms_per_node``
     columns (and the mode-tagged cells give ``repro bench-diff`` both
     paths to gate).
+
+    ``extra_levels`` re-runs every backend at each additional tree
+    level; those cells land under ``<backend>-L<level>`` keys (each
+    cell also carries its ``level``), so one document can hold, say,
+    the level-4 grid *and* the level-6 big-database column the scaling
+    gate reads.
+
+    ``profile=True`` wraps each operation's **cold** repetition in
+    :mod:`cProfile`; the per-cell top-25 cumulative reports collect
+    under the document's ``"profiles"`` key (the CLI writes them next
+    to the JSON).  Profiled wall-clock timings carry tracer overhead —
+    use the flag to find hot spots, not to produce baselines.
     """
     from repro.backends import create_backend
 
@@ -148,88 +183,108 @@ def run_closure_bench(
             ):
                 expanded.append("clientserver-bfs")
         backends = expanded
+    levels = [level] + [extra for extra in extra_levels if extra != level]
     own_tmp = None
     if workdir is None:
         own_tmp = tempfile.TemporaryDirectory(prefix="hypermodel-bench-")
         workdir = own_tmp.name
     cells: List[ClosureCell] = []
+    cell_keys: List[str] = []
+    profiles: Dict[str, str] = {}
     try:
-        for backend in backends:
-            instr = Instrumentation()
-            path = os.path.join(workdir, f"closure-{backend}.db")
-            db = create_backend(backend, path, instrumentation=instr)
-            mode = _MODES.get(getattr(db, "pushdown", None), "native")
-            clock = getattr(db, "simulated_clock", None)
-            db.open()
-            try:
-                gen = DatabaseGenerator(
-                    HyperModelConfig(levels=level, seed=seed)
-                ).generate(db)
-                db.commit()
-                subtree_nodes = 0
-                for op_id in CLOSURE_OPS:
-                    spec = CATALOG.get(op_id)
-                    ops = Operations(db, gen.config)
-                    # Section 5.3(e): close and reopen so the first
-                    # repetition is a *cold* run — that's where the
-                    # batch layer's round trips and faults show.
-                    db.close()
-                    db.open()
-                    root = db.lookup(gen.root_uid)
-                    timings_ms: List[float] = []
-                    nodes = 1
-                    sim_ms = 0.0
-                    first_delta: Dict[str, float] = {}
-                    for rep in range(repetitions):
-                        before = instr.snapshot()
-                        sim_start = clock.now if clock is not None else 0.0
-                        start = time.perf_counter()
-                        result = spec.run(ops, (root,))
-                        timings_ms.append(
-                            (time.perf_counter() - start) * 1000.0
-                        )
-                        if rep == 0:
-                            if clock is not None:
-                                # Deterministic network cost of the
-                                # cold pass — the pushdown-vs-BFS
-                                # comparison column.
-                                sim_ms = (clock.now - sim_start) * 1000.0
-                            first_delta = instr.delta_since(before)
-                            nodes = _result_nodes(
-                                op_id, result, subtree_nodes
+        for bench_level in levels:
+            for backend in backends:
+                key = _cell_key(backend, bench_level, level)
+                cell_keys.append(key)
+                instr = Instrumentation()
+                path = os.path.join(workdir, f"closure-{key}.db")
+                db = create_backend(backend, path, instrumentation=instr)
+                mode = _MODES.get(getattr(db, "pushdown", None), "native")
+                clock = getattr(db, "simulated_clock", None)
+                db.open()
+                try:
+                    gen = DatabaseGenerator(
+                        HyperModelConfig(levels=bench_level, seed=seed)
+                    ).generate(db)
+                    db.commit()
+                    subtree_nodes = 0
+                    for op_id in CLOSURE_OPS:
+                        spec = CATALOG.get(op_id)
+                        ops = Operations(db, gen.config)
+                        # Section 5.3(e): close and reopen so the first
+                        # repetition is a *cold* run — that's where the
+                        # batch layer's round trips and faults show.
+                        db.close()
+                        db.open()
+                        root = db.lookup(gen.root_uid)
+                        timings_ms: List[float] = []
+                        nodes = 1
+                        sim_ms = 0.0
+                        first_delta: Dict[str, float] = {}
+                        for rep in range(repetitions):
+                            before = instr.snapshot()
+                            sim_start = (
+                                clock.now if clock is not None else 0.0
                             )
-                            if op_id == "10":
-                                subtree_nodes = nodes
-                        if spec.mutates:
-                            db.commit()
-                    median_ms = statistics.median(timings_ms)
-                    hist = LatencyHistogram.from_samples(timings_ms)
-                    cells.append(
-                        ClosureCell(
-                            backend=backend,
-                            op_id=op_id,
-                            op_name=spec.name,
-                            nodes=nodes,
-                            repetitions=repetitions,
-                            median_ms=round(median_ms, 4),
-                            median_ms_per_node=round(median_ms / nodes, 6),
-                            counters=_reported(first_delta),
-                            p50_ms=round(hist.percentile(0.50), 4),
-                            p90_ms=round(hist.percentile(0.90), 4),
-                            p99_ms=round(hist.percentile(0.99), 4),
-                            max_ms=round(hist.maximum, 4),
-                            histogram=hist.to_dict(),
-                            mode=mode,
-                            sim_ms=round(sim_ms, 4),
-                            sim_ms_per_node=round(sim_ms / nodes, 6),
+                            profiler = None
+                            if profile and rep == 0:
+                                profiler = cProfile.Profile()
+                                profiler.enable()
+                            start = time.perf_counter()
+                            result = spec.run(ops, (root,))
+                            timings_ms.append(
+                                (time.perf_counter() - start) * 1000.0
+                            )
+                            if profiler is not None:
+                                profiler.disable()
+                                profiles[f"{key} op {op_id}"] = (
+                                    _profile_report(profiler)
+                                )
+                            if rep == 0:
+                                if clock is not None:
+                                    # Deterministic network cost of the
+                                    # cold pass — the pushdown-vs-BFS
+                                    # comparison column.
+                                    sim_ms = (clock.now - sim_start) * 1000.0
+                                first_delta = instr.delta_since(before)
+                                nodes = _result_nodes(
+                                    op_id, result, subtree_nodes
+                                )
+                                if op_id == "10":
+                                    subtree_nodes = nodes
+                            if spec.mutates:
+                                db.commit()
+                        median_ms = statistics.median(timings_ms)
+                        hist = LatencyHistogram.from_samples(timings_ms)
+                        cells.append(
+                            ClosureCell(
+                                backend=key,
+                                op_id=op_id,
+                                op_name=spec.name,
+                                nodes=nodes,
+                                repetitions=repetitions,
+                                median_ms=round(median_ms, 4),
+                                median_ms_per_node=round(
+                                    median_ms / nodes, 6
+                                ),
+                                counters=_reported(first_delta),
+                                p50_ms=round(hist.percentile(0.50), 4),
+                                p90_ms=round(hist.percentile(0.90), 4),
+                                p99_ms=round(hist.percentile(0.99), 4),
+                                max_ms=round(hist.maximum, 4),
+                                histogram=hist.to_dict(),
+                                mode=mode,
+                                sim_ms=round(sim_ms, 4),
+                                sim_ms_per_node=round(sim_ms / nodes, 6),
+                                level=bench_level,
+                            )
                         )
-                    )
-            finally:
-                db.close()
+                finally:
+                    db.close()
     finally:
         if own_tmp is not None:
             own_tmp.cleanup()
-    return {
+    document: Dict[str, object] = {
         "benchmark": "closure-batch-traversal",
         "level": level,
         "repetitions": repetitions,
@@ -238,18 +293,32 @@ def run_closure_bench(
         "provenance": provenance(
             backends=list(backends),
             level=level,
+            extra_levels=list(extra_levels),
             repetitions=repetitions,
             seed=seed,
         ),
         "cells": {
-            backend: {
+            key: {
                 cell.op_id: cell.to_json()
                 for cell in cells
-                if cell.backend == backend
+                if cell.backend == key
             }
-            for backend in backends
+            for key in cell_keys
         },
     }
+    if extra_levels:
+        document["extra_levels"] = list(extra_levels)
+    if profiles:
+        document["profiles"] = profiles
+    return document
+
+
+def _profile_report(profiler: "cProfile.Profile", limit: int = 25) -> str:
+    """The top-``limit`` cumulative-time lines of one profile run."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(limit)
+    return buffer.getvalue()
 
 
 def write_closure_bench(
@@ -259,15 +328,31 @@ def write_closure_bench(
     repetitions: int = 5,
     seed: int = 19880301,
     compare_pushdown: bool = False,
+    extra_levels: Sequence[int] = (),
+    profile: bool = False,
 ) -> Dict[str, object]:
-    """Run :func:`run_closure_bench` and write ``out_path`` as JSON."""
+    """Run :func:`run_closure_bench` and write ``out_path`` as JSON.
+
+    With ``profile=True`` the per-cell cProfile reports are written to
+    ``<out_path>.profile.txt`` next to the JSON (and stripped from the
+    document itself, so baselines stay diffable).
+    """
     document = run_closure_bench(
         backends=backends,
         level=level,
         repetitions=repetitions,
         seed=seed,
         compare_pushdown=compare_pushdown,
+        extra_levels=extra_levels,
+        profile=profile,
     )
+    profiles = document.pop("profiles", None)
+    if profiles:
+        profile_path = out_path + ".profile.txt"
+        with open(profile_path, "w", encoding="utf-8") as handle:
+            for section, report in profiles.items():
+                handle.write(f"=== {section} ===\n{report}\n")
+        document["profile_report"] = os.path.basename(profile_path)
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -279,8 +364,9 @@ def format_summary(document: Dict[str, object]) -> str:
     lines = [
         f"closure batch traversal — level {document['level']}, "
         f"{document['repetitions']} repetitions",
-        f"{'backend':<18}{'op':<5}{'name':<20}{'mode':<10}{'nodes':>7}"
-        f"{'med ms':>10}{'ms/node':>10}{'sim/node':>10}{'rpc rt':>8}",
+        f"{'backend':<18}{'op':<5}{'name':<20}{'mode':<10}{'lvl':>4}"
+        f"{'nodes':>7}{'med ms':>10}{'ms/node':>10}{'sim/node':>10}"
+        f"{'rpc rt':>8}",
     ]
     cells = document["cells"]
     for backend, per_op in cells.items():  # type: ignore[union-attr]
@@ -289,6 +375,7 @@ def format_summary(document: Dict[str, object]) -> str:
             lines.append(
                 f"{backend:<18}{op_id:<5}{cell['op_name']:<20}"
                 f"{cell.get('mode', 'native'):<10}"
+                f"{cell.get('level', document['level']):>4}"
                 f"{cell['nodes']:>7}{cell['median_ms']:>10.3f}"
                 f"{cell['median_ms_per_node']:>10.4f}"
                 f"{cell.get('sim_ms_per_node', 0.0):>10.4f}{int(rpc):>8}"

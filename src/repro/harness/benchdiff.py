@@ -28,13 +28,25 @@ Two document shapes are understood:
   (``{"results": [...]}``): each result contributes a *cold* and a
   *warm* mode using its ``cold_hist``/``warm_hist`` summaries.
 
+Closure baseline cells may additionally carry a ``budget_ms_per_node``
+column — an absolute per-node latency ceiling.  A shared cell whose
+candidate ``median_ms_per_node`` exceeds the baseline's budget emits a
+``budget`` row that regresses regardless of the relative thresholds,
+so a slow creep that stays under +25 % per PR still trips the gate
+once the absolute budget is gone.
+
 :func:`diff_documents` returns the row list; :func:`format_diff`
 renders the table; the CLI's ``bench-diff`` exits non-zero when any
-row regresses — that exit code *is* the gate.
+row regresses — that exit code *is* the gate.  The inverse workflow is
+:func:`refresh_improvements`: when a candidate *beats* a baseline cell
+by more than the p50 threshold, the ratchet rewrites that cell (and
+tightens its budget) so the win becomes the new floor — run via
+``repro bench-diff --refresh-improvement``.
 """
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import json
 from typing import Any, Dict, List, Optional, Tuple
@@ -83,6 +95,15 @@ def _closure_cells(document: Dict[str, Any]) -> Dict[Tuple[str, str, str], Dict[
             if "p50" not in values and cell.get("median_ms") is not None:
                 # Documents written before histograms existed.
                 values["p50"] = float(cell["median_ms"])
+            # Budget bookkeeping (not quantiles — diff_documents reads
+            # these two directly): the baseline side contributes its
+            # ms/node ceiling, the candidate side its measured ms/node.
+            if cell.get("budget_ms_per_node") is not None:
+                values["budget_ms_per_node"] = float(
+                    cell["budget_ms_per_node"]
+                )
+            if cell.get("median_ms_per_node") is not None:
+                values["ms_per_node"] = float(cell["median_ms_per_node"])
             if values:
                 # Mode-tagged cells (pushdown / bfs / native) gate each
                 # closure strategy separately; documents written before
@@ -140,6 +161,11 @@ def diff_documents(
     operation is not a regression).  A row regresses when the relative
     change exceeds its quantile's threshold *and* at least one side is
     above ``absolute_floor_ms``.
+
+    A baseline cell carrying ``budget_ms_per_node`` additionally
+    yields a ``budget`` row: the candidate's ``median_ms_per_node``
+    against the absolute ceiling, regressing whenever it is exceeded
+    (no relative threshold, no floor).
     """
     thresholds = thresholds or DEFAULT_THRESHOLDS
     base_cells = extract_cells(baseline)
@@ -168,6 +194,22 @@ def diff_documents(
                     change=change,
                     threshold=threshold,
                     regressed=regressed,
+                )
+            )
+        budget = base_values.get("budget_ms_per_node")
+        per_node = cand_values.get("ms_per_node")
+        if budget is not None and per_node is not None and budget > 0:
+            rows.append(
+                DiffRow(
+                    backend=backend,
+                    op_id=op_id,
+                    mode=mode,
+                    quantile="budget",
+                    baseline_ms=budget,
+                    candidate_ms=per_node,
+                    change=(per_node - budget) / budget,
+                    threshold=0.0,
+                    regressed=per_node > budget,
                 )
             )
     return rows
@@ -203,10 +245,86 @@ def format_diff(
     return "\n".join(lines)
 
 
+#: Headroom the ratchet leaves above a refreshed cell's measured
+#: ms/node when deriving its new budget: 50 % absorbs honest run-to-run
+#: noise while still catching a real regression of the same size the
+#: refresh banked.
+BUDGET_HEADROOM = 0.50
+
+
+def refresh_improvements(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    thresholds: Optional[Dict[str, float]] = None,
+    budget_headroom: float = BUDGET_HEADROOM,
+) -> Tuple[Dict[str, Any], List[str]]:
+    """Ratchet the baseline forward where the candidate clearly won.
+
+    A shared closure cell whose candidate p50 beats the baseline's by
+    *more than the p50 regression threshold* (a symmetric bar: the
+    improvement must be as unambiguous as a regression would be) is
+    replaced wholesale with the candidate's measurements.  Each
+    replaced cell gets a fresh ``budget_ms_per_node`` of its new
+    ``median_ms_per_node`` plus ``budget_headroom`` — never *looser*
+    than the budget it already carried, so budgets only tighten.
+
+    Cells the candidate merely matched, regressed, or that exist on
+    one side only are left untouched.  Returns the updated document
+    and the ``backend/op`` labels that moved; when nothing moved the
+    document is an unmodified deep copy.
+    """
+    if "cells" not in baseline or "cells" not in candidate:
+        raise ValueError(
+            "improvement refresh needs two closure 'cells' documents"
+        )
+    thresholds = thresholds or DEFAULT_THRESHOLDS
+    bar = thresholds.get("p50", DEFAULT_THRESHOLDS["p50"])
+    updated = copy.deepcopy(baseline)
+    replaced: List[str] = []
+    for backend, per_op in candidate["cells"].items():
+        base_per_op = updated["cells"].get(backend)
+        if base_per_op is None:
+            continue
+        for op_id, cell in per_op.items():
+            base_cell = base_per_op.get(op_id)
+            if base_cell is None:
+                continue
+            old = float(
+                base_cell.get("p50_ms") or base_cell.get("median_ms") or 0.0
+            )
+            new = float(cell.get("p50_ms") or cell.get("median_ms") or 0.0)
+            if not old or not new or new >= old * (1.0 - bar):
+                continue
+            fresh = dict(cell)
+            budget = round(
+                float(cell["median_ms_per_node"]) * (1.0 + budget_headroom),
+                6,
+            )
+            previous_budget = base_cell.get("budget_ms_per_node")
+            if previous_budget is not None:
+                budget = min(budget, float(previous_budget))
+            fresh["budget_ms_per_node"] = budget
+            base_per_op[op_id] = fresh
+            replaced.append(f"{backend}/{op_id}")
+    if replaced:
+        updated["ratchet"] = {
+            "refreshed_cells": replaced,
+            "provenance": candidate.get("provenance"),
+        }
+    return updated, replaced
+
+
 def load_document(path: str) -> Dict[str, Any]:
     """Read one benchmark JSON document."""
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def write_document(path: str, document: Dict[str, Any]) -> None:
+    """Write one benchmark JSON document (sorted keys, trailing \\n)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def diff_files(

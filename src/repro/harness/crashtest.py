@@ -190,13 +190,36 @@ def _recovered_state(path: str) -> Dict[int, Dict[str, Any]]:
     Opening runs WAL recovery.  A crash before the schema commit became
     durable legitimately leaves no class; that reads as the empty
     snapshot.
+
+    Recovery must never serve a stale ``(pid, slot, lsn)`` decode-cache
+    entry, so two extra invariants are asserted here on every cell:
+    the cache is empty immediately after the recovering open (no entry
+    survives a restart), and a fully cache-served read pass agrees
+    byte-for-byte with a cold re-read after ``drop_cache()``.
     """
     store = ObjectStore(path, vfs=RealVFS())
     store.open()
     try:
+        if store._decode_cache is not None and len(store._decode_cache):
+            raise AssertionError(
+                "decode cache holds entries immediately after recovery"
+            )
         if _CLASS not in store.catalog.class_names():
             return {}
-        return {oid: store.get(oid) for oid in store.scan_class(_CLASS)}
+        oids = list(store.scan_class(_CLASS))
+        warm = {oid: store.get(oid) for oid in oids}  # fills the cache
+        cached = {oid: store.get(oid) for oid in oids}  # all cache hits
+        store.drop_cache()
+        cold = {oid: store.get(oid) for oid in oids}  # straight from disk
+        if not (warm == cached == cold):
+            stale = sorted(
+                oid for oid in oids if cached[oid] != cold[oid]
+            )
+            raise AssertionError(
+                "decode cache served stale recovered state for oids "
+                f"{stale[:5]}"
+            )
+        return cold
     finally:
         store.close()
 

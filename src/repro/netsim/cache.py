@@ -15,6 +15,9 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs import Instrumentation, resolve
 
+#: Sentinel distinguishing "absent" from a cached None value.
+_ABSENT = object()
+
 
 @dataclasses.dataclass
 class CacheStats:
@@ -76,27 +79,37 @@ class WorkstationCache:
         ``found`` maps each resident key to its object (recency
         refreshed); ``missing`` lists the keys to fetch, deduplicated
         but in first-seen order — a *partial* hit ships only the
-        missing refs over the network.  Counters are exact: one hit per
-        resident distinct key, one miss per missing distinct key
-        (duplicates within a batch are one lookup, as they would be
-        against a request-coalescing cache).
+        missing refs over the network.  Counters are exact but bumped
+        in aggregate: one hit per resident distinct key, one miss per
+        missing distinct key (duplicates within a batch are one lookup,
+        as they would be against a request-coalescing cache).  The
+        whole frontier costs a single dict lookup per key plus one
+        batched LRU promotion pass at the end — not a
+        ``move_to_end``/counter call per reference.
         """
+        entries = self._entries
         found: Dict[Any, Any] = {}
         missing: List[Any] = []
         seen_missing = set()
         for key in keys:
             if key in found or key in seen_missing:
                 continue
-            if key in self._entries:
-                self.stats.hits += 1
-                self._instr.count("netsim.cache.hit")
-                self._entries.move_to_end(key)
-                found[key] = self._entries[key]
+            value = entries.get(key, _ABSENT)
+            if value is not _ABSENT:
+                found[key] = value
             else:
-                self.stats.misses += 1
-                self._instr.count("netsim.cache.miss")
                 seen_missing.add(key)
                 missing.append(key)
+        # One promotion pass for the frontier: every hit becomes
+        # most-recently-used, in the frontier's own order.
+        for key in found:
+            entries.move_to_end(key)
+        if found:
+            self.stats.hits += len(found)
+            self._instr.count("netsim.cache.hit", len(found))
+        if missing:
+            self.stats.misses += len(missing)
+            self._instr.count("netsim.cache.miss", len(missing))
         return found, missing
 
     def put(self, key: Any, value: Any) -> None:

@@ -83,6 +83,46 @@ class TestSplits:
         assert tree.root != first_root
 
 
+class TestNodeCache:
+    def test_cache_fills_on_reads_and_serves_hits(self, tree):
+        for key in range(ORDER * 3):
+            tree.insert(key, key)
+        tree._nodes.clear()
+        assert tree.search_unique(5) == 5
+        cached = len(tree._nodes)
+        assert cached > 0
+        assert tree.search_unique(5) == 5  # same path: no new entries
+        assert len(tree._nodes) == cached
+
+    def test_write_invalidates_touched_nodes(self, tree):
+        """A dirty unpin bumps the frame LSN; the cached view for that
+        page must be rebuilt, not served stale."""
+        for key in range(ORDER * 3):
+            tree.insert(key, key)
+        assert tree.search_unique(1) == 1  # populate node views
+        tree.update_value(1, 1, 999)
+        assert tree.search_unique(1) == 999
+
+    def test_results_identical_with_and_without_cache(self, tree):
+        rng = random.Random(31)
+        keys = list(range(ORDER * 4))
+        rng.shuffle(keys)
+        for key in keys:
+            tree.insert(key, key * 3)
+        with_cache = list(tree.scan_range(10, ORDER * 2))
+        tree._nodes.clear()
+        assert list(tree.scan_range(10, ORDER * 2)) == with_cache
+
+    def test_cache_survives_interleaved_deletes(self, tree):
+        for key in range(ORDER * 2):
+            tree.insert(key, key)
+        assert tree.search_unique(3) == 3
+        tree.delete(3, 3)
+        assert tree.search_unique(3) is None
+        assert tree.search_unique(4) == 4
+        tree.check_invariants()
+
+
 class TestRangeScan:
     def test_range_bounds_inclusive(self, tree):
         for key in range(1, 101):

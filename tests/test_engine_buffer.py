@@ -58,6 +58,81 @@ class TestBasics:
         pool.unpin(pid)
 
 
+class TestGetMany:
+    def test_batch_equivalent_to_loop_of_gets(self, pool):
+        pids = _fill(pool, 3)
+        for pid in pids:
+            page = pool.get(pid)
+            page[0] = pid & 0xFF
+            pool.unpin(pid, dirty=True)
+        pool.flush_all()
+        pool.drop_cache()
+        frames = pool.get_many(pids)
+        assert sorted(frames) == sorted(pids)
+        for pid in pids:
+            assert frames[pid][0] == pid & 0xFF
+            pool.unpin(pid)
+
+    def test_counters_aggregate_hits_and_misses(self, pool):
+        pids = _fill(pool, 3)
+        pool.flush_all()
+        pool.drop_cache()
+        pool.get(pids[0])
+        pool.unpin(pids[0])
+        before_hits, before_misses = pool.stats.hits, pool.stats.misses
+        frames = pool.get_many(pids)
+        assert pool.stats.hits == before_hits + 1
+        assert pool.stats.misses == before_misses + 2
+        for pid in frames:
+            pool.unpin(pid)
+
+    def test_duplicates_double_pin(self, pool):
+        (pid,) = _fill(pool, 1)
+        frames = pool.get_many([pid, pid, pid])
+        assert list(frames) == [pid]
+        assert pool.pin_counts()[pid] == 3
+        for _ in range(3):
+            pool.unpin(pid)
+        assert pid not in pool.pin_counts()
+
+
+class TestFrameLsn:
+    def test_absent_page_has_no_lsn(self, pool):
+        (pid,) = _fill(pool, 1)
+        pool.flush_all()
+        pool.drop_cache()
+        assert pool.frame_lsn(pid) is None
+
+    def test_dirty_unpin_bumps_lsn(self, pool):
+        (pid,) = _fill(pool, 1)
+        page = pool.get(pid)
+        before = pool.frame_lsn(pid)
+        page[0] = 1
+        pool.unpin(pid, dirty=True)
+        assert pool.frame_lsn(pid) > before
+
+    def test_clean_unpin_keeps_lsn(self, pool):
+        (pid,) = _fill(pool, 1)
+        pool.get(pid)
+        before = pool.frame_lsn(pid)
+        pool.unpin(pid)
+        assert pool.frame_lsn(pid) == before
+
+    def test_reload_after_eviction_gets_fresh_lsn(self, pool):
+        """The clock is pool-global: an evicted-and-reloaded page can
+        never alias a stale (pid, lsn) cache key."""
+        (pid,) = _fill(pool, 1)
+        pool.get(pid)
+        first = pool.frame_lsn(pid)
+        pool.unpin(pid)
+        pool.flush_all()
+        pool.drop_cache()
+        pool.get(pid)
+        second = pool.frame_lsn(pid)
+        pool.unpin(pid)
+        assert second != first
+
+
 class TestEviction:
     def test_clean_lru_page_evicted_first(self, pool):
         pids = _fill(pool, 4)

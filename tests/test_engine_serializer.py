@@ -1,9 +1,11 @@
 """The binary serializer: roundtrips, edge values and corruption."""
 
-import pytest
-from hypothesis import given, strategies as st
+import sys
 
-from repro.engine.serializer import decode, encode
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.serializer import decode, decode_view, encode
 from repro.errors import StorageError
 
 
@@ -53,6 +55,45 @@ class TestRoundtrips:
 
     def test_int_keys_in_dicts(self):
         assert decode(encode({1: "a", 2: "b"})) == {1: "a", 2: "b"}
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            [[], {}, [{}], {"a": []}],
+            {"a": {"b": {"c": [1, [2, [3, {"d": b"x"}]]]}}},
+            [[[[[[[["deep"]]]]]]]],
+            {"": {"": {"": None}}},
+            [{"k": [b"", ""]}, [{}, [{}]], [[], [[]]]],
+        ],
+    )
+    def test_nested_edge_cases(self, value):
+        assert decode(encode(value)) == value
+
+    def test_decode_view_accepts_memoryview(self):
+        value = {"s": "hello", "b": b"\x00\x01", "l": [1, [2.5, None]]}
+        blob = encode(value)
+        assert decode_view(memoryview(blob)) == value
+        # Offcut views decode too (the slotted page case).
+        padded = b"xx" + blob + b"yy"
+        assert decode_view(memoryview(padded)[2:-2]) == value
+
+    def test_decoder_is_iterative(self):
+        """Deep nesting must not hit the interpreter recursion limit."""
+        depth = 900
+        value = "leaf"
+        for _ in range(depth):
+            value = [value]
+        blob = encode(value)  # the encoder recurses: encode first
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(80)
+        try:
+            decoded = decode(blob)
+        finally:
+            sys.setrecursionlimit(limit)
+        for _ in range(depth):
+            assert isinstance(decoded, list) and len(decoded) == 1
+            decoded = decoded[0]
+        assert decoded == "leaf"
 
 
 class TestErrors:
@@ -112,3 +153,28 @@ def test_property_roundtrip_any_supported_value(value):
 def test_property_encoding_is_deterministic(value):
     """Equal values encode to identical bytes (stable dict order given)."""
     assert encode(value) == encode(value)
+
+
+@settings(max_examples=40, deadline=None)
+@given(value=_values)
+def test_property_truncation_at_every_offset_rejected(value):
+    """Cutting an encoding at *any* byte offset must raise, not crash.
+
+    Every strict prefix is either a truncated value or leaves trailing
+    state on the decoder's stack — both are StorageError, never an
+    IndexError/UnicodeDecodeError leaking from the internals.
+    """
+    blob = encode(value)
+    for cut in range(len(blob)):
+        with pytest.raises(StorageError):
+            decode(blob[:cut])
+        with pytest.raises(StorageError):
+            decode_view(memoryview(blob)[:cut])
+
+
+@settings(max_examples=40, deadline=None)
+@given(value=_values)
+def test_property_view_and_bytes_decode_agree(value):
+    """decode over bytes and decode_view over a view are identical."""
+    blob = encode(value)
+    assert decode_view(memoryview(blob)) == decode(blob)

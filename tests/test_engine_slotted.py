@@ -49,7 +49,7 @@ class TestBasics:
         while slotted.can_insert(page, len(blob)):
             slotted.insert(page, blob)
             inserted += 1
-        assert inserted == 10  # (4096 - 8) // (400 + 4)
+        assert inserted == 10  # (4096 - 16) // (400 + 4)
         with pytest.raises(PageError):
             slotted.insert(page, blob)
 
@@ -102,6 +102,87 @@ class TestUpdate:
         assert slotted.update(page, tail, b"T" * 2000)
         assert slotted.read(page, keep) == b"k" * 1000
         assert slotted.read(page, tail) == b"T" * 2000
+
+
+class TestHints:
+    """The O(1) header hints: live bytes and the free-slot scan start."""
+
+    def test_fresh_page_hints(self, page):
+        live, hint = slotted._hints(page)
+        assert live == 0
+        assert hint == slotted.NO_FREE_SLOT
+
+    def test_live_bytes_track_inserts_and_deletes(self, page):
+        a = slotted.insert(page, b"x" * 100)
+        slotted.insert(page, b"y" * 50)
+        assert slotted._hints(page)[0] == 150
+        slotted.delete(page, a)
+        assert slotted._hints(page)[0] == 50
+
+    def test_live_bytes_track_updates(self, page):
+        slot = slotted.insert(page, b"x" * 100)
+        slotted.update(page, slot, b"y" * 30)
+        assert slotted._hints(page)[0] == 30
+        slotted.update(page, slot, b"z" * 200)
+        assert slotted._hints(page)[0] == 200
+
+    def test_delete_lowers_free_hint(self, page):
+        slots = [slotted.insert(page, bytes([i]) * 10) for i in range(5)]
+        slotted.delete(page, slots[3])
+        assert slotted._hints(page)[1] == 3
+        slotted.delete(page, slots[1])
+        assert slotted._hints(page)[1] == 1
+
+    def test_reuse_advances_hint_past_live_slots(self, page):
+        slots = [slotted.insert(page, bytes([i]) * 10) for i in range(4)]
+        slotted.delete(page, slots[1])
+        slotted.delete(page, slots[3])
+        assert slotted.insert(page, b"r1") == slots[1]
+        # The next reuse starts from the hint, skipping live slot 2.
+        assert slotted.insert(page, b"r2") == slots[3]
+        assert slotted._hints(page)[1] == slotted.NO_FREE_SLOT
+        # No tombstones left: the next insert appends a new slot.
+        assert slotted.insert(page, b"r3") == 4
+
+    def test_reclaimable_space_grows_by_deleted_bytes(self, page):
+        victim = slotted.insert(page, b"v" * 1000)
+        slotted.insert(page, b"k" * 500)
+        before = slotted._reclaimable_space(page)
+        slotted.delete(page, victim)
+        # O(1) from the live-bytes hint: the dead record's bytes become
+        # reclaimable without rescanning the slot directory.
+        assert slotted._reclaimable_space(page) == before + 1000
+
+    def test_compact_resets_hints_exactly(self, page):
+        slots = [slotted.insert(page, bytes([i]) * 20) for i in range(6)]
+        for victim in (slots[0], slots[2], slots[5]):
+            slotted.delete(page, victim)
+        slotted.compact(page)
+        live, hint = slotted._hints(page)
+        assert live == 3 * 20
+        assert hint == 0  # slot 0 is the first surviving tombstone
+
+
+class TestViews:
+    def test_read_returns_memoryview(self, page):
+        slot = slotted.insert(page, b"zero-copy")
+        view = slotted.read(page, slot)
+        assert isinstance(view, memoryview)
+        assert bytes(view) == b"zero-copy"
+
+    def test_read_into_appends(self, page):
+        slot = slotted.insert(page, b"payload")
+        out = bytearray(b"prefix:")
+        length = slotted.read_into(page, slot, out)
+        assert length == len(b"payload")
+        assert out == b"prefix:payload"
+
+    def test_records_view_yields_views(self, page):
+        slotted.insert(page, b"a")
+        slotted.insert(page, b"bb")
+        entries = list(slotted.records_view(page))
+        assert [(s, bytes(v)) for s, v in entries] == [(0, b"a"), (1, b"bb")]
+        assert all(isinstance(v, memoryview) for _, v in entries)
 
 
 class TestCompaction:

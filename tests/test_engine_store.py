@@ -87,6 +87,127 @@ class TestCrud:
         assert store.get(oid)["value"] == 1
 
 
+class TestDecodeCache:
+    """The (pid, slot, lsn) decoded-record cache behind every read."""
+
+    def _delta(self, store, action):
+        before = store.instrumentation.snapshot()
+        result = action()
+        return result, store.instrumentation.delta_since(before)
+
+    @pytest.fixture
+    def counted(self, tmp_path):
+        from repro.obs import Instrumentation
+
+        s = _make_store(tmp_path, instrumentation=Instrumentation())
+        s.open()
+        s.define_class("Item", [FieldDefinition("value", default=0)])
+        yield s
+        if s.is_open:
+            s.close()
+
+    def test_repeat_get_hits_cache(self, counted):
+        oid = counted.new("Item", {"value": 7})
+        counted.commit()
+        _, first = self._delta(counted, lambda: counted.get(oid))
+        assert first.get("engine.decode_cache.misses", 0) == 1
+        _, second = self._delta(counted, lambda: counted.get(oid))
+        assert second.get("engine.decode_cache.hits", 0) == 1
+        assert second.get("engine.decode_cache.misses", 0) == 0
+
+    def test_committed_update_invalidates(self, counted):
+        oid = counted.new("Item", {"value": 1})
+        counted.commit()
+        assert counted.get(oid)["value"] == 1  # populate cache
+        counted.update(oid, {"value": 2})
+        _, delta = self._delta(counted, counted.commit)
+        assert delta.get("engine.decode_cache.invalidations", 0) >= 1
+        assert counted.get(oid)["value"] == 2
+
+    def test_delete_and_slot_reuse_never_serve_stale(self, store):
+        """A new object reusing a deleted object's heap slot must not
+        decode to the old occupant."""
+        victims = [store.new("Item", {"value": i}) for i in range(3)]
+        store.commit()
+        for oid in victims:
+            store.get(oid)  # cache all three under their rids
+        store.delete(victims[1])
+        store.commit()
+        fresh = store.new("Item", {"value": 999})
+        store.commit()
+        assert store.get(fresh)["value"] == 999
+        with pytest.raises(RecordNotFoundError):
+            store.get(victims[1])
+
+    def test_cached_hit_returns_private_copy(self, store):
+        oid = store.new("Item", {"name": "n", "value": 1})
+        store.commit()
+        store.get(oid)
+        state = store.get(oid)  # cache hit
+        state["value"] = 999
+        assert store.get(oid)["value"] == 1
+
+    def test_get_many_hits_are_private_copies(self, store):
+        oids = [store.new("Item", {"value": i}) for i in range(4)]
+        store.commit()
+        store.get_many(oids)  # populate
+        first = store.get_many(oids)  # all hits
+        first[oids[0]]["value"] = 999
+        assert store.get_many(oids)[oids[0]]["value"] == 0
+
+    def test_schema_change_clears_cache(self, store):
+        oid = store.new("Item", {"value": 1})
+        store.commit()
+        assert "extra" not in store.get(oid)  # cached pre-upgrade
+        store.add_field("Item", FieldDefinition("extra", default=42))
+        assert store.get(oid)["extra"] == 42
+
+    def test_record_timestamp_tracks_commits(self, store):
+        oid = store.new("Item", {"value": 1})
+        store.commit()
+        first = store.record_timestamp(oid)
+        assert store.record_timestamp(oid) == first  # cache hit
+        store.update(oid, {"value": 2})
+        store.commit()
+        assert store.record_timestamp(oid) > first
+
+    def test_survives_reopen_cold(self, store):
+        oid = store.new("Item", {"value": 5})
+        store.commit()
+        store.get(oid)
+        store.close()
+        store.open()  # fresh cache: recovery must never serve pre-crash
+        assert store._decode_cache is not None
+        assert len(store._decode_cache) == 0
+        assert store.get(oid)["value"] == 5
+
+    def test_disabled_cache_still_correct(self, tmp_path):
+        s = _make_store(tmp_path, decode_cache_size=0)
+        s.open()
+        s.define_class("Item", [FieldDefinition("value", default=0)])
+        assert s._decode_cache is None
+        oid = s.new("Item", {"value": 3})
+        s.commit()
+        assert s.get(oid)["value"] == 3
+        s.update(oid, {"value": 4})
+        s.commit()
+        assert s.get(oid)["value"] == 4
+        s.close()
+
+    def test_capacity_bounds_entries(self, tmp_path):
+        s = _make_store(tmp_path, decode_cache_size=4)
+        s.open()
+        s.define_class("Item", [FieldDefinition("value", default=0)])
+        oids = [s.new("Item", {"value": i}) for i in range(10)]
+        s.commit()
+        for oid in oids:
+            s.get(oid)
+        assert len(s._decode_cache) <= 4
+        for oid in oids:  # correctness under constant eviction
+            assert s.get(oid)["value"] == oids.index(oid)
+        s.close()
+
+
 class TestTransactions:
     def test_explicit_commit_and_abort(self, store):
         with store.begin() as txn:
