@@ -30,6 +30,7 @@ from repro.netsim.faults import FaultModel
 from repro.netsim.latency import LatencyModel, SimulatedClock
 from repro.netsim.server import ObjectServer
 from repro.obs import Instrumentation, TraceContext, resolve
+from repro.sharding.router import ShardRouter
 from repro.errors import (
     CommitConflictError,
     DatabaseClosedError,
@@ -178,9 +179,25 @@ class ClientServerDatabase(HyperModelDatabase):
         self.rpc_backoff_seconds = network.rpc_backoff_seconds
         self.optimistic = network.concurrency == "optimistic"
         self.instrumentation = resolve(instrumentation)
+        sharding = network.sharding
         if server is not None:
             self.simulated_clock = clock or server.clock
             self.server = server
+        elif sharding is not None and sharding.shards > 1:
+            # N-server deployment: the router presents the ObjectServer
+            # verb surface, so everything below this branch — cache,
+            # retries, trace propagation, commit protocol selection —
+            # is identical code either way.
+            self.simulated_clock = clock or SimulatedClock()
+            self.server = ShardRouter(
+                sharding,
+                clock=self.simulated_clock,
+                latency=network.latency,
+                instrumentation=self.instrumentation,
+                fault_model=network.fault_model,
+                rpc_retries=network.rpc_retries,
+                rpc_backoff_seconds=network.rpc_backoff_seconds,
+            )
         else:
             self.simulated_clock = clock or SimulatedClock()
             self.server = ObjectServer(

@@ -42,7 +42,7 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
 from repro.core.interface import HyperModelDatabase
 from repro.errors import ConfigurationError
-from repro.netsim.config import NetworkConfig
+from repro.netsim.config import NetworkConfig, ShardConfig
 
 #: A mapping of keyword options forwarded to a backend factory
 #: (``cache_pages=...``, ``clustered=...``, ``instrumentation=...`` …).
@@ -263,6 +263,32 @@ register_backend(
     description=(
         "client/server with push-down disabled: one batch RPC per"
         " closure level (ablation)"
+    ),
+)
+register_backend(
+    "clientserver-sharded-hash",
+    _clientserver_factory,
+    default_options={
+        "network": NetworkConfig(
+            sharding=ShardConfig(shards=2, placement="hash")
+        )
+    },
+    description=(
+        "client/server over 2 shards, consistent-hash placement"
+        " (scatter-gather push-down, 2PC commits)"
+    ),
+)
+register_backend(
+    "clientserver-sharded-affine",
+    _clientserver_factory,
+    default_options={
+        "network": NetworkConfig(
+            sharding=ShardConfig(shards=2, placement="affine")
+        )
+    },
+    description=(
+        "client/server over 2 shards, subtree-affine placement"
+        " (1-N closures stay shard-local)"
     ),
 )
 

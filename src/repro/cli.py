@@ -16,6 +16,9 @@ Subcommands:
 * ``bench-multiuser`` — run the discrete-event multi-client grid
   (clients × conflict rate, optimistic concurrency, group-commit WAL)
   and write ``BENCH_multiuser.json`` (see ``docs/multiuser.md``);
+* ``bench-sharded`` — run the shard-count × placement-policy grid
+  (scatter-gather closures, two-phase cross-shard commits) and write
+  ``BENCH_sharded.json`` (see ``docs/sharding.md``);
 * ``bench-diff`` — compare two ``BENCH_*.json`` documents with
   percentile-aware thresholds; exits non-zero on regression (the CI
   bench gate);
@@ -261,6 +264,43 @@ def _build_parser() -> argparse.ArgumentParser:
         " lane per client (see docs/observability.md)",
     )
 
+    sharded = sub.add_parser(
+        "bench-sharded",
+        help="run the shard-count × placement grid, write"
+        " BENCH_sharded.json",
+    )
+    sharded.add_argument(
+        "--shards",
+        default="1,2,4",
+        help="comma-separated shard counts (default: 1,2,4)",
+    )
+    sharded.add_argument(
+        "--placements",
+        default="hash,affine",
+        help="comma-separated placement policies (default: hash,affine)",
+    )
+    sharded.add_argument(
+        "--level", type=int, default=4, help="leaf level (default: 4)"
+    )
+    sharded.add_argument(
+        "--closures",
+        type=int,
+        default=12,
+        help="cold closure traversals per cell (default: 12)",
+    )
+    sharded.add_argument(
+        "--updates",
+        type=int,
+        default=24,
+        help="optimistic update transactions per cell (default: 24)",
+    )
+    sharded.add_argument("--seed", type=int, default=1989)
+    sharded.add_argument(
+        "--out",
+        default="BENCH_sharded.json",
+        help="output JSON path (default: BENCH_sharded.json)",
+    )
+
     crash = sub.add_parser(
         "crashtest",
         help="crash the engine at every I/O op, verify recovery, "
@@ -295,6 +335,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out",
         default="BENCH_crash.json",
         help="output JSON path (default: BENCH_crash.json)",
+    )
+    crash.add_argument(
+        "--two-phase",
+        action="store_true",
+        help="also run the two-phase-commit crash matrix"
+        " (coordinator/participant crashes, torn prepares) and fold"
+        " its violations into the exit code",
+    )
+    crash.add_argument(
+        "--two-phase-shards",
+        type=int,
+        default=3,
+        help="shard servers in the 2PC matrix (default: 3)",
+    )
+    crash.add_argument(
+        "--two-phase-placement",
+        default="hash",
+        choices=["hash", "affine"],
+        help="placement policy in the 2PC matrix (default: hash)",
+    )
+    crash.add_argument(
+        "--two-phase-transactions",
+        type=int,
+        default=4,
+        help="cross-shard transactions crashed per scenario"
+        " (default: 4)",
+    )
+    crash.add_argument(
+        "--two-phase-out",
+        default="BENCH_crash2pc.json",
+        help="2PC matrix output path (default: BENCH_crash2pc.json)",
     )
 
     query = sub.add_parser("query", help="run an ad-hoc query (R12)")
@@ -556,6 +627,23 @@ def _cmd_bench_multiuser(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_sharded(args: argparse.Namespace) -> int:
+    from repro.harness.shardbench import format_summary, write_sharded_bench
+
+    document = write_sharded_bench(
+        args.out,
+        shard_counts=[int(n) for n in args.shards.split(",")],
+        placements=[p.strip() for p in args.placements.split(",")],
+        level=args.level,
+        closures=args.closures,
+        updates=args.updates,
+        seed=args.seed,
+    )
+    print(format_summary(document))
+    print(f"results written to {args.out}")
+    return 0
+
+
 def _cmd_crashtest(args: argparse.Namespace) -> int:
     from repro.harness.crashtest import (
         CrashWorkload,
@@ -574,7 +662,23 @@ def _cmd_crashtest(args: argparse.Namespace) -> int:
     )
     print(format_summary(document))
     print(f"results written to {args.out}")
-    return 1 if document["violation_count"] else 0
+    violations = document["violation_count"]
+    if args.two_phase:
+        from repro.harness import shardcrash
+
+        two_phase = shardcrash.write_two_phase_crash_bench(
+            args.two_phase_out,
+            workload=shardcrash.TwoPhaseWorkload(
+                shards=args.two_phase_shards,
+                placement=args.two_phase_placement,
+                transactions=args.two_phase_transactions,
+                seed=args.seed,
+            ),
+        )
+        print(shardcrash.format_summary(two_phase))
+        print(f"results written to {args.two_phase_out}")
+        violations += two_phase["violation_count"]
+    return 1 if violations else 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -680,6 +784,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": lambda: _cmd_run(args, bench=True),
         "bench-closure": lambda: _cmd_bench_closure(args),
         "bench-multiuser": lambda: _cmd_bench_multiuser(args),
+        "bench-sharded": lambda: _cmd_bench_sharded(args),
         "bench-diff": lambda: _cmd_bench_diff(args),
         "trace": lambda: _cmd_trace(args),
         "crashtest": lambda: _cmd_crashtest(args),

@@ -22,10 +22,37 @@ validate-and-apply atomic with respect to other optimistic commits.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict
+from typing import Any, Callable, Dict, List, Mapping
 
 from repro.engine.store import ObjectStore
 from repro.errors import ConflictError, TransactionError
+
+
+def stale_reads(
+    reads: Mapping[int, int], version_of: Callable[[int], int]
+) -> List[int]:
+    """The read-set entries whose pinned version is no longer current.
+
+    This is the first-committer-wins validation kernel, shared by the
+    engine-level :class:`OptimisticCoordinator` and the network
+    server's ``commit_batch``/``prepare_batch`` verbs.  Under sharding
+    each shard validates only the pins of the objects *it* owns (the
+    router partitions the read set by placement), so validation stays
+    a local comparison against that shard's own version counters — no
+    cross-shard version exchange is ever needed.
+
+    Args:
+        reads: ``{oid: pinned version}`` — the version each object was
+            first read at in this transaction.
+        version_of: the authority's current version for an oid.
+
+    Returns:
+        The oids that changed since they were pinned, in read-set
+        iteration order (deterministic for dict-backed read sets).
+    """
+    return [
+        oid for oid, pinned in reads.items() if version_of(oid) != pinned
+    ]
 
 
 class OptimisticTransaction:
@@ -112,14 +139,15 @@ class OptimisticCoordinator:
     def _validate_and_apply(self, txn: OptimisticTransaction) -> None:
         with self._mutex:
             self.validations += 1
-            for oid, seen_timestamp in txn.read_versions.items():
-                current = self.store.record_timestamp(oid)
-                if current != seen_timestamp:
-                    self.conflicts += 1
-                    raise ConflictError(
-                        f"optimistic txn {txn.txid}: object {oid} changed "
-                        f"(read ts {seen_timestamp}, now {current})"
-                    )
+            stale = stale_reads(txn.read_versions, self.store.record_timestamp)
+            if stale:
+                self.conflicts += 1
+                oid = stale[0]
+                raise ConflictError(
+                    f"optimistic txn {txn.txid}: object {oid} changed "
+                    f"(read ts {txn.read_versions[oid]}, now "
+                    f"{self.store.record_timestamp(oid)})"
+                )
             if not txn.write_buffer:
                 return
             engine_txn = self.store.begin()

@@ -328,7 +328,19 @@ class ObjectStore:
         self._decode_cache = None
 
     def _recover_if_needed(self) -> None:
-        """Physical redo of committed work left in the WAL."""
+        """Physical redo of committed work left in the WAL.
+
+        Prepared-but-undecided transactions (a two-phase-commit
+        participant's PREPARE with no decision record) are **not**
+        replayed — presumed abort — and are counted under
+        ``engine.recovery.in_doubt_aborted`` so a coordinator-aware
+        driver can notice and resolve them out of band.
+        """
+        in_doubt = self._wal.recover_in_doubt()
+        if in_doubt:
+            self.instrumentation.count(
+                "engine.recovery.in_doubt_aborted", len(in_doubt)
+            )
         work = self._wal.recover_operations()
         if not work:
             return

@@ -18,6 +18,8 @@ Record types:
 * ``DELETE txid oid``      — logical: remove an object
 * ``PAGE txid pid image``  — physical: post-image of a dirtied page
 * ``ROOTS txid roots``     — physical: the header root-pointer table
+* ``PREPARE txid``         — two-phase commit vote: the transaction's
+  operations are durable but the *decision* belongs to a coordinator
 * ``COMMIT txid``
 * ``ABORT txid``           — informational; aborted work is never applied
 * ``CHECKPOINT``           — everything before this point is on disk
@@ -25,6 +27,17 @@ Record types:
 The store's recovery path replays the *physical* records (page images
 in commit order, then the last committed root table); the logical
 records ride along for diagnostics and for the logical-replay tests.
+
+**Two-phase commit and presumed abort.**  A participant in a
+distributed commit logs ``BEGIN + operations + PREPARE`` (force-synced
+— a yes vote must survive a crash) and only applies the operations
+when the coordinator's decision arrives as a ``COMMIT`` or ``ABORT``
+record.  A transaction whose log ends at ``PREPARE`` is **in doubt**:
+:meth:`WriteAheadLog.recover_operations` never replays it (so plain
+recovery follows *presumed abort* — an undecided transaction is not
+redone), and :meth:`WriteAheadLog.recover_in_doubt` surfaces it so a
+recovery driver can ask the coordinator's decision log and either
+replay (``COMMIT``) or forget (``ABORT``) it deterministically.
 """
 
 from __future__ import annotations
@@ -45,6 +58,7 @@ PUT = "P"
 DELETE = "D"
 PAGE = "G"
 ROOTS = "R"
+PREPARE = "E"
 COMMIT = "C"
 ABORT = "A"
 CHECKPOINT = "K"
@@ -190,6 +204,38 @@ class WriteAheadLog:
             self.append(LogRecord(COMMIT, txid=txid))
             return self.sync()
 
+    def log_prepare(self, txid: int, operations: List[LogRecord]) -> bool:
+        """Write BEGIN + operations + PREPARE and **force** durability.
+
+        This is a two-phase-commit participant's yes vote: once this
+        method returns, the transaction's operations and the fact that
+        it voted yes survive any crash, so the coordinator may count
+        the vote.  The sync is forced even in group-commit mode —
+        deferring a vote would let a crash silently retract it.
+        """
+        with self._instr.span("wal.prepare"):
+            self.append(LogRecord(BEGIN, txid=txid))
+            for op in operations:
+                self.append(op)
+            self.append(LogRecord(PREPARE, txid=txid))
+            return self.sync(force=True)
+
+    def log_decision(self, txid: int, committed: bool) -> bool:
+        """Record the coordinator's decision for a prepared transaction.
+
+        Appends ``COMMIT`` (and forces a durability point — the
+        decision must stick) or ``ABORT`` (flushed with the next sync;
+        presumed abort means losing it is harmless: an undecided
+        transaction aborts anyway).
+        """
+        with self._instr.span("wal.decision"):
+            if committed:
+                self.append(LogRecord(COMMIT, txid=txid))
+                return self.sync(force=True)
+            self.append(LogRecord(ABORT, txid=txid))
+            self._file.flush()
+            return False
+
     def log_checkpoint(self) -> None:
         """Record that all prior changes are on data pages, then truncate.
 
@@ -239,7 +285,10 @@ class WriteAheadLog:
         transaction's PUT/DELETE records, and returns only those whose
         COMMIT made it to disk, in commit order.  Incomplete or aborted
         transactions are dropped (their changes never touched data
-        pages, so dropping them *is* the undo).
+        pages, so dropping them *is* the undo).  A transaction whose
+        log ends at PREPARE is in doubt and likewise **not** returned —
+        presumed abort; :meth:`recover_in_doubt` lists those separately
+        for a coordinator-aware recovery driver.
         """
         pending: Dict[int, List[LogRecord]] = {}
         committed: List[Tuple[int, List[LogRecord]]] = []
@@ -251,6 +300,11 @@ class WriteAheadLog:
                 pending[record.txid] = []
             elif record.kind in _DATA_KINDS:
                 pending.setdefault(record.txid, []).append(record)
+            elif record.kind == PREPARE:
+                # The vote is durable but the decision is not ours to
+                # make here; the records stay pending until a COMMIT
+                # or ABORT decides them.
+                continue
             elif record.kind == COMMIT:
                 if record.txid in pending:
                     committed.append((record.txid, pending.pop(record.txid)))
@@ -259,6 +313,38 @@ class WriteAheadLog:
             else:
                 raise RecoveryError(f"unknown log record kind {record.kind!r}")
         return committed
+
+    def recover_in_doubt(self) -> List[Tuple[int, List[LogRecord]]]:
+        """Prepared-but-undecided transactions, in prepare order.
+
+        These are the transactions whose PREPARE record is on disk but
+        whose COMMIT/ABORT is not: a two-phase-commit participant that
+        crashed between voting and learning the outcome.  The caller
+        resolves each against the coordinator's decision log — replay
+        on COMMIT, forget on ABORT (and an unknown transaction *is* an
+        abort: presumed abort).
+        """
+        pending: Dict[int, List[LogRecord]] = {}
+        prepared: Dict[int, List[LogRecord]] = {}
+        order: List[int] = []
+        for record in self.read_all():
+            if record.kind == CHECKPOINT:
+                pending.clear()
+                prepared.clear()
+                order.clear()
+            elif record.kind == BEGIN:
+                pending[record.txid] = []
+            elif record.kind in _DATA_KINDS:
+                pending.setdefault(record.txid, []).append(record)
+            elif record.kind == PREPARE:
+                if record.txid in pending and record.txid not in prepared:
+                    prepared[record.txid] = pending[record.txid]
+                    order.append(record.txid)
+            elif record.kind in (COMMIT, ABORT):
+                pending.pop(record.txid, None)
+                if prepared.pop(record.txid, None) is not None:
+                    order.remove(record.txid)
+        return [(txid, prepared[txid]) for txid in order]
 
 
 def put_record(txid: int, oid: int, state: Any) -> LogRecord:

@@ -1,0 +1,228 @@
+"""The sharding grid benchmark behind ``BENCH_sharded.json``.
+
+Measures the two costs the sharded deployment trades against each
+other, over a shard-count × placement-policy grid:
+
+* **closure latency** — cold scatter-gather closure push-down from
+  seeded random internal nodes: hash placement pays a cross-shard
+  round for almost every depth level, subtree-affine placement keeps
+  1-N closures inside one shard (clustering as a placement policy —
+  the benchmark axis Darmont's critique asks for);
+* **update latency / throughput** — small read-modify-write
+  transactions under optimistic concurrency: multi-shard write sets
+  pay the two-phase-commit prepare+decide rounds, single-shard ones
+  keep the classic one-round-trip ``commit_batch``.
+
+All times are **virtual** (the simulated clock): the document is a
+pure function of the grid and the seed, byte-identical across
+machines, so CI hard-gates it with ``repro bench-diff`` against
+``benchmarks/baseline/BENCH_sharded.json``.  Cells carry the same
+``p50_ms``/``p90_ms``/``p99_ms`` + ``mode`` leaf shape the other
+benchmarks use, under ``cells[shards<N>-<placement>][closure|update]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+from typing import Any, Dict, List, Sequence
+
+from repro.core.config import HyperModelConfig
+from repro.core.generator import DatabaseGenerator, GeneratedDatabase
+from repro.harness.provenance import provenance
+from repro.netsim.config import NetworkConfig, ShardConfig
+from repro.netsim.latency import LatencyModel
+from repro.obs import Instrumentation, LatencyHistogram
+
+#: Default grid: shard counts × placement policies.
+DEFAULT_SHARDS = (1, 2, 4)
+DEFAULT_PLACEMENTS = ("hash", "affine")
+
+
+def _generate_structure(level: int, seed: int):
+    """Generate the shared structure once; return (gen, record dump)."""
+    from repro.backends.clientserver import ClientServerDatabase
+    from repro.netsim.server import ObjectServer
+
+    server = ObjectServer(latency=LatencyModel())
+    loader = ClientServerDatabase(server=server)
+    loader.open()
+    gen = DatabaseGenerator(
+        HyperModelConfig(levels=level, seed=seed)
+    ).generate(loader)
+    loader.commit()
+    loader.close()
+    return gen, server.export_records()
+
+
+@dataclasses.dataclass
+class _Phase:
+    """Latency samples + counter deltas of one measured phase."""
+
+    samples_ms: List[float]
+    counters: Dict[str, float]
+
+    def leaf(self, mode: str, **extra: Any) -> Dict[str, Any]:
+        hist = LatencyHistogram.from_samples(self.samples_ms)
+        leaf: Dict[str, Any] = {
+            "mode": mode,
+            "samples": len(self.samples_ms),
+            "p50_ms": round(hist.percentile(0.50), 4),
+            "p90_ms": round(hist.percentile(0.90), 4),
+            "p99_ms": round(hist.percentile(0.99), 4),
+            "max_ms": round(hist.maximum, 4),
+        }
+        leaf.update(extra)
+        return leaf
+
+
+def _run_cell(
+    gen: GeneratedDatabase,
+    records: Dict[int, Dict[str, Any]],
+    shards: int,
+    placement: str,
+    closures: int,
+    updates: int,
+    seed: int,
+) -> Dict[str, Any]:
+    from repro.backends.clientserver import ClientServerDatabase
+
+    instr = Instrumentation()
+    network = NetworkConfig(
+        concurrency="optimistic",
+        sharding=ShardConfig(shards=shards, placement=placement),
+    )
+    db = ClientServerDatabase(network=network, instrumentation=instr)
+    db.open()
+    db.server.load_records(records)
+    clock = db.simulated_clock
+    rng = random.Random(
+        seed * 7919 + shards * 101 + (13 if placement == "hash" else 29)
+    )
+
+    # -- cold closures ------------------------------------------------
+    before = instr.snapshot()
+    closure_samples: List[float] = []
+    for _ in range(closures):
+        root = gen.random_internal_uid(rng)
+        db.cache.clear()  # every closure starts cold
+        start = clock.now
+        pushed = db.prefetch_closure(root, "children", None)
+        if not pushed:  # pragma: no cover - pushdown is on in this grid
+            raise RuntimeError("closure push-down unexpectedly disabled")
+        closure_samples.append((clock.now - start) * 1000.0)
+    closure_delta = instr.delta_since(before)
+    closure = _Phase(closure_samples, closure_delta).leaf(
+        "sharded-closure",
+        round_trips=int(closure_delta.get("backend.rpc.round_trips", 0)),
+        scatter_rounds=int(
+            closure_delta.get("backend.rpc.scatter.rounds", 0)
+        ),
+        rpcs_per_closure=round(
+            closure_delta.get("backend.rpc.round_trips", 0) / closures, 4
+        ),
+    )
+
+    # -- optimistic updates (2PC when the write set spans shards) -----
+    before = instr.snapshot()
+    update_samples: List[float] = []
+    update_start = clock.now
+    for step in range(updates):
+        a = gen.random_uid(rng)
+        b = gen.random_uid(rng)
+        start = clock.now
+        db.set_attribute(a, "ten", step % 10)
+        if b != a:
+            db.set_attribute(b, "ten", (step + 1) % 10)
+        db.commit()
+        update_samples.append((clock.now - start) * 1000.0)
+    update_span = clock.now - update_start
+    update_delta = instr.delta_since(before)
+    update = _Phase(update_samples, update_delta).leaf(
+        "sharded-update",
+        round_trips=int(update_delta.get("backend.rpc.round_trips", 0)),
+        two_phase_commits=int(update_delta.get("backend.2pc.commits", 0)),
+        throughput_per_s=round(updates / update_span, 4)
+        if update_span > 0
+        else 0.0,
+    )
+    db.close()
+    return {"closure": closure, "update": update}
+
+
+def run_sharded_bench(
+    shard_counts: Sequence[int] = DEFAULT_SHARDS,
+    placements: Sequence[str] = DEFAULT_PLACEMENTS,
+    level: int = 4,
+    closures: int = 12,
+    updates: int = 24,
+    seed: int = 1989,
+) -> Dict[str, Any]:
+    """Run the shard-count × placement grid; return the JSON document.
+
+    The structure is generated once (level ``level``, seed ``seed``)
+    and loaded into a fresh sharded deployment per cell, so cells are
+    independent and the grid order does not matter.
+    """
+    shard_counts = sorted(set(int(n) for n in shard_counts))
+    if not shard_counts or shard_counts[0] < 1:
+        raise ValueError("shard counts must be positive")
+    for placement in placements:
+        ShardConfig(shards=max(shard_counts), placement=placement)
+    gen, records = _generate_structure(level, seed)
+    cells: Dict[str, Dict[str, Any]] = {}
+    for shards in shard_counts:
+        for placement in placements:
+            cells[f"shards{shards}-{placement}"] = _run_cell(
+                gen, records, shards, placement, closures, updates, seed
+            )
+    return {
+        "benchmark": "sharded",
+        "level": level,
+        "seed": seed,
+        "shard_counts": list(shard_counts),
+        "placements": list(placements),
+        "closures": closures,
+        "updates": updates,
+        "provenance": provenance(
+            shard_counts=list(shard_counts),
+            placements=list(placements),
+            level=level,
+            closures=closures,
+            updates=updates,
+            seed=seed,
+        ),
+        "cells": cells,
+    }
+
+
+def write_sharded_bench(out_path: str, **kwargs: Any) -> Dict[str, Any]:
+    """Run :func:`run_sharded_bench` and write ``out_path`` as JSON."""
+    document = run_sharded_bench(**kwargs)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def format_summary(document: Dict[str, Any]) -> str:
+    """A small fixed-width table of the document (for the CLI)."""
+    lines = [
+        f"sharded grid — level {document['level']},"
+        f" {document['closures']} closures + {document['updates']} updates"
+        f" per cell, seed {document['seed']}",
+        f"{'cell':>18}{'closure p50':>13}{'p99':>9}{'rpc/clo':>9}"
+        f"{'update p50':>12}{'p99':>9}{'2pc':>6}{'tput/s':>9}",
+    ]
+    for key in sorted(document["cells"]):
+        cell = document["cells"][key]
+        closure, update = cell["closure"], cell["update"]
+        lines.append(
+            f"{key:>18}{closure['p50_ms']:>13.3f}{closure['p99_ms']:>9.3f}"
+            f"{closure['rpcs_per_closure']:>9.2f}"
+            f"{update['p50_ms']:>12.3f}{update['p99_ms']:>9.3f}"
+            f"{update['two_phase_commits']:>6}"
+            f"{update['throughput_per_s']:>9.1f}"
+        )
+    return "\n".join(lines)

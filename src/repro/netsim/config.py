@@ -37,6 +37,73 @@ from repro.netsim.latency import LatencyModel
 #: Concurrency modes a client understands.
 CONCURRENCY_MODES = ("none", "optimistic")
 
+#: OID→shard placement policies the sharding layer understands.
+PLACEMENT_POLICIES = ("hash", "affine")
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardConfig:
+    """How the object store is partitioned across shard servers.
+
+    ``shards=1`` (the default) means *no* sharding at all: the client
+    talks to a single :class:`~repro.netsim.server.ObjectServer`
+    through exactly the code path it always used, bit-identical to the
+    unsharded backend.  With ``shards > 1`` the client routes every
+    request through a :class:`~repro.sharding.router.ShardRouter`.
+
+    Attributes:
+        shards: number of shard servers (>= 1).
+        placement: ``"hash"`` — consistent hashing over OIDs (uniform,
+            structure-blind) — or ``"affine"`` — subtree-affine
+            placement that co-locates whole 1-N closure subtrees on
+            one shard (clustering as a placement policy, the paper's
+            own axis; see :mod:`repro.sharding.placement`).
+        virtual_nodes: ring points per shard for the ``hash`` policy
+            (more points = smoother balance, slower ring build).
+        fanout: tree fan-out assumed by the ``affine`` policy (the
+            HyperModel generator's 5).
+        first_uid: uniqueId of the structure's root for the ``affine``
+            policy (the generator's ``first_uid``).
+        affinity_level: tree level whose subtrees the ``affine``
+            policy keeps together — level 1 (default) spreads the
+            root's ``fanout`` child subtrees round-robin over shards.
+    """
+
+    shards: int = 1
+    placement: str = "hash"
+    virtual_nodes: int = 64
+    fanout: int = 5
+    first_uid: int = 1
+    affinity_level: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {self.shards}"
+            )
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ConfigurationError(
+                f"placement must be one of {PLACEMENT_POLICIES},"
+                f" got {self.placement!r}"
+            )
+        if self.virtual_nodes < 1:
+            raise ConfigurationError(
+                f"virtual_nodes must be >= 1, got {self.virtual_nodes}"
+            )
+        if self.fanout < 2:
+            raise ConfigurationError(
+                f"fanout must be >= 2, got {self.fanout}"
+            )
+        if self.affinity_level < 0:
+            raise ConfigurationError(
+                "affinity_level cannot be negative,"
+                f" got {self.affinity_level}"
+            )
+
+    def replace(self, **changes) -> "ShardConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
 
 @dataclasses.dataclass(frozen=True)
 class NetworkConfig:
@@ -64,6 +131,10 @@ class NetworkConfig:
             read-set versions in one ``commit_batch`` RPC the server
             validates, raising
             :class:`~repro.errors.CommitConflictError` on stale reads.
+        sharding: partition the store across N shard servers behind a
+            :class:`~repro.sharding.router.ShardRouter` (``None`` or
+            ``shards=1`` keeps the classic single-server stack,
+            bit-identical).
     """
 
     latency: Optional[LatencyModel] = None
@@ -74,6 +145,7 @@ class NetworkConfig:
     pushdown: bool = True
     readahead_depth: int = 1
     concurrency: str = "none"
+    sharding: Optional[ShardConfig] = None
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 1:

@@ -19,10 +19,10 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine import serializer
-from repro.engine.wal import WriteAheadLog, put_record
+from repro.engine.wal import PUT, WriteAheadLog, put_record
 from repro.netsim.faults import FaultModel
 from repro.netsim.latency import LatencyModel, SimulatedClock
 from repro.netsim.sim import DirectTransport
@@ -43,6 +43,18 @@ _PROBE_BYTES = 16
 _RELATIONS = ("children", "parts", "refTo")
 
 
+def stale_reads(reads, version_of):
+    """First-committer-wins validation kernel (deferred import).
+
+    Shared with the engine-level optimistic coordinator; imported
+    lazily because ``repro.concurrency`` transitively imports the
+    client/server backend, which imports this module.
+    """
+    from repro.concurrency.optimistic import stale_reads as _kernel
+
+    return _kernel(reads, version_of)
+
+
 @dataclasses.dataclass
 class ServerStats:
     """Request counters, by request type."""
@@ -59,6 +71,8 @@ class ServerStats:
     scans: int = 0
     commits: int = 0
     commit_conflicts: int = 0
+    prepares: int = 0
+    decisions: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
 
@@ -69,6 +83,7 @@ class ServerStats:
         self.traversals = self.readaheads = self.pushdown_objects = 0
         self.queries = self.scans = 0
         self.commits = self.commit_conflicts = 0
+        self.prepares = self.decisions = 0
         self.bytes_sent = self.bytes_received = 0
 
 
@@ -91,10 +106,17 @@ class ObjectServer:
         fault_model: Optional[FaultModel] = None,
         wal: Optional[WriteAheadLog] = None,
         fsync_seconds: float = 0.0,
+        shard_id: Optional[int] = None,
     ) -> None:
         self.clock = clock or SimulatedClock()
         self.latency = latency or LatencyModel()
         self.stats = ServerStats()
+        #: Position of this server in a sharded deployment, or ``None``
+        #: for the classic single-server stack.  A set shard id adds
+        #: ``backend.shard.<n>.rpc.*`` counters and folds a
+        #: ``shard<n>`` tag into the trace lane; the ``None`` path is
+        #: byte-identical to the pre-sharding server.
+        self.shard_id = shard_id
         self.fault_model = fault_model
         self.instrumentation = resolve(instrumentation)
         self._instr = self.instrumentation
@@ -123,6 +145,20 @@ class ObjectServer:
         self._subscribers: List[object] = []
         #: Trace context of the in-flight request (the RPC envelope).
         self._pending_trace: Optional[TraceContext] = None
+        #: Two-phase-commit participant state: write sets parked by
+        #: ``prepare_batch`` awaiting the coordinator's decision,
+        #: keyed by global txid.
+        self._prepared: Dict[int, Dict[str, Any]] = {}
+        #: Pins held by prepared transactions: uid → owning txid.  A
+        #: pinned uid blocks conflicting commits/prepares until the
+        #: owner is decided (prepared state must stay validatable).
+        self._pins: Dict[int, int] = {}
+        #: The subset of pinned uids the owning txn will *write*.
+        self._pin_writes: set = set()
+        #: Decision memo so a retried ``commit_prepared`` /
+        #: ``abort_prepared`` is idempotent: txid → applied versions
+        #: (commit) or ``None`` (abort).
+        self._decided: Dict[int, Optional[Dict[int, int]]] = {}
 
     @contextlib.contextmanager
     def use_transport(self, transport):
@@ -159,11 +195,17 @@ class ObjectServer:
         """
         context = self._pending_trace
         self._pending_trace = None
+        client = None if context is None else context.client_id
+        if self.shard_id is not None:
+            # Shard-tagged lane: scatter-gather fan-out shows up as
+            # one trace lane per (client, shard) pair in Perfetto.
+            tag = f"shard{self.shard_id}"
+            client = tag if client is None else f"{client}·{tag}"
         with self._instr.span(
             "server." + request,
             remote_parent=None if context is None else context.span_id,
             remote_trace=None if context is None else context.trace_id,
-            client=None if context is None else context.client_id,
+            client=client,
         ):
             # Version stamps never survive into the next request: each
             # reply's stamps belong to exactly one caller.
@@ -233,6 +275,12 @@ class ObjectServer:
             self._instr.observe(
                 f"backend.rpc.payload_bytes.{verb}", float(payload_bytes)
             )
+        if self.shard_id is not None:
+            prefix = f"backend.shard.{self.shard_id}.rpc"
+            self._instr.count(f"{prefix}.round_trips")
+            self._instr.count(f"{prefix}.payload_bytes", float(payload_bytes))
+            if verb is not None:
+                self._instr.count(f"{prefix}.{verb}")
 
     def _reply_payload(self, records) -> int:
         """Wire size of one record-carrying reply: envelope + records."""
@@ -601,16 +649,15 @@ class ObjectServer:
             )
             self.stats.bytes_received += upload
             self._instr.count("backend.rpc.bytes_received", upload)
-            conflicts = [
-                uid
-                for uid, seen in reads.items()
-                if self._versions.get(uid, 0) != seen
-            ]
+            conflicts = stale_reads(
+                reads, lambda uid: self._versions.get(uid, 0)
+            )
+            conflicts += self._pin_conflicts(writes, reads, txid=None)
             if conflicts:
                 self.stats.commit_conflicts += 1
                 self._instr.count("backend.mp.commit.conflicts")
                 self._charge(upload, "commit")
-                raise CommitConflictError(conflicts)
+                raise CommitConflictError(sorted(set(conflicts)))
             synced = False
             if self.wal is not None and writes:
                 txid = self._commit_seq + 1
@@ -639,6 +686,430 @@ class ObjectServer:
             for uid in writes:
                 self._invalidate_subscribers(uid, except_cache=from_cache)
             return applied
+
+    # ------------------------------------------------------------------
+    # Sharded scatter-gather (border-OID hand-off)
+    # ------------------------------------------------------------------
+
+    def _scatter_bfs(self, seeds, neighbors, limit):
+        """Multi-seed budgeted BFS over the records this shard holds.
+
+        ``seeds`` is ``[(uid, budget)]`` where ``budget`` is how many
+        levels the walk may still descend *from that node* (``None`` =
+        unbounded).  Edges to uids this shard does not hold become
+        **border** entries ``(uid, budget - 1)`` instead of visits —
+        the router re-dispatches them to their owning shards.  A uid
+        reachable along several paths keeps the largest remaining
+        budget and is re-expanded when a later path improves it, so
+        the union of all shard-local walks equals the single-server
+        BFS closure.
+        """
+        inf = float("inf")
+        order: List[int] = []
+        best: Dict[int, float] = {}
+        borders: Dict[int, float] = {}
+        frontier: List[Tuple[int, float]] = []
+        full = False
+        for uid, budget in seeds:
+            b = inf if budget is None else float(budget)
+            if uid not in self._records:
+                continue
+            if uid in best:
+                if b > best[uid]:
+                    best[uid] = b
+                    if b > 0:
+                        frontier.append((uid, b))
+                continue
+            if limit is not None and len(order) >= limit:
+                full = True
+                break
+            best[uid] = b
+            order.append(uid)
+            if b > 0:
+                frontier.append((uid, b))
+        while frontier and not full:
+            next_frontier: List[Tuple[int, float]] = []
+            for uid, b in frontier:
+                nb = b - 1
+                for adj in neighbors(self._records[uid]):
+                    if adj in self._records:
+                        if adj not in best:
+                            if limit is not None and len(order) >= limit:
+                                full = True
+                                break
+                            best[adj] = nb
+                            order.append(adj)
+                            if nb > 0:
+                                next_frontier.append((adj, nb))
+                        elif nb > best[adj]:
+                            best[adj] = nb
+                            if nb > 0:
+                                next_frontier.append((adj, nb))
+                    else:
+                        prev = borders.get(adj)
+                        if prev is None or nb > prev:
+                            borders[adj] = nb
+                if full:
+                    break
+            frontier = next_frontier
+        border_list = [
+            (uid, None if b == inf else int(b))
+            for uid, b in borders.items()
+        ]
+        return order, border_list, full
+
+    def traverse_shard(
+        self,
+        seeds: List[Tuple[int, Optional[int]]],
+        relation: str,
+        direction: str = "forward",
+        with_records: bool = True,
+        limit: Optional[int] = None,
+    ):
+        """One shard-local round of a scatter-gather closure BFS.
+
+        The router seeds each round with the border uids the previous
+        round surfaced (grouped by placement), so a whole cross-shard
+        closure costs one ``traverse_shard`` call per shard per
+        *depth-crossing round* — O(shards × crossings), never
+        O(nodes).  Unknown seeds are skipped silently (the speculative
+        contract of :meth:`readahead`): a seed uid owned by this shard
+        per the placement map but absent from its records is simply a
+        dangling edge.  The reply charges the visited records (or a
+        uid each when ``with_records`` is false) **plus one uid per
+        border** — the hand-off references are real payload.
+
+        Returns ``({uid: record-or-None}, [(border uid, remaining
+        budget)])``, both in discovery order.
+        """
+        with self._serve("traverse_shard"):
+            self.stats.traversals += 1
+            if relation not in _RELATIONS:
+                raise InvalidOperationError(
+                    f"traverse does not understand relation {relation!r}"
+                )
+            if direction not in ("forward", "reverse"):
+                raise InvalidOperationError(
+                    f"traverse direction must be forward or reverse,"
+                    f" got {direction!r}"
+                )
+            order, borders, _full = self._scatter_bfs(
+                seeds,
+                lambda record: self._neighbors(record, relation, direction),
+                limit,
+            )
+            border_bytes = _UID_BYTES * len(borders)
+            if not with_records:
+                payload = (
+                    _PROBE_BYTES + _UID_BYTES * len(order) + border_bytes
+                )
+                self.stats.bytes_sent += payload
+                self._instr.count("backend.rpc.bytes_sent", payload)
+                self._charge(payload, "traverse_shard")
+                return {uid: None for uid in order}, borders
+            payload = (
+                self._reply_payload(self._records[uid] for uid in order)
+                + border_bytes
+            )
+            out = {uid: self._isolate(self._records[uid]) for uid in order}
+            self.stats.pushdown_objects += len(order)
+            self.stats.bytes_sent += payload
+            self._instr.count("backend.rpc.bytes_sent", payload)
+            self._instr.count("backend.rpc.batched_objects", len(order))
+            self._charge(payload, "traverse_shard")
+            self._stamp_reply_versions(order)
+            return out, borders
+
+    def readahead_shard(
+        self,
+        seeds: List[Tuple[int, Optional[int]]],
+        limit: Optional[int] = None,
+    ):
+        """Shard-local structural readahead with border hand-off.
+
+        The sharded counterpart of :meth:`readahead`: expands each
+        seed's children+parts neighbourhood to its per-seed depth
+        budget over the records this shard holds, and reports
+        cross-shard edges as borders for the router to re-dispatch.
+        Speculative by contract — unknown seeds are skipped silently.
+        """
+        with self._serve("readahead_shard"):
+            self.stats.readaheads += 1
+            for _uid, budget in seeds:
+                if budget is not None and budget < 0:
+                    raise InvalidOperationError(
+                        f"readahead depth cannot be negative, got {budget}"
+                    )
+            order, borders, _full = self._scatter_bfs(
+                seeds,
+                lambda record: list(record["children"])
+                + list(record["parts"]),
+                limit,
+            )
+            payload = (
+                self._reply_payload(self._records[uid] for uid in order)
+                + _UID_BYTES * len(borders)
+            )
+            out = {uid: self._isolate(self._records[uid]) for uid in order}
+            self.stats.pushdown_objects += len(order)
+            self.stats.bytes_sent += payload
+            self._instr.count("backend.rpc.bytes_sent", payload)
+            self._instr.count("backend.rpc.batched_objects", len(order))
+            self._charge(payload, "readahead_shard")
+            self._stamp_reply_versions(order)
+            return out, borders
+
+    # ------------------------------------------------------------------
+    # Two-phase commit (participant side; the ShardRouter coordinates)
+    # ------------------------------------------------------------------
+
+    def _pin_conflicts(
+        self,
+        writes: Dict[int, Any],
+        reads: Dict[int, int],
+        txid: Optional[int],
+    ) -> List[int]:
+        """Uids this request may not touch while a peer is in doubt.
+
+        A write collides with *any* pin (the pinned value must stay
+        exactly as validated until its owner is decided); a read
+        validation collides only with a *write* pin (its version
+        changes if the owner commits, and which way is unknowable
+        until the decision).  ``txid`` exempts a transaction's own
+        pins so a retried prepare stays idempotent.
+        """
+        blocked = [
+            uid
+            for uid in writes
+            if uid in self._pins and self._pins[uid] != txid
+        ]
+        blocked += [
+            uid
+            for uid in reads
+            if uid in self._pin_writes and self._pins[uid] != txid
+        ]
+        return blocked
+
+    def prepare_batch(
+        self,
+        txid: int,
+        writes: Dict[int, Dict[str, Any]],
+        reads: Dict[int, int],
+        lists: Optional[Dict[str, List[int]]] = None,
+        from_cache=None,
+    ) -> bool:
+        """Phase one: validate and park this shard's transaction slice.
+
+        Validation is exactly ``commit_batch``'s first-committer-wins
+        check (stale read versions raise
+        :class:`~repro.errors.CommitConflictError`), plus pin checks
+        against other in-doubt transactions.  A valid slice is logged
+        to the WAL as BEGIN + PUTs + PREPARE (force-synced — the
+        prepare promise must survive a crash), parked in memory, and
+        its read∪write set pinned until the coordinator's decision
+        arrives.  Nothing is applied and no cache is invalidated yet.
+        """
+        with self._serve("prepare"):
+            lists = lists or {}
+            upload = (
+                _PROBE_BYTES
+                + _UID_BYTES  # the global txid rides in the envelope
+                + sum(self.record_size(r) for r in writes.values())
+                + (_UID_BYTES + _UID_BYTES) * len(reads)
+                + sum(_UID_BYTES * len(uids) for uids in lists.values())
+            )
+            self.stats.bytes_received += upload
+            self._instr.count("backend.rpc.bytes_received", upload)
+            if txid in self._decided:
+                self._charge(upload, "prepare")
+                raise InvalidOperationError(
+                    f"transaction {txid} was already decided"
+                )
+            if txid in self._prepared:
+                # Retried prepare (the first reply was lost): the slice
+                # is already parked and pinned — just re-acknowledge.
+                self._charge(upload, "prepare")
+                return True
+            conflicts = stale_reads(
+                reads, lambda uid: self._versions.get(uid, 0)
+            )
+            conflicts += self._pin_conflicts(writes, reads, txid)
+            if conflicts:
+                self.stats.commit_conflicts += 1
+                self._instr.count("backend.mp.commit.conflicts")
+                self._charge(upload, "prepare")
+                raise CommitConflictError(sorted(set(conflicts)))
+            synced = False
+            if self.wal is not None:
+                synced = self.wal.log_prepare(
+                    txid,
+                    [
+                        put_record(txid, uid, {"record": record})
+                        for uid, record in sorted(writes.items())
+                    ],
+                )
+            self._prepared[txid] = {
+                "writes": {
+                    uid: self._isolate(record)
+                    for uid, record in writes.items()
+                },
+                "lists": {
+                    name: list(uids) for name, uids in lists.items()
+                },
+                "from_cache": from_cache,
+            }
+            for uid in writes:
+                self._pins[uid] = txid
+                self._pin_writes.add(uid)
+            for uid in reads:
+                self._pins.setdefault(uid, txid)
+            self.stats.prepares += 1
+            self._instr.count("backend.mp.prepares")
+            self._charge(
+                upload,
+                "prepare",
+                extra_service_seconds=self.fsync_seconds if synced else 0.0,
+            )
+            return True
+
+    def commit_prepared(self, txid: int) -> Dict[int, int]:
+        """Phase two, commit: apply a parked slice atomically.
+
+        Idempotent — a retried decision (the first ack was lost)
+        replays the memoized result without re-applying.  The decision
+        is force-logged to the WAL before the writes land, then the
+        slice applies under one new commit sequence number and every
+        other subscribed cache is invalidated per written uid, exactly
+        like ``commit_batch``'s apply half.
+        """
+        with self._serve("decide"):
+            upload = _PROBE_BYTES + _UID_BYTES
+            self.stats.bytes_received += upload
+            self._instr.count("backend.rpc.bytes_received", upload)
+            if txid in self._decided:
+                self._charge(upload, "decide")
+                memo = self._decided[txid]
+                if memo is None:
+                    raise InvalidOperationError(
+                        f"transaction {txid} was already aborted"
+                    )
+                return dict(memo)
+            entry = self._prepared.pop(txid, None)
+            if entry is None:
+                self._charge(upload, "decide")
+                raise InvalidOperationError(
+                    f"transaction {txid} is not prepared on this shard"
+                )
+            synced = False
+            if self.wal is not None:
+                synced = self.wal.log_decision(txid, committed=True)
+            self._commit_seq += 1
+            applied: Dict[int, int] = {}
+            for uid, record in entry["writes"].items():
+                self._records[uid] = record
+                self._versions[uid] = self._commit_seq
+                applied[uid] = self._commit_seq
+            for name, uids in entry["lists"].items():
+                self._lists[name] = list(uids)
+            self._release_pins(txid)
+            self._decided[txid] = dict(applied)
+            self.stats.commits += 1
+            self.stats.decisions += 1
+            self._instr.count("backend.mp.commits")
+            self._charge(
+                upload,
+                "decide",
+                extra_service_seconds=self.fsync_seconds if synced else 0.0,
+            )
+            for uid in entry["writes"]:
+                self._invalidate_subscribers(
+                    uid, except_cache=entry["from_cache"]
+                )
+            return applied
+
+    def abort_prepared(self, txid: int) -> None:
+        """Phase two, abort: discard a parked slice (presumed abort).
+
+        Idempotent and tolerant of transactions that never prepared
+        here — the coordinator aborts every would-be participant when
+        any one of them votes no, including shards whose prepare never
+        arrived.  The ABORT decision is logged without forcing (losing
+        it is harmless: recovery presumes abort).
+        """
+        with self._serve("decide"):
+            upload = _PROBE_BYTES + _UID_BYTES
+            self.stats.bytes_received += upload
+            self._instr.count("backend.rpc.bytes_received", upload)
+            if txid in self._decided:
+                self._charge(upload, "decide")
+                return
+            entry = self._prepared.pop(txid, None)
+            if self.wal is not None and entry is not None:
+                self.wal.log_decision(txid, committed=False)
+            self._release_pins(txid)
+            self._decided[txid] = None
+            self.stats.decisions += 1
+            self._instr.count("backend.mp.2pc.aborts")
+            self._charge(upload, "decide")
+
+    def _release_pins(self, txid: int) -> None:
+        for uid in [
+            uid for uid, owner in self._pins.items() if owner == txid
+        ]:
+            del self._pins[uid]
+            self._pin_writes.discard(uid)
+
+    def in_doubt(self) -> List[int]:
+        """Txids prepared but undecided (uncharged admin call)."""
+        return sorted(self._prepared)
+
+    def recover_from_wal(
+        self, base_records: Optional[Dict[int, Dict[str, Any]]] = None
+    ) -> List[int]:
+        """Rebuild server state after a simulated crash (uncharged).
+
+        Loads the pre-crash snapshot (what the benchmark preloaded),
+        replays every *committed* transaction from the WAL in commit
+        order, and re-parks transactions whose log ends at PREPARE as
+        in-doubt — pins held, writes unapplied — for the coordinator's
+        :meth:`~repro.sharding.router.ShardRouter.resolve_in_doubt`
+        to decide.  Absent a commit decision, they stay parked and
+        recovery presumes abort.
+
+        Returns the re-parked in-doubt txids in prepare order.
+        """
+        if self.wal is None:
+            raise InvalidOperationError(
+                "recover_from_wal requires a write-ahead log"
+            )
+        self.load_records(base_records or {})
+        for _txid, operations in self.wal.recover_operations():
+            self._commit_seq += 1
+            for op in operations:
+                if op.kind == PUT and op.state is not None:
+                    self._records[op.oid] = self._isolate(
+                        op.state["record"]
+                    )
+                    self._versions[op.oid] = self._commit_seq
+        recovered: List[int] = []
+        for txid, operations in self.wal.recover_in_doubt():
+            writes = {
+                op.oid: self._isolate(op.state["record"])
+                for op in operations
+                if op.kind == PUT and op.state is not None
+            }
+            self._prepared[txid] = {
+                "writes": writes,
+                "lists": {},
+                "from_cache": None,
+            }
+            for uid in writes:
+                self._pins[uid] = txid
+                self._pin_writes.add(uid)
+            recovered.append(txid)
+        if recovered:
+            self._instr.count("netsim.recovery.in_doubt", len(recovered))
+        return recovered
 
     def exists(self, uid: int) -> bool:
         """Key-existence probe (the server-side name-lookup index hit)."""
@@ -759,6 +1230,10 @@ class ObjectServer:
         self._versions = {}
         self._commit_seq = 0
         self.last_reply_versions = {}
+        self._prepared = {}
+        self._pins = {}
+        self._pin_writes = set()
+        self._decided = {}
 
     def __contains__(self, uid: int) -> bool:
         return uid in self._records

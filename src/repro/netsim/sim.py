@@ -101,6 +101,7 @@ class ContendedTransport:
         service_time_seconds: float = 0.0,
         instrumentation: Optional[Instrumentation] = None,
         fallback_clock: Optional[SimulatedClock] = None,
+        lane: Optional[str] = None,
     ) -> None:
         self.latency = latency
         self.service_time_seconds = service_time_seconds
@@ -111,6 +112,12 @@ class ContendedTransport:
         self.requests = 0
         self._instr = resolve(instrumentation)
         self._fallback_clock = fallback_clock or SimulatedClock()
+        #: Optional lane name (e.g. ``"shard0"``): namespaces this
+        #: transport's counters as ``backend.mp.<lane>.*`` *in
+        #: addition to* the aggregate ``backend.mp.*`` series, so a
+        #: sharded deployment's per-shard queueing is visible without
+        #: changing the unsharded series.
+        self.lane = lane
 
     def charge_request(
         self, payload_bytes: int, extra_service_seconds: float = 0.0
@@ -141,6 +148,11 @@ class ContendedTransport:
         instr.count("backend.mp.queue_ms", queued * 1000.0)
         instr.count("backend.mp.busy_ms", service * 1000.0)
         instr.observe("backend.mp.queue_delay", queued * 1000.0)
+        if self.lane is not None:
+            prefix = f"backend.mp.{self.lane}"
+            instr.count(f"{prefix}.requests")
+            instr.count(f"{prefix}.queue_ms", queued * 1000.0)
+            instr.count(f"{prefix}.busy_ms", service * 1000.0)
         return cost
 
     def charge_wasted(self, seconds: float) -> float:
@@ -150,6 +162,33 @@ class ContendedTransport:
         )
         clock.advance(seconds)
         return seconds
+
+
+def shard_lanes(
+    latency: LatencyModel,
+    shards: int,
+    service_time_seconds: float = 0.0,
+    instrumentation: Optional[Instrumentation] = None,
+    fallback_clock: Optional[SimulatedClock] = None,
+) -> List[ContendedTransport]:
+    """One contended transport per shard server.
+
+    Each shard gets its *own* FIFO busy timeline (``server_free_at``),
+    so requests to different shards do not queue behind each other —
+    the whole point of partitioning write throughput — while requests
+    to the same shard still serialize.  Lanes are named ``shard<i>``
+    for the per-shard ``backend.mp.shard<i>.*`` counter namespaces.
+    """
+    return [
+        ContendedTransport(
+            latency,
+            service_time_seconds=service_time_seconds,
+            instrumentation=instrumentation,
+            fallback_clock=fallback_clock,
+            lane=f"shard{i}",
+        )
+        for i in range(shards)
+    ]
 
 
 class ZipfSampler:

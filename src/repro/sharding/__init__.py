@@ -1,0 +1,33 @@
+"""Sharding the object store: placement policies and the shard router.
+
+One :class:`~repro.netsim.server.ObjectServer` caps both data size and
+write throughput (ROADMAP item 2's level-7+ databases outgrow a single
+shard's cache).  This package partitions the store across N servers:
+
+* :mod:`repro.sharding.placement` — the OID→shard policy seam:
+  consistent hashing (uniform, structure-blind) and subtree-affine
+  placement (clustering as a benchmark axis, per Darmont's critique).
+* :mod:`repro.sharding.router` — :class:`ShardRouter`, the client-side
+  fan-out: point reads and batches partition by placement, closure
+  push-down scatter-gathers with border-OID hand-off, and multi-shard
+  commits run two-phase with the router as coordinator.
+
+The single-shard configuration never builds a router at all — the
+client keeps its classic one-server path bit-identical.
+"""
+
+from repro.sharding.placement import (
+    HashPlacement,
+    Placement,
+    SubtreeAffinePlacement,
+    make_placement,
+)
+from repro.sharding.router import ShardRouter
+
+__all__ = [
+    "HashPlacement",
+    "Placement",
+    "ShardRouter",
+    "SubtreeAffinePlacement",
+    "make_placement",
+]

@@ -18,11 +18,12 @@ from repro.backends.oodb import OodbDatabase
 from repro.backends.sqlite_backend import SqliteDatabase
 from repro.core.config import HyperModelConfig
 from repro.core.generator import DatabaseGenerator
-from repro.netsim.config import NetworkConfig
+from repro.netsim.config import NetworkConfig, ShardConfig
 
 BACKEND_NAMES = [
     "memory", "sqlite", "sqlite-file", "oodb",
     "clientserver", "clientserver-bfs",
+    "clientserver-sharded-hash", "clientserver-sharded-affine",
 ]
 
 
@@ -40,6 +41,18 @@ def make_backend(name: str, tmp_path, suffix: str = "db"):
         return ClientServerDatabase()
     if name == "clientserver-bfs":
         return ClientServerDatabase(network=NetworkConfig(pushdown=False))
+    if name == "clientserver-sharded-hash":
+        return ClientServerDatabase(
+            network=NetworkConfig(
+                sharding=ShardConfig(shards=2, placement="hash")
+            )
+        )
+    if name == "clientserver-sharded-affine":
+        return ClientServerDatabase(
+            network=NetworkConfig(
+                sharding=ShardConfig(shards=2, placement="affine")
+            )
+        )
     raise ValueError(name)
 
 
