@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Lint: every gauge registered in ``src/`` obeys the taxonomy regex.
+
+Walks the AST of every module under ``src/repro`` and checks the name
+argument of each ``.gauge(...)`` / ``.set_gauge(...)`` call against
+``repro.obs.timeseries.GAUGE_NAME_PATTERN`` (dotted lowercase
+segments, e.g. ``engine.wal.backlog``).  F-strings are checked with
+each interpolated ``{...}`` replaced by a valid dummy segment, so
+``f"netsim.cache.{name}.occupancy"`` passes while
+``f"Cache-{name}"`` fails.
+
+Dynamic names are allowed only through a variable whose name contains
+``gauge_name`` (the ``WorkstationCache._gauge_names`` idiom); the
+literal parts of those assignments are linted too, so nothing escapes
+the taxonomy by indirection.
+
+Exit status: 0 when every checked name matches, 1 otherwise.  Run from
+the repository root: ``PYTHONPATH=src python scripts/lint_gauge_names.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.obs.timeseries import GAUGE_NAME_PATTERN  # noqa: E402
+
+_PATTERN = re.compile(GAUGE_NAME_PATTERN)
+_GAUGE_CALLS = ("gauge", "set_gauge")
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _template(node: ast.AST) -> str | None:
+    """The checkable text of a string-ish node, or None if dynamic.
+
+    F-string interpolations become the dummy segment ``x0`` — a valid
+    taxonomy segment, so only the literal skeleton is judged.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for value in node.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            else:
+                parts.append("x0")
+        return "".join(parts)
+    return None
+
+
+def _is_gauge_name_var(node: ast.AST) -> bool:
+    """True for ``self._gauge_names[0]``-style dynamic name sources."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return "gauge_name" in node.attr
+    if isinstance(node, ast.Name):
+        return "gauge_name" in node.id
+    return False
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    errors: list[str] = []
+    rel = path.relative_to(_SRC.parent.parent)
+
+    def check(node: ast.AST, lineno: int, context: str) -> None:
+        text = _template(node)
+        if text is None:
+            if not _is_gauge_name_var(node):
+                errors.append(
+                    f"{rel}:{lineno}: {context} name is dynamic and not"
+                    " a *gauge_name* variable — unlintable"
+                )
+            return
+        if not _PATTERN.match(text):
+            errors.append(
+                f"{rel}:{lineno}: {context} name {text!r} does not"
+                f" match {GAUGE_NAME_PATTERN}"
+            )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _GAUGE_CALLS
+                and node.args
+            ):
+                check(node.args[0], node.lineno, f"{func.attr}()")
+        elif isinstance(node, ast.Assign):
+            # Literal parts of *gauge_name* assignments are linted so
+            # indirection cannot smuggle a name past the taxonomy.
+            if not any(
+                _is_gauge_name_var(target) for target in node.targets
+            ):
+                continue
+            values = (
+                node.value.elts
+                if isinstance(node.value, (ast.Tuple, ast.List))
+                else [node.value]
+            )
+            for value in values:
+                check(value, node.lineno, "gauge-name assignment")
+    return errors
+
+
+def main() -> int:
+    errors: list[str] = []
+    checked = 0
+    for path in sorted(_SRC.rglob("*.py")):
+        file_errors = lint_file(path)
+        errors.extend(file_errors)
+        checked += 1
+    if errors:
+        print("\n".join(errors))
+        print(f"gauge-name lint: {len(errors)} violation(s)")
+        return 1
+    print(f"gauge-name lint: OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

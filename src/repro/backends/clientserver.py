@@ -207,7 +207,9 @@ class ClientServerDatabase(HyperModelDatabase):
                 fault_model=network.fault_model,
             )
         self.cache = WorkstationCache(
-            network.cache_capacity, instrumentation=self.instrumentation
+            network.cache_capacity,
+            instrumentation=self.instrumentation,
+            name=client_id,
         )
         self.server.subscribe(self.cache)  # coherence invalidations
         self._local: Dict[int, Dict[str, Any]] = {}  # dirty write buffer

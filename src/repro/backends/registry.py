@@ -291,6 +291,22 @@ register_backend(
         " (1-N closures stay shard-local)"
     ),
 )
+register_backend(
+    "clientserver-sharded-occ",
+    _clientserver_factory,
+    default_options={
+        "network": NetworkConfig(
+            concurrency="optimistic",
+            sharding=ShardConfig(shards=2, placement="hash"),
+        )
+    },
+    description=(
+        "client/server over 2 hash-placed shards with optimistic"
+        " concurrency: commits validate via commit_batch, so"
+        " cross-shard write sets exercise the two-phase commit path"
+        " (the backend to trace 2PC with)"
+    ),
+)
 
 
 # ----------------------------------------------------------------------

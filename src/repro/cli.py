@@ -24,6 +24,9 @@ Subcommands:
   bench gate);
 * ``trace``      — run one operation cold under full instrumentation
   and export a Chrome trace-event JSON for Perfetto;
+* ``dash``       — render ``BENCH_*.json`` documents, a flight-recorder
+  timeline JSONL and an optional Chrome trace into one self-contained
+  HTML dashboard (see ``docs/observability.md``);
 * ``query``      — evaluate an ad-hoc query against a generated database;
 * ``rubenstein`` — run the /RUBE87/ baseline benchmark;
 * ``maintain``   — R10 maintenance on an oodb file: vacuum / backup / gc;
@@ -207,6 +210,13 @@ def _build_parser() -> argparse.ArgumentParser:
             " cumulative reports to <out>.profile.txt"
         ),
     )
+    closure.add_argument(
+        "--timeline",
+        default=None,
+        metavar="JSONL",
+        help="write a flight-recorder timeline (wall clock, one sample"
+        " per repetition) to this JSONL path",
+    )
 
     multiuser = sub.add_parser(
         "bench-multiuser",
@@ -263,6 +273,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="export a Chrome trace-event JSON of the run's tail, one"
         " lane per client (see docs/observability.md)",
     )
+    multiuser.add_argument(
+        "--timeline",
+        default=None,
+        metavar="JSONL",
+        help="write a flight-recorder timeline (virtual clock,"
+        " deterministic, byte-identical across runs) to this JSONL path",
+    )
+    multiuser.add_argument(
+        "--timeline-cadence",
+        type=float,
+        default=0.02,
+        metavar="SECONDS",
+        help="virtual-time sampling cadence for --timeline"
+        " (default: 0.02)",
+    )
 
     sharded = sub.add_parser(
         "bench-sharded",
@@ -299,6 +324,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out",
         default="BENCH_sharded.json",
         help="output JSON path (default: BENCH_sharded.json)",
+    )
+    sharded.add_argument(
+        "--timeline",
+        default=None,
+        metavar="JSONL",
+        help="write a flight-recorder timeline (virtual clock, one"
+        " sample per closure/update) to this JSONL path",
+    )
+
+    dash = sub.add_parser(
+        "dash",
+        help="render BENCH documents + timeline JSONL + Chrome trace"
+        " into one self-contained HTML dashboard",
+    )
+    dash.add_argument(
+        "--bench",
+        action="append",
+        default=[],
+        metavar="BENCH_JSON",
+        help="benchmark document to include (repeatable)",
+    )
+    dash.add_argument(
+        "--timeline",
+        default=None,
+        metavar="JSONL",
+        help="flight-recorder timeline to chart",
+    )
+    dash.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE_JSON",
+        help="Chrome trace-event JSON to summarise",
+    )
+    dash.add_argument(
+        "--title",
+        default="HyperModel game-day dashboard",
+        help="dashboard page title",
+    )
+    dash.add_argument(
+        "--out",
+        default="dashboard.html",
+        help="output HTML path (default: dashboard.html)",
     )
 
     crash = sub.add_parser(
@@ -557,7 +624,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if spec.mutates:
         db.commit()
     db.close()
-    document = write_chrome_trace(instr, args.out)
+    # Sharded backends annotate their shard lanes with the placement
+    # policy so the exporter can stamp lane metadata.
+    lane_metadata = None
+    server = getattr(db, "server", None)
+    if server is not None and hasattr(server, "trace_lane_metadata"):
+        lane_metadata = server.trace_lane_metadata()
+    document = write_chrome_trace(instr, args.out, lane_metadata=lane_metadata)
     print(
         f"op {spec.op_id} ({spec.name}) on {args.backend}: "
         f"{document['otherData']['span_count']} spans, "
@@ -582,11 +655,14 @@ def _cmd_bench_closure(args: argparse.Namespace) -> int:
         compare_pushdown=args.compare_pushdown,
         extra_levels=extra_levels,
         profile=args.profile,
+        timeline=args.timeline,
     )
     print(format_summary(document))
     print(f"results written to {args.out}")
     if document.get("profile_report"):
         print(f"cold-pass profiles written to {args.out}.profile.txt")
+    if args.timeline:
+        print(f"timeline written to {args.timeline} (wall clock)")
     return 0
 
 
@@ -612,9 +688,16 @@ def _cmd_bench_multiuser(args: argparse.Namespace) -> int:
         seed=args.seed,
         group_commit_size=args.group_commit_size,
         instrumentation=instr,
+        timeline=args.timeline,
+        timeline_cadence_seconds=args.timeline_cadence,
     )
     print(format_summary(document))
     print(f"results written to {args.out}")
+    if args.timeline:
+        print(
+            f"timeline written to {args.timeline}"
+            " (virtual clock, deterministic)"
+        )
     if instr is not None:
         from repro.obs.traceexport import write_chrome_trace
 
@@ -638,9 +721,32 @@ def _cmd_bench_sharded(args: argparse.Namespace) -> int:
         closures=args.closures,
         updates=args.updates,
         seed=args.seed,
+        timeline=args.timeline,
     )
     print(format_summary(document))
     print(f"results written to {args.out}")
+    if args.timeline:
+        print(
+            f"timeline written to {args.timeline}"
+            " (virtual clock, deterministic)"
+        )
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import write_dashboard
+
+    if not args.bench and not args.timeline and not args.trace:
+        print("dash: nothing to render (pass --bench/--timeline/--trace)")
+        return 2
+    write_dashboard(
+        args.out,
+        bench_paths=args.bench,
+        timeline_path=args.timeline,
+        trace_path=args.trace,
+        title=args.title,
+    )
+    print(f"dashboard written to {args.out} (self-contained HTML)")
     return 0
 
 
@@ -786,6 +892,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-multiuser": lambda: _cmd_bench_multiuser(args),
         "bench-sharded": lambda: _cmd_bench_sharded(args),
         "bench-diff": lambda: _cmd_bench_diff(args),
+        "dash": lambda: _cmd_dash(args),
         "trace": lambda: _cmd_trace(args),
         "crashtest": lambda: _cmd_crashtest(args),
         "query": lambda: _cmd_query(args),

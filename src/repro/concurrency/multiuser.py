@@ -108,6 +108,10 @@ class TransactionLoadResult:
     makespan_seconds: float
     #: Virtual commit-to-commit latency of every transaction, ms.
     latencies_ms: List[float]
+    #: The same latencies split per client (index = station index), so
+    #: callers can build per-client histograms and *merge* them into
+    #: the fleet-wide distribution instead of pooling raw samples.
+    per_user_latencies_ms: List[List[float]]
     #: Server-side commit/conflict counts for this run.
     server_commits: int
     server_conflicts: int
@@ -168,6 +172,15 @@ class MultiUserHarness:
             fsync cost, Zipf skew); defaults to ``SimConfig(seed=seed)``.
         instrumentation: counter/span/histogram sink shared by the
             stations and the transport (``backend.mp.*``).
+        recorder: optional
+            :class:`~repro.obs.timeseries.FlightRecorder`; when set
+            (with a positive ``sample_cadence_seconds``) the scheduler
+            samples it on the virtual clock, so every load shape can
+            emit a deterministic timeline.
+        sample_cadence_seconds: virtual seconds between flight-recorder
+            samples (0 disables sampling).
+        sample_label: label stamped on each sample (benchmarks set this
+            per grid cell; mutable between runs).
     """
 
     def __init__(
@@ -179,6 +192,9 @@ class MultiUserHarness:
         network: Optional[NetworkConfig] = None,
         sim: Optional[SimConfig] = None,
         instrumentation: Optional[Instrumentation] = None,
+        recorder=None,
+        sample_cadence_seconds: float = 0.0,
+        sample_label: Optional[str] = None,
     ) -> None:
         if users < 1:
             raise ValueError("need at least one user")
@@ -189,6 +205,9 @@ class MultiUserHarness:
         self.network = network or NetworkConfig()
         self.sim = sim or SimConfig(seed=seed)
         self.instrumentation = resolve(instrumentation)
+        self.recorder = recorder
+        self.sample_cadence_seconds = sample_cadence_seconds
+        self.sample_label = sample_label
 
     # -- plumbing --------------------------------------------------------
 
@@ -216,9 +235,23 @@ class MultiUserHarness:
             fallback_clock=self.server.clock,
         )
 
+    def _scheduler(self, transport: ContendedTransport) -> DiscreteEventScheduler:
+        return DiscreteEventScheduler(
+            self.server,
+            transport,
+            self.sim.think_time_seconds,
+            recorder=self.recorder,
+            sample_cadence_seconds=self.sample_cadence_seconds,
+            sample_label=self.sample_label,
+        )
+
     def _teardown(self, stations: List[Workstation]) -> None:
         for station in stations:
             station.client.close()
+            # The client is gone for good (unlike the cold/warm
+            # close/reopen cycle) — its cache gauges must not linger
+            # in the registry reading a dead cache.
+            station.client.cache.unregister_gauges()
             self.server.unsubscribe(station.client.cache)
 
     # -- load shapes -----------------------------------------------------
@@ -238,9 +271,7 @@ class MultiUserHarness:
                     [mix[i % len(mix)] for i in range(operations_per_user)],
                 )
             )
-        scheduler = DiscreteEventScheduler(
-            self.server, self._transport(), self.sim.think_time_seconds
-        )
+        scheduler = self._scheduler(self._transport())
         makespan = scheduler.run(jobs)
         hit_ratios = [s.client.cache.stats.hit_ratio for s in stations]
         self._teardown(stations)
@@ -285,9 +316,7 @@ class MultiUserHarness:
             ]
             tasks.append(client.commit)
             jobs.append((station, tasks))
-        scheduler = DiscreteEventScheduler(
-            self.server, self._transport(), self.sim.think_time_seconds
-        )
+        scheduler = self._scheduler(self._transport())
         scheduler.run(jobs)
 
         # Cross-visibility: fresh caches, then verify every edit.
@@ -360,6 +389,14 @@ class MultiUserHarness:
         instr = self.instrumentation
         tallies = {"committed": 0, "aborted": 0, "giveups": 0, "retries": 0}
         latencies: List[float] = []
+        per_user: List[List[float]] = [[] for _ in range(self.users)]
+        # Settable OCC gauges: transactions currently between first
+        # read and final outcome, and cumulative optimistic aborts.
+        # Updated at state transitions (not sampled), so the flight
+        # recorder sees the value as of each virtual sample instant.
+        occ = {"inflight": 0}
+        instr.set_gauge("backend.occ.inflight", 0.0)
+        instr.set_gauge("backend.occ.aborted", 0.0)
 
         def _transaction(station: Workstation) -> Callable[[], object]:
             """One transaction as a two-event state machine.
@@ -375,13 +412,21 @@ class MultiUserHarness:
             state = {"start": None, "attempts": 0}
 
             def _finish() -> None:
-                latencies.append(
-                    (station.clock.now - state["start"]) * 1000.0
+                latency = (station.clock.now - state["start"]) * 1000.0
+                latencies.append(latency)
+                per_user[station.index].append(latency)
+                occ["inflight"] -= 1
+                instr.set_gauge(
+                    "backend.occ.inflight", float(occ["inflight"])
                 )
 
             def read_phase() -> Callable[[], object]:
                 if state["start"] is None:
                     state["start"] = station.clock.now
+                    occ["inflight"] += 1
+                    instr.set_gauge(
+                        "backend.occ.inflight", float(occ["inflight"])
+                    )
                 for _ in range(reads_per_txn):
                     uid = read_pool[zipf.sample(rng)]
                     client.get_attribute(uid, "hundred")
@@ -406,6 +451,9 @@ class MultiUserHarness:
                     # invalidated the stale cached copies.
                     tallies["aborted"] += 1
                     instr.count("backend.mp.txn.aborted")
+                    instr.set_gauge(
+                        "backend.occ.aborted", float(tallies["aborted"])
+                    )
                     state["attempts"] += 1
                     if state["attempts"] > max_retries:
                         tallies["giveups"] += 1
@@ -437,9 +485,7 @@ class MultiUserHarness:
         conflicts_before = self.server.stats.commit_conflicts
         syncs_before = self.server.wal.syncs if self.server.wal else 0
         transport = self._transport()
-        scheduler = DiscreteEventScheduler(
-            self.server, transport, self.sim.think_time_seconds
-        )
+        scheduler = self._scheduler(transport)
         makespan = scheduler.run(jobs)
         self._teardown(stations)
         return TransactionLoadResult(
@@ -452,6 +498,7 @@ class MultiUserHarness:
             retries=tallies["retries"],
             makespan_seconds=makespan,
             latencies_ms=latencies,
+            per_user_latencies_ms=per_user,
             server_commits=self.server.stats.commits - commits_before,
             server_conflicts=(
                 self.server.stats.commit_conflicts - conflicts_before

@@ -96,6 +96,14 @@ class BufferPool:
         #: Monotonic content clock feeding frame LSNs (see _Frame.lsn).
         self._mod_clock = 0
         self.stats = BufferStats()
+        self._instr.gauge("engine.buffer.occupancy", self._occupancy)
+        self._instr.gauge(
+            "engine.buffer.hit_ratio", lambda: self.stats.hit_ratio
+        )
+
+    def _occupancy(self) -> float:
+        """Resident pages as a fraction of pool capacity (0..1)."""
+        return len(self._frames) / self.capacity
 
     def _next_lsn(self) -> int:
         self._mod_clock += 1

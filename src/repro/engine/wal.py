@@ -140,6 +140,14 @@ class WriteAheadLog:
         #: Commits whose fsync is still pending (group-commit mode).
         self.pending_commits = 0
         self._instr = resolve(instrumentation)
+        self._instr.gauge(
+            "engine.wal.backlog", lambda: float(self.pending_commits)
+        )
+        self._instr.gauge("engine.wal.batch_fill", self._batch_fill)
+
+    def _batch_fill(self) -> float:
+        """Group-commit batch fill: pending commits over batch size."""
+        return self.pending_commits / self.group_commit_size
 
     def close(self) -> None:
         """Flush (fsyncing any pending group) and close the log file."""

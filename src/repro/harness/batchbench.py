@@ -30,7 +30,7 @@ from repro.core.config import HyperModelConfig
 from repro.core.generator import DatabaseGenerator
 from repro.core.operations import CATALOG, Operations
 from repro.harness.provenance import provenance
-from repro.obs import Instrumentation, LatencyHistogram
+from repro.obs import FlightRecorder, Instrumentation, LatencyHistogram
 
 #: The closure operations the batch layer targets (section 6.5/6.6).
 CLOSURE_OPS = ("10", "11", "12")
@@ -144,6 +144,7 @@ def run_closure_bench(
     compare_pushdown: bool = False,
     extra_levels: Sequence[int] = (),
     profile: bool = False,
+    timeline: Optional[str] = None,
 ) -> Dict[str, object]:
     """Measure ops 10-12 on every backend; return the JSON document.
 
@@ -171,6 +172,12 @@ def run_closure_bench(
     under the document's ``"profiles"`` key (the CLI writes them next
     to the JSON).  Profiled wall-clock timings carry tracer overhead —
     use the flag to find hot spots, not to produce baselines.
+
+    ``timeline`` writes a flight-recorder JSONL to that path: one
+    sample per repetition, stamped on the **wall** clock (this harness
+    measures wall time, so unlike the virtual-time benches the
+    timeline is *not* byte-identical across runs — each sample says so
+    in its ``clock`` field).
     """
     from repro.backends import create_backend
 
@@ -191,12 +198,18 @@ def run_closure_bench(
     cells: List[ClosureCell] = []
     cell_keys: List[str] = []
     profiles: Dict[str, str] = {}
+    recorder = None
+    bench_start = time.perf_counter()
+    if timeline is not None:
+        recorder = FlightRecorder(None, capacity=65536, clock="wall")
     try:
         for bench_level in levels:
             for backend in backends:
                 key = _cell_key(backend, bench_level, level)
                 cell_keys.append(key)
                 instr = Instrumentation()
+                if recorder is not None:
+                    recorder.rebind(instr)
                 path = os.path.join(workdir, f"closure-{key}.db")
                 db = create_backend(backend, path, instrumentation=instr)
                 mode = _MODES.get(getattr(db, "pushdown", None), "native")
@@ -254,6 +267,11 @@ def run_closure_bench(
                                     subtree_nodes = nodes
                             if spec.mutates:
                                 db.commit()
+                            if recorder is not None:
+                                recorder.sample(
+                                    time.perf_counter() - bench_start,
+                                    label=f"{key}/op{op_id}",
+                                )
                         median_ms = statistics.median(timings_ms)
                         hist = LatencyHistogram.from_samples(timings_ms)
                         cells.append(
@@ -284,6 +302,8 @@ def run_closure_bench(
     finally:
         if own_tmp is not None:
             own_tmp.cleanup()
+    if recorder is not None and timeline is not None:
+        recorder.write_jsonl(timeline)
     document: Dict[str, object] = {
         "benchmark": "closure-batch-traversal",
         "level": level,
@@ -330,6 +350,7 @@ def write_closure_bench(
     compare_pushdown: bool = False,
     extra_levels: Sequence[int] = (),
     profile: bool = False,
+    timeline: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run :func:`run_closure_bench` and write ``out_path`` as JSON.
 
@@ -345,6 +366,7 @@ def write_closure_bench(
         compare_pushdown=compare_pushdown,
         extra_levels=extra_levels,
         profile=profile,
+        timeline=timeline,
     )
     profiles = document.pop("profiles", None)
     if profiles:

@@ -42,7 +42,7 @@ from repro.harness.provenance import provenance
 from repro.netsim.config import NetworkConfig, SimConfig
 from repro.netsim.latency import LatencyModel
 from repro.netsim.server import ObjectServer
-from repro.obs import Instrumentation, LatencyHistogram
+from repro.obs import FlightRecorder, Instrumentation, LatencyHistogram
 
 #: Default grid: client counts × conflict probabilities.
 DEFAULT_CLIENTS = (1, 2, 4, 8)
@@ -133,6 +133,9 @@ def _run_cell(
     seed: int,
     sim: SimConfig,
     instrumentation: Optional[Instrumentation] = None,
+    recorder: Optional[FlightRecorder] = None,
+    sample_cadence_seconds: float = 0.0,
+    sample_label: Optional[str] = None,
 ) -> MultiUserCell:
     from repro.concurrency.multiuser import MultiUserHarness
 
@@ -145,6 +148,9 @@ def _run_cell(
         network=NetworkConfig(concurrency="optimistic"),
         sim=sim,
         instrumentation=instrumentation,
+        recorder=recorder,
+        sample_cadence_seconds=sample_cadence_seconds,
+        sample_label=sample_label,
     )
     result = harness.run_transactions(
         transactions_per_user=transactions_per_client,
@@ -152,7 +158,14 @@ def _run_cell(
         conflict_rate=conflict_rate,
         hot_set_size=hot_set_size,
     )
-    hist = LatencyHistogram.from_samples(result.latencies_ms)
+    # Fleet distribution by *merging* per-client histograms — the
+    # aggregation path a sharded fleet would use.  Bucket addition is
+    # exact, so this equals from_samples(pooled) bit for bit (pinned
+    # by tests/test_histograms.py) and the baseline-gated cells are
+    # unchanged.
+    hist = LatencyHistogram()
+    for client_latencies in result.per_user_latencies_ms:
+        hist.merge(LatencyHistogram.from_samples(client_latencies))
     return MultiUserCell(
         clients=clients,
         conflict_rate=conflict_rate,
@@ -189,6 +202,8 @@ def run_multiuser_bench(
     group_commit_size: int = 8,
     workdir: Optional[str] = None,
     instrumentation: Optional[Instrumentation] = None,
+    timeline: Optional[str] = None,
+    timeline_cadence_seconds: float = 0.02,
 ) -> Dict[str, object]:
     """Run the clients × conflict grid; return the JSON document.
 
@@ -199,12 +214,30 @@ def run_multiuser_bench(
     the largest client count at conflict 0.0 with per-commit fsyncs
     versus group commit, which is the "group commit measurably reduces
     fsyncs per commit" evidence.
+
+    ``timeline`` writes a flight-recorder JSONL to that path: every
+    cell is sampled on the virtual clock each
+    ``timeline_cadence_seconds``, with the cell's grid coordinates as
+    the sample label.  The samples are a pure function of the seed
+    (byte-identical across runs) and strictly additive — the returned
+    document is unchanged.  When no instrumentation handle was passed,
+    a private one is created so the timeline works against an
+    otherwise-disabled run.
     """
     clients = sorted(set(int(n) for n in clients))
     if not clients or clients[0] < 1:
         raise ValueError("client counts must be positive")
     conflict_rates = sorted(set(float(r) for r in conflict_rates))
     sim = SimConfig(seed=seed)
+    recorder = None
+    cadence = 0.0
+    if timeline is not None:
+        if instrumentation is None:
+            instrumentation = Instrumentation()
+        recorder = FlightRecorder(
+            instrumentation, capacity=65536, clock="virtual"
+        )
+        cadence = timeline_cadence_seconds
     own_tmp = None
     if workdir is None:
         own_tmp = tempfile.TemporaryDirectory(prefix="hypermodel-mp-")
@@ -234,6 +267,9 @@ def run_multiuser_bench(
                         seed,
                         sim,
                         instrumentation,
+                        recorder=recorder,
+                        sample_cadence_seconds=cadence,
+                        sample_label=f"clients-{n}/conflict-{rate:g}",
                     )
                 finally:
                     wal.close()
@@ -273,6 +309,9 @@ def run_multiuser_bench(
                     seed,
                     sim,
                     instrumentation,
+                    recorder=recorder,
+                    sample_cadence_seconds=cadence,
+                    sample_label=f"wal/{label}",
                 )
             finally:
                 wal.close()
@@ -286,6 +325,9 @@ def run_multiuser_bench(
     finally:
         if own_tmp is not None:
             own_tmp.cleanup()
+
+    if recorder is not None and timeline is not None:
+        recorder.write_jsonl(timeline)
 
     return {
         "benchmark": "multiuser",

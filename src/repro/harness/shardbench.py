@@ -26,14 +26,14 @@ from __future__ import annotations
 import dataclasses
 import json
 import random
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.config import HyperModelConfig
 from repro.core.generator import DatabaseGenerator, GeneratedDatabase
 from repro.harness.provenance import provenance
 from repro.netsim.config import NetworkConfig, ShardConfig
 from repro.netsim.latency import LatencyModel
-from repro.obs import Instrumentation, LatencyHistogram
+from repro.obs import FlightRecorder, Instrumentation, LatencyHistogram
 
 #: Default grid: shard counts × placement policies.
 DEFAULT_SHARDS = (1, 2, 4)
@@ -85,6 +85,7 @@ def _run_cell(
     closures: int,
     updates: int,
     seed: int,
+    recorder: Optional[FlightRecorder] = None,
 ) -> Dict[str, Any]:
     from repro.backends.clientserver import ClientServerDatabase
 
@@ -100,6 +101,11 @@ def _run_cell(
     rng = random.Random(
         seed * 7919 + shards * 101 + (13 if placement == "hash" else 29)
     )
+    cell_key = f"shards{shards}-{placement}"
+    if recorder is not None:
+        # Each cell builds its own handle; repoint the shared recorder
+        # at it (baselines restart, retained samples stay).
+        recorder.rebind(instr)
 
     # -- cold closures ------------------------------------------------
     before = instr.snapshot()
@@ -112,6 +118,8 @@ def _run_cell(
         if not pushed:  # pragma: no cover - pushdown is on in this grid
             raise RuntimeError("closure push-down unexpectedly disabled")
         closure_samples.append((clock.now - start) * 1000.0)
+        if recorder is not None:
+            recorder.sample(clock.now, label=f"{cell_key}/closure")
     closure_delta = instr.delta_since(before)
     closure = _Phase(closure_samples, closure_delta).leaf(
         "sharded-closure",
@@ -137,6 +145,8 @@ def _run_cell(
             db.set_attribute(b, "ten", (step + 1) % 10)
         db.commit()
         update_samples.append((clock.now - start) * 1000.0)
+        if recorder is not None:
+            recorder.sample(clock.now, label=f"{cell_key}/update")
     update_span = clock.now - update_start
     update_delta = instr.delta_since(before)
     update = _Phase(update_samples, update_delta).leaf(
@@ -158,12 +168,18 @@ def run_sharded_bench(
     closures: int = 12,
     updates: int = 24,
     seed: int = 1989,
+    timeline: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the shard-count × placement grid; return the JSON document.
 
     The structure is generated once (level ``level``, seed ``seed``)
     and loaded into a fresh sharded deployment per cell, so cells are
     independent and the grid order does not matter.
+
+    ``timeline`` writes a flight-recorder JSONL to that path: one
+    sample per closure and per update iteration, stamped at the
+    virtual clock with ``<cell>/closure`` / ``<cell>/update`` labels.
+    Deterministic, and strictly additive to the returned document.
     """
     shard_counts = sorted(set(int(n) for n in shard_counts))
     if not shard_counts or shard_counts[0] < 1:
@@ -171,12 +187,24 @@ def run_sharded_bench(
     for placement in placements:
         ShardConfig(shards=max(shard_counts), placement=placement)
     gen, records = _generate_structure(level, seed)
+    recorder = None
+    if timeline is not None:
+        recorder = FlightRecorder(None, capacity=65536, clock="virtual")
     cells: Dict[str, Dict[str, Any]] = {}
     for shards in shard_counts:
         for placement in placements:
             cells[f"shards{shards}-{placement}"] = _run_cell(
-                gen, records, shards, placement, closures, updates, seed
+                gen,
+                records,
+                shards,
+                placement,
+                closures,
+                updates,
+                seed,
+                recorder=recorder,
             )
+    if recorder is not None and timeline is not None:
+        recorder.write_jsonl(timeline)
     return {
         "benchmark": "sharded",
         "level": level,

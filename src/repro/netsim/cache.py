@@ -52,6 +52,7 @@ class WorkstationCache:
         self,
         capacity: int = 4096,
         instrumentation: Optional[Instrumentation] = None,
+        name: Optional[str] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
@@ -59,6 +60,23 @@ class WorkstationCache:
         self._entries: "collections.OrderedDict[Any, Any]" = collections.OrderedDict()
         self.stats = CacheStats()
         self._instr = resolve(instrumentation)
+        #: Gauge namespace: ``netsim.cache.<name>.*`` for named caches
+        #: (multi-client runs pass the owning client's id so each
+        #: workstation's occupancy stays attributable), plain
+        #: ``netsim.cache.*`` for the anonymous single-client case.
+        base = "netsim.cache" if name is None else f"netsim.cache.{name}"
+        self._gauge_names = (f"{base}.occupancy", f"{base}.hit_ratio")
+        self._instr.gauge(self._gauge_names[0], self._occupancy)
+        self._instr.gauge(self._gauge_names[1], lambda: self.stats.hit_ratio)
+
+    def _occupancy(self) -> float:
+        """Resident objects as a fraction of capacity (0..1)."""
+        return len(self._entries) / self.capacity
+
+    def unregister_gauges(self) -> None:
+        """Drop this cache's gauges (the owning client is closing)."""
+        for gauge_name in self._gauge_names:
+            self._instr.gauges.unregister(gauge_name)
 
     def get(self, key: Any) -> Optional[Any]:
         """Look up a cached object, refreshing its recency."""

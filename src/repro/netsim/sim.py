@@ -118,6 +118,39 @@ class ContendedTransport:
         #: sharded deployment's per-shard queueing is visible without
         #: changing the unsharded series.
         self.lane = lane
+        #: Latest scheduler-coordinate virtual time this transport has
+        #: seen — the scheduler keeps it current (and sets it to the
+        #: sample time before a flight-recorder sample), so the gauges
+        #: below read a coherent "now" without touching any clock.
+        self.virtual_now = 0.0
+        base = (
+            "netsim.transport"
+            if lane is None
+            else f"netsim.transport.{lane}"
+        )
+        instr = self._instr
+        instr.gauge(f"{base}.backlog_s", self._backlog_seconds)
+        instr.gauge(f"{base}.queue_depth", self._queue_depth)
+        instr.gauge(f"{base}.busy_frac", self._busy_fraction)
+
+    # -- gauges (evaluated only at flight-recorder sample time) --------
+
+    def _backlog_seconds(self) -> float:
+        """Seconds of queued work ahead of the server's busy horizon."""
+        return max(0.0, self.server_free_at - self.virtual_now)
+
+    def _queue_depth(self) -> float:
+        """Backlog expressed in service-time units (~queued requests)."""
+        backlog = max(0.0, self.server_free_at - self.virtual_now)
+        if self.service_time_seconds > 0:
+            return backlog / self.service_time_seconds
+        return 1.0 if backlog > 0 else 0.0
+
+    def _busy_fraction(self) -> float:
+        """Cumulative server utilization (busy seconds over elapsed)."""
+        if self.virtual_now <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / self.virtual_now)
 
     def charge_request(
         self, payload_bytes: int, extra_service_seconds: float = 0.0
@@ -140,6 +173,8 @@ class ContendedTransport:
         depart = start + service + half_trip
         cost = depart - clock.now
         clock.advance_to(depart)
+        if depart > self.virtual_now:
+            self.virtual_now = depart
         self.requests += 1
         self.queue_seconds += queued
         self.busy_seconds += service
@@ -277,10 +312,22 @@ class DiscreteEventScheduler:
         server,
         transport: ContendedTransport,
         think_time_seconds: float = 0.0,
+        recorder=None,
+        sample_cadence_seconds: float = 0.0,
+        sample_label: Optional[str] = None,
     ) -> None:
         self.server = server
         self.transport = transport
         self.think_time_seconds = think_time_seconds
+        #: Optional :class:`~repro.obs.FlightRecorder` sampled every
+        #: ``sample_cadence_seconds`` of *virtual* time.  Samples fire
+        #: at exact cadence multiples before the event that crosses
+        #: them runs, so the sample sequence — times and values — is a
+        #: pure function of the workload and the seed (byte-identical
+        #: timelines across runs).
+        self.recorder = recorder
+        self.sample_cadence_seconds = sample_cadence_seconds
+        self.sample_label = sample_label
 
     def run(
         self, jobs: Sequence[Tuple[Workstation, Sequence[Task]]]
@@ -304,10 +351,22 @@ class DiscreteEventScheduler:
                 )
                 sequence += 1
         makespan = 0.0
+        next_sample: Optional[float] = None
+        if self.recorder is not None and self.sample_cadence_seconds > 0:
+            next_sample = self.sample_cadence_seconds
         with self.server.use_transport(self.transport):
             while heap:
                 when, _tie, slot = heapq.heappop(heap)
+                if next_sample is not None:
+                    while next_sample <= when:
+                        self.transport.virtual_now = next_sample
+                        self.recorder.sample(
+                            next_sample, label=self.sample_label
+                        )
+                        next_sample += self.sample_cadence_seconds
                 station = stations[slot]
+                if when > self.transport.virtual_now:
+                    self.transport.virtual_now = when
                 station.clock.advance_to(when)
                 self.server.clock.advance_to(origin + when)
                 task = queues[slot].pop(0)
@@ -330,4 +389,11 @@ class DiscreteEventScheduler:
                     )
                     sequence += 1
         self.server.clock.advance_to(origin + makespan)
+        if next_sample is not None:
+            # One closing sample at the makespan so the timeline's last
+            # window covers the tail of the run.
+            self.transport.virtual_now = max(
+                self.transport.virtual_now, makespan
+            )
+            self.recorder.sample(makespan, label=self.sample_label)
         return makespan

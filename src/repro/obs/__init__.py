@@ -13,8 +13,15 @@ parts and no dependencies beyond the standard library:
 * :mod:`repro.obs.histograms` — log-bucketed (power-of-two) latency
   histograms with p50/p90/p99/max, e.g. ``engine.wal.fsync``,
   ``backend.rpc.call``;
+* :mod:`repro.obs.timeseries` — gauge registry (callback + settable)
+  and the virtual-time :class:`FlightRecorder` that turns counters,
+  gauges and histograms into a bounded time series with deterministic
+  JSONL export, e.g. ``engine.wal.backlog``,
+  ``netsim.transport.busy_frac``;
 * :mod:`repro.obs.traceexport` — Chrome trace-event JSON export of the
   span ring (opens in Perfetto / ``chrome://tracing``);
+* :mod:`repro.obs.dashboard` — self-contained HTML rendering of
+  BENCH documents + timeline JSONL (``repro dash``);
 * :mod:`repro.obs.instrumentation` — the :class:`Instrumentation`
   handle components receive at construction, the :data:`NO_OP`
   disabled singleton, and the process-global default
@@ -37,6 +44,11 @@ from repro.obs.instrumentation import (
     set_instrumentation,
 )
 from repro.obs.spans import SpanRecord, SpanRecorder, TraceContext
+from repro.obs.timeseries import (
+    GAUGE_NAME_PATTERN,
+    FlightRecorder,
+    GaugeRegistry,
+)
 
 #: Counters every per-operation report table prints even when zero,
 #: so cross-backend tables always align (a zero is information too:
@@ -50,6 +62,9 @@ HEADLINE_COUNTERS = (
 __all__ = [
     "Counters",
     "CounterSnapshot",
+    "FlightRecorder",
+    "GaugeRegistry",
+    "GAUGE_NAME_PATTERN",
     "HistogramRegistry",
     "Instrumentation",
     "LatencyHistogram",

@@ -1,0 +1,805 @@
+"""``repro dash``: the self-contained HTML game-day dashboard.
+
+Renders any combination of benchmark documents (``BENCH_*.json``), a
+flight-recorder timeline (JSONL, see
+:class:`~repro.obs.timeseries.FlightRecorder`) and an optional Chrome
+trace export into **one** HTML file with zero network dependencies:
+every chart is inline SVG, every style is an inline ``<style>`` block,
+and there is no JavaScript at all — the hover layer is the browser's
+native ``<title>`` tooltip on enlarged transparent hit targets, and
+every chart ships a ``<details>`` table-view twin so no value is
+reachable only by hover.  The file opens from ``file://``, from a CI
+artifact browser, or from an air-gapped game-day laptop.
+
+Chart styling follows a small fixed spec: 2px lines with round caps,
+columns ≤ 24px with a rounded data-end and a 2px surface gap, hairline
+solid gridlines, labels in text tokens (never the series color).  The
+categorical palette is a validated 3-slot set (adjacent and all-pairs
+CVD-safe in both light and dark mode); charts never use more than
+three series, and single-series charts carry no legend — the title
+names the series.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Number of categorical slots.  Three slots pass the all-pairs CVD
+#: checks in both modes (validated); charts here never use more.
+_SERIES_SLOTS = 3
+
+_CSS = """
+:root {
+  color-scheme: light dark;
+  /* Validated categorical slots + chart chrome (light mode). */
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --chart-surface: #fcfcfb;
+  --grid: #e1e0d9;
+  --axis: #c3c2b7;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    /* Dark steps of the same hues, validated against #1a1a19. */
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --chart-surface: #1a1a19;
+    --grid: #2c2c2a;
+    --axis: #383835;
+  }
+}
+body {
+  margin: 0; padding: 24px 32px 48px;
+  background: #f9f9f7; color: #0b0b0b;
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+.card {
+  background: #fcfcfb; border: 1px solid rgba(11,11,11,0.10);
+  border-radius: 8px; padding: 16px 20px; margin: 16px 0;
+}
+h1 { font-size: 22px; font-weight: 600; margin: 0 0 4px; }
+h2 { font-size: 16px; font-weight: 600; margin: 0 0 8px; }
+h3 { font-size: 13px; font-weight: 600; margin: 12px 0 4px; }
+.sub { color: #52514e; margin: 0 0 12px; }
+.muted { color: #898781; font-size: 12px; }
+.provenance { color: #52514e; font-size: 12px; }
+.provenance code { font-size: 11px; }
+.kpis { display: flex; flex-wrap: wrap; gap: 16px; margin: 16px 0; }
+.tile {
+  background: #fcfcfb; border: 1px solid rgba(11,11,11,0.10);
+  border-radius: 8px; padding: 12px 18px; min-width: 130px;
+}
+.tile .label { color: #52514e; font-size: 12px; }
+.tile .value { font-size: 30px; font-weight: 600; }
+.grid { display: flex; flex-wrap: wrap; gap: 16px; }
+.grid .card { margin: 0; }
+svg text { font: 11px system-ui, -apple-system, "Segoe UI", sans-serif; }
+table { border-collapse: collapse; font-size: 12px; margin: 6px 0; }
+th, td {
+  text-align: right; padding: 3px 10px;
+  border-bottom: 1px solid #e1e0d9;
+  font-variant-numeric: tabular-nums;
+}
+th { color: #52514e; font-weight: 600; }
+th:first-child, td:first-child { text-align: left; }
+details summary { cursor: pointer; color: #52514e; font-size: 12px; }
+.legend { display: flex; gap: 16px; font-size: 12px; color: #52514e;
+          margin: 2px 0 6px; }
+.legend .key { display: inline-block; width: 14px; height: 3px;
+               border-radius: 2px; vertical-align: middle;
+               margin-right: 5px; }
+@media (prefers-color-scheme: dark) {
+  body { background: #0d0d0d; color: #ffffff; }
+  .card, .tile { background: #1a1a19;
+                 border-color: rgba(255,255,255,0.10); }
+  .sub, .tile .label, .provenance, details summary,
+  .legend { color: #c3c2b7; }
+  th { color: #c3c2b7; }
+  th, td { border-bottom-color: #2c2c2a; }
+}
+"""
+
+#: Muted ink (axis labels) — same hex in both modes.
+_INK_MUTED = "#898781"
+
+#: Timeline metrics worth a chart, in display order.  ``("gauges",
+#: name)`` reads the gauge; ``("rates", name)`` the counter rate.
+#: Only metrics that actually appear in the samples are rendered.
+_TIMELINE_CANDIDATES: Tuple[Tuple[str, str, str], ...] = (
+    ("gauges", "netsim.transport.queue_depth", "transport queue depth"),
+    ("gauges", "netsim.transport.busy_frac", "transport busy fraction"),
+    ("gauges", "backend.occ.inflight", "OCC transactions in flight"),
+    ("gauges", "backend.occ.aborted", "OCC aborts (cumulative)"),
+    ("rates", "backend.mp.txn.committed", "commit rate (txn/s)"),
+    ("rates", "backend.mp.txn.aborted", "abort rate (txn/s)"),
+    ("rates", "backend.mp.txn.retries", "retry rate (txn/s)"),
+    ("rates", "backend.rpc.round_trips", "RPC round trips (/s)"),
+    ("rates", "backend.2pc.commits", "2PC commits (/s)"),
+    ("gauges", "engine.wal.backlog", "WAL backlog (pending commits)"),
+    ("gauges", "engine.buffer.occupancy", "buffer pool occupancy"),
+    ("gauges", "netsim.transport.backlog_s", "transport backlog (s)"),
+)
+
+#: Windowed-histogram chart: p50/p90/p99 over time, three series.
+_WINDOW_CANDIDATES = ("backend.mp.queue_delay", "backend.rpc.call")
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: float) -> str:
+    """Compact figure formatting for labels and tables."""
+    if value != value or value in (float("inf"), float("-inf")):
+        return str(value)
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}".rstrip("0").rstrip(".")
+    return f"{value:.3g}"
+
+
+def _series_color(index: int) -> str:
+    """CSS for slot ``index`` — a custom property that swaps with the
+    color scheme (must be used from ``style=``, not a presentation
+    attribute: SVG presentation attributes do not resolve ``var()``).
+    """
+    return f"var(--series-{index % _SERIES_SLOTS + 1})"
+
+
+def _ticks(low: float, high: float, count: int = 4) -> List[float]:
+    """A few clean tick values covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw = span / max(count, 1)
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = magnitude * mult
+        if span / step <= count:
+            break
+    first = math.ceil(low / step) * step
+    out = []
+    value = first
+    while value <= high + step * 1e-9:
+        out.append(round(value, 10))
+        value += step
+    return out
+
+
+def _table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def _details_table(
+    summary: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    return (
+        f"<details><summary>{_esc(summary)}</summary>"
+        f"{_table(headers, rows)}</details>"
+    )
+
+
+# ----------------------------------------------------------------------
+# SVG charts
+# ----------------------------------------------------------------------
+
+_W, _H = 420, 150
+_PAD_L, _PAD_R, _PAD_T, _PAD_B = 46, 10, 14, 22
+
+
+def _frame(
+    y_ticks: List[float],
+    y_of,
+    x_ticks: List[Tuple[float, str]],
+    x_of,
+) -> List[str]:
+    """Hairline gridlines + axis labels (recessive chrome)."""
+    parts = []
+    for tick in y_ticks:
+        y = y_of(tick)
+        parts.append(
+            f'<line x1="{_PAD_L}" y1="{y:.1f}" x2="{_W - _PAD_R}"'
+            f' y2="{y:.1f}" style="stroke:var(--grid)" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_PAD_L - 5}" y="{y + 3.5:.1f}" text-anchor="end"'
+            f' fill="{_INK_MUTED}">{_esc(_fmt(tick))}</text>'
+        )
+    base_y = _H - _PAD_B
+    parts.append(
+        f'<line x1="{_PAD_L}" y1="{base_y}" x2="{_W - _PAD_R}"'
+        f' y2="{base_y}" style="stroke:var(--axis)" stroke-width="1"/>'
+    )
+    for value, label in x_ticks:
+        x = x_of(value)
+        parts.append(
+            f'<text x="{x:.1f}" y="{_H - 6}" text-anchor="middle"'
+            f' fill="{_INK_MUTED}">{_esc(label)}</text>'
+        )
+    return parts
+
+
+def _line_chart(
+    title: str,
+    series: Sequence[Tuple[str, List[Tuple[float, float]]]],
+    unit: str = "",
+    bands: Optional[List[Tuple[float, str]]] = None,
+) -> str:
+    """One SVG line chart (≤3 series) + legend + table-view twin.
+
+    ``series`` is ``[(name, [(x, y), ...]), ...]``; ``bands`` marks
+    segment starts (vertical hairline + muted label), used for the
+    timeline's grid-cell boundaries.
+    """
+    series = [s for s in series if s[1]][:_SERIES_SLOTS]
+    if not series:
+        return ""
+    xs = [x for _, pts in series for x, _ in pts]
+    ys = [y for _, pts in series for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0.0, min(ys)), max(ys)
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+
+    def x_of(x: float) -> float:
+        return _PAD_L + (x - x_lo) / (x_hi - x_lo) * (
+            _W - _PAD_L - _PAD_R
+        )
+
+    def y_of(y: float) -> float:
+        return _H - _PAD_B - (y - y_lo) / (y_hi - y_lo) * (
+            _H - _PAD_T - _PAD_B
+        )
+
+    x_tick_vals = _ticks(x_lo, x_hi, 5)
+    parts = [
+        f'<svg viewBox="0 0 {_W} {_H}" width="{_W}" height="{_H}"'
+        f' role="img" aria-label="{_esc(title)}">'
+    ]
+    parts += _frame(
+        _ticks(y_lo, y_hi, 3),
+        y_of,
+        [(v, _fmt(v)) for v in x_tick_vals],
+        x_of,
+    )
+    for x, label in bands or []:
+        if x <= x_lo or x >= x_hi:
+            continue
+        bx = x_of(x)
+        parts.append(
+            f'<line x1="{bx:.1f}" y1="{_PAD_T}" x2="{bx:.1f}"'
+            f' y2="{_H - _PAD_B}" style="stroke:var(--grid)"'
+            f' stroke-width="1"/>'
+        )
+    for index, (name, pts) in enumerate(series):
+        color = _series_color(index)
+        coords = " ".join(
+            f"{x_of(x):.1f},{y_of(y):.1f}" for x, y in pts
+        )
+        parts.append(
+            f'<polyline points="{coords}" fill="none"'
+            f' style="stroke:{color}" stroke-width="2"'
+            f' stroke-linejoin="round" stroke-linecap="round"/>'
+        )
+        # End marker: >=8px dot with a 2px surface ring.
+        ex, ey = pts[-1]
+        parts.append(
+            f'<circle cx="{x_of(ex):.1f}" cy="{y_of(ey):.1f}" r="4"'
+            f' style="fill:{color};stroke:var(--chart-surface)"'
+            f' stroke-width="2"/>'
+        )
+        # Hover layer: transparent >=12px hit circles carrying the
+        # browser-native tooltip (no JS, works from file://).
+        for x, y in pts:
+            label = f"{name}: {_fmt(y)}{unit} at {_fmt(x)}s"
+            parts.append(
+                f'<circle cx="{x_of(x):.1f}" cy="{y_of(y):.1f}" r="12"'
+                f' fill="transparent"><title>{_esc(label)}</title>'
+                f"</circle>"
+            )
+    parts.append("</svg>")
+    legend = ""
+    if len(series) > 1:
+        keys = "".join(
+            f'<span><span class="key" style="background:'
+            f'{_series_color(i)}"></span>{_esc(name)}</span>'
+            for i, (name, _) in enumerate(series)
+        )
+        legend = f'<div class="legend">{keys}</div>'
+    headers = ["t (s)"] + [name for name, _ in series]
+    by_x: Dict[float, List[Optional[float]]] = {}
+    for index, (_, pts) in enumerate(series):
+        for x, y in pts:
+            by_x.setdefault(x, [None] * len(series))[index] = y
+    rows = [
+        [_fmt(x)]
+        + ["" if v is None else _fmt(v) for v in by_x[x]]
+        for x in sorted(by_x)
+    ]
+    return (
+        f'<div class="card"><h2>{_esc(title)}</h2>{legend}'
+        + "".join(parts)
+        + _details_table("table view", headers, rows)
+        + "</div>"
+    )
+
+
+def _column_chart(
+    title: str,
+    categories: Sequence[str],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    unit: str = "",
+) -> str:
+    """Grouped columns (≤3 series): thin rounded-cap bars, 2px gaps."""
+    series = list(series)[:_SERIES_SLOTS]
+    if not series or not categories:
+        return ""
+    y_hi = max(
+        (v for _, values in series for v in values), default=1.0
+    )
+    if y_hi <= 0:
+        y_hi = 1.0
+
+    def y_of(y: float) -> float:
+        return _H - _PAD_B - y / y_hi * (_H - _PAD_T - _PAD_B)
+
+    plot_w = _W - _PAD_L - _PAD_R
+    slot = plot_w / len(categories)
+    bar = min(24.0, (slot - 8) / len(series) - 2)
+    bar = max(bar, 3.0)
+    group_w = bar * len(series) + 2 * (len(series) - 1)
+    parts = [
+        f'<svg viewBox="0 0 {_W} {_H}" width="{_W}" height="{_H}"'
+        f' role="img" aria-label="{_esc(title)}">'
+    ]
+    parts += _frame(_ticks(0.0, y_hi, 3), y_of, [], lambda x: x)
+    base_y = _H - _PAD_B
+    for ci, category in enumerate(categories):
+        cx = _PAD_L + slot * ci + slot / 2
+        for si, (name, values) in enumerate(series):
+            value = values[ci]
+            x = cx - group_w / 2 + si * (bar + 2)
+            top = y_of(value)
+            height = max(base_y - top, 0.0)
+            radius = min(4.0, height, bar / 2)
+            color = _series_color(si)
+            # Rounded data-end, square at the baseline.
+            parts.append(
+                f'<path d="M{x:.1f},{base_y:.1f} V{top + radius:.1f}'
+                f" Q{x:.1f},{top:.1f} {x + radius:.1f},{top:.1f}"
+                f" H{x + bar - radius:.1f}"
+                f" Q{x + bar:.1f},{top:.1f}"
+                f" {x + bar:.1f},{top + radius:.1f}"
+                f' V{base_y:.1f} Z" style="fill:{color}">'
+                f"<title>{_esc(f'{name} · {category}: {_fmt(value)}{unit}')}"
+                f"</title></path>"
+            )
+        parts.append(
+            f'<text x="{cx:.1f}" y="{_H - 6}" text-anchor="middle"'
+            f' fill="{_INK_MUTED}">{_esc(category)}</text>'
+        )
+    parts.append("</svg>")
+    legend = ""
+    if len(series) > 1:
+        keys = "".join(
+            f'<span><span class="key" style="background:'
+            f'{_series_color(i)}"></span>{_esc(name)}</span>'
+            for i, (name, _) in enumerate(series)
+        )
+        legend = f'<div class="legend">{keys}</div>'
+    rows = [
+        [category] + [_fmt(values[ci]) for _, values in series]
+        for ci, category in enumerate(categories)
+    ]
+    return (
+        f'<div class="card"><h2>{_esc(title)}</h2>{legend}'
+        + "".join(parts)
+        + _details_table(
+            "table view", [""] + [n for n, _ in series], rows
+        )
+        + "</div>"
+    )
+
+
+# ----------------------------------------------------------------------
+# Timeline section
+# ----------------------------------------------------------------------
+
+
+def _continuous_axis(
+    samples: List[Dict[str, Any]],
+) -> Tuple[List[float], List[Tuple[float, str]]]:
+    """Cumulative x positions + label-band starts.
+
+    Each grid cell's virtual clock restarts near zero, so raw ``t``
+    values are non-monotonic across a whole bench run; offsetting each
+    restart by the previous segment's end yields one continuous axis.
+    """
+    xs: List[float] = []
+    bands: List[Tuple[float, str]] = []
+    offset = 0.0
+    prev_raw: Optional[float] = None
+    prev_label: Optional[str] = None
+    for sample in samples:
+        t = float(sample.get("t", 0.0))
+        if prev_raw is not None and t < prev_raw:
+            offset = xs[-1]
+        x = offset + t
+        label = sample.get("label")
+        if label is not None and label != prev_label:
+            bands.append((x, str(label)))
+            prev_label = str(label)
+        xs.append(x)
+        prev_raw = t
+    return xs, bands
+
+
+def _timeline_section(samples: List[Dict[str, Any]]) -> str:
+    if not samples:
+        return ""
+    xs, bands = _continuous_axis(samples)
+    charts: List[str] = []
+    for group, name, title in _TIMELINE_CANDIDATES:
+        pts = [
+            (x, float(sample[group][name]))
+            for x, sample in zip(xs, samples)
+            if name in sample.get(group, {})
+        ]
+        if len(pts) < 2:
+            continue
+        charts.append(_line_chart(title, [(name, pts)], bands=bands))
+    # Per-shard in-doubt gauges fold into one chart (<=3 shards drawn).
+    in_doubt = sorted(
+        {
+            key
+            for sample in samples
+            for key in sample.get("gauges", {})
+            if key.startswith("backend.2pc.") and key.endswith(".in_doubt")
+        }
+    )[:_SERIES_SLOTS]
+    if in_doubt:
+        series = []
+        for key in in_doubt:
+            pts = [
+                (x, float(sample["gauges"][key]))
+                for x, sample in zip(xs, samples)
+                if key in sample.get("gauges", {})
+            ]
+            if pts:
+                series.append((key.split(".")[-2], pts))
+        if series:
+            charts.append(
+                _line_chart("2PC in-doubt per shard", series, bands=bands)
+            )
+    for hist_name in _WINDOW_CANDIDATES:
+        series = []
+        for quantile in ("p50", "p90", "p99"):
+            pts = [
+                (x, float(sample["windows"][hist_name][quantile]))
+                for x, sample in zip(xs, samples)
+                if hist_name in sample.get("windows", {})
+            ]
+            if len(pts) >= 2:
+                series.append((quantile, pts))
+        if series:
+            charts.append(
+                _line_chart(
+                    f"{hist_name} window (ms)", series, bands=bands
+                )
+            )
+    if not charts:
+        return ""
+    clock = samples[0].get("clock", "virtual")
+    segments = _table(
+        ["segment", "from (s)", "samples"],
+        [
+            (label, _fmt(start), sum(1 for s in samples if s.get("label") == label))
+            for start, label in bands
+        ],
+    ) if bands else ""
+    return (
+        "<section><h2>Timeline</h2>"
+        f'<p class="sub">{len(samples)} flight-recorder samples,'
+        f" {_esc(clock)} clock; vertical hairlines mark segment"
+        " starts.</p>"
+        f'<div class="grid">{"".join(charts)}</div>'
+        f"{segments}</section>"
+    )
+
+
+# ----------------------------------------------------------------------
+# Benchmark sections
+# ----------------------------------------------------------------------
+
+
+def _leaf_rows(
+    node: Any, path: Tuple[str, ...] = ()
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """Every dict carrying ``p50_ms`` under ``cells``, with its path."""
+    rows: List[Tuple[str, Dict[str, Any]]] = []
+    if isinstance(node, dict):
+        if "p50_ms" in node:
+            rows.append((" / ".join(path), node))
+        else:
+            for key in sorted(node):
+                rows.extend(_leaf_rows(node[key], path + (str(key),)))
+    return rows
+
+
+def _percentile_card(doc: Dict[str, Any]) -> str:
+    leaves = _leaf_rows(doc.get("cells", {}))
+    if not leaves:
+        return ""
+    rows = [
+        (
+            path,
+            _fmt(float(leaf.get("p50_ms", 0.0))),
+            _fmt(float(leaf.get("p90_ms", 0.0))),
+            _fmt(float(leaf.get("p99_ms", 0.0))),
+            _fmt(float(leaf.get("max_ms", 0.0))),
+            leaf.get("mode", ""),
+        )
+        for path, leaf in leaves
+    ]
+    return (
+        "<h3>Latency percentiles (virtual ms)</h3>"
+        + _table(
+            ["cell", "p50", "p90", "p99", "max", "mode"], rows
+        )
+    )
+
+
+def _multiuser_charts(doc: Dict[str, Any]) -> str:
+    cells = doc.get("cells", {})
+    client_keys = sorted(
+        cells, key=lambda k: int(str(k).split("-", 1)[1])
+    )
+    if not client_keys:
+        return ""
+    rate_keys = sorted(
+        {rk for ck in client_keys for rk in cells[ck]},
+        key=lambda k: float(str(k).split("-", 1)[1]),
+    )[:_SERIES_SLOTS]
+    categories = [str(k).split("-", 1)[1] for k in client_keys]
+    throughput = [
+        (
+            rk.replace("conflict-", "conflict "),
+            [
+                float(cells[ck].get(rk, {}).get("throughput_per_s", 0.0))
+                for ck in client_keys
+            ],
+        )
+        for rk in rate_keys
+    ]
+    aborts = [
+        (
+            rk.replace("conflict-", "conflict "),
+            [
+                100.0 * float(cells[ck].get(rk, {}).get("abort_rate", 0.0))
+                for ck in client_keys
+            ],
+        )
+        for rk in rate_keys
+    ]
+    return _column_chart(
+        "Throughput by client count (txn/s)", categories, throughput
+    ) + _column_chart(
+        "Abort rate by client count (%)", categories, aborts, unit="%"
+    )
+
+
+def _sharded_charts(doc: Dict[str, Any]) -> str:
+    cells = doc.get("cells", {})
+    keys = sorted(cells)
+    if not keys:
+        return ""
+    out = ""
+    for phase in ("closure", "update"):
+        categories = []
+        values = []
+        for key in keys:
+            leaf = cells[key].get(phase)
+            if isinstance(leaf, dict) and "p50_ms" in leaf:
+                categories.append(str(key))
+                values.append(float(leaf["p50_ms"]))
+        if categories:
+            out += _column_chart(
+                f"{phase} p50 by cell (virtual ms)",
+                categories,
+                [(phase, values)],
+            )
+    return out
+
+
+def _bench_section(name: str, doc: Dict[str, Any]) -> str:
+    benchmark = str(doc.get("benchmark", "benchmark"))
+    prov = doc.get("provenance", {})
+    prov_bits = []
+    if isinstance(prov, dict):
+        for key in sorted(prov):
+            value = prov[key]
+            if isinstance(value, (str, int, float)):
+                prov_bits.append(f"{key}={value}")
+    header = (
+        f"<section><h2>{_esc(benchmark)} — {_esc(name)}</h2>"
+        f'<p class="provenance">{_esc("; ".join(prov_bits))}</p>'
+    )
+    charts = ""
+    if benchmark == "multiuser":
+        charts = f'<div class="grid">{_multiuser_charts(doc)}</div>'
+        wal = doc.get("wal") or {}
+        per = wal.get("per_commit", {})
+        grp = wal.get("group_commit", {})
+        if per and grp:
+            charts += _table(
+                ["wal mode", "fsyncs/commit", "wal syncs", "tput/s"],
+                [
+                    (
+                        mode,
+                        _fmt(float(leaf.get("fsyncs_per_commit", 0.0))),
+                        leaf.get("wal_syncs", 0),
+                        _fmt(float(leaf.get("throughput_per_s", 0.0))),
+                    )
+                    for mode, leaf in (
+                        ("per-commit", per),
+                        ("group-commit", grp),
+                    )
+                ],
+            )
+    elif benchmark == "sharded":
+        charts = f'<div class="grid">{_sharded_charts(doc)}</div>'
+    return header + charts + _percentile_card(doc) + "</section>"
+
+
+# ----------------------------------------------------------------------
+# Trace section
+# ----------------------------------------------------------------------
+
+
+def _trace_section(doc: Dict[str, Any]) -> str:
+    events = doc.get("traceEvents", [])
+    other = doc.get("otherData", {})
+    lanes: Dict[Tuple[int, int], str] = {}
+    span_counts: Dict[Tuple[int, int], int] = {}
+    for event in events:
+        key = (event.get("pid", 0), event.get("tid", 0))
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            lanes[key] = str(event.get("args", {}).get("name", ""))
+        elif event.get("ph") == "X":
+            span_counts[key] = span_counts.get(key, 0) + 1
+    lane_rows = [
+        (
+            lanes.get(key, f"pid {key[0]} tid {key[1]}"),
+            key[0],
+            key[1],
+            count,
+        )
+        for key, count in sorted(span_counts.items())
+    ]
+    counters = other.get("counters", {})
+    counter_rows = [
+        (name, _fmt(float(counters[name]))) for name in sorted(counters)
+    ]
+    return (
+        "<section><h2>Trace</h2>"
+        f'<p class="sub">trace {_esc(other.get("trace_id", "?"))} — '
+        f'{_esc(other.get("span_count", len(events)))} spans'
+        "</p>"
+        + _table(["lane", "pid", "tid", "spans"], lane_rows)
+        + _details_table(
+            f"counter totals ({len(counter_rows)})",
+            ["counter", "value"],
+            counter_rows,
+        )
+        + "</section>"
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def render_dashboard(
+    benches: Sequence[Tuple[str, Dict[str, Any]]] = (),
+    timeline: Optional[List[Dict[str, Any]]] = None,
+    trace: Optional[Dict[str, Any]] = None,
+    title: str = "HyperModel game-day dashboard",
+) -> str:
+    """Render everything into one self-contained HTML string."""
+    sources = [name for name, _ in benches]
+    if timeline:
+        sources.append(f"timeline ({len(timeline)} samples)")
+    if trace:
+        sources.append("chrome trace")
+    tiles = []
+    for _, doc in benches:
+        if doc.get("benchmark") == "multiuser":
+            leaves = [leaf for _, leaf in _leaf_rows(doc.get("cells", {}))]
+            committed = sum(int(l.get("committed", 0)) for l in leaves)
+            aborted = sum(int(l.get("aborted", 0)) for l in leaves)
+            peak = max(
+                (float(l.get("throughput_per_s", 0.0)) for l in leaves),
+                default=0.0,
+            )
+            tiles += [
+                ("committed txns", _fmt(committed)),
+                ("optimistic aborts", _fmt(aborted)),
+                ("peak throughput /s", _fmt(peak)),
+            ]
+        elif doc.get("benchmark") == "sharded":
+            leaves = [leaf for _, leaf in _leaf_rows(doc.get("cells", {}))]
+            two_pc = sum(
+                int(l.get("two_phase_commits", 0)) for l in leaves
+            )
+            tiles.append(("2PC commits", _fmt(two_pc)))
+    kpis = "".join(
+        f'<div class="tile"><div class="label">{_esc(label)}</div>'
+        f'<div class="value">{_esc(value)}</div></div>'
+        for label, value in tiles[:5]
+    )
+    body = [
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="provenance">sources: {_esc(", ".join(sources) or "none")}'
+        "</p>",
+    ]
+    if kpis:
+        body.append(f'<div class="kpis">{kpis}</div>')
+    if timeline:
+        body.append(_timeline_section(timeline))
+    for name, doc in benches:
+        body.append(_bench_section(name, doc))
+    if trace:
+        body.append(_trace_section(trace))
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head>"
+        '<meta charset="utf-8"/>'
+        '<meta name="viewport" content="width=device-width,'
+        ' initial-scale=1"/>'
+        f"<title>{_esc(title)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        + "".join(body)
+        + "</body></html>\n"
+    )
+
+
+def write_dashboard(
+    out_path: str,
+    bench_paths: Sequence[str] = (),
+    timeline_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
+    title: str = "HyperModel game-day dashboard",
+) -> str:
+    """Load the inputs from disk, render, and write ``out_path``."""
+    from repro.obs.timeseries import read_jsonl
+
+    benches: List[Tuple[str, Dict[str, Any]]] = []
+    for path in bench_paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            benches.append((path, json.load(handle)))
+    timeline = read_jsonl(timeline_path) if timeline_path else None
+    trace = None
+    if trace_path:
+        with open(trace_path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    document = render_dashboard(
+        benches, timeline=timeline, trace=trace, title=title
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return out_path

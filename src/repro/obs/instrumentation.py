@@ -37,6 +37,7 @@ from typing import Dict, Optional
 from repro.obs.counters import Counters, CounterSnapshot, Number
 from repro.obs.histograms import HistogramRegistry
 from repro.obs.spans import SpanRecorder, TraceContext
+from repro.obs.timeseries import GaugeRegistry
 
 #: Distinct trace ids per process; every live handle draws one, so a
 #: TraceContext names its originating handle unambiguously.
@@ -61,7 +62,14 @@ _NULL_SPAN = _NullSpan()
 class Instrumentation:
     """A live measurement handle: counters + spans + latency histograms."""
 
-    __slots__ = ("counters", "spans", "histograms", "trace_id")
+    __slots__ = (
+        "counters",
+        "spans",
+        "histograms",
+        "gauges",
+        "recorder",
+        "trace_id",
+    )
 
     #: Live handles record; the no-op singleton overrides this to False.
     enabled = True
@@ -70,6 +78,9 @@ class Instrumentation:
         self.counters = Counters()
         self.spans = SpanRecorder(span_capacity)
         self.histograms = HistogramRegistry()
+        self.gauges = GaugeRegistry()
+        #: Optional attached flight recorder (see :meth:`attach_recorder`).
+        self.recorder = None
         self.trace_id = next(_TRACE_IDS)
 
     # -- the three hot entry points ----------------------------------------
@@ -108,6 +119,21 @@ class Instrumentation:
         """
         self.histograms.observe(name, value)
 
+    def gauge(self, name: str, fn) -> None:
+        """Register a callback gauge (evaluated only at sample time).
+
+        Components register gauges at construction — cheap because the
+        callback never runs on a hot path; the flight recorder calls
+        it when (and only when) it takes a sample.  The name taxonomy
+        (and the regex CI lints gauge names with) is documented in
+        ``docs/observability.md``.
+        """
+        self.gauges.register(name, fn)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a settable gauge (one dict store — hot-path safe)."""
+        self.gauges.set(name, value)
+
     # -- trace propagation -------------------------------------------------
 
     def current_context(self) -> Optional[TraceContext]:
@@ -130,8 +156,18 @@ class Instrumentation:
         """Nonzero counter changes since an earlier snapshot."""
         return self.counters.snapshot().delta(earlier)
 
+    def attach_recorder(self, recorder) -> None:
+        """Attach a flight recorder so :meth:`reset` clears its ring.
+
+        The recorder samples *this* handle; attaching it here makes
+        the cold/warm isolation contract atomic — one ``reset()``
+        clears counters, histograms, completed spans, settable gauges
+        **and** the recorder's sample ring together.
+        """
+        self.recorder = recorder
+
     def reset(self) -> None:
-        """Atomically clear counters, histograms, and the span ring.
+        """Atomically clear counters, histograms, gauges, and the rings.
 
         **Contract** (the harness pins this between the cold and warm
         passes of the section 5.3 protocol):
@@ -144,11 +180,20 @@ class Instrumentation:
           across the reset, so spans recorded afterwards can never
           reference (or be confused with) pre-reset sequence numbers;
         * spans still *open* across the reset survive and complete
-          normally; their records land in the post-reset ring.
+          normally; their records land in the post-reset ring;
+        * settable gauge values are cleared but **registered gauge
+          callbacks survive** (the components that registered them
+          persist across the cold/warm boundary);
+        * an attached flight recorder's sample ring is cleared and its
+          rate baselines rebased, so the first post-reset sample never
+          reports negative deltas against pre-reset counters.
         """
         self.counters.reset()
         self.histograms.reset()
         self.spans.clear()
+        self.gauges.reset()
+        if self.recorder is not None:
+            self.recorder.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -185,6 +230,12 @@ class NoOpInstrumentation(Instrumentation):
         return _NULL_SPAN
 
     def observe(self, name: str, value: float) -> None:
+        pass
+
+    def gauge(self, name: str, fn) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
         pass
 
     def current_context(self) -> None:

@@ -159,6 +159,49 @@ class ShardRouter:
                 self._txid = max(self._txid, record.txid)
         self._pending_trace: Optional[TraceContext] = None
         self._reply_versions: Dict[int, int] = {}
+        # Per-shard in-doubt gauge: how many transactions each shard
+        # holds prepared-but-undecided right now.  Evaluated only at
+        # flight-recorder sample time (in_doubt() allocates a list).
+        for index, shard in enumerate(self.shards):
+            self._instr.gauge(
+                f"backend.2pc.shard{index}.in_doubt",
+                lambda s=shard: float(len(s.in_doubt())),
+            )
+
+    def trace_lane_metadata(self) -> Dict[str, Dict[str, object]]:
+        """Per-shard-lane metadata for the Chrome trace export.
+
+        Keys are the ``shard<n>`` lane tags the servers stamp on their
+        spans; the exporter merges the values into each matching
+        lane's thread metadata so a trace records which placement
+        policy produced the fan-out it shows.
+        """
+        return {
+            f"shard{index}": {
+                "placement": self.config.placement,
+                "shards": self.config.shards,
+            }
+            for index in range(len(self.shards))
+        }
+
+    def _repoint_trace(
+        self, phase_span, ctx: Optional[TraceContext]
+    ) -> None:
+        """Make a 2PC/scatter phase span the remote parent of its fan-out.
+
+        Shard calls issued while the repointed context is pending
+        record their server spans with ``remote_parent`` = the phase
+        span, so the exported trace draws flow arrows from *the phase*
+        (prepare, deliver, scatter round) into each shard lane instead
+        of from the enclosing client RPC span.  Callers restore
+        ``self._pending_trace = ctx`` when the phase ends.
+        """
+        if self._instr.enabled:
+            self._pending_trace = TraceContext(
+                self._instr.trace_id,
+                phase_span.sequence,
+                client_id=ctx.client_id if ctx is not None else None,
+            )
 
     # ------------------------------------------------------------------
     # ObjectServer surface: plumbing
@@ -341,6 +384,8 @@ class ShardRouter:
         frontier = list(seeds)
         rounds = 0
         calls = 0
+        ctx = self._pending_trace
+        client = ctx.client_id if ctx is not None else None
         while frontier and (limit is None or len(out) < limit):
             rounds += 1
             groups: Dict[int, List[Tuple[int, Optional[int]]]] = {}
@@ -348,21 +393,32 @@ class ShardRouter:
                 shard_index = self.placement.shard_of(uid)
                 groups.setdefault(shard_index, []).append((uid, depth))
             next_frontier: Dict[int, float] = {}
-            for shard_index in sorted(groups):
-                remaining = None if limit is None else limit - len(out)
-                if remaining is not None and remaining <= 0:
-                    break
-                records, borders = dispatch(
-                    shard_index, groups[shard_index], remaining
-                )
-                calls += 1
-                for uid, record in records.items():
-                    if uid not in out:
-                        out[uid] = record
-                for uid, depth in borders:
-                    value = _budget(depth)
-                    if value > next_frontier.get(uid, float("-inf")):
-                        next_frontier[uid] = value
+            with self._instr.span(
+                "rpc.scatter.round", client=client
+            ) as round_span:
+                self._repoint_trace(round_span, ctx)
+                try:
+                    for shard_index in sorted(groups):
+                        remaining = (
+                            None if limit is None else limit - len(out)
+                        )
+                        if remaining is not None and remaining <= 0:
+                            break
+                        records, borders = dispatch(
+                            shard_index, groups[shard_index], remaining
+                        )
+                        calls += 1
+                        for uid, record in records.items():
+                            if uid not in out:
+                                out[uid] = record
+                        for uid, depth in borders:
+                            value = _budget(depth)
+                            if value > next_frontier.get(
+                                uid, float("-inf")
+                            ):
+                                next_frontier[uid] = value
+                finally:
+                    self._pending_trace = ctx
             for uid, depth in frontier:
                 value = _budget(depth)
                 if value > walked.get(uid, float("-inf")):
@@ -484,39 +540,69 @@ class ShardRouter:
         self._txid += 1
         txid = self._txid
         self._instr.count("backend.2pc.transactions")
+        ctx = self._pending_trace
+        client = ctx.client_id if ctx is not None else None
         prepared: List[int] = []
-        try:
-            for index in participants:
-                shard_writes, shard_reads, shard_lists = slices[index]
-                self._call_with_retry(
-                    index,
-                    "prepare_batch",
-                    txid,
-                    shard_writes,
-                    shard_reads,
-                    shard_lists,
-                    from_cache=from_cache,
-                )
-                prepared.append(index)
-        except Exception:
-            # Any no vote (conflict) or exhausted prepare aborts the
-            # whole transaction: presumed abort — the decision needs no
-            # *forced* log write, but an unforced ABORT note keeps the
-            # txid watermark across a coordinator restart (participants
-            # memoize decided txids and reject their reuse).
-            self._instr.count("backend.2pc.aborts")
-            if self.decision_log is not None:
-                self.decision_log.log_decision(txid, committed=False)
-            self._abort_participants(txid, prepared)
-            raise
-        # Unanimous yes: the decision becomes durable *before* any
-        # participant applies — this write is the commit point.
-        if self.decision_log is not None:
-            self.decision_log.log_commit(txid, [])
-        self._instr.count("backend.2pc.commits")
-        applied: Dict[int, int] = {}
-        for index in prepared:
-            applied.update(self._deliver_commit(index, txid))
+        with self._instr.span("2pc.commit", client=client):
+            try:
+                with self._instr.span(
+                    "2pc.prepare", client=client
+                ) as phase:
+                    self._repoint_trace(phase, ctx)
+                    try:
+                        for index in participants:
+                            shard_writes, shard_reads, shard_lists = (
+                                slices[index]
+                            )
+                            self._call_with_retry(
+                                index,
+                                "prepare_batch",
+                                txid,
+                                shard_writes,
+                                shard_reads,
+                                shard_lists,
+                                from_cache=from_cache,
+                            )
+                            prepared.append(index)
+                    finally:
+                        self._pending_trace = ctx
+            except Exception:
+                # Any no vote (conflict) or exhausted prepare aborts the
+                # whole transaction: presumed abort — the decision needs
+                # no *forced* log write, but an unforced ABORT note
+                # keeps the txid watermark across a coordinator restart
+                # (participants memoize decided txids and reject their
+                # reuse).
+                self._instr.count("backend.2pc.aborts")
+                if self.decision_log is not None:
+                    self.decision_log.log_decision(txid, committed=False)
+                with self._instr.span(
+                    "2pc.abort", client=client
+                ) as phase:
+                    self._repoint_trace(phase, ctx)
+                    try:
+                        self._abort_participants(txid, prepared)
+                    finally:
+                        self._pending_trace = ctx
+                raise
+            # Unanimous yes: the decision becomes durable *before* any
+            # participant applies — this write is the commit point.
+            with self._instr.span("2pc.decision", client=client):
+                if self.decision_log is not None:
+                    self.decision_log.log_commit(txid, [])
+            self._instr.count("backend.2pc.commits")
+            applied: Dict[int, int] = {}
+            with self._instr.span(
+                "2pc.deliver", client=client
+            ) as phase:
+                self._repoint_trace(phase, ctx)
+                try:
+                    for index in prepared:
+                        applied.update(
+                            self._deliver_commit(index, txid)
+                        )
+                finally:
+                    self._pending_trace = ctx
         return applied
 
     def _abort_participants(
@@ -572,20 +658,28 @@ class ShardRouter:
                 committed.add(txid)
                 self._txid = max(self._txid, txid)
         outcomes: Dict[int, str] = {}
-        for index, shard in enumerate(self.shards):
-            for txid in shard.in_doubt():
-                # The txid is proven used — never hand it out again.
-                self._txid = max(self._txid, txid)
-                if txid in committed:
-                    self._deliver_commit(index, txid)
-                    outcomes[txid] = "committed"
-                else:
-                    self._call_with_retry(index, "abort_prepared", txid)
-                    outcomes[txid] = "aborted"
-                    if self.decision_log is not None:
-                        self.decision_log.log_decision(
-                            txid, committed=False
-                        )
+        with self._instr.span("2pc.resolve") as phase:
+            self._repoint_trace(phase, None)
+            try:
+                for index, shard in enumerate(self.shards):
+                    for txid in shard.in_doubt():
+                        # The txid is proven used — never hand it out
+                        # again.
+                        self._txid = max(self._txid, txid)
+                        if txid in committed:
+                            self._deliver_commit(index, txid)
+                            outcomes[txid] = "committed"
+                        else:
+                            self._call_with_retry(
+                                index, "abort_prepared", txid
+                            )
+                            outcomes[txid] = "aborted"
+                            if self.decision_log is not None:
+                                self.decision_log.log_decision(
+                                    txid, committed=False
+                                )
+            finally:
+                self._pending_trace = None
         if outcomes:
             self._instr.count("backend.2pc.resolved", len(outcomes))
         return outcomes

@@ -1,0 +1,176 @@
+"""The ``repro dash`` HTML renderer (src/repro/obs/dashboard.py).
+
+Pins the self-containment contract (one file, zero network
+dependencies, no JavaScript) and the presence of every section the
+game-day dashboard promises: provenance header, timeline charts with
+table-view twins, benchmark percentile tables, and the trace summary.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import FlightRecorder, Instrumentation
+from repro.obs.dashboard import render_dashboard, write_dashboard
+from repro.obs.traceexport import build_trace
+
+
+def _multiuser_doc():
+    """A minimal but shape-correct BENCH_multiuser document."""
+    leaf = {
+        "mode": "multiuser",
+        "committed": 8,
+        "aborted": 1,
+        "abort_rate": 0.111,
+        "throughput_per_s": 120.5,
+        "p50_ms": 1.2,
+        "p90_ms": 2.4,
+        "p99_ms": 4.8,
+        "max_ms": 5.0,
+    }
+    return {
+        "benchmark": "multiuser",
+        "provenance": {"seed": 1989, "level": 3},
+        "cells": {
+            "clients-1": {"conflict-0": dict(leaf)},
+            "clients-8": {
+                "conflict-0": dict(leaf),
+                "conflict-0.2": dict(leaf, aborted=4, abort_rate=0.3),
+            },
+        },
+        "wal": {
+            "per_commit": {
+                "fsyncs_per_commit": 1.0,
+                "wal_syncs": 64,
+                "throughput_per_s": 80.0,
+            },
+            "group_commit": {
+                "fsyncs_per_commit": 0.125,
+                "wal_syncs": 8,
+                "throughput_per_s": 118.0,
+            },
+        },
+    }
+
+
+def _timeline_samples():
+    instr = Instrumentation()
+    recorder = FlightRecorder(instr)
+    for step in range(6):
+        instr.count("backend.mp.txn.committed", step + 1)
+        instr.set_gauge("backend.occ.inflight", float(step % 3))
+        instr.observe("backend.mp.queue_delay", float(2**step))
+        # t resets halfway through, like a new grid cell.
+        t = (step % 3) * 0.1
+        label = "cell-a" if step < 3 else "cell-b"
+        recorder.sample(t, label=label)
+    return recorder.samples()
+
+
+@pytest.fixture(scope="module")
+def rendered():
+    instr = Instrumentation()
+    with instr.span("rpc.fetch", client="client·shard0"):
+        pass
+    instr.count("backend.rpc.round_trips", 3)
+    trace = build_trace(instr)
+    return render_dashboard(
+        benches=[("BENCH_multiuser.json", _multiuser_doc())],
+        timeline=_timeline_samples(),
+        trace=trace,
+    )
+
+
+class TestSelfContainment:
+    def test_single_document_no_network_no_js(self, rendered):
+        assert rendered.startswith("<!DOCTYPE html>")
+        for forbidden in (
+            "http://", "https://", "<script", "src=", "@import", "url(",
+        ):
+            assert forbidden not in rendered, forbidden
+        assert "<style>" in rendered
+
+    def test_dark_mode_is_selected_not_inverted(self, rendered):
+        # Dark palette steps are declared explicitly, not derived.
+        assert "prefers-color-scheme: dark" in rendered
+        assert "#3987e5" in rendered  # dark series-1 step
+        assert "#2a78d6" in rendered  # light series-1 step
+
+
+class TestSections:
+    def test_provenance_header_names_every_source(self, rendered):
+        assert "BENCH_multiuser.json" in rendered
+        assert "timeline (6 samples)" in rendered
+        assert "chrome trace" in rendered
+
+    def test_timeline_charts_and_segment_bands(self, rendered):
+        assert "OCC transactions in flight" in rendered
+        assert "commit rate (txn/s)" in rendered
+        assert "backend.mp.queue_delay window (ms)" in rendered
+        # Segment labels from the sample stream appear in the table.
+        assert "cell-a" in rendered and "cell-b" in rendered
+
+    def test_every_chart_has_a_table_view_twin(self, rendered):
+        assert rendered.count("<svg") > 0
+        assert rendered.count("<details") >= rendered.count(
+            'role="img"'
+        )
+
+    def test_bench_section_has_percentile_table_and_wal_rows(
+        self, rendered
+    ):
+        assert "Latency percentiles (virtual ms)" in rendered
+        assert "clients-1 / conflict-0" in rendered
+        assert "group-commit" in rendered
+
+    def test_trace_section_lists_lanes_and_counters(self, rendered):
+        assert "Trace" in rendered
+        assert "shard0" in rendered
+        assert "backend.rpc.round_trips" in rendered
+
+    def test_kpi_tiles_aggregate_the_multiuser_cells(self, rendered):
+        assert "committed txns" in rendered
+        assert "peak throughput /s" in rendered
+
+
+class TestWriteDashboard:
+    def test_write_dashboard_loads_all_inputs(self, tmp_path):
+        bench_path = tmp_path / "BENCH_multiuser.json"
+        bench_path.write_text(json.dumps(_multiuser_doc()))
+        timeline_path = tmp_path / "timeline.jsonl"
+        instr = Instrumentation()
+        recorder = FlightRecorder(instr)
+        instr.count("backend.mp.txn.committed", 2)
+        recorder.sample(0.5, label="only")
+        recorder.write_jsonl(str(timeline_path))
+        out = tmp_path / "dash.html"
+        write_dashboard(
+            str(out),
+            bench_paths=[str(bench_path)],
+            timeline_path=str(timeline_path),
+            title="smoke",
+        )
+        data = out.read_text()
+        assert data.startswith("<!DOCTYPE html>")
+        assert "<title>smoke</title>" in data
+
+    def test_render_with_no_inputs_is_still_valid(self):
+        document = render_dashboard()
+        assert document.startswith("<!DOCTYPE html>")
+        assert "sources: none" in document
+
+
+class TestCumulativeAxis:
+    def test_resetting_t_yields_a_monotonic_axis(self):
+        from repro.obs.dashboard import _continuous_axis
+
+        samples = [
+            {"t": 0.1, "label": "a"},
+            {"t": 0.2, "label": "a"},
+            {"t": 0.05, "label": "b"},  # new cell: clock restarted
+            {"t": 0.15, "label": "b"},
+        ]
+        xs, bands = _continuous_axis(samples)
+        assert xs == sorted(xs)
+        assert xs[2] == pytest.approx(0.25)  # 0.2 offset + 0.05
+        assert [label for _, label in bands] == ["a", "b"]

@@ -195,6 +195,61 @@ def test_property_store_matches_dict_model(tmp_path_factory, operations):
 # Generator determinism as a property
 # ----------------------------------------------------------------------
 
+# ----------------------------------------------------------------------
+# Histogram merge as a property
+# ----------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(
+    partitions=st.lists(
+        st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            max_size=20,
+        ),
+        max_size=6,
+    )
+)
+def test_property_histogram_merge_equals_pooled_samples(partitions):
+    """Merging per-client histograms == one histogram over the pool.
+
+    This is the identity bench-multiuser relies on: it aggregates the
+    fleet histogram by merging per-client histograms, and the BENCH
+    document must be byte-identical to the pooled-samples baseline.
+    Bucket counts add commutatively, so everything bucket-derived is
+    exactly equal for any partition of the samples into clients:
+    counts, zeros, the buckets themselves, the extremes, and every
+    percentile (the only statistics the BENCH document publishes).
+    The running ``total`` is a float sum, so it may differ in the
+    last ulp with summation order — equal to relative tolerance only.
+    """
+    import math
+
+    from repro.obs import LatencyHistogram
+
+    merged = LatencyHistogram()
+    for client_samples in partitions:
+        merged.merge(LatencyHistogram.from_samples(client_samples))
+    pooled = LatencyHistogram.from_samples(
+        [value for client in partitions for value in client]
+    )
+    merged_dict, pooled_dict = merged.to_dict(), pooled.to_dict()
+    merged_sum = merged_dict.pop("sum"), merged_dict.pop("mean", 0.0)
+    pooled_sum = pooled_dict.pop("sum"), pooled_dict.pop("mean", 0.0)
+    assert merged_dict == pooled_dict
+    for ours, theirs in zip(merged_sum, pooled_sum):
+        assert math.isclose(ours, theirs, rel_tol=1e-12, abs_tol=1e-12)
+    for quantile in (0.0, 0.5, 0.9, 0.99, 1.0):
+        assert merged.percentile(quantile) == pooled.percentile(quantile)
+    assert (merged.minimum, merged.maximum) == (
+        pooled.minimum, pooled.maximum,
+    )
+
+
 @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(seed=st.integers(min_value=0, max_value=2**31))
 def test_property_generation_is_seed_deterministic(seed):

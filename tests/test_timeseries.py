@@ -1,0 +1,269 @@
+"""Gauge registry + flight recorder tests (src/repro/obs/timeseries.py).
+
+Pins the telemetry-plane contracts the dashboard and CI rely on:
+
+* gauge semantics — callback vs settable, replacement, exception
+  skipping, the ``reset()`` half-clear (settable values go, callbacks
+  survive);
+* the extended ``Instrumentation.reset`` contract — an attached flight
+  recorder's ring is cleared and its baselines rebased atomically;
+* recorder sampling — counter rates, gauge evaluation, windowed
+  histogram percentiles, the virtual-clock skip of wall-measured
+  histograms, ring bounding, and per-cell ``rebind``;
+* JSONL export — byte-identical across two identical runs (the
+  property the CI hard gates and ``repro dash`` build on).
+"""
+
+import io
+import re
+import tracemalloc
+
+import pytest
+
+from repro.obs import Instrumentation
+from repro.obs.instrumentation import NO_OP
+from repro.obs.timeseries import (
+    GAUGE_NAME_PATTERN,
+    WALL_CLOCK_HISTOGRAMS,
+    FlightRecorder,
+    GaugeRegistry,
+    read_jsonl,
+)
+
+
+class TestGaugeRegistry:
+    def test_callback_is_evaluated_only_at_collect(self):
+        registry = GaugeRegistry()
+        calls = []
+        registry.register("engine.wal.backlog", lambda: calls.append(1) or 3.0)
+        assert calls == []  # registration is free
+        assert registry.collect() == {"engine.wal.backlog": 3.0}
+        assert len(calls) == 1
+
+    def test_settable_shadow_and_replacement(self):
+        registry = GaugeRegistry()
+        registry.register("backend.occ.inflight", lambda: 1.0)
+        registry.set("backend.occ.inflight", 7.0)
+        # A settable value shadows the callback of the same name.
+        assert registry.collect() == {"backend.occ.inflight": 7.0}
+        # Re-registration replaces: the newest owner of a name wins.
+        registry.register("backend.occ.inflight", lambda: 2.0)
+        registry.reset()
+        assert registry.collect() == {"backend.occ.inflight": 2.0}
+
+    def test_collect_skips_raising_callbacks(self):
+        registry = GaugeRegistry()
+
+        def broken() -> float:
+            raise RuntimeError("component mid-teardown")
+
+        registry.register("netsim.cache.occupancy", broken)
+        registry.register("engine.wal.backlog", lambda: 1.5)
+        assert registry.collect() == {"engine.wal.backlog": 1.5}
+
+    def test_reset_clears_settable_but_callbacks_survive(self):
+        registry = GaugeRegistry()
+        registry.register("engine.buffer.occupancy", lambda: 0.25)
+        registry.set("backend.occ.aborted", 4.0)
+        registry.reset()
+        assert "backend.occ.aborted" not in registry
+        assert registry.collect() == {"engine.buffer.occupancy": 0.25}
+
+    def test_unregister_and_container_protocol(self):
+        registry = GaugeRegistry()
+        registry.register("a.b", lambda: 0.0)
+        registry.set("c.d", 1.0)
+        assert len(registry) == 2
+        assert registry.names() == ("a.b", "c.d")
+        registry.unregister("a.b")
+        registry.unregister("missing.name")  # absent names are fine
+        assert "a.b" not in registry and "c.d" in registry
+
+    def test_collect_keys_are_sorted(self):
+        registry = GaugeRegistry()
+        registry.set("z.last", 1.0)
+        registry.set("a.first", 2.0)
+        assert list(registry.collect()) == ["a.first", "z.last"]
+
+    def test_in_tree_gauge_names_match_the_taxonomy(self):
+        # The same regex scripts/lint_gauge_names.py enforces over src/.
+        pattern = re.compile(GAUGE_NAME_PATTERN)
+        for name in (
+            "netsim.transport.queue_depth",
+            "netsim.cache.client0.hit_ratio",
+            "engine.wal.batch_fill",
+            "backend.2pc.shard1.in_doubt",
+            "backend.occ.inflight",
+        ):
+            assert pattern.match(name), name
+        for bad in ("Engine.wal", "nodots", "trailing.", ".leading", "a.B"):
+            assert not pattern.match(bad), bad
+
+
+class TestResetContractWithRecorder:
+    def test_reset_clears_the_attached_recorder_ring(self):
+        instr = Instrumentation()
+        recorder = FlightRecorder(instr)
+        instr.attach_recorder(recorder)
+        instr.count("backend.rpc.round_trips", 10)
+        recorder.sample(1.0)
+        assert len(recorder) == 1
+        instr.reset()
+        assert len(recorder) == 0
+        # Baselines rebased: the first post-reset sample reports the
+        # post-reset counter value, not a negative delta.
+        instr.count("backend.rpc.round_trips", 3)
+        entry = recorder.sample(2.0)
+        assert entry["rates"]["backend.rpc.round_trips"] == 3.0
+
+    def test_reset_keeps_gauge_callbacks_through_the_recorder(self):
+        instr = Instrumentation()
+        recorder = FlightRecorder(instr)
+        instr.attach_recorder(recorder)
+        instr.gauge("engine.buffer.occupancy", lambda: 0.5)
+        instr.set_gauge("backend.occ.inflight", 9.0)
+        instr.reset()
+        entry = recorder.sample(0.0)
+        assert entry["gauges"] == {"engine.buffer.occupancy": 0.5}
+
+
+class TestFlightRecorder:
+    def test_rates_are_deltas_over_dt(self):
+        instr = Instrumentation()
+        recorder = FlightRecorder(instr)
+        instr.count("backend.mp.txn.committed", 4)
+        first = recorder.sample(0.0)
+        # First sample: no previous t, raw delta.
+        assert first["rates"]["backend.mp.txn.committed"] == 4.0
+        instr.count("backend.mp.txn.committed", 6)
+        second = recorder.sample(2.0)
+        assert second["rates"]["backend.mp.txn.committed"] == 3.0
+
+    def test_nonpositive_dt_falls_back_to_raw_delta(self):
+        # Grid cells restart their virtual clocks near zero, so a
+        # shared recorder sees t go backwards at cell boundaries.
+        instr = Instrumentation()
+        recorder = FlightRecorder(instr)
+        recorder.sample(5.0)
+        instr.count("backend.rpc.round_trips", 2)
+        entry = recorder.sample(1.0)  # t went backwards
+        assert entry["rates"]["backend.rpc.round_trips"] == 2.0
+
+    def test_windowed_percentiles_cover_only_the_window(self):
+        instr = Instrumentation()
+        recorder = FlightRecorder(instr)
+        for value in (1.0, 1.0, 1.0):
+            instr.observe("backend.mp.queue_delay", value)
+        recorder.sample(1.0)
+        for value in (64.0, 64.0):
+            instr.observe("backend.mp.queue_delay", value)
+        entry = recorder.sample(2.0)
+        window = entry["windows"]["backend.mp.queue_delay"]
+        assert window["count"] == 2.0
+        # The first sample's 1.0s are outside this window: every
+        # percentile sits in the 64-bucket (32, 64], far above 1.
+        assert window["p50"] > 32.0
+
+    def test_quiet_histograms_emit_no_window(self):
+        instr = Instrumentation()
+        recorder = FlightRecorder(instr)
+        instr.observe("backend.mp.queue_delay", 2.0)
+        recorder.sample(1.0)
+        entry = recorder.sample(2.0)  # nothing new arrived
+        assert entry["windows"] == {}
+
+    def test_virtual_clock_skips_wall_measured_histograms(self):
+        instr = Instrumentation()
+        virtual = FlightRecorder(instr, clock="virtual")
+        wall = FlightRecorder(instr, clock="wall")
+        for name in WALL_CLOCK_HISTOGRAMS:
+            instr.observe(name.rstrip(".") if not name.endswith(".") else name + "cold", 1.0)
+        instr.observe("backend.mp.queue_delay", 1.0)
+        v_entry = virtual.sample(1.0)
+        w_entry = wall.sample(1.0)
+        assert list(v_entry["windows"]) == ["backend.mp.queue_delay"]
+        assert set(w_entry["windows"]) > {"backend.mp.queue_delay"}
+
+    def test_ring_is_bounded(self):
+        instr = Instrumentation()
+        recorder = FlightRecorder(instr, capacity=3)
+        for step in range(5):
+            recorder.sample(float(step))
+        kept = [entry["t"] for entry in recorder.samples()]
+        assert kept == [2.0, 3.0, 4.0]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(Instrumentation(), capacity=0)
+
+    def test_rebind_rebases_but_keeps_samples(self):
+        first = Instrumentation()
+        first.count("backend.rpc.round_trips", 100)
+        recorder = FlightRecorder(first)
+        recorder.sample(1.0)
+        second = Instrumentation()
+        second.count("backend.rpc.round_trips", 5)
+        recorder.rebind(second)
+        entry = recorder.sample(0.5)
+        assert len(recorder) == 2  # retained across the rebind
+        # Fresh baseline: the new handle's full value, not 5 - 100.
+        assert entry["rates"]["backend.rpc.round_trips"] == 5.0
+
+    def test_labels_are_recorded_only_when_given(self):
+        instr = Instrumentation()
+        recorder = FlightRecorder(instr)
+        with_label = recorder.sample(0.0, label="cell-a/closure")
+        without = recorder.sample(1.0)
+        assert with_label["label"] == "cell-a/closure"
+        assert "label" not in without
+
+
+class TestJsonlDeterminism:
+    @staticmethod
+    def _run() -> str:
+        instr = Instrumentation()
+        recorder = FlightRecorder(instr)
+        for step in range(4):
+            instr.count("backend.mp.txn.committed", step + 1)
+            instr.observe("backend.mp.queue_delay", float(2**step))
+            instr.set_gauge("backend.occ.inflight", float(step))
+            recorder.sample(step * 0.25, label=f"step-{step}")
+        stream = io.StringIO()
+        recorder.dump_jsonl(stream)
+        return stream.getvalue()
+
+    def test_two_identical_runs_are_byte_identical(self):
+        assert self._run() == self._run()
+
+    def test_write_and_read_roundtrip(self, tmp_path):
+        instr = Instrumentation()
+        recorder = FlightRecorder(instr)
+        instr.count("backend.rpc.round_trips", 2)
+        recorder.sample(1.0, label="only")
+        path = tmp_path / "timeline.jsonl"
+        assert recorder.write_jsonl(str(path)) == 1
+        loaded = read_jsonl(str(path))
+        assert loaded == recorder.samples()
+
+
+class TestNoOpGaugeZeroCost:
+    def test_noop_gauge_calls_allocate_nothing(self):
+        # Mirrors TestNoOpZeroCost in test_obs.py: 10k disabled gauge
+        # registrations + sets must stay inside allocation noise.
+        NO_OP.gauge("backend.occ.inflight", lambda: 1.0)  # warm up
+        NO_OP.set_gauge("backend.occ.inflight", 1.0)
+        tracemalloc.start()
+        try:
+            before, _peak = tracemalloc.get_traced_memory()
+            for _ in range(10_000):
+                NO_OP.set_gauge("backend.occ.inflight", 1.0)
+                NO_OP.gauge("engine.wal.backlog", float)
+            after, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before < 16_384
+        assert peak - before < 16_384
+        assert len(NO_OP.gauges) == 0
+
+    def test_noop_reset_tolerates_no_recorder(self):
+        NO_OP.reset()  # must not raise; there is nothing to clear

@@ -17,10 +17,11 @@ from repro.backends import create_backend
 from repro.core.config import HyperModelConfig
 from repro.core.generator import DatabaseGenerator
 from repro.core.operations import CATALOG, Operations
-from repro.obs import Instrumentation
+from repro.obs import FlightRecorder, Instrumentation
 from repro.obs.traceexport import (
     CLIENT_PID,
     SERVER_PID,
+    _natural_key,
     build_trace,
     flow_links,
     write_chrome_trace,
@@ -164,3 +165,164 @@ class TestWriteChromeTrace:
         document = write_chrome_trace(instr, str(out))
         assert document["otherData"]["span_count"] == 0
         assert json.loads(out.read_text())["traceEvents"] is not None
+
+
+def _lanes(document):
+    """``{tid: thread_name}`` for every lane metadata event."""
+    return {
+        e["tid"]: e["args"]["name"]
+        for e in document["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+
+
+class TestLaneOrdering:
+    def test_natural_key_sorts_shard10_after_shard2(self):
+        tags = ["client·shard10", "client·shard2", "client·shard1"]
+        ordered = sorted(tags, key=_natural_key)
+        assert ordered == [
+            "client·shard1", "client·shard2", "client·shard10",
+        ]
+
+    def test_client_lanes_are_naturally_ordered_and_sort_indexed(self):
+        instr = Instrumentation()
+        # Deliberately record clients out of lexicographic-vs-numeric
+        # order: lexicographic sorting would put shard10 before shard2.
+        for tag in ("client·shard10", "client·shard2", "client·shard1"):
+            with instr.span("rpc.fetch", client=tag):
+                pass
+        document = build_trace(instr)
+        lanes = _lanes(document)
+        by_tid = [lanes[tid] for tid in sorted(lanes) if "shard" in lanes[tid]]
+        assert [name.split("shard")[-1].split(" ")[0] for name in by_tid] == [
+            "1", "2", "10",
+        ]
+        sort_events = [
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_sort_index"
+        ]
+        assert sort_events
+        for event in sort_events:
+            assert event["args"]["sort_index"] == event["tid"]
+
+    def test_lane_metadata_is_merged_into_matching_lanes(self):
+        instr = Instrumentation()
+        with instr.span("rpc.fetch", client="client·shard0"):
+            pass
+        document = build_trace(
+            instr,
+            lane_metadata={"shard0": {"placement": "affine", "shards": 2}},
+        )
+        named = [
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "M"
+            and e["name"] == "thread_name"
+            and "shard0" in e["args"]["name"]
+        ]
+        assert named
+        assert named[0]["args"]["placement"] == "affine"
+        assert named[0]["args"]["shards"] == 2
+
+
+class TestTwoPhaseCommitTrace:
+    @pytest.fixture(scope="class")
+    def sharded_occ_trace(self):
+        """Op 12 (mutating closure) on the OCC sharded backend."""
+        instr = Instrumentation(span_capacity=65536)
+        db = create_backend(
+            "clientserver-sharded-occ", None, instrumentation=instr
+        )
+        db.open()
+        config = HyperModelConfig(levels=3, seed=7)
+        gen = DatabaseGenerator(config).generate(db)
+        db.commit()
+        db.close()
+        db.open()
+        instr.reset()
+        spec = CATALOG.get("12")
+        root = db.lookup(gen.root_uid)
+        spec.run(Operations(db, config), (root,))
+        db.commit()
+        db.close()
+        return build_trace(
+            instr, lane_metadata=db.server.trace_lane_metadata()
+        )
+
+    def test_2pc_phases_nest_under_the_commit_span(self, sharded_occ_trace):
+        spans = [
+            e for e in sharded_occ_trace["traceEvents"] if e["ph"] == "X"
+        ]
+        names = {e["name"] for e in spans}
+        assert {"2pc.commit", "2pc.prepare", "2pc.decision", "2pc.deliver"} <= names
+        commit = next(e for e in spans if e["name"] == "2pc.commit")
+        for phase in ("2pc.prepare", "2pc.decision", "2pc.deliver"):
+            child = next(e for e in spans if e["name"] == phase)
+            assert child["ts"] >= commit["ts"]
+            assert (
+                child["ts"] + child["dur"] <= commit["ts"] + commit["dur"]
+            )
+
+    def test_flows_arrive_in_at_least_two_shard_lanes(
+        self, sharded_occ_trace
+    ):
+        lanes = _lanes(sharded_occ_trace)
+        arrival_lanes = {
+            lanes[e["tid"]]
+            for e in sharded_occ_trace["traceEvents"]
+            if e["ph"] == "f"
+        }
+        shard_lanes = {name for name in arrival_lanes if "shard" in name}
+        assert len(shard_lanes) >= 2
+
+    def test_shard_lanes_carry_placement_metadata(self, sharded_occ_trace):
+        shard_lane_meta = [
+            e
+            for e in sharded_occ_trace["traceEvents"]
+            if e["ph"] == "M"
+            and e["name"] == "thread_name"
+            and "shard" in e["args"].get("name", "")
+        ]
+        assert shard_lane_meta
+        for event in shard_lane_meta:
+            assert event["args"]["placement"] == "hash"
+
+
+class TestRecorderCounterTracks:
+    def test_recorder_samples_become_counter_events(self):
+        instr = Instrumentation()
+        recorder = FlightRecorder(instr)
+        instr.count("backend.mp.txn.committed", 4)
+        instr.set_gauge("backend.occ.inflight", 2.0)
+        recorder.sample(0.5)
+        instr.count("backend.mp.txn.committed", 2)
+        recorder.sample(1.0)
+        document = build_trace(instr, recorder=recorder)
+        counters = [
+            e for e in document["traceEvents"] if e["ph"] == "C"
+        ]
+        rate_track = [
+            e
+            for e in counters
+            if e["name"] == "backend.mp.txn.committed (rate/s)"
+        ]
+        assert len(rate_track) == 2  # one point per sample
+        gauge_track = [
+            e for e in counters if e["name"] == "backend.occ.inflight"
+        ]
+        assert gauge_track and gauge_track[0]["args"]["value"] == 2.0
+        assert document["otherData"]["timeline_samples"] == 2
+        assert document["otherData"]["counter_track_clock"] == "virtual"
+
+    def test_without_recorder_terminal_totals_are_emitted(self):
+        instr = Instrumentation()
+        instr.count("backend.rpc.round_trips", 7)
+        document = build_trace(instr)
+        totals = [
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "C" and e["name"] == "backend.rpc.round_trips"
+        ]
+        assert len(totals) == 1
+        assert document["otherData"]["timeline_samples"] == 0
