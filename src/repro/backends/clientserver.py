@@ -30,6 +30,8 @@ from repro.netsim.faults import FaultModel
 from repro.netsim.latency import LatencyModel, SimulatedClock
 from repro.netsim.server import ObjectServer
 from repro.obs import Instrumentation, TraceContext, resolve
+from repro.replication.group import ReplicationGroup
+from repro.replication.router import ReplicaRouter
 from repro.sharding.router import ShardRouter
 from repro.errors import (
     CommitConflictError,
@@ -39,6 +41,11 @@ from repro.errors import (
     NodeNotFoundError,
     RpcExhaustedError,
 )
+
+#: Legacy-kwarg combinations already warned about in this process: the
+#: deprecation fires once per distinct combination, not once per call
+#: (a benchmark constructing hundreds of clients must not spam it).
+_WARNED_LEGACY: set = set()
 
 _KIND_NAMES = {
     NodeKind.NODE: "node",
@@ -163,13 +170,17 @@ class ClientServerDatabase(HyperModelDatabase):
             if value is not None
         }
         if legacy:
-            warnings.warn(
-                "ClientServerDatabase keyword option(s) "
-                + ", ".join(sorted(legacy))
-                + " are deprecated; pass network=NetworkConfig(...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
+            fingerprint = tuple(sorted(legacy))
+            if fingerprint not in _WARNED_LEGACY:
+                _WARNED_LEGACY.add(fingerprint)
+                warnings.warn(
+                    "ClientServerDatabase keyword option(s) "
+                    + ", ".join(sorted(legacy))
+                    + " are deprecated; pass network=NetworkConfig(...)"
+                    " instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
         network = (network or NetworkConfig()).replace(**legacy)
         self.network = network
         self.client_id = client_id
@@ -180,9 +191,37 @@ class ClientServerDatabase(HyperModelDatabase):
         self.optimistic = network.concurrency == "optimistic"
         self.instrumentation = resolve(instrumentation)
         sharding = network.sharding
+        replication = network.replication
         if server is not None:
             self.simulated_clock = clock or server.clock
-            self.server = server
+            if isinstance(server, ReplicationGroup):
+                # Shared replication deployment: every client wraps the
+                # group in its *own* router — the session LSN token and
+                # the round-robin cursor are per-client state.
+                self.server = ReplicaRouter(
+                    server,
+                    policy=(replication or server.config).policy,
+                    instrumentation=self.instrumentation,
+                )
+            else:
+                self.server = server
+        elif replication is not None:
+            # Private 1-primary + N-replica deployment; the router
+            # presents the ObjectServer verb surface, so everything
+            # below this branch is identical code either way.
+            self.simulated_clock = clock or SimulatedClock()
+            group = ReplicationGroup(
+                replication,
+                clock=self.simulated_clock,
+                latency=network.latency,
+                instrumentation=self.instrumentation,
+                fault_model=network.fault_model,
+            )
+            self.server = ReplicaRouter(
+                group,
+                policy=replication.policy,
+                instrumentation=self.instrumentation,
+            )
         elif sharding is not None and sharding.shards > 1:
             # N-server deployment: the router presents the ObjectServer
             # verb surface, so everything below this branch — cache,

@@ -42,7 +42,11 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
 from repro.core.interface import HyperModelDatabase
 from repro.errors import ConfigurationError
-from repro.netsim.config import NetworkConfig, ShardConfig
+from repro.netsim.config import (
+    NetworkConfig,
+    ReplicationConfig,
+    ShardConfig,
+)
 
 #: A mapping of keyword options forwarded to a backend factory
 #: (``cache_pages=...``, ``clustered=...``, ``instrumentation=...`` …).
@@ -305,6 +309,20 @@ register_backend(
         " concurrency: commits validate via commit_batch, so"
         " cross-shard write sets exercise the two-phase commit path"
         " (the backend to trace 2PC with)"
+    ),
+)
+register_backend(
+    "clientserver-replicated",
+    _clientserver_factory,
+    default_options={
+        "network": NetworkConfig(
+            replication=ReplicationConfig(replicas=2)
+        )
+    },
+    description=(
+        "client/server over 1 primary + 2 WAL-shipping replicas:"
+        " reads route to replicas under session LSN tokens, writes"
+        " land on the primary"
     ),
 )
 

@@ -18,7 +18,11 @@ Subcommands:
   and write ``BENCH_multiuser.json`` (see ``docs/multiuser.md``);
 * ``bench-sharded`` — run the shard-count × placement-policy grid
   (scatter-gather closures, two-phase cross-shard commits) and write
-  ``BENCH_sharded.json`` (see ``docs/sharding.md``);
+  ``BENCH_sharded.json`` (see ``docs/sharding.md``); ``--deep-level``
+  adds the whole-structure scale cell;
+* ``bench-replica`` — run the replica-count × write-rate × staleness
+  grid (WAL-shipping replicas, session-token read routing) and write
+  ``BENCH_replica.json`` (see ``docs/replication.md``);
 * ``bench-diff`` — compare two ``BENCH_*.json`` documents with
   percentile-aware thresholds; exits non-zero on regression (the CI
   bench gate);
@@ -332,6 +336,73 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a flight-recorder timeline (virtual clock, one"
         " sample per closure/update) to this JSONL path",
     )
+    sharded.add_argument(
+        "--deep-level",
+        type=int,
+        default=None,
+        metavar="LEVEL",
+        help="add one whole-structure closure cell per placement at"
+        " this level (7 = 97 656 nodes) over the largest shard count;"
+        " informational until the baseline carries a budget",
+    )
+    sharded.add_argument(
+        "--deep-closures",
+        type=int,
+        default=2,
+        help="closures in the deep scale cell (default: 2)",
+    )
+
+    replica = sub.add_parser(
+        "bench-replica",
+        help="run the replica-count × write-rate × staleness grid,"
+        " write BENCH_replica.json",
+    )
+    replica.add_argument(
+        "--replicas",
+        default="1,2,4",
+        help="comma-separated replica counts (default: 1,2,4)",
+    )
+    replica.add_argument(
+        "--write-rates",
+        default="0,40",
+        help="comma-separated writer rates in writes/s of virtual"
+        " time; 0 = read-only (default: 0,40)",
+    )
+    replica.add_argument(
+        "--lags",
+        default="0,0.02",
+        help="comma-separated replica apply lags in seconds"
+        " (default: 0,0.02)",
+    )
+    replica.add_argument(
+        "--level", type=int, default=4, help="leaf level (default: 4)"
+    )
+    replica.add_argument(
+        "--reads-per-reader",
+        type=int,
+        default=8,
+        help="closure reads per reader station (default: 8)",
+    )
+    replica.add_argument(
+        "--routing-closures",
+        type=int,
+        default=6,
+        help="closures in the replica-warm vs primary-warm cell"
+        " (default: 6)",
+    )
+    replica.add_argument("--seed", type=int, default=1989)
+    replica.add_argument(
+        "--out",
+        default="BENCH_replica.json",
+        help="output JSON path (default: BENCH_replica.json)",
+    )
+    replica.add_argument(
+        "--timeline",
+        default=None,
+        metavar="JSONL",
+        help="write a flight-recorder timeline (virtual clock,"
+        " deterministic) to this JSONL path",
+    )
 
     dash = sub.add_parser(
         "dash",
@@ -433,6 +504,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "--two-phase-out",
         default="BENCH_crash2pc.json",
         help="2PC matrix output path (default: BENCH_crash2pc.json)",
+    )
+    crash.add_argument(
+        "--failover",
+        action="store_true",
+        help="also run the promote-on-primary-crash failover drill"
+        " (crash the replication primary at every commit-path I/O op,"
+        " elect a replica, verify durability/atomicity/re-route) and"
+        " fold its violations into the exit code",
+    )
+    crash.add_argument(
+        "--failover-replicas",
+        type=int,
+        default=2,
+        help="replicas behind the crashed primary (default: 2)",
+    )
+    crash.add_argument(
+        "--failover-transactions",
+        type=int,
+        default=5,
+        help="acked transactions scripted before the crash window"
+        " closes (default: 5)",
+    )
+    crash.add_argument(
+        "--failover-out",
+        default="BENCH_failover.json",
+        help="failover drill output path (default: BENCH_failover.json)",
+    )
+    crash.add_argument(
+        "--failover-trace",
+        default=None,
+        metavar="TRACE_JSON",
+        help="export a Chrome trace of one instrumented failover cell"
+        " (the replication.failover span is the failover gap)",
     )
 
     query = sub.add_parser("query", help="run an ad-hoc query (R12)")
@@ -722,6 +826,35 @@ def _cmd_bench_sharded(args: argparse.Namespace) -> int:
         updates=args.updates,
         seed=args.seed,
         timeline=args.timeline,
+        deep_level=args.deep_level,
+        deep_closures=args.deep_closures,
+    )
+    print(format_summary(document))
+    print(f"results written to {args.out}")
+    if args.timeline:
+        print(
+            f"timeline written to {args.timeline}"
+            " (virtual clock, deterministic)"
+        )
+    return 0
+
+
+def _cmd_bench_replica(args: argparse.Namespace) -> int:
+    from repro.harness.replicabench import (
+        format_summary,
+        write_replica_bench,
+    )
+
+    document = write_replica_bench(
+        args.out,
+        replica_counts=[int(n) for n in args.replicas.split(",")],
+        write_rates=[float(r) for r in args.write_rates.split(",")],
+        lags=[float(s) for s in args.lags.split(",")],
+        level=args.level,
+        reads_per_reader=args.reads_per_reader,
+        routing_closures=args.routing_closures,
+        seed=args.seed,
+        timeline=args.timeline,
     )
     print(format_summary(document))
     print(f"results written to {args.out}")
@@ -784,6 +917,26 @@ def _cmd_crashtest(args: argparse.Namespace) -> int:
         print(shardcrash.format_summary(two_phase))
         print(f"results written to {args.two_phase_out}")
         violations += two_phase["violation_count"]
+    if args.failover:
+        from repro.harness import replicacrash
+
+        failover = replicacrash.write_failover_bench(
+            args.failover_out,
+            workload=replicacrash.FailoverWorkload(
+                replicas=args.failover_replicas,
+                transactions=args.failover_transactions,
+                seed=args.seed,
+            ),
+            trace_path=args.failover_trace,
+        )
+        print(replicacrash.format_summary(failover))
+        print(f"results written to {args.failover_out}")
+        if args.failover_trace:
+            print(
+                f"trace written to {args.failover_trace}"
+                " (replication.failover = the failover gap)"
+            )
+        violations += failover["violation_count"]
     return 1 if violations else 0
 
 
@@ -891,6 +1044,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-closure": lambda: _cmd_bench_closure(args),
         "bench-multiuser": lambda: _cmd_bench_multiuser(args),
         "bench-sharded": lambda: _cmd_bench_sharded(args),
+        "bench-replica": lambda: _cmd_bench_replica(args),
         "bench-diff": lambda: _cmd_bench_diff(args),
         "dash": lambda: _cmd_dash(args),
         "trace": lambda: _cmd_trace(args),

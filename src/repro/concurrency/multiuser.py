@@ -516,6 +516,17 @@ class MultiUserHarness:
 # Deprecated round-robin entry points (one release of grace)
 # ----------------------------------------------------------------------
 
+#: Shim names already warned about in this process: each deprecation
+#: fires once, not once per call (a loop over the shims must not spam
+#: the warning on every iteration).
+_WARNED_SHIMS: set = set()
+
+
+def _warn_shim(name: str, message: str) -> None:
+    if name not in _WARNED_SHIMS:
+        _WARNED_SHIMS.add(name)
+        warnings.warn(message, DeprecationWarning, stacklevel=3)
+
 
 def run_read_load(
     server: ObjectServer,
@@ -525,11 +536,10 @@ def run_read_load(
     seed: int = 1989,
 ) -> ParallelLoadResult:
     """Deprecated: use :meth:`MultiUserHarness.run_read_mix`."""
-    warnings.warn(
+    _warn_shim(
+        "run_read_load",
         "run_read_load is deprecated; use"
         " MultiUserHarness(server, gen, ...).run_read_mix(...)",
-        DeprecationWarning,
-        stacklevel=2,
     )
     harness = MultiUserHarness(server, gen, users=users, seed=seed)
     return harness.run_read_mix(operations_per_user=operations_per_user)
@@ -543,11 +553,10 @@ def run_update_load(
     seed: int = 1990,
 ) -> UpdateLoadResult:
     """Deprecated: use :meth:`MultiUserHarness.run_disjoint_updates`."""
-    warnings.warn(
+    _warn_shim(
+        "run_update_load",
         "run_update_load is deprecated; use"
         " MultiUserHarness(server, gen, ...).run_disjoint_updates(...)",
-        DeprecationWarning,
-        stacklevel=2,
     )
     harness = MultiUserHarness(server, gen, users=users, seed=seed)
     return harness.run_disjoint_updates(edits_per_user=edits_per_user)

@@ -336,12 +336,11 @@ class ObjectStore:
         ``engine.recovery.in_doubt_aborted`` so a coordinator-aware
         driver can notice and resolve them out of band.
         """
-        in_doubt = self._wal.recover_in_doubt()
+        work, in_doubt = self._wal.recover()
         if in_doubt:
             self.instrumentation.count(
                 "engine.recovery.in_doubt_aborted", len(in_doubt)
             )
-        work = self._wal.recover_operations()
         if not work:
             return
         self.instrumentation.count("engine.store.recoveries")

@@ -44,6 +44,8 @@ __all__ = [
     "VFSFile",
     "RealVFS",
     "RealVFSFile",
+    "MemoryVFS",
+    "MemoryVFSFile",
     "CountingVFS",
     "FaultInjectingVFS",
     "FaultInjectedError",
@@ -227,6 +229,145 @@ class RealVFS(VFS):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<RealVFS>"
+
+
+# ----------------------------------------------------------------------
+# In-memory filesystem
+# ----------------------------------------------------------------------
+
+
+class MemoryVFSFile(VFSFile):
+    """A :class:`VFSFile` over a shared in-memory buffer.
+
+    The buffer is the ``bytearray`` held in the owning
+    :class:`MemoryVFS`'s file table; like a POSIX descriptor, a handle
+    keeps its buffer alive even if the path is removed or replaced
+    underneath it.
+    """
+
+    def __init__(self, path: str, buffer: bytearray, append: bool) -> None:
+        self.path = path
+        self._buffer = buffer
+        self._append = append
+        self._pos = 0
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"I/O operation on closed file {self.path!r}")
+
+    def read(self, size: int = -1) -> bytes:
+        self._check_open()
+        if size is None or size < 0:
+            data = bytes(self._buffer[self._pos:])
+        else:
+            data = bytes(self._buffer[self._pos:self._pos + size])
+        self._pos += len(data)
+        return data
+
+    def write(self, data: bytes) -> int:
+        self._check_open()
+        if self._append:
+            self._pos = len(self._buffer)
+        end = self._pos + len(data)
+        if self._pos > len(self._buffer):
+            # Sparse write past EOF: zero-fill the gap, like a real file.
+            self._buffer.extend(b"\0" * (self._pos - len(self._buffer)))
+        self._buffer[self._pos:end] = data
+        self._pos = end
+        return len(data)
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        self._check_open()
+        if whence == os.SEEK_SET:
+            self._pos = offset
+        elif whence == os.SEEK_CUR:
+            self._pos += offset
+        elif whence == os.SEEK_END:
+            self._pos = len(self._buffer) + offset
+        else:
+            raise ValueError(f"invalid whence {whence!r}")
+        if self._pos < 0:
+            raise OSError("negative seek position")
+        return self._pos
+
+    def tell(self) -> int:
+        self._check_open()
+        return self._pos
+
+    def truncate(self, size: int) -> int:
+        self._check_open()
+        if size < len(self._buffer):
+            del self._buffer[size:]
+        else:
+            self._buffer.extend(b"\0" * (size - len(self._buffer)))
+        return size
+
+    def flush(self) -> None:
+        self._check_open()
+
+    def sync(self) -> None:
+        self._check_open()
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"<MemoryVFSFile {self.path!r} {state}>"
+
+
+class MemoryVFS(VFS):
+    """A fully in-memory VFS: one ``bytearray`` per path.
+
+    Backs components that want real file semantics — append, seek,
+    truncate, torn tails — without touching the filesystem, such as the
+    replication layer's primary WAL (see :mod:`repro.replication`).
+    ``sync`` is a no-op (memory *is* the stable storage here), so
+    durability faults are modelled by wrapping a :class:`MemoryVFS` in
+    a :class:`FaultInjectingVFS`, whose decisions fire before the bytes
+    reach the buffer.
+    """
+
+    def __init__(self) -> None:
+        self._files: dict = {}
+
+    def open(self, path: str, mode: str) -> VFSFile:
+        if "w" in mode:
+            self._files[path] = bytearray()
+        elif path not in self._files:
+            if "a" not in mode:
+                # "rb" / "r+b" require the file to exist, like open().
+                raise FileNotFoundError(f"no such in-memory file: {path!r}")
+            self._files[path] = bytearray()
+        return MemoryVFSFile(path, self._files[path], append="a" in mode)
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def size(self, path: str) -> int:
+        buffer = self._files.get(path)
+        return 0 if buffer is None else len(buffer)
+
+    def remove(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def replace(self, src: str, dst: str) -> None:
+        if src not in self._files:
+            raise FileNotFoundError(f"no such in-memory file: {src!r}")
+        self._files[dst] = self._files.pop(src)
+
+    def copy(self, src: str, dst: str) -> None:
+        if src not in self._files:
+            raise FileNotFoundError(f"no such in-memory file: {src!r}")
+        self._files[dst] = bytearray(self._files[src])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MemoryVFS {len(self._files)} files>"
 
 
 # ----------------------------------------------------------------------

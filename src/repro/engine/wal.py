@@ -261,8 +261,25 @@ class WriteAheadLog:
 
     def read_all(self) -> Iterator[LogRecord]:
         """Iterate every intact record; stop cleanly at a torn tail."""
+        for record, _offset in self.read_from(0):
+            yield record
+
+    def read_from(self, offset: int = 0) -> Iterator[Tuple[LogRecord, int]]:
+        """Resumable tail-read: intact records starting at byte ``offset``.
+
+        Yields ``(record, end_offset)`` pairs where ``end_offset`` is the
+        byte position just past the record's frame — feed the last one
+        back in to continue where a previous scan stopped, so a log
+        shipper (or a reopen loop) never re-decodes history it has
+        already consumed.  ``offset`` must be a frame boundary previously
+        returned by this method (or 0).  Stops cleanly at a torn,
+        zero-filled or CRC-corrupt tail, exactly like :meth:`read_all`.
+        """
         self._file.flush()
         with self.vfs.open(self.path, "rb") as f:
+            if offset:
+                f.seek(offset)
+            position = offset
             while True:
                 frame = f.read(_FRAME.size)
                 if len(frame) < _FRAME.size:
@@ -278,11 +295,14 @@ class WriteAheadLog:
                     return  # torn tail write
                 if zlib.crc32(payload) & 0xFFFFFFFF != crc:
                     return  # corrupt tail
+                position += _FRAME.size + length
                 try:
                     # Decode through a view: the record's strings and
                     # byte blobs are carved straight out of the read
                     # buffer instead of through intermediate slices.
-                    yield LogRecord.from_payload(memoryview(payload))
+                    yield LogRecord.from_payload(memoryview(payload)), position
+                except RecoveryError:
+                    raise
                 except Exception as exc:  # corrupt but checksummed? bail out
                     raise RecoveryError(f"undecodable log record: {exc}") from exc
 
@@ -298,29 +318,7 @@ class WriteAheadLog:
         presumed abort; :meth:`recover_in_doubt` lists those separately
         for a coordinator-aware recovery driver.
         """
-        pending: Dict[int, List[LogRecord]] = {}
-        committed: List[Tuple[int, List[LogRecord]]] = []
-        for record in self.read_all():
-            if record.kind == CHECKPOINT:
-                pending.clear()
-                committed.clear()
-            elif record.kind == BEGIN:
-                pending[record.txid] = []
-            elif record.kind in _DATA_KINDS:
-                pending.setdefault(record.txid, []).append(record)
-            elif record.kind == PREPARE:
-                # The vote is durable but the decision is not ours to
-                # make here; the records stay pending until a COMMIT
-                # or ABORT decides them.
-                continue
-            elif record.kind == COMMIT:
-                if record.txid in pending:
-                    committed.append((record.txid, pending.pop(record.txid)))
-            elif record.kind == ABORT:
-                pending.pop(record.txid, None)
-            else:
-                raise RecoveryError(f"unknown log record kind {record.kind!r}")
-        return committed
+        return self.recover()[0]
 
     def recover_in_doubt(self) -> List[Tuple[int, List[LogRecord]]]:
         """Prepared-but-undecided transactions, in prepare order.
@@ -332,12 +330,29 @@ class WriteAheadLog:
         on COMMIT, forget on ABORT (and an unknown transaction *is* an
         abort: presumed abort).
         """
+        return self.recover()[1]
+
+    def recover(
+        self,
+    ) -> Tuple[
+        List[Tuple[int, List[LogRecord]]], List[Tuple[int, List[LogRecord]]]
+    ]:
+        """One scan, both work lists: ``(committed, in_doubt)``.
+
+        Recovery drivers need both the redo list and the in-doubt list;
+        calling :meth:`recover_operations` and :meth:`recover_in_doubt`
+        separately used to decode the whole log twice per reopen.  This
+        runs the two state machines over a single :meth:`read_from`
+        pass.
+        """
         pending: Dict[int, List[LogRecord]] = {}
+        committed: List[Tuple[int, List[LogRecord]]] = []
         prepared: Dict[int, List[LogRecord]] = {}
         order: List[int] = []
-        for record in self.read_all():
+        for record, _offset in self.read_from(0):
             if record.kind == CHECKPOINT:
                 pending.clear()
+                committed.clear()
                 prepared.clear()
                 order.clear()
             elif record.kind == BEGIN:
@@ -345,14 +360,24 @@ class WriteAheadLog:
             elif record.kind in _DATA_KINDS:
                 pending.setdefault(record.txid, []).append(record)
             elif record.kind == PREPARE:
+                # The vote is durable but the decision is not ours to
+                # make here; the records stay pending (and in doubt)
+                # until a COMMIT or ABORT decides them.
                 if record.txid in pending and record.txid not in prepared:
                     prepared[record.txid] = pending[record.txid]
                     order.append(record.txid)
-            elif record.kind in (COMMIT, ABORT):
+            elif record.kind == COMMIT:
+                if record.txid in pending:
+                    committed.append((record.txid, pending.pop(record.txid)))
+                if prepared.pop(record.txid, None) is not None:
+                    order.remove(record.txid)
+            elif record.kind == ABORT:
                 pending.pop(record.txid, None)
                 if prepared.pop(record.txid, None) is not None:
                     order.remove(record.txid)
-        return [(txid, prepared[txid]) for txid in order]
+            else:
+                raise RecoveryError(f"unknown log record kind {record.kind!r}")
+        return committed, [(txid, prepared[txid]) for txid in order]
 
 
 def put_record(txid: int, oid: int, state: Any) -> LogRecord:

@@ -1,0 +1,422 @@
+"""The replication grid benchmark behind ``BENCH_replica.json``.
+
+Measures the read-scaling claim of the replication layer over a
+replica-count × write-rate × staleness-bound grid, in **virtual time**
+(the document is a pure function of the grid and the seed, so CI
+hard-gates it with ``repro bench-diff`` against
+``benchmarks/baseline/BENCH_replica.json``):
+
+* **read throughput and latency** — N reader workstations run cold
+  closure push-down reads through their per-client
+  :class:`~repro.replication.router.ReplicaRouter`; each replica
+  serves its routed reads on its own contended transport lane
+  (:func:`repro.netsim.sim.replica_lanes`), so reads stop queueing
+  behind each other as replicas are added — the headline scaling
+  figure (``scaling`` records the 1→max-replica throughput ratio per
+  write-rate/lag combination).
+* **write interference** — one writer workstation commits at a fixed
+  virtual rate onto the primary lane; each reader also writes once
+  mid-run, so under a non-zero apply lag its next reads must fall
+  back to the primary until a replica catches up to its session LSN
+  (the ``fallbacks`` count in each cell makes the read-your-writes
+  tax visible).
+* **routing cell** — a single-client comparison arm: the same cold
+  closure served by a replica, forced to the primary
+  (``ReplicaRouter.force_primary``), and warm from the workstation
+  cache, confirming replica-served reads cost exactly what
+  primary-served reads cost on an idle system.
+
+Cells carry the same ``p50_ms``/``p90_ms``/``p99_ms`` + ``mode`` leaf
+shape the other benchmarks use, under
+``cells[replicas<N>-write<W>-lag<L>ms][reads|writes]``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.config import HyperModelConfig
+from repro.core.generator import DatabaseGenerator, GeneratedDatabase
+from repro.harness.provenance import provenance
+from repro.netsim.config import ReplicationConfig
+from repro.netsim.latency import LatencyModel, SimulatedClock
+from repro.netsim.sim import (
+    DiscreteEventScheduler,
+    LaneGroup,
+    Workstation,
+    replica_lanes,
+)
+from repro.obs import FlightRecorder, Instrumentation, LatencyHistogram
+from repro.replication.group import ReplicationGroup
+
+#: Default grid: replica counts × writer rates (writes per virtual
+#: second) × apply lags (seconds).
+DEFAULT_REPLICAS = (1, 2, 4)
+DEFAULT_WRITE_RATES = (0.0, 40.0)
+DEFAULT_LAGS = (0.0, 0.02)
+
+#: Workload shape per cell.  Read scaling needs the *station pool* to
+#: out-offer a single lane by more than the replica-count spread:
+#: closures are drawn from the root's level-1 subtrees (uniform size,
+#: so no one giant closure dominates the critical path) and 16 reader
+#: stations keep even 4 replica lanes saturated.
+_READERS = 16
+_WRITER_WRITES = 12
+_ROOT_LEVEL = 1
+_SERVICE_SECONDS = 0.0002
+_THINK_SECONDS = 0.002
+
+
+def _generate_structure(level: int, seed: int):
+    """Generate the shared structure once; return (gen, record dump)."""
+    from repro.backends.clientserver import ClientServerDatabase
+    from repro.netsim.server import ObjectServer
+
+    server = ObjectServer(latency=LatencyModel())
+    loader = ClientServerDatabase(server=server)
+    loader.open()
+    gen = DatabaseGenerator(
+        HyperModelConfig(levels=level, seed=seed)
+    ).generate(loader)
+    loader.commit()
+    loader.close()
+    return gen, server.export_records()
+
+
+def _leaf(samples_ms: List[float], mode: str, **extra: Any) -> Dict[str, Any]:
+    hist = LatencyHistogram.from_samples(samples_ms)
+    leaf: Dict[str, Any] = {
+        "mode": mode,
+        "samples": len(samples_ms),
+        "p50_ms": round(hist.percentile(0.50), 4),
+        "p90_ms": round(hist.percentile(0.90), 4),
+        "p99_ms": round(hist.percentile(0.99), 4),
+        "max_ms": round(hist.maximum, 4),
+    }
+    leaf.update(extra)
+    return leaf
+
+
+def _cell_key(replicas: int, write_rate: float, lag: float) -> str:
+    return (
+        f"replicas{replicas}-write{int(round(write_rate))}"
+        f"-lag{int(round(lag * 1000))}ms"
+    )
+
+
+def _run_cell(
+    gen: GeneratedDatabase,
+    records: Dict[int, Dict[str, Any]],
+    replicas: int,
+    write_rate: float,
+    lag: float,
+    reads_per_reader: int,
+    seed: int,
+    recorder: Optional[FlightRecorder] = None,
+) -> Dict[str, Any]:
+    from repro.backends.clientserver import ClientServerDatabase
+
+    instr = Instrumentation()
+    latency = LatencyModel()
+    group = ReplicationGroup(
+        ReplicationConfig(replicas=replicas, apply_lag_seconds=lag),
+        latency=latency,
+        instrumentation=instr,
+    )
+    group.load_records(records)
+    lanes = replica_lanes(
+        latency,
+        replicas,
+        service_time_seconds=_SERVICE_SECONDS,
+        instrumentation=instr,
+        fallback_clock=group.clock,
+    )
+    transport = LaneGroup(lanes)
+    cell_key = _cell_key(replicas, write_rate, lag)
+    if recorder is not None:
+        recorder.rebind(instr)
+
+    read_samples: List[float] = []
+    write_samples: List[float] = []
+    jobs = []
+    total_reads = 0
+    for index in range(_READERS):
+        client = ClientServerDatabase(
+            server=group,
+            clock=SimulatedClock(),
+            instrumentation=instr,
+            client_id=f"w{index:02d}",
+        )
+        client.open()
+        rng = random.Random(seed * 6151 + index * 97 + replicas)
+        station = Workstation(index, client, rng)
+        tasks = []
+        for step in range(reads_per_reader):
+            if step == reads_per_reader // 2:
+                # One mid-run write per reader: under a non-zero lag
+                # the session token now outruns every replica, so the
+                # next reads fall back to the primary until a replica
+                # applies this commit — read-your-writes, measured.
+                def write_once(client=client, rng=rng, step=step):
+                    uid = gen.random_uid(rng)
+                    start = client.simulated_clock.now
+                    client.set_attribute(uid, "ten", step % 10)
+                    client.commit()
+                    write_samples.append(
+                        (client.simulated_clock.now - start) * 1000.0
+                    )
+
+                tasks.append(write_once)
+
+            def read_closure(client=client, rng=rng):
+                root = gen.random_uid_at_level(rng, _ROOT_LEVEL)
+                client.cache.clear()  # every closure starts cold
+                start = client.simulated_clock.now
+                if not client.prefetch_closure(root, "children", None):
+                    raise RuntimeError("push-down unexpectedly disabled")
+                read_samples.append(
+                    (client.simulated_clock.now - start) * 1000.0
+                )
+
+            tasks.append(read_closure)
+            total_reads += 1
+        jobs.append((station, tasks))
+
+    if write_rate > 0:
+        writer = ClientServerDatabase(
+            server=group,
+            clock=SimulatedClock(),
+            instrumentation=instr,
+            client_id="wr",
+        )
+        writer.open()
+        wrng = random.Random(seed * 7583 + replicas * 11)
+        station = Workstation(_READERS, writer, wrng)
+        interval = 1.0 / write_rate
+
+        def make_write(step: int):
+            def paced_write(writer=writer, wrng=wrng, step=step):
+                # Self-paced: the writer advances its own clock to the
+                # next beat, so its commit rate is the grid's write
+                # rate regardless of the global think time.
+                writer.simulated_clock.advance(interval)
+                uid = gen.random_uid(wrng)
+                start = writer.simulated_clock.now
+                writer.set_attribute(uid, "ten", step % 10)
+                writer.commit()
+                write_samples.append(
+                    (writer.simulated_clock.now - start) * 1000.0
+                )
+
+            return paced_write
+
+        jobs.append(
+            (station, [make_write(step) for step in range(_WRITER_WRITES)])
+        )
+
+    before = instr.snapshot()
+    scheduler = DiscreteEventScheduler(
+        group,
+        transport,
+        think_time_seconds=_THINK_SECONDS,
+        recorder=recorder,
+        sample_cadence_seconds=0.05 if recorder is not None else 0.0,
+        sample_label=cell_key,
+    )
+    makespan = scheduler.run(jobs)
+    delta = instr.delta_since(before)
+    for station, _tasks in jobs:
+        station.client.close()
+
+    replica_reads = int(delta.get("backend.replica.reads", 0))
+    fallbacks = int(delta.get("backend.replica.fallbacks", 0))
+    cell: Dict[str, Any] = {
+        "reads": _leaf(
+            read_samples,
+            "replica-read",
+            throughput_per_s=round(total_reads / makespan, 4)
+            if makespan > 0
+            else 0.0,
+            replica_reads=replica_reads,
+            fallbacks=fallbacks,
+            makespan_s=round(makespan, 6),
+        )
+    }
+    if write_samples:
+        cell["writes"] = _leaf(
+            write_samples,
+            "replica-write",
+            writes=len(write_samples),
+        )
+    return cell
+
+
+def _run_routing_cell(
+    gen: GeneratedDatabase,
+    records: Dict[int, Dict[str, Any]],
+    closures: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """Single-client comparison arm: replica vs primary vs warm."""
+    from repro.backends.clientserver import ClientServerDatabase
+
+    instr = Instrumentation()
+    group = ReplicationGroup(
+        ReplicationConfig(replicas=1), instrumentation=instr
+    )
+    group.load_records(records)
+    client = ClientServerDatabase(server=group, instrumentation=instr)
+    client.open()
+    clock = client.simulated_clock
+    rng = random.Random(seed * 9377)
+    roots = [gen.random_internal_uid(rng) for _ in range(closures)]
+
+    def timed_closures(force_primary: bool, cold: bool) -> List[float]:
+        client.server.force_primary = force_primary
+        samples = []
+        for root in roots:
+            if cold:
+                client.cache.clear()
+            start = clock.now
+            client.prefetch_closure(root, "children", None)
+            samples.append((clock.now - start) * 1000.0)
+        client.server.force_primary = False
+        return samples
+
+    replica_cold = timed_closures(force_primary=False, cold=True)
+    primary_cold = timed_closures(force_primary=True, cold=True)
+    warm = timed_closures(force_primary=False, cold=False)
+    client.close()
+    return {
+        "replica_cold": _leaf(replica_cold, "replica-routed"),
+        "primary_cold": _leaf(primary_cold, "primary-forced"),
+        "warm": _leaf(warm, "workstation-warm"),
+    }
+
+
+def run_replica_bench(
+    replica_counts: Sequence[int] = DEFAULT_REPLICAS,
+    write_rates: Sequence[float] = DEFAULT_WRITE_RATES,
+    lags: Sequence[float] = DEFAULT_LAGS,
+    level: int = 4,
+    reads_per_reader: int = 8,
+    routing_closures: int = 6,
+    seed: int = 1989,
+    timeline: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run the replica grid; return the JSON document.
+
+    The structure is generated once (level ``level``, seed ``seed``)
+    and loaded into a fresh replication group per cell, so cells are
+    independent and grid order does not matter.  ``timeline`` writes a
+    flight-recorder JSONL (cadence samples of the lane backlogs and
+    the ``backend.replica.<i>.applied_lsn``/``lag`` gauges, stamped at
+    the virtual clock with the cell key as label).
+    """
+    replica_counts = sorted(set(int(n) for n in replica_counts))
+    if not replica_counts or replica_counts[0] < 1:
+        raise ValueError("replica counts must be positive")
+    for lag in lags:
+        ReplicationConfig(replicas=max(replica_counts), apply_lag_seconds=lag)
+    gen, records = _generate_structure(level, seed)
+    recorder = None
+    if timeline is not None:
+        recorder = FlightRecorder(None, capacity=65536, clock="virtual")
+    cells: Dict[str, Dict[str, Any]] = {}
+    for replicas in replica_counts:
+        for write_rate in write_rates:
+            for lag in lags:
+                cells[_cell_key(replicas, write_rate, lag)] = _run_cell(
+                    gen,
+                    records,
+                    replicas,
+                    write_rate,
+                    lag,
+                    reads_per_reader,
+                    seed,
+                    recorder=recorder,
+                )
+    cells["routing"] = _run_routing_cell(gen, records, routing_closures, seed)
+    if recorder is not None and timeline is not None:
+        recorder.write_jsonl(timeline)
+    scaling: Dict[str, float] = {}
+    low, high = replica_counts[0], replica_counts[-1]
+    if high > low:
+        for write_rate in write_rates:
+            for lag in lags:
+                base = cells[_cell_key(low, write_rate, lag)]["reads"]
+                top = cells[_cell_key(high, write_rate, lag)]["reads"]
+                if base["throughput_per_s"] > 0:
+                    scaling[
+                        f"write{int(round(write_rate))}"
+                        f"-lag{int(round(lag * 1000))}ms"
+                    ] = round(
+                        top["throughput_per_s"] / base["throughput_per_s"],
+                        4,
+                    )
+    return {
+        "benchmark": "replica",
+        "level": level,
+        "seed": seed,
+        "replica_counts": list(replica_counts),
+        "write_rates": [float(rate) for rate in write_rates],
+        "lags": [float(lag) for lag in lags],
+        "readers": _READERS,
+        "reads_per_reader": reads_per_reader,
+        "scaling": scaling,
+        "provenance": provenance(
+            replica_counts=list(replica_counts),
+            write_rates=[float(rate) for rate in write_rates],
+            lags=[float(lag) for lag in lags],
+            level=level,
+            reads_per_reader=reads_per_reader,
+            seed=seed,
+        ),
+        "cells": cells,
+    }
+
+
+def write_replica_bench(out_path: str, **kwargs: Any) -> Dict[str, Any]:
+    """Run :func:`run_replica_bench` and write ``out_path`` as JSON."""
+    document = run_replica_bench(**kwargs)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def format_summary(document: Dict[str, Any]) -> str:
+    """A small fixed-width table of the document (for the CLI)."""
+    lines = [
+        f"replica grid — level {document['level']},"
+        f" {document['readers']}×{document['reads_per_reader']} closure"
+        f" reads per cell, seed {document['seed']}",
+        f"{'cell':>26}{'read p50':>10}{'p99':>9}{'tput/s':>9}"
+        f"{'fallbacks':>11}",
+    ]
+    for key in sorted(document["cells"]):
+        cell = document["cells"][key]
+        if "reads" not in cell:
+            continue
+        reads = cell["reads"]
+        lines.append(
+            f"{key:>26}{reads['p50_ms']:>10.3f}{reads['p99_ms']:>9.3f}"
+            f"{reads['throughput_per_s']:>9.1f}{reads['fallbacks']:>11}"
+        )
+    routing = document["cells"].get("routing")
+    if routing:
+        lines.append(
+            "routing (1 client): replica cold"
+            f" {routing['replica_cold']['p50_ms']:.3f} ms, primary cold"
+            f" {routing['primary_cold']['p50_ms']:.3f} ms, warm"
+            f" {routing['warm']['p50_ms']:.3f} ms"
+        )
+    for combo in sorted(document.get("scaling", {})):
+        lines.append(
+            f"scaling {document['replica_counts'][0]}→"
+            f"{document['replica_counts'][-1]} @ {combo}:"
+            f" {document['scaling'][combo]:.2f}x"
+        )
+    return "\n".join(lines)

@@ -161,6 +161,63 @@ def _run_cell(
     return {"closure": closure, "update": update}
 
 
+def _run_deep_cell(
+    gen: GeneratedDatabase,
+    records: Dict[int, Dict[str, Any]],
+    shards: int,
+    placement: str,
+    closures: int,
+    level: int,
+) -> Dict[str, Any]:
+    """One whole-structure closure cell at a deep level.
+
+    The cache capacity is raised past the structure size so the full
+    closure ships in one push-down (the default 4096 cap would admit a
+    prefix and hide the scatter cost being measured).  The leaf carries
+    ``nodes`` and ``median_ms_per_node`` so a baseline can attach a
+    ``budget_ms_per_node`` ceiling later — until then the cell is
+    informational only (bench-diff skips cells the baseline lacks).
+    """
+    from repro.backends.clientserver import ClientServerDatabase
+
+    instr = Instrumentation()
+    network = NetworkConfig(
+        concurrency="optimistic",
+        cache_capacity=131072,
+        sharding=ShardConfig(shards=shards, placement=placement),
+    )
+    db = ClientServerDatabase(network=network, instrumentation=instr)
+    db.open()
+    db.server.load_records(records)
+    clock = db.simulated_clock
+    before = instr.snapshot()
+    samples_ms: List[float] = []
+    nodes = 0
+    for _ in range(closures):
+        db.cache.clear()
+        start = clock.now
+        if not db.prefetch_closure(gen.root_uid, "children", None):
+            raise RuntimeError("closure push-down unexpectedly disabled")
+        samples_ms.append((clock.now - start) * 1000.0)
+    delta = instr.delta_since(before)
+    nodes = int(delta.get("backend.rpc.pushdown.objects", 0)) // max(
+        closures, 1
+    )
+    leaf = _Phase(samples_ms, delta).leaf(
+        "sharded-deep-closure",
+        level=level,
+        nodes=nodes,
+        median_ms_per_node=round(
+            (sorted(samples_ms)[len(samples_ms) // 2] / nodes) if nodes else 0.0,
+            6,
+        ),
+        round_trips=int(delta.get("backend.rpc.round_trips", 0)),
+        scatter_rounds=int(delta.get("backend.rpc.scatter.rounds", 0)),
+    )
+    db.close()
+    return {"closure": leaf}
+
+
 def run_sharded_bench(
     shard_counts: Sequence[int] = DEFAULT_SHARDS,
     placements: Sequence[str] = DEFAULT_PLACEMENTS,
@@ -169,6 +226,8 @@ def run_sharded_bench(
     updates: int = 24,
     seed: int = 1989,
     timeline: Optional[str] = None,
+    deep_level: Optional[int] = None,
+    deep_closures: int = 2,
 ) -> Dict[str, Any]:
     """Run the shard-count × placement grid; return the JSON document.
 
@@ -180,6 +239,12 @@ def run_sharded_bench(
     sample per closure and per update iteration, stamped at the
     virtual clock with ``<cell>/closure`` / ``<cell>/update`` labels.
     Deterministic, and strictly additive to the returned document.
+
+    ``deep_level`` adds one whole-structure closure cell per placement
+    at the largest shard count (key ``deep<level>-shards<N>-<policy>``)
+    over a structure generated at that level — the scale cell (level 7
+    is 97 656 nodes).  It is additive and soft: bench-diff skips cells
+    the committed baseline does not carry.
     """
     shard_counts = sorted(set(int(n) for n in shard_counts))
     if not shard_counts or shard_counts[0] < 1:
@@ -203,9 +268,23 @@ def run_sharded_bench(
                 seed,
                 recorder=recorder,
             )
+    if deep_level is not None:
+        deep_gen, deep_records = _generate_structure(deep_level, seed)
+        deep_shards = shard_counts[-1]
+        for placement in placements:
+            cells[f"deep{deep_level}-shards{deep_shards}-{placement}"] = (
+                _run_deep_cell(
+                    deep_gen,
+                    deep_records,
+                    deep_shards,
+                    placement,
+                    deep_closures,
+                    deep_level,
+                )
+            )
     if recorder is not None and timeline is not None:
         recorder.write_jsonl(timeline)
-    return {
+    document = {
         "benchmark": "sharded",
         "level": level,
         "seed": seed,
@@ -223,6 +302,10 @@ def run_sharded_bench(
         ),
         "cells": cells,
     }
+    if deep_level is not None:
+        document["deep_level"] = deep_level
+        document["deep_closures"] = deep_closures
+    return document
 
 
 def write_sharded_bench(out_path: str, **kwargs: Any) -> Dict[str, Any]:
@@ -245,7 +328,15 @@ def format_summary(document: Dict[str, Any]) -> str:
     ]
     for key in sorted(document["cells"]):
         cell = document["cells"][key]
-        closure, update = cell["closure"], cell["update"]
+        closure, update = cell["closure"], cell.get("update")
+        if update is None:  # the deep scale cell: closures only
+            lines.append(
+                f"{key:>18}{closure['p50_ms']:>13.3f}"
+                f"{closure['p99_ms']:>9.3f}"
+                f"  ({closure['nodes']} nodes,"
+                f" {closure['median_ms_per_node']:.4f} ms/node)"
+            )
+            continue
         lines.append(
             f"{key:>18}{closure['p50_ms']:>13.3f}{closure['p99_ms']:>9.3f}"
             f"{closure['rpcs_per_closure']:>9.2f}"

@@ -40,6 +40,57 @@ CONCURRENCY_MODES = ("none", "optimistic")
 #: OID→shard placement policies the sharding layer understands.
 PLACEMENT_POLICIES = ("hash", "affine")
 
+#: Read-routing policies the replication layer understands.
+REPLICA_POLICIES = ("round_robin", "least_queue")
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplicationConfig:
+    """How reads scale out across WAL-shipping replica servers.
+
+    Writes always go to the primary; the read verb surface
+    (``fetch``/``fetch_many``/``traverse``/``readahead``) is routed to
+    replicas by a :class:`~repro.replication.router.ReplicaRouter`.
+    Read-your-writes is enforced per workstation with session LSN
+    tokens: a read is only routed to a replica whose applied LSN has
+    reached the client's last-commit LSN, else it falls back to the
+    primary (see ``docs/replication.md``).
+
+    Attributes:
+        replicas: number of replica servers behind the primary (>= 1).
+        policy: ``"round_robin"`` — rotate eligible replicas per client
+            — or ``"least_queue"`` — pick the eligible replica whose
+            transport lane has the smallest backlog (the
+            ``backend.mp.*`` busy timeline).
+        apply_lag_seconds: virtual delay between a commit being shipped
+            and a replica applying it — the deterministic staleness
+            bound (0 = replicas are always fresh).
+    """
+
+    replicas: int = 2
+    policy: str = "round_robin"
+    apply_lag_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be >= 1, got {self.replicas}"
+            )
+        if self.policy not in REPLICA_POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {REPLICA_POLICIES},"
+                f" got {self.policy!r}"
+            )
+        if self.apply_lag_seconds < 0:
+            raise ConfigurationError(
+                "apply_lag_seconds cannot be negative,"
+                f" got {self.apply_lag_seconds}"
+            )
+
+    def replace(self, **changes) -> "ReplicationConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
 
 @dataclasses.dataclass(frozen=True)
 class ShardConfig:
@@ -135,6 +186,10 @@ class NetworkConfig:
             :class:`~repro.sharding.router.ShardRouter` (``None`` or
             ``shards=1`` keeps the classic single-server stack,
             bit-identical).
+        replication: scale reads across WAL-shipping replicas behind a
+            :class:`~repro.replication.router.ReplicaRouter` (``None``
+            keeps the classic single-server stack; mutually exclusive
+            with ``sharding`` of more than one shard).
     """
 
     latency: Optional[LatencyModel] = None
@@ -146,6 +201,7 @@ class NetworkConfig:
     readahead_depth: int = 1
     concurrency: str = "none"
     sharding: Optional[ShardConfig] = None
+    replication: Optional[ReplicationConfig] = None
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 1:
@@ -170,6 +226,15 @@ class NetworkConfig:
             raise ConfigurationError(
                 f"concurrency must be one of {CONCURRENCY_MODES},"
                 f" got {self.concurrency!r}"
+            )
+        if (
+            self.replication is not None
+            and self.sharding is not None
+            and self.sharding.shards > 1
+        ):
+            raise ConfigurationError(
+                "replication and sharding cannot be combined:"
+                " replicate the shards or shard the replicas, not both"
             )
 
     def replace(self, **changes) -> "NetworkConfig":

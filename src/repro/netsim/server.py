@@ -107,6 +107,7 @@ class ObjectServer:
         wal: Optional[WriteAheadLog] = None,
         fsync_seconds: float = 0.0,
         shard_id: Optional[int] = None,
+        lane_tag: Optional[str] = None,
     ) -> None:
         self.clock = clock or SimulatedClock()
         self.latency = latency or LatencyModel()
@@ -117,6 +118,11 @@ class ObjectServer:
         #: ``shard<n>`` tag into the trace lane; the ``None`` path is
         #: byte-identical to the pre-sharding server.
         self.shard_id = shard_id
+        #: Free-form trace lane tag (``"replica0"``, ``"primary"`` …)
+        #: for servers that are neither shards nor the classic single
+        #: server; ``shard_id`` wins when both are set.  ``None`` keeps
+        #: the pre-replication spans byte-identical.
+        self.lane_tag = lane_tag
         self.fault_model = fault_model
         self.instrumentation = resolve(instrumentation)
         self._instr = self.instrumentation
@@ -196,10 +202,14 @@ class ObjectServer:
         context = self._pending_trace
         self._pending_trace = None
         client = None if context is None else context.client_id
-        if self.shard_id is not None:
-            # Shard-tagged lane: scatter-gather fan-out shows up as
-            # one trace lane per (client, shard) pair in Perfetto.
-            tag = f"shard{self.shard_id}"
+        if self.shard_id is not None or self.lane_tag is not None:
+            # Tagged lane: scatter-gather (or replica) fan-out shows up
+            # as one trace lane per (client, server) pair in Perfetto.
+            tag = (
+                f"shard{self.shard_id}"
+                if self.shard_id is not None
+                else self.lane_tag
+            )
             client = tag if client is None else f"{client}·{tag}"
         with self._instr.span(
             "server." + request,
@@ -1083,7 +1093,8 @@ class ObjectServer:
                 "recover_from_wal requires a write-ahead log"
             )
         self.load_records(base_records or {})
-        for _txid, operations in self.wal.recover_operations():
+        committed, parked = self.wal.recover()
+        for _txid, operations in committed:
             self._commit_seq += 1
             for op in operations:
                 if op.kind == PUT and op.state is not None:
@@ -1092,7 +1103,7 @@ class ObjectServer:
                     )
                     self._versions[op.oid] = self._commit_seq
         recovered: List[int] = []
-        for txid, operations in self.wal.recover_in_doubt():
+        for txid, operations in parked:
             writes = {
                 op.oid: self._isolate(op.state["record"])
                 for op in operations
@@ -1110,6 +1121,26 @@ class ObjectServer:
         if recovered:
             self._instr.count("netsim.recovery.in_doubt", len(recovered))
         return recovered
+
+    def apply_wal_operations(self, operations: List[Any]) -> None:
+        """Apply one shipped transaction's records (uncharged admin).
+
+        The replication layer tails the primary's WAL and replays each
+        committed transaction's PUT records here.  Versions mirror the
+        *origin* txid — not this server's own commit sequence — so an
+        optimistic read set built from replica replies validates at the
+        primary exactly as if the records had been fetched there: a
+        record the replica holds stale carries its stale version and
+        conflicts honestly.  The local commit sequence is pulled up to
+        the applied txid so post-promotion commits keep ascending.
+        """
+        for op in operations:
+            if op.kind == PUT and op.state is not None:
+                self._records[op.oid] = self._isolate(op.state["record"])
+                self._versions[op.oid] = op.txid
+                if op.txid > self._commit_seq:
+                    self._commit_seq = op.txid
+                self._invalidate_subscribers(op.oid)
 
     def exists(self, uid: int) -> bool:
         """Key-existence probe (the server-side name-lookup index hit)."""

@@ -226,6 +226,71 @@ def shard_lanes(
     ]
 
 
+def replica_lanes(
+    latency: LatencyModel,
+    replicas: int,
+    service_time_seconds: float = 0.0,
+    instrumentation: Optional[Instrumentation] = None,
+    fallback_clock: Optional[SimulatedClock] = None,
+) -> List[ContendedTransport]:
+    """One contended transport per replication-group server.
+
+    Lane 0 (``primary``) carries every write plus read-your-writes
+    fallbacks; lanes 1..N (``replica<i>``) each carry one replica's
+    routed reads — independent FIFO timelines, so reads spread across
+    replicas stop queueing behind each other, which is the entire
+    read-scaling claim the replica benchmark measures.  Counter
+    namespaces follow the lane names (``backend.mp.primary.*``,
+    ``backend.mp.replica<i>.*``).
+    """
+    names = ["primary"] + [f"replica{i}" for i in range(replicas)]
+    return [
+        ContendedTransport(
+            latency,
+            service_time_seconds=service_time_seconds,
+            instrumentation=instrumentation,
+            fallback_clock=fallback_clock,
+            lane=name,
+        )
+        for name in names
+    ]
+
+
+class LaneGroup:
+    """A bundle of per-server lanes that quacks like one transport.
+
+    :class:`DiscreteEventScheduler` manages exactly one ``transport``
+    — it assigns ``station``/``virtual_now`` around each task.  A lane
+    group fans those writes out to every member lane, so a replication
+    group (or any multi-lane deployment) can ride the scheduler
+    unchanged: pass the group as the transport and give the *server*'s
+    ``use_transport`` the ``.lanes`` list.
+    """
+
+    def __init__(self, lanes: List[ContendedTransport]) -> None:
+        if not lanes:
+            raise ValueError("LaneGroup needs at least one lane")
+        self.lanes = list(lanes)
+
+    @property
+    def station(self):
+        return self.lanes[0].station
+
+    @station.setter
+    def station(self, value) -> None:
+        for lane in self.lanes:
+            lane.station = value
+
+    @property
+    def virtual_now(self) -> float:
+        return max(lane.virtual_now for lane in self.lanes)
+
+    @virtual_now.setter
+    def virtual_now(self, value: float) -> None:
+        for lane in self.lanes:
+            lane.virtual_now = value
+
+
 class ZipfSampler:
     """Seeded Zipf(theta) sampling over ranks ``0 .. n-1``.
 

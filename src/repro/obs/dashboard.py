@@ -626,6 +626,44 @@ def _sharded_charts(doc: Dict[str, Any]) -> str:
     return out
 
 
+def _replica_charts(doc: Dict[str, Any]) -> str:
+    """Read throughput by replica count, one series per write×lag combo."""
+    cells = doc.get("cells", {})
+    grid = {
+        key: cell
+        for key, cell in cells.items()
+        if str(key).startswith("replicas") and isinstance(cell, dict)
+    }
+    if not grid:
+        return ""
+    counts = sorted(
+        {int(str(k).split("-", 1)[0][len("replicas"):]) for k in grid}
+    )
+    combos = sorted({str(k).split("-", 1)[1] for k in grid})[:_SERIES_SLOTS]
+    series = []
+    for combo in combos:
+        values = []
+        for count in counts:
+            leaf = grid.get(f"replicas{count}-{combo}", {}).get("reads", {})
+            values.append(float(leaf.get("throughput_per_s", 0.0)))
+        series.append((combo, values))
+    out = _column_chart(
+        "Read throughput by replica count (closures/s, virtual)",
+        [str(c) for c in counts],
+        series,
+    )
+    scaling = doc.get("scaling") or {}
+    if scaling:
+        out += _table(
+            ["write×lag combo", f"{counts[0]}→{counts[-1]} scaling"],
+            [
+                (combo, f"{float(scaling[combo]):.2f}x")
+                for combo in sorted(scaling)
+            ],
+        )
+    return out
+
+
 def _bench_section(name: str, doc: Dict[str, Any]) -> str:
     benchmark = str(doc.get("benchmark", "benchmark"))
     prov = doc.get("provenance", {})
@@ -663,6 +701,8 @@ def _bench_section(name: str, doc: Dict[str, Any]) -> str:
             )
     elif benchmark == "sharded":
         charts = f'<div class="grid">{_sharded_charts(doc)}</div>'
+    elif benchmark == "replica":
+        charts = f'<div class="grid">{_replica_charts(doc)}</div>'
     return header + charts + _percentile_card(doc) + "</section>"
 
 
@@ -748,6 +788,19 @@ def render_dashboard(
                 int(l.get("two_phase_commits", 0)) for l in leaves
             )
             tiles.append(("2PC commits", _fmt(two_pc)))
+        elif doc.get("benchmark") == "replica":
+            scaling = doc.get("scaling") or {}
+            best = max(
+                (float(v) for v in scaling.values()), default=0.0
+            )
+            leaves = [leaf for _, leaf in _leaf_rows(doc.get("cells", {}))]
+            replica_reads = sum(
+                int(l.get("replica_reads", 0)) for l in leaves
+            )
+            tiles += [
+                ("replica read scaling", f"{best:.2f}x"),
+                ("replica-served reads", _fmt(replica_reads)),
+            ]
     kpis = "".join(
         f'<div class="tile"><div class="label">{_esc(label)}</div>'
         f'<div class="value">{_esc(value)}</div></div>'

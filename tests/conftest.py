@@ -18,13 +18,30 @@ from repro.backends.oodb import OodbDatabase
 from repro.backends.sqlite_backend import SqliteDatabase
 from repro.core.config import HyperModelConfig
 from repro.core.generator import DatabaseGenerator
-from repro.netsim.config import NetworkConfig, ShardConfig
+from repro.netsim.config import (
+    NetworkConfig,
+    ReplicationConfig,
+    ShardConfig,
+)
 
 BACKEND_NAMES = [
     "memory", "sqlite", "sqlite-file", "oodb",
     "clientserver", "clientserver-bfs",
     "clientserver-sharded-hash", "clientserver-sharded-affine",
+    "clientserver-replicated",
 ]
+
+
+@pytest.fixture(autouse=True)
+def _reset_warn_once_registries():
+    """Deprecation warnings fire once per process; tests that pin them
+    (``pytest.warns``) need each test to start with a clean slate."""
+    from repro.backends import clientserver
+    from repro.concurrency import multiuser
+
+    clientserver._WARNED_LEGACY.clear()
+    multiuser._WARNED_SHIMS.clear()
+    yield
 
 
 def make_backend(name: str, tmp_path, suffix: str = "db"):
@@ -51,6 +68,12 @@ def make_backend(name: str, tmp_path, suffix: str = "db"):
         return ClientServerDatabase(
             network=NetworkConfig(
                 sharding=ShardConfig(shards=2, placement="affine")
+            )
+        )
+    if name == "clientserver-replicated":
+        return ClientServerDatabase(
+            network=NetworkConfig(
+                replication=ReplicationConfig(replicas=2)
             )
         )
     raise ValueError(name)

@@ -190,3 +190,73 @@ class TestFaultInjectingVFS:
             "drop_fsync",
             "crash",
         }
+
+
+class TestMemoryVFS:
+    """The in-memory filesystem the replication group defaults to."""
+
+    def test_write_read_roundtrip(self):
+        from repro.engine.vfs import MemoryVFS
+
+        vfs = MemoryVFS()
+        with vfs.open("log", "w+b") as f:
+            f.write(b"hello")
+        assert vfs.exists("log")
+        assert vfs.size("log") == 5
+        with vfs.open("log", "rb") as f:
+            assert f.read() == b"hello"
+
+    def test_append_mode_and_missing_file(self):
+        from repro.engine.vfs import MemoryVFS
+
+        vfs = MemoryVFS()
+        with pytest.raises(FileNotFoundError):
+            vfs.open("absent", "rb")
+        with pytest.raises(FileNotFoundError):
+            vfs.open("absent", "r+b")
+        with vfs.open("log", "ab+") as f:
+            f.write(b"one")
+        with vfs.open("log", "ab+") as f:
+            f.write(b"two")  # append resumes at the end
+        with vfs.open("log", "rb") as f:
+            assert f.read() == b"onetwo"
+
+    def test_independent_readers_share_the_buffer(self):
+        from repro.engine.vfs import MemoryVFS
+
+        vfs = MemoryVFS()
+        writer = vfs.open("log", "ab+")
+        writer.write(b"abc")
+        with vfs.open("log", "rb") as reader:
+            assert reader.read() == b"abc"
+        writer.write(b"def")
+        with vfs.open("log", "rb") as reader:
+            reader.seek(3)
+            assert reader.read() == b"def"
+        writer.close()
+
+    def test_seek_truncate_and_closed_errors(self):
+        from repro.engine.vfs import MemoryVFS
+
+        vfs = MemoryVFS()
+        f = vfs.open("log", "w+b")
+        f.write(b"0123456789")
+        f.seek(2)
+        assert f.tell() == 2
+        f.truncate(5)
+        assert vfs.size("log") == 5
+        f.close()
+        with pytest.raises(ValueError):
+            f.read()
+
+    def test_fault_injection_composes_over_memory(self):
+        from repro.engine.vfs import MemoryVFS
+
+        vfs = FaultInjectingVFS(MemoryVFS(), seed=3).crash_at(2)
+        f = vfs.open("log", "ab+")
+        f.write(b"first")
+        with pytest.raises(SimulatedCrash):
+            f.write(b"second")
+        # Post-crash reads still see everything persisted before.
+        with vfs.open("log", "rb") as reader:
+            assert reader.read() == b"first"

@@ -251,3 +251,39 @@ class TestRecoverOperations:
         wal.log_commit(1, [put_record(1, 1, {})])
         assert wal.records_written == 3  # BEGIN + PUT + COMMIT
         assert wal.syncs == 1
+
+
+class TestReadFrom:
+    """Offset-resumable tail reads (the log shipper's primitive)."""
+
+    def test_resumes_at_returned_offset(self, wal):
+        wal.log_commit(1, [put_record(1, 10, {"a": 1})])
+        first = list(wal.read_from(0))
+        assert [r.kind for r, _ in first] == [BEGIN, PUT, COMMIT]
+        resume = first[-1][1]
+        wal.log_commit(2, [put_record(2, 11, {"a": 2})])
+        second = list(wal.read_from(resume))
+        assert [r.txid for r, _ in second] == [2, 2, 2]
+        # Nothing new: resuming at the tail yields nothing.
+        assert list(wal.read_from(second[-1][1])) == []
+
+    def test_offset_zero_equals_read_all(self, wal):
+        wal.log_commit(1, [put_record(1, 10, {"a": 1})])
+        wal.log_commit(2, [delete_record(2, 10)])
+        by_offset = [r.kind for r, _ in wal.read_from(0)]
+        assert by_offset == [r.kind for r in wal.read_all()]
+
+    def test_stops_cleanly_at_torn_tail(self, wal, tmp_path):
+        wal.log_commit(1, [put_record(1, 10, {"a": 1})])
+        intact = list(wal.read_from(0))
+        resume = intact[-1][1]
+        wal.append(LogRecord(BEGIN, txid=2))
+        wal.sync()
+        path = str(tmp_path / "test.wal")
+        wal.close()
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) - 3)
+        reopened = WriteAheadLog(path, sync_on_commit=False)
+        tail = list(reopened.read_from(resume))
+        assert tail == []  # torn record never surfaces
+        reopened.close()

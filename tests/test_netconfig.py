@@ -144,3 +144,101 @@ class TestDeprecatedLoadEntryPoints:
         with pytest.warns(DeprecationWarning, match="run_disjoint_updates"):
             result = run_update_load(server, gen, users=2, edits_per_user=1)
         assert result.all_edits_visible_everywhere
+
+
+class TestReplicationConfig:
+    def test_defaults(self):
+        from repro.netsim.config import ReplicationConfig
+
+        config = ReplicationConfig()
+        assert config.replicas == 2
+        assert config.policy == "round_robin"
+        assert config.apply_lag_seconds == 0.0
+
+    def test_validation(self):
+        from repro.netsim.config import ReplicationConfig
+
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(replicas=0)
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(policy="random")
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(apply_lag_seconds=-0.1)
+
+    def test_replace(self):
+        from repro.netsim.config import ReplicationConfig
+
+        base = ReplicationConfig()
+        variant = base.replace(replicas=4, policy="least_queue")
+        assert variant.replicas == 4
+        assert variant.policy == "least_queue"
+        assert base.replicas == 2
+
+    def test_replication_and_sharding_exclusive(self):
+        from repro.netsim.config import ReplicationConfig, ShardConfig
+
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(
+                replication=ReplicationConfig(),
+                sharding=ShardConfig(shards=2),
+            )
+
+
+class TestWarnOnce:
+    """Deprecation warnings fire once per process, pinned by tests.
+
+    The conftest autouse fixture clears the registries per test, so
+    each test observes the once-per-process behaviour from a clean
+    slate without breaking the ``pytest.warns`` pins above.
+    """
+
+    def test_legacy_kwargs_warn_once_per_fingerprint(self):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.simplefilter("always")
+            ClientServerDatabase(cache_capacity=64).close()
+            ClientServerDatabase(cache_capacity=64).close()
+        deprecations = [
+            w for w in seen if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        # A different legacy fingerprint is a different warning.
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.simplefilter("always")
+            ClientServerDatabase(pushdown=False).close()
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in seen
+        )
+
+    def test_multiuser_shims_warn_once_each(self):
+        import warnings
+
+        from repro.concurrency.multiuser import (
+            run_read_load,
+            run_update_load,
+        )
+        from repro.core.config import HyperModelConfig
+        from repro.core.generator import DatabaseGenerator
+
+        server = ObjectServer()
+        loader = ClientServerDatabase(server=server)
+        loader.open()
+        gen = DatabaseGenerator(
+            HyperModelConfig(levels=2, seed=5)
+        ).generate(loader)
+        loader.commit()
+        loader.close()
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.simplefilter("always")
+            run_read_load(server, gen, users=1, operations_per_user=2)
+            run_read_load(server, gen, users=1, operations_per_user=2)
+            run_update_load(server, gen, users=1, edits_per_user=1)
+        deprecations = [
+            str(w.message)
+            for w in seen
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2  # one per shim, not per call
+        assert any("run_read_mix" in m for m in deprecations)
+        assert any("run_disjoint_updates" in m for m in deprecations)
